@@ -1,0 +1,288 @@
+//! Criterion counterparts of the paper's figures: one benchmark group per
+//! evaluated axis, at a reduced scale so `cargo bench` completes in
+//! minutes. The `xp` binary runs the same sweeps at configurable scale
+//! with I/O accounting; these benches give statistically robust timing
+//! for the per-figure winners.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wnsk_bench::{Algo, TestBed};
+use wnsk_core::{AdvancedOptions, KcrOptions};
+use wnsk_data::workload::WorkloadSpec;
+use wnsk_data::DatasetSpec;
+
+const SCALE: f64 = 0.005; // ~800 objects EURO-like: keeps BS feasible.
+
+fn default_workload(seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        n_keywords: 4,
+        k: 10,
+        alpha: 0.5,
+        missing_rank: 51,
+        n_missing: 1,
+        seed,
+    }
+}
+
+fn bench_trio(
+    c: &mut Criterion,
+    group_name: &str,
+    bed: &TestBed,
+    wspec: &WorkloadSpec,
+    param: &str,
+) {
+    let questions = bed.questions(wspec, 1, 0.5);
+    if questions.is_empty() {
+        eprintln!("{group_name}/{param}: workload generation failed, skipping");
+        return;
+    }
+    let q = &questions[0];
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for algo in Algo::paper_trio() {
+        group.bench_with_input(
+            BenchmarkId::new(algo.name(), param),
+            q,
+            |b, q| {
+                b.iter(|| {
+                    bed.clear_caches();
+                    algo.run(bed, q).expect("algorithm must succeed")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Fig. 4 — varying k0.
+fn fig4(c: &mut Criterion) {
+    let bed = TestBed::new(&DatasetSpec::euro_like(SCALE));
+    for k0 in [3usize, 10, 30] {
+        let wspec = WorkloadSpec {
+            k: k0,
+            missing_rank: 5 * k0 + 1,
+            ..default_workload(40_000 + k0 as u64)
+        };
+        bench_trio(c, "fig4_vary_k0", &bed, &wspec, &k0.to_string());
+    }
+}
+
+/// Fig. 5 — varying the number of query keywords.
+fn fig5(c: &mut Criterion) {
+    let bed = TestBed::new(&DatasetSpec::euro_like(SCALE));
+    for kw in [2usize, 4, 6] {
+        let wspec = WorkloadSpec {
+            n_keywords: kw,
+            ..default_workload(50_000 + kw as u64)
+        };
+        bench_trio(c, "fig5_vary_keywords", &bed, &wspec, &kw.to_string());
+    }
+}
+
+/// Fig. 6 — varying alpha.
+fn fig6(c: &mut Criterion) {
+    let bed = TestBed::new(&DatasetSpec::euro_like(SCALE));
+    for alpha in [0.1, 0.5, 0.9] {
+        let wspec = WorkloadSpec {
+            alpha,
+            ..default_workload(60_000)
+        };
+        bench_trio(c, "fig6_vary_alpha", &bed, &wspec, &alpha.to_string());
+    }
+}
+
+/// Fig. 7 — varying lambda.
+fn fig7(c: &mut Criterion) {
+    let bed = TestBed::new(&DatasetSpec::euro_like(SCALE));
+    let wspec = default_workload(70_000);
+    let questions_base = bed.questions(&wspec, 1, 0.5);
+    if questions_base.is_empty() {
+        return;
+    }
+    for lambda in [0.1, 0.5, 0.9] {
+        let questions = bed.questions(&wspec, 1, lambda);
+        let q = &questions[0];
+        let mut group = c.benchmark_group("fig7_vary_lambda");
+        group.sample_size(10);
+        for algo in [
+            Algo::Advanced(AdvancedOptions::default()),
+            Algo::Kcr(KcrOptions::default()),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), lambda.to_string()),
+                q,
+                |b, q| {
+                    b.iter(|| {
+                        bed.clear_caches();
+                        algo.run(&bed, q).expect("algorithm must succeed")
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+/// Fig. 8 — varying the missing object's initial rank.
+fn fig8(c: &mut Criterion) {
+    let bed = TestBed::new(&DatasetSpec::euro_like(SCALE));
+    for rank in [31usize, 51, 101] {
+        let wspec = WorkloadSpec {
+            missing_rank: rank,
+            ..default_workload(80_000 + rank as u64)
+        };
+        bench_trio(c, "fig8_vary_rank", &bed, &wspec, &rank.to_string());
+    }
+}
+
+/// Fig. 9 — varying the number of missing objects.
+fn fig9(c: &mut Criterion) {
+    let bed = TestBed::new(&DatasetSpec::euro_like(SCALE));
+    for n_missing in [1usize, 2, 3] {
+        let wspec = WorkloadSpec {
+            n_missing,
+            ..default_workload(90_000 + n_missing as u64)
+        };
+        bench_trio(c, "fig9_vary_missing", &bed, &wspec, &n_missing.to_string());
+    }
+}
+
+/// Fig. 10 — thread scaling of the two optimised algorithms.
+fn fig10(c: &mut Criterion) {
+    let bed = TestBed::new(&DatasetSpec::euro_like(SCALE));
+    let wspec = default_workload(100_000);
+    let questions = bed.questions(&wspec, 1, 0.5);
+    if questions.is_empty() {
+        return;
+    }
+    let q = &questions[0];
+    let mut group = c.benchmark_group("fig10_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let adv = Algo::Advanced(AdvancedOptions {
+            threads,
+            ..AdvancedOptions::default()
+        });
+        let kcr = Algo::Kcr(KcrOptions { threads, ..KcrOptions::default() });
+        for algo in [adv, kcr] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), threads.to_string()),
+                q,
+                |b, q| {
+                    b.iter(|| {
+                        bed.clear_caches();
+                        algo.run(&bed, q).expect("algorithm must succeed")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Fig. 11 — ablation of the optimisations.
+fn fig11(c: &mut Criterion) {
+    let bed = TestBed::new(&DatasetSpec::euro_like(SCALE));
+    let wspec = default_workload(110_000);
+    let questions = bed.questions(&wspec, 1, 0.5);
+    if questions.is_empty() {
+        return;
+    }
+    let q = &questions[0];
+    let mut group = c.benchmark_group("fig11_opts");
+    group.sample_size(10);
+    let configs = [
+        ("BS", AdvancedOptions::none()),
+        (
+            "Opt1",
+            AdvancedOptions {
+                early_stop: true,
+                ..AdvancedOptions::none()
+            },
+        ),
+        (
+            "Opt1+2",
+            AdvancedOptions {
+                early_stop: true,
+                ordered_enumeration: true,
+                ..AdvancedOptions::none()
+            },
+        ),
+        ("all", AdvancedOptions::default()),
+    ];
+    for (name, opts) in configs {
+        group.bench_with_input(BenchmarkId::new("variant", name), q, |b, q| {
+            let algo = Algo::Advanced(opts);
+            b.iter(|| {
+                bed.clear_caches();
+                algo.run(&bed, q).expect("algorithm must succeed")
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 12 — approximate algorithm: sample-size sweep.
+fn fig12(c: &mut Criterion) {
+    let bed = TestBed::new(&DatasetSpec::euro_like(SCALE));
+    let wspec = WorkloadSpec {
+        n_keywords: 6,
+        ..default_workload(120_000)
+    };
+    let questions = bed.questions(&wspec, 1, 0.5);
+    if questions.is_empty() {
+        return;
+    }
+    let q = &questions[0];
+    let mut group = c.benchmark_group("fig12_approx");
+    group.sample_size(10);
+    for t in [100usize, 400] {
+        let algo = Algo::ApproxKcr(KcrOptions::default(), t);
+        group.bench_with_input(BenchmarkId::new("KcRBased~T", t.to_string()), q, |b, q| {
+            b.iter(|| {
+                bed.clear_caches();
+                algo.run(&bed, q).expect("algorithm must succeed")
+            })
+        });
+    }
+    let exact = Algo::Kcr(KcrOptions::default());
+    group.bench_with_input(BenchmarkId::new("KcRBased~T", "exact"), q, |b, q| {
+        b.iter(|| {
+            bed.clear_caches();
+            exact.run(&bed, q).expect("algorithm must succeed")
+        })
+    });
+    group.finish();
+}
+
+/// Fig. 13 — dataset-size scalability (GN-like).
+fn fig13(c: &mut Criterion) {
+    for n in [5_000usize, 10_000, 20_000] {
+        let spec = DatasetSpec::gn_like(0.02).with_objects(n);
+        let bed = TestBed::new(&spec);
+        let wspec = default_workload(130_000 + n as u64);
+        let questions = bed.questions(&wspec, 1, 0.5);
+        if questions.is_empty() {
+            continue;
+        }
+        let q = &questions[0];
+        let mut group = c.benchmark_group("fig13_scalability");
+        group.sample_size(10);
+        for algo in [
+            Algo::Advanced(AdvancedOptions::default()),
+            Algo::Kcr(KcrOptions::default()),
+        ] {
+            group.bench_with_input(BenchmarkId::new(algo.name(), n.to_string()), q, |b, q| {
+                b.iter(|| {
+                    bed.clear_caches();
+                    algo.run(&bed, q).expect("algorithm must succeed")
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(
+    figures, fig4, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13
+);
+criterion_main!(figures);

@@ -1,0 +1,157 @@
+//! Microbenchmarks of the substrates: index construction, top-k / rank
+//! search, the KcR dominance bounds, the buffer pool, and the text
+//! algebra. These pin down where the figure-level costs come from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use wnsk_data::workload::WorkloadSpec;
+use wnsk_data::{generate, DatasetSpec};
+use wnsk_index::kcr::{max_dom, min_dom, PreparedNode};
+use wnsk_index::{KcrTree, RankMode, SetRTree};
+use wnsk_storage::{BufferPool, BufferPoolConfig, MemBackend, PageId, PAGE_SIZE};
+use wnsk_text::{jaccard, KeywordCountMap, KeywordSet, TermId};
+
+fn pool() -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(
+        Arc::new(MemBackend::new()),
+        BufferPoolConfig::default(),
+    ))
+}
+
+fn tree_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build");
+    group.sample_size(10);
+    for n in [2_000usize, 8_000] {
+        let data = generate(&DatasetSpec::tiny(1).with_objects(n));
+        group.bench_with_input(BenchmarkId::new("setr", n), &data, |b, data| {
+            b.iter(|| SetRTree::build(pool(), &data.dataset, 100).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("kcr", n), &data, |b, data| {
+            b.iter(|| KcrTree::build(pool(), &data.dataset, 100).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn search(c: &mut Criterion) {
+    let data = generate(&DatasetSpec::euro_like(0.01));
+    let setr = SetRTree::build(pool(), &data.dataset, 100).unwrap();
+    let kcr = KcrTree::build(pool(), &data.dataset, 100).unwrap();
+    let wspec = WorkloadSpec::paper_default(7);
+    let item = wnsk_data::workload::generate_item(&data.dataset, &wspec)
+        .expect("workload must generate");
+    let target = item.missing[0];
+    let target_score = data
+        .dataset
+        .score(data.dataset.object(target), &item.query);
+
+    let mut group = c.benchmark_group("search");
+    group.sample_size(20);
+    group.bench_function("setr_top_k_cold", |b| {
+        b.iter(|| {
+            setr.pool().clear_cache();
+            setr.top_k(&item.query).unwrap()
+        })
+    });
+    group.bench_function("setr_top_k_warm", |b| {
+        b.iter(|| setr.top_k(&item.query).unwrap())
+    });
+    group.bench_function("kcr_top_k_cold", |b| {
+        b.iter(|| {
+            kcr.pool().clear_cache();
+            kcr.top_k(&item.query).unwrap()
+        })
+    });
+    group.bench_function("setr_rank_of", |b| {
+        b.iter(|| {
+            setr.rank_of(&item.query, target, target_score, None, RankMode::StopAtScore)
+                .unwrap()
+        })
+    });
+    group.bench_function("setr_rank_of_until_found", |b| {
+        b.iter(|| {
+            setr.rank_of(&item.query, target, target_score, None, RankMode::UntilFound)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn dominance_bounds(c: &mut Criterion) {
+    // A realistic upper-level node: 10k objects, 2k distinct terms.
+    let data = generate(&DatasetSpec::tiny(3).with_objects(10_000));
+    let mut kcm = KeywordCountMap::new();
+    for o in data.dataset.objects() {
+        kcm.add_doc(&o.doc);
+    }
+    let summary = wnsk_index::NodeSummary {
+        mbr: wnsk_geo::Rect::new(
+            wnsk_geo::Point::new(0.0, 0.0),
+            wnsk_geo::Point::new(1.0, 1.0),
+        ),
+        cnt: 10_000,
+        kcm,
+    };
+    let s = KeywordSet::from_ids([0, 3, 17]);
+
+    let mut group = c.benchmark_group("dominance");
+    group.bench_function("prepare_node", |b| b.iter(|| PreparedNode::new(&summary)));
+    let prep = PreparedNode::new(&summary);
+    for tau in [0.1, 0.5, 0.9] {
+        group.bench_with_input(BenchmarkId::new("max_dom", tau.to_string()), &tau, |b, &tau| {
+            b.iter(|| max_dom(&prep, &s, tau, wnsk_text::TextModel::Jaccard))
+        });
+        group.bench_with_input(BenchmarkId::new("min_dom", tau.to_string()), &tau, |b, &tau| {
+            b.iter(|| min_dom(&prep, &s, tau, wnsk_text::TextModel::Jaccard))
+        });
+    }
+    group.finish();
+}
+
+fn storage(c: &mut Criterion) {
+    let backend = Arc::new(MemBackend::new());
+    for _ in 0..2048 {
+        backend.allocate_page().unwrap();
+    }
+    use wnsk_storage::StorageBackend;
+    let data = vec![0xA5u8; PAGE_SIZE];
+    for i in 0..2048u64 {
+        backend.write_page(PageId(i), &data).unwrap();
+    }
+    let pool = Arc::new(BufferPool::new(backend, BufferPoolConfig::default()));
+
+    let mut group = c.benchmark_group("storage");
+    group.bench_function("pool_read_hit", |b| {
+        pool.read(PageId(1)).unwrap();
+        b.iter(|| pool.read(PageId(1)).unwrap())
+    });
+    group.bench_function("pool_read_scan_evicting", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 2048;
+            pool.read(PageId(i)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn text_algebra(c: &mut Criterion) {
+    let a = KeywordSet::from_terms((0..200).map(|i| TermId(i * 3)));
+    let b_set = KeywordSet::from_terms((0..200).map(|i| TermId(i * 5)));
+    let mut group = c.benchmark_group("text");
+    group.bench_function("jaccard_200x200", |bch| b_iter_jaccard(bch, &a, &b_set));
+    group.bench_function("union_200x200", |bch| {
+        bch.iter(|| a.union(&b_set));
+    });
+    group.bench_function("edit_distance", |bch| {
+        bch.iter(|| a.edit_distance(&b_set));
+    });
+    group.finish();
+}
+
+fn b_iter_jaccard(bch: &mut criterion::Bencher<'_>, a: &KeywordSet, b: &KeywordSet) {
+    bch.iter(|| jaccard(a, b));
+}
+
+criterion_group!(substrate, tree_build, search, dominance_bounds, storage, text_algebra);
+criterion_main!(substrate);

@@ -1,0 +1,48 @@
+//! `xp` — the experiment driver.
+//!
+//! ```text
+//! xp <experiment> [--scale S] [--queries N] [--threads T] [--out DIR]
+//! ```
+//!
+//! `<experiment>` is one of `tab1 tab2 fig4 … fig13 all`. Results print
+//! as aligned tables; `--out DIR` additionally writes one CSV per table.
+
+use wnsk_bench::{experiments, XpConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((name, rest)) = args.split_first() else {
+        usage_and_exit(None);
+    };
+    let cfg = match XpConfig::from_args(rest) {
+        Ok(cfg) => cfg,
+        Err(e) => usage_and_exit(Some(&e)),
+    };
+    eprintln!(
+        "running {name} (scale {}, {} queries per point)…",
+        cfg.scale, cfg.queries
+    );
+    let started = std::time::Instant::now();
+    let Some(tables) = experiments::run(name, &cfg) else {
+        usage_and_exit(Some(&format!("unknown experiment '{name}'")));
+    };
+    for table in &tables {
+        print!("{}", table.render());
+        if let Some(dir) = &cfg.out_dir {
+            std::fs::create_dir_all(dir).expect("cannot create --out directory");
+            let path = dir.join(format!("{}.csv", table.slug()));
+            std::fs::write(&path, table.to_csv()).expect("cannot write CSV");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+    eprintln!("done in {:.1}s", started.elapsed().as_secs_f64());
+}
+
+fn usage_and_exit(err: Option<&str>) -> ! {
+    if let Some(e) = err {
+        eprintln!("error: {e}\n");
+    }
+    eprintln!("usage: xp <experiment> [--scale S] [--queries N] [--threads T] [--out DIR]");
+    eprintln!("experiments: {}", experiments::EXPERIMENTS.join(" "));
+    std::process::exit(if err.is_some() { 2 } else { 0 });
+}

@@ -1,0 +1,106 @@
+//! Harness configuration (Table III's parameter grid lives in
+//! [`crate::experiments`]; this is the run-level knob set).
+
+/// Run-level configuration for the experiment harness.
+#[derive(Clone, Debug)]
+pub struct XpConfig {
+    /// Dataset scale factor relative to the paper's cardinalities
+    /// (1.0 = full EURO/GN size).
+    pub scale: f64,
+    /// Queries per data point (the paper averages 1,000; the default here
+    /// keeps a full sweep to minutes).
+    pub queries: usize,
+    /// Worker threads for the parallel experiment (Fig. 10).
+    pub max_threads: usize,
+    /// Optional directory for CSV output.
+    pub out_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for XpConfig {
+    fn default() -> Self {
+        XpConfig {
+            scale: 0.02,
+            queries: 3,
+            max_threads: 8,
+            out_dir: None,
+        }
+    }
+}
+
+impl XpConfig {
+    /// Parses `--scale`, `--queries`, `--threads`, `--out` style flags.
+    pub fn from_args(args: &[String]) -> Result<Self, String> {
+        let mut cfg = XpConfig::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    cfg.scale = next_value(args, &mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --scale: {e}"))?;
+                    if cfg.scale <= 0.0 || cfg.scale > 1.0 {
+                        return Err("--scale must be in (0, 1]".into());
+                    }
+                }
+                "--queries" => {
+                    cfg.queries = next_value(args, &mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --queries: {e}"))?;
+                    if cfg.queries == 0 {
+                        return Err("--queries must be ≥ 1".into());
+                    }
+                }
+                "--threads" => {
+                    cfg.max_threads = next_value(args, &mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --threads: {e}"))?;
+                }
+                "--out" => {
+                    cfg.out_dir = Some(next_value(args, &mut i)?.into());
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+            i += 1;
+        }
+        Ok(cfg)
+    }
+}
+
+fn next_value<'a>(args: &'a [String], i: &mut usize) -> Result<&'a str, String> {
+    *i += 1;
+    args.get(*i)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Result<XpConfig, String> {
+        XpConfig::from_args(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults() {
+        let cfg = parse(&[]).unwrap();
+        assert_eq!(cfg.queries, 3);
+        assert!(cfg.out_dir.is_none());
+    }
+
+    #[test]
+    fn parses_flags() {
+        let cfg = parse(&["--scale", "0.1", "--queries", "7", "--out", "/tmp/x"]).unwrap();
+        assert_eq!(cfg.scale, 0.1);
+        assert_eq!(cfg.queries, 7);
+        assert_eq!(cfg.out_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(parse(&["--scale", "2.0"]).is_err());
+        assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--queries", "0"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+    }
+}

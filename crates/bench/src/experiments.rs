@@ -1,0 +1,447 @@
+//! One experiment per table/figure of §VII.
+//!
+//! Every `figN` function reproduces the corresponding plot: same x-axis,
+//! same algorithm series, metrics = mean query time and mean physical
+//! page I/O (plus mean penalty for Fig. 12). Parameters follow Table III;
+//! defaults (bold in the paper) are `k₀ = 10`, 4 query keywords,
+//! `α = 0.5`, `R(m,q) = 51`, `λ = 0.5`, 1 missing object, EURO dataset.
+
+use crate::config::XpConfig;
+use crate::runner::{measure, Algo, Measurement, TestBed};
+use crate::table::Table;
+use wnsk_core::{AdvancedOptions, KcrOptions, WhyNotEngine, WhyNotQuestion};
+use wnsk_data::workload::WorkloadSpec;
+use wnsk_data::DatasetSpec;
+use wnsk_geo::Point;
+use wnsk_index::{Dataset, ObjectId, SpatialKeywordQuery, SpatialObject};
+use wnsk_text::KeywordSet;
+
+/// Table III defaults.
+fn default_workload(seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        n_keywords: 4,
+        k: 10,
+        alpha: 0.5,
+        missing_rank: 51,
+        n_missing: 1,
+        seed,
+    }
+}
+
+const DEFAULT_LAMBDA: f64 = 0.5;
+
+fn trio_names() -> Vec<String> {
+    Algo::paper_trio().iter().map(|a| a.name()).collect()
+}
+
+fn run_trio(bed: &TestBed, questions: &[WhyNotQuestion]) -> Vec<Measurement> {
+    Algo::paper_trio()
+        .iter()
+        .map(|a| measure(bed, a, questions))
+        .collect()
+}
+
+/// Fig. 4 — varying `k₀` (the missing object rank tracks `5·k₀+1`).
+pub fn fig4(cfg: &XpConfig) -> Vec<Table> {
+    let bed = TestBed::new(&DatasetSpec::euro_like(cfg.scale));
+    let mut table = Table::new("Fig. 4 — varying k0 (EURO-like)", "k0", trio_names());
+    for (i, k0) in [3usize, 10, 30, 100].into_iter().enumerate() {
+        let wspec = WorkloadSpec {
+            k: k0,
+            missing_rank: 5 * k0 + 1,
+            ..default_workload(4000 + i as u64)
+        };
+        let qs = bed.questions(&wspec, cfg.queries, DEFAULT_LAMBDA);
+        if qs.is_empty() {
+            eprintln!("fig4: no workload for k0={k0}, skipping");
+            continue;
+        }
+        table.push_row(k0.to_string(), run_trio(&bed, &qs));
+    }
+    vec![table]
+}
+
+/// Fig. 5 — varying the number of initial query keywords.
+pub fn fig5(cfg: &XpConfig) -> Vec<Table> {
+    let bed = TestBed::new(&DatasetSpec::euro_like(cfg.scale));
+    let mut table = Table::new(
+        "Fig. 5 — varying the number of initial query keywords (EURO-like)",
+        "keywords",
+        trio_names(),
+    );
+    for (i, kw) in [2usize, 4, 6, 8].into_iter().enumerate() {
+        let wspec = WorkloadSpec {
+            n_keywords: kw,
+            ..default_workload(5000 + i as u64)
+        };
+        let qs = bed.questions(&wspec, cfg.queries, DEFAULT_LAMBDA);
+        if qs.is_empty() {
+            eprintln!("fig5: no workload for {kw} keywords, skipping");
+            continue;
+        }
+        table.push_row(kw.to_string(), run_trio(&bed, &qs));
+    }
+    vec![table]
+}
+
+/// Fig. 6 — varying α.
+pub fn fig6(cfg: &XpConfig) -> Vec<Table> {
+    let bed = TestBed::new(&DatasetSpec::euro_like(cfg.scale));
+    let mut table = Table::new("Fig. 6 — varying alpha (EURO-like)", "alpha", trio_names());
+    for (i, alpha) in [0.1, 0.3, 0.5, 0.7, 0.9].into_iter().enumerate() {
+        let wspec = WorkloadSpec {
+            alpha,
+            ..default_workload(6000 + i as u64)
+        };
+        let qs = bed.questions(&wspec, cfg.queries, DEFAULT_LAMBDA);
+        if qs.is_empty() {
+            continue;
+        }
+        table.push_row(format!("{alpha}"), run_trio(&bed, &qs));
+    }
+    vec![table]
+}
+
+/// Fig. 7 — varying λ (the penalty preference).
+pub fn fig7(cfg: &XpConfig) -> Vec<Table> {
+    let bed = TestBed::new(&DatasetSpec::euro_like(cfg.scale));
+    let mut table = Table::new("Fig. 7 — varying lambda (EURO-like)", "lambda", trio_names());
+    let wspec = default_workload(7000);
+    for lambda in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let qs = bed.questions(&wspec, cfg.queries, lambda);
+        if qs.is_empty() {
+            continue;
+        }
+        table.push_row(format!("{lambda}"), run_trio(&bed, &qs));
+    }
+    vec![table]
+}
+
+/// Fig. 8 — varying the missing object's initial ranking.
+pub fn fig8(cfg: &XpConfig) -> Vec<Table> {
+    let bed = TestBed::new(&DatasetSpec::euro_like(cfg.scale));
+    let mut table = Table::new(
+        "Fig. 8 — varying the missing object's initial ranking (EURO-like)",
+        "R(m,q)",
+        trio_names(),
+    );
+    for (i, rank) in [31usize, 51, 101, 151, 201].into_iter().enumerate() {
+        let wspec = WorkloadSpec {
+            missing_rank: rank,
+            ..default_workload(8000 + i as u64)
+        };
+        let qs = bed.questions(&wspec, cfg.queries, DEFAULT_LAMBDA);
+        if qs.is_empty() {
+            continue;
+        }
+        table.push_row(rank.to_string(), run_trio(&bed, &qs));
+    }
+    vec![table]
+}
+
+/// Fig. 9 — varying the number of missing objects (ranks drawn from
+/// 11–51, per §VII-B6).
+pub fn fig9(cfg: &XpConfig) -> Vec<Table> {
+    let bed = TestBed::new(&DatasetSpec::euro_like(cfg.scale));
+    let mut table = Table::new(
+        "Fig. 9 — varying the number of missing objects (EURO-like)",
+        "missing",
+        trio_names(),
+    );
+    for (i, n_missing) in [1usize, 2, 3, 4].into_iter().enumerate() {
+        let wspec = WorkloadSpec {
+            n_missing,
+            ..default_workload(9000 + i as u64)
+        };
+        let qs = bed.questions(&wspec, cfg.queries, DEFAULT_LAMBDA);
+        if qs.is_empty() {
+            continue;
+        }
+        table.push_row(n_missing.to_string(), run_trio(&bed, &qs));
+    }
+    vec![table]
+}
+
+/// Fig. 10 — varying the number of threads (AdvancedBS and KcRBased).
+pub fn fig10(cfg: &XpConfig) -> Vec<Table> {
+    let bed = TestBed::new(&DatasetSpec::euro_like(cfg.scale));
+    let mut table = Table::new(
+        "Fig. 10 — varying the number of threads (EURO-like)",
+        "threads",
+        vec!["AdvancedBS".into(), "KcRBased".into()],
+    );
+    // A heavier-than-default workload (6 keywords, deep missing object):
+    // per-query work must be substantial for threads to amortise their
+    // coordination overhead, as in the paper's Fig. 10 setup.
+    let wspec = WorkloadSpec {
+        n_keywords: 6,
+        missing_rank: 101,
+        ..default_workload(10_000)
+    };
+    let qs = bed.questions(&wspec, cfg.queries, DEFAULT_LAMBDA);
+    let mut threads = 1usize;
+    while threads <= cfg.max_threads {
+        let adv = Algo::Advanced(AdvancedOptions {
+            threads,
+            ..AdvancedOptions::default()
+        });
+        let kcr = Algo::Kcr(KcrOptions { threads, ..KcrOptions::default() });
+        table.push_row(
+            threads.to_string(),
+            vec![measure(&bed, &adv, &qs), measure(&bed, &kcr, &qs)],
+        );
+        threads *= 2;
+    }
+    vec![table]
+}
+
+/// Fig. 11 — pruning ability of the individual optimisations.
+pub fn fig11(cfg: &XpConfig) -> Vec<Table> {
+    let bed = TestBed::new(&DatasetSpec::euro_like(cfg.scale));
+    let wspec = default_workload(11_000);
+    let qs = bed.questions(&wspec, cfg.queries, DEFAULT_LAMBDA);
+    let mut table = Table::new(
+        "Fig. 11 — pruning abilities of the optimizations (EURO-like)",
+        "variant",
+        vec!["measurement".into()],
+    );
+    let configs: Vec<(&str, AdvancedOptions)> = vec![
+        ("BS", AdvancedOptions::none()),
+        (
+            "BS+Opt1",
+            AdvancedOptions {
+                early_stop: true,
+                ..AdvancedOptions::none()
+            },
+        ),
+        (
+            "BS+Opt1+Opt2",
+            AdvancedOptions {
+                early_stop: true,
+                ordered_enumeration: true,
+                ..AdvancedOptions::none()
+            },
+        ),
+        ("AdvancedBS(all)", AdvancedOptions::default()),
+    ];
+    for (name, opts) in configs {
+        let m = measure(&bed, &Algo::Advanced(opts), &qs);
+        table.push_row(name, vec![m]);
+    }
+    vec![table]
+}
+
+/// Fig. 12 — the approximate algorithm: time *and* solution quality
+/// (penalty) versus sample size, with the exact algorithms as reference.
+/// Initial queries have 8 keywords (§VII-B9).
+pub fn fig12(cfg: &XpConfig) -> Vec<Table> {
+    let bed = TestBed::new(&DatasetSpec::euro_like(cfg.scale));
+    let wspec = WorkloadSpec {
+        n_keywords: 8,
+        ..default_workload(12_000)
+    };
+    let qs = bed.questions(&wspec, cfg.queries, DEFAULT_LAMBDA);
+    let mut table = Table::new(
+        "Fig. 12 — approximate algorithm: sample size vs time and penalty (EURO-like)",
+        "T",
+        trio_names(),
+    );
+    table.show_penalty = true;
+    for t in [100usize, 200, 400, 800] {
+        let ms = vec![
+            measure(&bed, &Algo::ApproxBs(t), &qs),
+            measure(
+                &bed,
+                &Algo::ApproxAdvanced(AdvancedOptions::default(), t),
+                &qs,
+            ),
+            measure(&bed, &Algo::ApproxKcr(KcrOptions::default(), t), &qs),
+        ];
+        table.push_row(t.to_string(), ms);
+    }
+    table.push_row("exact", run_trio(&bed, &qs));
+    vec![table]
+}
+
+/// Fig. 13 — scalability: dataset cardinality sweep over GN-like data.
+pub fn fig13(cfg: &XpConfig) -> Vec<Table> {
+    let base = DatasetSpec::gn_like(cfg.scale);
+    let mut table = Table::new(
+        "Fig. 13 — varying dataset size (GN-like)",
+        "objects",
+        trio_names(),
+    );
+    for (i, frac) in [0.25, 0.5, 0.75, 1.0].into_iter().enumerate() {
+        let n = ((base.n_objects as f64 * frac) as usize).max(300);
+        let spec = base.clone().with_objects(n).with_seed(base.seed + i as u64);
+        let bed = TestBed::new(&spec);
+        let wspec = default_workload(13_000 + i as u64);
+        let qs = bed.questions(&wspec, cfg.queries, DEFAULT_LAMBDA);
+        if qs.is_empty() {
+            continue;
+        }
+        table.push_row(n.to_string(), run_trio(&bed, &qs));
+    }
+    vec![table]
+}
+
+/// Table I / Fig. 1 — the paper's worked example, evaluated exactly.
+///
+/// Prints every refined query with its true `Δk`, `Δdoc` and penalty
+/// (the paper's q2 row is internally inconsistent with Fig. 1's scores;
+/// this output shows the corrected value) and confirms all three
+/// algorithms return the optimum.
+pub fn tab1(_cfg: &XpConfig) -> Vec<Table> {
+    let t = |ids: &[u32]| KeywordSet::from_ids(ids.iter().copied());
+    let objects = vec![
+        SpatialObject { id: ObjectId(0), loc: Point::new(5.0, 0.0), doc: t(&[1, 2, 3]) }, // m
+        SpatialObject { id: ObjectId(0), loc: Point::new(8.0, 0.0), doc: t(&[1]) },       // o1
+        SpatialObject { id: ObjectId(0), loc: Point::new(1.0, 0.0), doc: t(&[1, 3]) },    // o2
+        SpatialObject { id: ObjectId(0), loc: Point::new(6.0, 0.0), doc: t(&[1, 2]) },    // o3
+    ];
+    let world = wnsk_geo::WorldBounds::new(wnsk_geo::Rect::new(
+        Point::new(0.0, 0.0),
+        Point::new(10.0, 0.0),
+    ));
+    let ds = Dataset::new(objects, world);
+    let q = SpatialKeywordQuery::new(Point::new(0.0, 0.0), t(&[1, 2]), 1, 0.5);
+    let question = WhyNotQuestion::new(q.clone(), vec![ObjectId(0)], 0.5);
+
+    println!("\n== Table I — the paper's worked example (exact evaluation) ==");
+    println!("{:>18} {:>6} {:>8} {:>8}", "doc'", "rank", "Δdoc", "penalty");
+    let initial_rank = ds.rank_of(ObjectId(0), &q);
+    let ctx = wnsk_core::WhyNotContext::new(&ds, &question, initial_rank).unwrap();
+    let mut rows: Vec<(String, usize, usize, f64)> = vec![(
+        "{t1,t2} (basic)".into(),
+        initial_rank,
+        0,
+        ctx.penalty.baseline_penalty(),
+    )];
+    for cand in wnsk_core::CandidateEnumerator::new(&ctx).all(false) {
+        let q_s = q.with_doc(cand.doc.clone());
+        let rank = ds.rank_of(ObjectId(0), &q_s);
+        let p = ctx.penalty.penalty(cand.edit_distance, rank);
+        rows.push((format!("{:?}", cand.doc), rank, cand.edit_distance, p));
+    }
+    for (doc, rank, ed, p) in &rows {
+        println!("{doc:>18} {rank:>6} {ed:>8} {p:>8.4}");
+    }
+    let engine = WhyNotEngine::build_with(ds, 2, wnsk_storage::BufferPoolConfig::default())
+        .unwrap();
+    let ans = engine.answer(&question).unwrap();
+    println!(
+        "best refined query: doc' = {:?}, k' = {}, penalty = {:.4}",
+        ans.refined.doc, ans.refined.k, ans.refined.penalty
+    );
+    vec![]
+}
+
+/// Table II — statistics of the generated datasets at the current scale.
+pub fn tab2(cfg: &XpConfig) -> Vec<Table> {
+    println!("\n== Table II — dataset information (synthetic, scale {}) ==", cfg.scale);
+    println!(
+        "{:>18} {:>12} {:>16} {:>12}",
+        "dataset", "# objects", "# distinct words", "avg doc len"
+    );
+    for spec in [
+        DatasetSpec::euro_like(cfg.scale),
+        DatasetSpec::gn_like(cfg.scale),
+    ] {
+        let g = wnsk_data::generate(&spec);
+        println!(
+            "{:>18} {:>12} {:>16} {:>12.2}",
+            g.spec.name,
+            g.dataset.len(),
+            g.used_vocab(),
+            g.avg_doc_len()
+        );
+    }
+    vec![]
+}
+
+/// Extension experiment (beyond the paper): compare the three refinement
+/// channels — keywords (this paper), preference α (\[8\]), and location
+/// (future work) — on the same why-not workloads, reporting the mean
+/// penalty each channel achieves and its time.
+pub fn ext(cfg: &XpConfig) -> Vec<Table> {
+    use std::time::Instant;
+    use wnsk_core::extensions::{refine_alpha, refine_location};
+
+    let bed = TestBed::new(&DatasetSpec::euro_like(cfg.scale));
+    let mut table = Table::new(
+        "Ext — refinement channels: keywords vs alpha vs location",
+        "lambda",
+        vec!["keywords".into(), "alpha".into(), "location".into()],
+    );
+    table.show_penalty = true;
+    let wspec = default_workload(99_000);
+    for lambda in [0.3, 0.5, 0.7] {
+        let qs = bed.questions(&wspec, cfg.queries, lambda);
+        if qs.is_empty() {
+            continue;
+        }
+        let mut ms = vec![Measurement::default(); 3];
+        for q in &qs {
+            bed.clear_caches();
+            let t0 = Instant::now();
+            let kw = Algo::Kcr(KcrOptions::default()).run(&bed, q).unwrap();
+            ms[0].time_ms += t0.elapsed().as_secs_f64() * 1e3;
+            ms[0].io += kw.stats.io as f64;
+            ms[0].penalty += kw.refined.penalty;
+
+            let t0 = Instant::now();
+            let a = refine_alpha(&bed.data.dataset, q).unwrap();
+            ms[1].time_ms += t0.elapsed().as_secs_f64() * 1e3;
+            ms[1].penalty += a.penalty;
+
+            let t0 = Instant::now();
+            let l = refine_location(&bed.data.dataset, q, 16).unwrap();
+            ms[2].time_ms += t0.elapsed().as_secs_f64() * 1e3;
+            ms[2].penalty += l.penalty;
+        }
+        for m in &mut ms {
+            m.time_ms /= qs.len() as f64;
+            m.io /= qs.len() as f64;
+            m.penalty /= qs.len() as f64;
+            m.n = qs.len();
+        }
+        table.push_row(format!("{lambda}"), ms);
+    }
+    vec![table]
+}
+
+/// Dispatch table: experiment name → runner.
+pub fn run(name: &str, cfg: &XpConfig) -> Option<Vec<Table>> {
+    let tables = match name {
+        "fig4" => fig4(cfg),
+        "fig5" => fig5(cfg),
+        "fig6" => fig6(cfg),
+        "fig7" => fig7(cfg),
+        "fig8" => fig8(cfg),
+        "fig9" => fig9(cfg),
+        "fig10" => fig10(cfg),
+        "fig11" => fig11(cfg),
+        "fig12" => fig12(cfg),
+        "fig13" => fig13(cfg),
+        "tab1" => tab1(cfg),
+        "tab2" => tab2(cfg),
+        "ext" => ext(cfg),
+        "all" => {
+            let mut all = Vec::new();
+            for n in EXPERIMENTS {
+                if *n != "all" {
+                    all.extend(run(n, cfg).unwrap());
+                }
+            }
+            all
+        }
+        _ => return None,
+    };
+    Some(tables)
+}
+
+/// All experiment names, in paper order.
+pub const EXPERIMENTS: &[&str] = &[
+    "tab1", "tab2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "fig13", "ext", "all",
+];

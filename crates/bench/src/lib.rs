@@ -1,0 +1,24 @@
+//! Experiment harness reproducing every table and figure of the paper's
+//! evaluation (§VII).
+//!
+//! The `xp` binary drives one experiment per figure:
+//!
+//! ```text
+//! cargo run -p wnsk-bench --release --bin xp -- fig4 --scale 0.02 --queries 3
+//! ```
+//!
+//! Each experiment prints (a) query time and (b) physical page I/O per
+//! algorithm, in the same series layout as the paper's plots, and can
+//! also emit CSV. Absolute numbers differ from the paper (synthetic data,
+//! Rust vs Java, different hardware); the *shapes* — which algorithm
+//! wins, how curves scale along each axis — are the reproduction target
+//! and are recorded in `EXPERIMENTS.md`.
+
+pub mod config;
+pub mod experiments;
+pub mod runner;
+pub mod table;
+
+pub use config::XpConfig;
+pub use runner::{measure, Algo, Measurement, TestBed};
+pub use table::Table;

@@ -1,0 +1,282 @@
+//! The test bed (dataset + both indexes) and per-query measurement.
+
+use std::sync::Arc;
+use wnsk_core::{
+    answer_advanced, answer_approx_advanced, answer_approx_basic, answer_approx_kcr,
+    answer_basic, answer_kcr, AdvancedOptions, KcrOptions, WhyNotAnswer, WhyNotQuestion,
+};
+use wnsk_data::workload::{generate_item, WorkloadSpec};
+use wnsk_data::{generate, DatasetSpec, GeneratedData};
+use wnsk_index::{KcrTree, SetRTree};
+use wnsk_storage::{BufferPool, BufferPoolConfig, MemBackend};
+
+/// The paper's node capacity (§VII-A1).
+pub const FANOUT: usize = 100;
+
+/// A dataset with both disk-resident indexes built over it.
+pub struct TestBed {
+    pub data: GeneratedData,
+    pub setr: SetRTree,
+    pub kcr: KcrTree,
+}
+
+impl TestBed {
+    /// Generates the dataset and bulk-loads both trees (paper defaults:
+    /// 4 KiB pages, 4 MiB buffer, fanout 100).
+    pub fn new(spec: &DatasetSpec) -> Self {
+        Self::with_fanout(spec, FANOUT)
+    }
+
+    /// Same with an explicit fanout (tests use small fanouts for deeper
+    /// trees).
+    pub fn with_fanout(spec: &DatasetSpec, fanout: usize) -> Self {
+        let data = generate(spec);
+        let setr_pool = Arc::new(BufferPool::new(
+            Arc::new(MemBackend::new()),
+            BufferPoolConfig::default(),
+        ));
+        let kcr_pool = Arc::new(BufferPool::new(
+            Arc::new(MemBackend::new()),
+            BufferPoolConfig::default(),
+        ));
+        let setr = SetRTree::build(setr_pool, &data.dataset, fanout)
+            .expect("SetR-tree build cannot fail on MemBackend");
+        let kcr = KcrTree::build(kcr_pool, &data.dataset, fanout)
+            .expect("KcR-tree build cannot fail on MemBackend");
+        TestBed { data, setr, kcr }
+    }
+
+    /// Generates `n` why-not questions for a workload spec (distinct
+    /// seeds; draws that cannot satisfy the spec are skipped).
+    pub fn questions(
+        &self,
+        wspec: &WorkloadSpec,
+        n: usize,
+        lambda: f64,
+    ) -> Vec<WhyNotQuestion> {
+        let mut out = Vec::with_capacity(n);
+        let mut seed = wspec.seed;
+        let mut attempts = 0;
+        while out.len() < n && attempts < n * 40 {
+            attempts += 1;
+            seed = seed.wrapping_add(0x9E37_79B9);
+            let spec = WorkloadSpec {
+                seed,
+                ..wspec.clone()
+            };
+            if let Some(item) = generate_item(&self.data.dataset, &spec) {
+                out.push(WhyNotQuestion::new(item.query, item.missing, lambda));
+            }
+        }
+        out
+    }
+
+    /// Drops every cached page from both buffer pools (cold-start
+    /// measurement policy; see EXPERIMENTS.md).
+    pub fn clear_caches(&self) {
+        self.setr.pool().clear_cache();
+        self.kcr.pool().clear_cache();
+    }
+}
+
+/// An algorithm under measurement.
+#[derive(Clone, Debug)]
+pub enum Algo {
+    /// BS (§IV-B).
+    Bs,
+    /// AdvancedBS (§IV-C) with explicit options.
+    Advanced(AdvancedOptions),
+    /// KcRBased (§V) with explicit options.
+    Kcr(KcrOptions),
+    /// Approximate variants (§VI-B) with a sample size.
+    ApproxBs(usize),
+    ApproxAdvanced(AdvancedOptions, usize),
+    ApproxKcr(KcrOptions, usize),
+}
+
+impl Algo {
+    /// The default three-way comparison the paper plots.
+    pub fn paper_trio() -> Vec<Algo> {
+        vec![
+            Algo::Bs,
+            Algo::Advanced(AdvancedOptions::default()),
+            Algo::Kcr(KcrOptions::default()),
+        ]
+    }
+
+    /// Display name used in tables (matching the paper's legends).
+    pub fn name(&self) -> String {
+        match self {
+            Algo::Bs => "BS".into(),
+            Algo::Advanced(o) if *o == AdvancedOptions::default() => "AdvancedBS".into(),
+            Algo::Advanced(o) => {
+                let mut parts = Vec::new();
+                if o.early_stop {
+                    parts.push("Opt1");
+                }
+                if o.ordered_enumeration {
+                    parts.push("Opt2");
+                }
+                if o.keyword_set_filtering {
+                    parts.push("Opt3");
+                }
+                if o.threads > 1 {
+                    return format!("AdvancedBS(t={})", o.threads);
+                }
+                if parts.is_empty() {
+                    "BS".into()
+                } else {
+                    format!("BS+{}", parts.join("+"))
+                }
+            }
+            Algo::Kcr(o) if o.threads > 1 => format!("KcRBased(t={})", o.threads),
+            Algo::Kcr(_) => "KcRBased".into(),
+            Algo::ApproxBs(t) => format!("BS~{t}"),
+            Algo::ApproxAdvanced(_, t) => format!("AdvancedBS~{t}"),
+            Algo::ApproxKcr(_, t) => format!("KcRBased~{t}"),
+        }
+    }
+
+    /// Runs the algorithm on one question.
+    pub fn run(&self, bed: &TestBed, q: &WhyNotQuestion) -> wnsk_core::Result<WhyNotAnswer> {
+        let ds = &bed.data.dataset;
+        match self {
+            Algo::Bs => answer_basic(ds, &bed.setr, q),
+            Algo::Advanced(o) => answer_advanced(ds, &bed.setr, q, *o),
+            Algo::Kcr(o) => answer_kcr(ds, &bed.kcr, q, *o),
+            Algo::ApproxBs(t) => answer_approx_basic(ds, &bed.setr, q, *t),
+            Algo::ApproxAdvanced(o, t) => answer_approx_advanced(ds, &bed.setr, q, *o, *t),
+            Algo::ApproxKcr(o, t) => answer_approx_kcr(ds, &bed.kcr, q, *o, *t),
+        }
+    }
+}
+
+/// Aggregated measurement over a set of queries.
+#[derive(Clone, Copy, Debug, Default, serde::Serialize)]
+pub struct Measurement {
+    /// Mean wall-clock time per query, milliseconds.
+    pub time_ms: f64,
+    /// Mean physical page reads per query.
+    pub io: f64,
+    /// Mean penalty of the returned refined query.
+    pub penalty: f64,
+    /// Number of queries aggregated.
+    pub n: usize,
+}
+
+/// Runs `algo` over `questions`, cold-starting the buffer pools before
+/// each query, and averages the metrics (the paper reports averages over
+/// its query batch the same way).
+pub fn measure(bed: &TestBed, algo: &Algo, questions: &[WhyNotQuestion]) -> Measurement {
+    let mut total_time = 0.0;
+    let mut total_io = 0u64;
+    let mut total_penalty = 0.0;
+    let mut n = 0usize;
+    for q in questions {
+        bed.clear_caches();
+        match algo.run(bed, q) {
+            Ok(ans) => {
+                total_time += ans.stats.wall.as_secs_f64() * 1e3;
+                total_io += ans.stats.io;
+                total_penalty += ans.refined.penalty;
+                n += 1;
+            }
+            Err(e) => panic!("{} failed on a generated workload: {e}", algo.name()),
+        }
+    }
+    Measurement {
+        time_ms: total_time / n.max(1) as f64,
+        io: total_io as f64 / n.max(1) as f64,
+        penalty: total_penalty / n.max(1) as f64,
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bed() -> TestBed {
+        TestBed::with_fanout(&DatasetSpec::tiny(3), 8)
+    }
+
+    #[test]
+    fn testbed_builds_both_trees() {
+        let bed = tiny_bed();
+        assert_eq!(bed.setr.len(), 300);
+        assert_eq!(bed.kcr.len(), 300);
+    }
+
+    #[test]
+    fn questions_generation() {
+        let bed = tiny_bed();
+        let spec = WorkloadSpec {
+            k: 4,
+            missing_rank: 21,
+            ..WorkloadSpec::paper_default(1)
+        };
+        let qs = bed.questions(&spec, 3, 0.5);
+        assert_eq!(qs.len(), 3);
+        for q in &qs {
+            assert_eq!(q.query.k, 4);
+            assert_eq!(q.missing.len(), 1);
+        }
+    }
+
+    #[test]
+    fn measure_all_algorithms() {
+        let bed = tiny_bed();
+        let spec = WorkloadSpec {
+            k: 3,
+            n_keywords: 2,
+            missing_rank: 16,
+            ..WorkloadSpec::paper_default(5)
+        };
+        let qs = bed.questions(&spec, 2, 0.5);
+        assert!(!qs.is_empty());
+        let mut penalties = Vec::new();
+        for algo in Algo::paper_trio() {
+            let m = measure(&bed, &algo, &qs);
+            assert_eq!(m.n, qs.len());
+            assert!(m.io > 0.0, "{} did no I/O", algo.name());
+            penalties.push(m.penalty);
+        }
+        // All exact algorithms agree on the average penalty.
+        assert!((penalties[0] - penalties[1]).abs() < 1e-9);
+        assert!((penalties[1] - penalties[2]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn approx_penalty_at_least_exact() {
+        let bed = tiny_bed();
+        let spec = WorkloadSpec {
+            k: 3,
+            n_keywords: 2,
+            missing_rank: 16,
+            ..WorkloadSpec::paper_default(9)
+        };
+        let qs = bed.questions(&spec, 2, 0.5);
+        let exact = measure(&bed, &Algo::Kcr(KcrOptions::default()), &qs);
+        let approx = measure(
+            &bed,
+            &Algo::ApproxKcr(KcrOptions::default(), 8),
+            &qs,
+        );
+        assert!(approx.penalty >= exact.penalty - 1e-9);
+    }
+
+    #[test]
+    fn algo_names() {
+        assert_eq!(Algo::Bs.name(), "BS");
+        assert_eq!(Algo::Advanced(AdvancedOptions::default()).name(), "AdvancedBS");
+        assert_eq!(Algo::Kcr(KcrOptions { threads: 4, ..KcrOptions::default() }).name(), "KcRBased(t=4)");
+        assert_eq!(Algo::ApproxKcr(KcrOptions::default(), 100).name(), "KcRBased~100");
+        let only_opt1 = AdvancedOptions {
+            early_stop: true,
+            ordered_enumeration: false,
+            keyword_set_filtering: false,
+            threads: 1,
+        };
+        assert_eq!(Algo::Advanced(only_opt1).name(), "BS+Opt1");
+    }
+}

@@ -1,0 +1,155 @@
+//! Pretty-printed / CSV result tables, one per figure.
+
+use crate::runner::Measurement;
+
+/// A result table: one row per x-axis value, one measurement per series
+/// (algorithm).
+#[derive(Debug, serde::Serialize)]
+pub struct Table {
+    /// E.g. `"Fig. 4 — varying k0"`.
+    pub title: String,
+    /// X-axis label, e.g. `"k0"`.
+    pub x_label: String,
+    /// Series (algorithm) names, in column order.
+    pub series: Vec<String>,
+    /// `(x value, measurements aligned with `series`)`.
+    pub rows: Vec<(String, Vec<Measurement>)>,
+    /// Whether to print the penalty column (Fig. 12).
+    pub show_penalty: bool,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, x_label: &str, series: Vec<String>) -> Self {
+        Table {
+            title: title.into(),
+            x_label: x_label.into(),
+            series,
+            rows: Vec::new(),
+            show_penalty: false,
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics when the measurement count does not match the series.
+    pub fn push_row(&mut self, x: impl Into<String>, ms: Vec<Measurement>) {
+        assert_eq!(ms.len(), self.series.len(), "row arity mismatch");
+        self.rows.push((x.into(), ms));
+    }
+
+    /// Renders the table for the terminal.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let metric_cols: &[&str] = if self.show_penalty {
+            &["time(ms)", "IO", "penalty"]
+        } else {
+            &["time(ms)", "IO"]
+        };
+        // Header.
+        out.push_str(&format!("{:>10}", self.x_label));
+        for s in &self.series {
+            for m in metric_cols {
+                out.push_str(&format!("{:>22}", format!("{s} {m}")));
+            }
+        }
+        out.push('\n');
+        for (x, ms) in &self.rows {
+            out.push_str(&format!("{x:>10}"));
+            for m in ms {
+                out.push_str(&format!("{:>22.3}", m.time_ms));
+                out.push_str(&format!("{:>22.1}", m.io));
+                if self.show_penalty {
+                    out.push_str(&format!("{:>22.4}", m.penalty));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV rendering (long format: one line per x × series).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("x,series,time_ms,io,penalty,n\n");
+        for (x, ms) in &self.rows {
+            for (s, m) in self.series.iter().zip(ms) {
+                out.push_str(&format!(
+                    "{x},{s},{:.6},{:.2},{:.6},{}\n",
+                    m.time_ms, m.io, m.penalty, m.n
+                ));
+            }
+        }
+        out
+    }
+
+    /// A filesystem-friendly slug of the title.
+    pub fn slug(&self) -> String {
+        self.title
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect::<String>()
+            .split('_')
+            .filter(|s| !s.is_empty())
+            .collect::<Vec<_>>()
+            .join("_")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(t: f64, io: f64) -> Measurement {
+        Measurement {
+            time_ms: t,
+            io,
+            penalty: 0.4,
+            n: 3,
+        }
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let mut t = Table::new("Fig. X — demo", "k0", vec!["BS".into(), "KcR".into()]);
+        t.push_row("10", vec![m(1.5, 100.0), m(0.5, 20.0)]);
+        let s = t.render();
+        assert!(s.contains("Fig. X — demo"));
+        assert!(s.contains("BS time(ms)"));
+        assert!(s.contains("KcR IO"));
+        assert!(s.contains("1.500"));
+        assert!(s.contains("20.0"));
+    }
+
+    #[test]
+    fn csv_long_format() {
+        let mut t = Table::new("t", "x", vec!["A".into()]);
+        t.push_row("1", vec![m(2.0, 4.0)]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("x,series,"));
+        assert!(csv.contains("1,A,2.000000,4.00,0.400000,3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("t", "x", vec!["A".into(), "B".into()]);
+        t.push_row("1", vec![m(1.0, 1.0)]);
+    }
+
+    #[test]
+    fn slug_is_filesystem_friendly() {
+        let t = Table::new("Fig. 4 — varying k0 (EURO)", "k0", vec![]);
+        assert_eq!(t.slug(), "fig_4_varying_k0_euro");
+    }
+
+    #[test]
+    fn penalty_column_toggle() {
+        let mut t = Table::new("t", "x", vec!["A".into()]);
+        t.show_penalty = true;
+        t.push_row("1", vec![m(1.0, 1.0)]);
+        assert!(t.render().contains("A penalty"));
+        assert!(t.render().contains("0.4000"));
+    }
+}

@@ -1,0 +1,56 @@
+//! Smoke tests: every experiment driver runs end-to-end on a miniature
+//! configuration and produces well-formed tables.
+
+use wnsk_bench::{experiments, XpConfig};
+
+fn tiny_cfg() -> XpConfig {
+    XpConfig {
+        scale: 0.002, // ~320 objects EURO-like (generator floor is 100)
+        queries: 1,
+        max_threads: 2,
+        out_dir: None,
+    }
+}
+
+#[test]
+fn fig6_and_fig11_produce_tables() {
+    let cfg = tiny_cfg();
+    for name in ["fig6", "fig11"] {
+        let tables = experiments::run(name, &cfg).expect("known experiment");
+        assert_eq!(tables.len(), 1, "{name}");
+        let t = &tables[0];
+        assert!(!t.rows.is_empty(), "{name} produced no rows");
+        for (_, ms) in &t.rows {
+            assert_eq!(ms.len(), t.series.len());
+            for m in ms {
+                assert!(m.time_ms >= 0.0);
+            }
+        }
+        // Render and CSV don't panic and carry the series.
+        let rendered = t.render();
+        for s in &t.series {
+            assert!(rendered.contains(s.as_str()), "{name}: missing series {s}");
+        }
+        assert!(t.to_csv().lines().count() > 1);
+    }
+}
+
+#[test]
+fn ext_channels_table() {
+    let tables = experiments::run("ext", &tiny_cfg()).expect("known experiment");
+    assert_eq!(tables.len(), 1);
+    let t = &tables[0];
+    assert_eq!(t.series, vec!["keywords", "alpha", "location"]);
+    assert!(t.show_penalty);
+    for (_, ms) in &t.rows {
+        for m in ms {
+            assert!((0.0..=1.0).contains(&m.penalty));
+        }
+    }
+}
+
+#[test]
+fn unknown_experiment_is_none() {
+    assert!(experiments::run("fig99", &tiny_cfg()).is_none());
+    assert!(experiments::EXPERIMENTS.contains(&"all"));
+}

@@ -1,0 +1,118 @@
+//! Minimal `--flag value` argument parsing with typed accessors.
+
+use std::collections::HashMap;
+use wnsk_geo::Point;
+
+/// Parsed `--key value` pairs.
+pub struct ParsedArgs {
+    values: HashMap<String, String>,
+}
+
+impl ParsedArgs {
+    /// Parses alternating `--key value` tokens.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut values = HashMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key = args[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?;
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            if values.insert(key.to_string(), value.clone()).is_some() {
+                return Err(format!("--{key} given twice"));
+            }
+            i += 2;
+        }
+        Ok(ParsedArgs { values })
+    }
+
+    /// A required string flag.
+    pub fn required(&self, key: &str) -> Result<&str, String> {
+        self.values
+            .get(key)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing required --{key}"))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(|s| s.as_str())
+    }
+
+    /// An optional flag parsed as `T`, with a default.
+    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value '{v}' for --{key}")),
+        }
+    }
+
+    /// A required `X,Y` point flag.
+    pub fn point(&self, key: &str) -> Result<Point, String> {
+        let raw = self.required(key)?;
+        let (x, y) = raw
+            .split_once(',')
+            .ok_or_else(|| format!("--{key} must be X,Y"))?;
+        let x: f64 = x.trim().parse().map_err(|_| format!("bad x in --{key}"))?;
+        let y: f64 = y.trim().parse().map_err(|_| format!("bad y in --{key}"))?;
+        Ok(Point::new(x, y))
+    }
+
+    /// A required comma-separated list flag.
+    pub fn list(&self, key: &str) -> Result<Vec<String>, String> {
+        let raw = self.required(key)?;
+        let items: Vec<String> = raw
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if items.is_empty() {
+            return Err(format!("--{key} must list at least one item"));
+        }
+        Ok(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Result<ParsedArgs, String> {
+        ParsedArgs::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let a = parse(&["--k", "10", "--alpha", "0.3"]).unwrap();
+        assert_eq!(a.required("k").unwrap(), "10");
+        assert_eq!(a.parse_or("alpha", 0.5).unwrap(), 0.3);
+        assert_eq!(a.parse_or("lambda", 0.5).unwrap(), 0.5);
+        assert!(a.optional("missing").is_none());
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(parse(&["k", "10"]).is_err());
+        assert!(parse(&["--k"]).is_err());
+        assert!(parse(&["--k", "1", "--k", "2"]).is_err());
+    }
+
+    #[test]
+    fn point_and_list() {
+        let a = parse(&["--at", "0.5, 0.25", "--keywords", "a, b,c"]).unwrap();
+        assert_eq!(a.point("at").unwrap(), Point::new(0.5, 0.25));
+        assert_eq!(a.list("keywords").unwrap(), vec!["a", "b", "c"]);
+        let bad = parse(&["--at", "0.5"]).unwrap();
+        assert!(bad.point("at").is_err());
+    }
+
+    #[test]
+    fn typed_parse_errors() {
+        let a = parse(&["--k", "ten"]).unwrap();
+        assert!(a.parse_or("k", 1usize).is_err());
+    }
+}

@@ -1,0 +1,382 @@
+//! Subcommand implementations.
+
+use crate::args::ParsedArgs;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+use wnsk_core::{
+    answer_advanced, answer_approx_kcr, answer_basic, answer_kcr, AdvancedOptions, KcrOptions,
+    WhyNotAnswer, WhyNotQuestion,
+};
+use wnsk_data::{io as dataio, DatasetSpec};
+use wnsk_index::{Dataset, KcrTree, ObjectId, SetRTree, SpatialKeywordQuery};
+use wnsk_storage::{BufferPool, FileBackend};
+use wnsk_text::{KeywordSet, Vocabulary};
+
+/// `wnsk generate` — write a synthetic dataset file.
+pub fn generate(args: &ParsedArgs) -> Result<String, String> {
+    let preset = args.required("preset")?;
+    let scale: f64 = args.parse_or("scale", 0.01)?;
+    let out = args.required("out")?;
+    let seed: u64 = args.parse_or("seed", 0)?;
+    let mut spec = match preset {
+        "euro" => DatasetSpec::euro_like(scale),
+        "gn" => DatasetSpec::gn_like(scale),
+        "tiny" => DatasetSpec::tiny(seed),
+        other => return Err(format!("unknown preset '{other}' (euro|gn|tiny)")),
+    };
+    if seed != 0 {
+        spec = spec.with_seed(seed);
+    }
+    let g = wnsk_data::generate(&spec);
+    let file = std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    dataio::write_dataset(std::io::BufWriter::new(file), &g.dataset, &g.vocabulary)
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    Ok(format!(
+        "wrote {} ({} objects, {} distinct terms, avg doc len {:.2})\n",
+        out,
+        g.dataset.len(),
+        g.used_vocab(),
+        g.avg_doc_len()
+    ))
+}
+
+fn load_dataset(args: &ParsedArgs) -> Result<(Dataset, Vocabulary), String> {
+    let path = args.required("data")?;
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    dataio::read_dataset(std::io::BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `wnsk stats` — dataset statistics.
+pub fn stats(args: &ParsedArgs) -> Result<String, String> {
+    let (ds, vocab) = load_dataset(args)?;
+    let total_terms: usize = ds.objects().iter().map(|o| o.doc.len()).sum();
+    let world = ds.world().rect();
+    Ok(format!(
+        "objects:        {}\ndistinct terms: {}\navg doc len:    {:.2}\nworld:          ({}, {}) .. ({}, {})\n",
+        ds.len(),
+        vocab.len(),
+        total_terms as f64 / ds.len().max(1) as f64,
+        world.min.x, world.min.y, world.max.x, world.max.y,
+    ))
+}
+
+fn open_pool(path: &str, create: bool) -> Result<Arc<BufferPool>, String> {
+    let backend = if create {
+        FileBackend::create(Path::new(path))
+    } else {
+        FileBackend::open(Path::new(path))
+    }
+    .map_err(|e| format!("{path}: {e}"))?;
+    Ok(Arc::new(BufferPool::with_default_config(Arc::new(backend))))
+}
+
+/// `wnsk build` — bulk-load both index files.
+pub fn build(args: &ParsedArgs) -> Result<String, String> {
+    let (ds, _) = load_dataset(args)?;
+    let fanout: usize = args.parse_or("fanout", 100)?;
+    let setr_path = args.required("setr")?;
+    let kcr_path = args.required("kcr")?;
+    let setr = SetRTree::build(open_pool(setr_path, true)?, &ds, fanout)
+        .map_err(|e| format!("building SetR-tree: {e}"))?;
+    let kcr = KcrTree::build(open_pool(kcr_path, true)?, &ds, fanout)
+        .map_err(|e| format!("building KcR-tree: {e}"))?;
+    Ok(format!(
+        "built {} (SetR-tree, height {}) and {} (KcR-tree, height {}) over {} objects\n",
+        setr_path,
+        setr.height(),
+        kcr_path,
+        kcr.height(),
+        ds.len()
+    ))
+}
+
+fn parse_query(
+    args: &ParsedArgs,
+    vocab: &Vocabulary,
+) -> Result<SpatialKeywordQuery, String> {
+    let loc = args.point("at")?;
+    let words = args.list("keywords")?;
+    let mut unknown = Vec::new();
+    let terms: Vec<_> = words
+        .iter()
+        .filter_map(|w| match vocab.get(w) {
+            Some(t) => Some(t),
+            None => {
+                unknown.push(w.clone());
+                None
+            }
+        })
+        .collect();
+    if !unknown.is_empty() {
+        return Err(format!(
+            "keyword(s) not in the dataset vocabulary: {}",
+            unknown.join(", ")
+        ));
+    }
+    let k: usize = args.parse_or("k", 10)?;
+    let alpha: f64 = args.parse_or("alpha", 0.5)?;
+    if !(0.0 < alpha && alpha < 1.0) {
+        return Err("--alpha must be in (0, 1)".into());
+    }
+    if k == 0 {
+        return Err("--k must be at least 1".into());
+    }
+    Ok(SpatialKeywordQuery::new(
+        loc,
+        KeywordSet::from_terms(terms),
+        k,
+        alpha,
+    ))
+}
+
+fn render(doc: &KeywordSet, vocab: &Vocabulary) -> String {
+    let words: Vec<&str> = doc.iter().map(|t| vocab.name(t).unwrap_or("?")).collect();
+    format!("{{{}}}", words.join(", "))
+}
+
+/// `wnsk topk` — run a plain spatial keyword top-k query.
+pub fn topk(args: &ParsedArgs) -> Result<String, String> {
+    let (ds, vocab) = load_dataset(args)?;
+    let query = parse_query(args, &vocab)?;
+    let tree = SetRTree::open(open_pool(args.required("setr")?, false)?)
+        .map_err(|e| format!("opening SetR-tree: {e}"))?;
+    if tree.len() != ds.len() as u64 {
+        return Err(format!(
+            "index covers {} objects but the dataset has {} — rebuild with `wnsk build`",
+            tree.len(),
+            ds.len()
+        ));
+    }
+    let result = tree.top_k(&query).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    for (i, (id, score)) in result.iter().enumerate() {
+        let o = ds.object(*id);
+        writeln!(
+            out,
+            "#{:<3} {:>8} score {:.4} @ ({:.4}, {:.4}) {}",
+            i + 1,
+            format!("{id:?}"),
+            score,
+            o.loc.x,
+            o.loc.y,
+            render(&o.doc, &vocab)
+        )
+        .unwrap();
+    }
+    let stats = tree.pool().stats();
+    writeln!(out, "({} physical page reads)", stats.physical_reads).unwrap();
+    Ok(out)
+}
+
+/// `wnsk whynot` — answer a why-not question.
+pub fn whynot(args: &ParsedArgs) -> Result<String, String> {
+    let (ds, vocab) = load_dataset(args)?;
+    let query = parse_query(args, &vocab)?;
+    let missing: Vec<ObjectId> = args
+        .list("missing")?
+        .iter()
+        .map(|s| {
+            s.trim_start_matches('o')
+                .parse::<u32>()
+                .map(ObjectId)
+                .map_err(|_| format!("bad object id '{s}' (use 42 or o42)"))
+        })
+        .collect::<Result<_, _>>()?;
+    let lambda: f64 = args.parse_or("lambda", 0.5)?;
+    if !(0.0..=1.0).contains(&lambda) {
+        return Err("--lambda must be in [0, 1]".into());
+    }
+    let question = WhyNotQuestion::new(query.clone(), missing.clone(), lambda);
+
+    let algo = args.optional("algo").unwrap_or("kcr");
+    let approx: usize = args.parse_or("approx", 0)?;
+    let answer: WhyNotAnswer = match (algo, approx) {
+        ("bs", 0) => {
+            let tree = SetRTree::open(open_pool(args.required("setr")?, false)?)
+                .map_err(|e| e.to_string())?;
+            answer_basic(&ds, &tree, &question).map_err(|e| e.to_string())?
+        }
+        ("advanced", 0) => {
+            let tree = SetRTree::open(open_pool(args.required("setr")?, false)?)
+                .map_err(|e| e.to_string())?;
+            answer_advanced(&ds, &tree, &question, AdvancedOptions::default())
+                .map_err(|e| e.to_string())?
+        }
+        ("kcr", 0) => {
+            let tree = KcrTree::open(open_pool(args.required("kcr")?, false)?)
+                .map_err(|e| e.to_string())?;
+            answer_kcr(&ds, &tree, &question, KcrOptions::default())
+                .map_err(|e| e.to_string())?
+        }
+        ("kcr", t) => {
+            let tree = KcrTree::open(open_pool(args.required("kcr")?, false)?)
+                .map_err(|e| e.to_string())?;
+            answer_approx_kcr(&ds, &tree, &question, KcrOptions::default(), t)
+                .map_err(|e| e.to_string())?
+        }
+        (other, t) if t > 0 => {
+            return Err(format!("--approx is only supported with --algo kcr, not '{other}'"))
+        }
+        (other, _) => return Err(format!("unknown --algo '{other}' (bs|advanced|kcr)")),
+    };
+
+    let mut out = String::new();
+    for &m in &missing {
+        let o = ds.object(m);
+        writeln!(
+            out,
+            "missing {m:?} {} ranks {} under the initial query",
+            render(&o.doc, &vocab),
+            ds.rank_of(m, &query)
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "refined query: keywords {} with k' = {} (penalty {:.4}, {} edit{})",
+        render(&answer.refined.doc, &vocab),
+        answer.refined.k,
+        answer.refined.penalty,
+        answer.refined.edit_distance,
+        if answer.refined.edit_distance == 1 { "" } else { "s" },
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "solved in {:.2} ms with {} physical page reads",
+        answer.stats.wall.as_secs_f64() * 1e3,
+        answer.stats.io
+    )
+    .unwrap();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    fn run(parts: &[&str]) -> Result<String, String> {
+        crate::run(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("wnsk-cli-{}-{name}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    /// One full CLI session: generate → stats → build → topk → whynot.
+    #[test]
+    fn full_session() {
+        let data = tmp("data.txt");
+        let setr = tmp("setr.db");
+        let kcr = tmp("kcr.db");
+
+        let out = run(&[
+            "generate", "--preset", "tiny", "--scale", "1.0", "--out", &data, "--seed", "7",
+        ])
+        .unwrap();
+        assert!(out.contains("300 objects"), "{out}");
+
+        let out = run(&["stats", "--data", &data]).unwrap();
+        assert!(out.contains("objects:        300"), "{out}");
+
+        let out = run(&[
+            "build", "--data", &data, "--setr", &setr, "--kcr", &kcr, "--fanout", "16",
+        ])
+        .unwrap();
+        assert!(out.contains("over 300 objects"), "{out}");
+
+        // Pick a keyword that certainly exists: read the file back.
+        let body = std::fs::read_to_string(&data).unwrap();
+        let word = body
+            .lines()
+            .find(|l| !l.starts_with('#'))
+            .unwrap()
+            .split_whitespace()
+            .nth(2)
+            .unwrap()
+            .split(',')
+            .next()
+            .unwrap()
+            .to_string();
+
+        let out = run(&[
+            "topk", "--data", &data, "--setr", &setr, "--at", "0.5,0.5", "--keywords",
+            &word, "--k", "5",
+        ])
+        .unwrap();
+        assert!(out.lines().count() >= 6, "{out}");
+        assert!(out.contains("#1"), "{out}");
+
+        // Find an object outside the top-5 to ask why-not about: take the
+        // last listed rank line id from a larger topk.
+        let out = run(&[
+            "topk", "--data", &data, "--setr", &setr, "--at", "0.5,0.5", "--keywords",
+            &word, "--k", "30",
+        ])
+        .unwrap();
+        let last = out
+            .lines()
+            .filter(|l| l.starts_with('#'))
+            .last()
+            .unwrap()
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .to_string();
+
+        for algo in ["bs", "advanced", "kcr"] {
+            let out = run(&[
+                "whynot", "--data", &data, "--setr", &setr, "--kcr", &kcr, "--at",
+                "0.5,0.5", "--keywords", &word, "--k", "5", "--missing", &last, "--algo",
+                algo,
+            ])
+            .unwrap();
+            assert!(out.contains("refined query"), "{algo}: {out}");
+        }
+
+        // Approximate path.
+        let out = run(&[
+            "whynot", "--data", &data, "--setr", &setr, "--kcr", &kcr, "--at", "0.5,0.5",
+            "--keywords", &word, "--k", "5", "--missing", &last, "--approx", "16",
+        ])
+        .unwrap();
+        assert!(out.contains("refined query"), "{out}");
+
+        for f in [&data, &setr, &kcr] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["frobnicate"]).is_err());
+        assert!(run(&["generate", "--preset", "mars", "--out", "/tmp/x"]).is_err());
+        assert!(run(&["stats", "--data", "/nonexistent/file"]).is_err());
+        let err = run(&["topk", "--data", "/nonexistent/file"]).unwrap_err();
+        assert!(err.contains("cannot open"), "{err}");
+    }
+
+    #[test]
+    fn unknown_keyword_is_reported() {
+        let data = tmp("kw.txt");
+        run(&[
+            "generate", "--preset", "tiny", "--scale", "1.0", "--out", &data,
+        ])
+        .unwrap();
+        let setr = tmp("kw-setr.db");
+        let kcr = tmp("kw-kcr.db");
+        run(&["build", "--data", &data, "--setr", &setr, "--kcr", &kcr]).unwrap();
+        let err = run(&[
+            "topk", "--data", &data, "--setr", &setr, "--at", "0.5,0.5", "--keywords",
+            "definitely-not-a-word",
+        ])
+        .unwrap_err();
+        assert!(err.contains("not in the dataset vocabulary"), "{err}");
+        for f in [&data, &setr, &kcr] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+}

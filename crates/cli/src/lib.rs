@@ -1,0 +1,53 @@
+//! `wnsk` — command-line why-not spatial keyword querying.
+//!
+//! Subcommands:
+//!
+//! ```text
+//! wnsk generate --preset euro|gn|tiny --scale S --out data.txt [--seed N]
+//! wnsk stats    --data data.txt
+//! wnsk build    --data data.txt --setr setr.db --kcr kcr.db [--fanout 100]
+//! wnsk topk     --data data.txt --setr setr.db --at X,Y --keywords a,b
+//!               [--k 10] [--alpha 0.5]
+//! wnsk whynot   --data data.txt --setr setr.db --kcr kcr.db --at X,Y
+//!               --keywords a,b --missing ID[,ID…]
+//!               [--k 10] [--alpha 0.5] [--lambda 0.5]
+//!               [--algo bs|advanced|kcr] [--approx T]
+//! ```
+//!
+//! Datasets are the plain-text format of [`wnsk_data::io`]; indexes are
+//! the file-backed page stores the library reads through its buffer pool.
+
+mod args;
+mod commands;
+
+pub use args::ParsedArgs;
+
+/// Usage text printed on argument errors.
+pub const USAGE: &str = "\
+usage: wnsk <command> [options]
+
+commands:
+  generate  --preset euro|gn|tiny --scale S --out FILE [--seed N]
+  stats     --data FILE
+  build     --data FILE --setr FILE --kcr FILE [--fanout N]
+  topk      --data FILE --setr FILE --at X,Y --keywords a,b [--k N] [--alpha A]
+  whynot    --data FILE --setr FILE --kcr FILE --at X,Y --keywords a,b
+            --missing ID[,ID...] [--k N] [--alpha A] [--lambda L]
+            [--algo bs|advanced|kcr] [--approx T]";
+
+/// Dispatches a full command line (without the program name) and returns
+/// the text to print.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err("missing command".into());
+    };
+    let parsed = ParsedArgs::parse(rest)?;
+    match command.as_str() {
+        "generate" => commands::generate(&parsed),
+        "stats" => commands::stats(&parsed),
+        "build" => commands::build(&parsed),
+        "topk" => commands::topk(&parsed),
+        "whynot" => commands::whynot(&parsed),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}

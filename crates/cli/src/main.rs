@@ -1,0 +1,16 @@
+//! `wnsk` — the command-line entry point. All logic lives in the library
+//! (`wnsk_cli::run`) so the test suite can drive it without spawning
+//! processes.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match wnsk_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", wnsk_cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! The sampling-based approximate algorithm (§VI-B): evaluate only the
+//! `T` candidate keyword sets with the highest particularity benefit and
+//! return the best refined query among them (plus the always-valid basic
+//! refinement, so the answer still contains every missing object).
+
+use crate::algorithms::basic::{self, CandidateSource};
+use crate::algorithms::kcr;
+use crate::algorithms::{AdvancedOptions, KcrOptions};
+use crate::enumeration::CandidateEnumerator;
+use crate::error::Result;
+use crate::question::{WhyNotAnswer, WhyNotContext, WhyNotQuestion};
+use wnsk_index::{Dataset, KcrTree, SetRTree};
+
+/// Draws the §VI-B greedy sample of size `t` for a question.
+///
+/// Exposed for experiments; the `answer_approx_*` functions call it
+/// internally. The sample is ordered by descending benefit.
+pub(crate) fn draw_sample(
+    dataset: &Dataset,
+    question: &WhyNotQuestion,
+    initial_rank: usize,
+    t: usize,
+) -> Result<Vec<crate::Candidate>> {
+    let ctx = WhyNotContext::new(dataset, question, initial_rank)?;
+    Ok(CandidateEnumerator::new(&ctx).sample_top(t))
+}
+
+/// A cheap initial-rank estimate used only to build the sampling context
+/// (the algorithms recompute `R(M,q)` through their index, preserving the
+/// paper's I/O accounting).
+fn brute_initial_rank(dataset: &Dataset, question: &WhyNotQuestion) -> usize {
+    question
+        .missing
+        .iter()
+        .map(|&id| dataset.rank_of(id, &question.query))
+        .max()
+        .unwrap_or(1)
+}
+
+/// Approximate **BS** over a sample of `t` candidates.
+pub fn answer_approx_basic(
+    dataset: &Dataset,
+    tree: &SetRTree,
+    question: &WhyNotQuestion,
+    t: usize,
+) -> Result<WhyNotAnswer> {
+    question.validate(dataset)?;
+    let sample = draw_sample(dataset, question, brute_initial_rank(dataset, question), t)?;
+    basic::run(
+        dataset,
+        tree,
+        question,
+        AdvancedOptions::none(),
+        CandidateSource::Sample(sample),
+    )
+}
+
+/// Approximate **AdvancedBS** over a sample of `t` candidates.
+pub fn answer_approx_advanced(
+    dataset: &Dataset,
+    tree: &SetRTree,
+    question: &WhyNotQuestion,
+    opts: AdvancedOptions,
+    t: usize,
+) -> Result<WhyNotAnswer> {
+    question.validate(dataset)?;
+    let sample = draw_sample(dataset, question, brute_initial_rank(dataset, question), t)?;
+    basic::run(dataset, tree, question, opts, CandidateSource::Sample(sample))
+}
+
+/// Approximate **KcRBased** over a sample of `t` candidates.
+pub fn answer_approx_kcr(
+    dataset: &Dataset,
+    tree: &KcrTree,
+    question: &WhyNotQuestion,
+    opts: KcrOptions,
+    t: usize,
+) -> Result<WhyNotAnswer> {
+    question.validate(dataset)?;
+    let sample = draw_sample(dataset, question, brute_initial_rank(dataset, question), t)?;
+    kcr::run(dataset, tree, question, opts, Some(sample))
+}

@@ -1,0 +1,360 @@
+//! The basic algorithm **BS** (§IV-B) and its optimised variant
+//! **AdvancedBS** (§IV-C, Algorithm 1).
+//!
+//! BS executes one spatial keyword query over the SetR-tree per candidate
+//! keyword set, scanning each until every missing object has been
+//! retrieved, and keeps the candidate with the smallest penalty.
+//! AdvancedBS adds four independently toggleable optimisations:
+//!
+//! 1. **Early stop** — Eqn. 6's rank bound `R_L`: a candidate's scan
+//!    aborts as soon as the missing set's rank provably exceeds what the
+//!    current best penalty allows.
+//! 2. **Enumeration order** — candidates are visited in increasing edit
+//!    distance and, within a layer, decreasing particularity benefit; the
+//!    whole search terminates once the keyword penalty of the next layer
+//!    already exceeds the best penalty.
+//! 3. **Keyword-set filtering** — dominators of the missing set observed
+//!    in earlier scans are cached; if enough of them still dominate under
+//!    the next candidate (an in-memory check), the candidate is pruned
+//!    without touching the index.
+//! 4. **Parallel processing** — candidates of a layer are processed by
+//!    multiple threads sharing the current best penalty.
+
+use crate::algorithms::SharedBest;
+use crate::enumeration::{Candidate, CandidateEnumerator};
+use crate::error::Result;
+use crate::question::{
+    AlgoStats, RefinedQuery, WhyNotAnswer, WhyNotContext, WhyNotQuestion,
+};
+use crate::rank::SetRankOutcome;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use wnsk_index::{
+    st_score, Dataset, ObjectId, SetRTree, SpatialKeywordQuery, TopKSearch,
+};
+
+/// Toggles for the AdvancedBS optimisations (all on by default,
+/// single-threaded). `AdvancedOptions::none()` turns AdvancedBS back into
+/// plain BS — the ablation experiment (Fig. 11) sweeps these.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdvancedOptions {
+    /// Opt1: early stop via the rank bound of Eqn. 6.
+    pub early_stop: bool,
+    /// Opt2: penalty/particularity enumeration order with global early
+    /// termination.
+    pub ordered_enumeration: bool,
+    /// Opt3: dominator-cache keyword-set filtering.
+    pub keyword_set_filtering: bool,
+    /// Opt4: number of worker threads (1 = serial).
+    pub threads: usize,
+}
+
+impl Default for AdvancedOptions {
+    fn default() -> Self {
+        AdvancedOptions {
+            early_stop: true,
+            ordered_enumeration: true,
+            keyword_set_filtering: true,
+            threads: 1,
+        }
+    }
+}
+
+impl AdvancedOptions {
+    /// Every optimisation disabled: plain BS behaviour.
+    pub fn none() -> Self {
+        AdvancedOptions {
+            early_stop: false,
+            ordered_enumeration: false,
+            keyword_set_filtering: false,
+            threads: 1,
+        }
+    }
+}
+
+/// Where candidates come from: the full space or a §VI-B sample.
+pub(crate) enum CandidateSource {
+    Full,
+    Sample(Vec<Candidate>),
+}
+
+/// Thread-shared counters.
+#[derive(Default)]
+struct SharedStats {
+    candidates_total: AtomicU64,
+    pruned_by_filter: AtomicU64,
+    pruned_by_bound: AtomicU64,
+    queries_run: AtomicU64,
+}
+
+impl SharedStats {
+    fn into_stats(self) -> AlgoStats {
+        AlgoStats {
+            candidates_total: self.candidates_total.into_inner(),
+            pruned_by_filter: self.pruned_by_filter.into_inner(),
+            pruned_by_bound: self.pruned_by_bound.into_inner(),
+            queries_run: self.queries_run.into_inner(),
+            ..AlgoStats::default()
+        }
+    }
+}
+
+/// **BS**: the unoptimised baseline of §IV-B.
+pub fn answer_basic(
+    dataset: &Dataset,
+    tree: &SetRTree,
+    question: &WhyNotQuestion,
+) -> Result<WhyNotAnswer> {
+    run(dataset, tree, question, AdvancedOptions::none(), CandidateSource::Full)
+}
+
+/// **AdvancedBS**: BS with the §IV-C optimisations per `opts`.
+pub fn answer_advanced(
+    dataset: &Dataset,
+    tree: &SetRTree,
+    question: &WhyNotQuestion,
+    opts: AdvancedOptions,
+) -> Result<WhyNotAnswer> {
+    run(dataset, tree, question, opts, CandidateSource::Full)
+}
+
+pub(crate) fn run(
+    dataset: &Dataset,
+    tree: &SetRTree,
+    question: &WhyNotQuestion,
+    opts: AdvancedOptions,
+    source: CandidateSource,
+) -> Result<WhyNotAnswer> {
+    question.validate(dataset)?;
+    let start = Instant::now();
+    let io_before = tree.pool().stats();
+
+    // Line 1 of Algorithm 1: determine R(M, q) by processing the initial
+    // query until the missing objects appear.
+    let initial_targets: Vec<(ObjectId, f64)> = question
+        .missing
+        .iter()
+        .map(|&id| (id, dataset.score(dataset.object(id), &question.query)))
+        .collect();
+    let mut scan = TopKSearch::new(tree, question.query.clone());
+    let initial_rank = crate::rank::rank_of_set(&mut scan, &initial_targets, None, true)?
+        .rank()
+        .expect("unbounded scan always completes");
+
+    let ctx = WhyNotContext::new(dataset, question, initial_rank)?;
+    let enumerator = CandidateEnumerator::new(&ctx);
+
+    // Line 2: initialise with the basic refined query (penalty λ).
+    let best = SharedBest::new(ctx.baseline());
+    let stats = SharedStats::default();
+
+    // Group candidates into edit-distance layers.
+    let layers: Vec<(usize, Vec<Candidate>)> = match source {
+        CandidateSource::Full => (1..=enumerator.max_edit_distance())
+            .map(|d| (d, enumerator.layer(d, opts.ordered_enumeration)))
+            .collect(),
+        CandidateSource::Sample(sample) => layer_sample(sample),
+    };
+
+    'layers: for (d, layer) in layers {
+        // Opt2 global termination: no deeper layer can beat the best.
+        if opts.ordered_enumeration
+            && ctx.penalty.keyword_penalty(d) >= best.penalty()
+        {
+            let remaining: u64 = layer.len() as u64;
+            stats.pruned_by_bound.fetch_add(remaining, Ordering::Relaxed);
+            break 'layers;
+        }
+        if opts.threads <= 1 {
+            let mut cache = HashSet::new();
+            for cand in &layer {
+                process_candidate(tree, &ctx, &opts, cand, &best, &stats, &mut cache)?;
+            }
+        } else {
+            crossbeam::thread::scope(|scope| -> Result<()> {
+                let mut handles = Vec::new();
+                for t in 0..opts.threads {
+                    let layer = &layer;
+                    let ctx = &ctx;
+                    let best = &best;
+                    let stats = &stats;
+                    let opts = &opts;
+                    handles.push(scope.spawn(move |_| -> Result<()> {
+                        let mut cache = HashSet::new();
+                        let mut i = t;
+                        while i < layer.len() {
+                            process_candidate(
+                                tree, ctx, opts, &layer[i], best, stats, &mut cache,
+                            )?;
+                            i += opts.threads;
+                        }
+                        Ok(())
+                    }));
+                }
+                for h in handles {
+                    h.join().expect("worker thread panicked")?;
+                }
+                Ok(())
+            })
+            .expect("thread scope failed")?;
+        }
+    }
+
+    let refined = best.into_inner();
+    let mut stats = stats.into_stats();
+    stats.wall = start.elapsed();
+    stats.io = tree.pool().stats().since(&io_before).physical_reads;
+    Ok(WhyNotAnswer { refined, stats })
+}
+
+/// Groups a benefit-ordered sample into ascending edit-distance layers,
+/// preserving the benefit order inside each layer.
+pub(crate) fn layer_sample(sample: Vec<Candidate>) -> Vec<(usize, Vec<Candidate>)> {
+    let mut by_d: std::collections::BTreeMap<usize, Vec<Candidate>> =
+        std::collections::BTreeMap::new();
+    for c in sample {
+        by_d.entry(c.edit_distance).or_default().push(c);
+    }
+    by_d.into_iter().collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process_candidate(
+    tree: &SetRTree,
+    ctx: &WhyNotContext<'_>,
+    opts: &AdvancedOptions,
+    cand: &Candidate,
+    best: &SharedBest,
+    stats: &SharedStats,
+    dominator_cache: &mut HashSet<ObjectId>,
+) -> Result<()> {
+    stats.candidates_total.fetch_add(1, Ordering::Relaxed);
+    let d = cand.edit_distance;
+    let p_c = best.penalty();
+
+    // Opt1: rank budget from Eqn. 6. Without early stop the scan runs to
+    // completion regardless.
+    let max_rank = if opts.early_stop {
+        match ctx.penalty.rank_upper_limit(d, p_c) {
+            None => {
+                stats.pruned_by_bound.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            Some(usize::MAX) => None,
+            Some(r) => Some(r),
+        }
+    } else {
+        None
+    };
+
+    let targets = ctx.missing_targets(&cand.doc);
+    let min_score = targets
+        .iter()
+        .map(|&(_, s)| s)
+        .fold(f64::INFINITY, f64::min);
+    let q_s: SpatialKeywordQuery = ctx.query.with_doc(cand.doc.clone());
+
+    // Opt3: count cached dominators that still dominate (an in-memory
+    // test, Algorithm 1 lines 9–13).
+    if opts.keyword_set_filtering {
+        if let Some(max_rank) = max_rank {
+            let still_dominating = dominator_cache
+                .iter()
+                .filter(|&&id| {
+                    let o = ctx.dataset.object(id);
+                    let score = st_score(
+                        q_s.alpha,
+                        ctx.dataset.world().normalized_dist(&o.loc, &q_s.loc),
+                        q_s.sim.similarity(&o.doc, &q_s.doc),
+                    );
+                    score > min_score
+                })
+                .count();
+            if still_dominating + 1 > max_rank {
+                stats.pruned_by_filter.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+        }
+    }
+
+    // Run the spatial keyword query (Algorithm 1 line 14).
+    stats.queries_run.fetch_add(1, Ordering::Relaxed);
+    let outcome = scan_rank(
+        tree,
+        &q_s,
+        &targets,
+        max_rank,
+        // BS retrieves until the missing objects appear; the optimised
+        // variant stops as soon as the rank is known.
+        !opts.early_stop,
+        opts.keyword_set_filtering.then_some(dominator_cache),
+    )?;
+
+    match outcome {
+        SetRankOutcome::Aborted { .. } => {
+            stats.pruned_by_bound.fetch_add(1, Ordering::Relaxed);
+        }
+        SetRankOutcome::Exact { rank } => {
+            let penalty = ctx.penalty.penalty(d, rank);
+            best.improve(RefinedQuery {
+                doc: cand.doc.clone(),
+                k: ctx.refined_k(rank),
+                rank,
+                edit_distance: d,
+                penalty,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// A rank-of-set scan that optionally records the dominators it sees for
+/// the Opt3 cache.
+fn scan_rank(
+    tree: &SetRTree,
+    q_s: &SpatialKeywordQuery,
+    targets: &[(ObjectId, f64)],
+    max_rank: Option<usize>,
+    until_found: bool,
+    mut collect: Option<&mut HashSet<ObjectId>>,
+) -> Result<SetRankOutcome> {
+    let min_score = targets
+        .iter()
+        .map(|&(_, s)| s)
+        .fold(f64::INFINITY, f64::min);
+    let mut remaining: Vec<ObjectId> = targets.iter().map(|&(id, _)| id).collect();
+    let mut search = TopKSearch::new(tree, q_s.clone());
+    let mut dominators = 0usize;
+    loop {
+        if let Some(max_rank) = max_rank {
+            if dominators + 1 > max_rank {
+                return Ok(SetRankOutcome::Aborted {
+                    seen_dominators: dominators,
+                });
+            }
+        }
+        match search.next_object().map_err(crate::WhyNotError::Storage)? {
+            None => break,
+            Some((id, score)) => {
+                if score > min_score {
+                    dominators += 1;
+                    remaining.retain(|&t| t != id);
+                    if let Some(cache) = collect.as_deref_mut() {
+                        cache.insert(id);
+                    }
+                } else if until_found {
+                    remaining.retain(|&t| t != id);
+                    if remaining.is_empty() {
+                        break;
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    Ok(SetRankOutcome::Exact {
+        rank: dominators + 1,
+    })
+}

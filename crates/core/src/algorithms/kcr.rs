@@ -1,0 +1,407 @@
+//! The **KcRBased** bound-and-prune algorithm (§V, Algorithms 3 & 4).
+//!
+//! One traversal of the KcR-tree scores a whole batch `CK` of candidate
+//! keyword sets at once. For each candidate `S` the traversal maintains a
+//! *frontier* of tree nodes; the missing set's rank is bracketed by
+//!
+//! ```text
+//! rank_lo(S) = 1 + Σ_frontier MinDom(N, S, M)
+//! rank_hi(S) = 1 + Σ_frontier MaxDom(N, S, M)
+//! ```
+//!
+//! (`MaxDom(·,·,M) = max_i MaxDom(·,·,m_i)`, `MinDom = min_i`, §VI-A).
+//! Expanding a node replaces its contribution with its children's,
+//! tightening both bounds; leaf entries contribute their *exact*
+//! dominance. Because a refined query `(S, max(k₀, rank_hi))` is always a
+//! valid answer (its `k'` covers the true rank), its penalty upper bound
+//! is *achievable*, so the shared best penalty `p_c` decreases
+//! monotonically and pruning candidates with `penalty(rank_lo) > p_c` is
+//! sound even before bounds converge. (The paper's pseudocode assumes the
+//! frontier sums only tighten; keeping explicit frontier sums makes the
+//! implementation correct regardless.)
+//!
+//! Algorithm 4 drives the batches in ascending edit distance and stops as
+//! soon as the next layer's keyword penalty alone can no longer beat
+//! `p_c`; batches may additionally be split across worker threads
+//! (Fig. 10's parallel variant).
+
+use crate::algorithms::basic::layer_sample;
+use crate::algorithms::SharedBest;
+use crate::enumeration::{Candidate, CandidateEnumerator};
+use crate::error::Result;
+use crate::question::{AlgoStats, RefinedQuery, WhyNotAnswer, WhyNotContext, WhyNotQuestion};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use wnsk_index::kcr::{max_dom, min_dom, tau_lower, tau_upper, KcrTopKSearch, PreparedNode};
+use wnsk_index::{st_score, Dataset, KcrNode, KcrTree, NodeSummary, ObjectId};
+use wnsk_storage::BlobRef;
+use wnsk_text::KeywordSet;
+
+/// Options for the KcR-based solver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KcrOptions {
+    /// Worker threads; candidate batches are distributed across them with
+    /// the best penalty synchronised (§IV-C4 / Fig. 10).
+    pub threads: usize,
+    /// §V-D: each edit-distance layer is split into benefit-ordered
+    /// batches of this size, so early batches lower `p_c` before later
+    /// ones pay for root-level bound evaluations — and each traversal
+    /// keeps its per-node work proportional to a small `|CK|`.
+    pub batch_size: usize,
+}
+
+impl Default for KcrOptions {
+    fn default() -> Self {
+        KcrOptions {
+            threads: 1,
+            batch_size: 64,
+        }
+    }
+}
+
+#[derive(Default)]
+struct SharedStats {
+    candidates_total: AtomicU64,
+    pruned_by_bound: AtomicU64,
+    nodes_expanded: AtomicU64,
+}
+
+/// **KcRBased**: Algorithm 4 over the full candidate space.
+pub fn answer_kcr(
+    dataset: &Dataset,
+    tree: &KcrTree,
+    question: &WhyNotQuestion,
+    opts: KcrOptions,
+) -> Result<WhyNotAnswer> {
+    run(dataset, tree, question, opts, None)
+}
+
+pub(crate) fn run(
+    dataset: &Dataset,
+    tree: &KcrTree,
+    question: &WhyNotQuestion,
+    opts: KcrOptions,
+    sample: Option<Vec<Candidate>>,
+) -> Result<WhyNotAnswer> {
+    question.validate(dataset)?;
+    let start = Instant::now();
+    let io_before = tree.pool().stats();
+
+    // Algorithm 4 line 1: determine R(M, q).
+    let initial_targets: Vec<(ObjectId, f64)> = question
+        .missing
+        .iter()
+        .map(|&id| (id, dataset.score(dataset.object(id), &question.query)))
+        .collect();
+    let mut scan = KcrTopKSearch::new(tree, question.query.clone());
+    let initial_rank = crate::rank::rank_of_set(&mut scan, &initial_targets, None, false)?
+        .rank()
+        .expect("unbounded scan always completes");
+
+    let ctx = WhyNotContext::new(dataset, question, initial_rank)?;
+    let enumerator = CandidateEnumerator::new(&ctx);
+
+    // Line 2: the basic refined query initialises the best.
+    let best = SharedBest::new(ctx.baseline());
+    let stats = SharedStats::default();
+
+    let layers: Vec<(usize, Vec<Candidate>)> = match sample {
+        None => (1..=enumerator.max_edit_distance())
+            .map(|d| (d, enumerator.layer(d, true)))
+            .collect(),
+        Some(sample) => layer_sample(sample),
+    };
+
+    for (d, layer) in layers {
+        // Line 4: the next batch's keyword penalty alone disqualifies it.
+        if ctx.penalty.keyword_penalty(d) >= best.penalty() {
+            stats
+                .pruned_by_bound
+                .fetch_add(layer.len() as u64, Ordering::Relaxed);
+            break;
+        }
+        stats
+            .candidates_total
+            .fetch_add(layer.len() as u64, Ordering::Relaxed);
+        let batch_size = opts.batch_size.max(1);
+        let batches: Vec<&[Candidate]> = layer.chunks(batch_size).collect();
+        if opts.threads <= 1 {
+            for batch in &batches {
+                // Batches run in benefit order; a later batch whose whole
+                // layer is already beaten is pruned by the root bounds
+                // almost immediately.
+                bound_and_prune(tree, &ctx, batch, &best, &stats)?;
+            }
+        } else {
+            let next = AtomicU64::new(0);
+            crossbeam::thread::scope(|scope| -> Result<()> {
+                let mut handles = Vec::new();
+                for _ in 0..opts.threads.min(batches.len()) {
+                    let ctx = &ctx;
+                    let best = &best;
+                    let stats = &stats;
+                    let next = &next;
+                    let batches = &batches;
+                    handles.push(scope.spawn(move |_| -> Result<()> {
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed) as usize;
+                            let Some(batch) = batches.get(i) else {
+                                return Ok(());
+                            };
+                            bound_and_prune(tree, ctx, batch, best, stats)?;
+                        }
+                    }));
+                }
+                for h in handles {
+                    h.join().expect("worker thread panicked")?;
+                }
+                Ok(())
+            })
+            .expect("thread scope failed")?;
+        }
+    }
+
+    let refined = best.into_inner();
+    let stats = AlgoStats {
+        wall: start.elapsed(),
+        io: tree.pool().stats().since(&io_before).physical_reads,
+        candidates_total: stats.candidates_total.into_inner(),
+        pruned_by_bound: stats.pruned_by_bound.into_inner(),
+        nodes_expanded: stats.nodes_expanded.into_inner(),
+        ..AlgoStats::default()
+    };
+    Ok(WhyNotAnswer { refined, stats })
+}
+
+/// Per-candidate traversal state.
+struct CandState {
+    doc: KeywordSet,
+    edit_distance: usize,
+    /// `TSim(m_i, S)` per missing object.
+    m_tsims: Vec<f64>,
+    /// `ST(m_i, q_S)` per missing object (for exact leaf dominance).
+    m_scores: Vec<f64>,
+    rank_hi: i64,
+    rank_lo: i64,
+    active: bool,
+}
+
+struct QueuedNode {
+    node: BlobRef,
+    /// Per-candidate `(MaxDom, MinDom)` contribution of this node to the
+    /// frontier sums.
+    contrib: Vec<(u32, u32)>,
+}
+
+/// Algorithm 3: finds the best refined query among `candidates` in one
+/// KcR-tree traversal, folding improvements into the shared best.
+fn bound_and_prune(
+    tree: &KcrTree,
+    ctx: &WhyNotContext<'_>,
+    candidates: &[Candidate],
+    best: &SharedBest,
+    stats: &SharedStats,
+) -> Result<()> {
+    if candidates.is_empty() {
+        return Ok(());
+    }
+    let alpha = ctx.query.alpha;
+    let world = tree.world();
+
+    let mut cands: Vec<CandState> = candidates
+        .iter()
+        .map(|c| {
+            let m_tsims: Vec<f64> = ctx
+                .missing
+                .iter()
+                .map(|m| ctx.query.sim.similarity(&m.doc, &c.doc))
+                .collect();
+            let m_scores: Vec<f64> = ctx
+                .missing
+                .iter()
+                .zip(&m_tsims)
+                .map(|(m, &tsim)| st_score(alpha, m.sdist, tsim))
+                .collect();
+            CandState {
+                doc: c.doc.clone(),
+                edit_distance: c.edit_distance,
+                m_tsims,
+                m_scores,
+                rank_hi: 1,
+                rank_lo: 1,
+                active: true,
+            }
+        })
+        .collect();
+
+    // Lines 2–6: initial bounds from the root summary.
+    let root_summary = tree.root_summary().map_err(crate::WhyNotError::Storage)?;
+    let root_contrib = node_contrib(&root_summary, ctx, &mut cands, world, alpha);
+    for (cand, &(hi, lo)) in cands.iter_mut().zip(&root_contrib) {
+        cand.rank_hi += hi as i64;
+        cand.rank_lo += lo as i64;
+    }
+    refresh_candidates(ctx, &mut cands, best, stats);
+    if !cands.iter().any(|c| c.active) {
+        return Ok(());
+    }
+
+    let mut queue: VecDeque<QueuedNode> = VecDeque::new();
+    queue.push_back(QueuedNode {
+        node: tree.root(),
+        contrib: root_contrib,
+    });
+
+    // Lines 8–32: traverse, tightening the frontier sums.
+    while let Some(qn) = queue.pop_front() {
+        if !cands.iter().any(|c| c.active) {
+            return Ok(());
+        }
+        let node = tree.read_node(qn.node).map_err(crate::WhyNotError::Storage)?;
+        stats.nodes_expanded.fetch_add(1, Ordering::Relaxed);
+
+        // Gather each child's per-candidate contribution.
+        let mut child_nodes: Vec<(BlobRef, Vec<(u32, u32)>)> = Vec::new();
+        let mut sums: Vec<(i64, i64)> = vec![(0, 0); cands.len()];
+        match node {
+            KcrNode::Internal(entries) => {
+                for e in &entries {
+                    let summary = NodeSummary {
+                        mbr: e.mbr,
+                        cnt: e.cnt,
+                        kcm: tree.read_kcm(e.kcm).map_err(crate::WhyNotError::Storage)?,
+                    };
+                    let contrib = node_contrib(&summary, ctx, &mut cands, world, alpha);
+                    for (i, &(hi, lo)) in contrib.iter().enumerate() {
+                        sums[i].0 += hi as i64;
+                        sums[i].1 += lo as i64;
+                    }
+                    // Line 29–32: only children whose bounds are still
+                    // loose for some active candidate can tighten anything.
+                    let loose = cands
+                        .iter()
+                        .zip(&contrib)
+                        .any(|(c, &(hi, lo))| c.active && hi != lo);
+                    if loose {
+                        child_nodes.push((e.child, contrib));
+                    }
+                }
+            }
+            KcrNode::Leaf(entries) => {
+                for e in &entries {
+                    let doc = tree.read_doc(e.doc).map_err(crate::WhyNotError::Storage)?;
+                    let sdist = world.normalized_dist(&e.loc, &ctx.query.loc);
+                    for (i, cand) in cands.iter().enumerate() {
+                        if !cand.active {
+                            continue;
+                        }
+                        let score =
+                            st_score(alpha, sdist, ctx.query.sim.similarity(&doc, &cand.doc));
+                        // max_i / min_i of per-missing dominance flags.
+                        let mut any = false;
+                        let mut all = true;
+                        for &m_score in &cand.m_scores {
+                            if score > m_score {
+                                any = true;
+                            } else {
+                                all = false;
+                            }
+                        }
+                        sums[i].0 += any as i64;
+                        sums[i].1 += all as i64;
+                    }
+                }
+            }
+        }
+
+        // Lines 18–19: replace this node's contribution by its children's.
+        for (i, cand) in cands.iter_mut().enumerate() {
+            if !cand.active {
+                continue;
+            }
+            cand.rank_hi += sums[i].0 - qn.contrib[i].0 as i64;
+            cand.rank_lo += sums[i].1 - qn.contrib[i].1 as i64;
+            debug_assert!(cand.rank_lo >= 1 && cand.rank_hi >= cand.rank_lo);
+        }
+        refresh_candidates(ctx, &mut cands, best, stats);
+
+        for (node, contrib) in child_nodes {
+            queue.push_back(QueuedNode { node, contrib });
+        }
+    }
+    Ok(())
+}
+
+/// Computes the per-candidate `(MaxDom, MinDom)` of one node summary,
+/// maximised/minimised over the missing objects (§VI-A).
+fn node_contrib(
+    summary: &NodeSummary,
+    ctx: &WhyNotContext<'_>,
+    cands: &mut [CandState],
+    world: &wnsk_geo::WorldBounds,
+    alpha: f64,
+) -> Vec<(u32, u32)> {
+    let prep = PreparedNode::new(summary);
+    let min_dist = world.normalized_min_dist(&ctx.query.loc, &summary.mbr);
+    let max_dist = world.normalized_max_dist(&ctx.query.loc, &summary.mbr);
+    cands
+        .iter()
+        .map(|cand| {
+            if !cand.active {
+                return (0, 0);
+            }
+            let mut hi = 0u32;
+            let mut lo = u32::MAX;
+            for (m, &tsim) in ctx.missing.iter().zip(&cand.m_tsims) {
+                let tl = tau_lower(alpha, min_dist, m.sdist, tsim);
+                let tu = tau_upper(alpha, max_dist, m.sdist, tsim);
+                hi = hi.max(max_dom(&prep, &cand.doc, tl, ctx.query.sim));
+                lo = lo.min(min_dom(&prep, &cand.doc, tu, ctx.query.sim));
+            }
+            (hi, lo)
+        })
+        .collect()
+}
+
+/// Lines 20–26: recompute penalty bounds, improve the best with the
+/// (always achievable) upper bound, prune candidates whose lower bound
+/// already exceeds the best.
+fn refresh_candidates(
+    ctx: &WhyNotContext<'_>,
+    cands: &mut [CandState],
+    best: &SharedBest,
+    stats: &SharedStats,
+) {
+    for cand in cands.iter_mut() {
+        if !cand.active {
+            continue;
+        }
+        let rank_hi = cand.rank_hi as usize;
+        let rank_lo = cand.rank_lo as usize;
+        let pn_hi = ctx.penalty.penalty(cand.edit_distance, rank_hi);
+        let pn_lo = ctx.penalty.penalty(cand.edit_distance, rank_lo);
+        // The refined query (S, max(k₀, rank_hi)) certainly contains M,
+        // so pn_hi is achievable. The lock-free read keeps the hot path
+        // allocation-free; `improve` re-checks under the lock.
+        if pn_hi < best.penalty() {
+            best.improve(RefinedQuery {
+                doc: cand.doc.clone(),
+                k: ctx.refined_k(rank_hi),
+                rank: rank_hi,
+                edit_distance: cand.edit_distance,
+                penalty: pn_hi,
+            });
+        }
+        if pn_lo > best.penalty() {
+            cand.active = false;
+            stats.pruned_by_bound.fetch_add(1, Ordering::Relaxed);
+        } else if cand.rank_hi == cand.rank_lo {
+            // Fully converged: the frontier sums can never change again
+            // (every per-node contribution gap is zero), and the exact
+            // penalty has just been offered to `best` — retire the
+            // candidate so deeper nodes stop paying for it.
+            cand.active = false;
+        }
+    }
+}

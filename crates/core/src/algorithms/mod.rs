@@ -1,0 +1,13 @@
+//! The three why-not solvers (BS, AdvancedBS, KcRBased) and their
+//! approximate variants.
+
+mod approx;
+mod basic;
+mod kcr;
+mod shared;
+
+pub use approx::{answer_approx_advanced, answer_approx_basic, answer_approx_kcr};
+pub use basic::{answer_advanced, answer_basic, AdvancedOptions};
+pub use kcr::{answer_kcr, KcrOptions};
+
+pub(crate) use shared::SharedBest;

@@ -1,0 +1,101 @@
+//! State shared between worker threads: the currently best refined query
+//! and its penalty, with a lock-free fast-read mirror (§IV-C4: "the
+//! parameters such as p_c and R_L need to be synchronized").
+
+use crate::question::RefinedQuery;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The currently best refined query and its penalty.
+#[derive(Clone, Debug)]
+pub(crate) struct BestState {
+    pub refined: RefinedQuery,
+}
+
+/// Thread-safe wrapper: a mutex for updates plus an atomic penalty mirror
+/// for cheap reads on the hot pruning path.
+pub(crate) struct SharedBest {
+    state: Mutex<BestState>,
+    penalty_bits: AtomicU64,
+}
+
+impl SharedBest {
+    pub fn new(initial: RefinedQuery) -> Self {
+        let bits = initial.penalty.to_bits();
+        SharedBest {
+            state: Mutex::new(BestState { refined: initial }),
+            penalty_bits: AtomicU64::new(bits),
+        }
+    }
+
+    /// The current best penalty (lock-free).
+    #[inline]
+    pub fn penalty(&self) -> f64 {
+        f64::from_bits(self.penalty_bits.load(Ordering::Acquire))
+    }
+
+    /// Installs `candidate` if it is strictly better than the current
+    /// best. Returns `true` on improvement.
+    pub fn improve(&self, candidate: RefinedQuery) -> bool {
+        let mut state = self.state.lock();
+        if candidate.penalty < state.refined.penalty {
+            self.penalty_bits
+                .store(candidate.penalty.to_bits(), Ordering::Release);
+            state.refined = candidate;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the wrapper, returning the final best.
+    pub fn into_inner(self) -> RefinedQuery {
+        self.state.into_inner().refined
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wnsk_text::KeywordSet;
+
+    fn refined(penalty: f64) -> RefinedQuery {
+        RefinedQuery {
+            doc: KeywordSet::from_ids([1]),
+            k: 5,
+            rank: 5,
+            edit_distance: 1,
+            penalty,
+        }
+    }
+
+    #[test]
+    fn improve_only_on_strict_decrease() {
+        let best = SharedBest::new(refined(0.5));
+        assert!(!best.improve(refined(0.5)), "ties keep the incumbent");
+        assert!(!best.improve(refined(0.7)));
+        assert!(best.improve(refined(0.3)));
+        assert_eq!(best.penalty(), 0.3);
+        assert_eq!(best.into_inner().penalty, 0.3);
+    }
+
+    #[test]
+    fn concurrent_improvements_settle_on_minimum() {
+        use std::sync::Arc;
+        let best = Arc::new(SharedBest::new(refined(1.0)));
+        let mut handles = vec![];
+        for t in 0..8u32 {
+            let best = Arc::clone(&best);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u32 {
+                    let p = ((t * 100 + i) % 97) as f64 / 100.0;
+                    best.improve(refined(p));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(best.penalty(), 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! A batteries-included facade bundling a dataset with both indexes.
+
+use crate::algorithms::{
+    answer_advanced, answer_approx_kcr, answer_basic, answer_kcr, AdvancedOptions, KcrOptions,
+};
+use crate::error::Result;
+use crate::question::{WhyNotAnswer, WhyNotQuestion};
+use std::sync::Arc;
+use wnsk_index::{Dataset, KcrTree, ObjectId, SetRTree, SpatialKeywordQuery};
+use wnsk_storage::{BufferPool, BufferPoolConfig, MemBackend};
+use wnsk_text::Vocabulary;
+
+/// A ready-to-query why-not engine: dataset + SetR-tree + KcR-tree, each
+/// on its own simulated disk with the paper's defaults (4 KiB pages,
+/// 4 MiB buffer, fanout 100).
+pub struct WhyNotEngine {
+    dataset: Dataset,
+    setr: SetRTree,
+    kcr: KcrTree,
+    vocabulary: Option<Vocabulary>,
+}
+
+/// The paper's node capacity (§VII-A1).
+pub const DEFAULT_FANOUT: usize = 100;
+
+impl WhyNotEngine {
+    /// Builds both indexes over `dataset` on in-memory page stores.
+    pub fn build_in_memory(dataset: Dataset) -> Result<Self> {
+        Self::build_with(dataset, DEFAULT_FANOUT, BufferPoolConfig::default())
+    }
+
+    /// Builds with explicit fanout and buffer-pool configuration.
+    pub fn build_with(
+        dataset: Dataset,
+        fanout: usize,
+        pool_config: BufferPoolConfig,
+    ) -> Result<Self> {
+        let setr_pool = Arc::new(BufferPool::new(Arc::new(MemBackend::new()), pool_config));
+        let kcr_pool = Arc::new(BufferPool::new(Arc::new(MemBackend::new()), pool_config));
+        let setr = SetRTree::build(setr_pool, &dataset, fanout)?;
+        let kcr = KcrTree::build(kcr_pool, &dataset, fanout)?;
+        Ok(WhyNotEngine {
+            dataset,
+            setr,
+            kcr,
+            vocabulary: None,
+        })
+    }
+
+    /// Attaches a vocabulary so answers can be rendered with keyword
+    /// strings.
+    pub fn with_vocabulary(mut self, vocabulary: Vocabulary) -> Self {
+        self.vocabulary = Some(vocabulary);
+        self
+    }
+
+    /// The indexed dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The SetR-tree (used by BS / AdvancedBS).
+    pub fn setr(&self) -> &SetRTree {
+        &self.setr
+    }
+
+    /// The KcR-tree (used by KcRBased).
+    pub fn kcr(&self) -> &KcrTree {
+        &self.kcr
+    }
+
+    /// The attached vocabulary, if any.
+    pub fn vocabulary(&self) -> Option<&Vocabulary> {
+        self.vocabulary.as_ref()
+    }
+
+    /// Runs a plain spatial keyword top-k query.
+    pub fn top_k(&self, query: &SpatialKeywordQuery) -> Result<Vec<(ObjectId, f64)>> {
+        Ok(self.setr.top_k(query)?)
+    }
+
+    /// Answers a why-not question with the recommended solver
+    /// (KcRBased with default options).
+    pub fn answer(&self, question: &WhyNotQuestion) -> Result<WhyNotAnswer> {
+        answer_kcr(&self.dataset, &self.kcr, question, KcrOptions::default())
+    }
+
+    /// Answers with the basic algorithm (BS).
+    pub fn answer_basic(&self, question: &WhyNotQuestion) -> Result<WhyNotAnswer> {
+        answer_basic(&self.dataset, &self.setr, question)
+    }
+
+    /// Answers with AdvancedBS.
+    pub fn answer_advanced(
+        &self,
+        question: &WhyNotQuestion,
+        opts: AdvancedOptions,
+    ) -> Result<WhyNotAnswer> {
+        answer_advanced(&self.dataset, &self.setr, question, opts)
+    }
+
+    /// Answers with KcRBased.
+    pub fn answer_kcr(
+        &self,
+        question: &WhyNotQuestion,
+        opts: KcrOptions,
+    ) -> Result<WhyNotAnswer> {
+        answer_kcr(&self.dataset, &self.kcr, question, opts)
+    }
+
+    /// Answers approximately: only the `t` highest-benefit candidates are
+    /// considered (§VI-B), trading quality for time.
+    pub fn answer_approx(&self, question: &WhyNotQuestion, t: usize) -> Result<WhyNotAnswer> {
+        answer_approx_kcr(&self.dataset, &self.kcr, question, KcrOptions::default(), t)
+    }
+
+    /// Renders a keyword set with the attached vocabulary (falls back to
+    /// raw term ids).
+    pub fn render_keywords(&self, doc: &wnsk_text::KeywordSet) -> String {
+        let words: Vec<String> = doc
+            .iter()
+            .map(|t| match self.vocabulary.as_ref().and_then(|v| v.name(t)) {
+                Some(name) => name.to_string(),
+                None => format!("t{}", t.0),
+            })
+            .collect();
+        format!("{{{}}}", words.join(", "))
+    }
+}

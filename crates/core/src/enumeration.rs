@@ -1,0 +1,377 @@
+//! Candidate keyword-set enumeration (§IV-C2) and greedy sampling
+//! (§VI-B).
+//!
+//! A candidate `doc'` is obtained from `doc₀` by applying a subset of
+//! *edit operations*: deleting a term of `doc₀` or inserting a term of
+//! `M.doc − doc₀` (only keywords of the missing objects are worth
+//! inserting — §IV-B/§VI-A). Each operation carries a *benefit* derived
+//! from Eqn. 7's particularity: inserting term `t` contributes
+//! `+Parti(M, t)`, deleting it contributes `−Parti(M, t)` — so edits that
+//! make the query more characteristic of the missing objects score high.
+//!
+//! The ordered enumeration walks candidates in increasing edit distance
+//! (lower keyword penalty first) and, inside a layer, in decreasing
+//! benefit; the sampler picks the `T` candidates with the highest total
+//! benefit across *all* layers using a k-best subset-sum heap.
+
+use crate::question::WhyNotContext;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use wnsk_index::OrdF64;
+use wnsk_text::{KeywordSet, TermId};
+
+/// One candidate refined keyword set.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Candidate {
+    pub doc: KeywordSet,
+    /// Number of edit operations applied (= `Δdoc` of Eqn. 4).
+    pub edit_distance: usize,
+    /// Total particularity benefit of the applied edits.
+    pub benefit: f64,
+}
+
+#[derive(Clone, Debug)]
+struct EditOp {
+    term: TermId,
+    is_insert: bool,
+    /// Benefit of applying this operation.
+    weight: f64,
+}
+
+/// Generates candidate keyword sets for one why-not question.
+pub struct CandidateEnumerator {
+    doc0: KeywordSet,
+    ops: Vec<EditOp>,
+}
+
+impl CandidateEnumerator {
+    /// Builds the enumerator from a question context.
+    pub fn new(ctx: &WhyNotContext<'_>) -> Self {
+        let corpus = ctx.dataset.corpus();
+        let missing_docs: Vec<&KeywordSet> = ctx.missing.iter().map(|m| &m.doc).collect();
+        let mut ops = Vec::new();
+        for t in ctx.query.doc.iter() {
+            let parti = corpus.particularity_multi(missing_docs.iter().copied(), t);
+            ops.push(EditOp {
+                term: t,
+                is_insert: false,
+                weight: -parti,
+            });
+        }
+        for t in ctx.missing_doc.difference(&ctx.query.doc).iter() {
+            let parti = corpus.particularity_multi(missing_docs.iter().copied(), t);
+            ops.push(EditOp {
+                term: t,
+                is_insert: true,
+                weight: parti,
+            });
+        }
+        CandidateEnumerator {
+            doc0: ctx.query.doc.clone(),
+            ops,
+        }
+    }
+
+    /// Test/bench constructor from explicit parts: `(term, is_insert,
+    /// weight)` triples.
+    pub fn from_parts(doc0: KeywordSet, ops: Vec<(TermId, bool, f64)>) -> Self {
+        CandidateEnumerator {
+            doc0,
+            ops: ops
+                .into_iter()
+                .map(|(term, is_insert, weight)| EditOp {
+                    term,
+                    is_insert,
+                    weight,
+                })
+                .collect(),
+        }
+    }
+
+    /// The maximum possible edit distance, `|doc₀ ∪ M.doc|`.
+    pub fn max_edit_distance(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Total number of non-trivial candidates (`2^n − 1`).
+    pub fn total_candidates(&self) -> u64 {
+        if self.ops.len() >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.ops.len()) - 1
+        }
+    }
+
+    fn candidate_from_mask(&self, mask: u64) -> Candidate {
+        let mut deleted = Vec::new();
+        let mut inserted = Vec::new();
+        let mut benefit = 0.0;
+        for (i, op) in self.ops.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                benefit += op.weight;
+                if op.is_insert {
+                    inserted.push(op.term);
+                } else {
+                    deleted.push(op.term);
+                }
+            }
+        }
+        let doc = self
+            .doc0
+            .difference(&KeywordSet::from_terms(deleted))
+            .union(&KeywordSet::from_terms(inserted));
+        Candidate {
+            doc,
+            edit_distance: mask.count_ones() as usize,
+            benefit,
+        }
+    }
+
+    /// All candidates with exactly `d` edits. When `ordered` is set they
+    /// are sorted by descending benefit (ties broken by the op mask for
+    /// determinism) — the §IV-C2 ordering.
+    pub fn layer(&self, d: usize, ordered: bool) -> Vec<Candidate> {
+        assert!(d >= 1 && d <= self.ops.len(), "layer out of range");
+        let mut out = Vec::new();
+        let mut masks = Vec::new();
+        combination_masks(self.ops.len(), d, &mut masks);
+        for mask in masks {
+            out.push((mask, self.candidate_from_mask(mask)));
+        }
+        if ordered {
+            out.sort_by(|a, b| {
+                OrdF64::new(b.1.benefit)
+                    .cmp(&OrdF64::new(a.1.benefit))
+                    .then(a.0.cmp(&b.0))
+            });
+        }
+        out.into_iter().map(|(_, c)| c).collect()
+    }
+
+    /// Every candidate, grouped by ascending edit distance (the basic
+    /// algorithm's exhaustive enumeration).
+    pub fn all(&self, ordered: bool) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        for d in 1..=self.ops.len() {
+            out.extend(self.layer(d, ordered));
+        }
+        out
+    }
+
+    /// The §VI-B greedy sample: the `t` candidates with the highest total
+    /// benefit across all edit distances, in descending benefit order.
+    ///
+    /// Uses a k-best subset-sum enumeration: start from the subset of all
+    /// positive-weight operations and explore deviations in increasing
+    /// benefit loss.
+    pub fn sample_top(&self, t: usize) -> Vec<Candidate> {
+        assert!(
+            self.ops.len() < 63,
+            "sampling supports up to 62 edit operations"
+        );
+        let n = self.ops.len();
+        if n == 0 || t == 0 {
+            return Vec::new();
+        }
+        // Sort op indices by |weight| ascending: deviation costs.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            OrdF64::new(self.ops[a].weight.abs())
+                .cmp(&OrdF64::new(self.ops[b].weight.abs()))
+                .then(a.cmp(&b))
+        });
+        let cost: Vec<f64> = order.iter().map(|&i| self.ops[i].weight.abs()).collect();
+        let best_mask: u64 = (0..n)
+            .filter(|&i| self.ops[i].weight > 0.0)
+            .map(|i| 1u64 << i)
+            .sum();
+
+        let mut out = Vec::with_capacity(t);
+        let push_candidate = |mask: u64, out: &mut Vec<Candidate>| {
+            if mask != 0 {
+                out.push(self.candidate_from_mask(mask));
+            }
+        };
+        push_candidate(best_mask, &mut out);
+
+        // Heap of deviation states: (loss, deepest toggled position,
+        // toggled set in `order` space).
+        let mut heap: BinaryHeap<Reverse<(OrdF64, u64)>> = BinaryHeap::new();
+        let mut meta: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        heap.push(Reverse((OrdF64::new(cost[0]), 1u64 << 0)));
+        meta.insert(1u64 << 0, 0);
+        while out.len() < t {
+            let Some(Reverse((loss, toggled))) = heap.pop() else {
+                break;
+            };
+            let last = meta[&toggled];
+            // Map the toggle set back to op-index space and apply it.
+            let mut mask = best_mask;
+            for (pos, &op_idx) in order.iter().enumerate() {
+                if toggled & (1 << pos) != 0 {
+                    mask ^= 1 << op_idx;
+                }
+            }
+            push_candidate(mask, &mut out);
+            if last + 1 < n {
+                // Extend: also toggle the next position.
+                let ext = toggled | (1 << (last + 1));
+                meta.insert(ext, last + 1);
+                heap.push(Reverse((OrdF64::new(loss.0 + cost[last + 1]), ext)));
+                // Replace: move the deepest toggle one position further.
+                let rep = (toggled & !(1 << last)) | (1 << (last + 1));
+                meta.insert(rep, last + 1);
+                heap.push(Reverse((
+                    OrdF64::new(loss.0 - cost[last] + cost[last + 1]),
+                    rep,
+                )));
+            }
+        }
+        out.truncate(t);
+        out
+    }
+}
+
+/// Writes every `n`-bit mask with exactly `d` set bits into `out`, in
+/// ascending numeric order.
+fn combination_masks(n: usize, d: usize, out: &mut Vec<u64>) {
+    assert!(n < 64 && d >= 1 && d <= n);
+    let mut idx: Vec<usize> = (0..d).collect();
+    loop {
+        let mask: u64 = idx.iter().map(|&i| 1u64 << i).sum();
+        out.push(mask);
+        // Advance to the next combination (standard odometer): bump the
+        // rightmost index that has room, reset everything after it.
+        let Some(i) = (0..d).rev().find(|&i| idx[i] < i + n - d) else {
+            return;
+        };
+        idx[i] += 1;
+        for j in i + 1..d {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enumerator() -> CandidateEnumerator {
+        // doc0 = {1, 2}; insertable = {3}. Weights: deleting 1 is good
+        // (+0.5), deleting 2 is bad (−0.7), inserting 3 is good (+1.0).
+        CandidateEnumerator::from_parts(
+            KeywordSet::from_ids([1, 2]),
+            vec![
+                (TermId(1), false, 0.5),
+                (TermId(2), false, -0.7),
+                (TermId(3), true, 1.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn totals() {
+        let e = enumerator();
+        assert_eq!(e.max_edit_distance(), 3);
+        assert_eq!(e.total_candidates(), 7);
+        assert_eq!(e.all(false).len(), 7);
+    }
+
+    #[test]
+    fn layer_sizes_are_binomial() {
+        let e = enumerator();
+        assert_eq!(e.layer(1, false).len(), 3);
+        assert_eq!(e.layer(2, false).len(), 3);
+        assert_eq!(e.layer(3, false).len(), 1);
+    }
+
+    #[test]
+    fn candidates_apply_edits() {
+        let e = enumerator();
+        let all = e.all(false);
+        // Deleting both and inserting 3 → {3}.
+        assert!(all.iter().any(|c| c.doc == KeywordSet::from_ids([3])
+            && c.edit_distance == 3));
+        // Single insert → {1, 2, 3}.
+        assert!(all
+            .iter()
+            .any(|c| c.doc == KeywordSet::from_ids([1, 2, 3]) && c.edit_distance == 1));
+        // Empty set is reachable by deleting everything (d = 2).
+        assert!(all
+            .iter()
+            .any(|c| c.doc.is_empty() && c.edit_distance == 2));
+    }
+
+    #[test]
+    fn ordered_layer_sorts_by_benefit() {
+        let e = enumerator();
+        let layer1 = e.layer(1, true);
+        // insert 3 (1.0) > delete 1 (0.5) > delete 2 (−0.7).
+        assert_eq!(layer1[0].doc, KeywordSet::from_ids([1, 2, 3]));
+        assert_eq!(layer1[1].doc, KeywordSet::from_ids([2]));
+        assert_eq!(layer1[2].doc, KeywordSet::from_ids([1]));
+        assert!(layer1.windows(2).all(|w| w[0].benefit >= w[1].benefit));
+    }
+
+    #[test]
+    fn sample_top_orders_globally_by_benefit() {
+        let e = enumerator();
+        let sample = e.sample_top(7);
+        assert_eq!(sample.len(), 7);
+        assert!(
+            sample.windows(2).all(|w| w[0].benefit >= w[1].benefit),
+            "benefits: {:?}",
+            sample.iter().map(|c| c.benefit).collect::<Vec<_>>()
+        );
+        // Best = apply both positive ops: delete 1, insert 3 → {2, 3}.
+        assert_eq!(sample[0].doc, KeywordSet::from_ids([2, 3]));
+        assert!((sample[0].benefit - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_matches_exhaustive_ranking() {
+        let e = enumerator();
+        let mut all = e.all(false);
+        all.sort_by(|a, b| OrdF64::new(b.benefit).cmp(&OrdF64::new(a.benefit)));
+        let sample = e.sample_top(3);
+        for (s, a) in sample.iter().zip(all.iter()) {
+            assert!((s.benefit - a.benefit).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sample_smaller_than_space() {
+        let e = enumerator();
+        assert_eq!(e.sample_top(2).len(), 2);
+        assert_eq!(e.sample_top(100).len(), 7, "capped at the space size");
+        assert!(e.sample_top(0).is_empty());
+    }
+
+    #[test]
+    fn sample_excludes_the_unmodified_query() {
+        let e = enumerator();
+        for c in e.sample_top(7) {
+            assert!(c.edit_distance >= 1);
+        }
+    }
+
+    #[test]
+    fn combination_masks_enumerate_choose() {
+        let mut masks = Vec::new();
+        combination_masks(5, 2, &mut masks);
+        assert_eq!(masks.len(), 10);
+        assert!(masks.iter().all(|m| m.count_ones() == 2));
+        let unique: std::collections::HashSet<_> = masks.iter().collect();
+        assert_eq!(unique.len(), 10);
+    }
+
+    #[test]
+    fn combination_masks_full_and_single() {
+        let mut masks = Vec::new();
+        combination_masks(4, 4, &mut masks);
+        assert_eq!(masks, vec![0b1111]);
+        masks.clear();
+        combination_masks(4, 1, &mut masks);
+        assert_eq!(masks.len(), 4);
+    }
+}

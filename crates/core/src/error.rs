@@ -1,0 +1,85 @@
+use std::fmt;
+use wnsk_index::ObjectId;
+
+/// Errors surfaced by the why-not query layer.
+#[derive(Debug)]
+pub enum WhyNotError {
+    /// The storage substrate failed (I/O, corruption).
+    Storage(wnsk_storage::StorageError),
+    /// The why-not question has no missing objects.
+    EmptyMissingSet,
+    /// A missing object id does not exist in the dataset.
+    UnknownObject(ObjectId),
+    /// The "missing" object already appears in the initial result, so
+    /// there is nothing to explain (`R(M, q) ≤ k₀` makes Eqn. 4's Δk
+    /// normaliser vanish).
+    NotMissing { object: ObjectId, rank: usize },
+    /// The same object was listed twice in the missing set.
+    DuplicateMissing(ObjectId),
+}
+
+impl fmt::Display for WhyNotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WhyNotError::Storage(e) => write!(f, "storage error: {e}"),
+            WhyNotError::EmptyMissingSet => {
+                write!(f, "why-not question must name at least one missing object")
+            }
+            WhyNotError::UnknownObject(id) => {
+                write!(f, "missing object {id:?} does not exist in the dataset")
+            }
+            WhyNotError::NotMissing { object, rank } => write!(
+                f,
+                "object {object:?} is not missing: it ranks {rank} within the initial top-k"
+            ),
+            WhyNotError::DuplicateMissing(id) => {
+                write!(f, "object {id:?} listed twice in the missing set")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WhyNotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WhyNotError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<wnsk_storage::StorageError> for WhyNotError {
+    fn from(e: wnsk_storage::StorageError) -> Self {
+        WhyNotError::Storage(e)
+    }
+}
+
+/// Result alias for why-not operations.
+pub type Result<T> = std::result::Result<T, WhyNotError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(WhyNotError::EmptyMissingSet.to_string().contains("at least one"));
+        assert!(WhyNotError::NotMissing {
+            object: ObjectId(3),
+            rank: 2
+        }
+        .to_string()
+        .contains("o3"));
+        assert!(WhyNotError::UnknownObject(ObjectId(9))
+            .to_string()
+            .contains("o9"));
+    }
+
+    #[test]
+    fn storage_error_conversion() {
+        use std::error::Error;
+        let e: WhyNotError =
+            wnsk_storage::StorageError::corrupt("node", "oops").into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,335 @@
+//! Why-not answering via **preference adaption**: keep the keywords,
+//! adjust α (and, if needed, `k`) so the missing objects enter the
+//! result — the model of the authors' earlier work (\[8\], ICDE 2015),
+//! provided here as the first leg of the integrated framework.
+//!
+//! # Model
+//!
+//! A refined query `q' = (loc, doc₀, k', α')` must contain every missing
+//! object; its penalty mirrors Eqn. 4 with the keyword term replaced by
+//! the normalised preference shift:
+//!
+//! ```text
+//! Penalty(q, q') = λ·Δk/(R(M,q) − k₀) + (1−λ)·|α' − α₀| / max(α₀, 1−α₀)
+//! ```
+//!
+//! # Exactness
+//!
+//! With the keywords fixed, every object's score is **linear in α**:
+//! `f_o(α) = ts_o + α·((1 − sd_o) − ts_o)`. The missing set's rank is
+//! therefore piecewise constant in α, changing only where some object's
+//! line crosses a missing object's line. On each plateau the penalty is
+//! minimised at the endpoint nearest α₀, and at a crossing the tying
+//! object is *not* a dominator (Eqn. 3 is strict) — so evaluating exactly
+//! the crossing points (plus α₀) finds the global optimum. The search
+//! enumerates candidates in increasing `|α' − α₀|` and stops as soon as
+//! the preference penalty alone exceeds the best found, mirroring the
+//! keyword algorithm's ordered enumeration.
+
+use crate::error::Result;
+use crate::question::{WhyNotContext, WhyNotQuestion};
+use wnsk_index::{Dataset, OrdF64};
+
+/// A preference-refined query answering a why-not question.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AlphaRefinement {
+    /// The adapted preference α'.
+    pub alpha: f64,
+    /// The refined result size `k'` (Lemma 1 applied to this model).
+    pub k: usize,
+    /// `R(M, q')` under the refined query.
+    pub rank: usize,
+    /// Penalty as defined above.
+    pub penalty: f64,
+}
+
+/// Precomputed score-line coefficients: `f(α) = intercept + α·slope`.
+#[derive(Clone, Copy)]
+struct Line {
+    intercept: f64,
+    slope: f64,
+}
+
+/// Finds the optimal preference adaption for a why-not question.
+///
+/// Runs in `O(n·|M| + C·n)` where `C` is the number of candidate
+/// crossings actually evaluated before the ordered early stop triggers
+/// (worst case `O(n·|M|)` candidates). Scores are evaluated in memory —
+/// this extension explains *preferences*, not disk behaviour.
+pub fn refine_alpha(dataset: &Dataset, question: &WhyNotQuestion) -> Result<AlphaRefinement> {
+    question.validate(dataset)?;
+    let q = &question.query;
+    let alpha0 = q.alpha;
+    let lambda = question.lambda;
+
+    // Score lines of every object w.r.t. the *initial* keywords.
+    let lines: Vec<Line> = dataset
+        .objects()
+        .iter()
+        .map(|o| {
+            let sd = dataset.world().normalized_dist(&o.loc, &q.loc);
+            let ts = q.sim.similarity(&o.doc, &q.doc);
+            Line {
+                intercept: ts,
+                slope: (1.0 - sd) - ts,
+            }
+        })
+        .collect();
+
+    // R(M, α) for a given α, evaluated with the dataset's own scoring so
+    // results are bit-identical to what any later verification computes.
+    let rank_at = |alpha: f64| -> usize {
+        let q_alpha =
+            wnsk_index::SpatialKeywordQuery::new(q.loc, q.doc.clone(), q.k, alpha);
+        question
+            .missing
+            .iter()
+            .map(|&m| dataset.rank_of(m, &q_alpha))
+            .max()
+            .expect("validated non-empty")
+    };
+
+    let initial_rank = rank_at(alpha0);
+    // Reuse the standard context for validation + the Δk normaliser.
+    let ctx = WhyNotContext::new(dataset, question, initial_rank)?;
+    let rank_norm = ctx.penalty.rank_norm() as f64;
+    let alpha_norm = alpha0.max(1.0 - alpha0);
+    let penalty_of = |alpha: f64, rank: usize| -> f64 {
+        lambda * rank.saturating_sub(q.k) as f64 / rank_norm
+            + (1.0 - lambda) * (alpha - alpha0).abs() / alpha_norm
+    };
+
+    // Candidate α values: α₀ plus every crossing of a missing object's
+    // line with any other object's line, within (0, 1).
+    let mut candidates: Vec<f64> = vec![alpha0];
+    for m in &question.missing {
+        let lm = lines[m.index()];
+        for (i, lo) in lines.iter().enumerate() {
+            if i == m.index() {
+                continue;
+            }
+            let denom = lo.slope - lm.slope;
+            if denom.abs() < 1e-15 {
+                continue;
+            }
+            let star = (lm.intercept - lo.intercept) / denom;
+            // Probe the crossing and both sides: exactly at the crossing
+            // the scores tie analytically, but floating-point evaluation
+            // can land on either side, so the ε-offsets make the plateau
+            // ranks robustly reachable.
+            for cand in [star, star - 1e-9, star + 1e-9] {
+                if cand > 1e-9 && cand < 1.0 - 1e-9 {
+                    candidates.push(cand);
+                }
+            }
+        }
+    }
+    candidates.sort_by(|a, b| {
+        OrdF64::new((a - alpha0).abs()).cmp(&OrdF64::new((b - alpha0).abs()))
+    });
+    candidates.dedup_by(|a, b| (*a - *b).abs() < 1e-15);
+
+    // Ordered evaluation with early stop on the preference penalty.
+    let mut best = AlphaRefinement {
+        alpha: alpha0,
+        k: initial_rank,
+        rank: initial_rank,
+        penalty: lambda, // the basic refinement: keep α, enlarge k.
+    };
+    for alpha in candidates {
+        if (1.0 - lambda) * (alpha - alpha0).abs() / alpha_norm >= best.penalty {
+            break;
+        }
+        let rank = rank_at(alpha);
+        let penalty = penalty_of(alpha, rank);
+        if penalty < best.penalty {
+            best = AlphaRefinement {
+                alpha,
+                k: rank.max(q.k),
+                rank,
+                penalty,
+            };
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wnsk_geo::{Point, WorldBounds};
+    use wnsk_index::{ObjectId, SpatialKeywordQuery, SpatialObject};
+    use wnsk_text::KeywordSet;
+
+    fn dataset() -> Dataset {
+        // Textually perfect but distant object vs close but irrelevant
+        // ones: lowering α revives the former.
+        let t = |ids: &[u32]| KeywordSet::from_ids(ids.iter().copied());
+        let objects = vec![
+            SpatialObject { id: ObjectId(0), loc: Point::new(0.9, 0.9), doc: t(&[1, 2]) }, // m
+            SpatialObject { id: ObjectId(0), loc: Point::new(0.1, 0.1), doc: t(&[3]) },
+            SpatialObject { id: ObjectId(0), loc: Point::new(0.15, 0.1), doc: t(&[4]) },
+            SpatialObject { id: ObjectId(0), loc: Point::new(0.1, 0.15), doc: t(&[5]) },
+        ];
+        Dataset::new(objects, WorldBounds::unit())
+    }
+
+    fn question(alpha: f64, k: usize, lambda: f64) -> WhyNotQuestion {
+        WhyNotQuestion::new(
+            SpatialKeywordQuery::new(
+                Point::new(0.1, 0.1),
+                KeywordSet::from_ids([1, 2]),
+                k,
+                alpha,
+            ),
+            vec![ObjectId(0)],
+            lambda,
+        )
+    }
+
+    /// Brute-force optimum over a dense α grid for verification.
+    fn grid_optimum(ds: &Dataset, question: &WhyNotQuestion) -> f64 {
+        let q = &question.query;
+        let alpha_norm = q.alpha.max(1.0 - q.alpha);
+        let initial = ds.rank_of(question.missing[0], q);
+        let rank_norm = (initial - q.k) as f64;
+        let mut best = question.lambda;
+        for i in 1..2000 {
+            let alpha = i as f64 / 2000.0;
+            let q2 = SpatialKeywordQuery::new(q.loc, q.doc.clone(), q.k, alpha);
+            let rank = ds.rank_of(question.missing[0], &q2);
+            let p = question.lambda * rank.saturating_sub(q.k) as f64 / rank_norm
+                + (1.0 - question.lambda) * (alpha - q.alpha).abs() / alpha_norm;
+            best = best.min(p);
+        }
+        best
+    }
+
+    #[test]
+    fn lowering_alpha_revives_textual_match() {
+        let ds = dataset();
+        let question = question(0.9, 1, 0.5);
+        let r = refine_alpha(&ds, &question).unwrap();
+        assert!(r.alpha < 0.9, "expected a lower alpha, got {}", r.alpha);
+        assert!(r.penalty < 0.5, "must beat the basic refinement");
+        // Verify the refinement really revives m.
+        let q2 = SpatialKeywordQuery::new(
+            question.query.loc,
+            question.query.doc.clone(),
+            r.k,
+            r.alpha,
+        );
+        assert!(ds.rank_of(ObjectId(0), &q2) <= r.k);
+    }
+
+    #[test]
+    fn matches_grid_search_optimum() {
+        let ds = dataset();
+        for (alpha, lambda) in [(0.9, 0.5), (0.95, 0.3), (0.85, 0.7)] {
+            let question = question(alpha, 1, lambda);
+            let exact = refine_alpha(&ds, &question).unwrap().penalty;
+            let grid = grid_optimum(&ds, &question);
+            assert!(
+                exact <= grid + 1e-6,
+                "alpha {alpha} lambda {lambda}: exact {exact} > grid {grid}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_instances_match_grid() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for case in 0..10 {
+            let objects: Vec<SpatialObject> = (0..30)
+                .map(|_| SpatialObject {
+                    id: ObjectId(0),
+                    loc: Point::new(rng.gen(), rng.gen()),
+                    doc: KeywordSet::from_ids(
+                        (0..rng.gen_range(1..4)).map(|_| rng.gen_range(0..8u32)),
+                    ),
+                })
+                .collect();
+            let ds = Dataset::new(objects, WorldBounds::unit());
+            let q = SpatialKeywordQuery::new(
+                Point::new(rng.gen(), rng.gen()),
+                KeywordSet::from_ids([rng.gen_range(0..8u32)]),
+                2,
+                0.5,
+            );
+            let Some(missing) = ds
+                .objects()
+                .iter()
+                .map(|o| o.id)
+                .find(|&id| ds.rank_of(id, &q) > 2)
+            else {
+                continue;
+            };
+            let question = WhyNotQuestion::new(q, vec![missing], 0.5);
+            let exact = refine_alpha(&ds, &question).unwrap().penalty;
+            let grid = grid_optimum(&ds, &question);
+            assert!(exact <= grid + 1e-6, "case {case}: {exact} > {grid}");
+        }
+    }
+
+    #[test]
+    fn already_present_is_rejected() {
+        let ds = dataset();
+        // With α small, m already ranks first.
+        let question = question(0.05, 1, 0.5);
+        assert!(matches!(
+            refine_alpha(&ds, &question),
+            Err(crate::WhyNotError::NotMissing { .. })
+        ));
+    }
+
+    #[test]
+    fn baseline_when_no_alpha_helps() {
+        // The missing object is both far *and* textually worst: no α
+        // revives it into the top-1 at lower cost than enlarging k
+        // when λ is small.
+        let t = |ids: &[u32]| KeywordSet::from_ids(ids.iter().copied());
+        let objects = vec![
+            SpatialObject { id: ObjectId(0), loc: Point::new(0.9, 0.9), doc: t(&[9]) }, // m
+            SpatialObject { id: ObjectId(0), loc: Point::new(0.1, 0.1), doc: t(&[1]) },
+        ];
+        let ds = Dataset::new(objects, WorldBounds::unit());
+        let question = WhyNotQuestion::new(
+            SpatialKeywordQuery::new(Point::new(0.1, 0.1), t(&[1]), 1, 0.5),
+            vec![ObjectId(0)],
+            0.01,
+        );
+        let r = refine_alpha(&ds, &question).unwrap();
+        // m is dominated at every α (the competitor is both closer and
+        // more similar) — the only answer is the basic k-enlargement
+        // with penalty λ.
+        assert_eq!(r.alpha, 0.5);
+        assert_eq!(r.k, 2);
+        assert!((r.penalty - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_missing_uses_worst_rank() {
+        let ds = dataset();
+        let question = WhyNotQuestion::new(
+            SpatialKeywordQuery::new(
+                Point::new(0.1, 0.1),
+                KeywordSet::from_ids([1, 2]),
+                1,
+                0.9,
+            ),
+            vec![ObjectId(0), ObjectId(2)],
+            0.5,
+        );
+        let r = refine_alpha(&ds, &question).unwrap();
+        let q2 = SpatialKeywordQuery::new(
+            question.query.loc,
+            question.query.doc.clone(),
+            r.k,
+            r.alpha,
+        );
+        for &m in &question.missing {
+            assert!(ds.rank_of(m, &q2) <= r.k);
+        }
+    }
+}

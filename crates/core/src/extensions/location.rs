@@ -1,0 +1,299 @@
+//! Why-not answering via **location refinement**: keep the keywords and
+//! preference, move the query location minimally so the missing objects
+//! enter the result — the second future-work direction of §VIII.
+//!
+//! # Model
+//!
+//! A refined query `q' = (loc', doc₀, k', α)` must contain every missing
+//! object; the penalty mirrors Eqn. 4 with the keyword term replaced by
+//! the normalised displacement:
+//!
+//! ```text
+//! Penalty(q, q') = λ·Δk/(R(M,q) − k₀) + (1−λ)·dist(loc₀, loc')/diagonal
+//! ```
+//!
+//! # Status: principled heuristic
+//!
+//! Unlike α (one dimension, piecewise-linear scores), the optimal
+//! location lives in a 2-D arrangement of bisector curves — the paper
+//! leaves it as future work and no exact algorithm is attempted here.
+//! The search evaluates a structured candidate set:
+//!
+//! * the original location (basic k-enlargement fallback),
+//! * geometric subdivisions of the segments from `loc₀` towards each
+//!   missing object and towards their centroid (moving towards `M`
+//!   monotonically improves its distance term),
+//! * each missing object's own location,
+//!
+//! then polishes the best candidate by golden-section search on its
+//! segment. Every candidate is evaluated *exactly* (full rank
+//! computation), so the returned refinement is always valid — only
+//! optimality is heuristic.
+
+use crate::error::Result;
+use crate::question::{WhyNotContext, WhyNotQuestion};
+use wnsk_geo::Point;
+use wnsk_index::{Dataset, OrdF64, SpatialKeywordQuery};
+
+/// A location-refined query answering a why-not question.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LocationRefinement {
+    /// The adapted query location.
+    pub loc: Point,
+    /// The refined result size `k'`.
+    pub k: usize,
+    /// `R(M, q')` under the refined query.
+    pub rank: usize,
+    /// Penalty as defined above.
+    pub penalty: f64,
+}
+
+/// Finds a low-penalty location refinement. `subdivisions` controls how
+/// densely each candidate segment is probed (≥ 1; 16 is a good default).
+pub fn refine_location(
+    dataset: &Dataset,
+    question: &WhyNotQuestion,
+    subdivisions: usize,
+) -> Result<LocationRefinement> {
+    assert!(subdivisions >= 1, "subdivisions must be at least 1");
+    question.validate(dataset)?;
+    let q = &question.query;
+    let lambda = question.lambda;
+    let diag = dataset.world().diagonal();
+
+    let rank_at = |loc: Point| -> usize {
+        let q2 = SpatialKeywordQuery::new(loc, q.doc.clone(), q.k, q.alpha);
+        question
+            .missing
+            .iter()
+            .map(|&m| dataset.rank_of(m, &q2))
+            .max()
+            .expect("validated non-empty")
+    };
+
+    let initial_rank = rank_at(q.loc);
+    let ctx = WhyNotContext::new(dataset, question, initial_rank)?;
+    let rank_norm = ctx.penalty.rank_norm() as f64;
+    let penalty_of = |loc: Point, rank: usize| -> f64 {
+        lambda * rank.saturating_sub(q.k) as f64 / rank_norm
+            + (1.0 - lambda) * q.loc.dist(&loc) / diag
+    };
+
+    // Candidate anchors: each missing object and the centroid of M.
+    let mut anchors: Vec<Point> = question
+        .missing
+        .iter()
+        .map(|&m| dataset.object(m).loc)
+        .collect();
+    let centroid = Point::new(
+        anchors.iter().map(|p| p.x).sum::<f64>() / anchors.len() as f64,
+        anchors.iter().map(|p| p.y).sum::<f64>() / anchors.len() as f64,
+    );
+    anchors.push(centroid);
+
+    let mut best = LocationRefinement {
+        loc: q.loc,
+        k: initial_rank,
+        rank: initial_rank,
+        penalty: lambda, // basic refinement: stay put, enlarge k.
+    };
+    let consider = |loc: Point, best: &mut LocationRefinement| {
+        // Ordered pruning: the displacement part alone already loses.
+        if (1.0 - lambda) * q.loc.dist(&loc) / diag >= best.penalty {
+            return;
+        }
+        let rank = rank_at(loc);
+        let penalty = penalty_of(loc, rank);
+        if penalty < best.penalty {
+            *best = LocationRefinement {
+                loc,
+                k: rank.max(q.k),
+                rank,
+                penalty,
+            };
+        }
+    };
+
+    for &anchor in &anchors {
+        for i in 0..=subdivisions {
+            let t = i as f64 / subdivisions as f64;
+            let loc = Point::new(
+                q.loc.x + t * (anchor.x - q.loc.x),
+                q.loc.y + t * (anchor.y - q.loc.y),
+            );
+            consider(loc, &mut best);
+        }
+    }
+
+    // Golden-section polish along the best segment (towards the anchor
+    // nearest the current best location) on the *penalty* function.
+    if best.loc != q.loc {
+        let anchor = *anchors
+            .iter()
+            .min_by(|a, b| {
+                OrdF64::new(a.dist(&best.loc)).cmp(&OrdF64::new(b.dist(&best.loc)))
+            })
+            .expect("anchors non-empty");
+        let eval = |t: f64| -> f64 {
+            let loc = Point::new(
+                q.loc.x + t * (anchor.x - q.loc.x),
+                q.loc.y + t * (anchor.y - q.loc.y),
+            );
+            penalty_of(loc, rank_at(loc))
+        };
+        let phi = (5f64.sqrt() - 1.0) / 2.0;
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        let mut x1 = hi - phi * (hi - lo);
+        let mut x2 = lo + phi * (hi - lo);
+        let (mut f1, mut f2) = (eval(x1), eval(x2));
+        for _ in 0..24 {
+            if f1 <= f2 {
+                hi = x2;
+                x2 = x1;
+                f2 = f1;
+                x1 = hi - phi * (hi - lo);
+                f1 = eval(x1);
+            } else {
+                lo = x1;
+                x1 = x2;
+                f1 = f2;
+                x2 = lo + phi * (hi - lo);
+                f2 = eval(x2);
+            }
+        }
+        let t = if f1 <= f2 { x1 } else { x2 };
+        consider(
+            Point::new(
+                q.loc.x + t * (anchor.x - q.loc.x),
+                q.loc.y + t * (anchor.y - q.loc.y),
+            ),
+            &mut best,
+        );
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wnsk_geo::WorldBounds;
+    use wnsk_index::{ObjectId, SpatialObject};
+    use wnsk_text::KeywordSet;
+
+    fn dataset() -> Dataset {
+        let t = |ids: &[u32]| KeywordSet::from_ids(ids.iter().copied());
+        // m shares the query keywords but sits far away; decoys crowd the
+        // original location.
+        let objects = vec![
+            SpatialObject { id: ObjectId(0), loc: Point::new(0.85, 0.85), doc: t(&[1]) }, // m
+            SpatialObject { id: ObjectId(0), loc: Point::new(0.1, 0.1), doc: t(&[1]) },
+            SpatialObject { id: ObjectId(0), loc: Point::new(0.12, 0.1), doc: t(&[1]) },
+            SpatialObject { id: ObjectId(0), loc: Point::new(0.1, 0.12), doc: t(&[1]) },
+        ];
+        Dataset::new(objects, WorldBounds::unit())
+    }
+
+    fn question(k: usize, lambda: f64) -> WhyNotQuestion {
+        WhyNotQuestion::new(
+            SpatialKeywordQuery::new(
+                Point::new(0.1, 0.1),
+                KeywordSet::from_ids([1]),
+                k,
+                0.5,
+            ),
+            vec![ObjectId(0)],
+            lambda,
+        )
+    }
+
+    #[test]
+    fn refinement_revives_and_beats_baseline() {
+        let ds = dataset();
+        let question = question(1, 0.9);
+        let r = refine_location(&ds, &question, 16).unwrap();
+        assert!(r.penalty <= 0.9 + 1e-12, "never worse than the baseline");
+        let q2 = SpatialKeywordQuery::new(
+            r.loc,
+            question.query.doc.clone(),
+            question.query.k,
+            question.query.alpha,
+        );
+        assert!(ds.rank_of(ObjectId(0), &q2) <= r.k);
+        // With λ = 0.9 the k-enlargement is expensive; moving wins.
+        assert!(r.penalty < 0.9);
+        assert!(r.loc != question.query.loc);
+    }
+
+    #[test]
+    fn baseline_kept_when_movement_is_penalised() {
+        let ds = dataset();
+        // λ tiny: enlarging k is almost free, movement dominated.
+        let question = question(1, 0.01);
+        let r = refine_location(&ds, &question, 16).unwrap();
+        assert!((r.penalty - 0.01).abs() < 1e-9);
+        assert_eq!(r.loc, question.query.loc);
+        assert_eq!(r.k, ds.rank_of(ObjectId(0), &question.query));
+    }
+
+    #[test]
+    fn moving_onto_the_missing_object_is_considered() {
+        let ds = dataset();
+        let question = question(1, 0.999);
+        let r = refine_location(&ds, &question, 4).unwrap();
+        // With movement nearly free, the search should at least match the
+        // penalty of standing on m itself.
+        let on_m = {
+            let q2 = SpatialKeywordQuery::new(
+                Point::new(0.85, 0.85),
+                question.query.doc.clone(),
+                1,
+                0.5,
+            );
+            let rank = ds.rank_of(ObjectId(0), &q2);
+            0.999 * rank.saturating_sub(1) as f64
+                / (ds.rank_of(ObjectId(0), &question.query) - 1) as f64
+                + 0.001 * question.query.loc.dist(&Point::new(0.85, 0.85))
+                    / ds.world().diagonal()
+        };
+        assert!(r.penalty <= on_m + 1e-9);
+    }
+
+    #[test]
+    fn multi_missing_revived_together() {
+        let t = |ids: &[u32]| KeywordSet::from_ids(ids.iter().copied());
+        let objects = vec![
+            SpatialObject { id: ObjectId(0), loc: Point::new(0.8, 0.8), doc: t(&[1]) },
+            SpatialObject { id: ObjectId(0), loc: Point::new(0.8, 0.9), doc: t(&[1]) },
+            SpatialObject { id: ObjectId(0), loc: Point::new(0.1, 0.1), doc: t(&[1]) },
+            SpatialObject { id: ObjectId(0), loc: Point::new(0.12, 0.1), doc: t(&[1]) },
+        ];
+        let ds = Dataset::new(objects, WorldBounds::unit());
+        let question = WhyNotQuestion::new(
+            SpatialKeywordQuery::new(Point::new(0.1, 0.1), t(&[1]), 1, 0.5),
+            vec![ObjectId(0), ObjectId(1)],
+            0.8,
+        );
+        let r = refine_location(&ds, &question, 16).unwrap();
+        let q2 = SpatialKeywordQuery::new(r.loc, t(&[1]), r.k, 0.5);
+        for &m in &question.missing {
+            assert!(ds.rank_of(m, &q2) <= r.k);
+        }
+    }
+
+    #[test]
+    fn invalid_questions_rejected() {
+        let ds = dataset();
+        let q = SpatialKeywordQuery::new(
+            Point::new(0.8, 0.8),
+            KeywordSet::from_ids([1]),
+            1,
+            0.5,
+        );
+        // m is the top-1 from this location.
+        let question = WhyNotQuestion::new(q, vec![ObjectId(0)], 0.5);
+        assert!(matches!(
+            refine_location(&ds, &question, 8),
+            Err(crate::WhyNotError::NotMissing { .. })
+        ));
+    }
+}

@@ -1,0 +1,15 @@
+//! Extensions beyond the paper's core contribution, covering its stated
+//! future work (§VIII): answering why-not questions by refining the
+//! *preference* α (the approach of the authors' earlier ICDE 2015 work,
+//! reference \[8\]) and by refining the *query location*.
+//!
+//! Together with the keyword adaption of the main crate these form the
+//! "integrated framework" the conclusion sketches: given one why-not
+//! question, an application can compare the three refinement channels and
+//! present whichever modification is cheapest for the user.
+
+pub mod alpha;
+pub mod location;
+
+pub use alpha::{refine_alpha, AlphaRefinement};
+pub use location::{refine_location, LocationRefinement};

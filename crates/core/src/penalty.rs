@@ -1,0 +1,181 @@
+//! The penalty model of Eqn. 4 and the early-stop rank bound of Eqn. 6.
+
+/// The penalty model for one why-not question:
+///
+/// ```text
+/// Penalty(q, q') = λ·Δk/(R(M,q) − k₀) + (1−λ)·Δdoc/|doc₀ ∪ M.doc|
+/// ```
+///
+/// with `Δk = max(0, k' − k₀)` and `k' = max(k₀, R(M, q'))` (Lemma 1), and
+/// `Δdoc` the insert/delete edit distance between `doc₀` and `doc'`.
+///
+/// # Examples
+///
+/// The paper's Table I setting (`λ = 0.5`, `k₀ = 1`, `R(m,q) = 3`,
+/// `|doc₀ ∪ m.doc| = 3`):
+///
+/// ```
+/// use wnsk_core::PenaltyModel;
+///
+/// let model = PenaltyModel::new(0.5, 1, 3, 3);
+/// // Keeping the keywords and enlarging k to 3 costs exactly λ.
+/// assert_eq!(model.baseline_penalty(), 0.5);
+/// // One keyword edit that lifts the missing object to rank 2:
+/// assert!((model.penalty(1, 2) - 5.0 / 12.0).abs() < 1e-12);
+/// // Eqn. 6: with one edit and budget 0.5, the rank may reach…
+/// assert_eq!(model.rank_upper_limit(1, 0.5), Some(2));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct PenaltyModel {
+    /// User preference between modifying `k` (λ→1 penalises it fully) and
+    /// modifying the keywords.
+    pub lambda: f64,
+    /// Result size of the initial query.
+    pub k0: usize,
+    /// Rank of the missing set under the initial query,
+    /// `R(M,q) = max_i R(m_i, q)`. Strictly greater than `k0`.
+    pub initial_rank: usize,
+    /// `|doc₀ ∪ M.doc|`, the Δdoc normaliser.
+    pub doc_norm: usize,
+}
+
+impl PenaltyModel {
+    /// Creates a model, validating its invariants.
+    pub fn new(lambda: f64, k0: usize, initial_rank: usize, doc_norm: usize) -> Self {
+        assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0,1]");
+        assert!(
+            initial_rank > k0,
+            "missing objects must rank below the top-k ({initial_rank} ≤ {k0})"
+        );
+        assert!(doc_norm >= 1, "doc₀ ∪ M.doc cannot be empty");
+        PenaltyModel {
+            lambda,
+            k0,
+            initial_rank,
+            doc_norm,
+        }
+    }
+
+    /// The `Δk` normaliser `R(M,q) − k₀`.
+    #[inline]
+    pub fn rank_norm(&self) -> usize {
+        self.initial_rank - self.k0
+    }
+
+    /// The keyword part of the penalty: `(1−λ)·Δdoc/|doc₀ ∪ M.doc|`.
+    #[inline]
+    pub fn keyword_penalty(&self, edit_distance: usize) -> f64 {
+        (1.0 - self.lambda) * edit_distance as f64 / self.doc_norm as f64
+    }
+
+    /// The rank part of the penalty: `λ·max(0, rank − k₀)/(R(M,q) − k₀)`.
+    #[inline]
+    pub fn rank_penalty(&self, rank: usize) -> f64 {
+        self.lambda * rank.saturating_sub(self.k0) as f64 / self.rank_norm() as f64
+    }
+
+    /// Total penalty of a refined query whose keyword set has the given
+    /// edit distance and under which the missing set ranks `rank`.
+    #[inline]
+    pub fn penalty(&self, edit_distance: usize, rank: usize) -> f64 {
+        self.keyword_penalty(edit_distance) + self.rank_penalty(rank)
+    }
+
+    /// The penalty of the *basic* refined query (keep `doc₀`, enlarge `k₀`
+    /// to `R(M,q)`): exactly `λ`.
+    #[inline]
+    pub fn baseline_penalty(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The early-stop rank bound `R_L` of Eqn. 6: a refined query with the
+    /// given edit distance can have penalty ≤ `current_best` only if the
+    /// missing set's rank is at most `R_L`.
+    ///
+    /// Returns `None` when no rank can qualify (the keyword penalty alone
+    /// already exceeds `current_best`); `usize::MAX` effectively means
+    /// "unbounded" (λ = 0, where the rank does not matter).
+    pub fn rank_upper_limit(&self, edit_distance: usize, current_best: f64) -> Option<usize> {
+        let budget = current_best - self.keyword_penalty(edit_distance);
+        if budget < 0.0 {
+            return None;
+        }
+        if self.lambda == 0.0 {
+            return Some(usize::MAX);
+        }
+        // λ·(R_L − k₀)/rank_norm ≤ budget  →  Eqn. 6's floor.
+        let r = self.k0 as f64 + budget / self.lambda * self.rank_norm() as f64;
+        // Guard against absurd budgets overflowing the cast.
+        if r >= usize::MAX as f64 {
+            Some(usize::MAX)
+        } else {
+            Some(r.floor() as usize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table1_penalties() {
+        // Table I: k₀ = 1, R(m,q) = 3, |doc₀ ∪ m.doc| = 3, λ = 0.5.
+        let model = PenaltyModel::new(0.5, 1, 3, 3);
+        // q1 = (3, {t1,t2}): Δk = 2/2, Δdoc = 0 → 0.5.
+        assert!((model.penalty(0, 3) - 0.5).abs() < 1e-12);
+        // q2 = (1, {t2,t3}): Δk = 0, Δdoc = 2/3 → 0.5·2/3 = 0.333.
+        assert!((model.penalty(2, 1) - 1.0 / 3.0).abs() < 1e-12);
+        // q3 = (2, {t1,t3}): Δk = 1/2, Δdoc = 2/3 → 0.25 + 0.333 = 0.583.
+        assert!((model.penalty(2, 2) - (0.25 + 1.0 / 3.0)).abs() < 1e-12);
+        // q4 = (2, {t1,t2,t3}): Δk = 1/2, Δdoc = 1/3 → 0.25 + 0.1667.
+        assert!((model.penalty(1, 2) - (0.25 + 1.0 / 6.0)).abs() < 1e-12);
+        // Baseline is λ.
+        assert_eq!(model.baseline_penalty(), 0.5);
+    }
+
+    #[test]
+    fn rank_at_or_below_k0_costs_nothing() {
+        let model = PenaltyModel::new(0.5, 10, 51, 5);
+        assert_eq!(model.rank_penalty(10), 0.0);
+        assert_eq!(model.rank_penalty(3), 0.0);
+        assert!(model.rank_penalty(11) > 0.0);
+    }
+
+    #[test]
+    fn paper_example4_rank_limit() {
+        // Example 4: k₀ = 5, R(m,q) = 10, λ = 0.5, p_c = 0.5,
+        // Δdoc/|doc₀ ∪ m.doc| = 0.4 → R_L = 8.
+        let model = PenaltyModel::new(0.5, 5, 10, 5);
+        // edit distance 2 over norm 5 gives 0.4.
+        assert_eq!(model.rank_upper_limit(2, 0.5), Some(8));
+    }
+
+    #[test]
+    fn rank_limit_none_when_keywords_alone_exceed() {
+        let model = PenaltyModel::new(0.5, 5, 10, 4);
+        // keyword penalty = 0.5·4/4 = 0.5 > 0.3.
+        assert_eq!(model.rank_upper_limit(4, 0.3), None);
+    }
+
+    #[test]
+    fn rank_limit_unbounded_when_lambda_zero() {
+        let model = PenaltyModel::new(0.0, 5, 10, 4);
+        assert_eq!(model.rank_upper_limit(1, 0.5), Some(usize::MAX));
+        // ...but still None when keywords alone exceed the budget.
+        assert_eq!(model.rank_upper_limit(4, 0.5), None);
+    }
+
+    #[test]
+    fn penalty_monotone_in_rank_and_edits() {
+        let model = PenaltyModel::new(0.7, 3, 16, 6);
+        assert!(model.penalty(1, 5) < model.penalty(2, 5));
+        assert!(model.penalty(1, 5) < model.penalty(1, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "must rank below")]
+    fn initial_rank_must_exceed_k0() {
+        PenaltyModel::new(0.5, 10, 10, 3);
+    }
+}

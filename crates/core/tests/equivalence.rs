@@ -1,0 +1,465 @@
+//! Cross-algorithm correctness: BS, AdvancedBS (in every ablation
+//! configuration, serial and parallel) and KcRBased must all return a
+//! refined query with the *optimal* penalty, which a brute-force sweep
+//! over the full candidate space certifies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wnsk_core::{
+    answer_advanced, answer_approx_kcr, answer_basic, answer_kcr, AdvancedOptions,
+    CandidateEnumerator, KcrOptions, WhyNotContext, WhyNotEngine, WhyNotError, WhyNotQuestion,
+};
+use wnsk_geo::{Point, WorldBounds};
+use wnsk_index::{Dataset, ObjectId, SpatialKeywordQuery, SpatialObject};
+use wnsk_text::KeywordSet;
+
+fn random_dataset(n: usize, vocab: u32, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let objects = (0..n)
+        .map(|_| {
+            let n_terms = rng.gen_range(1..=5);
+            let doc = KeywordSet::from_ids((0..n_terms).map(|_| rng.gen_range(0..vocab)));
+            SpatialObject {
+                id: ObjectId(0),
+                loc: Point::new(rng.gen::<f64>(), rng.gen::<f64>()),
+                doc,
+            }
+        })
+        .collect();
+    Dataset::new(objects, WorldBounds::unit())
+}
+
+fn random_query(rng: &mut StdRng, vocab: u32, k: usize) -> SpatialKeywordQuery {
+    let n_terms = rng.gen_range(1..=3);
+    SpatialKeywordQuery::new(
+        Point::new(rng.gen::<f64>(), rng.gen::<f64>()),
+        KeywordSet::from_ids((0..n_terms).map(|_| rng.gen_range(0..vocab))),
+        k,
+        [0.3, 0.5, 0.7][rng.gen_range(0..3)],
+    )
+}
+
+/// Picks missing objects ranked strictly below the top-k but not too deep
+/// (keeps brute force fast).
+fn pick_missing(ds: &Dataset, q: &SpatialKeywordQuery, count: usize, rng: &mut StdRng) -> Vec<ObjectId> {
+    let mut scored: Vec<(ObjectId, f64)> = ds
+        .objects()
+        .iter()
+        .map(|o| (o.id, ds.score(o, q)))
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let lo = q.k + 2;
+    let hi = (q.k + 30).min(scored.len());
+    let mut picked = Vec::new();
+    let mut tries = 0;
+    while picked.len() < count && tries < 200 {
+        tries += 1;
+        let idx = rng.gen_range(lo..hi);
+        let id = scored[idx].0;
+        // The pick must be *strictly* missing (rank > k even with ties).
+        if ds.rank_of(id, q) > q.k && !picked.contains(&id) {
+            picked.push(id);
+        }
+    }
+    picked
+}
+
+/// Brute-force optimum: min over the basic refinement and every candidate
+/// keyword set, with ranks computed by exhaustive scoring.
+fn brute_force_optimal(ds: &Dataset, question: &WhyNotQuestion) -> f64 {
+    let initial_rank = question
+        .missing
+        .iter()
+        .map(|&m| ds.rank_of(m, &question.query))
+        .max()
+        .unwrap();
+    let ctx = WhyNotContext::new(ds, question, initial_rank).unwrap();
+    let enumerator = CandidateEnumerator::new(&ctx);
+    let mut best = ctx.penalty.baseline_penalty();
+    for cand in enumerator.all(false) {
+        let q_s = question.query.with_doc(cand.doc.clone());
+        let rank = question
+            .missing
+            .iter()
+            .map(|&m| ds.rank_of(m, &q_s))
+            .max()
+            .unwrap();
+        let p = ctx.penalty.penalty(cand.edit_distance, rank);
+        if p < best {
+            best = p;
+        }
+    }
+    best
+}
+
+fn setup(seed: u64, n: usize, vocab: u32, k: usize, missing: usize) -> Option<(WhyNotEngine, WhyNotQuestion)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ds = random_dataset(n, vocab, seed);
+    let q = random_query(&mut rng, vocab, k);
+    let m = pick_missing(&ds, &q, missing, &mut rng);
+    if m.len() < missing {
+        return None;
+    }
+    let question = WhyNotQuestion::new(q, m, [0.3, 0.5, 0.7][rng.gen_range(0..3)]);
+    let engine = WhyNotEngine::build_with(
+        ds,
+        8,
+        wnsk_storage::BufferPoolConfig::default(),
+    )
+    .unwrap();
+    Some((engine, question))
+}
+
+#[test]
+fn all_algorithms_match_brute_force_single_missing() {
+    let mut checked = 0;
+    for seed in 0..12u64 {
+        let Some((engine, question)) = setup(seed, 250, 25, 5, 1) else {
+            continue;
+        };
+        let expected = brute_force_optimal(engine.dataset(), &question);
+        let bs = answer_basic(engine.dataset(), engine.setr(), &question).unwrap();
+        let adv = answer_advanced(
+            engine.dataset(),
+            engine.setr(),
+            &question,
+            AdvancedOptions::default(),
+        )
+        .unwrap();
+        let kcr = answer_kcr(
+            engine.dataset(),
+            engine.kcr(),
+            &question,
+            KcrOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            (bs.refined.penalty - expected).abs() < 1e-9,
+            "seed {seed}: BS {} vs brute {expected}",
+            bs.refined.penalty
+        );
+        assert!(
+            (adv.refined.penalty - expected).abs() < 1e-9,
+            "seed {seed}: AdvancedBS {} vs brute {expected}",
+            adv.refined.penalty
+        );
+        assert!(
+            (kcr.refined.penalty - expected).abs() < 1e-9,
+            "seed {seed}: KcRBased {} vs brute {expected}",
+            kcr.refined.penalty
+        );
+        checked += 1;
+    }
+    assert!(checked >= 8, "too few usable seeds ({checked})");
+}
+
+#[test]
+fn all_algorithms_match_brute_force_multi_missing() {
+    let mut checked = 0;
+    for seed in 100..108u64 {
+        let Some((engine, question)) = setup(seed, 200, 20, 4, 2) else {
+            continue;
+        };
+        let expected = brute_force_optimal(engine.dataset(), &question);
+        for answer in [
+            answer_basic(engine.dataset(), engine.setr(), &question).unwrap(),
+            answer_advanced(
+                engine.dataset(),
+                engine.setr(),
+                &question,
+                AdvancedOptions::default(),
+            )
+            .unwrap(),
+            answer_kcr(
+                engine.dataset(),
+                engine.kcr(),
+                &question,
+                KcrOptions::default(),
+            )
+            .unwrap(),
+        ] {
+            assert!(
+                (answer.refined.penalty - expected).abs() < 1e-9,
+                "seed {seed}: got {} vs brute {expected}",
+                answer.refined.penalty
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 5, "too few usable seeds ({checked})");
+}
+
+#[test]
+fn every_ablation_configuration_is_exact() {
+    let (engine, question) = setup(7, 250, 25, 5, 1).expect("seed 7 must be usable");
+    let expected = brute_force_optimal(engine.dataset(), &question);
+    for early_stop in [false, true] {
+        for ordered in [false, true] {
+            for filtering in [false, true] {
+                let opts = AdvancedOptions {
+                    early_stop,
+                    ordered_enumeration: ordered,
+                    keyword_set_filtering: filtering,
+                    threads: 1,
+                };
+                let ans =
+                    answer_advanced(engine.dataset(), engine.setr(), &question, opts).unwrap();
+                assert!(
+                    (ans.refined.penalty - expected).abs() < 1e-9,
+                    "opts {opts:?}: {} vs {expected}",
+                    ans.refined.penalty
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_matches_serial() {
+    let (engine, question) = setup(13, 300, 25, 5, 1).expect("seed 13 must be usable");
+    let serial = answer_advanced(
+        engine.dataset(),
+        engine.setr(),
+        &question,
+        AdvancedOptions::default(),
+    )
+    .unwrap();
+    for threads in [2, 4] {
+        let par = answer_advanced(
+            engine.dataset(),
+            engine.setr(),
+            &question,
+            AdvancedOptions {
+                threads,
+                ..AdvancedOptions::default()
+            },
+        )
+        .unwrap();
+        assert!((par.refined.penalty - serial.refined.penalty).abs() < 1e-9);
+        let kcr_par = answer_kcr(
+            engine.dataset(),
+            engine.kcr(),
+            &question,
+            KcrOptions { threads, ..KcrOptions::default() },
+        )
+        .unwrap();
+        let kcr_ser = answer_kcr(
+            engine.dataset(),
+            engine.kcr(),
+            &question,
+            KcrOptions { threads: 1, ..KcrOptions::default() },
+        )
+        .unwrap();
+        assert!((kcr_par.refined.penalty - kcr_ser.refined.penalty).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn approximate_never_beats_exact_and_converges() {
+    let (engine, question) = setup(21, 250, 25, 5, 1).expect("seed 21 must be usable");
+    let exact = answer_kcr(
+        engine.dataset(),
+        engine.kcr(),
+        &question,
+        KcrOptions::default(),
+    )
+    .unwrap();
+    let mut last = f64::INFINITY;
+    for t in [1, 4, 16, 64, 4096] {
+        let approx = answer_approx_kcr(
+            engine.dataset(),
+            engine.kcr(),
+            &question,
+            KcrOptions::default(),
+            t,
+        )
+        .unwrap();
+        assert!(
+            approx.refined.penalty >= exact.refined.penalty - 1e-9,
+            "sample {t} beat the exact optimum"
+        );
+        // Larger samples can only help (the sample is a growing prefix).
+        assert!(approx.refined.penalty <= last + 1e-9);
+        last = approx.refined.penalty;
+    }
+    // A sample covering the whole space equals the exact answer.
+    assert!((last - exact.refined.penalty).abs() < 1e-9);
+}
+
+#[test]
+fn refined_query_revives_the_missing_objects() {
+    for seed in [3u64, 9, 15] {
+        let Some((engine, question)) = setup(seed, 250, 25, 5, 1) else {
+            continue;
+        };
+        let ans = engine.answer(&question).unwrap();
+        let refined_query = question
+            .query
+            .with_doc(ans.refined.doc.clone());
+        for &m in &question.missing {
+            let rank = engine.dataset().rank_of(m, &refined_query);
+            assert!(
+                rank <= ans.refined.k,
+                "seed {seed}: missing {m:?} ranks {rank} > k' = {}",
+                ans.refined.k
+            );
+        }
+    }
+}
+
+#[test]
+fn figure1_example_optimum() {
+    // The running example of Fig. 1 / Table I. Exhaustive evaluation gives
+    // the optimum penalty 5/12 ≈ 0.4167, achieved by doc' = {t1,t2,t3}
+    // with R(m,q') = 2 (the paper's own q4 up to rounding).
+    //
+    // Note: the paper's Table I claims q2 = (1, {t2,t3}) retrieves m with
+    // Δk = 0, but by the paper's own scores o2 = (0.9, TSim 1/3) still
+    // out-ranks m = (0.5, TSim 2/3) under {t2,t3} (0.6167 > 0.5833), so
+    // R(m, q2) = 2 and q2's true penalty is 0.5833. The table row is
+    // inconsistent with Fig. 1; our algorithms return the true optimum.
+    let t = |ids: &[u32]| KeywordSet::from_ids(ids.iter().copied());
+    let objects = vec![
+        SpatialObject { id: ObjectId(0), loc: Point::new(5.0, 0.0), doc: t(&[1, 2, 3]) }, // m
+        SpatialObject { id: ObjectId(0), loc: Point::new(8.0, 0.0), doc: t(&[1]) },
+        SpatialObject { id: ObjectId(0), loc: Point::new(1.0, 0.0), doc: t(&[1, 3]) },
+        SpatialObject { id: ObjectId(0), loc: Point::new(6.0, 0.0), doc: t(&[1, 2]) },
+    ];
+    let world = WorldBounds::new(wnsk_geo::Rect::new(
+        Point::new(0.0, 0.0),
+        Point::new(10.0, 0.0),
+    ));
+    let ds = Dataset::new(objects, world);
+    let q = SpatialKeywordQuery::new(Point::new(0.0, 0.0), t(&[1, 2]), 1, 0.5);
+    let question = WhyNotQuestion::new(q, vec![ObjectId(0)], 0.5);
+    let engine = WhyNotEngine::build_with(ds, 2, wnsk_storage::BufferPoolConfig::default())
+        .unwrap();
+    let expected = 5.0 / 12.0;
+    for ans in [
+        engine.answer_basic(&question).unwrap(),
+        engine
+            .answer_advanced(&question, AdvancedOptions::default())
+            .unwrap(),
+        engine.answer_kcr(&question, KcrOptions::default()).unwrap(),
+    ] {
+        assert!(
+            (ans.refined.penalty - expected).abs() < 1e-9,
+            "penalty {} ≠ 5/12",
+            ans.refined.penalty
+        );
+        assert_eq!(ans.refined.k, 2);
+        assert_eq!(ans.refined.doc, t(&[1, 2, 3]));
+    }
+}
+
+#[test]
+fn not_missing_is_reported() {
+    let (engine, mut question) = setup(5, 200, 20, 5, 1).expect("seed 5 must be usable");
+    // Replace the missing object with the top-1 object.
+    let top = engine.top_k(&question.query).unwrap()[0].0;
+    question.missing = vec![top];
+    match engine.answer(&question) {
+        Err(WhyNotError::NotMissing { object, rank }) => {
+            assert_eq!(object, top);
+            assert!(rank <= question.query.k);
+        }
+        other => panic!("expected NotMissing, got {other:?}"),
+    }
+}
+
+#[test]
+fn stats_are_populated() {
+    let (engine, question) = setup(31, 250, 25, 5, 1).expect("seed 31 must be usable");
+    let bs = engine.answer_basic(&question).unwrap();
+    assert!(bs.stats.queries_run > 0);
+    assert!(bs.stats.candidates_total > 0);
+    let adv = engine
+        .answer_advanced(&question, AdvancedOptions::default())
+        .unwrap();
+    // The optimisations must actually skip work relative to BS.
+    assert!(adv.stats.queries_run <= bs.stats.queries_run);
+    let kcr = engine.answer_kcr(&question, KcrOptions::default()).unwrap();
+    assert!(kcr.stats.nodes_expanded > 0);
+}
+
+#[test]
+fn alternative_similarity_models_are_exact() {
+    // Footnote 1 of the paper: the algorithms extend to other coefficient
+    // models. All three solvers must stay optimal under Dice and cosine.
+    use wnsk_text::TextModel;
+    for model in [TextModel::Dice, TextModel::Cosine] {
+        let mut checked = 0;
+        for seed in 300..312u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ds = random_dataset(200, 20, seed);
+            let q = random_query(&mut rng, 20, 4).with_model(model);
+            let m = pick_missing(&ds, &q, 1, &mut rng);
+            if m.is_empty() {
+                continue;
+            }
+            let question = WhyNotQuestion::new(q, m, 0.5);
+            let engine = WhyNotEngine::build_with(
+                ds,
+                8,
+                wnsk_storage::BufferPoolConfig::default(),
+            )
+            .unwrap();
+            let expected = brute_force_optimal(engine.dataset(), &question);
+            for ans in [
+                answer_basic(engine.dataset(), engine.setr(), &question).unwrap(),
+                answer_advanced(
+                    engine.dataset(),
+                    engine.setr(),
+                    &question,
+                    AdvancedOptions::default(),
+                )
+                .unwrap(),
+                answer_kcr(
+                    engine.dataset(),
+                    engine.kcr(),
+                    &question,
+                    KcrOptions::default(),
+                )
+                .unwrap(),
+            ] {
+                assert!(
+                    (ans.refined.penalty - expected).abs() < 1e-9,
+                    "{model:?} seed {seed}: {} vs brute {expected}",
+                    ans.refined.penalty
+                );
+            }
+            checked += 1;
+        }
+        assert!(checked >= 6, "{model:?}: too few usable seeds ({checked})");
+    }
+}
+
+#[test]
+fn kcr_batch_size_does_not_change_the_answer() {
+    let (engine, question) = setup(17, 250, 25, 5, 1).expect("seed 17 must be usable");
+    let reference = answer_kcr(
+        engine.dataset(),
+        engine.kcr(),
+        &question,
+        KcrOptions::default(),
+    )
+    .unwrap();
+    for batch_size in [1usize, 7, 64, 10_000] {
+        let ans = answer_kcr(
+            engine.dataset(),
+            engine.kcr(),
+            &question,
+            KcrOptions {
+                threads: 1,
+                batch_size,
+            },
+        )
+        .unwrap();
+        assert!(
+            (ans.refined.penalty - reference.refined.penalty).abs() < 1e-9,
+            "batch {batch_size}: {} vs {}",
+            ans.refined.penalty,
+            reference.refined.penalty
+        );
+    }
+}

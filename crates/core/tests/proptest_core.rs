@@ -1,0 +1,166 @@
+//! Property-based tests for the why-not layer: the penalty model, the
+//! candidate enumeration, and end-to-end optimality of the solvers on
+//! arbitrary small instances.
+
+use proptest::prelude::*;
+use wnsk_core::{
+    answer_advanced, answer_basic, answer_kcr, AdvancedOptions, CandidateEnumerator,
+    KcrOptions, PenaltyModel, WhyNotContext, WhyNotEngine, WhyNotQuestion,
+};
+use wnsk_geo::{Point, WorldBounds};
+use wnsk_index::{Dataset, ObjectId, SpatialKeywordQuery, SpatialObject};
+use wnsk_text::{KeywordSet, TermId};
+
+fn arb_doc() -> impl Strategy<Value = KeywordSet> {
+    proptest::collection::vec(0u32..12, 1..5).prop_map(KeywordSet::from_ids)
+}
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64, arb_doc()), 8..40).prop_map(
+        |items| {
+            let objects = items
+                .into_iter()
+                .map(|(x, y, doc)| SpatialObject {
+                    id: ObjectId(0),
+                    loc: Point::new(x, y),
+                    doc,
+                })
+                .collect();
+            Dataset::new(objects, WorldBounds::unit())
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Eqn. 6 round-trips: any rank within the limit has penalty within
+    /// the budget, and the next rank above exceeds it.
+    #[test]
+    fn rank_limit_is_tight(
+        lambda in 0.05..0.95f64,
+        k0 in 1usize..50,
+        extra in 1usize..100,
+        norm in 1usize..12,
+        ed in 0usize..12,
+        budget in 0.0..1.5f64,
+    ) {
+        let model = PenaltyModel::new(lambda, k0, k0 + extra, norm.max(ed));
+        match model.rank_upper_limit(ed, budget) {
+            None => {
+                prop_assert!(model.keyword_penalty(ed) > budget);
+            }
+            Some(usize::MAX) => {}
+            Some(limit) => {
+                prop_assert!(model.penalty(ed, limit) <= budget + 1e-9);
+                prop_assert!(model.penalty(ed, limit + 1) > budget - 1e-9);
+            }
+        }
+    }
+
+    /// The layered enumeration covers the candidate space exactly once.
+    #[test]
+    fn enumeration_partitions_space(
+        n_del in 0usize..4,
+        n_ins in 0usize..4,
+        weights in proptest::collection::vec(-2.0..2.0f64, 8),
+    ) {
+        prop_assume!(n_del + n_ins >= 1);
+        let doc0 = KeywordSet::from_ids(0..n_del as u32);
+        let ops: Vec<(TermId, bool, f64)> = (0..n_del)
+            .map(|i| (TermId(i as u32), false, weights[i]))
+            .chain((0..n_ins).map(|i| (TermId(100 + i as u32), true, weights[4 + i])))
+            .collect();
+        let e = CandidateEnumerator::from_parts(doc0, ops);
+        let all = e.all(false);
+        prop_assert_eq!(all.len() as u64, e.total_candidates());
+        let unique: std::collections::HashSet<_> =
+            all.iter().map(|c| c.doc.clone()).collect();
+        prop_assert_eq!(unique.len(), all.len(), "duplicate candidate docs");
+        // The sample in full length enumerates the same benefits, sorted.
+        let sample = e.sample_top(all.len());
+        prop_assert_eq!(sample.len(), all.len());
+        prop_assert!(sample.windows(2).all(|w| w[0].benefit >= w[1].benefit - 1e-12));
+    }
+
+    /// End-to-end: the three solvers agree with the brute-force optimum
+    /// on arbitrary tiny instances.
+    #[test]
+    fn solvers_are_optimal(ds in arb_dataset(), seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let q = SpatialKeywordQuery::new(
+            Point::new(rng.gen(), rng.gen()),
+            KeywordSet::from_ids((0..rng.gen_range(1..3)).map(|_| rng.gen_range(0..12u32))),
+            2,
+            0.5,
+        );
+        // Find an object that is strictly missing.
+        let missing = ds
+            .objects()
+            .iter()
+            .map(|o| o.id)
+            .find(|&id| {
+                let r = ds.rank_of(id, &q);
+                r > q.k && r <= ds.len()
+            });
+        prop_assume!(missing.is_some());
+        let question = WhyNotQuestion::new(q.clone(), vec![missing.unwrap()], 0.5);
+
+        // Brute force optimum.
+        let initial_rank = ds.rank_of(missing.unwrap(), &q);
+        let ctx = WhyNotContext::new(&ds, &question, initial_rank).unwrap();
+        let mut best = ctx.penalty.baseline_penalty();
+        for cand in CandidateEnumerator::new(&ctx).all(false) {
+            let rank = ds.rank_of(missing.unwrap(), &q.with_doc(cand.doc.clone()));
+            best = best.min(ctx.penalty.penalty(cand.edit_distance, rank));
+        }
+
+        let engine = WhyNotEngine::build_with(
+            ds.clone(),
+            4,
+            wnsk_storage::BufferPoolConfig::default(),
+        )
+        .unwrap();
+        let bs = answer_basic(engine.dataset(), engine.setr(), &question).unwrap();
+        prop_assert!((bs.refined.penalty - best).abs() < 1e-9);
+        let adv = answer_advanced(
+            engine.dataset(),
+            engine.setr(),
+            &question,
+            AdvancedOptions::default(),
+        )
+        .unwrap();
+        prop_assert!((adv.refined.penalty - best).abs() < 1e-9);
+        let kcr = answer_kcr(
+            engine.dataset(),
+            engine.kcr(),
+            &question,
+            KcrOptions::default(),
+        )
+        .unwrap();
+        prop_assert!((kcr.refined.penalty - best).abs() < 1e-9,
+            "kcr {} vs brute {best}", kcr.refined.penalty);
+    }
+
+    /// Penalty is monotone in both rank and edit distance, bounded by the
+    /// pieces.
+    #[test]
+    fn penalty_monotone(
+        lambda in 0.0..=1.0f64,
+        k0 in 1usize..20,
+        extra in 1usize..50,
+        norm in 1usize..10,
+        ed in 0usize..10,
+        rank in 1usize..100,
+    ) {
+        let model = PenaltyModel::new(lambda, k0, k0 + extra, norm.max(ed.max(1)));
+        let p = model.penalty(ed, rank);
+        prop_assert!(p >= model.keyword_penalty(ed) - 1e-12);
+        prop_assert!(p >= model.rank_penalty(rank) - 1e-12);
+        prop_assert!(model.penalty(ed, rank + 1) >= p - 1e-12);
+        if ed < model.doc_norm {
+            prop_assert!(model.penalty(ed + 1, rank) >= p - 1e-12);
+        }
+    }
+}

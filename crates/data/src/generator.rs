@@ -1,0 +1,229 @@
+//! The dataset generator: Gaussian-mixture locations + Zipf documents.
+
+use crate::spec::DatasetSpec;
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wnsk_geo::{Point, WorldBounds};
+use wnsk_index::{Dataset, ObjectId, SpatialObject};
+use wnsk_text::{KeywordSet, TermId, Vocabulary};
+
+/// A generated dataset plus its vocabulary (term id → synthetic word).
+pub struct GeneratedData {
+    pub dataset: Dataset,
+    pub vocabulary: Vocabulary,
+    pub spec: DatasetSpec,
+}
+
+impl GeneratedData {
+    /// Average keywords per object (Table II-style statistics).
+    pub fn avg_doc_len(&self) -> f64 {
+        let total: usize = self
+            .dataset
+            .objects()
+            .iter()
+            .map(|o| o.doc.len())
+            .sum();
+        total as f64 / self.dataset.len().max(1) as f64
+    }
+
+    /// Number of distinct terms actually used by some object.
+    pub fn used_vocab(&self) -> usize {
+        (0..self.vocabulary.len() as u32)
+            .filter(|&t| self.dataset.corpus().doc_freq(TermId(t)) > 0)
+            .count()
+    }
+}
+
+/// Generates a dataset per `spec`. Fully deterministic for a given spec
+/// (including its seed).
+pub fn generate(spec: &DatasetSpec) -> GeneratedData {
+    assert!(spec.n_objects > 0, "dataset must have at least one object");
+    assert!(spec.vocab_size > 0, "vocabulary must be non-empty");
+    assert!(
+        spec.doc_len.0 >= 1 && spec.doc_len.0 <= spec.doc_len.1,
+        "doc_len range must be non-empty and start at ≥1"
+    );
+    assert!(spec.doc_len.1 <= spec.vocab_size, "doc_len exceeds vocabulary");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    // Synthetic vocabulary: pseudo-words, rank order = popularity order.
+    let mut vocabulary = Vocabulary::new();
+    for i in 0..spec.vocab_size {
+        vocabulary.intern(&synthetic_word(i));
+    }
+
+    // Cluster centers ("cities").
+    let centers: Vec<Point> = (0..spec.clusters.max(1))
+        .map(|_| Point::new(rng.gen(), rng.gen()))
+        .collect();
+
+    let zipf = Zipf::new(spec.vocab_size, spec.zipf_exponent);
+    let mut objects = Vec::with_capacity(spec.n_objects);
+    for _ in 0..spec.n_objects {
+        let loc = if rng.gen::<f64>() < spec.uniform_fraction {
+            Point::new(rng.gen(), rng.gen())
+        } else {
+            let c = centers[rng.gen_range(0..centers.len())];
+            Point::new(
+                (c.x + gaussian(&mut rng) * spec.cluster_sigma).clamp(0.0, 1.0),
+                (c.y + gaussian(&mut rng) * spec.cluster_sigma).clamp(0.0, 1.0),
+            )
+        };
+        let len = rng.gen_range(spec.doc_len.0..=spec.doc_len.1);
+        let mut terms = Vec::with_capacity(len);
+        // Rejection-sample distinct terms; vocabulary ≫ doc length so
+        // this terminates quickly.
+        while terms.len() < len {
+            let t = TermId(zipf.sample(&mut rng) as u32);
+            if !terms.contains(&t) {
+                terms.push(t);
+            }
+        }
+        objects.push(SpatialObject {
+            id: ObjectId(0),
+            loc,
+            doc: KeywordSet::from_terms(terms),
+        });
+    }
+
+    GeneratedData {
+        dataset: Dataset::new(objects, WorldBounds::unit()),
+        vocabulary,
+        spec: spec.clone(),
+    }
+}
+
+/// Box–Muller standard normal.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Pronounceable-ish deterministic pseudo-word for term rank `i`.
+fn synthetic_word(i: usize) -> String {
+    const CONS: &[u8] = b"bcdfgklmnprstvz";
+    const VOWS: &[u8] = b"aeiou";
+    let mut n = i;
+    let mut w = String::new();
+    loop {
+        w.push(CONS[n % CONS.len()] as char);
+        n /= CONS.len();
+        w.push(VOWS[n % VOWS.len()] as char);
+        n /= VOWS.len();
+        if n == 0 {
+            break;
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = DatasetSpec::tiny(42);
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.dataset.len(), b.dataset.len());
+        for (x, y) in a.dataset.objects().iter().zip(b.dataset.objects()) {
+            assert_eq!(x.loc, y.loc);
+            assert_eq!(x.doc, y.doc);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&DatasetSpec::tiny(1));
+        let b = generate(&DatasetSpec::tiny(2));
+        let same = a
+            .dataset
+            .objects()
+            .iter()
+            .zip(b.dataset.objects())
+            .filter(|(x, y)| x.loc == y.loc)
+            .count();
+        assert!(same < a.dataset.len() / 10);
+    }
+
+    #[test]
+    fn spec_is_respected() {
+        let spec = DatasetSpec::tiny(3);
+        let g = generate(&spec);
+        assert_eq!(g.dataset.len(), spec.n_objects);
+        assert_eq!(g.vocabulary.len(), spec.vocab_size);
+        for o in g.dataset.objects() {
+            assert!(o.doc.len() >= spec.doc_len.0 && o.doc.len() <= spec.doc_len.1);
+            assert!((0.0..=1.0).contains(&o.loc.x));
+            assert!((0.0..=1.0).contains(&o.loc.y));
+            for t in o.doc.iter() {
+                assert!((t.0 as usize) < spec.vocab_size);
+            }
+        }
+    }
+
+    #[test]
+    fn term_frequencies_are_skewed() {
+        let g = generate(&DatasetSpec::tiny(4));
+        let corpus = g.dataset.corpus();
+        let f0 = corpus.doc_freq(TermId(0));
+        let f_tail = corpus.doc_freq(TermId(50));
+        assert!(
+            f0 > 3 * f_tail.max(1),
+            "expected Zipf skew, got head {f0} vs tail {f_tail}"
+        );
+    }
+
+    #[test]
+    fn locations_are_clustered() {
+        // Average nearest-cluster-center distance must be far below the
+        // uniform expectation.
+        let spec = DatasetSpec {
+            uniform_fraction: 0.0,
+            ..DatasetSpec::tiny(5)
+        };
+        let g = generate(&spec);
+        // Reconstruct the centers by re-running the generator's RNG is
+        // fragile; instead check pairwise clustering: the mean distance to
+        // the nearest other object should be tiny compared to uniform.
+        let objs = g.dataset.objects();
+        let mut total_nn = 0.0;
+        for (i, o) in objs.iter().enumerate().take(100) {
+            let mut best = f64::INFINITY;
+            for (j, p) in objs.iter().enumerate() {
+                if i != j {
+                    best = best.min(o.loc.dist(&p.loc));
+                }
+            }
+            total_nn += best;
+        }
+        let mean_nn = total_nn / 100.0;
+        // Uniform 300 points in the unit square → mean NN ≈ 0.5/√300 ≈ 0.029.
+        assert!(mean_nn < 0.02, "mean NN distance {mean_nn} not clustered");
+    }
+
+    #[test]
+    fn synthetic_words_are_unique() {
+        let words: std::collections::HashSet<String> =
+            (0..10_000).map(synthetic_word).collect();
+        assert_eq!(words.len(), 10_000);
+    }
+
+    #[test]
+    fn vocabulary_maps_back() {
+        let g = generate(&DatasetSpec::tiny(6));
+        let t = g.dataset.objects()[0].doc.terms()[0];
+        assert!(g.vocabulary.name(t).is_some());
+    }
+
+    #[test]
+    fn table2_statistics_helpers() {
+        let g = generate(&DatasetSpec::tiny(7));
+        assert!(g.avg_doc_len() >= 1.0 && g.avg_doc_len() <= 5.0);
+        assert!(g.used_vocab() <= g.vocabulary.len());
+        assert!(g.used_vocab() > 10);
+    }
+}

@@ -1,0 +1,213 @@
+//! Plain-text dataset import/export.
+//!
+//! The original EURO and GN snapshots cannot be redistributed, but anyone
+//! holding them (or any other spatio-textual corpus) can run the library
+//! on the real data through this format — one object per line:
+//!
+//! ```text
+//! # comment / blank lines ignored
+//! <x> <y> <keyword>[,<keyword>...]
+//! ```
+//!
+//! Coordinates are arbitrary `f64`s; world bounds are inferred from the
+//! data. Keywords are free-form tokens (no commas or whitespace).
+
+use std::io::{BufRead, Write};
+use wnsk_geo::Point;
+use wnsk_index::{Dataset, ObjectId, SpatialObject};
+use wnsk_text::{KeywordSet, Vocabulary};
+
+/// Errors raised while parsing a dataset file.
+#[derive(Debug)]
+pub enum ParseError {
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based number and a description.
+    Malformed { line: usize, reason: String },
+    /// The file contained no objects.
+    Empty,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "I/O error: {e}"),
+            ParseError::Malformed { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+            ParseError::Empty => write!(f, "dataset file contains no objects"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Reads a dataset from the line format above.
+pub fn read_dataset<R: BufRead>(reader: R) -> Result<(Dataset, Vocabulary), ParseError> {
+    let mut vocab = Vocabulary::new();
+    let mut objects = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let x: f64 = parse_coord(parts.next(), line_no, "x")?;
+        let y: f64 = parse_coord(parts.next(), line_no, "y")?;
+        let words = parts.next().ok_or_else(|| ParseError::Malformed {
+            line: line_no,
+            reason: "missing keyword list".into(),
+        })?;
+        if parts.next().is_some() {
+            return Err(ParseError::Malformed {
+                line: line_no,
+                reason: "trailing tokens after the keyword list".into(),
+            });
+        }
+        let terms: Vec<_> = words
+            .split(',')
+            .filter(|w| !w.is_empty())
+            .map(|w| vocab.intern(w))
+            .collect();
+        if terms.is_empty() {
+            return Err(ParseError::Malformed {
+                line: line_no,
+                reason: "object must have at least one keyword".into(),
+            });
+        }
+        objects.push(SpatialObject {
+            id: ObjectId(0),
+            loc: Point::new(x, y),
+            doc: KeywordSet::from_terms(terms),
+        });
+    }
+    if objects.is_empty() {
+        return Err(ParseError::Empty);
+    }
+    Ok((Dataset::with_inferred_world(objects), vocab))
+}
+
+fn parse_coord(tok: Option<&str>, line: usize, which: &str) -> Result<f64, ParseError> {
+    let tok = tok.ok_or_else(|| ParseError::Malformed {
+        line,
+        reason: format!("missing {which} coordinate"),
+    })?;
+    let v: f64 = tok.parse().map_err(|_| ParseError::Malformed {
+        line,
+        reason: format!("bad {which} coordinate '{tok}'"),
+    })?;
+    if !v.is_finite() {
+        return Err(ParseError::Malformed {
+            line,
+            reason: format!("{which} coordinate must be finite"),
+        });
+    }
+    Ok(v)
+}
+
+/// Writes a dataset in the same format (stable: `read ∘ write` is the
+/// identity up to object order and world-bounds inference).
+pub fn write_dataset<W: Write>(
+    mut writer: W,
+    dataset: &Dataset,
+    vocab: &Vocabulary,
+) -> std::io::Result<()> {
+    writeln!(writer, "# whynot-sk dataset: {} objects", dataset.len())?;
+    for o in dataset.objects() {
+        let words: Vec<&str> = o
+            .doc
+            .iter()
+            .map(|t| vocab.name(t).unwrap_or("?"))
+            .collect();
+        writeln!(writer, "{} {} {}", o.loc.x, o.loc.y, words.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DatasetSpec;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_valid_input() {
+        let input = "# header\n\n0.1 0.2 hotel,clean\n0.5 0.5 cafe\n";
+        let (ds, vocab) = read_dataset(Cursor::new(input)).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(vocab.len(), 3);
+        assert!(ds.object(ObjectId(0)).doc.contains(vocab.get("hotel").unwrap()));
+        assert_eq!(ds.object(ObjectId(1)).loc, Point::new(0.5, 0.5));
+    }
+
+    #[test]
+    fn negative_and_scientific_coordinates() {
+        let input = "-12.5 1e-3 poi\n";
+        let (ds, _) = read_dataset(Cursor::new(input)).unwrap();
+        assert_eq!(ds.object(ObjectId(0)).loc, Point::new(-12.5, 0.001));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for (input, needle) in [
+            ("0.1 hotel", "bad y"),
+            ("0.1", "missing y"),
+            ("a 0.2 hotel", "bad x"),
+            ("0.1 0.2", "missing keyword"),
+            ("0.1 0.2 hotel extra", "trailing"),
+            ("0.1 0.2 ,", "at least one keyword"),
+            ("inf 0.2 hotel", "finite"),
+        ] {
+            let err = read_dataset(Cursor::new(input)).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "input {input:?}: expected {needle:?} in {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        assert!(matches!(
+            read_dataset(Cursor::new("# nothing\n")),
+            Err(ParseError::Empty)
+        ));
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let input = "0.1 0.2 ok\nbroken line here more\n";
+        match read_dataset(Cursor::new(input)) {
+            Err(ParseError::Malformed { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_objects() {
+        let g = crate::generate(&DatasetSpec::tiny(31));
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, &g.dataset, &g.vocabulary).unwrap();
+        let (ds2, vocab2) = read_dataset(Cursor::new(&buf)).unwrap();
+        assert_eq!(ds2.len(), g.dataset.len());
+        for (a, b) in g.dataset.objects().iter().zip(ds2.objects()) {
+            assert_eq!(a.loc, b.loc);
+            // Term ids may differ; compare rendered words.
+            let words = |doc: &KeywordSet, v: &Vocabulary| -> Vec<String> {
+                doc.iter().map(|t| v.name(t).unwrap().to_string()).collect()
+            };
+            let mut wa = words(&a.doc, &g.vocabulary);
+            let mut wb = words(&b.doc, &vocab2);
+            wa.sort();
+            wb.sort();
+            assert_eq!(wa, wb);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Synthetic spatio-textual datasets and why-not workloads.
+//!
+//! The paper evaluates on two real datasets — EURO (162,033 points of
+//! interest in Europe, 35,315 distinct words) and GN (1,868,821 US
+//! geographic names, 222,407 distinct words) — that are not
+//! redistributable. This crate substitutes seeded synthetic generators
+//! matched on the statistics the algorithms are sensitive to:
+//!
+//! * **cardinality and vocabulary size** — configurable, with presets
+//!   matching both datasets at any scale factor;
+//! * **term-frequency skew** — POI category terms are heavily skewed;
+//!   terms are drawn from a Zipf distribution ([`zipf`]);
+//! * **spatial clustering** — POIs cluster around cities; locations come
+//!   from a Gaussian-mixture over the unit square;
+//! * **document lengths** — uniform in a small range, as in POI data.
+//!
+//! [`workload`] generates the paper's query/missing-object workloads
+//! (e.g. "the missing object is the one ranked `5·k₀+1` under the
+//! initial query", §VII-A3).
+
+pub mod io;
+pub mod spec;
+pub mod workload;
+pub mod zipf;
+
+mod generator;
+
+pub use generator::{generate, GeneratedData};
+pub use spec::DatasetSpec;

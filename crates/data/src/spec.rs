@@ -1,0 +1,130 @@
+//! Dataset generation parameters and the EURO/GN presets.
+
+/// Parameters of a synthetic spatio-textual dataset.
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Human-readable name (appears in experiment output).
+    pub name: String,
+    /// Number of objects.
+    pub n_objects: usize,
+    /// Vocabulary size (distinct terms available to the Zipf sampler).
+    pub vocab_size: usize,
+    /// Inclusive range of keywords per object.
+    pub doc_len: (usize, usize),
+    /// Zipf skew exponent for term frequencies (≈1 matches natural
+    /// language / POI category distributions).
+    pub zipf_exponent: f64,
+    /// Number of spatial clusters ("cities").
+    pub clusters: usize,
+    /// Standard deviation of each Gaussian cluster (unit-square units).
+    pub cluster_sigma: f64,
+    /// Fraction of objects placed uniformly instead of in clusters.
+    pub uniform_fraction: f64,
+    /// RNG seed — generation is fully deterministic.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// EURO-like preset (§VII-A2: 162,033 objects, 35,315 terms) at a
+    /// given scale factor; `scale = 1.0` reproduces the paper's
+    /// cardinalities.
+    pub fn euro_like(scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        DatasetSpec {
+            name: format!("EURO-like(x{scale})"),
+            n_objects: ((162_033.0 * scale) as usize).max(100),
+            vocab_size: ((35_315.0 * scale) as usize).max(50),
+            // Kept short enough that the exhaustive BS baseline stays
+            // tractable for the multi-missing experiment (its candidate
+            // space is 2^|doc₀ ∪ M.doc|).
+            doc_len: (2, 6),
+            zipf_exponent: 1.0,
+            clusters: 40,
+            cluster_sigma: 0.02,
+            uniform_fraction: 0.15,
+            seed: 0xE0B0,
+        }
+    }
+
+    /// GN-like preset (§VII-A2: 1,868,821 objects, 222,407 terms) at a
+    /// given scale factor.
+    pub fn gn_like(scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        DatasetSpec {
+            name: format!("GN-like(x{scale})"),
+            n_objects: ((1_868_821.0 * scale) as usize).max(100),
+            vocab_size: ((222_407.0 * scale) as usize).max(50),
+            doc_len: (1, 6),
+            zipf_exponent: 1.05,
+            clusters: 120,
+            cluster_sigma: 0.015,
+            uniform_fraction: 0.25,
+            seed: 0x6E06,
+        }
+    }
+
+    /// A tiny preset for unit tests and doc examples.
+    pub fn tiny(seed: u64) -> Self {
+        DatasetSpec {
+            name: "tiny".into(),
+            n_objects: 300,
+            vocab_size: 60,
+            doc_len: (1, 5),
+            zipf_exponent: 1.0,
+            clusters: 4,
+            cluster_sigma: 0.05,
+            uniform_fraction: 0.2,
+            seed,
+        }
+    }
+
+    /// Overrides the seed, keeping everything else.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the object count, keeping everything else (used by the
+    /// scalability experiment, Fig. 13).
+    pub fn with_objects(mut self, n: usize) -> Self {
+        self.n_objects = n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_scale_linearly() {
+        let e = DatasetSpec::euro_like(0.1);
+        assert_eq!(e.n_objects, 16_203);
+        assert_eq!(e.vocab_size, 3_531);
+        let g = DatasetSpec::gn_like(0.01);
+        assert_eq!(g.n_objects, 18_688);
+    }
+
+    #[test]
+    fn full_scale_matches_paper_table2() {
+        let e = DatasetSpec::euro_like(1.0);
+        assert_eq!(e.n_objects, 162_033);
+        assert_eq!(e.vocab_size, 35_315);
+        let g = DatasetSpec::gn_like(1.0);
+        assert_eq!(g.n_objects, 1_868_821);
+        assert_eq!(g.vocab_size, 222_407);
+    }
+
+    #[test]
+    fn builders_override() {
+        let s = DatasetSpec::tiny(1).with_seed(9).with_objects(42);
+        assert_eq!(s.seed, 9);
+        assert_eq!(s.n_objects, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn zero_scale_rejected() {
+        DatasetSpec::euro_like(0.0);
+    }
+}

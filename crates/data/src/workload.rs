@@ -1,0 +1,236 @@
+//! Why-not workload generation matching §VII-A3.
+//!
+//! The paper's default workload: random initial queries with a given
+//! number of keywords, and the missing object chosen as the one ranked
+//! `5·k₀ + 1` under the initial query (or a specific rank, Fig. 8, or
+//! random ranks in a band, Fig. 9).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wnsk_geo::Point;
+use wnsk_index::{Dataset, ObjectId, OrdF64, SpatialKeywordQuery};
+use wnsk_text::KeywordSet;
+
+/// A generated why-not workload item: the initial query plus missing
+/// objects at controlled ranks.
+#[derive(Clone, Debug)]
+pub struct WorkloadItem {
+    pub query: SpatialKeywordQuery,
+    pub missing: Vec<ObjectId>,
+}
+
+/// Workload generation parameters.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Keywords per initial query.
+    pub n_keywords: usize,
+    /// Initial `k₀`.
+    pub k: usize,
+    /// Ranking preference α.
+    pub alpha: f64,
+    /// Target rank of the (single) missing object; the paper's default is
+    /// `5·k₀ + 1`.
+    pub missing_rank: usize,
+    /// Number of missing objects. 1 picks exactly `missing_rank`; more
+    /// picks random distinct ranks in `(k, missing_rank]` (Fig. 9 uses
+    /// ranks 11–51).
+    pub n_missing: usize,
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The paper's default workload: `k₀ = 10`, 4 keywords, α = 0.5,
+    /// missing object at rank `5·k₀+1 = 51`.
+    pub fn paper_default(seed: u64) -> Self {
+        WorkloadSpec {
+            n_keywords: 4,
+            k: 10,
+            alpha: 0.5,
+            missing_rank: 51,
+            n_missing: 1,
+            seed,
+        }
+    }
+}
+
+/// Generates one workload item over `dataset`, or `None` when the random
+/// draw cannot satisfy the spec (e.g. the target rank is deeper than the
+/// dataset).
+///
+/// Queries are anchored at a random object so that the keywords are
+/// realistic: the query location is near the anchor and the keywords mix
+/// the anchor's terms with other objects' terms.
+pub fn generate_item(dataset: &Dataset, spec: &WorkloadSpec) -> Option<WorkloadItem> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    for _attempt in 0..50 {
+        if let Some(item) = try_generate(dataset, spec, &mut rng) {
+            return Some(item);
+        }
+    }
+    None
+}
+
+fn try_generate(
+    dataset: &Dataset,
+    spec: &WorkloadSpec,
+    rng: &mut StdRng,
+) -> Option<WorkloadItem> {
+    if dataset.len() <= spec.missing_rank {
+        return None;
+    }
+    let anchor = dataset.object(ObjectId(rng.gen_range(0..dataset.len() as u32)));
+    let loc = Point::new(
+        (anchor.loc.x + rng.gen_range(-0.05..0.05)).clamp(0.0, 1.0),
+        (anchor.loc.y + rng.gen_range(-0.05..0.05)).clamp(0.0, 1.0),
+    );
+    // Keywords: some of the anchor's terms, padded with terms from other
+    // random objects until the requested count is reached.
+    let mut terms: Vec<_> = anchor.doc.iter().collect();
+    while terms.len() < spec.n_keywords {
+        let other = dataset.object(ObjectId(rng.gen_range(0..dataset.len() as u32)));
+        for t in other.doc.iter() {
+            if !terms.contains(&t) {
+                terms.push(t);
+                break;
+            }
+        }
+    }
+    terms.truncate(spec.n_keywords);
+    let query = SpatialKeywordQuery::new(
+        loc,
+        KeywordSet::from_terms(terms),
+        spec.k,
+        spec.alpha,
+    );
+
+    // Rank every object once (brute force — workload generation is not a
+    // measured path).
+    let mut scored: Vec<(ObjectId, f64)> = dataset
+        .objects()
+        .iter()
+        .map(|o| (o.id, dataset.score(o, &query)))
+        .collect();
+    scored.sort_by(|a, b| OrdF64::new(b.1).cmp(&OrdF64::new(a.1)).then(a.0.cmp(&b.0)));
+
+    let strict_rank = |idx: usize| -> usize {
+        // Convert a sorted position to Eqn. 3's tie-aware rank.
+        let score = scored[idx].1;
+        scored.partition_point(|&(_, s)| s > score) + 1
+    };
+
+    let mut missing = Vec::new();
+    if spec.n_missing == 1 {
+        // The object at sorted position missing_rank−1, but only when its
+        // tie-aware rank is exact (skip degenerate tie plateaus).
+        let idx = spec.missing_rank - 1;
+        if strict_rank(idx) != spec.missing_rank {
+            return None;
+        }
+        missing.push(scored[idx].0);
+    } else {
+        let lo = spec.k; // positions k..missing_rank (0-based)
+        let hi = spec.missing_rank.min(scored.len());
+        if hi - lo < spec.n_missing {
+            return None;
+        }
+        let mut tries = 0;
+        while missing.len() < spec.n_missing && tries < 500 {
+            tries += 1;
+            let idx = rng.gen_range(lo..hi);
+            let id = scored[idx].0;
+            if strict_rank(idx) > spec.k && !missing.contains(&id) {
+                missing.push(id);
+            }
+        }
+        if missing.len() < spec.n_missing {
+            return None;
+        }
+    }
+    Some(WorkloadItem { query, missing })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DatasetSpec;
+
+    fn dataset() -> wnsk_index::Dataset {
+        crate::generate(&DatasetSpec::tiny(11)).dataset
+    }
+
+    #[test]
+    fn default_item_has_target_rank() {
+        let ds = dataset();
+        let spec = WorkloadSpec {
+            missing_rank: 21,
+            k: 4,
+            ..WorkloadSpec::paper_default(5)
+        };
+        let item = generate_item(&ds, &spec).expect("workload must generate");
+        assert_eq!(item.missing.len(), 1);
+        assert_eq!(ds.rank_of(item.missing[0], &item.query), 21);
+        assert_eq!(item.query.doc.len(), 4);
+        assert_eq!(item.query.k, 4);
+    }
+
+    #[test]
+    fn multi_missing_ranks_in_band() {
+        let ds = dataset();
+        let spec = WorkloadSpec {
+            n_missing: 3,
+            missing_rank: 40,
+            k: 5,
+            ..WorkloadSpec::paper_default(9)
+        };
+        let item = generate_item(&ds, &spec).expect("workload must generate");
+        assert_eq!(item.missing.len(), 3);
+        let unique: std::collections::HashSet<_> = item.missing.iter().collect();
+        assert_eq!(unique.len(), 3);
+        for &m in &item.missing {
+            let r = ds.rank_of(m, &item.query);
+            assert!(r > 5 && r <= 41, "rank {r} outside band");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = dataset();
+        let spec = WorkloadSpec {
+            missing_rank: 15,
+            k: 3,
+            ..WorkloadSpec::paper_default(42)
+        };
+        let a = generate_item(&ds, &spec).unwrap();
+        let b = generate_item(&ds, &spec).unwrap();
+        assert_eq!(a.missing, b.missing);
+        assert_eq!(a.query.doc, b.query.doc);
+    }
+
+    #[test]
+    fn impossible_rank_returns_none() {
+        let ds = dataset();
+        let spec = WorkloadSpec {
+            missing_rank: 10_000,
+            ..WorkloadSpec::paper_default(1)
+        };
+        assert!(generate_item(&ds, &spec).is_none());
+    }
+
+    #[test]
+    fn keywords_are_realistic() {
+        // At least one query keyword should be reasonably frequent in the
+        // corpus (anchored generation, not random noise).
+        let ds = dataset();
+        let spec = WorkloadSpec {
+            missing_rank: 21,
+            k: 4,
+            ..WorkloadSpec::paper_default(17)
+        };
+        let item = generate_item(&ds, &spec).unwrap();
+        assert!(item
+            .query
+            .doc
+            .iter()
+            .any(|t| ds.corpus().doc_freq(t) >= 1));
+    }
+}

@@ -1,0 +1,28 @@
+//! Spatial primitives for the why-not spatial keyword library.
+//!
+//! This crate provides the planar geometry substrate used by the
+//! disk-resident indexes and the query algorithms:
+//!
+//! * [`Point`] — a 2-D location,
+//! * [`Rect`] — an axis-aligned minimum bounding rectangle (MBR) with the
+//!   `MinDist` / `MaxDist` metrics required by Theorems 1 and 2 of the
+//!   paper,
+//! * [`WorldBounds`] — the extent of a dataset, used to normalise Euclidean
+//!   distances into `[0, 1]` as required by the ranking function (Eqn. 1).
+//!
+//! All geometry is in `f64`. The paper's ranking function only ever
+//! consumes *normalised* distances, so [`WorldBounds::normalized_dist`] is
+//! the main entry point for callers.
+
+mod point;
+mod rect;
+mod world;
+
+pub use point::Point;
+pub use rect::Rect;
+pub use world::WorldBounds;
+
+/// Tolerance used when comparing floating-point geometry in tests and
+/// assertions. Geometry math here is simple enough that errors stay well
+/// below this bound.
+pub const GEO_EPS: f64 = 1e-9;

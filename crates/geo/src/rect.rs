@@ -1,0 +1,319 @@
+use crate::Point;
+use std::fmt;
+
+/// An axis-aligned rectangle (MBR) defined by its lower-left and upper-right
+/// corners.
+///
+/// Degenerate rectangles (points, segments) are allowed — every object MBR
+/// in the indexes is a point rectangle. An *empty* rectangle (for folding
+/// unions) is represented by [`Rect::EMPTY`], whose min exceeds its max.
+#[derive(Clone, Copy, PartialEq)]
+pub struct Rect {
+    pub min: Point,
+    pub max: Point,
+}
+
+impl Rect {
+    /// The empty rectangle: the identity element of [`Rect::union`].
+    pub const EMPTY: Rect = Rect {
+        min: Point::new(f64::INFINITY, f64::INFINITY),
+        max: Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+    };
+
+    /// Creates a rectangle from two corner points, normalising the corner
+    /// order so that `min` is component-wise below `max`.
+    #[inline]
+    pub fn new(a: Point, b: Point) -> Self {
+        Rect {
+            min: a.min(&b),
+            max: a.max(&b),
+        }
+    }
+
+    /// The degenerate rectangle covering a single point.
+    #[inline]
+    pub const fn point(p: Point) -> Self {
+        Rect { min: p, max: p }
+    }
+
+    /// `true` if this is the empty rectangle.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y
+    }
+
+    /// Width (x extent); zero for point rectangles.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.max.x - self.min.x).max(0.0)
+    }
+
+    /// Height (y extent); zero for point rectangles.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        (self.max.y - self.min.y).max(0.0)
+    }
+
+    /// Area of the rectangle; zero for degenerate rectangles.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.width() * self.height()
+        }
+    }
+
+    /// Half-perimeter, the classic R-tree "margin" measure.
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.width() + self.height()
+        }
+    }
+
+    /// Center point. Meaningless for the empty rectangle.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min.x + self.max.x) * 0.5,
+            (self.min.y + self.max.y) * 0.5,
+        )
+    }
+
+    /// Smallest rectangle enclosing both `self` and `other`.
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min: self.min.min(&other.min),
+            max: self.max.max(&other.max),
+        }
+    }
+
+    /// Increase in area caused by enlarging `self` to cover `other`.
+    #[inline]
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// `true` if the point lies inside or on the boundary.
+    #[inline]
+    pub fn contains_point(&self, p: &Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// `true` if `other` lies entirely inside or on the boundary of `self`.
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.is_empty()
+            || (other.min.x >= self.min.x
+                && other.min.y >= self.min.y
+                && other.max.x <= self.max.x
+                && other.max.y <= self.max.y)
+    }
+
+    /// `true` if the rectangles share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        !(self.is_empty()
+            || other.is_empty()
+            || self.min.x > other.max.x
+            || other.min.x > self.max.x
+            || self.min.y > other.max.y
+            || other.min.y > self.max.y)
+    }
+
+    /// `MinDist(p, R)`: the minimum Euclidean distance from `p` to any point
+    /// of the rectangle; zero when `p` is inside.
+    ///
+    /// This is the bound used by Theorem 1 (SetR-tree score bound) and
+    /// Theorem 2 (KcR-tree dominance condition).
+    #[inline]
+    pub fn min_dist(&self, p: &Point) -> f64 {
+        self.min_dist_sq(p).sqrt()
+    }
+
+    /// Squared version of [`Rect::min_dist`].
+    #[inline]
+    pub fn min_dist_sq(&self, p: &Point) -> f64 {
+        let dx = if p.x < self.min.x {
+            self.min.x - p.x
+        } else if p.x > self.max.x {
+            p.x - self.max.x
+        } else {
+            0.0
+        };
+        let dy = if p.y < self.min.y {
+            self.min.y - p.y
+        } else if p.y > self.max.y {
+            p.y - self.max.y
+        } else {
+            0.0
+        };
+        dx * dx + dy * dy
+    }
+
+    /// `MaxDist(p, R)`: the maximum Euclidean distance from `p` to any point
+    /// of the rectangle (always attained at a corner).
+    ///
+    /// Used by the `MinDom` bound: an object anywhere in the node is at most
+    /// this far from the query.
+    #[inline]
+    pub fn max_dist(&self, p: &Point) -> f64 {
+        self.max_dist_sq(p).sqrt()
+    }
+
+    /// Squared version of [`Rect::max_dist`].
+    #[inline]
+    pub fn max_dist_sq(&self, p: &Point) -> f64 {
+        let dx = (p.x - self.min.x).abs().max((p.x - self.max.x).abs());
+        let dy = (p.y - self.min.y).abs().max((p.y - self.max.y).abs());
+        dx * dx + dy * dy
+    }
+}
+
+impl Default for Rect {
+    fn default() -> Self {
+        Rect::EMPTY
+    }
+}
+
+impl fmt::Debug for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "Rect(EMPTY)")
+        } else {
+            write!(f, "Rect[{:?} .. {:?}]", self.min, self.max)
+        }
+    }
+}
+
+impl From<Point> for Rect {
+    fn from(p: Point) -> Self {
+        Rect::point(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    #[test]
+    fn new_normalizes_corners() {
+        let a = Rect::new(Point::new(2.0, 3.0), Point::new(0.0, 1.0));
+        assert_eq!(a.min, Point::new(0.0, 1.0));
+        assert_eq!(a.max, Point::new(2.0, 3.0));
+    }
+
+    #[test]
+    fn empty_properties() {
+        assert!(Rect::EMPTY.is_empty());
+        assert_eq!(Rect::EMPTY.area(), 0.0);
+        assert_eq!(Rect::EMPTY.margin(), 0.0);
+        assert!(!Rect::EMPTY.intersects(&r(0.0, 0.0, 1.0, 1.0)));
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let a = r(0.0, 0.0, 1.0, 2.0);
+        assert_eq!(Rect::EMPTY.union(&a), a);
+        assert_eq!(a.union(&Rect::EMPTY), a);
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(2.0, -1.0, 3.0, 0.5);
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+        assert_eq!(u, r(0.0, -1.0, 3.0, 1.0));
+    }
+
+    #[test]
+    fn area_margin_of_box() {
+        let a = r(1.0, 1.0, 4.0, 3.0);
+        assert_eq!(a.area(), 6.0);
+        assert_eq!(a.margin(), 5.0);
+        assert_eq!(a.center(), Point::new(2.5, 2.0));
+    }
+
+    #[test]
+    fn enlargement_zero_when_contained() {
+        let a = r(0.0, 0.0, 10.0, 10.0);
+        let b = r(1.0, 1.0, 2.0, 2.0);
+        assert_eq!(a.enlargement(&b), 0.0);
+        assert!(b.enlargement(&a) > 0.0);
+    }
+
+    #[test]
+    fn containment() {
+        let a = r(0.0, 0.0, 4.0, 4.0);
+        assert!(a.contains_point(&Point::new(0.0, 0.0)));
+        assert!(a.contains_point(&Point::new(4.0, 4.0)));
+        assert!(!a.contains_point(&Point::new(4.0001, 4.0)));
+        assert!(a.contains_rect(&r(1.0, 1.0, 2.0, 2.0)));
+        assert!(!a.contains_rect(&r(1.0, 1.0, 5.0, 2.0)));
+        assert!(a.contains_rect(&Rect::EMPTY));
+    }
+
+    #[test]
+    fn intersection_tests() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        assert!(a.intersects(&r(1.0, 1.0, 3.0, 3.0)));
+        assert!(a.intersects(&r(2.0, 2.0, 3.0, 3.0))); // touching corner
+        assert!(!a.intersects(&r(2.1, 2.1, 3.0, 3.0)));
+    }
+
+    #[test]
+    fn min_dist_inside_is_zero() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(a.min_dist(&Point::new(1.0, 1.0)), 0.0);
+        assert_eq!(a.min_dist(&Point::new(2.0, 2.0)), 0.0);
+    }
+
+    #[test]
+    fn min_dist_outside() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        // directly right of the box
+        assert_eq!(a.min_dist(&Point::new(5.0, 1.0)), 3.0);
+        // diagonal from corner (3,4) away from (2,2)
+        assert_eq!(a.min_dist(&Point::new(5.0, 6.0)), 5.0);
+    }
+
+    #[test]
+    fn max_dist_from_inside_and_outside() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        // from the center, the farthest corner is sqrt(2)
+        assert!((a.max_dist(&Point::new(1.0, 1.0)) - 2f64.sqrt()).abs() < 1e-12);
+        // from (5,6) the farthest corner is (0,0): dist = sqrt(61)
+        assert!((a.max_dist(&Point::new(5.0, 6.0)) - 61f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_dist_dominates_min_dist() {
+        let a = r(-1.0, 0.5, 3.0, 4.0);
+        for p in [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, -3.0),
+            Point::new(1.0, 2.0),
+        ] {
+            assert!(a.max_dist(&p) >= a.min_dist(&p));
+        }
+    }
+
+    #[test]
+    fn point_rect_distances_match_point_distance() {
+        let p = Point::new(0.3, 0.7);
+        let q = Point::new(-1.0, 2.0);
+        let pr = Rect::point(p);
+        assert!((pr.min_dist(&q) - p.dist(&q)).abs() < 1e-12);
+        assert!((pr.max_dist(&q) - p.dist(&q)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,134 @@
+use crate::{Point, Rect};
+
+/// The spatial extent of a dataset, used to normalise distances.
+///
+/// The ranking function (Eqn. 1 of the paper) consumes `SDist(o, q)`, the
+/// Euclidean distance *normalised by the maximum possible distance between
+/// two points in the dataset* — the diagonal of the world bounds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorldBounds {
+    rect: Rect,
+    /// Cached diagonal length (the normaliser). Always > 0.
+    diagonal: f64,
+}
+
+impl WorldBounds {
+    /// Builds world bounds from a bounding rectangle.
+    ///
+    /// A degenerate rectangle (all objects at one point) gets a diagonal of
+    /// 1.0 so that normalised distances are still well defined (all zero).
+    pub fn new(rect: Rect) -> Self {
+        assert!(!rect.is_empty(), "world bounds must enclose at least one point");
+        let diag = rect.min.dist(&rect.max);
+        WorldBounds {
+            rect,
+            diagonal: if diag > 0.0 { diag } else { 1.0 },
+        }
+    }
+
+    /// The unit square `[0,1]²` — the world used by the synthetic datasets.
+    pub fn unit() -> Self {
+        WorldBounds::new(Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)))
+    }
+
+    /// Computes bounds from an iterator of points.
+    ///
+    /// Returns `None` when the iterator is empty.
+    pub fn from_points<I: IntoIterator<Item = Point>>(points: I) -> Option<Self> {
+        let mut rect = Rect::EMPTY;
+        let mut any = false;
+        for p in points {
+            rect = rect.union(&Rect::point(p));
+            any = true;
+        }
+        any.then(|| WorldBounds::new(rect))
+    }
+
+    /// The enclosing rectangle.
+    #[inline]
+    pub fn rect(&self) -> Rect {
+        self.rect
+    }
+
+    /// The normaliser: the maximum possible distance between two points.
+    #[inline]
+    pub fn diagonal(&self) -> f64 {
+        self.diagonal
+    }
+
+    /// `SDist`: Euclidean distance between `a` and `b`, normalised into
+    /// `[0, 1]` by the world diagonal.
+    #[inline]
+    pub fn normalized_dist(&self, a: &Point, b: &Point) -> f64 {
+        a.dist(b) / self.diagonal
+    }
+
+    /// Normalised `MinDist` between a point and a rectangle.
+    #[inline]
+    pub fn normalized_min_dist(&self, p: &Point, r: &Rect) -> f64 {
+        r.min_dist(p) / self.diagonal
+    }
+
+    /// Normalised `MaxDist` between a point and a rectangle.
+    #[inline]
+    pub fn normalized_max_dist(&self, p: &Point, r: &Rect) -> f64 {
+        r.max_dist(p) / self.diagonal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_world_diagonal() {
+        let w = WorldBounds::unit();
+        assert!((w.diagonal() - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_dist_bounded_by_one_inside_world() {
+        let w = WorldBounds::unit();
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 1.0);
+        assert!((w.normalized_dist(&a, &b) - 1.0).abs() < 1e-12);
+        assert!(w.normalized_dist(&a, &Point::new(0.5, 0.5)) < 1.0);
+    }
+
+    #[test]
+    fn from_points_computes_extent() {
+        let pts = [
+            Point::new(1.0, 2.0),
+            Point::new(-1.0, 0.0),
+            Point::new(0.5, 5.0),
+        ];
+        let w = WorldBounds::from_points(pts).unwrap();
+        assert_eq!(
+            w.rect(),
+            Rect::new(Point::new(-1.0, 0.0), Point::new(1.0, 5.0))
+        );
+    }
+
+    #[test]
+    fn from_points_empty_is_none() {
+        assert!(WorldBounds::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn degenerate_world_is_safe() {
+        let w = WorldBounds::from_points([Point::new(3.0, 3.0)]).unwrap();
+        assert_eq!(w.diagonal(), 1.0);
+        assert_eq!(
+            w.normalized_dist(&Point::new(3.0, 3.0), &Point::new(3.0, 3.0)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn normalized_min_max_dist_order() {
+        let w = WorldBounds::unit();
+        let r = Rect::new(Point::new(0.2, 0.2), Point::new(0.4, 0.4));
+        let p = Point::new(0.9, 0.9);
+        assert!(w.normalized_min_dist(&p, &r) <= w.normalized_max_dist(&p, &r));
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+use wnsk_geo::{Point, Rect, WorldBounds};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-100.0..100.0f64, -100.0..100.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| Rect::new(a, b))
+}
+
+proptest! {
+    #[test]
+    fn union_contains_both(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+    }
+
+    #[test]
+    fn union_is_commutative(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+    }
+
+    #[test]
+    fn union_area_at_least_max(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.area() >= a.area().max(b.area()) - 1e-9);
+    }
+
+    #[test]
+    fn min_dist_bounds_distance_to_contained_points(r in arb_rect(), p in arb_point(), t in 0.0..1.0f64, s in 0.0..1.0f64) {
+        // Any point inside the rectangle is at distance in
+        // [min_dist, max_dist] from p.
+        let inside = Point::new(
+            r.min.x + t * (r.max.x - r.min.x),
+            r.min.y + s * (r.max.y - r.min.y),
+        );
+        let d = p.dist(&inside);
+        prop_assert!(r.min_dist(&p) <= d + 1e-9);
+        prop_assert!(r.max_dist(&p) >= d - 1e-9);
+    }
+
+    #[test]
+    fn min_dist_zero_iff_contained(r in arb_rect(), p in arb_point()) {
+        if r.contains_point(&p) {
+            prop_assert_eq!(r.min_dist(&p), 0.0);
+        } else {
+            prop_assert!(r.min_dist(&p) > 0.0);
+        }
+    }
+
+    #[test]
+    fn contains_implies_intersects(a in arb_rect(), b in arb_rect()) {
+        if a.contains_rect(&b) && !b.is_empty() {
+            prop_assert!(a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn intersects_is_symmetric(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+    }
+
+    #[test]
+    fn normalized_dist_within_world_is_unit_bounded(
+        ax in 0.0..1.0f64, ay in 0.0..1.0f64, bx in 0.0..1.0f64, by in 0.0..1.0f64
+    ) {
+        let w = WorldBounds::unit();
+        let d = w.normalized_dist(&Point::new(ax, ay), &Point::new(bx, by));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&d));
+    }
+
+    #[test]
+    fn dist_triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert!(a.dist(&c) <= a.dist(&b) + b.dist(&c) + 1e-9);
+    }
+
+    #[test]
+    fn enlargement_nonnegative(a in arb_rect(), b in arb_rect()) {
+        prop_assert!(a.enlargement(&b) >= -1e-9);
+    }
+}

@@ -1,0 +1,488 @@
+//! Dominator-count bounds over KcR-tree nodes: `MaxDom` (Algorithm 2) and
+//! `MinDom` (its dual, which the paper leaves as "done similarly").
+//!
+//! Setting. Under a refined keyword set `S`, an object `o` inside node `N`
+//! *dominates* the missing object `m` when `ST(o) > ST(m)`. Theorem 2
+//! turns that into textual thresholds:
+//!
+//! * necessary: `TSim(o, S) > τ_L` with
+//!   `τ_L = α/(1−α)·(MinDist(N,q) − SDist(m,q)) + TSim(m,S)` — any object
+//!   failing this cannot dominate, so the number of objects that *can*
+//!   exceed `τ_L` upper-bounds the dominators (`MaxDom`);
+//! * sufficient: `TSim(o, S) > τ_U` with `MaxDist` in place of `MinDist` —
+//!   any object exceeding `τ_U` must dominate, so the number of objects
+//!   *forced* above `τ_U` lower-bounds the dominators (`MinDom`).
+//!
+//! Both counts are evaluated against the node's keyword-count map alone,
+//! adversarially over every document assignment consistent with it.
+//!
+//! **`MaxDom`** follows Algorithm 2: start with all `cnt` objects assumed
+//! dominating and virtually prune one object at a time, packing as many
+//! query-irrelevant keywords as possible onto pruned objects, until
+//! Theorem 3's aggregate test `TSim~(N,S) ≥ τ_L` passes. Each pruned
+//! object holds every term at most once, so after pruning `k = cnt − ans`
+//! objects the adversarial counts are
+//! `count_t^cur = min(count_t, ans)` for relevant terms (relevant
+//! occurrences are kept on the remaining objects) and
+//! `count_t^cur = max(0, count_t − k)` for irrelevant ones (each pruned
+//! object absorbs one occurrence of each irrelevant term, matching the
+//! paper's Example 5 trace) — which lets each iteration run in
+//! `O(|S| + log |N.doc|)` using per-node prefix sums instead of touching
+//! the whole map. Soundness: if the true dominator count is `d`, the real
+//! assignment witnesses `TSim~(d) ≥ τ_L` (sum Theorem 2 over the
+//! dominators and bound each aggregate adversarially), so the largest
+//! passing `ans` is ≥ `d`. This is property-tested against brute force.
+//!
+//! **`MinDom`** is derived as the feasibility dual. Suppose only `ans`
+//! objects dominate. Then the other `cnt − ans` objects all satisfy
+//! `TSim(o,S) ≤ τ_U`, i.e. `|o.doc ∩ S| ≤ τ_U·|o.doc ∪ S|`. Summing over
+//! the non-dominators and bounding each side adversarially —
+//! the dominators can absorb at most `ans` occurrences of each relevant
+//! term, so non-dominators hold at least
+//! `R_min = Σ_{t∈S∩N.doc} max(0, count_t − ans)` relevant occurrences,
+//! while they can hold at most
+//! `I_max = Σ_{t∈N.doc−S} min(count_t, cnt−ans)` irrelevant ones — yields
+//! the necessary condition `R_min ≤ τ_U·(|S|·(cnt−ans) + I_max)`. The
+//! smallest `ans` satisfying it is a sound lower bound: violating it for
+//! every assignment forces at least `ans+1` objects above `τ_U`.
+
+use super::NodeSummary;
+use wnsk_text::{KeywordCountMap, KeywordSet, TextModel};
+
+/// Slack for floating-point comparisons, oriented so both bounds stay
+/// conservative (MaxDom can only grow, MinDom only shrink).
+const EPS: f64 = 1e-9;
+
+/// `τ_L` of Theorem 2 (with the node's minimum distance): the textual
+/// similarity every dominator inside the node must strictly exceed.
+#[inline]
+pub fn tau_lower(alpha: f64, min_dist_norm: f64, m_sdist_norm: f64, m_tsim: f64) -> f64 {
+    alpha / (1.0 - alpha) * (min_dist_norm - m_sdist_norm) + m_tsim
+}
+
+/// `τ_U`: the dual threshold using the node's maximum distance — any
+/// object strictly exceeding it is guaranteed to dominate.
+#[inline]
+pub fn tau_upper(alpha: f64, max_dist_norm: f64, m_sdist_norm: f64, m_tsim: f64) -> f64 {
+    alpha / (1.0 - alpha) * (max_dist_norm - m_sdist_norm) + m_tsim
+}
+
+/// Per-node preprocessing shared by every candidate keyword set evaluated
+/// against the node (Algorithm 3 batches many `S` per node, so this
+/// amortises the sort over the whole batch).
+pub struct PreparedNode {
+    cnt: u32,
+    /// Σ over all terms of `count_t`.
+    total: u64,
+    /// Term counts sorted ascending, with prefix sums.
+    sorted_counts: Vec<u32>,
+    prefix_counts: Vec<u64>,
+    kcm: KeywordCountMap,
+}
+
+impl PreparedNode {
+    /// Preprocesses a node summary.
+    pub fn new(summary: &NodeSummary) -> Self {
+        let mut sorted_counts: Vec<u32> = summary.kcm.iter().map(|(_, c)| c).collect();
+        sorted_counts.sort_unstable();
+        let mut prefix_counts = Vec::with_capacity(sorted_counts.len() + 1);
+        let mut acc = 0u64;
+        prefix_counts.push(0);
+        for &x in &sorted_counts {
+            acc += x as u64;
+            prefix_counts.push(acc);
+        }
+        PreparedNode {
+            cnt: summary.cnt,
+            total: acc,
+            sorted_counts,
+            prefix_counts,
+            kcm: summary.kcm.clone(),
+        }
+    }
+
+    /// Number of objects under the node.
+    pub fn cnt(&self) -> u32 {
+        self.cnt
+    }
+
+    /// `Σ_t min(k, count_t)` over **all** node terms.
+    fn g_all(&self, k: u64) -> u64 {
+        // Values ≤ k contribute themselves; larger values contribute k.
+        let idx = self.sorted_counts.partition_point(|&v| (v as u64) <= k);
+        self.prefix_counts[idx] + k * (self.sorted_counts.len() - idx) as u64
+    }
+
+    /// Counts of the candidate terms present in the node (`S ∩ N.doc`).
+    fn s_counts(&self, s: &KeywordSet) -> Vec<u32> {
+        s.iter()
+            .map(|t| self.kcm.count(t))
+            .filter(|&c| c > 0)
+            .collect()
+    }
+}
+
+/// `MaxDom(N, S, m)` (Algorithm 2, generalised per text model): an
+/// upper bound on the number of objects under the node whose textual
+/// similarity to `S` can strictly exceed `tau` — and hence on the
+/// dominators of the missing object when `tau = τ_L`.
+///
+/// Model-specific aggregate tests (each a necessary condition for all
+/// remaining `ans` objects to dominate, derived like Theorem 3):
+/// * **Jaccard**: `c_in/(|S|·ans + c_out) ≥ τ`;
+/// * **Dice**: `2·c_in/(|S|·ans + c_in + c_out) ≥ τ` (sum
+///   `2|o∩S| > τ(|o|+|S|)` over the remaining objects and bound each
+///   aggregate adversarially);
+/// * **Cosine**: `|o∩S| > τ√(|o||S|)` with `|o| ≥ |o∩S|` forces each
+///   dominator to hold more than `τ²|S|` relevant terms, so
+///   `c_in(ans) ≥ ans·x_min` with `x_min = ⌊τ²|S|⌋+1`.
+pub fn max_dom(prep: &PreparedNode, s: &KeywordSet, tau: f64, model: TextModel) -> u32 {
+    let cnt = prep.cnt;
+    if cnt == 0 {
+        return 0;
+    }
+    if tau <= 0.0 {
+        // Similarity ≥ 0 ≥ tau: every object can dominate.
+        return cnt;
+    }
+    if tau > 1.0 {
+        return 0; // Similarity ≤ 1 < tau for every object.
+    }
+    let s_counts = prep.s_counts(s);
+    let c_in_total: u64 = s_counts.iter().map(|&c| c as u64).sum();
+    if c_in_total == 0 {
+        // No candidate term occurs in the subtree.
+        return 0;
+    }
+    let s_len = s.len() as u64;
+    let total_out = prep.total - c_in_total;
+    // Relevant occurrences kept on the remaining `ans` objects.
+    let c_in = |ans: u64| -> u64 { s_counts.iter().map(|&c| (c as u64).min(ans)).sum() };
+    // Irrelevant occurrences that cannot all be packed onto the k pruned
+    // objects: Σ_{t∈N−S} max(0, count_t − k).
+    let c_out = |k: u64| -> u64 {
+        let g_s: u64 = s_counts.iter().map(|&c| (c as u64).min(k)).sum();
+        total_out - (prep.g_all(k) - g_s)
+    };
+    let cmax = (*s_counts.iter().max().expect("non-empty") as u64).min(cnt as u64);
+
+    match model {
+        TextModel::Jaccard | TextModel::Dice => {
+            let passes = |ans: u64| -> bool {
+                let k = cnt as u64 - ans;
+                let cin = c_in(ans);
+                let cout = c_out(k);
+                let (num, den) = match model {
+                    TextModel::Jaccard => (cin as f64, (s_len * ans + cout) as f64),
+                    TextModel::Dice => {
+                        (2.0 * cin as f64, (s_len * ans + cin + cout) as f64)
+                    }
+                    TextModel::Cosine => unreachable!(),
+                };
+                let tsim = if den == 0.0 { 0.0 } else { num / den };
+                tsim >= tau - EPS
+            };
+            descending_search(cnt, cmax, passes)
+        }
+        TextModel::Cosine => {
+            // Each dominator must hold at least x_min relevant terms.
+            let x_min = ((tau * tau * s_len as f64 - EPS).floor().max(0.0) as u64) + 1;
+            if x_min > s_counts.len() as u64 {
+                return 0; // More distinct relevant terms than the node has.
+            }
+            // c_in(ans)/ans is nonincreasing in ans, so the predicate
+            // c_in(ans) ≥ ans·x_min is downward closed: binary search the
+            // largest satisfying ans.
+            let sat = |ans: u64| c_in(ans) >= ans * x_min;
+            if sat(cnt as u64) {
+                return cnt;
+            }
+            if !sat(1) {
+                return 0;
+            }
+            let (mut lo, mut hi) = (1u64, cnt as u64); // lo sat, hi unsat
+            while hi - lo > 1 {
+                let mid = lo + (hi - lo) / 2;
+                if sat(mid) {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            lo as u32
+        }
+    }
+}
+
+/// The descending scan shared by the Jaccard and Dice aggregate tests:
+/// binary search in the monotone region `[cmax, cnt]`, capped linear scan
+/// below it.
+fn descending_search(cnt: u32, cmax: u64, passes: impl Fn(u64) -> bool) -> u32 {
+    if passes(cnt as u64) {
+        return cnt;
+    }
+    if cmax < cnt as u64 && passes(cmax) {
+        // Largest passing ans lies in [cmax, cnt): invariant lo passes,
+        // hi fails.
+        let (mut lo, mut hi) = (cmax, cnt as u64);
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if passes(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        return lo as u32;
+    }
+    // Below cmax the numerator shrinks too and the test is no longer
+    // monotone: scan linearly, but cap the work — returning the cutoff
+    // value early only *loosens* the upper bound, which stays sound.
+    let start = cmax.min(cnt as u64).saturating_sub(1);
+    let floor = start.saturating_sub(LINEAR_SCAN_CAP);
+    for ans in (1..=start).rev() {
+        if ans <= floor {
+            return ans as u32;
+        }
+        if passes(ans) {
+            return ans as u32;
+        }
+    }
+    0
+}
+
+/// Iteration budget for the non-monotone region of `max_dom` / the
+/// feasibility scan of `min_dom`. Exceeding it returns the cutoff value,
+/// which is a *looser but sound* bound — the traversal simply descends
+/// one level earlier. 512 keeps per-node work bounded while staying exact
+/// for every node whose relevant-term counts are below it (all but the
+/// top one or two tree levels).
+const LINEAR_SCAN_CAP: u64 = 512;
+
+/// `MinDom(N, S, m)`: a lower bound on the number of objects under the
+/// node whose textual similarity to `S` strictly exceeds `tau` for every
+/// document assignment consistent with the node's keyword-count map — and
+/// hence on the dominators when `tau = τ_U`. See the module docs for the
+/// Jaccard derivation; Dice substitutes the feasibility inequality
+/// `2·r_min ≤ τ·(|S|·nd + r_min + i_max)`. For cosine the adversary can
+/// always dilute denominators with irrelevant terms, so the sound bound
+/// degenerates to 0 (or `cnt` when `tau < 0`) — costing pruning power,
+/// never correctness.
+pub fn min_dom(prep: &PreparedNode, s: &KeywordSet, tau: f64, model: TextModel) -> u32 {
+    let cnt = prep.cnt;
+    if cnt == 0 {
+        return 0;
+    }
+    if tau < 0.0 {
+        // Every object has similarity ≥ 0 > tau and therefore dominates.
+        return cnt;
+    }
+    if tau >= 1.0 {
+        return 0; // Similarity > tau ≥ 1 is impossible.
+    }
+    let s_counts = prep.s_counts(s);
+    if s_counts.is_empty() {
+        return 0; // Every object can have similarity 0 ≤ tau.
+    }
+    if model == TextModel::Cosine {
+        return 0;
+    }
+    let s_len = s.len() as u64;
+    for ans in 0..cnt as u64 {
+        if ans > LINEAR_SCAN_CAP {
+            // Every smaller count is proven infeasible, so at least `ans`
+            // objects dominate — stopping here only loosens (lowers) the
+            // bound, which stays sound.
+            return ans as u32;
+        }
+        let nd = cnt as u64 - ans;
+        let r_min: u64 = s_counts
+            .iter()
+            .map(|&c| (c as u64).saturating_sub(ans))
+            .sum();
+        if r_min == 0 {
+            // Non-dominators can be fully irrelevant (similarity 0 ≤ tau).
+            return ans as u32;
+        }
+        let g_s: u64 = s_counts.iter().map(|&c| (c as u64).min(nd)).sum();
+        let i_max = prep.g_all(nd) - g_s;
+        let feasible = match model {
+            TextModel::Jaccard => {
+                r_min as f64 <= tau * (s_len * nd + i_max) as f64 + EPS
+            }
+            TextModel::Dice => {
+                2.0 * r_min as f64 <= tau * (s_len * nd + r_min + i_max) as f64 + EPS
+            }
+            TextModel::Cosine => unreachable!(),
+        };
+        if feasible {
+            return ans as u32;
+        }
+    }
+    cnt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wnsk_geo::{Point, Rect};
+    use wnsk_text::TermId;
+
+    fn summary(pairs: &[(u32, u32)], cnt: u32) -> NodeSummary {
+        NodeSummary {
+            mbr: Rect::point(Point::new(0.0, 0.0)),
+            cnt,
+            kcm: KeywordCountMap::from_pairs(pairs.iter().map(|&(t, c)| (TermId(t), c))),
+        }
+    }
+
+    #[test]
+    fn paper_example5_trace() {
+        // kcm = {(t1,8),(t2,3),(t3,7),(t4,2),(t5,1)}, cnt = 8, S = {t3,t4},
+        // τ_L = 0.395 → MaxDom = 6 (paper Example 5).
+        let prep = PreparedNode::new(&summary(&[(1, 8), (2, 3), (3, 7), (4, 2), (5, 1)], 8));
+        let s = KeywordSet::from_ids([3, 4]);
+        assert_eq!(max_dom(&prep, &s, 0.395, TextModel::Jaccard), 6);
+    }
+
+    #[test]
+    fn max_dom_trivial_thresholds() {
+        let prep = PreparedNode::new(&summary(&[(1, 5), (2, 3)], 5));
+        let s = KeywordSet::from_ids([1]);
+        assert_eq!(max_dom(&prep, &s, -0.5, TextModel::Jaccard), 5, "negative tau keeps everyone");
+        assert_eq!(max_dom(&prep, &s, 1.5, TextModel::Jaccard), 0, "tau above 1 excludes everyone");
+    }
+
+    #[test]
+    fn max_dom_irrelevant_node_is_zero() {
+        let prep = PreparedNode::new(&summary(&[(1, 5), (2, 3)], 5));
+        let s = KeywordSet::from_ids([9]);
+        assert_eq!(max_dom(&prep, &s, 0.3, TextModel::Jaccard), 0);
+    }
+
+    #[test]
+    fn max_dom_fully_relevant_node() {
+        // Every object has exactly the query keyword: TSim = 1 for all.
+        let prep = PreparedNode::new(&summary(&[(1, 4)], 4));
+        let s = KeywordSet::from_ids([1]);
+        assert_eq!(max_dom(&prep, &s, 0.9, TextModel::Jaccard), 4);
+    }
+
+    #[test]
+    fn min_dom_trivial_thresholds() {
+        let prep = PreparedNode::new(&summary(&[(1, 5)], 5));
+        let s = KeywordSet::from_ids([1]);
+        assert_eq!(min_dom(&prep, &s, -0.1, TextModel::Jaccard), 5, "negative tau forces everyone");
+        assert_eq!(min_dom(&prep, &s, 1.0, TextModel::Jaccard), 0, "tau at 1 forces no one");
+    }
+
+    #[test]
+    fn min_dom_forced_dominators() {
+        // 3 objects, every one contains the only query term and nothing
+        // else: each must have TSim(o, {t1}) = 1 > 0.5.
+        let prep = PreparedNode::new(&summary(&[(1, 3)], 3));
+        let s = KeywordSet::from_ids([1]);
+        assert_eq!(min_dom(&prep, &s, 0.5, TextModel::Jaccard), 3);
+    }
+
+    #[test]
+    fn min_dom_zero_when_irrelevant_mass_absorbs() {
+        // One relevant occurrence but plenty of irrelevant terms to dilute
+        // it below τ: nothing is forced.
+        let prep = PreparedNode::new(&summary(&[(1, 1), (2, 4), (3, 4)], 4));
+        let s = KeywordSet::from_ids([1]);
+        assert_eq!(min_dom(&prep, &s, 0.4, TextModel::Jaccard), 0);
+    }
+
+    #[test]
+    fn min_dom_never_exceeds_max_dom() {
+        let prep = PreparedNode::new(&summary(&[(1, 6), (2, 2), (3, 9), (4, 1)], 9));
+        for s in [
+            KeywordSet::from_ids([1]),
+            KeywordSet::from_ids([1, 3]),
+            KeywordSet::from_ids([2, 4, 7]),
+        ] {
+            for tau in [0.0, 0.2, 0.5, 0.8, 1.0] {
+                assert!(
+                    min_dom(&prep, &s, tau, TextModel::Jaccard) <= max_dom(&prep, &s, tau, TextModel::Jaccard),
+                    "s={s:?} tau={tau}"
+                );
+            }
+        }
+    }
+
+    /// Brute-force soundness check: generate concrete documents, build
+    /// the node summary they induce, and verify
+    /// `min_dom ≤ |{o : TSim(o,S) > τ}| ≤ max_dom`.
+    #[test]
+    fn bounds_are_sound_against_concrete_documents() {
+        // A deterministic little generator (LCG) keeps this test
+        // dependency-free and reproducible.
+        let mut state = 0x12345678u64;
+        let mut next = move |m: u32| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as u32) % m
+        };
+        for case in 0..200 {
+            let n_objs = 1 + next(12);
+            let vocab = 1 + next(8);
+            let docs: Vec<KeywordSet> = (0..n_objs)
+                .map(|_| {
+                    let len = 1 + next(4);
+                    KeywordSet::from_ids((0..len).map(|_| next(vocab)))
+                })
+                .collect();
+            let mut kcm = KeywordCountMap::new();
+            for d in &docs {
+                kcm.add_doc(d);
+            }
+            let prep = PreparedNode::new(&NodeSummary {
+                mbr: Rect::point(Point::new(0.0, 0.0)),
+                cnt: n_objs,
+                kcm,
+            });
+            let s_len = 1 + next(3);
+            let s = KeywordSet::from_ids((0..s_len).map(|_| next(vocab + 2)));
+            let tau = next(120) as f64 / 100.0 - 0.1;
+            let true_count = docs
+                .iter()
+                .filter(|d| wnsk_text::jaccard(d, &s) > tau)
+                .count() as u32;
+            let lo = min_dom(&prep, &s, tau, TextModel::Jaccard);
+            let hi = max_dom(&prep, &s, tau, TextModel::Jaccard);
+            assert!(
+                lo <= true_count && true_count <= hi,
+                "case {case}: lo={lo} true={true_count} hi={hi} tau={tau} s={s:?} docs={docs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tau_helpers() {
+        // α = 0.5 → α/(1−α) = 1.
+        assert!((tau_lower(0.5, 0.3, 0.1, 0.4) - 0.6).abs() < 1e-12);
+        assert!((tau_upper(0.5, 0.9, 0.1, 0.4) - 1.2).abs() < 1e-12);
+        // τ_L ≤ τ_U since MinDist ≤ MaxDist.
+        assert!(tau_lower(0.7, 0.2, 0.1, 0.0) <= tau_upper(0.7, 0.5, 0.1, 0.0));
+    }
+
+    #[test]
+    fn empty_node_is_zero() {
+        let prep = PreparedNode::new(&summary(&[], 0));
+        let s = KeywordSet::from_ids([1]);
+        assert_eq!(max_dom(&prep, &s, 0.5, TextModel::Jaccard), 0);
+        assert_eq!(min_dom(&prep, &s, 0.5, TextModel::Jaccard), 0);
+    }
+
+    #[test]
+    fn empty_candidate_set() {
+        // S = ∅: TSim(o, ∅) = 0 for every object; nothing exceeds a
+        // non-negative tau, everything exceeds a negative one.
+        let prep = PreparedNode::new(&summary(&[(1, 3)], 3));
+        let s = KeywordSet::empty();
+        assert_eq!(max_dom(&prep, &s, 0.1, TextModel::Jaccard), 0);
+        assert_eq!(max_dom(&prep, &s, -0.1, TextModel::Jaccard), 3);
+        assert_eq!(min_dom(&prep, &s, 0.1, TextModel::Jaccard), 0);
+        assert_eq!(min_dom(&prep, &s, -0.1, TextModel::Jaccard), 3);
+    }
+}

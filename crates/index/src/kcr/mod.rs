@@ -1,0 +1,142 @@
+//! The KcR-tree (*Keyword count R-tree*, §V-A, following \[22\]): an R-tree
+//! whose internal entries carry, for each child, the subtree cardinality
+//! `cnt` and a keyword-count map `kcm` (term → number of objects in the
+//! subtree containing it).
+//!
+//! The dominance-bound machinery ([`max_dom`] /
+//! [`min_dom`], module [`dom`]) estimates, for a
+//! candidate keyword set, how many objects under a node out-rank the
+//! missing object — without descending into the node. The bound-and-prune
+//! why-not algorithm (Algorithm 3, implemented in `wnsk-core`) drives one
+//! tree traversal for a whole batch of candidate sets.
+
+pub mod dom;
+
+mod build;
+mod node;
+mod search;
+
+pub use dom::{max_dom, min_dom, tau_lower, tau_upper, PreparedNode};
+pub use node::{KcrEntry, KcrInternalEntry, KcrLeafEntry, KcrNode};
+pub use search::KcrTopKSearch;
+
+use crate::payload;
+use std::sync::Arc;
+use wnsk_geo::{Rect, WorldBounds};
+use wnsk_storage::{BlobRef, BlobStore, BufferPool, Result};
+use wnsk_text::{KeywordCountMap, KeywordSet};
+
+/// Magic number identifying a KcR-tree meta page.
+const MAGIC: u32 = 0x4B43_5231; // "KCR1"
+
+/// The spatial/textual summary of a subtree: everything `MaxDom`/`MinDom`
+/// need (§V-B).
+#[derive(Clone, Debug)]
+pub struct NodeSummary {
+    pub mbr: Rect,
+    /// Number of objects in the subtree (`N.cnt`).
+    pub cnt: u32,
+    /// Keyword-count map of the subtree (`N.kcm`).
+    pub kcm: KeywordCountMap,
+}
+
+/// Tree-level metadata persisted on page 0.
+#[derive(Clone, Debug)]
+pub(crate) struct Meta {
+    pub root: BlobRef,
+    pub root_mbr: Rect,
+    pub root_cnt: u32,
+    pub root_kcm: BlobRef,
+    pub height: u32,
+    pub n_objects: u64,
+    pub world: WorldBounds,
+    pub fanout: u32,
+}
+
+/// A disk-resident KcR-tree. Bulk-built, read-only afterwards.
+pub struct KcrTree {
+    pool: Arc<BufferPool>,
+    blobs: BlobStore,
+    meta: Meta,
+}
+
+impl KcrTree {
+    /// Bulk-loads a KcR-tree over `dataset` into empty storage.
+    pub fn build(
+        pool: Arc<BufferPool>,
+        dataset: &crate::model::Dataset,
+        fanout: usize,
+    ) -> Result<Self> {
+        build::build(pool, dataset, fanout)
+    }
+
+    /// Opens a previously built tree.
+    pub fn open(pool: Arc<BufferPool>) -> Result<Self> {
+        let meta = build::read_meta(&pool)?;
+        let blobs = BlobStore::new(Arc::clone(&pool));
+        Ok(KcrTree { pool, blobs, meta })
+    }
+
+    pub(crate) fn from_parts(pool: Arc<BufferPool>, meta: Meta) -> Self {
+        let blobs = BlobStore::new(Arc::clone(&pool));
+        KcrTree { pool, blobs, meta }
+    }
+
+    /// The buffer pool (I/O metering lives here).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// World bounds the tree was built with.
+    pub fn world(&self) -> &WorldBounds {
+        &self.meta.world
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> u64 {
+        self.meta.n_objects
+    }
+
+    /// `true` when the tree indexes no objects.
+    pub fn is_empty(&self) -> bool {
+        self.meta.n_objects == 0
+    }
+
+    /// Tree height (1 = root is a leaf).
+    pub fn height(&self) -> u32 {
+        self.meta.height
+    }
+
+    /// Blob reference of the root node.
+    pub fn root(&self) -> BlobRef {
+        self.meta.root
+    }
+
+    /// Summary of the whole tree (the root's `mbr`/`cnt`/`kcm`), reading
+    /// the root keyword-count map from storage.
+    pub fn root_summary(&self) -> Result<NodeSummary> {
+        Ok(NodeSummary {
+            mbr: self.meta.root_mbr,
+            cnt: self.meta.root_cnt,
+            kcm: self.read_kcm(self.meta.root_kcm)?,
+        })
+    }
+
+    /// Reads and decodes a node.
+    pub fn read_node(&self, node: BlobRef) -> Result<KcrNode> {
+        let bytes = self.blobs.read(node)?;
+        KcrNode::decode(&bytes)
+    }
+
+    /// Reads a child's keyword-count map.
+    pub fn read_kcm(&self, blob: BlobRef) -> Result<KeywordCountMap> {
+        let bytes = self.blobs.read(blob)?;
+        payload::decode_kcm(&bytes)
+    }
+
+    /// Reads an object's keyword set.
+    pub fn read_doc(&self, blob: BlobRef) -> Result<KeywordSet> {
+        let bytes = self.blobs.read(blob)?;
+        payload::decode_keyword_set(&bytes)
+    }
+}

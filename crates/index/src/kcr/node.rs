@@ -1,0 +1,213 @@
+//! On-disk node format of the KcR-tree.
+//!
+//! Leaf entries are `(o, mbr, pks)` exactly like the SetR-tree. Internal
+//! entries are `(pc, mbr, pcm)` plus the child's subtree cardinality
+//! `cnt`, so that `MaxDom`/`MinDom` of a child can be evaluated from the
+//! parent entry alone (the child *node* is only fetched when the
+//! traversal decides to descend).
+
+use wnsk_geo::{Point, Rect};
+use wnsk_storage::codec::{Reader, Writer};
+use wnsk_storage::{BlobRef, Result, StorageError};
+
+use crate::model::ObjectId;
+
+const KIND_LEAF: u8 = 0;
+const KIND_INTERNAL: u8 = 1;
+
+/// A leaf entry: one indexed object.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KcrLeafEntry {
+    pub object: ObjectId,
+    pub loc: Point,
+    /// Blob holding the object's keyword set (`pks`).
+    pub doc: BlobRef,
+}
+
+/// An internal entry: one child subtree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KcrInternalEntry {
+    /// Blob holding the child node (`pc`).
+    pub child: BlobRef,
+    pub mbr: Rect,
+    /// Number of objects under the child (`cnt`).
+    pub cnt: u32,
+    /// Blob holding the child's keyword-count map (`pcm`).
+    pub kcm: BlobRef,
+}
+
+/// Either kind of child reference, as seen by the bound-and-prune
+/// traversal (Algorithm 3 treats "children" uniformly).
+#[derive(Clone, Debug, PartialEq)]
+pub enum KcrEntry {
+    Leaf(KcrLeafEntry),
+    Internal(KcrInternalEntry),
+}
+
+/// A decoded KcR-tree node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum KcrNode {
+    Leaf(Vec<KcrLeafEntry>),
+    Internal(Vec<KcrInternalEntry>),
+}
+
+impl KcrNode {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            KcrNode::Leaf(v) => v.len(),
+            KcrNode::Internal(v) => v.len(),
+        }
+    }
+
+    /// `true` when the node has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The node's children as uniform [`KcrEntry`] values.
+    pub fn entries(&self) -> Vec<KcrEntry> {
+        match self {
+            KcrNode::Leaf(v) => v.iter().cloned().map(KcrEntry::Leaf).collect(),
+            KcrNode::Internal(v) => v.iter().cloned().map(KcrEntry::Internal).collect(),
+        }
+    }
+
+    /// Serializes the node to its blob payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            KcrNode::Leaf(entries) => {
+                let mut w = Writer::with_capacity(5 + entries.len() * 32);
+                w.write_u8(KIND_LEAF);
+                w.write_u32(entries.len() as u32);
+                for e in entries {
+                    w.write_u32(e.object.0);
+                    w.write_f64(e.loc.x);
+                    w.write_f64(e.loc.y);
+                    e.doc.encode(&mut w);
+                }
+                w.into_vec()
+            }
+            KcrNode::Internal(entries) => {
+                let mut w = Writer::with_capacity(5 + entries.len() * 60);
+                w.write_u8(KIND_INTERNAL);
+                w.write_u32(entries.len() as u32);
+                for e in entries {
+                    e.child.encode(&mut w);
+                    w.write_f64(e.mbr.min.x);
+                    w.write_f64(e.mbr.min.y);
+                    w.write_f64(e.mbr.max.x);
+                    w.write_f64(e.mbr.max.y);
+                    w.write_u32(e.cnt);
+                    e.kcm.encode(&mut w);
+                }
+                w.into_vec()
+            }
+        }
+    }
+
+    /// Decodes a node from its blob payload.
+    pub fn decode(bytes: &[u8]) -> Result<KcrNode> {
+        let mut r = Reader::new(bytes, "kcr node");
+        let kind = r.read_u8()?;
+        let n = r.read_u32()? as usize;
+        match kind {
+            KIND_LEAF => {
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let object = ObjectId(r.read_u32()?);
+                    let loc = Point::new(r.read_f64()?, r.read_f64()?);
+                    let doc = BlobRef::decode(&mut r)?;
+                    entries.push(KcrLeafEntry { object, loc, doc });
+                }
+                Ok(KcrNode::Leaf(entries))
+            }
+            KIND_INTERNAL => {
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let child = BlobRef::decode(&mut r)?;
+                    let min = Point::new(r.read_f64()?, r.read_f64()?);
+                    let max = Point::new(r.read_f64()?, r.read_f64()?);
+                    let cnt = r.read_u32()?;
+                    let kcm = BlobRef::decode(&mut r)?;
+                    entries.push(KcrInternalEntry {
+                        child,
+                        mbr: Rect::new(min, max),
+                        cnt,
+                        kcm,
+                    });
+                }
+                Ok(KcrNode::Internal(entries))
+            }
+            other => Err(StorageError::corrupt(
+                "kcr node",
+                format!("unknown node kind {other}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(p: u64, len: u32) -> BlobRef {
+        BlobRef {
+            first_page: wnsk_storage::PageId(p),
+            len,
+        }
+    }
+
+    #[test]
+    fn leaf_roundtrip() {
+        let node = KcrNode::Leaf(vec![KcrLeafEntry {
+            object: ObjectId(3),
+            loc: Point::new(1.0, 2.0),
+            doc: blob(9, 16),
+        }]);
+        assert_eq!(KcrNode::decode(&node.encode()).unwrap(), node);
+    }
+
+    #[test]
+    fn internal_roundtrip() {
+        let node = KcrNode::Internal(vec![
+            KcrInternalEntry {
+                child: blob(1, 100),
+                mbr: Rect::new(Point::new(0.0, 0.0), Point::new(0.5, 0.5)),
+                cnt: 42,
+                kcm: blob(2, 200),
+            },
+            KcrInternalEntry {
+                child: blob(3, 120),
+                mbr: Rect::new(Point::new(0.5, 0.5), Point::new(1.0, 1.0)),
+                cnt: 58,
+                kcm: blob(4, 220),
+            },
+        ]);
+        assert_eq!(KcrNode::decode(&node.encode()).unwrap(), node);
+    }
+
+    #[test]
+    fn entries_unify_kinds() {
+        let leaf = KcrNode::Leaf(vec![KcrLeafEntry {
+            object: ObjectId(1),
+            loc: Point::new(0.0, 0.0),
+            doc: blob(1, 4),
+        }]);
+        assert!(matches!(leaf.entries()[0], KcrEntry::Leaf(_)));
+        let internal = KcrNode::Internal(vec![KcrInternalEntry {
+            child: blob(1, 4),
+            mbr: Rect::point(Point::new(0.0, 0.0)),
+            cnt: 1,
+            kcm: blob(2, 4),
+        }]);
+        assert!(matches!(internal.entries()[0], KcrEntry::Internal(_)));
+    }
+
+    #[test]
+    fn corrupt_kind_rejected() {
+        let mut bytes = KcrNode::Leaf(vec![]).encode();
+        bytes[0] = 0xFF;
+        assert!(KcrNode::decode(&bytes).is_err());
+    }
+}

@@ -1,0 +1,357 @@
+//! Best-first top-k / rank search over the KcR-tree.
+//!
+//! The KcR-tree's keyword-count maps give a per-node textual bound
+//! `TSim(o, q.doc) ≤ |q.doc ∩ N.doc| / |q.doc|` (each object can match at
+//! most the distinct query terms present in the subtree, and its union
+//! with the query has at least `|q.doc|` terms). Combined with `MinDist`
+//! this yields a correct, if looser than the SetR-tree's, score upper
+//! bound — enough for the KcR-based algorithm to determine the missing
+//! object's initial rank on its own index (§V-D, Algorithm 4 line 1).
+
+use super::node::KcrNode;
+use super::KcrTree;
+use crate::model::ObjectId;
+use crate::query::{st_score, SpatialKeywordQuery};
+use crate::setr::{RankMode, RankOutcome};
+use crate::util::OrdF64;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use wnsk_storage::{BlobRef, Result};
+
+enum Item {
+    Node(BlobRef),
+    Object(ObjectId),
+}
+
+struct HeapEntry {
+    score: OrdF64,
+    item: Item,
+}
+
+impl HeapEntry {
+    fn rank_key(&self) -> (OrdF64, u8, std::cmp::Reverse<u32>) {
+        match self.item {
+            Item::Node(_) => (self.score, 1, std::cmp::Reverse(0)),
+            Item::Object(id) => (self.score, 0, std::cmp::Reverse(id.0)),
+        }
+    }
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.rank_key() == other.rank_key()
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.rank_key().cmp(&other.rank_key())
+    }
+}
+
+/// Incremental best-first scan over a [`KcrTree`].
+pub struct KcrTopKSearch<'a> {
+    tree: &'a KcrTree,
+    query: SpatialKeywordQuery,
+    heap: BinaryHeap<HeapEntry>,
+    primed: bool,
+}
+
+impl<'a> KcrTopKSearch<'a> {
+    /// Starts a scan for `query`.
+    pub fn new(tree: &'a KcrTree, query: SpatialKeywordQuery) -> Self {
+        KcrTopKSearch {
+            tree,
+            query,
+            heap: BinaryHeap::new(),
+            primed: false,
+        }
+    }
+
+    fn expand(&mut self, node_ref: BlobRef) -> Result<()> {
+        let node = self.tree.read_node(node_ref)?;
+        match node {
+            KcrNode::Leaf(entries) => {
+                for e in entries {
+                    let doc = self.tree.read_doc(e.doc)?;
+                    let sdist = self
+                        .tree
+                        .world()
+                        .normalized_dist(&e.loc, &self.query.loc);
+                    let tsim = self.query.sim.similarity(&doc, &self.query.doc);
+                    let score = st_score(self.query.alpha, sdist, tsim);
+                    self.heap.push(HeapEntry {
+                        score: OrdF64::new(score),
+                        item: Item::Object(e.object),
+                    });
+                }
+            }
+            KcrNode::Internal(entries) => {
+                for e in entries {
+                    let kcm = self.tree.read_kcm(e.kcm)?;
+                    let matched = self
+                        .query
+                        .doc
+                        .iter()
+                        .filter(|&t| kcm.count(t) > 0)
+                        .count();
+                    let tsim_bound = self
+                        .query
+                        .sim
+                        .kcr_upper(matched, self.query.doc.len());
+                    let min_dist = self
+                        .tree
+                        .world()
+                        .normalized_min_dist(&self.query.loc, &e.mbr);
+                    let bound = st_score(self.query.alpha, min_dist, tsim_bound);
+                    self.heap.push(HeapEntry {
+                        score: OrdF64::new(bound),
+                        item: Item::Node(e.child),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Pulls the next-best object, or `None` when exhausted.
+    pub fn next_object(&mut self) -> Result<Option<(ObjectId, f64)>> {
+        if !self.primed {
+            self.primed = true;
+            if !self.tree.is_empty() {
+                let root = self.tree.root();
+                self.expand(root)?;
+            }
+        }
+        while let Some(entry) = self.heap.pop() {
+            match entry.item {
+                Item::Object(id) => return Ok(Some((id, entry.score.0))),
+                Item::Node(node_ref) => self.expand(node_ref)?,
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl KcrTree {
+    /// Materialises the top-k result.
+    pub fn top_k(&self, query: &SpatialKeywordQuery) -> Result<Vec<(ObjectId, f64)>> {
+        let mut search = KcrTopKSearch::new(self, query.clone());
+        let mut out = Vec::with_capacity(query.k);
+        while out.len() < query.k {
+            match search.next_object()? {
+                Some(hit) => out.push(hit),
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+
+    /// Computes the rank `R(target, query)` (Eqn. 3), with the same
+    /// early-stop contract as [`crate::SetRTree::rank_of`].
+    pub fn rank_of(
+        &self,
+        query: &SpatialKeywordQuery,
+        target: ObjectId,
+        target_score: f64,
+        max_rank: Option<usize>,
+        mode: RankMode,
+    ) -> Result<RankOutcome> {
+        let mut search = KcrTopKSearch::new(self, query.clone());
+        let mut dominators = 0usize;
+        loop {
+            if let Some(max_rank) = max_rank {
+                if dominators + 1 > max_rank {
+                    return Ok(RankOutcome::Aborted {
+                        seen_dominators: dominators,
+                    });
+                }
+            }
+            match search.next_object()? {
+                None => break,
+                Some((id, score)) => {
+                    if score > target_score {
+                        dominators += 1;
+                    } else {
+                        match mode {
+                            RankMode::StopAtScore => break,
+                            RankMode::UntilFound => {
+                                if id == target {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(RankOutcome::Exact {
+            rank: dominators + 1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Dataset, SpatialObject};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+    use wnsk_geo::{Point, WorldBounds};
+    use wnsk_storage::{BufferPool, BufferPoolConfig, MemBackend};
+    use wnsk_text::KeywordSet;
+
+    fn random_dataset(n: usize, vocab: u32, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let objects = (0..n)
+            .map(|_| {
+                let n_terms = rng.gen_range(1..=6);
+                let doc =
+                    KeywordSet::from_ids((0..n_terms).map(|_| rng.gen_range(0..vocab)));
+                SpatialObject {
+                    id: ObjectId(0),
+                    loc: Point::new(rng.gen::<f64>(), rng.gen::<f64>()),
+                    doc,
+                }
+            })
+            .collect();
+        Dataset::new(objects, WorldBounds::unit())
+    }
+
+    fn build_tree(dataset: &Dataset, fanout: usize) -> KcrTree {
+        let pool = Arc::new(BufferPool::new(
+            Arc::new(MemBackend::new()),
+            BufferPoolConfig::default(),
+        ));
+        KcrTree::build(pool, dataset, fanout).unwrap()
+    }
+
+    fn query(seed: u64, vocab: u32, k: usize, alpha: f64) -> SpatialKeywordQuery {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_terms = rng.gen_range(1..=4);
+        SpatialKeywordQuery::new(
+            Point::new(rng.gen::<f64>(), rng.gen::<f64>()),
+            KeywordSet::from_ids((0..n_terms).map(|_| rng.gen_range(0..vocab))),
+            k,
+            alpha,
+        )
+    }
+
+    #[test]
+    fn top_k_matches_brute_force() {
+        let ds = random_dataset(400, 35, 21);
+        let tree = build_tree(&ds, 10);
+        for seed in 0..8 {
+            let q = query(500 + seed, 35, 10, 0.5);
+            assert_eq!(
+                tree.top_k(&q)
+                    .unwrap()
+                    .iter()
+                    .map(|t| t.0)
+                    .collect::<Vec<_>>(),
+                ds.top_k(&q).iter().map(|t| t.0).collect::<Vec<_>>(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_matches_brute_force() {
+        let ds = random_dataset(250, 30, 22);
+        let tree = build_tree(&ds, 8);
+        for seed in 0..6 {
+            let q = query(600 + seed, 30, 5, 0.4);
+            let target = ObjectId((seed as u32 * 41) % 250);
+            let score = ds.score(ds.object(target), &q);
+            let outcome = tree
+                .rank_of(&q, target, score, None, RankMode::StopAtScore)
+                .unwrap();
+            assert_eq!(outcome.rank(), Some(ds.rank_of(target, &q)), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rank_early_stop() {
+        let ds = random_dataset(250, 30, 23);
+        let tree = build_tree(&ds, 8);
+        let q = query(700, 30, 5, 0.5);
+        let worst = ds
+            .objects()
+            .iter()
+            .min_by(|a, b| OrdF64::new(ds.score(a, &q)).cmp(&OrdF64::new(ds.score(b, &q))))
+            .unwrap()
+            .id;
+        let score = ds.score(ds.object(worst), &q);
+        assert!(matches!(
+            tree.rank_of(&q, worst, score, Some(5), RankMode::StopAtScore)
+                .unwrap(),
+            RankOutcome::Aborted { seen_dominators: 5 }
+        ));
+    }
+
+    #[test]
+    fn summaries_aggregate_correctly() {
+        // The root summary must count every object and every term
+        // occurrence exactly once.
+        let ds = random_dataset(300, 20, 24);
+        let tree = build_tree(&ds, 7);
+        let root = tree.root_summary().unwrap();
+        assert_eq!(root.cnt, 300);
+        let mut expected = wnsk_text::KeywordCountMap::new();
+        for o in ds.objects() {
+            expected.add_doc(&o.doc);
+        }
+        assert_eq!(root.kcm, expected);
+        for o in ds.objects() {
+            assert!(root.mbr.contains_point(&o.loc));
+        }
+    }
+
+    #[test]
+    fn child_summaries_partition_parent() {
+        let ds = random_dataset(500, 25, 25);
+        let tree = build_tree(&ds, 9);
+        let root = tree.read_node(tree.root()).unwrap();
+        if let KcrNode::Internal(entries) = root {
+            let total: u32 = entries.iter().map(|e| e.cnt).sum();
+            assert_eq!(total, 500);
+            let mut merged = wnsk_text::KeywordCountMap::new();
+            for e in &entries {
+                merged.merge(&tree.read_kcm(e.kcm).unwrap());
+            }
+            assert_eq!(merged, tree.root_summary().unwrap().kcm);
+        } else {
+            panic!("expected internal root for 500 objects with fanout 9");
+        }
+    }
+
+    #[test]
+    fn persists_through_file_backend() {
+        use wnsk_storage::FileBackend;
+        let ds = random_dataset(150, 15, 26);
+        let dir = std::env::temp_dir().join(format!("wnsk-kcr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kcr.db");
+        let q = query(800, 15, 7, 0.5);
+        let expected;
+        {
+            let backend = Arc::new(FileBackend::create(&path).unwrap());
+            let pool = Arc::new(BufferPool::with_default_config(backend));
+            let tree = KcrTree::build(pool, &ds, 10).unwrap();
+            expected = tree.top_k(&q).unwrap();
+        }
+        {
+            let backend = Arc::new(FileBackend::open(&path).unwrap());
+            let pool = Arc::new(BufferPool::with_default_config(backend));
+            let tree = KcrTree::open(pool).unwrap();
+            assert_eq!(tree.top_k(&q).unwrap(), expected);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,38 @@
+//! Disk-resident spatio-textual indexes for the why-not spatial keyword
+//! library.
+//!
+//! Two index structures from the paper are implemented on top of the
+//! `wnsk-storage` page substrate:
+//!
+//! * [`SetRTree`] — an IR-tree variant whose internal entries carry the
+//!   *union* and *intersection* keyword sets of their subtree (§IV-B).
+//!   Theorem 1 turns those sets into a per-node upper bound on the ranking
+//!   score, powering the incremental best-first [`TopKSearch`] and the
+//!   rank-of-object search used by the basic why-not algorithm.
+//! * [`KcrTree`] — the Keyword-count R-tree (§V-A, after \[22\]): internal
+//!   entries carry a keyword-count map and subtree cardinality, from which
+//!   [`kcr::max_dom`] / [`kcr::min_dom`] bound the number of dominators of
+//!   a missing object inside a subtree *without descending into it*
+//!   (Theorems 2 & 3, Algorithm 2).
+//!
+//! Both trees are STR bulk-loaded ([`str_pack`]), store nodes as
+//! blob-chained pages, and route every access through the buffer pool so
+//! experiments can meter physical I/O exactly as the paper does. The
+//! shared object/dataset model ([`model`]) includes deliberately naive
+//! brute-force evaluators used as ground truth by the test suites.
+
+pub mod kcr;
+pub mod model;
+pub mod payload;
+pub mod query;
+pub mod setr;
+pub mod str_pack;
+mod stream;
+mod util;
+
+pub use kcr::{KcrEntry, KcrNode, KcrTree, NodeSummary};
+pub use model::{Dataset, ObjectId, SpatialObject};
+pub use query::{st_score, tsim_node_upper, SpatialKeywordQuery};
+pub use setr::{RankMode, RankOutcome, SetRTree, TopKSearch};
+pub use stream::ObjectStream;
+pub use util::OrdF64;

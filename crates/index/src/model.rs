@@ -1,0 +1,279 @@
+//! The spatio-textual object model shared by the indexes, the dataset
+//! generators and the why-not algorithms.
+//!
+//! [`Dataset`] also carries deliberately naive brute-force evaluators
+//! (`top_k`, `rank_of`); the index search paths are property-tested against
+//! them.
+
+use crate::query::SpatialKeywordQuery;
+use crate::st_score;
+use crate::util::OrdF64;
+use std::fmt;
+use wnsk_geo::{Point, WorldBounds};
+use wnsk_text::{CorpusStats, KeywordSet};
+
+/// Identifier of an object in a [`Dataset`] — its index in the object
+/// vector.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// The raw vector index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// A spatial web object: a point location plus a keyword document
+/// (`(o.loc, o.doc)` in §III-A).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpatialObject {
+    pub id: ObjectId,
+    pub loc: Point,
+    pub doc: KeywordSet,
+}
+
+/// A complete dataset: objects, the world bounds normalising distances,
+/// and corpus statistics for the particularity weights.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    objects: Vec<SpatialObject>,
+    world: WorldBounds,
+    corpus: CorpusStats,
+}
+
+impl Dataset {
+    /// Builds a dataset; object ids are reassigned to be dense in input
+    /// order, and corpus statistics are derived from the documents.
+    ///
+    /// `world` may be wider than the objects' extent (e.g. the unit square
+    /// for generated data); it must enclose every object.
+    pub fn new(mut objects: Vec<SpatialObject>, world: WorldBounds) -> Self {
+        for (i, o) in objects.iter_mut().enumerate() {
+            o.id = ObjectId(i as u32);
+            assert!(
+                world.rect().contains_point(&o.loc),
+                "object {i} at {:?} outside world bounds",
+                o.loc
+            );
+        }
+        let corpus = CorpusStats::from_docs(objects.iter().map(|o| &o.doc));
+        Dataset {
+            objects,
+            world,
+            corpus,
+        }
+    }
+
+    /// Builds a dataset computing the world bounds from the objects.
+    pub fn with_inferred_world(objects: Vec<SpatialObject>) -> Self {
+        let world = WorldBounds::from_points(objects.iter().map(|o| o.loc))
+            .expect("dataset must be non-empty to infer world bounds");
+        Self::new(objects, world)
+    }
+
+    /// All objects, id order.
+    #[inline]
+    pub fn objects(&self) -> &[SpatialObject] {
+        &self.objects
+    }
+
+    /// Number of objects, `|D|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// `true` when the dataset has no objects.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Object lookup.
+    #[inline]
+    pub fn object(&self, id: ObjectId) -> &SpatialObject {
+        &self.objects[id.index()]
+    }
+
+    /// World bounds used for distance normalisation.
+    #[inline]
+    pub fn world(&self) -> &WorldBounds {
+        &self.world
+    }
+
+    /// Corpus document frequencies (drive Eqn. 7 particularity).
+    #[inline]
+    pub fn corpus(&self) -> &CorpusStats {
+        &self.corpus
+    }
+
+    /// Exact ranking score `ST(o, q)` of Eqn. 1.
+    pub fn score(&self, o: &SpatialObject, q: &SpatialKeywordQuery) -> f64 {
+        let sdist = self.world.normalized_dist(&o.loc, &q.loc);
+        let tsim = q.sim.similarity(&o.doc, &q.doc);
+        st_score(q.alpha, sdist, tsim)
+    }
+
+    /// Brute-force top-k: ids and scores sorted by descending score, ties
+    /// broken by ascending object id (the deterministic order every search
+    /// path in this workspace uses).
+    pub fn top_k(&self, q: &SpatialKeywordQuery) -> Vec<(ObjectId, f64)> {
+        let mut scored: Vec<(ObjectId, f64)> = self
+            .objects
+            .iter()
+            .map(|o| (o.id, self.score(o, q)))
+            .collect();
+        scored.sort_by(|a, b| OrdF64::new(b.1).cmp(&OrdF64::new(a.1)).then(a.0.cmp(&b.0)));
+        scored.truncate(q.k);
+        scored
+    }
+
+    /// Brute-force rank `R(o, q)` of Eqn. 3: one plus the number of objects
+    /// with a *strictly* higher score.
+    pub fn rank_of(&self, id: ObjectId, q: &SpatialKeywordQuery) -> usize {
+        let target = self.score(self.object(id), q);
+        1 + self
+            .objects
+            .iter()
+            .filter(|o| self.score(o, q) > target)
+            .count()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use wnsk_geo::Rect;
+
+    /// The four-object example of Fig. 1 of the paper.
+    ///
+    /// The figure gives scores directly (1 − SDist and TSim per object);
+    /// we reconstruct locations on a line so that the normalised distances
+    /// reproduce the table exactly: world = [0,10]×[0,0] has diagonal 10,
+    /// so an object at x = d has SDist = d/10 from a query at x = 0.
+    pub(crate) fn figure1_dataset() -> (Dataset, SpatialKeywordQuery) {
+        let t = |ids: &[u32]| KeywordSet::from_ids(ids.iter().copied());
+        let obj = |x: f64, doc: KeywordSet| SpatialObject {
+            id: ObjectId(0),
+            loc: Point::new(x, 0.0),
+            doc,
+        };
+        let objects = vec![
+            obj(5.0, t(&[1, 2, 3])), // m:  1−SDist=0.5,  TSim=2/3
+            obj(8.0, t(&[1])),       // o1: 1−SDist=0.2,  TSim=1/2
+            obj(1.0, t(&[1, 3])),    // o2: 1−SDist=0.9,  TSim=1/3
+            obj(6.0, t(&[1, 2])),    // o3: 1−SDist=0.4,  TSim=1
+        ];
+        let world =
+            WorldBounds::new(Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0)));
+        let q = SpatialKeywordQuery::new(Point::new(0.0, 0.0), t(&[1, 2]), 1, 0.5);
+        (Dataset::new(objects, world), q)
+    }
+
+    #[test]
+    fn figure1_scores_match_paper() {
+        let (ds, q) = figure1_dataset();
+        let st: Vec<f64> = ds.objects().iter().map(|o| ds.score(o, &q)).collect();
+        // Paper Fig. 1(b) rounds TSim to two decimals (0.66, 0.33); the
+        // exact values are 2/3 and 1/3, giving m = 0.5833 (printed 0.58)
+        // and o2 = 0.6167 (printed 0.615 = 0.45 + 0.33/2).
+        assert!((st[0] - (0.5 * 0.5 + 0.5 * (2.0 / 3.0))).abs() < 1e-12);
+        assert!((st[1] - 0.35).abs() < 1e-12);
+        assert!((st[2] - (0.5 * 0.9 + 0.5 / 3.0)).abs() < 1e-12);
+        assert!((st[3] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure1_rank_of_m_is_three() {
+        let (ds, q) = figure1_dataset();
+        assert_eq!(ds.rank_of(ObjectId(0), &q), 3);
+    }
+
+    #[test]
+    fn figure1_top1_is_o3() {
+        let (ds, q) = figure1_dataset();
+        let top = ds.top_k(&q);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].0, ObjectId(3));
+    }
+
+    #[test]
+    fn top_k_truncates_and_sorts() {
+        let (ds, mut q) = figure1_dataset();
+        q.k = 2;
+        let top = ds.top_k(&q);
+        assert_eq!(
+            top.iter().map(|t| t.0).collect::<Vec<_>>(),
+            vec![ObjectId(3), ObjectId(2)]
+        );
+        q.k = 100; // larger than the dataset
+        assert_eq!(ds.top_k(&q).len(), 4);
+    }
+
+    #[test]
+    fn rank_ignores_ties() {
+        // Two identical objects share a rank.
+        let t = KeywordSet::from_ids([1]);
+        let objects = vec![
+            SpatialObject {
+                id: ObjectId(0),
+                loc: Point::new(0.5, 0.5),
+                doc: t.clone(),
+            },
+            SpatialObject {
+                id: ObjectId(0),
+                loc: Point::new(0.5, 0.5),
+                doc: t.clone(),
+            },
+        ];
+        let ds = Dataset::new(objects, WorldBounds::unit());
+        let q = SpatialKeywordQuery::new(Point::new(0.0, 0.0), t, 1, 0.5);
+        assert_eq!(ds.rank_of(ObjectId(0), &q), 1);
+        assert_eq!(ds.rank_of(ObjectId(1), &q), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside world bounds")]
+    fn object_outside_world_is_rejected() {
+        let objects = vec![SpatialObject {
+            id: ObjectId(0),
+            loc: Point::new(2.0, 2.0),
+            doc: KeywordSet::empty(),
+        }];
+        Dataset::new(objects, WorldBounds::unit());
+    }
+
+    #[test]
+    fn ids_are_reassigned_densely() {
+        let objects = vec![
+            SpatialObject {
+                id: ObjectId(42),
+                loc: Point::new(0.1, 0.1),
+                doc: KeywordSet::empty(),
+            },
+            SpatialObject {
+                id: ObjectId(42),
+                loc: Point::new(0.2, 0.2),
+                doc: KeywordSet::empty(),
+            },
+        ];
+        let ds = Dataset::new(objects, WorldBounds::unit());
+        assert_eq!(ds.object(ObjectId(1)).loc, Point::new(0.2, 0.2));
+    }
+
+    #[test]
+    fn corpus_stats_derived() {
+        let (ds, _) = figure1_dataset();
+        // t1 appears in all four documents.
+        assert_eq!(ds.corpus().doc_freq(wnsk_text::TermId(1)), 4);
+        assert_eq!(ds.corpus().n_docs(), 4);
+    }
+}

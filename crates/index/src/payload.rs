@@ -1,0 +1,89 @@
+//! Serialization of keyword payloads (keyword sets and keyword-count
+//! maps) stored as blobs next to the tree nodes.
+
+use wnsk_storage::codec::{Reader, Writer};
+use wnsk_storage::Result;
+use wnsk_text::{KeywordCountMap, KeywordSet, TermId};
+
+/// Encodes a keyword set as `u32 n` followed by `n` sorted `u32` term ids.
+pub fn encode_keyword_set(set: &KeywordSet) -> Vec<u8> {
+    let mut w = Writer::with_capacity(4 + 4 * set.len());
+    w.write_u32(set.len() as u32);
+    for t in set.iter() {
+        w.write_u32(t.0);
+    }
+    w.into_vec()
+}
+
+/// Decodes a keyword set written by [`encode_keyword_set`].
+pub fn decode_keyword_set(bytes: &[u8]) -> Result<KeywordSet> {
+    let mut r = Reader::new(bytes, "keyword set payload");
+    let n = r.read_u32()? as usize;
+    let mut terms = Vec::with_capacity(n);
+    for _ in 0..n {
+        terms.push(TermId(r.read_u32()?));
+    }
+    // Stored sorted; re-validate cheaply rather than trusting the disk.
+    Ok(KeywordSet::from_terms(terms))
+}
+
+/// Encodes a keyword-count map as `u32 n` followed by `(u32 term,
+/// u32 count)` pairs in term order.
+pub fn encode_kcm(kcm: &KeywordCountMap) -> Vec<u8> {
+    let mut w = Writer::with_capacity(4 + 8 * kcm.len());
+    w.write_u32(kcm.len() as u32);
+    for (t, c) in kcm.iter() {
+        w.write_u32(t.0);
+        w.write_u32(c);
+    }
+    w.into_vec()
+}
+
+/// Decodes a keyword-count map written by [`encode_kcm`].
+pub fn decode_kcm(bytes: &[u8]) -> Result<KeywordCountMap> {
+    let mut r = Reader::new(bytes, "keyword count map payload");
+    let n = r.read_u32()? as usize;
+    let mut pairs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t = TermId(r.read_u32()?);
+        let c = r.read_u32()?;
+        pairs.push((t, c));
+    }
+    Ok(KeywordCountMap::from_pairs(pairs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_set_roundtrip() {
+        for set in [
+            KeywordSet::empty(),
+            KeywordSet::from_ids([5]),
+            KeywordSet::from_ids([1, 2, 3, 1000, u32::MAX - 1]),
+        ] {
+            let bytes = encode_keyword_set(&set);
+            assert_eq!(decode_keyword_set(&bytes).unwrap(), set);
+        }
+    }
+
+    #[test]
+    fn kcm_roundtrip() {
+        for kcm in [
+            KeywordCountMap::new(),
+            KeywordCountMap::from_pairs([(TermId(3), 7), (TermId(1), 2)]),
+        ] {
+            let bytes = encode_kcm(&kcm);
+            assert_eq!(decode_kcm(&bytes).unwrap(), kcm);
+        }
+    }
+
+    #[test]
+    fn truncated_payload_is_error() {
+        let set = KeywordSet::from_ids([1, 2, 3]);
+        let bytes = encode_keyword_set(&set);
+        assert!(decode_keyword_set(&bytes[..bytes.len() - 1]).is_err());
+        assert!(decode_keyword_set(&bytes[..2]).is_err());
+    }
+}

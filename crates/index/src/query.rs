@@ -1,0 +1,162 @@
+//! The spatial keyword top-k query and its scoring functions (Eqn. 1).
+
+use wnsk_geo::Point;
+use wnsk_text::{KeywordSet, TextModel};
+
+/// A spatial keyword top-k query `q = (loc, doc, k, α)` (Definition 1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpatialKeywordQuery {
+    /// Query location.
+    pub loc: Point,
+    /// Query keyword set.
+    pub doc: KeywordSet,
+    /// Number of results to retrieve.
+    pub k: usize,
+    /// Preference between spatial proximity (α→1) and textual similarity
+    /// (α→0). Must lie in the open interval `(0, 1)` (Eqn. 1).
+    pub alpha: f64,
+    /// Text similarity model (the paper's Eqn. 2 Jaccard by default;
+    /// footnote 1's Dice/cosine variants are supported throughout).
+    pub sim: TextModel,
+}
+
+impl SpatialKeywordQuery {
+    /// Creates a query, validating `α ∈ (0, 1)` and `k ≥ 1`.
+    pub fn new(loc: Point, doc: KeywordSet, k: usize, alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "alpha must be in (0, 1), got {alpha}"
+        );
+        assert!(k >= 1, "k must be at least 1");
+        SpatialKeywordQuery {
+            loc,
+            doc,
+            k,
+            alpha,
+            sim: TextModel::Jaccard,
+        }
+    }
+
+    /// The same query under a different text similarity model.
+    pub fn with_model(mut self, sim: TextModel) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// The same query with a different keyword set (used when sweeping
+    /// candidate refinements).
+    pub fn with_doc(&self, doc: KeywordSet) -> Self {
+        SpatialKeywordQuery {
+            doc,
+            ..self.clone()
+        }
+    }
+}
+
+/// The ranking score of Eqn. 1:
+/// `ST = α·(1 − SDist) + (1 − α)·TSim`, with `SDist` already normalised.
+#[inline]
+pub fn st_score(alpha: f64, sdist_norm: f64, tsim: f64) -> f64 {
+    alpha * (1.0 - sdist_norm) + (1.0 - alpha) * tsim
+}
+
+/// Theorem 1's upper bound on the textual similarity of any object inside
+/// a SetR-tree node: `|N∪ ∩ q.doc| / |N∩ ∪ q.doc|`.
+///
+/// `union` and `intersection` are the node's aggregated keyword sets. The
+/// degenerate 0/0 case (empty node sets *and* empty query) is defined as
+/// 0, consistent with [`wnsk_text::jaccard`].
+#[inline]
+pub fn tsim_node_upper(union: &KeywordSet, intersection: &KeywordSet, qdoc: &KeywordSet) -> f64 {
+    let num = union.intersection_len(qdoc);
+    let den = intersection.union_len(qdoc);
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wnsk_text::jaccard;
+
+    #[test]
+    fn st_score_blends_linearly() {
+        assert_eq!(st_score(0.5, 0.0, 1.0), 1.0);
+        assert_eq!(st_score(0.5, 1.0, 0.0), 0.0);
+        assert!((st_score(0.3, 0.2, 0.5) - (0.3 * 0.8 + 0.7 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn alpha_zero_rejected() {
+        SpatialKeywordQuery::new(Point::new(0.0, 0.0), KeywordSet::empty(), 1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn alpha_one_rejected() {
+        SpatialKeywordQuery::new(Point::new(0.0, 0.0), KeywordSet::empty(), 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn zero_k_rejected() {
+        SpatialKeywordQuery::new(Point::new(0.0, 0.0), KeywordSet::empty(), 0, 0.5);
+    }
+
+    #[test]
+    fn node_bound_dominates_member_jaccard() {
+        // Node contains docs {1,2}, {1,2,3}, {1,4}:
+        let docs = [
+            KeywordSet::from_ids([1, 2]),
+            KeywordSet::from_ids([1, 2, 3]),
+            KeywordSet::from_ids([1, 4]),
+        ];
+        let union = docs
+            .iter()
+            .fold(KeywordSet::empty(), |acc, d| acc.union(d));
+        let inter = docs[1..]
+            .iter()
+            .fold(docs[0].clone(), |acc, d| acc.intersection(d));
+        for qdoc in [
+            KeywordSet::from_ids([1]),
+            KeywordSet::from_ids([2, 3]),
+            KeywordSet::from_ids([5]),
+            KeywordSet::empty(),
+        ] {
+            let bound = tsim_node_upper(&union, &inter, &qdoc);
+            for d in &docs {
+                assert!(
+                    jaccard(d, &qdoc) <= bound + 1e-12,
+                    "bound {bound} violated for doc {d:?} query {qdoc:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn node_bound_degenerate_cases() {
+        let e = KeywordSet::empty();
+        assert_eq!(tsim_node_upper(&e, &e, &e), 0.0);
+        let q = KeywordSet::from_ids([1]);
+        assert_eq!(tsim_node_upper(&e, &e, &q), 0.0);
+    }
+
+    #[test]
+    fn with_doc_keeps_other_fields() {
+        let q = SpatialKeywordQuery::new(
+            Point::new(0.5, 0.5),
+            KeywordSet::from_ids([1]),
+            10,
+            0.7,
+        );
+        let q2 = q.with_doc(KeywordSet::from_ids([2, 3]));
+        assert_eq!(q2.loc, q.loc);
+        assert_eq!(q2.k, 10);
+        assert_eq!(q2.alpha, 0.7);
+        assert_eq!(q2.doc, KeywordSet::from_ids([2, 3]));
+    }
+}

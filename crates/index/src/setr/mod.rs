@@ -1,0 +1,106 @@
+//! The SetR-tree (§IV-B): an R-tree whose internal entries carry the
+//! union and intersection keyword sets of their subtrees.
+//!
+//! Theorem 1 bounds the ranking score of every object under a node by
+//! combining `MinDist` with `|N∪ ∩ q.doc| / |N∩ ∪ q.doc|`; the search
+//! module turns that into an incremental best-first top-k scan and the
+//! rank-of-object search at the heart of the basic why-not algorithm.
+
+mod build;
+mod node;
+mod search;
+
+pub use node::{SetrInternalEntry, SetrLeafEntry, SetrNode};
+pub use search::{RankMode, RankOutcome, TopKSearch};
+
+use crate::model::Dataset;
+use crate::payload;
+use std::sync::Arc;
+use wnsk_geo::WorldBounds;
+use wnsk_storage::{BlobRef, BlobStore, BufferPool, Result};
+use wnsk_text::KeywordSet;
+
+/// Magic number identifying a SetR-tree meta page.
+const MAGIC: u32 = 0x5352_5431; // "SRT1"
+
+/// Tree-level metadata persisted on page 0.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Meta {
+    pub root: BlobRef,
+    pub height: u32,
+    pub n_objects: u64,
+    pub world: WorldBounds,
+    pub fanout: u32,
+}
+
+/// A disk-resident SetR-tree.
+///
+/// Built once with [`SetRTree::build`] and read-only afterwards, matching
+/// the paper's static datasets. All reads go through the buffer pool.
+pub struct SetRTree {
+    pool: Arc<BufferPool>,
+    blobs: BlobStore,
+    meta: Meta,
+}
+
+impl SetRTree {
+    /// Bulk-loads a SetR-tree over `dataset` into the storage behind
+    /// `pool` (which must be empty) using the given node `fanout`.
+    pub fn build(pool: Arc<BufferPool>, dataset: &Dataset, fanout: usize) -> Result<Self> {
+        build::build(pool, dataset, fanout)
+    }
+
+    /// Opens a previously built tree from its storage.
+    pub fn open(pool: Arc<BufferPool>) -> Result<Self> {
+        let meta = build::read_meta(&pool)?;
+        let blobs = BlobStore::new(Arc::clone(&pool));
+        Ok(SetRTree { pool, blobs, meta })
+    }
+
+    pub(crate) fn from_parts(pool: Arc<BufferPool>, meta: Meta) -> Self {
+        let blobs = BlobStore::new(Arc::clone(&pool));
+        SetRTree { pool, blobs, meta }
+    }
+
+    /// The buffer pool (I/O metering lives here).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// World bounds the tree was built with.
+    pub fn world(&self) -> &WorldBounds {
+        &self.meta.world
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> u64 {
+        self.meta.n_objects
+    }
+
+    /// `true` when the tree indexes no objects.
+    pub fn is_empty(&self) -> bool {
+        self.meta.n_objects == 0
+    }
+
+    /// Tree height (1 = root is a leaf).
+    pub fn height(&self) -> u32 {
+        self.meta.height
+    }
+
+    /// Blob reference of the root node.
+    pub(crate) fn root(&self) -> BlobRef {
+        self.meta.root
+    }
+
+    /// Reads and decodes a node.
+    pub(crate) fn read_node(&self, node: BlobRef) -> Result<SetrNode> {
+        let bytes = self.blobs.read(node)?;
+        SetrNode::decode(&bytes)
+    }
+
+    /// Reads a keyword-set payload (object doc or node union/intersection).
+    pub(crate) fn read_keyword_set(&self, blob: BlobRef) -> Result<KeywordSet> {
+        let bytes = self.blobs.read(blob)?;
+        payload::decode_keyword_set(&bytes)
+    }
+}

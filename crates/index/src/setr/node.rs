@@ -1,0 +1,200 @@
+//! On-disk node format of the SetR-tree.
+//!
+//! A node is a blob: `u8 kind`, `u32 n`, then `n` fixed-size entries.
+//! Leaf entries mirror the paper's `(o, mbr, pks)`: object id, point
+//! location, and a blob reference to the object's keyword set. Internal
+//! entries mirror `(pc, mbr, pku, pki)`: child node blob, child MBR, and
+//! blob references to the child's union and intersection keyword sets.
+
+use wnsk_geo::{Point, Rect};
+use wnsk_storage::codec::{Reader, Writer};
+use wnsk_storage::{BlobRef, Result, StorageError};
+
+use crate::model::ObjectId;
+
+const KIND_LEAF: u8 = 0;
+const KIND_INTERNAL: u8 = 1;
+
+/// A leaf entry: one indexed object.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SetrLeafEntry {
+    pub object: ObjectId,
+    pub loc: Point,
+    /// Blob holding the object's keyword set (`pks`).
+    pub doc: BlobRef,
+}
+
+/// An internal entry: one child subtree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SetrInternalEntry {
+    /// Blob holding the child node (`pc`).
+    pub child: BlobRef,
+    pub mbr: Rect,
+    /// Blob holding the union of the subtree's keyword sets (`pku`).
+    pub union: BlobRef,
+    /// Blob holding the intersection of the subtree's keyword sets (`pki`).
+    pub intersection: BlobRef,
+}
+
+/// A decoded SetR-tree node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SetrNode {
+    Leaf(Vec<SetrLeafEntry>),
+    Internal(Vec<SetrInternalEntry>),
+}
+
+impl SetrNode {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            SetrNode::Leaf(v) => v.len(),
+            SetrNode::Internal(v) => v.len(),
+        }
+    }
+
+    /// `true` when the node has no entries (only possible for the root of
+    /// an empty tree).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serializes the node to its blob payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            SetrNode::Leaf(entries) => {
+                let mut w = Writer::with_capacity(5 + entries.len() * 32);
+                w.write_u8(KIND_LEAF);
+                w.write_u32(entries.len() as u32);
+                for e in entries {
+                    w.write_u32(e.object.0);
+                    w.write_f64(e.loc.x);
+                    w.write_f64(e.loc.y);
+                    e.doc.encode(&mut w);
+                }
+                w.into_vec()
+            }
+            SetrNode::Internal(entries) => {
+                let mut w = Writer::with_capacity(5 + entries.len() * 68);
+                w.write_u8(KIND_INTERNAL);
+                w.write_u32(entries.len() as u32);
+                for e in entries {
+                    e.child.encode(&mut w);
+                    w.write_f64(e.mbr.min.x);
+                    w.write_f64(e.mbr.min.y);
+                    w.write_f64(e.mbr.max.x);
+                    w.write_f64(e.mbr.max.y);
+                    e.union.encode(&mut w);
+                    e.intersection.encode(&mut w);
+                }
+                w.into_vec()
+            }
+        }
+    }
+
+    /// Decodes a node from its blob payload.
+    pub fn decode(bytes: &[u8]) -> Result<SetrNode> {
+        let mut r = Reader::new(bytes, "setr node");
+        let kind = r.read_u8()?;
+        let n = r.read_u32()? as usize;
+        match kind {
+            KIND_LEAF => {
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let object = ObjectId(r.read_u32()?);
+                    let loc = Point::new(r.read_f64()?, r.read_f64()?);
+                    let doc = BlobRef::decode(&mut r)?;
+                    entries.push(SetrLeafEntry { object, loc, doc });
+                }
+                Ok(SetrNode::Leaf(entries))
+            }
+            KIND_INTERNAL => {
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let child = BlobRef::decode(&mut r)?;
+                    let min = Point::new(r.read_f64()?, r.read_f64()?);
+                    let max = Point::new(r.read_f64()?, r.read_f64()?);
+                    let union = BlobRef::decode(&mut r)?;
+                    let intersection = BlobRef::decode(&mut r)?;
+                    entries.push(SetrInternalEntry {
+                        child,
+                        mbr: Rect::new(min, max),
+                        union,
+                        intersection,
+                    });
+                }
+                Ok(SetrNode::Internal(entries))
+            }
+            other => Err(StorageError::corrupt(
+                "setr node",
+                format!("unknown node kind {other}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(p: u64, len: u32) -> BlobRef {
+        BlobRef {
+            first_page: wnsk_storage::PageId(p),
+            len,
+        }
+    }
+
+    #[test]
+    fn leaf_roundtrip() {
+        let node = SetrNode::Leaf(vec![
+            SetrLeafEntry {
+                object: ObjectId(7),
+                loc: Point::new(0.25, -1.5),
+                doc: blob(10, 44),
+            },
+            SetrLeafEntry {
+                object: ObjectId(8),
+                loc: Point::new(2.0, 3.0),
+                doc: blob(11, 8),
+            },
+        ]);
+        let decoded = SetrNode::decode(&node.encode()).unwrap();
+        assert_eq!(decoded, node);
+    }
+
+    #[test]
+    fn internal_roundtrip() {
+        let node = SetrNode::Internal(vec![SetrInternalEntry {
+            child: blob(5, 200),
+            mbr: Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 2.0)),
+            union: blob(6, 40),
+            intersection: blob(7, 12),
+        }]);
+        let decoded = SetrNode::decode(&node.encode()).unwrap();
+        assert_eq!(decoded, node);
+    }
+
+    #[test]
+    fn empty_leaf_roundtrip() {
+        let node = SetrNode::Leaf(vec![]);
+        assert_eq!(SetrNode::decode(&node.encode()).unwrap(), node);
+        assert!(node.is_empty());
+    }
+
+    #[test]
+    fn bad_kind_is_corrupt() {
+        let mut bytes = SetrNode::Leaf(vec![]).encode();
+        bytes[0] = 9;
+        assert!(SetrNode::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_node_is_corrupt() {
+        let node = SetrNode::Leaf(vec![SetrLeafEntry {
+            object: ObjectId(1),
+            loc: Point::new(0.0, 0.0),
+            doc: blob(1, 1),
+        }]);
+        let bytes = node.encode();
+        assert!(SetrNode::decode(&bytes[..bytes.len() - 4]).is_err());
+    }
+}

@@ -1,0 +1,450 @@
+//! Best-first search over the SetR-tree: incremental top-k retrieval and
+//! the rank-of-object search with early stop.
+//!
+//! The priority of an internal entry is Theorem 1's score upper bound;
+//! objects enter the queue with their exact score, so the queue emits
+//! objects in non-increasing score order. Equal scores are resolved
+//! deterministically: nodes are expanded before equal-priority objects are
+//! emitted, and equal-scored objects are emitted in ascending object id.
+
+use super::node::SetrNode;
+use super::SetRTree;
+use crate::model::ObjectId;
+use crate::query::{st_score, SpatialKeywordQuery};
+use crate::util::OrdF64;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use wnsk_storage::{BlobRef, Result};
+
+enum Item {
+    Node(BlobRef),
+    Object(ObjectId),
+}
+
+struct HeapEntry {
+    score: OrdF64,
+    item: Item,
+}
+
+impl HeapEntry {
+    /// Nodes sort before objects at equal score so every subtree that
+    /// might still contain an equally scored object is expanded first;
+    /// equal-scored objects emit in ascending id.
+    fn rank_key(&self) -> (OrdF64, u8, std::cmp::Reverse<u32>) {
+        match self.item {
+            Item::Node(_) => (self.score, 1, std::cmp::Reverse(0)),
+            Item::Object(id) => (self.score, 0, std::cmp::Reverse(id.0)),
+        }
+    }
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.rank_key() == other.rank_key()
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.rank_key().cmp(&other.rank_key())
+    }
+}
+
+/// An incremental best-first top-k scan.
+///
+/// Yields `(object, score)` pairs in non-increasing score order; callers
+/// stop pulling when they have seen enough (top-k, rank search, early
+/// stop...). Errors from storage surface as `Err` items.
+pub struct TopKSearch<'a> {
+    tree: &'a SetRTree,
+    query: SpatialKeywordQuery,
+    heap: BinaryHeap<HeapEntry>,
+    primed: bool,
+}
+
+impl<'a> TopKSearch<'a> {
+    /// Starts a scan for `query` over `tree`.
+    pub fn new(tree: &'a SetRTree, query: SpatialKeywordQuery) -> Self {
+        TopKSearch {
+            tree,
+            query,
+            heap: BinaryHeap::new(),
+            primed: false,
+        }
+    }
+
+    fn expand(&mut self, node_ref: BlobRef) -> Result<()> {
+        let node = self.tree.read_node(node_ref)?;
+        match node {
+            SetrNode::Leaf(entries) => {
+                for e in entries {
+                    let doc = self.tree.read_keyword_set(e.doc)?;
+                    let sdist = self
+                        .tree
+                        .world()
+                        .normalized_dist(&e.loc, &self.query.loc);
+                    let tsim = self.query.sim.similarity(&doc, &self.query.doc);
+                    let score = st_score(self.query.alpha, sdist, tsim);
+                    self.heap.push(HeapEntry {
+                        score: OrdF64::new(score),
+                        item: Item::Object(e.object),
+                    });
+                }
+            }
+            SetrNode::Internal(entries) => {
+                for e in entries {
+                    let union = self.tree.read_keyword_set(e.union)?;
+                    let inter = self.tree.read_keyword_set(e.intersection)?;
+                    let min_dist = self
+                        .tree
+                        .world()
+                        .normalized_min_dist(&self.query.loc, &e.mbr);
+                    let tsim_bound =
+                        self.query.sim.node_upper(&union, &inter, &self.query.doc);
+                    let bound = st_score(self.query.alpha, min_dist, tsim_bound);
+                    self.heap.push(HeapEntry {
+                        score: OrdF64::new(bound),
+                        item: Item::Node(e.child),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Pulls the next-best object, or `None` when exhausted.
+    pub fn next_object(&mut self) -> Result<Option<(ObjectId, f64)>> {
+        if !self.primed {
+            self.primed = true;
+            if !self.tree.is_empty() {
+                let root = self.tree.root();
+                self.expand(root)?;
+            }
+        }
+        while let Some(entry) = self.heap.pop() {
+            match entry.item {
+                Item::Object(id) => return Ok(Some((id, entry.score.0))),
+                Item::Node(node_ref) => self.expand(node_ref)?,
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// How a rank search terminates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RankMode {
+    /// Stop as soon as the emitted score drops to the target's score — the
+    /// cheapest way to compute an exact rank (used by the optimised
+    /// algorithms).
+    StopAtScore,
+    /// Keep pulling until the target object itself is emitted — the basic
+    /// algorithm's behaviour ("process the query until object m appears",
+    /// §IV-B). Same result, more work when many objects tie with `m`.
+    UntilFound,
+}
+
+/// Result of a rank search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RankOutcome {
+    /// Exact rank (Eqn. 3) of the target under the query.
+    Exact { rank: usize },
+    /// The search was aborted because the rank provably exceeds
+    /// `max_rank`; `seen_dominators` objects scoring above the target were
+    /// already retrieved.
+    Aborted { seen_dominators: usize },
+}
+
+impl RankOutcome {
+    /// The exact rank, if the search completed.
+    pub fn rank(&self) -> Option<usize> {
+        match self {
+            RankOutcome::Exact { rank } => Some(*rank),
+            RankOutcome::Aborted { .. } => None,
+        }
+    }
+}
+
+impl SetRTree {
+    /// Convenience: materialises the full top-k result.
+    pub fn top_k(&self, query: &SpatialKeywordQuery) -> Result<Vec<(ObjectId, f64)>> {
+        let mut search = TopKSearch::new(self, query.clone());
+        let mut out = Vec::with_capacity(query.k);
+        while out.len() < query.k {
+            match search.next_object()? {
+                Some(hit) => out.push(hit),
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+
+    /// Computes the rank `R(target, query)` (Eqn. 3) by scanning the tree
+    /// in score order, counting strict dominators of the target.
+    ///
+    /// * `target_score` must be the exact `ST(target, query)` — callers
+    ///   know the target object's location and document.
+    /// * When `max_rank` is set, the scan aborts as soon as the rank
+    ///   provably exceeds it (the early-stop optimisation, Eqn. 6).
+    /// * `mode` selects the basic algorithm's until-found behaviour or the
+    ///   cheaper stop-at-score variant.
+    pub fn rank_of(
+        &self,
+        query: &SpatialKeywordQuery,
+        target: ObjectId,
+        target_score: f64,
+        max_rank: Option<usize>,
+        mode: RankMode,
+    ) -> Result<RankOutcome> {
+        let mut search = TopKSearch::new(self, query.clone());
+        let mut dominators = 0usize;
+        loop {
+            if let Some(max_rank) = max_rank {
+                if dominators + 1 > max_rank {
+                    return Ok(RankOutcome::Aborted {
+                        seen_dominators: dominators,
+                    });
+                }
+            }
+            match search.next_object()? {
+                None => break,
+                Some((id, score)) => {
+                    if score > target_score {
+                        dominators += 1;
+                    } else {
+                        match mode {
+                            RankMode::StopAtScore => break,
+                            RankMode::UntilFound => {
+                                if id == target {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(RankOutcome::Exact {
+            rank: dominators + 1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Dataset, SpatialObject};
+    use crate::query::SpatialKeywordQuery;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+    use wnsk_geo::{Point, WorldBounds};
+    use wnsk_storage::{BufferPool, BufferPoolConfig, MemBackend};
+    use wnsk_text::KeywordSet;
+
+    fn random_dataset(n: usize, vocab: u32, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let objects = (0..n)
+            .map(|_| {
+                let n_terms = rng.gen_range(1..=6);
+                let doc =
+                    KeywordSet::from_ids((0..n_terms).map(|_| rng.gen_range(0..vocab)));
+                SpatialObject {
+                    id: ObjectId(0),
+                    loc: Point::new(rng.gen::<f64>(), rng.gen::<f64>()),
+                    doc,
+                }
+            })
+            .collect();
+        Dataset::new(objects, WorldBounds::unit())
+    }
+
+    fn build_tree(dataset: &Dataset, fanout: usize) -> SetRTree {
+        let pool = Arc::new(BufferPool::new(
+            Arc::new(MemBackend::new()),
+            BufferPoolConfig::default(),
+        ));
+        SetRTree::build(pool, dataset, fanout).unwrap()
+    }
+
+    fn query(seed: u64, vocab: u32, k: usize, alpha: f64) -> SpatialKeywordQuery {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_terms = rng.gen_range(1..=4);
+        SpatialKeywordQuery::new(
+            Point::new(rng.gen::<f64>(), rng.gen::<f64>()),
+            KeywordSet::from_ids((0..n_terms).map(|_| rng.gen_range(0..vocab))),
+            k,
+            alpha,
+        )
+    }
+
+    #[test]
+    fn top_k_matches_brute_force() {
+        let ds = random_dataset(500, 40, 1);
+        let tree = build_tree(&ds, 10);
+        for seed in 0..10 {
+            let q = query(seed, 40, 10, 0.5);
+            let expected = ds.top_k(&q);
+            let got = tree.top_k(&q).unwrap();
+            assert_eq!(
+                got.iter().map(|t| t.0).collect::<Vec<_>>(),
+                expected.iter().map(|t| t.0).collect::<Vec<_>>(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_matches_brute_force_alpha_extremes() {
+        let ds = random_dataset(300, 25, 2);
+        let tree = build_tree(&ds, 8);
+        for alpha in [0.1, 0.9] {
+            for seed in 0..5 {
+                let q = query(100 + seed, 25, 7, alpha);
+                assert_eq!(
+                    tree.top_k(&q)
+                        .unwrap()
+                        .iter()
+                        .map(|t| t.0)
+                        .collect::<Vec<_>>(),
+                    ds.top_k(&q).iter().map(|t| t.0).collect::<Vec<_>>(),
+                    "alpha {alpha} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn emitted_scores_are_non_increasing() {
+        let ds = random_dataset(400, 30, 3);
+        let tree = build_tree(&ds, 10);
+        let q = query(7, 30, 1, 0.5);
+        let mut search = TopKSearch::new(&tree, q);
+        let mut last = f64::INFINITY;
+        let mut count = 0;
+        while let Some((_, score)) = search.next_object().unwrap() {
+            assert!(score <= last + 1e-12);
+            last = score;
+            count += 1;
+        }
+        assert_eq!(count, 400, "scan must emit every object exactly once");
+    }
+
+    #[test]
+    fn rank_matches_brute_force() {
+        let ds = random_dataset(300, 30, 4);
+        let tree = build_tree(&ds, 10);
+        for seed in 0..6 {
+            let q = query(200 + seed, 30, 5, 0.5);
+            let target = ObjectId((seed as u32 * 37) % 300);
+            let score = ds.score(ds.object(target), &q);
+            for mode in [RankMode::StopAtScore, RankMode::UntilFound] {
+                let outcome = tree.rank_of(&q, target, score, None, mode).unwrap();
+                assert_eq!(
+                    outcome.rank(),
+                    Some(ds.rank_of(target, &q)),
+                    "seed {seed} mode {mode:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank_early_stop_aborts() {
+        let ds = random_dataset(300, 30, 5);
+        let tree = build_tree(&ds, 10);
+        let q = query(300, 30, 5, 0.5);
+        // Pick the worst-ranked object so any small bound aborts.
+        let worst = ds
+            .objects()
+            .iter()
+            .min_by(|a, b| OrdF64::new(ds.score(a, &q)).cmp(&OrdF64::new(ds.score(b, &q))))
+            .unwrap()
+            .id;
+        let score = ds.score(ds.object(worst), &q);
+        let true_rank = ds.rank_of(worst, &q);
+        assert!(true_rank > 10);
+        let outcome = tree
+            .rank_of(&q, worst, score, Some(10), RankMode::StopAtScore)
+            .unwrap();
+        match outcome {
+            RankOutcome::Aborted { seen_dominators } => assert_eq!(seen_dominators, 10),
+            other => panic!("expected abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rank_early_stop_exact_when_within_bound() {
+        let ds = random_dataset(200, 20, 6);
+        let tree = build_tree(&ds, 10);
+        let q = query(400, 20, 5, 0.5);
+        let target = ds.top_k(&q)[2].0; // rank ≤ 3
+        let score = ds.score(ds.object(target), &q);
+        let outcome = tree
+            .rank_of(&q, target, score, Some(50), RankMode::StopAtScore)
+            .unwrap();
+        assert_eq!(outcome.rank(), Some(ds.rank_of(target, &q)));
+    }
+
+    #[test]
+    fn top_k_on_figure1() {
+        let (ds, q) = crate::model::tests::figure1_dataset();
+        let tree = build_tree(&ds, 2);
+        let top = tree.top_k(&q).unwrap();
+        assert_eq!(top[0].0, ObjectId(3));
+        let m_score = ds.score(ds.object(ObjectId(0)), &q);
+        let outcome = tree
+            .rank_of(&q, ObjectId(0), m_score, None, RankMode::UntilFound)
+            .unwrap();
+        assert_eq!(outcome.rank(), Some(3));
+    }
+
+    #[test]
+    fn k_larger_than_dataset() {
+        let ds = random_dataset(25, 10, 7);
+        let tree = build_tree(&ds, 4);
+        let q = query(1, 10, 100, 0.5);
+        assert_eq!(tree.top_k(&q).unwrap().len(), 25);
+    }
+
+    #[test]
+    fn search_costs_io() {
+        let ds = random_dataset(2000, 50, 8);
+        let tree = build_tree(&ds, 10);
+        tree.pool().clear_cache();
+        let before = tree.pool().stats();
+        tree.top_k(&query(9, 50, 10, 0.5)).unwrap();
+        let delta = tree.pool().stats().since(&before);
+        assert!(delta.physical_reads > 0, "cold search must do I/O");
+    }
+
+    #[test]
+    fn persists_through_file_backend() {
+        use wnsk_storage::FileBackend;
+        let ds = random_dataset(200, 20, 9);
+        let dir = std::env::temp_dir().join(format!("wnsk-setr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("setr.db");
+        let q = query(11, 20, 8, 0.5);
+        let expected;
+        {
+            let backend = Arc::new(FileBackend::create(&path).unwrap());
+            let pool = Arc::new(BufferPool::with_default_config(backend));
+            let tree = SetRTree::build(pool, &ds, 10).unwrap();
+            expected = tree.top_k(&q).unwrap();
+        }
+        {
+            let backend = Arc::new(FileBackend::open(&path).unwrap());
+            let pool = Arc::new(BufferPool::with_default_config(backend));
+            let tree = SetRTree::open(pool).unwrap();
+            assert_eq!(tree.top_k(&q).unwrap(), expected);
+            assert_eq!(tree.len(), 200);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,27 @@
+//! A common interface over the incremental best-first searches of both
+//! trees, letting the why-not algorithms run rank scans generically.
+
+use crate::model::ObjectId;
+use wnsk_storage::Result;
+
+/// A stream of objects in non-increasing ranking-score order.
+///
+/// Implemented by [`crate::TopKSearch`] (SetR-tree) and
+/// [`crate::kcr::KcrTopKSearch`] (KcR-tree).
+pub trait ObjectStream {
+    /// Pulls the next-best object, or `None` when the dataset is
+    /// exhausted.
+    fn next_object(&mut self) -> Result<Option<(ObjectId, f64)>>;
+}
+
+impl ObjectStream for crate::setr::TopKSearch<'_> {
+    fn next_object(&mut self) -> Result<Option<(ObjectId, f64)>> {
+        crate::setr::TopKSearch::next_object(self)
+    }
+}
+
+impl ObjectStream for crate::kcr::KcrTopKSearch<'_> {
+    fn next_object(&mut self) -> Result<Option<(ObjectId, f64)>> {
+        crate::kcr::KcrTopKSearch::next_object(self)
+    }
+}

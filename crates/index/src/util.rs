@@ -1,0 +1,60 @@
+use std::cmp::Ordering;
+
+/// A totally ordered wrapper for *finite* `f64` scores, usable as a
+/// `BinaryHeap` priority.
+///
+/// # Panics
+/// Construction debug-asserts finiteness; ranking scores are convex
+/// combinations of values in `[0, 1]` so NaN/∞ indicate a bug upstream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OrdF64(pub f64);
+
+impl OrdF64 {
+    /// Wraps a score, checking finiteness in debug builds.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        debug_assert!(v.is_finite(), "score must be finite, got {v}");
+        OrdF64(v)
+    }
+}
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Finite floats order totally; `total_cmp` keeps this robust even
+        // if a non-finite value slips through in release builds.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn orders_like_f64() {
+        assert!(OrdF64::new(1.0) > OrdF64::new(0.5));
+        assert!(OrdF64::new(-1.0) < OrdF64::new(0.0));
+        assert_eq!(OrdF64::new(0.25), OrdF64::new(0.25));
+    }
+
+    #[test]
+    fn works_as_heap_priority() {
+        let mut heap = BinaryHeap::new();
+        for v in [0.3, 0.9, 0.1, 0.7] {
+            heap.push(OrdF64::new(v));
+        }
+        assert_eq!(heap.pop(), Some(OrdF64::new(0.9)));
+        assert_eq!(heap.pop(), Some(OrdF64::new(0.7)));
+    }
+}

@@ -1,0 +1,142 @@
+//! Fault injection: on-disk corruption must surface as typed errors, not
+//! panics or silent wrong answers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use wnsk_geo::{Point, WorldBounds};
+use wnsk_index::{Dataset, KcrTree, ObjectId, SetRTree, SpatialKeywordQuery, SpatialObject};
+use wnsk_storage::{
+    BufferPool, MemBackend, PageId, StorageBackend, PAGE_SIZE,
+};
+use wnsk_text::KeywordSet;
+
+fn dataset(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let objects = (0..n)
+        .map(|_| SpatialObject {
+            id: ObjectId(0),
+            loc: Point::new(rng.gen(), rng.gen()),
+            doc: KeywordSet::from_ids((0..rng.gen_range(1..5)).map(|_| rng.gen_range(0..30u32))),
+        })
+        .collect();
+    Dataset::new(objects, WorldBounds::unit())
+}
+
+fn query() -> SpatialKeywordQuery {
+    SpatialKeywordQuery::new(Point::new(0.5, 0.5), KeywordSet::from_ids([1, 2]), 10, 0.5)
+}
+
+/// Corrupting any single page must never panic a SetR-tree scan: it either
+/// still succeeds (the page was not on the scan's path or the damage was
+/// semantically silent) or surfaces a storage/corruption error.
+#[test]
+fn setr_survives_arbitrary_page_corruption() {
+    let ds = dataset(300, 1);
+    let backend = Arc::new(MemBackend::new());
+    {
+        let pool = Arc::new(BufferPool::with_default_config(
+            Arc::clone(&backend) as Arc<dyn StorageBackend>
+        ));
+        SetRTree::build(pool, &ds, 8).unwrap();
+    }
+    let n_pages = backend.page_count();
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut errors = 0;
+    for _trial in 0..30 {
+        let victim = PageId(rng.gen_range(1..n_pages)); // keep the meta page
+        // Save, smash, scan, restore.
+        let mut original = vec![0u8; PAGE_SIZE];
+        backend.read_page(victim, &mut original).unwrap();
+        let mut garbage = original.clone();
+        for b in garbage.iter_mut().take(64) {
+            *b = rng.gen();
+        }
+        backend.write_page(victim, &garbage).unwrap();
+
+        let pool = Arc::new(BufferPool::with_default_config(
+            Arc::clone(&backend) as Arc<dyn StorageBackend>
+        ));
+        match SetRTree::open(Arc::clone(&pool)) {
+            Ok(tree) => {
+                // Must not panic; Err is acceptable and expected.
+                if tree.top_k(&query()).is_err() {
+                    errors += 1;
+                }
+            }
+            Err(_) => errors += 1,
+        }
+        backend.write_page(victim, &original).unwrap();
+    }
+    // At least some corruptions must actually be detected (the test would
+    // be vacuous if nothing ever noticed).
+    assert!(errors > 0, "no corruption was ever detected across 30 trials");
+}
+
+/// A zeroed meta page is rejected at open time with a corruption error.
+#[test]
+fn zeroed_meta_page_is_rejected() {
+    let ds = dataset(50, 2);
+    let backend = Arc::new(MemBackend::new());
+    {
+        let pool = Arc::new(BufferPool::with_default_config(
+            Arc::clone(&backend) as Arc<dyn StorageBackend>
+        ));
+        KcrTree::build(pool, &ds, 8).unwrap();
+    }
+    backend.write_page(PageId(0), &vec![0u8; PAGE_SIZE]).unwrap();
+    let pool = Arc::new(BufferPool::with_default_config(
+        Arc::clone(&backend) as Arc<dyn StorageBackend>
+    ));
+    let err = KcrTree::open(pool).err().expect("open must fail");
+    assert!(err.to_string().contains("magic"), "unexpected error: {err}");
+}
+
+/// Opening a SetR-tree file as a KcR-tree (and vice versa) fails cleanly.
+#[test]
+fn cross_format_open_is_rejected() {
+    let ds = dataset(50, 3);
+    let backend = Arc::new(MemBackend::new());
+    {
+        let pool = Arc::new(BufferPool::with_default_config(
+            Arc::clone(&backend) as Arc<dyn StorageBackend>
+        ));
+        SetRTree::build(pool, &ds, 8).unwrap();
+    }
+    let pool = Arc::new(BufferPool::with_default_config(
+        Arc::clone(&backend) as Arc<dyn StorageBackend>
+    ));
+    assert!(KcrTree::open(pool).is_err());
+}
+
+/// Truncated storage (missing pages) errors instead of panicking.
+#[test]
+fn truncated_storage_is_an_error() {
+    let ds = dataset(200, 4);
+    let full = Arc::new(MemBackend::new());
+    {
+        let pool = Arc::new(BufferPool::with_default_config(
+            Arc::clone(&full) as Arc<dyn StorageBackend>
+        ));
+        SetRTree::build(pool, &ds, 8).unwrap();
+    }
+    // Copy only the first half of the pages into a fresh backend.
+    let truncated = Arc::new(MemBackend::new());
+    let half = full.page_count() / 2;
+    for i in 0..half {
+        let id = truncated.allocate_page().unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        full.read_page(PageId(i), &mut buf).unwrap();
+        truncated.write_page(id, &buf).unwrap();
+    }
+    let pool = Arc::new(BufferPool::with_default_config(
+        truncated as Arc<dyn StorageBackend>,
+    ));
+    match SetRTree::open(Arc::clone(&pool)) {
+        Err(_) => {}
+        Ok(tree) => {
+            let r = tree.top_k(&query());
+            assert!(r.is_err(), "scan over truncated storage must error");
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Property-based tests for the indexes: search paths equal brute force,
+//! node bounds dominate member scores, dominance bounds bracket the
+//! truth.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use wnsk_geo::{Point, Rect, WorldBounds};
+use wnsk_index::kcr::{max_dom, min_dom, PreparedNode};
+use wnsk_index::{
+    tsim_node_upper, Dataset, KcrTree, NodeSummary, ObjectId, RankMode, SetRTree,
+    SpatialKeywordQuery, SpatialObject,
+};
+use wnsk_storage::{BufferPool, BufferPoolConfig, MemBackend};
+use wnsk_text::{jaccard, KeywordCountMap, KeywordSet, TextModel};
+
+fn arb_doc() -> impl Strategy<Value = KeywordSet> {
+    proptest::collection::vec(0u32..20, 1..6).prop_map(KeywordSet::from_ids)
+}
+
+fn arb_dataset(max_n: usize) -> impl Strategy<Value = Dataset> {
+    proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64, arb_doc()), 1..max_n).prop_map(
+        |items| {
+            let objects = items
+                .into_iter()
+                .map(|(x, y, doc)| SpatialObject {
+                    id: ObjectId(0),
+                    loc: Point::new(x, y),
+                    doc,
+                })
+                .collect();
+            Dataset::new(objects, WorldBounds::unit())
+        },
+    )
+}
+
+fn arb_model() -> impl Strategy<Value = TextModel> {
+    prop::sample::select(vec![TextModel::Jaccard, TextModel::Dice, TextModel::Cosine])
+}
+
+fn arb_query() -> impl Strategy<Value = SpatialKeywordQuery> {
+    (
+        0.0..1.0f64,
+        0.0..1.0f64,
+        proptest::collection::vec(0u32..22, 0..4),
+        1usize..8,
+        0.05..0.95f64,
+        arb_model(),
+    )
+        .prop_map(|(x, y, doc, k, alpha, sim)| {
+            SpatialKeywordQuery::new(Point::new(x, y), KeywordSet::from_ids(doc), k, alpha)
+                .with_model(sim)
+        })
+}
+
+fn pool() -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(
+        Arc::new(MemBackend::new()),
+        BufferPoolConfig::default(),
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// SetR-tree top-k equals brute-force top-k for arbitrary data and
+    /// queries (ids and order).
+    #[test]
+    fn setr_topk_equals_brute_force(ds in arb_dataset(60), q in arb_query()) {
+        let tree = SetRTree::build(pool(), &ds, 4).unwrap();
+        let got: Vec<ObjectId> = tree.top_k(&q).unwrap().iter().map(|t| t.0).collect();
+        let want: Vec<ObjectId> = ds.top_k(&q).iter().map(|t| t.0).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// KcR-tree top-k equals brute-force top-k too (its looser bound only
+    /// costs work, never correctness).
+    #[test]
+    fn kcr_topk_equals_brute_force(ds in arb_dataset(60), q in arb_query()) {
+        let tree = KcrTree::build(pool(), &ds, 4).unwrap();
+        let got: Vec<ObjectId> = tree.top_k(&q).unwrap().iter().map(|t| t.0).collect();
+        let want: Vec<ObjectId> = ds.top_k(&q).iter().map(|t| t.0).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Rank search equals Eqn. 3's definition in both modes.
+    #[test]
+    fn rank_search_equals_definition(ds in arb_dataset(60), q in arb_query(), pick in any::<prop::sample::Index>()) {
+        let tree = SetRTree::build(pool(), &ds, 4).unwrap();
+        let target = ds.objects()[pick.index(ds.len())].id;
+        let score = ds.score(ds.object(target), &q);
+        let want = ds.rank_of(target, &q);
+        for mode in [RankMode::StopAtScore, RankMode::UntilFound] {
+            let got = tree.rank_of(&q, target, score, None, mode).unwrap();
+            prop_assert_eq!(got.rank(), Some(want));
+        }
+    }
+
+    /// Theorem 1: the node textual bound dominates every member's
+    /// Jaccard similarity.
+    #[test]
+    fn theorem1_bound_dominates(docs in proptest::collection::vec(arb_doc(), 1..10), q in arb_doc()) {
+        let union = docs.iter().fold(KeywordSet::empty(), |acc, d| acc.union(d));
+        let inter = docs[1..]
+            .iter()
+            .fold(docs[0].clone(), |acc, d| acc.intersection(d));
+        let bound = tsim_node_upper(&union, &inter, &q);
+        for d in &docs {
+            prop_assert!(jaccard(d, &q) <= bound + 1e-12);
+        }
+    }
+
+    /// MaxDom/MinDom bracket the true count of objects whose similarity
+    /// exceeds the threshold, for any concrete document multiset — under
+    /// every text model.
+    #[test]
+    fn dom_bounds_bracket_truth(
+        docs in proptest::collection::vec(arb_doc(), 1..15),
+        s in proptest::collection::vec(0u32..22, 0..5),
+        tau in -0.2..1.2f64,
+        model in arb_model(),
+    ) {
+        let s = KeywordSet::from_ids(s);
+        let mut kcm = KeywordCountMap::new();
+        for d in &docs {
+            kcm.add_doc(d);
+        }
+        let prep = PreparedNode::new(&NodeSummary {
+            mbr: Rect::point(Point::new(0.0, 0.0)),
+            cnt: docs.len() as u32,
+            kcm,
+        });
+        let truth = docs
+            .iter()
+            .filter(|d| model.similarity(d, &s) > tau)
+            .count() as u32;
+        let lo = min_dom(&prep, &s, tau, model);
+        let hi = max_dom(&prep, &s, tau, model);
+        prop_assert!(lo <= truth, "{model:?}: min_dom {lo} > truth {truth}");
+        prop_assert!(truth <= hi, "{model:?}: truth {truth} > max_dom {hi}");
+    }
+
+    /// The generalised node bound (Theorem 1 per model) dominates every
+    /// member's similarity.
+    #[test]
+    fn node_bound_dominates_per_model(
+        docs in proptest::collection::vec(arb_doc(), 1..10),
+        q in arb_doc(),
+        model in arb_model(),
+    ) {
+        let union = docs.iter().fold(KeywordSet::empty(), |acc, d| acc.union(d));
+        let inter = docs[1..]
+            .iter()
+            .fold(docs[0].clone(), |acc, d| acc.intersection(d));
+        let bound = model.node_upper(&union, &inter, &q);
+        for d in &docs {
+            prop_assert!(
+                model.similarity(d, &q) <= bound + 1e-12,
+                "{model:?}: {} > {bound}",
+                model.similarity(d, &q)
+            );
+        }
+    }
+
+    /// Emitted stream order is non-increasing in score and exhaustive.
+    #[test]
+    fn stream_is_sorted_and_complete(ds in arb_dataset(40), q in arb_query()) {
+        let tree = SetRTree::build(pool(), &ds, 4).unwrap();
+        let mut search = wnsk_index::TopKSearch::new(&tree, q);
+        let mut seen = std::collections::HashSet::new();
+        let mut last = f64::INFINITY;
+        while let Some((id, score)) = search.next_object().unwrap() {
+            prop_assert!(score <= last + 1e-12);
+            last = score;
+            prop_assert!(seen.insert(id), "object emitted twice");
+        }
+        prop_assert_eq!(seen.len(), ds.len());
+    }
+
+    /// Both trees round-trip through their on-disk format: reopening the
+    /// storage yields identical query results.
+    #[test]
+    fn reopen_preserves_results(ds in arb_dataset(40), q in arb_query()) {
+        let p = pool();
+        let want;
+        {
+            let tree = SetRTree::build(Arc::clone(&p), &ds, 4).unwrap();
+            want = tree.top_k(&q).unwrap();
+        }
+        let tree = SetRTree::open(p).unwrap();
+        prop_assert_eq!(tree.top_k(&q).unwrap(), want);
+    }
+}

@@ -1,0 +1,266 @@
+use crate::{PageId, Result, StorageError, PAGE_SIZE};
+use parking_lot::RwLock;
+use std::fs::{File, OpenOptions};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A page device: fixed-size pages addressed by [`PageId`].
+///
+/// Backends are dumb and synchronous; caching and I/O accounting live in
+/// the [`BufferPool`](crate::BufferPool) above them. Implementations must
+/// be thread-safe — the parallel optimisation (§IV-C4) reads pages from
+/// many threads.
+pub trait StorageBackend: Send + Sync {
+    /// Reads page `id` into `buf` (`buf.len() == PAGE_SIZE`).
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()>;
+
+    /// Writes page `id` from `data` (`data.len() == PAGE_SIZE`).
+    fn write_page(&self, id: PageId, data: &[u8]) -> Result<()>;
+
+    /// Allocates a fresh zeroed page and returns its id.
+    fn allocate_page(&self) -> Result<PageId>;
+
+    /// Number of allocated pages.
+    fn page_count(&self) -> u64;
+}
+
+/// An in-memory backend: a growable vector of pages.
+///
+/// This is the default substrate for experiments — it keeps the I/O
+/// *accounting* of a disk system (through the buffer pool) without paying
+/// milliseconds per access, exactly like simulator-style evaluations.
+#[derive(Default)]
+pub struct MemBackend {
+    pages: RwLock<Vec<Box<[u8]>>>,
+}
+
+impl MemBackend {
+    /// Creates an empty backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StorageBackend for MemBackend {
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        assert_eq!(buf.len(), PAGE_SIZE);
+        let pages = self.pages.read();
+        let page = pages
+            .get(id.0 as usize)
+            .ok_or(StorageError::PageOutOfBounds {
+                page: id,
+                allocated: pages.len() as u64,
+            })?;
+        buf.copy_from_slice(page);
+        Ok(())
+    }
+
+    fn write_page(&self, id: PageId, data: &[u8]) -> Result<()> {
+        assert_eq!(data.len(), PAGE_SIZE);
+        let mut pages = self.pages.write();
+        let len = pages.len() as u64;
+        let page = pages
+            .get_mut(id.0 as usize)
+            .ok_or(StorageError::PageOutOfBounds {
+                page: id,
+                allocated: len,
+            })?;
+        page.copy_from_slice(data);
+        Ok(())
+    }
+
+    fn allocate_page(&self) -> Result<PageId> {
+        let mut pages = self.pages.write();
+        let id = PageId(pages.len() as u64);
+        pages.push(vec![0u8; PAGE_SIZE].into_boxed_slice());
+        Ok(id)
+    }
+
+    fn page_count(&self) -> u64 {
+        self.pages.read().len() as u64
+    }
+}
+
+/// A file-backed backend using positioned reads/writes.
+///
+/// Page `i` lives at byte offset `i * PAGE_SIZE`. Used by the persistence
+/// integration tests to prove the index formats survive a round trip
+/// through a real file.
+pub struct FileBackend {
+    file: File,
+    allocated: AtomicU64,
+}
+
+impl FileBackend {
+    /// Creates (truncating) a backend at `path`.
+    pub fn create(path: &Path) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileBackend {
+            file,
+            allocated: AtomicU64::new(0),
+        })
+    }
+
+    /// Opens an existing backend; the page count is derived from the file
+    /// length.
+    pub fn open(path: &Path) -> Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(StorageError::corrupt(
+                "file backend",
+                format!("file length {len} is not a multiple of the page size"),
+            ));
+        }
+        Ok(FileBackend {
+            file,
+            allocated: AtomicU64::new(len / PAGE_SIZE as u64),
+        })
+    }
+
+    /// Flushes file contents to the OS.
+    pub fn sync(&self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+impl StorageBackend for FileBackend {
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        assert_eq!(buf.len(), PAGE_SIZE);
+        if id.0 >= self.allocated.load(Ordering::Acquire) {
+            return Err(StorageError::PageOutOfBounds {
+                page: id,
+                allocated: self.allocated.load(Ordering::Acquire),
+            });
+        }
+        use std::os::unix::fs::FileExt;
+        self.file.read_exact_at(buf, id.0 * PAGE_SIZE as u64)?;
+        Ok(())
+    }
+
+    fn write_page(&self, id: PageId, data: &[u8]) -> Result<()> {
+        assert_eq!(data.len(), PAGE_SIZE);
+        if id.0 >= self.allocated.load(Ordering::Acquire) {
+            return Err(StorageError::PageOutOfBounds {
+                page: id,
+                allocated: self.allocated.load(Ordering::Acquire),
+            });
+        }
+        use std::os::unix::fs::FileExt;
+        self.file.write_all_at(data, id.0 * PAGE_SIZE as u64)?;
+        Ok(())
+    }
+
+    fn allocate_page(&self) -> Result<PageId> {
+        let id = self.allocated.fetch_add(1, Ordering::AcqRel);
+        // Extend the file eagerly so reads of freshly allocated pages see
+        // zeroes rather than EOF.
+        self.file.set_len((id + 1) * PAGE_SIZE as u64)?;
+        Ok(PageId(id))
+    }
+
+    fn page_count(&self) -> u64 {
+        self.allocated.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(backend: &dyn StorageBackend) {
+        let a = backend.allocate_page().unwrap();
+        let b = backend.allocate_page().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(backend.page_count(), 2);
+
+        let mut data = vec![0u8; PAGE_SIZE];
+        data[0] = 0xAB;
+        data[PAGE_SIZE - 1] = 0xCD;
+        backend.write_page(b, &data).unwrap();
+
+        let mut out = vec![0u8; PAGE_SIZE];
+        backend.read_page(b, &mut out).unwrap();
+        assert_eq!(out, data);
+
+        // Page `a` is still zeroed.
+        backend.read_page(a, &mut out).unwrap();
+        assert!(out.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn mem_backend_roundtrip() {
+        roundtrip(&MemBackend::new());
+    }
+
+    #[test]
+    fn mem_backend_out_of_bounds() {
+        let b = MemBackend::new();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        assert!(matches!(
+            b.read_page(PageId(0), &mut buf),
+            Err(StorageError::PageOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn file_backend_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("wnsk-fb-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.db");
+        roundtrip(&FileBackend::create(&path).unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_backend_reopen_preserves_pages() {
+        let dir = std::env::temp_dir().join(format!("wnsk-fb2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.db");
+        {
+            let b = FileBackend::create(&path).unwrap();
+            let p = b.allocate_page().unwrap();
+            let mut data = vec![7u8; PAGE_SIZE];
+            data[42] = 99;
+            b.write_page(p, &data).unwrap();
+            b.sync().unwrap();
+        }
+        {
+            let b = FileBackend::open(&path).unwrap();
+            assert_eq!(b.page_count(), 1);
+            let mut out = vec![0u8; PAGE_SIZE];
+            b.read_page(PageId(0), &mut out).unwrap();
+            assert_eq!(out[42], 99);
+            assert_eq!(out[0], 7);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mem_backend_concurrent_reads() {
+        use std::sync::Arc;
+        let b = Arc::new(MemBackend::new());
+        let p = b.allocate_page().unwrap();
+        let mut data = vec![0u8; PAGE_SIZE];
+        data[1] = 0x5A;
+        b.write_page(p, &data).unwrap();
+        let mut handles = vec![];
+        for _ in 0..8 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                let mut out = vec![0u8; PAGE_SIZE];
+                b.read_page(p, &mut out).unwrap();
+                assert_eq!(out[1], 0x5A);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

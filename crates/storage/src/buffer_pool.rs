@@ -1,0 +1,242 @@
+use crate::lru::LruMap;
+use crate::{IoStats, IoStatsSnapshot, PageId, Result, StorageBackend, PAGE_SIZE};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Configuration for a [`BufferPool`].
+#[derive(Clone, Copy, Debug)]
+pub struct BufferPoolConfig {
+    /// Total cache size in bytes. The paper uses 4 MiB (§VII-A1).
+    pub capacity_bytes: usize,
+    /// Number of independently locked shards. More shards reduce contention
+    /// for the parallel optimisation; must divide reasonably into frames.
+    pub shards: usize,
+}
+
+impl Default for BufferPoolConfig {
+    fn default() -> Self {
+        BufferPoolConfig {
+            capacity_bytes: 4 << 20, // 4 MiB, the paper's buffer size
+            shards: 16,
+        }
+    }
+}
+
+struct Shard {
+    cache: Mutex<LruMap<PageId, Bytes>>,
+}
+
+/// A sharded LRU page cache with I/O accounting.
+///
+/// Pages are immutable once written (the indexes are bulk-built, then
+/// read-only), so the pool hands out cheaply clonable [`Bytes`] and never
+/// needs dirty-page bookkeeping. A cache miss reads the page from the
+/// backend *while holding the shard lock*, which also guarantees a page is
+/// fetched at most once per residency even under concurrency.
+pub struct BufferPool {
+    backend: Arc<dyn StorageBackend>,
+    shards: Vec<Shard>,
+    stats: IoStats,
+}
+
+impl BufferPool {
+    /// Creates a pool over `backend` with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the capacity is smaller than one frame per shard.
+    pub fn new(backend: Arc<dyn StorageBackend>, config: BufferPoolConfig) -> Self {
+        let frames = config.capacity_bytes / PAGE_SIZE;
+        assert!(
+            frames >= config.shards,
+            "buffer pool too small: {} frames for {} shards",
+            frames,
+            config.shards
+        );
+        let per_shard = frames / config.shards;
+        let shards = (0..config.shards)
+            .map(|_| Shard {
+                cache: Mutex::new(LruMap::new(per_shard)),
+            })
+            .collect();
+        BufferPool {
+            backend,
+            shards,
+            stats: IoStats::new(),
+        }
+    }
+
+    /// Creates a pool with the paper's defaults (4 MiB, 16 shards).
+    pub fn with_default_config(backend: Arc<dyn StorageBackend>) -> Self {
+        Self::new(backend, BufferPoolConfig::default())
+    }
+
+    #[inline]
+    fn shard(&self, id: PageId) -> &Shard {
+        // Fibonacci hashing spreads sequential page ids across shards.
+        let h = (id.0.wrapping_mul(0x9E3779B97F4A7C15) >> 32) as usize;
+        &self.shards[h % self.shards.len()]
+    }
+
+    /// Reads page `id`, serving from cache when resident.
+    pub fn read(&self, id: PageId) -> Result<Bytes> {
+        self.stats.record_logical_read();
+        let shard = self.shard(id);
+        let mut cache = shard.cache.lock();
+        if let Some(bytes) = cache.get(&id) {
+            return Ok(bytes.clone());
+        }
+        // Miss: fetch under the lock so concurrent readers of the same page
+        // do not duplicate the physical read.
+        let mut buf = vec![0u8; PAGE_SIZE];
+        self.backend.read_page(id, &mut buf)?;
+        self.stats.record_physical_read();
+        let bytes = Bytes::from(buf);
+        cache.insert(id, bytes.clone());
+        Ok(bytes)
+    }
+
+    /// Writes a full page through to the backend and caches it.
+    pub fn write(&self, id: PageId, data: &[u8]) -> Result<()> {
+        assert_eq!(data.len(), PAGE_SIZE, "write must supply a full page");
+        self.backend.write_page(id, data)?;
+        self.stats.record_physical_write();
+        let mut cache = self.shard(id).cache.lock();
+        cache.insert(id, Bytes::copy_from_slice(data));
+        Ok(())
+    }
+
+    /// Allocates a fresh page on the backend.
+    pub fn allocate(&self) -> Result<PageId> {
+        self.backend.allocate_page()
+    }
+
+    /// Empties the cache (counters are preserved). Experiments call this
+    /// between queries to emulate a cold or warm start policy explicitly.
+    pub fn clear_cache(&self) {
+        for shard in &self.shards {
+            shard.cache.lock().clear();
+        }
+    }
+
+    /// Current I/O counters.
+    pub fn stats(&self) -> IoStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The underlying backend.
+    pub fn backend(&self) -> &Arc<dyn StorageBackend> {
+        &self.backend
+    }
+
+    /// Number of pages currently resident across all shards.
+    pub fn resident_pages(&self) -> usize {
+        self.shards.iter().map(|s| s.cache.lock().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemBackend;
+
+    fn pool_with_pages(n: u64, config: BufferPoolConfig) -> BufferPool {
+        let backend = Arc::new(MemBackend::new());
+        for i in 0..n {
+            let id = backend.allocate_page().unwrap();
+            let mut data = vec![0u8; PAGE_SIZE];
+            data[0] = i as u8;
+            backend.write_page(id, &data).unwrap();
+        }
+        BufferPool::new(backend, config)
+    }
+
+    #[test]
+    fn hit_avoids_physical_read() {
+        let pool = pool_with_pages(4, BufferPoolConfig::default());
+        pool.read(PageId(1)).unwrap();
+        pool.read(PageId(1)).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.logical_reads, 2);
+        assert_eq!(s.physical_reads, 1);
+    }
+
+    #[test]
+    fn read_returns_page_contents() {
+        let pool = pool_with_pages(4, BufferPoolConfig::default());
+        let page = pool.read(PageId(3)).unwrap();
+        assert_eq!(page.len(), PAGE_SIZE);
+        assert_eq!(page[0], 3);
+    }
+
+    #[test]
+    fn eviction_causes_refetch() {
+        // 1 shard × 2 frames: reading 3 pages evicts the first.
+        let cfg = BufferPoolConfig {
+            capacity_bytes: 2 * PAGE_SIZE,
+            shards: 1,
+        };
+        let pool = pool_with_pages(3, cfg);
+        pool.read(PageId(0)).unwrap();
+        pool.read(PageId(1)).unwrap();
+        pool.read(PageId(2)).unwrap(); // evicts page 0
+        pool.read(PageId(0)).unwrap(); // physical again
+        assert_eq!(pool.stats().physical_reads, 4);
+        assert!(pool.resident_pages() <= 2);
+    }
+
+    #[test]
+    fn clear_cache_forces_refetch_but_keeps_counters() {
+        let pool = pool_with_pages(2, BufferPoolConfig::default());
+        pool.read(PageId(0)).unwrap();
+        pool.clear_cache();
+        assert_eq!(pool.resident_pages(), 0);
+        pool.read(PageId(0)).unwrap();
+        assert_eq!(pool.stats().physical_reads, 2);
+    }
+
+    #[test]
+    fn write_through_updates_cache() {
+        let pool = pool_with_pages(1, BufferPoolConfig::default());
+        let mut data = vec![0u8; PAGE_SIZE];
+        data[7] = 0xEE;
+        pool.write(PageId(0), &data).unwrap();
+        let before = pool.stats().physical_reads;
+        let page = pool.read(PageId(0)).unwrap();
+        assert_eq!(page[7], 0xEE);
+        // Served from cache: no new physical read.
+        assert_eq!(pool.stats().physical_reads, before);
+        assert_eq!(pool.stats().physical_writes, 1);
+    }
+
+    #[test]
+    fn out_of_bounds_read_is_error() {
+        let pool = pool_with_pages(1, BufferPoolConfig::default());
+        assert!(pool.read(PageId(99)).is_err());
+    }
+
+    #[test]
+    fn concurrent_reads_are_coherent() {
+        let pool = Arc::new(pool_with_pages(64, BufferPoolConfig {
+            capacity_bytes: 16 * PAGE_SIZE,
+            shards: 4,
+        }));
+        let mut handles = vec![];
+        for t in 0..8 {
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    let id = PageId((i * (t + 1)) % 64);
+                    let page = pool.read(id).unwrap();
+                    assert_eq!(page[0], id.0 as u8);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.logical_reads, 8 * 200);
+        assert!(s.physical_reads >= 16); // at least one fill per frame used
+    }
+}

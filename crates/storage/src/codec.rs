@@ -1,0 +1,191 @@
+//! Little-endian encoding helpers shared by every on-disk node format.
+//!
+//! The index crates serialize tree nodes and payloads by hand (no serde on
+//! the disk path — layouts are explicit and stable). These helpers wrap
+//! `bytes::{Buf, BufMut}` with *checked* reads that surface
+//! [`StorageError::Corrupt`](crate::StorageError) instead of panicking on
+//! truncated input.
+
+use crate::{Result, StorageError};
+use bytes::{Buf, BufMut};
+
+/// A checked reader over a byte slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    context: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps `buf`; `context` names the structure being decoded for error
+    /// messages.
+    pub fn new(buf: &'a [u8], context: &'static str) -> Self {
+        Reader { buf, context }
+    }
+
+    fn ensure(&self, n: usize) -> Result<()> {
+        if self.buf.remaining() < n {
+            Err(StorageError::corrupt(
+                self.context,
+                format!("needed {n} bytes, only {} remain", self.buf.remaining()),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Remaining unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    pub fn read_u8(&mut self) -> Result<u8> {
+        self.ensure(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    pub fn read_u16(&mut self) -> Result<u16> {
+        self.ensure(2)?;
+        Ok(self.buf.get_u16_le())
+    }
+
+    pub fn read_u32(&mut self) -> Result<u32> {
+        self.ensure(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    pub fn read_u64(&mut self) -> Result<u64> {
+        self.ensure(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    pub fn read_f64(&mut self) -> Result<f64> {
+        self.ensure(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn read_bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.ensure(n)?;
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+}
+
+/// An unchecked little-endian writer into a `Vec<u8>`.
+///
+/// Writing can't fail; page-size overflow is checked by the caller when the
+/// buffer is packed into pages.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        Writer {
+            buf: Vec::with_capacity(n),
+        }
+    }
+
+    pub fn write_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    pub fn write_u16(&mut self, v: u16) {
+        self.buf.put_u16_le(v);
+    }
+
+    pub fn write_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    pub fn write_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    pub fn write_f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    pub fn write_bytes(&mut self, v: &[u8]) {
+        self.buf.put_slice(v);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the buffer.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrows the bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut w = Writer::new();
+        w.write_u8(0x12);
+        w.write_u16(0x3456);
+        w.write_u32(0x789ABCDE);
+        w.write_u64(0x1122334455667788);
+        w.write_f64(-1.5);
+        w.write_bytes(b"abc");
+        let buf = w.into_vec();
+
+        let mut r = Reader::new(&buf, "test");
+        assert_eq!(r.read_u8().unwrap(), 0x12);
+        assert_eq!(r.read_u16().unwrap(), 0x3456);
+        assert_eq!(r.read_u32().unwrap(), 0x789ABCDE);
+        assert_eq!(r.read_u64().unwrap(), 0x1122334455667788);
+        assert_eq!(r.read_f64().unwrap(), -1.5);
+        assert_eq!(r.read_bytes(3).unwrap(), b"abc");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_read_is_corrupt_error() {
+        let buf = [1u8, 2];
+        let mut r = Reader::new(&buf, "node header");
+        assert!(matches!(
+            r.read_u32(),
+            Err(StorageError::Corrupt { context: "node header", .. })
+        ));
+    }
+
+    #[test]
+    fn read_bytes_consumes_exactly() {
+        let buf = [1u8, 2, 3, 4];
+        let mut r = Reader::new(&buf, "test");
+        assert_eq!(r.read_bytes(2).unwrap(), &[1, 2]);
+        assert_eq!(r.remaining(), 2);
+        assert!(r.read_bytes(3).is_err());
+        // A failed read leaves the reader usable.
+        assert_eq!(r.read_bytes(2).unwrap(), &[3, 4]);
+    }
+
+    #[test]
+    fn little_endian_layout_is_stable() {
+        let mut w = Writer::new();
+        w.write_u32(1);
+        assert_eq!(w.as_slice(), &[1, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,83 @@
+use crate::PageId;
+use std::fmt;
+
+/// Errors surfaced by the storage substrate.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An operating-system I/O failure (file backend only).
+    Io(std::io::Error),
+    /// A page id beyond the allocated extent was read.
+    PageOutOfBounds { page: PageId, allocated: u64 },
+    /// A serialized structure failed validation while decoding.
+    Corrupt {
+        /// What was being decoded, e.g. `"blob header"`.
+        context: &'static str,
+        detail: String,
+    },
+}
+
+impl StorageError {
+    /// Shorthand for a corruption error.
+    pub fn corrupt(context: &'static str, detail: impl Into<String>) -> Self {
+        StorageError::Corrupt {
+            context,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::PageOutOfBounds { page, allocated } => write!(
+                f,
+                "page {page:?} out of bounds (allocated extent: {allocated} pages)"
+            ),
+            StorageError::Corrupt { context, detail } => {
+                write!(f, "corrupt {context}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = StorageError::PageOutOfBounds {
+            page: PageId(9),
+            allocated: 4,
+        };
+        assert!(e.to_string().contains("p9"));
+        let c = StorageError::corrupt("node header", "bad magic");
+        assert!(c.to_string().contains("node header"));
+    }
+
+    #[test]
+    fn io_error_source() {
+        use std::error::Error;
+        let e: StorageError = std::io::Error::other("boom").into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,34 @@
+//! Simulated disk substrate for the why-not spatial keyword library.
+//!
+//! The paper evaluates its algorithms on *disk-resident* indexes (page size
+//! 4 KiB, buffer 4 MiB, node capacity 100) and reports the number of page
+//! I/Os as a first-class metric. This crate reproduces that substrate:
+//!
+//! * [`StorageBackend`] — a page device; [`MemBackend`] (RAM-backed, used
+//!   by tests and benchmarks) and [`FileBackend`] (a real file, proving the
+//!   on-disk format round-trips),
+//! * [`BufferPool`] — a sharded LRU page cache. *Every* page access on a
+//!   query path goes through the pool; cache misses are counted as physical
+//!   reads, which is exactly the paper's I/O metric,
+//! * [`BlobStore`] — overflow-chained storage for variable-length payloads
+//!   (keyword sets and keyword-count maps can exceed one page; the paper
+//!   stores them "sequentially on disk to reduce the number of disk
+//!   seeks"),
+//! * [`codec`] — the little-endian encoding helpers shared by all node
+//!   formats.
+
+mod backend;
+mod blob;
+mod buffer_pool;
+pub mod codec;
+mod error;
+mod lru;
+mod page;
+mod stats;
+
+pub use backend::{FileBackend, MemBackend, StorageBackend};
+pub use blob::{BlobRef, BlobStore};
+pub use buffer_pool::{BufferPool, BufferPoolConfig};
+pub use error::{Result, StorageError};
+pub use page::{PageId, PAGE_SIZE};
+pub use stats::{IoStats, IoStatsSnapshot};

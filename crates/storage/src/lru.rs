@@ -1,0 +1,260 @@
+//! A classic intrusive-list LRU map used inside each buffer-pool shard.
+//!
+//! Entries live in a slab; a doubly linked list threaded through the slab
+//! orders them from most- to least-recently used. All operations are O(1)
+//! (plus the `HashMap` lookup).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity LRU map evicting the least-recently-used entry on
+/// overflow.
+pub(crate) struct LruMap<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Option<Entry<K, V>>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
+    /// Creates a map holding at most `capacity` entries (`capacity ≥ 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "LRU capacity must be at least 1");
+        LruMap {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Looks up `key`, marking it most recently used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        self.touch(idx);
+        Some(&self.slab[idx].as_ref().expect("mapped index is live").value)
+    }
+
+    /// Inserts `key → value`; returns the evicted entry when at capacity.
+    ///
+    /// Inserting an existing key replaces its value (no eviction) and marks
+    /// it most recently used.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].as_mut().expect("mapped index is live").value = value;
+            self.touch(idx);
+            return None;
+        }
+        let evicted = if self.map.len() == self.capacity {
+            Some(self.pop_lru().expect("capacity >= 1 so list is non-empty"))
+        } else {
+            None
+        };
+        let entry = Entry {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = Some(entry);
+                i
+            }
+            None => {
+                self.slab.push(Some(entry));
+                self.slab.len() - 1
+            }
+        };
+        self.push_front(idx);
+        self.map.insert(key, idx);
+        evicted
+    }
+
+    /// Removes and returns the least-recently-used entry.
+    pub fn pop_lru(&mut self) -> Option<(K, V)> {
+        if self.tail == NIL {
+            return None;
+        }
+        let idx = self.tail;
+        self.unlink(idx);
+        self.free.push(idx);
+        let entry = self.slab[idx].take().expect("tail index is live");
+        self.map.remove(&entry.key);
+        Some((entry.key, entry.value))
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn entry(&self, idx: usize) -> &Entry<K, V> {
+        self.slab[idx].as_ref().expect("linked index is live")
+    }
+
+    fn entry_mut(&mut self, idx: usize) -> &mut Entry<K, V> {
+        self.slab[idx].as_mut().expect("linked index is live")
+    }
+
+    fn touch(&mut self, idx: usize) {
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.push_front(idx);
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = {
+            let e = self.entry(idx);
+            (e.prev, e.next)
+        };
+        if prev != NIL {
+            self.entry_mut(prev).next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.entry_mut(next).prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        let e = self.entry_mut(idx);
+        e.prev = NIL;
+        e.next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        let old_head = self.head;
+        {
+            let e = self.entry_mut(idx);
+            e.prev = NIL;
+            e.next = old_head;
+        }
+        if old_head != NIL {
+            self.entry_mut(old_head).prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut lru = LruMap::new(2);
+        assert!(lru.insert(1, "a").is_none());
+        assert!(lru.insert(2, "b").is_none());
+        assert_eq!(lru.get(&1), Some(&"a"));
+        assert_eq!(lru.get(&3), None);
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = LruMap::new(2);
+        lru.insert(1, "a");
+        lru.insert(2, "b");
+        lru.get(&1); // 2 is now LRU
+        let evicted = lru.insert(3, "c");
+        assert_eq!(evicted, Some((2, "b")));
+        assert_eq!(lru.get(&1), Some(&"a"));
+        assert_eq!(lru.get(&2), None);
+        assert_eq!(lru.get(&3), Some(&"c"));
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_eviction() {
+        let mut lru = LruMap::new(2);
+        lru.insert(1, "a");
+        lru.insert(2, "b");
+        assert!(lru.insert(1, "a2").is_none());
+        assert_eq!(lru.get(&1), Some(&"a2"));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut lru = LruMap::new(1);
+        lru.insert(1, 10);
+        assert_eq!(lru.insert(2, 20), Some((1, 10)));
+        assert_eq!(lru.get(&2), Some(&20));
+    }
+
+    #[test]
+    fn eviction_order_is_insertion_when_untouched() {
+        let mut lru = LruMap::new(3);
+        lru.insert(1, ());
+        lru.insert(2, ());
+        lru.insert(3, ());
+        assert_eq!(lru.insert(4, ()), Some((1, ())));
+        assert_eq!(lru.insert(5, ()), Some((2, ())));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut lru = LruMap::new(2);
+        lru.insert(1, "a");
+        lru.clear();
+        assert_eq!(lru.len(), 0);
+        assert_eq!(lru.get(&1), None);
+        lru.insert(2, "b");
+        assert_eq!(lru.get(&2), Some(&"b"));
+    }
+
+    #[test]
+    fn pop_lru_on_empty_is_none() {
+        let mut lru: LruMap<u32, u32> = LruMap::new(4);
+        assert_eq!(lru.pop_lru(), None);
+    }
+
+    #[test]
+    fn heavy_mixed_workload_respects_capacity() {
+        let mut lru = LruMap::new(16);
+        for i in 0..1000u32 {
+            lru.insert(i % 64, i);
+            assert!(lru.len() <= 16);
+            if i % 3 == 0 {
+                lru.get(&(i % 16));
+            }
+        }
+    }
+
+    #[test]
+    fn owned_values_drop_cleanly() {
+        // Regression guard: V with a destructor must survive eviction.
+        let mut lru: LruMap<u32, String> = LruMap::new(2);
+        for i in 0..100 {
+            lru.insert(i, format!("value-{i}"));
+        }
+        assert_eq!(lru.get(&99).map(|s| s.as_str()), Some("value-99"));
+    }
+}

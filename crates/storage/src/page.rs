@@ -1,0 +1,52 @@
+use std::fmt;
+
+/// The page size used throughout the system, matching the paper's setup
+/// (§VII-A1: "The page size is set to 4KB").
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifier of a page within a [`StorageBackend`](crate::StorageBackend).
+///
+/// Pages are allocated densely from zero; `PageId` is also the byte offset
+/// divided by [`PAGE_SIZE`] in the file backend.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Sentinel for "no page" in chained structures (blob chains, free
+    /// lists). Never allocated.
+    pub const INVALID: PageId = PageId(u64::MAX);
+
+    /// `true` unless this is the [`PageId::INVALID`] sentinel.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self != Self::INVALID
+    }
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_valid() {
+            write!(f, "p{}", self.0)
+        } else {
+            write!(f, "p<invalid>")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_sentinel() {
+        assert!(!PageId::INVALID.is_valid());
+        assert!(PageId(0).is_valid());
+        assert!(PageId(123).is_valid());
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", PageId(7)), "p7");
+        assert_eq!(format!("{:?}", PageId::INVALID), "p<invalid>");
+    }
+}

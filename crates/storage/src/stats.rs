@@ -1,0 +1,115 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, thread-safe I/O counters.
+///
+/// `physical_reads` is the paper's "number of I/Os" metric: pages actually
+/// fetched from the backend because they were not resident in the buffer
+/// pool. Counters are monotonically increasing; experiments snapshot them
+/// before and after a query and subtract.
+#[derive(Default, Debug)]
+pub struct IoStats {
+    logical_reads: AtomicU64,
+    physical_reads: AtomicU64,
+    physical_writes: AtomicU64,
+}
+
+impl IoStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub(crate) fn record_logical_read(&self) {
+        self.logical_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_physical_read(&self) {
+        self.physical_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_physical_write(&self) {
+        self.physical_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot of the counters.
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            logical_reads: self.logical_reads.load(Ordering::Relaxed),
+            physical_reads: self.physical_reads.load(Ordering::Relaxed),
+            physical_writes: self.physical_writes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`IoStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStatsSnapshot {
+    /// Page reads requested from the pool (hits + misses).
+    pub logical_reads: u64,
+    /// Pages fetched from the backend (cache misses) — the paper's I/O.
+    pub physical_reads: u64,
+    /// Pages written through to the backend.
+    pub physical_writes: u64,
+}
+
+impl IoStatsSnapshot {
+    /// Counter deltas since `earlier`.
+    pub fn since(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            logical_reads: self.logical_reads - earlier.logical_reads,
+            physical_reads: self.physical_reads - earlier.physical_reads,
+            physical_writes: self.physical_writes - earlier.physical_writes,
+        }
+    }
+
+    /// Buffer-pool hit ratio in `[0, 1]`; 1.0 when there were no reads.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.logical_reads == 0 {
+            1.0
+        } else {
+            1.0 - self.physical_reads as f64 / self.logical_reads as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IoStats::new();
+        s.record_logical_read();
+        s.record_logical_read();
+        s.record_physical_read();
+        s.record_physical_write();
+        let snap = s.snapshot();
+        assert_eq!(snap.logical_reads, 2);
+        assert_eq!(snap.physical_reads, 1);
+        assert_eq!(snap.physical_writes, 1);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let s = IoStats::new();
+        s.record_logical_read();
+        let before = s.snapshot();
+        s.record_logical_read();
+        s.record_physical_read();
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.logical_reads, 1);
+        assert_eq!(delta.physical_reads, 1);
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let mut snap = IoStatsSnapshot::default();
+        assert_eq!(snap.hit_ratio(), 1.0);
+        snap.logical_reads = 10;
+        snap.physical_reads = 2;
+        assert!((snap.hit_ratio() - 0.8).abs() < 1e-12);
+    }
+}

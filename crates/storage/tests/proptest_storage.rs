@@ -1,0 +1,97 @@
+//! Property-based tests for the page store, buffer pool, and blob store.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use wnsk_storage::{
+    BlobStore, BufferPool, BufferPoolConfig, MemBackend, PageId, StorageBackend, PAGE_SIZE,
+};
+
+fn pool_with(frames: usize, shards: usize, pages: u64) -> Arc<BufferPool> {
+    let backend = Arc::new(MemBackend::new());
+    for i in 0..pages {
+        let id = backend.allocate_page().unwrap();
+        let mut data = vec![0u8; PAGE_SIZE];
+        data[..8].copy_from_slice(&i.to_le_bytes());
+        backend.write_page(id, &data).unwrap();
+    }
+    Arc::new(BufferPool::new(
+        backend,
+        BufferPoolConfig {
+            capacity_bytes: frames * PAGE_SIZE,
+            shards,
+        },
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the access pattern, reads are coherent and the cache
+    /// never exceeds its frame budget.
+    #[test]
+    fn pool_reads_are_coherent_under_any_pattern(
+        accesses in proptest::collection::vec(0u64..64, 1..200),
+        frames in 4usize..32,
+    ) {
+        let pool = pool_with(frames, 4, 64);
+        for id in accesses {
+            let page = pool.read(PageId(id)).unwrap();
+            let mut tag = [0u8; 8];
+            tag.copy_from_slice(&page[..8]);
+            prop_assert_eq!(u64::from_le_bytes(tag), id);
+            prop_assert!(pool.resident_pages() <= frames);
+        }
+        let stats = pool.stats();
+        prop_assert!(stats.physical_reads <= stats.logical_reads);
+    }
+
+    /// Every distinct page is fetched at most once when the working set
+    /// fits in the pool.
+    #[test]
+    fn no_refetch_when_working_set_fits(
+        accesses in proptest::collection::vec(0u64..8, 1..100),
+    ) {
+        let pool = pool_with(16, 1, 8);
+        let distinct: std::collections::HashSet<_> = accesses.iter().copied().collect();
+        for id in &accesses {
+            pool.read(PageId(*id)).unwrap();
+        }
+        prop_assert_eq!(pool.stats().physical_reads, distinct.len() as u64);
+    }
+
+    /// Blobs of arbitrary content round-trip bit-exactly, across page
+    /// boundaries.
+    #[test]
+    fn blob_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..3 * PAGE_SIZE)) {
+        let pool = pool_with(1024, 4, 0);
+        let store = BlobStore::new(pool);
+        let blob = store.write(&data).unwrap();
+        prop_assert_eq!(store.read(blob).unwrap(), data);
+    }
+
+    /// Many interleaved blobs stay independent.
+    #[test]
+    fn interleaved_blobs_do_not_corrupt(
+        blobs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..5000), 1..10),
+    ) {
+        let pool = pool_with(1024, 4, 0);
+        let store = BlobStore::new(pool);
+        let refs: Vec<_> = blobs.iter().map(|b| store.write(b).unwrap()).collect();
+        for (r, b) in refs.iter().zip(&blobs) {
+            prop_assert_eq!(&store.read(*r).unwrap(), b);
+        }
+    }
+
+    /// Page writes through the pool are durable on the backend.
+    #[test]
+    fn write_through_is_durable(contents in proptest::collection::vec(any::<u8>(), PAGE_SIZE..=PAGE_SIZE)) {
+        let backend = Arc::new(MemBackend::new());
+        let id = backend.allocate_page().unwrap();
+        let pool = BufferPool::with_default_config(Arc::clone(&backend) as Arc<dyn StorageBackend>);
+        pool.write(id, &contents).unwrap();
+        // Read straight from the backend, bypassing the cache.
+        let mut raw = vec![0u8; PAGE_SIZE];
+        backend.read_page(id, &mut raw).unwrap();
+        prop_assert_eq!(raw, contents);
+    }
+}

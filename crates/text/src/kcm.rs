@@ -1,0 +1,224 @@
+use crate::{KeywordSet, TermId};
+use std::fmt;
+
+/// A keyword-count map (`kcm`): for each term, the number of objects in a
+/// KcR-tree subtree whose document contains that term (§V-A).
+///
+/// Stored as a sorted `(TermId, u32)` vector. Counts are strictly positive;
+/// terms with count zero are removed.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct KeywordCountMap {
+    entries: Vec<(TermId, u32)>,
+}
+
+impl KeywordCountMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a map counting each term of a single document once.
+    pub fn from_keyword_set(doc: &KeywordSet) -> Self {
+        KeywordCountMap {
+            entries: doc.iter().map(|t| (t, 1)).collect(),
+        }
+    }
+
+    /// Builds a map from `(term, count)` pairs; sorts, merges duplicates,
+    /// and drops zero counts.
+    pub fn from_pairs<I: IntoIterator<Item = (TermId, u32)>>(pairs: I) -> Self {
+        let mut v: Vec<(TermId, u32)> = pairs.into_iter().filter(|&(_, c)| c > 0).collect();
+        v.sort_unstable_by_key(|&(t, _)| t);
+        let mut merged: Vec<(TermId, u32)> = Vec::with_capacity(v.len());
+        for (t, c) in v {
+            match merged.last_mut() {
+                Some((lt, lc)) if *lt == t => *lc += c,
+                _ => merged.push((t, c)),
+            }
+        }
+        KeywordCountMap { entries: merged }
+    }
+
+    /// Number of distinct terms with positive count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no term has a positive count.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The count for `t` (zero if absent).
+    pub fn count(&self, t: TermId) -> u32 {
+        match self.entries.binary_search_by_key(&t, |&(t, _)| t) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Adds every count of `other` into `self` (subtree aggregation).
+    pub fn merge(&mut self, other: &KeywordCountMap) {
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            self.entries = other.entries.clone();
+            return;
+        }
+        let mut out = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (a, b) = (&self.entries, &other.entries);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push((a[i].0, a[i].1 + b[j].1));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        self.entries = out;
+    }
+
+    /// Adds one document's terms (each with count 1).
+    pub fn add_doc(&mut self, doc: &KeywordSet) {
+        self.merge(&KeywordCountMap::from_keyword_set(doc));
+    }
+
+    /// Sum of counts over terms that are **in** `s` (the `C_{S∩N}` of
+    /// Algorithm 2).
+    pub fn sum_counts_in(&self, s: &KeywordSet) -> u64 {
+        self.entries
+            .iter()
+            .filter(|&&(t, _)| s.contains(t))
+            .map(|&(_, c)| c as u64)
+            .sum()
+    }
+
+    /// Sum of counts over terms **not in** `s` (the `C_{N−S}` of
+    /// Algorithm 2).
+    pub fn sum_counts_not_in(&self, s: &KeywordSet) -> u64 {
+        self.entries
+            .iter()
+            .filter(|&&(t, _)| !s.contains(t))
+            .map(|&(_, c)| c as u64)
+            .sum()
+    }
+
+    /// Total count mass: `Σ_t count(t)` (= total term occurrences in the
+    /// subtree's documents).
+    pub fn total(&self) -> u64 {
+        self.entries.iter().map(|&(_, c)| c as u64).sum()
+    }
+
+    /// Iterates `(term, count)` in term order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, u32)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// The set of terms with positive count (the `N.doc` of §V).
+    pub fn term_set(&self) -> KeywordSet {
+        KeywordSet::from_sorted_unchecked(self.entries.iter().map(|&(t, _)| t).collect())
+    }
+}
+
+impl fmt::Debug for KeywordCountMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map()
+            .entries(self.entries.iter().map(|&(t, c)| (t, c)))
+            .finish()
+    }
+}
+
+impl FromIterator<(TermId, u32)> for KeywordCountMap {
+    fn from_iter<I: IntoIterator<Item = (TermId, u32)>>(iter: I) -> Self {
+        KeywordCountMap::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kcm(pairs: &[(u32, u32)]) -> KeywordCountMap {
+        KeywordCountMap::from_pairs(pairs.iter().map(|&(t, c)| (TermId(t), c)))
+    }
+
+    #[test]
+    fn from_pairs_merges_and_drops_zero() {
+        let m = kcm(&[(2, 1), (1, 3), (2, 2), (5, 0)]);
+        assert_eq!(m.count(TermId(1)), 3);
+        assert_eq!(m.count(TermId(2)), 3);
+        assert_eq!(m.count(TermId(5)), 0);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = kcm(&[(1, 2), (3, 1)]);
+        let b = kcm(&[(1, 1), (2, 4)]);
+        a.merge(&b);
+        assert_eq!(a, kcm(&[(1, 3), (2, 4), (3, 1)]));
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = kcm(&[(1, 1)]);
+        a.merge(&KeywordCountMap::new());
+        assert_eq!(a, kcm(&[(1, 1)]));
+        let mut e = KeywordCountMap::new();
+        e.merge(&a);
+        assert_eq!(e, a);
+    }
+
+    #[test]
+    fn add_doc_counts_each_term_once() {
+        let mut m = KeywordCountMap::new();
+        m.add_doc(&KeywordSet::from_ids([1, 2]));
+        m.add_doc(&KeywordSet::from_ids([2, 3]));
+        assert_eq!(m, kcm(&[(1, 1), (2, 2), (3, 1)]));
+    }
+
+    #[test]
+    fn paper_figure3_example() {
+        // R1 in Fig. 3: three objects, kcm = {Chinese: 2, restaurant: 3}
+        let chinese = TermId(0);
+        let restaurant = TermId(1);
+        let mut m = KeywordCountMap::new();
+        m.add_doc(&KeywordSet::from_terms([chinese, restaurant]));
+        m.add_doc(&KeywordSet::from_terms([chinese, restaurant]));
+        m.add_doc(&KeywordSet::from_terms([restaurant]));
+        assert_eq!(m.count(chinese), 2);
+        assert_eq!(m.count(restaurant), 3);
+    }
+
+    #[test]
+    fn sums_split_by_query_set() {
+        // Example 5 of the paper: kcm = {(t1,8),(t2,3),(t3,7),(t4,2),(t5,1)},
+        // S = {t3, t4} → C_{S∩N} = 9, C_{N−S} = 12
+        let m = kcm(&[(1, 8), (2, 3), (3, 7), (4, 2), (5, 1)]);
+        let s = KeywordSet::from_ids([3, 4]);
+        assert_eq!(m.sum_counts_in(&s), 9);
+        assert_eq!(m.sum_counts_not_in(&s), 12);
+        assert_eq!(m.total(), 21);
+    }
+
+    #[test]
+    fn term_set_extraction() {
+        let m = kcm(&[(4, 1), (2, 2)]);
+        assert_eq!(m.term_set(), KeywordSet::from_ids([2, 4]));
+    }
+}

@@ -1,0 +1,253 @@
+use crate::TermId;
+use std::fmt;
+
+/// An immutable, sorted, duplicate-free set of terms.
+///
+/// This is the representation of both object documents (`o.doc`) and query
+/// keyword sets (`q.doc`). The sorted layout makes intersection/union sizes
+/// O(|a| + |b|) merges with no allocation, which is all Jaccard (Eqn. 2)
+/// and the edit distance (Eqn. 4) need.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct KeywordSet {
+    terms: Box<[TermId]>,
+}
+
+impl KeywordSet {
+    /// The empty keyword set.
+    pub fn empty() -> Self {
+        KeywordSet { terms: Box::new([]) }
+    }
+
+    /// Builds a set from arbitrary term ids, sorting and deduplicating.
+    pub fn from_terms<I: IntoIterator<Item = TermId>>(terms: I) -> Self {
+        let mut v: Vec<TermId> = terms.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        KeywordSet { terms: v.into_boxed_slice() }
+    }
+
+    /// Convenience constructor from raw `u32` ids (used heavily in tests).
+    pub fn from_ids<I: IntoIterator<Item = u32>>(ids: I) -> Self {
+        Self::from_terms(ids.into_iter().map(TermId))
+    }
+
+    /// Builds a set from a slice already known to be sorted and unique.
+    ///
+    /// # Panics
+    /// Debug-asserts the invariant; callers are trusted in release builds.
+    pub fn from_sorted_unchecked(terms: Vec<TermId>) -> Self {
+        debug_assert!(terms.windows(2).all(|w| w[0] < w[1]), "terms not sorted/unique");
+        KeywordSet { terms: terms.into_boxed_slice() }
+    }
+
+    /// Number of terms in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` if the set has no terms.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The sorted terms.
+    #[inline]
+    pub fn terms(&self) -> &[TermId] {
+        &self.terms
+    }
+
+    /// Membership test (binary search).
+    #[inline]
+    pub fn contains(&self, t: TermId) -> bool {
+        self.terms.binary_search(&t).is_ok()
+    }
+
+    /// Size of the intersection with `other` (merge scan).
+    pub fn intersection_len(&self, other: &KeywordSet) -> usize {
+        let (mut i, mut j, mut n) = (0, 0, 0);
+        let (a, b) = (&self.terms, &other.terms);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Size of the union with `other`.
+    #[inline]
+    pub fn union_len(&self, other: &KeywordSet) -> usize {
+        self.len() + other.len() - self.intersection_len(other)
+    }
+
+    /// `true` if every term of `self` is in `other`.
+    pub fn is_subset_of(&self, other: &KeywordSet) -> bool {
+        self.intersection_len(other) == self.len()
+    }
+
+    /// Set union as a new keyword set.
+    pub fn union(&self, other: &KeywordSet) -> KeywordSet {
+        let mut v = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        let (a, b) = (&self.terms, &other.terms);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    v.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    v.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    v.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        v.extend_from_slice(&a[i..]);
+        v.extend_from_slice(&b[j..]);
+        KeywordSet { terms: v.into_boxed_slice() }
+    }
+
+    /// Set intersection as a new keyword set.
+    pub fn intersection(&self, other: &KeywordSet) -> KeywordSet {
+        let mut v = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        let (a, b) = (&self.terms, &other.terms);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    v.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        KeywordSet { terms: v.into_boxed_slice() }
+    }
+
+    /// Set difference `self − other` as a new keyword set.
+    pub fn difference(&self, other: &KeywordSet) -> KeywordSet {
+        let mut v = Vec::new();
+        for &t in self.terms.iter() {
+            if !other.contains(t) {
+                v.push(t);
+            }
+        }
+        KeywordSet { terms: v.into_boxed_slice() }
+    }
+
+    /// Insert/delete edit distance to `other` (the `Δdoc` of Eqn. 4):
+    /// `|self − other| + |other − self|`.
+    #[inline]
+    pub fn edit_distance(&self, other: &KeywordSet) -> usize {
+        let inter = self.intersection_len(other);
+        (self.len() - inter) + (other.len() - inter)
+    }
+
+    /// Iterates the terms in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = TermId> + '_ {
+        self.terms.iter().copied()
+    }
+}
+
+impl fmt::Debug for KeywordSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.terms.iter()).finish()
+    }
+}
+
+impl FromIterator<TermId> for KeywordSet {
+    fn from_iter<I: IntoIterator<Item = TermId>>(iter: I) -> Self {
+        KeywordSet::from_terms(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_terms_sorts_and_dedups() {
+        let s = KeywordSet::from_ids([3, 1, 2, 3, 1]);
+        assert_eq!(s.terms(), &[TermId(1), TermId(2), TermId(3)]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn contains_binary_search() {
+        let s = KeywordSet::from_ids([10, 20, 30]);
+        assert!(s.contains(TermId(20)));
+        assert!(!s.contains(TermId(25)));
+    }
+
+    #[test]
+    fn intersection_and_union_lens() {
+        let a = KeywordSet::from_ids([1, 2, 3, 7]);
+        let b = KeywordSet::from_ids([2, 3, 4]);
+        assert_eq!(a.intersection_len(&b), 2);
+        assert_eq!(a.union_len(&b), 5);
+    }
+
+    #[test]
+    fn set_constructors_match_lens() {
+        let a = KeywordSet::from_ids([1, 2, 5, 9]);
+        let b = KeywordSet::from_ids([2, 3, 9]);
+        assert_eq!(a.union(&b).len(), a.union_len(&b));
+        assert_eq!(a.intersection(&b).len(), a.intersection_len(&b));
+        assert_eq!(a.union(&b), KeywordSet::from_ids([1, 2, 3, 5, 9]));
+        assert_eq!(a.intersection(&b), KeywordSet::from_ids([2, 9]));
+    }
+
+    #[test]
+    fn difference_removes_shared() {
+        let a = KeywordSet::from_ids([1, 2, 3]);
+        let b = KeywordSet::from_ids([2]);
+        assert_eq!(a.difference(&b), KeywordSet::from_ids([1, 3]));
+        assert_eq!(b.difference(&a), KeywordSet::empty());
+    }
+
+    #[test]
+    fn subset_checks() {
+        let a = KeywordSet::from_ids([1, 3]);
+        let b = KeywordSet::from_ids([1, 2, 3]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(KeywordSet::empty().is_subset_of(&a));
+    }
+
+    #[test]
+    fn edit_distance_insert_delete() {
+        let doc0 = KeywordSet::from_ids([1, 2]);
+        // q2 in Table I: {t2, t3} → delete t1, insert t3 → distance 2
+        let q2 = KeywordSet::from_ids([2, 3]);
+        assert_eq!(doc0.edit_distance(&q2), 2);
+        // q4: {t1, t2, t3} → insert t3 → distance 1
+        let q4 = KeywordSet::from_ids([1, 2, 3]);
+        assert_eq!(doc0.edit_distance(&q4), 1);
+        // identity
+        assert_eq!(doc0.edit_distance(&doc0), 0);
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let e = KeywordSet::empty();
+        let a = KeywordSet::from_ids([5]);
+        assert_eq!(e.union(&a), a);
+        assert_eq!(e.intersection(&a), e);
+        assert_eq!(e.edit_distance(&a), 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! Set-based text similarity models.
+//!
+//! The paper evaluates with Jaccard (Eqn. 2) but notes (footnote 1) that
+//! its algorithms extend to other coefficient models such as the Dice
+//! coefficient and (set) cosine similarity. [`TextModel`] centralises the
+//! choice; every scoring and bounding path in the workspace dispatches on
+//! it.
+
+use crate::KeywordSet;
+
+/// A set-overlap similarity coefficient in `[0, 1]`.
+///
+/// All models define the similarity of two empty sets as 0 (an object
+/// with no keywords is irrelevant to an empty query, consistent with
+/// [`crate::jaccard`]).
+///
+/// # Examples
+///
+/// ```
+/// use wnsk_text::{KeywordSet, TextModel};
+///
+/// let a = KeywordSet::from_ids([1, 2]);
+/// let b = KeywordSet::from_ids([2, 3]);
+/// assert!((TextModel::Jaccard.similarity(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+/// assert!((TextModel::Dice.similarity(&a, &b) - 0.5).abs() < 1e-12);
+/// assert!((TextModel::Cosine.similarity(&a, &b) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum TextModel {
+    /// `|a ∩ b| / |a ∪ b|` — the paper's Eqn. 2 and the default.
+    #[default]
+    Jaccard,
+    /// Dice coefficient `2|a ∩ b| / (|a| + |b|)`.
+    Dice,
+    /// Set cosine (Ochiai) similarity `|a ∩ b| / √(|a|·|b|)`.
+    Cosine,
+}
+
+impl TextModel {
+    /// Similarity between two keyword sets under this model.
+    pub fn similarity(self, a: &KeywordSet, b: &KeywordSet) -> f64 {
+        let inter = a.intersection_len(b) as f64;
+        match self {
+            TextModel::Jaccard => {
+                let union = (a.len() + b.len()) as f64 - inter;
+                if union == 0.0 {
+                    0.0
+                } else {
+                    inter / union
+                }
+            }
+            TextModel::Dice => {
+                let total = (a.len() + b.len()) as f64;
+                if total == 0.0 {
+                    0.0
+                } else {
+                    2.0 * inter / total
+                }
+            }
+            TextModel::Cosine => {
+                if a.is_empty() || b.is_empty() {
+                    0.0
+                } else {
+                    inter / ((a.len() as f64) * (b.len() as f64)).sqrt()
+                }
+            }
+        }
+    }
+
+    /// An upper bound on `similarity(o.doc, qdoc)` over every document
+    /// `o.doc` with `intersection ⊆ o.doc ⊆ union` — the SetR-tree node
+    /// bound (Theorem 1 generalised per model).
+    ///
+    /// For any such document, `|o ∩ q| ≤ |union ∩ q|` and
+    /// `|o| ≥ max(1, |intersection|)` (indexed documents are non-empty),
+    /// which bounds each coefficient's denominator from below.
+    pub fn node_upper(
+        self,
+        union: &KeywordSet,
+        intersection: &KeywordSet,
+        qdoc: &KeywordSet,
+    ) -> f64 {
+        let num = union.intersection_len(qdoc) as f64;
+        match self {
+            TextModel::Jaccard => {
+                let den = intersection.union_len(qdoc) as f64;
+                if den == 0.0 {
+                    0.0
+                } else {
+                    (num / den).min(1.0)
+                }
+            }
+            TextModel::Dice => {
+                let den = (intersection.len().max(1) + qdoc.len()) as f64;
+                if qdoc.is_empty() {
+                    0.0
+                } else {
+                    (2.0 * num / den).min(1.0)
+                }
+            }
+            TextModel::Cosine => {
+                if qdoc.is_empty() {
+                    0.0
+                } else {
+                    let den =
+                        ((intersection.len().max(1) as f64) * qdoc.len() as f64).sqrt();
+                    (num / den).min(1.0)
+                }
+            }
+        }
+    }
+
+    /// An upper bound on `similarity(o.doc, qdoc)` for any *non-empty*
+    /// document whose terms intersect `qdoc` in at most `matched` distinct
+    /// terms — the KcR-tree node bound (a subtree knows which query terms
+    /// occur under it, but not how they are distributed).
+    pub fn kcr_upper(self, matched: usize, qdoc_len: usize) -> f64 {
+        if qdoc_len == 0 || matched == 0 {
+            return 0.0;
+        }
+        let m = matched.min(qdoc_len) as f64;
+        match self {
+            // |o ∩ q| ≤ m and |o ∪ q| ≥ |q|.
+            TextModel::Jaccard => (m / qdoc_len as f64).min(1.0),
+            // |o| ≥ |o ∩ q| and x ↦ 2x/(x + |q|) is increasing in x.
+            TextModel::Dice => 2.0 * m / (m + qdoc_len as f64),
+            // |o| ≥ |o ∩ q| so |o ∩ q|/√(|o||q|) ≤ √(|o ∩ q|/|q|).
+            TextModel::Cosine => (m / qdoc_len as f64).sqrt().min(1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(ids: &[u32]) -> KeywordSet {
+        KeywordSet::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn jaccard_matches_free_function() {
+        let a = s(&[1, 2, 3]);
+        let b = s(&[2, 3, 4, 5]);
+        assert_eq!(
+            TextModel::Jaccard.similarity(&a, &b),
+            crate::jaccard(&a, &b)
+        );
+    }
+
+    #[test]
+    fn dice_and_cosine_values() {
+        let a = s(&[1, 2]);
+        let b = s(&[2, 3]);
+        // inter = 1: dice = 2/4, cosine = 1/2.
+        assert!((TextModel::Dice.similarity(&a, &b) - 0.5).abs() < 1e-12);
+        assert!((TextModel::Cosine.similarity(&a, &b) - 0.5).abs() < 1e-12);
+        let c = s(&[1, 2, 3, 4]);
+        // a vs c: inter 2: dice = 4/6, cosine = 2/sqrt(8).
+        assert!((TextModel::Dice.similarity(&a, &c) - 2.0 / 3.0).abs() < 1e-12);
+        assert!(
+            (TextModel::Cosine.similarity(&a, &c) - 2.0 / 8f64.sqrt()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn all_models_bounded_and_symmetric() {
+        let sets = [s(&[]), s(&[1]), s(&[1, 2, 3]), s(&[4, 5])];
+        for model in [TextModel::Jaccard, TextModel::Dice, TextModel::Cosine] {
+            for a in &sets {
+                for b in &sets {
+                    let v = model.similarity(a, b);
+                    assert!((0.0..=1.0).contains(&v), "{model:?} {a:?} {b:?} = {v}");
+                    assert_eq!(v, model.similarity(b, a));
+                }
+                if !a.is_empty() {
+                    assert!((model.similarity(a, a) - 1.0).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sets_are_zero_for_all_models() {
+        let e = s(&[]);
+        let a = s(&[1]);
+        for model in [TextModel::Jaccard, TextModel::Dice, TextModel::Cosine] {
+            assert_eq!(model.similarity(&e, &e), 0.0);
+            assert_eq!(model.similarity(&a, &e), 0.0);
+        }
+    }
+
+    #[test]
+    fn node_upper_dominates_members() {
+        // Documents sandwiched between intersection and union.
+        let inter = s(&[1]);
+        let union = s(&[1, 2, 3, 4]);
+        let docs = [s(&[1]), s(&[1, 2]), s(&[1, 3, 4]), s(&[1, 2, 3, 4])];
+        for model in [TextModel::Jaccard, TextModel::Dice, TextModel::Cosine] {
+            for q in [s(&[1, 2]), s(&[3]), s(&[5, 6]), s(&[])] {
+                let bound = model.node_upper(&union, &inter, &q);
+                for d in &docs {
+                    assert!(
+                        model.similarity(d, &q) <= bound + 1e-12,
+                        "{model:?} doc {d:?} q {q:?}: {} > {bound}",
+                        model.similarity(d, &q)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kcr_upper_dominates_any_consistent_doc() {
+        for model in [TextModel::Jaccard, TextModel::Dice, TextModel::Cosine] {
+            let q = s(&[1, 2, 3]);
+            // Any non-empty doc matching ≤ 2 of q's terms.
+            for d in [s(&[1, 2]), s(&[1, 2, 9]), s(&[2, 7, 8, 9]), s(&[5])] {
+                let matched = d.intersection_len(&q).min(2);
+                if d.intersection_len(&q) <= 2 {
+                    let bound = model.kcr_upper(2, q.len());
+                    assert!(
+                        model.similarity(&d, &q) <= bound + 1e-12,
+                        "{model:?} {d:?} matched {matched}"
+                    );
+                }
+            }
+            assert_eq!(model.kcr_upper(0, 3), 0.0);
+            assert_eq!(model.kcr_upper(2, 0), 0.0);
+        }
+    }
+}

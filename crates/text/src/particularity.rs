@@ -1,0 +1,168 @@
+use crate::{KeywordSet, TermId};
+
+/// Corpus-level document frequencies backing the keyword *particularity*
+/// weight of Eqn. 7.
+///
+/// `Parti(o, t)` measures how characteristic keyword `t` is of object `o`:
+/// a rare keyword that `o` carries gets a large positive weight, a rare
+/// keyword it does not carry a large negative one. The enumeration order
+/// (§IV-C2) and the greedy sampler (§VI-B) both rank candidate keyword sets
+/// by the total particularity of their edits.
+#[derive(Clone, Debug, Default)]
+pub struct CorpusStats {
+    /// Number of documents (objects) in the corpus — `|D|`.
+    n_docs: u64,
+    /// `doc_freq[t]` = number of documents containing term `t` — `n_t`.
+    doc_freq: Vec<u32>,
+}
+
+impl CorpusStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds statistics from an iterator over object documents.
+    pub fn from_docs<'a, I: IntoIterator<Item = &'a KeywordSet>>(docs: I) -> Self {
+        let mut stats = CorpusStats::new();
+        for doc in docs {
+            stats.add_doc(doc);
+        }
+        stats
+    }
+
+    /// Registers one document.
+    pub fn add_doc(&mut self, doc: &KeywordSet) {
+        self.n_docs += 1;
+        for t in doc.iter() {
+            let i = t.index();
+            if i >= self.doc_freq.len() {
+                self.doc_freq.resize(i + 1, 0);
+            }
+            self.doc_freq[i] += 1;
+        }
+    }
+
+    /// Number of documents `|D|`.
+    #[inline]
+    pub fn n_docs(&self) -> u64 {
+        self.n_docs
+    }
+
+    /// Document frequency `n_t` of a term (zero if never seen).
+    #[inline]
+    pub fn doc_freq(&self, t: TermId) -> u32 {
+        self.doc_freq.get(t.index()).copied().unwrap_or(0)
+    }
+
+    /// The raw BM25-style IDF weight
+    /// `log((|D| − n_t + 0.5) / (n_t + 0.5))` used by Eqn. 7.
+    ///
+    /// Positive for rare terms, negative for terms present in more than
+    /// half the corpus.
+    pub fn idf(&self, t: TermId) -> f64 {
+        let n = self.n_docs as f64;
+        let nt = self.doc_freq(t) as f64;
+        ((n - nt + 0.5) / (nt + 0.5)).ln()
+    }
+
+    /// `Parti(o, t)` of Eqn. 7: `+idf(t)` when `t ∈ o.doc`, `−idf(t)`
+    /// otherwise.
+    pub fn particularity(&self, doc: &KeywordSet, t: TermId) -> f64 {
+        let idf = self.idf(t);
+        if doc.contains(t) {
+            idf
+        } else {
+            -idf
+        }
+    }
+
+    /// Particularity of `t` w.r.t. a *set* of missing objects: the sum over
+    /// the objects' documents (§VI-A extends Eqn. 7 this way).
+    pub fn particularity_multi<'a, I>(&self, docs: I, t: TermId) -> f64
+    where
+        I: IntoIterator<Item = &'a KeywordSet>,
+    {
+        docs.into_iter()
+            .map(|d| self.particularity(d, t))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> CorpusStats {
+        // 10 docs; t0 in 9 of them (common), t1 in 1 (rare), t2 in 5.
+        let mut stats = CorpusStats::new();
+        for i in 0..10u32 {
+            let mut terms = vec![];
+            if i < 9 {
+                terms.push(0);
+            }
+            if i == 0 {
+                terms.push(1);
+            }
+            if i < 5 {
+                terms.push(2);
+            }
+            stats.add_doc(&KeywordSet::from_ids(terms));
+        }
+        stats
+    }
+
+    #[test]
+    fn doc_freqs_counted() {
+        let s = corpus();
+        assert_eq!(s.n_docs(), 10);
+        assert_eq!(s.doc_freq(TermId(0)), 9);
+        assert_eq!(s.doc_freq(TermId(1)), 1);
+        assert_eq!(s.doc_freq(TermId(2)), 5);
+        assert_eq!(s.doc_freq(TermId(7)), 0);
+    }
+
+    #[test]
+    fn idf_sign_follows_rarity() {
+        let s = corpus();
+        assert!(s.idf(TermId(1)) > 0.0, "rare term has positive idf");
+        assert!(s.idf(TermId(0)) < 0.0, "ubiquitous term has negative idf");
+    }
+
+    #[test]
+    fn idf_formula_exact() {
+        let s = corpus();
+        // t1: log((10 - 1 + 0.5) / (1 + 0.5)) = log(9.5 / 1.5)
+        assert!((s.idf(TermId(1)) - (9.5f64 / 1.5).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn particularity_flips_sign_on_membership() {
+        let s = corpus();
+        let doc_with = KeywordSet::from_ids([1]);
+        let doc_without = KeywordSet::from_ids([2]);
+        let t = TermId(1);
+        assert_eq!(
+            s.particularity(&doc_with, t),
+            -s.particularity(&doc_without, t)
+        );
+        assert!(s.particularity(&doc_with, t) > 0.0);
+    }
+
+    #[test]
+    fn multi_object_particularity_sums() {
+        let s = corpus();
+        let d1 = KeywordSet::from_ids([1]);
+        let d2 = KeywordSet::from_ids([2]);
+        let t = TermId(1);
+        let sum = s.particularity_multi([&d1, &d2], t);
+        assert!((sum - (s.particularity(&d1, t) + s.particularity(&d2, t))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unseen_term_idf_is_max() {
+        let s = corpus();
+        // n_t = 0 → log((10 + 0.5) / 0.5): largest possible idf
+        assert!(s.idf(TermId(42)) > s.idf(TermId(1)));
+    }
+}

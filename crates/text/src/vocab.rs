@@ -1,0 +1,142 @@
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dense identifier for an interned keyword.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The raw index, usable to address per-term side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u32> for TermId {
+    fn from(v: u32) -> Self {
+        TermId(v)
+    }
+}
+
+/// An append-only string interner mapping keywords to [`TermId`]s.
+///
+/// The vocabulary is shared between the dataset, the indexes and the query
+/// layer; all of them speak `TermId`. Interning is the only place keyword
+/// strings are stored.
+#[derive(Default, Clone)]
+pub struct Vocabulary {
+    by_name: HashMap<Box<str>, TermId>,
+    names: Vec<Box<str>>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or fresh).
+    ///
+    /// # Panics
+    /// Panics if more than `u32::MAX` distinct terms are interned.
+    pub fn intern(&mut self, name: &str) -> TermId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.names.len()).expect("vocabulary overflow"));
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.by_name.insert(boxed, id);
+        id
+    }
+
+    /// Looks up a term id without interning.
+    pub fn get(&self, name: &str) -> Option<TermId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The string for `id`, if it was interned here.
+    pub fn name(&self, id: TermId) -> Option<&str> {
+        self.names.get(id.index()).map(|s| s.as_ref())
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` if no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(TermId, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (TermId(i as u32), s.as_ref()))
+    }
+}
+
+impl fmt::Debug for Vocabulary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vocabulary({} terms)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("hotel");
+        let b = v.intern("hotel");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn intern_assigns_dense_ids() {
+        let mut v = Vocabulary::new();
+        assert_eq!(v.intern("a"), TermId(0));
+        assert_eq!(v.intern("b"), TermId(1));
+        assert_eq!(v.intern("a"), TermId(0));
+        assert_eq!(v.intern("c"), TermId(2));
+    }
+
+    #[test]
+    fn name_round_trip() {
+        let mut v = Vocabulary::new();
+        let id = v.intern("clean");
+        assert_eq!(v.name(id), Some("clean"));
+        assert_eq!(v.get("clean"), Some(id));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.name(TermId(99)), None);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut v = Vocabulary::new();
+        v.intern("x");
+        v.intern("y");
+        let collected: Vec<_> = v.iter().map(|(id, s)| (id.0, s.to_string())).collect();
+        assert_eq!(collected, vec![(0, "x".to_string()), (1, "y".to_string())]);
+    }
+
+    #[test]
+    fn empty_vocab() {
+        let v = Vocabulary::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for keyword sets, Jaccard, and keyword-count
+//! maps.
+
+use proptest::prelude::*;
+use wnsk_text::{jaccard, KeywordCountMap, KeywordSet, TermId};
+
+fn arb_set() -> impl Strategy<Value = KeywordSet> {
+    proptest::collection::vec(0u32..40, 0..12).prop_map(KeywordSet::from_ids)
+}
+
+proptest! {
+    #[test]
+    fn jaccard_symmetric_and_bounded(a in arb_set(), b in arb_set()) {
+        let j = jaccard(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert_eq!(j, jaccard(&b, &a));
+    }
+
+    #[test]
+    fn jaccard_identity(a in arb_set()) {
+        if a.is_empty() {
+            prop_assert_eq!(jaccard(&a, &a), 0.0);
+        } else {
+            prop_assert_eq!(jaccard(&a, &a), 1.0);
+        }
+    }
+
+    #[test]
+    fn set_algebra_sizes_consistent(a in arb_set(), b in arb_set()) {
+        prop_assert_eq!(a.union(&b).len(), a.union_len(&b));
+        prop_assert_eq!(a.intersection(&b).len(), a.intersection_len(&b));
+        // Inclusion-exclusion.
+        prop_assert_eq!(
+            a.union_len(&b) + a.intersection_len(&b),
+            a.len() + b.len()
+        );
+    }
+
+    #[test]
+    fn difference_partition(a in arb_set(), b in arb_set()) {
+        // a = (a − b) ⊎ (a ∩ b).
+        let diff = a.difference(&b);
+        let inter = a.intersection(&b);
+        prop_assert_eq!(diff.len() + inter.len(), a.len());
+        prop_assert_eq!(diff.intersection_len(&inter), 0);
+        prop_assert_eq!(diff.union(&inter), a);
+    }
+
+    #[test]
+    fn edit_distance_is_a_metric(a in arb_set(), b in arb_set(), c in arb_set()) {
+        // Symmetric-difference size: symmetric, zero iff equal, triangle.
+        prop_assert_eq!(a.edit_distance(&b), b.edit_distance(&a));
+        prop_assert_eq!(a.edit_distance(&a), 0);
+        if a.edit_distance(&b) == 0 {
+            prop_assert_eq!(&a, &b);
+        }
+        prop_assert!(a.edit_distance(&c) <= a.edit_distance(&b) + b.edit_distance(&c));
+    }
+
+    #[test]
+    fn subset_reflexive_and_union_superset(a in arb_set(), b in arb_set()) {
+        prop_assert!(a.is_subset_of(&a));
+        prop_assert!(a.is_subset_of(&a.union(&b)));
+        prop_assert!(a.intersection(&b).is_subset_of(&a));
+    }
+
+    #[test]
+    fn kcm_merge_matches_doc_addition(docs in proptest::collection::vec(arb_set(), 0..8)) {
+        // Adding docs one at a time equals merging per-doc maps.
+        let mut incremental = KeywordCountMap::new();
+        for d in &docs {
+            incremental.add_doc(d);
+        }
+        let mut merged = KeywordCountMap::new();
+        for d in &docs {
+            merged.merge(&KeywordCountMap::from_keyword_set(d));
+        }
+        prop_assert_eq!(&incremental, &merged);
+        // Counts equal document frequencies.
+        for t in 0u32..40 {
+            let freq = docs.iter().filter(|d| d.contains(TermId(t))).count() as u32;
+            prop_assert_eq!(incremental.count(TermId(t)), freq);
+        }
+    }
+
+    #[test]
+    fn kcm_sums_partition_total(docs in proptest::collection::vec(arb_set(), 1..8), s in arb_set()) {
+        let mut kcm = KeywordCountMap::new();
+        for d in &docs {
+            kcm.add_doc(d);
+        }
+        prop_assert_eq!(kcm.sum_counts_in(&s) + kcm.sum_counts_not_in(&s), kcm.total());
+    }
+
+    #[test]
+    fn from_terms_is_canonical(v in proptest::collection::vec(0u32..40, 0..20)) {
+        let a = KeywordSet::from_ids(v.clone());
+        let mut sorted = v;
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(a.len(), sorted.len());
+        prop_assert!(a.terms().windows(2).all(|w| w[0] < w[1]));
+    }
+}

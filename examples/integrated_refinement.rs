@@ -1,0 +1,106 @@
+//! The "integrated framework" sketched in the paper's conclusion
+//! (§VIII): given one why-not question, compare three refinement
+//! channels — adapting the **keywords** (this paper), the **preference
+//! α** (the authors' earlier work [8]), and the **query location**
+//! (future work) — and surface whichever costs the user least.
+//!
+//! ```text
+//! cargo run --release --example integrated_refinement
+//! ```
+
+use whynot_sk::prelude::*;
+use wnsk_core::extensions::{refine_alpha, refine_location};
+use wnsk_data::workload::{generate_item, WorkloadSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let generated = generate(&DatasetSpec::euro_like(0.01).with_seed(13));
+    let vocab = generated.vocabulary.clone();
+    let dataset = generated.dataset;
+
+    let item = generate_item(
+        &dataset,
+        &WorkloadSpec {
+            n_keywords: 4,
+            k: 10,
+            alpha: 0.5,
+            missing_rank: 41,
+            n_missing: 1,
+            seed: 4242,
+        },
+    )
+    .expect("workload must generate");
+    let missing = item.missing[0];
+    let engine = WhyNotEngine::build_in_memory(dataset)?.with_vocabulary(vocab);
+
+    println!(
+        "initial query: {} @ ({:.2}, {:.2}), top-{}, α = {}",
+        engine.render_keywords(&item.query.doc),
+        item.query.loc.x,
+        item.query.loc.y,
+        item.query.k,
+        item.query.alpha
+    );
+    println!(
+        "missing object {missing:?} {} ranks {}",
+        engine.render_keywords(&engine.dataset().object(missing).doc),
+        engine.dataset().rank_of(missing, &item.query)
+    );
+
+    let question = WhyNotQuestion::new(item.query.clone(), vec![missing], 0.5);
+
+    // Channel 1: keyword adaption (the paper's contribution).
+    let kw = engine.answer(&question)?;
+    // Channel 2: preference adaption (exact, extension).
+    let alpha = refine_alpha(engine.dataset(), &question)?;
+    // Channel 3: location refinement (heuristic, extension).
+    let loc = refine_location(engine.dataset(), &question, 16)?;
+
+    println!("\n{:<12} {:>9}  suggestion", "channel", "penalty");
+    println!(
+        "{:<12} {:>9.4}  keywords → {} (k' = {})",
+        "keywords",
+        kw.refined.penalty,
+        engine.render_keywords(&kw.refined.doc),
+        kw.refined.k
+    );
+    println!(
+        "{:<12} {:>9.4}  α → {:.3} (k' = {})",
+        "alpha", alpha.penalty, alpha.alpha, alpha.k
+    );
+    println!(
+        "{:<12} {:>9.4}  loc → ({:.3}, {:.3}) (k' = {})",
+        "location", loc.penalty, loc.loc.x, loc.loc.y, loc.k
+    );
+
+    let best = [
+        ("keywords", kw.refined.penalty),
+        ("alpha", alpha.penalty),
+        ("location", loc.penalty),
+    ]
+    .into_iter()
+    .min_by(|a, b| a.1.total_cmp(&b.1))
+    .unwrap();
+    println!("\ncheapest refinement channel: {} (penalty {:.4})", best.0, best.1);
+
+    // Whatever channel wins, each refinement on its own revives m.
+    let q = &item.query;
+    assert!(
+        engine
+            .dataset()
+            .rank_of(missing, &q.with_doc(kw.refined.doc.clone()))
+            <= kw.refined.k
+    );
+    assert!(
+        engine.dataset().rank_of(
+            missing,
+            &SpatialKeywordQuery::new(q.loc, q.doc.clone(), q.k, alpha.alpha)
+        ) <= alpha.k
+    );
+    assert!(
+        engine.dataset().rank_of(
+            missing,
+            &SpatialKeywordQuery::new(loc.loc, q.doc.clone(), q.k, q.alpha)
+        ) <= loc.k
+    );
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Multiple missing objects (§VI-A) and the approximate trade-off
+//! (§VI-B): a user names several expected-but-missing objects at once,
+//! and then trades solution quality for response time by shrinking the
+//! candidate sample.
+//!
+//! ```text
+//! cargo run --release --example multi_missing
+//! ```
+
+use whynot_sk::prelude::*;
+use wnsk_data::workload::{generate_item, WorkloadSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let generated = generate(&DatasetSpec::euro_like(0.01).with_seed(5));
+    let vocab = generated.vocabulary.clone();
+    let dataset = generated.dataset;
+
+    // A workload item with three missing objects ranked 11–51.
+    let wspec = WorkloadSpec {
+        n_keywords: 4,
+        k: 10,
+        alpha: 0.5,
+        missing_rank: 51,
+        n_missing: 3,
+        seed: 2024,
+    };
+    let item = generate_item(&dataset, &wspec).expect("workload must generate");
+    let engine = WhyNotEngine::build_in_memory(dataset)?.with_vocabulary(vocab);
+
+    println!(
+        "initial query {} (top-{}), missing objects:",
+        engine.render_keywords(&item.query.doc),
+        item.query.k
+    );
+    for &m in &item.missing {
+        println!(
+            "  {m:?} {} — ranks {}",
+            engine.render_keywords(&engine.dataset().object(m).doc),
+            engine.dataset().rank_of(m, &item.query)
+        );
+    }
+
+    let question = WhyNotQuestion::new(item.query.clone(), item.missing.clone(), 0.5);
+
+    // Exact answer.
+    let exact = engine.answer(&question)?;
+    println!(
+        "\nexact: {} with k' = {} (penalty {:.4}) in {:.2} ms / {} I/Os",
+        engine.render_keywords(&exact.refined.doc),
+        exact.refined.k,
+        exact.refined.penalty,
+        exact.stats.wall.as_secs_f64() * 1e3,
+        exact.stats.io
+    );
+    // Every missing object is revived.
+    let refined = item.query.with_doc(exact.refined.doc.clone());
+    for &m in &item.missing {
+        assert!(engine.dataset().rank_of(m, &refined) <= exact.refined.k);
+    }
+
+    // The approximate ladder: sample sizes vs quality.
+    println!("\n{:>8} {:>10} {:>10} {:>9}", "T", "time(ms)", "page I/O", "penalty");
+    for t in [10, 50, 200, 800] {
+        let approx = engine.answer_approx(&question, t)?;
+        println!(
+            "{t:>8} {:>10.2} {:>10} {:>9.4}",
+            approx.stats.wall.as_secs_f64() * 1e3,
+            approx.stats.io,
+            approx.refined.penalty
+        );
+        assert!(approx.refined.penalty >= exact.refined.penalty - 1e-9);
+    }
+    println!("{:>8} {:>10.2} {:>10} {:>9.4}", "exact",
+        exact.stats.wall.as_secs_f64() * 1e3, exact.stats.io, exact.refined.penalty);
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Quickstart: generate a dataset, run a spatial keyword top-k query,
+//! then ask a why-not question about an object missing from the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use whynot_sk::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A seeded synthetic dataset (EURO-like statistics, small scale).
+    let generated = generate(&DatasetSpec::euro_like(0.01));
+    println!(
+        "dataset: {} ({} objects, {} distinct terms)",
+        generated.spec.name,
+        generated.dataset.len(),
+        generated.vocabulary.len()
+    );
+
+    // 2. Build both disk-resident indexes (4 KiB pages, 4 MiB buffer,
+    //    fanout 100 — the paper's §VII-A1 setup).
+    let engine = WhyNotEngine::build_in_memory(generated.dataset)?
+        .with_vocabulary(generated.vocabulary);
+
+    // 3. An initial top-5 query: "find objects near (0.4, 0.6) matching
+    //    these keywords".
+    let anchor = engine.dataset().object(ObjectId(42)).clone();
+    let query = SpatialKeywordQuery::new(
+        Point::new(0.4, 0.6),
+        anchor.doc.clone(),
+        5,
+        0.5,
+    );
+    let result = engine.top_k(&query)?;
+    println!("\ninitial top-{} for {}:", query.k, engine.render_keywords(&query.doc));
+    for (rank, (id, score)) in result.iter().enumerate() {
+        println!(
+            "  #{:<2} {id:?} score {score:.4} {}",
+            rank + 1,
+            engine.render_keywords(&engine.dataset().object(*id).doc)
+        );
+    }
+
+    // 4. Pick an object the user expected but that is missing, and ask
+    //    why.
+    let missing = engine
+        .dataset()
+        .objects()
+        .iter()
+        .map(|o| o.id)
+        .find(|&id| engine.dataset().rank_of(id, &query) == 12)
+        .expect("some object ranks 12th");
+    println!(
+        "\nwhy is {missing:?} {} not in the result? (it ranks {})",
+        engine.render_keywords(&engine.dataset().object(missing).doc),
+        engine.dataset().rank_of(missing, &query)
+    );
+
+    let question = WhyNotQuestion::new(query.clone(), vec![missing], 0.5);
+    let answer = engine.answer(&question)?;
+    println!(
+        "refined query: keywords {} with k' = {} (penalty {:.4}, {} edits)",
+        engine.render_keywords(&answer.refined.doc),
+        answer.refined.k,
+        answer.refined.penalty,
+        answer.refined.edit_distance,
+    );
+    println!(
+        "solved in {:.2} ms with {} page reads",
+        answer.stats.wall.as_secs_f64() * 1e3,
+        answer.stats.io
+    );
+
+    // 5. Verify: the refined query's top-k' now contains the object.
+    let refined = query.with_doc(answer.refined.doc.clone());
+    let rank = engine.dataset().rank_of(missing, &refined);
+    assert!(rank <= answer.refined.k);
+    println!("verified: {missing:?} now ranks {rank} ≤ k' = {}", answer.refined.k);
+    Ok(())
+}

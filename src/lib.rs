@@ -1,0 +1,62 @@
+//! # whynot-sk — Why-Not Spatial Keyword Top-k Queries via Keyword Adaption
+//!
+//! Facade crate re-exporting the whole workspace. See the README for a
+//! tour; the paper is Chen, Xu, Lin, Jensen, Hu — *Answering Why-Not
+//! Spatial Keyword Top-k Queries via Keyword Adaption*, ICDE 2016.
+//!
+//! A complete round trip — generate data, index it, query, ask why-not,
+//! and verify the refinement:
+//!
+//! ```
+//! use whynot_sk::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let data = generate(&DatasetSpec::tiny(7));
+//! let engine = WhyNotEngine::build_in_memory(data.dataset)?
+//!     .with_vocabulary(data.vocabulary);
+//!
+//! // An initial top-3 query anchored at some object's keywords.
+//! let anchor = engine.dataset().object(ObjectId(5)).clone();
+//! let query = SpatialKeywordQuery::new(Point::new(0.5, 0.5), anchor.doc, 3, 0.5);
+//! let initial = engine.top_k(&query)?;
+//! assert_eq!(initial.len(), 3);
+//!
+//! // Ask why an object outside the result is missing.
+//! let missing = engine
+//!     .dataset()
+//!     .objects()
+//!     .iter()
+//!     .map(|o| o.id)
+//!     .find(|&id| engine.dataset().rank_of(id, &query) == 10)
+//!     .expect("some object ranks 10th");
+//! let answer = engine.answer(&WhyNotQuestion::new(query.clone(), vec![missing], 0.5))?;
+//!
+//! // The refined query contains the missing object and never costs more
+//! // than the basic k-enlargement (penalty λ).
+//! assert!(answer.refined.penalty <= 0.5);
+//! let refined = query.with_doc(answer.refined.doc.clone());
+//! assert!(engine.dataset().rank_of(missing, &refined) <= answer.refined.k);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use wnsk_core as core;
+pub use wnsk_data as data;
+pub use wnsk_geo as geo;
+pub use wnsk_index as index;
+pub use wnsk_storage as storage;
+pub use wnsk_text as text;
+
+/// Convenient glob-import surface for examples and applications.
+pub mod prelude {
+    pub use wnsk_core::{
+        answer_advanced, answer_basic, answer_kcr, AdvancedOptions, KcrOptions, RefinedQuery,
+        WhyNotAnswer, WhyNotEngine, WhyNotError, WhyNotQuestion,
+    };
+    pub use wnsk_data::{generate, DatasetSpec};
+    pub use wnsk_geo::{Point, Rect, WorldBounds};
+    pub use wnsk_index::{
+        Dataset, KcrTree, ObjectId, SetRTree, SpatialKeywordQuery, SpatialObject,
+    };
+    pub use wnsk_text::{jaccard, CorpusStats, KeywordCountMap, KeywordSet, TermId, Vocabulary};
+}

@@ -1,0 +1,334 @@
+//! Whole-pipeline integration tests through the public facade: generate
+//! data → build disk-resident indexes → query → ask why-not → verify the
+//! refinement, including a full persistence round trip through real
+//! files.
+
+use std::sync::Arc;
+use whynot_sk::prelude::*;
+use wnsk_data::workload::{generate_item, WorkloadSpec};
+use wnsk_storage::{BufferPool, FileBackend};
+
+fn generated() -> (Dataset, Vocabulary) {
+    let g = generate(&DatasetSpec::tiny(2024).with_objects(600));
+    (g.dataset, g.vocabulary)
+}
+
+#[test]
+fn why_not_pipeline_end_to_end() {
+    let (dataset, vocab) = generated();
+    let engine = WhyNotEngine::build_in_memory(dataset).unwrap().with_vocabulary(vocab);
+
+    let item = generate_item(
+        engine.dataset(),
+        &WorkloadSpec {
+            n_keywords: 3,
+            k: 5,
+            alpha: 0.5,
+            missing_rank: 26,
+            n_missing: 1,
+            seed: 42,
+        },
+    )
+    .expect("workload must generate");
+    let missing = item.missing[0];
+
+    // The missing object is genuinely absent from the initial result.
+    let initial = engine.top_k(&item.query).unwrap();
+    assert_eq!(initial.len(), 5);
+    assert!(initial.iter().all(|&(id, _)| id != missing));
+
+    let question = WhyNotQuestion::new(item.query.clone(), vec![missing], 0.5);
+    let answer = engine.answer(&question).unwrap();
+
+    // The refinement is never worse than the basic k-enlargement (λ).
+    assert!(answer.refined.penalty <= 0.5 + 1e-12);
+
+    // The refined query, executed as a plain top-k' through the index,
+    // contains the missing object.
+    let refined = SpatialKeywordQuery::new(
+        item.query.loc,
+        answer.refined.doc.clone(),
+        answer.refined.k,
+        item.query.alpha,
+    );
+    let result = engine.top_k(&refined).unwrap();
+    assert!(
+        result.iter().any(|&(id, _)| id == missing),
+        "refined top-{} must contain {missing:?}",
+        answer.refined.k
+    );
+}
+
+#[test]
+fn three_solvers_agree_through_facade() {
+    let (dataset, _) = generated();
+    let engine = WhyNotEngine::build_in_memory(dataset).unwrap();
+    let item = generate_item(
+        engine.dataset(),
+        &WorkloadSpec {
+            n_keywords: 2,
+            k: 4,
+            alpha: 0.4,
+            missing_rank: 21,
+            n_missing: 1,
+            seed: 7,
+        },
+    )
+    .expect("workload must generate");
+    let question = WhyNotQuestion::new(item.query, item.missing, 0.3);
+    let a = engine.answer_basic(&question).unwrap().refined.penalty;
+    let b = engine
+        .answer_advanced(&question, AdvancedOptions::default())
+        .unwrap()
+        .refined
+        .penalty;
+    let c = engine
+        .answer_kcr(&question, KcrOptions::default())
+        .unwrap()
+        .refined
+        .penalty;
+    assert!((a - b).abs() < 1e-9 && (b - c).abs() < 1e-9, "{a} {b} {c}");
+}
+
+#[test]
+fn persistence_round_trip_through_files() {
+    let (dataset, _) = generated();
+    let dir = std::env::temp_dir().join(format!("wnsk-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let setr_path = dir.join("setr.db");
+    let kcr_path = dir.join("kcr.db");
+
+    let item = generate_item(
+        &dataset,
+        &WorkloadSpec {
+            n_keywords: 3,
+            k: 5,
+            alpha: 0.5,
+            missing_rank: 26,
+            n_missing: 1,
+            seed: 99,
+        },
+    )
+    .expect("workload must generate");
+    let question = WhyNotQuestion::new(item.query.clone(), item.missing.clone(), 0.5);
+
+    // Build both trees into real files and answer once.
+    let first_penalty;
+    {
+        let setr_pool = Arc::new(BufferPool::with_default_config(Arc::new(
+            FileBackend::create(&setr_path).unwrap(),
+        )));
+        let kcr_pool = Arc::new(BufferPool::with_default_config(Arc::new(
+            FileBackend::create(&kcr_path).unwrap(),
+        )));
+        let setr = SetRTree::build(setr_pool, &dataset, 16).unwrap();
+        let kcr = KcrTree::build(kcr_pool, &dataset, 16).unwrap();
+        let ans = wnsk_core::answer_kcr(
+            &dataset,
+            &kcr,
+            &question,
+            KcrOptions::default(),
+        )
+        .unwrap();
+        first_penalty = ans.refined.penalty;
+        // Sanity: SetR answers too.
+        let bs = wnsk_core::answer_advanced(
+            &dataset,
+            &setr,
+            &question,
+            AdvancedOptions::default(),
+        )
+        .unwrap();
+        assert!((bs.refined.penalty - first_penalty).abs() < 1e-9);
+    }
+
+    // Reopen from disk and answer again: identical result.
+    {
+        let kcr_pool = Arc::new(BufferPool::with_default_config(Arc::new(
+            FileBackend::open(&kcr_path).unwrap(),
+        )));
+        let kcr = KcrTree::open(kcr_pool).unwrap();
+        assert_eq!(kcr.len(), dataset.len() as u64);
+        let ans = wnsk_core::answer_kcr(
+            &dataset,
+            &kcr,
+            &question,
+            KcrOptions::default(),
+        )
+        .unwrap();
+        assert!((ans.refined.penalty - first_penalty).abs() < 1e-9);
+        assert!(ans.stats.io > 0, "cold reopen must do physical I/O");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn degenerate_questions_error_cleanly() {
+    let (dataset, _) = generated();
+    let engine = WhyNotEngine::build_in_memory(dataset).unwrap();
+    let q = SpatialKeywordQuery::new(
+        Point::new(0.5, 0.5),
+        KeywordSet::from_ids([0, 1]),
+        5,
+        0.5,
+    );
+    // Empty missing set.
+    assert!(matches!(
+        engine.answer(&WhyNotQuestion::new(q.clone(), vec![], 0.5)),
+        Err(WhyNotError::EmptyMissingSet)
+    ));
+    // Unknown object.
+    assert!(matches!(
+        engine.answer(&WhyNotQuestion::new(q.clone(), vec![ObjectId(1_000_000)], 0.5)),
+        Err(WhyNotError::UnknownObject(_))
+    ));
+    // Duplicate.
+    assert!(matches!(
+        engine.answer(&WhyNotQuestion::new(
+            q.clone(),
+            vec![ObjectId(3), ObjectId(3)],
+            0.5
+        )),
+        Err(WhyNotError::DuplicateMissing(_))
+    ));
+}
+
+#[test]
+fn whole_dataset_k_still_works() {
+    // k as large as the dataset: every object is in the result, so any
+    // why-not question must be rejected as NotMissing.
+    let (dataset, _) = generated();
+    let n = dataset.len();
+    let engine = WhyNotEngine::build_in_memory(dataset).unwrap();
+    let q = SpatialKeywordQuery::new(
+        Point::new(0.5, 0.5),
+        KeywordSet::from_ids([0]),
+        n,
+        0.5,
+    );
+    let res = engine.answer(&WhyNotQuestion::new(q, vec![ObjectId(0)], 0.5));
+    assert!(matches!(res, Err(WhyNotError::NotMissing { .. })));
+}
+
+#[test]
+fn prelude_exposes_the_full_api() {
+    // Compile-time check that the prelude covers the documented surface.
+    let _: fn(&Dataset, &SetRTree, &WhyNotQuestion) -> wnsk_core::Result<WhyNotAnswer> =
+        answer_basic;
+    let _ = AdvancedOptions::default();
+    let _ = KcrOptions::default();
+    let _ = DatasetSpec::tiny(0);
+    let _: RefinedQuery;
+}
+
+#[test]
+fn lambda_extremes_work_end_to_end() {
+    let (dataset, _) = generated();
+    let engine = WhyNotEngine::build_in_memory(dataset).unwrap();
+    let item = generate_item(
+        engine.dataset(),
+        &WorkloadSpec {
+            n_keywords: 3,
+            k: 5,
+            alpha: 0.5,
+            missing_rank: 26,
+            n_missing: 1,
+            seed: 123,
+        },
+    )
+    .expect("workload must generate");
+
+    // λ = 0: only keyword edits cost anything, so the optimum keeps
+    // doc₀ (zero edits) and just enlarges k — penalty exactly 0.
+    let q0 = WhyNotQuestion::new(item.query.clone(), item.missing.clone(), 0.0);
+    for ans in [
+        engine.answer_basic(&q0).unwrap(),
+        engine.answer(&q0).unwrap(),
+    ] {
+        assert!(
+            ans.refined.penalty <= 1e-12,
+            "λ=0 must cost nothing, got {}",
+            ans.refined.penalty
+        );
+        assert_eq!(ans.refined.edit_distance, 0);
+    }
+
+    // λ = 1: only Δk costs; the best answer minimises the rank, possibly
+    // with heavy keyword edits. Penalty is bounded by the baseline 1.
+    let q1 = WhyNotQuestion::new(item.query.clone(), item.missing.clone(), 1.0);
+    let bs = engine.answer_basic(&q1).unwrap();
+    let kcr = engine.answer(&q1).unwrap();
+    assert!((bs.refined.penalty - kcr.refined.penalty).abs() < 1e-9);
+    assert!(bs.refined.penalty <= 1.0 + 1e-12);
+}
+
+#[test]
+fn dice_model_end_to_end() {
+    use wnsk_text::TextModel;
+    let (dataset, _) = generated();
+    let engine = WhyNotEngine::build_in_memory(dataset).unwrap();
+    // Build a Dice-model workload by hand: reuse a Jaccard item's shape.
+    let item = generate_item(
+        engine.dataset(),
+        &WorkloadSpec {
+            n_keywords: 3,
+            k: 5,
+            alpha: 0.5,
+            missing_rank: 26,
+            n_missing: 1,
+            seed: 321,
+        },
+    )
+    .expect("workload must generate");
+    let q = item.query.clone().with_model(TextModel::Dice);
+    // Find an object missing under the *Dice* scoring.
+    let missing = engine
+        .dataset()
+        .objects()
+        .iter()
+        .map(|o| o.id)
+        .find(|&id| {
+            let r = engine.dataset().rank_of(id, &q);
+            r > q.k && r < 40
+        });
+    let Some(missing) = missing else { return };
+    let question = WhyNotQuestion::new(q.clone(), vec![missing], 0.5);
+    let a = engine.answer_basic(&question).unwrap();
+    let b = engine.answer(&question).unwrap();
+    assert!((a.refined.penalty - b.refined.penalty).abs() < 1e-9);
+    // The refinement revives the object under Dice scoring.
+    let refined = q.with_doc(b.refined.doc.clone());
+    assert!(engine.dataset().rank_of(missing, &refined) <= b.refined.k);
+}
+
+#[test]
+fn render_keywords_without_vocabulary_falls_back() {
+    let (dataset, _) = generated();
+    let engine = WhyNotEngine::build_in_memory(dataset).unwrap();
+    let rendered = engine.render_keywords(&KeywordSet::from_ids([3, 7]));
+    assert_eq!(rendered, "{t3, t7}");
+}
+
+#[test]
+fn approximate_engine_path() {
+    let (dataset, _) = generated();
+    let engine = WhyNotEngine::build_in_memory(dataset).unwrap();
+    let item = generate_item(
+        engine.dataset(),
+        &WorkloadSpec {
+            n_keywords: 4,
+            k: 5,
+            alpha: 0.5,
+            missing_rank: 26,
+            n_missing: 1,
+            seed: 777,
+        },
+    )
+    .expect("workload must generate");
+    let question = WhyNotQuestion::new(item.query, item.missing, 0.5);
+    let exact = engine.answer(&question).unwrap();
+    let approx = engine.answer_approx(&question, 32).unwrap();
+    assert!(approx.refined.penalty >= exact.refined.penalty - 1e-9);
+    assert!(approx.refined.penalty <= 0.5 + 1e-12, "bounded by the baseline λ");
+}

@@ -1,0 +1,105 @@
+//! The paper's running example (Fig. 1, Example 3, Table I), evaluated
+//! end-to-end through the public facade.
+//!
+//! Ground truth, by exhaustive evaluation of Eqns. 1–4 (λ = 0.5, k₀ = 1,
+//! R(m,q) = 3, |doc₀ ∪ m.doc| = 3):
+//!
+//! | doc'            | R(m,q') | Δdoc | penalty |
+//! |-----------------|---------|------|---------|
+//! | {t1,t2} (basic) | 3       | 0    | 0.5     |
+//! | {t1,t2,t3}      | 2       | 1    | 0.4167  |
+//! | {t2}            | 3       | 1    | 0.6667  |
+//! | {t2,t3}         | 2       | 2    | 0.5833  |
+//! | {t1,t3}         | 2       | 2    | 0.5833  |
+//! | {t3}            | 2       | 2    | 0.5833  |
+//! | {t1}            | 4       | 1    | 0.9167  |
+//! | {}              | 2       | 2    | 0.5833  |
+//!
+//! Note the paper's Table I lists q2 = (1, {t2,t3}) with Δk = 0
+//! (penalty 0.33), but Fig. 1's own scores give o2 an ST of 0.6167 under
+//! {t2,t3}, above m's 0.5833 — so R(m, q2) = 2 and the row is
+//! inconsistent. The true optimum is 5/12.
+
+use whynot_sk::prelude::*;
+
+fn build() -> (WhyNotEngine, SpatialKeywordQuery) {
+    let t = |ids: &[u32]| KeywordSet::from_ids(ids.iter().copied());
+    let objects = vec![
+        SpatialObject { id: ObjectId(0), loc: Point::new(5.0, 0.0), doc: t(&[1, 2, 3]) }, // m
+        SpatialObject { id: ObjectId(0), loc: Point::new(8.0, 0.0), doc: t(&[1]) },       // o1
+        SpatialObject { id: ObjectId(0), loc: Point::new(1.0, 0.0), doc: t(&[1, 3]) },    // o2
+        SpatialObject { id: ObjectId(0), loc: Point::new(6.0, 0.0), doc: t(&[1, 2]) },    // o3
+    ];
+    let world = WorldBounds::new(Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0)));
+    let ds = Dataset::new(objects, world);
+    let q = SpatialKeywordQuery::new(Point::new(0.0, 0.0), t(&[1, 2]), 1, 0.5);
+    let engine = WhyNotEngine::build_with(ds, 2, wnsk_storage::BufferPoolConfig::default())
+        .unwrap();
+    (engine, q)
+}
+
+#[test]
+fn initial_ranking_matches_figure1() {
+    let (engine, q) = build();
+    // ST(o3) = 0.7 > ST(o2) = 0.6167 > ST(m) = 0.5833 > ST(o1) = 0.35.
+    let ds = engine.dataset();
+    assert_eq!(ds.rank_of(ObjectId(3), &q), 1);
+    assert_eq!(ds.rank_of(ObjectId(2), &q), 2);
+    assert_eq!(ds.rank_of(ObjectId(0), &q), 3);
+    assert_eq!(ds.rank_of(ObjectId(1), &q), 4);
+    // Top-1 = o3 and m is missing.
+    let top = engine.top_k(&q).unwrap();
+    assert_eq!(top[0].0, ObjectId(3));
+}
+
+#[test]
+fn ground_truth_penalty_table() {
+    let (engine, q) = build();
+    let ds = engine.dataset();
+    let question = WhyNotQuestion::new(q.clone(), vec![ObjectId(0)], 0.5);
+    let ctx = wnsk_core::WhyNotContext::new(ds, &question, 3).unwrap();
+    let expect = |doc: &[u32], rank: usize, ed: usize| {
+        let set = KeywordSet::from_ids(doc.iter().copied());
+        let got_rank = ds.rank_of(ObjectId(0), &q.with_doc(set));
+        assert_eq!(got_rank, rank, "rank mismatch for {doc:?}");
+        ctx.penalty.penalty(ed, rank)
+    };
+    assert!((expect(&[1, 2, 3], 2, 1) - 5.0 / 12.0).abs() < 1e-12);
+    assert!((expect(&[2], 3, 1) - 2.0 / 3.0).abs() < 1e-12);
+    assert!((expect(&[2, 3], 2, 2) - 7.0 / 12.0).abs() < 1e-12);
+    assert!((expect(&[1, 3], 2, 2) - 7.0 / 12.0).abs() < 1e-12);
+    assert!((expect(&[1], 4, 1) - 11.0 / 12.0).abs() < 1e-12);
+    // q1 of Table I (keep keywords, enlarge k) has penalty λ — correct in
+    // the paper.
+    assert!((ctx.penalty.baseline_penalty() - 0.5).abs() < 1e-12);
+    // q4 of Table I: penalty 0.4167 (the paper prints 0.415 from rounded
+    // Δdoc) — consistent.
+    // q3 of Table I: 0.5833 (printed 0.58) — consistent.
+}
+
+#[test]
+fn all_solvers_return_the_true_optimum() {
+    let (engine, q) = build();
+    let question = WhyNotQuestion::new(q, vec![ObjectId(0)], 0.5);
+    for ans in [
+        engine.answer_basic(&question).unwrap(),
+        engine
+            .answer_advanced(&question, AdvancedOptions::default())
+            .unwrap(),
+        engine
+            .answer_kcr(&question, KcrOptions::default())
+            .unwrap(),
+    ] {
+        assert!((ans.refined.penalty - 5.0 / 12.0).abs() < 1e-12);
+        assert_eq!(ans.refined.rank, 2);
+        assert_eq!(ans.refined.k, 2);
+        assert_eq!(ans.refined.edit_distance, 1);
+    }
+}
+
+#[test]
+fn example4_early_stop_bound() {
+    // Example 4 numbers through the public PenaltyModel.
+    let model = wnsk_core::PenaltyModel::new(0.5, 5, 10, 5);
+    assert_eq!(model.rank_upper_limit(2, 0.5), Some(8));
+}
