@@ -1,0 +1,184 @@
+//! Offline drop-in subset of the `bytes` crate: the `Buf` / `BufMut`
+//! little-endian accessors used by `wnsk-storage`'s codec and an
+//! `Arc`-backed, cheaply clonable `Bytes` buffer used by the buffer pool.
+//!
+//! Vendored shim — this workspace builds without crates.io access; see
+//! `compat/` for the other stand-ins.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Read-side cursor trait over a contiguous byte source.
+///
+/// Only the fixed-width little-endian getters the codec needs are
+/// provided. Like the real crate, getters panic when the source is too
+/// short; callers are expected to check [`Buf::remaining`] first.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            self.len() >= dst.len(),
+            "buffer underflow: need {} bytes, have {}",
+            dst.len(),
+            self.len()
+        );
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Write-side trait appending fixed-width little-endian values.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// An immutable, reference-counted byte buffer. Cloning is O(1); the
+/// underlying allocation is shared.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes { data: Arc::from([]) }
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(data),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut out = Vec::new();
+        out.put_u8(7);
+        out.put_u16_le(513);
+        out.put_u32_le(70_000);
+        out.put_u64_le(1 << 40);
+        out.put_f64_le(0.25);
+        out.put_slice(b"xy");
+
+        let mut cur: &[u8] = &out;
+        assert_eq!(cur.remaining(), 1 + 2 + 4 + 8 + 8 + 2);
+        assert_eq!(cur.get_u8(), 7);
+        assert_eq!(cur.get_u16_le(), 513);
+        assert_eq!(cur.get_u32_le(), 70_000);
+        assert_eq!(cur.get_u64_le(), 1 << 40);
+        assert_eq!(cur.get_f64_le(), 0.25);
+        assert_eq!(cur, b"xy");
+    }
+
+    #[test]
+    fn bytes_shares_allocation() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let c = b.clone();
+        assert_eq!(&b[..], &c[..]);
+        assert_eq!(b.len(), 3);
+    }
+}

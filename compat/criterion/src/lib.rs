@@ -1,0 +1,229 @@
+//! Offline drop-in subset of `criterion`: enough of the API
+//! (`Criterion`, `BenchmarkGroup`, `Bencher`, `BenchmarkId`,
+//! `criterion_group!` / `criterion_main!`, `black_box`) to compile and
+//! run this workspace's benches with plain wall-clock timing.
+//!
+//! Vendored shim — this workspace builds without crates.io access; see
+//! `compat/` for the other stand-ins. There is no statistical analysis:
+//! each benchmark runs a short warm-up, then `sample_size` timed
+//! batches, and prints min/mean/max per iteration.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives closures under measurement.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named set of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<R>(&mut self, id: impl Display, routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.sample_size, routine, self.criterion.quick);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(
+            &full,
+            self.sample_size,
+            |b| routine(b, input),
+            self.criterion.quick,
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn run_benchmark<R: FnMut(&mut Bencher)>(
+    name: &str,
+    samples: usize,
+    mut routine: R,
+    quick: bool,
+) {
+    let samples = if quick { samples.min(2) } else { samples };
+    // Warm-up: one measured iteration, also used to size batches so a
+    // sample stays in the ~10ms-100ms range.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let target = Duration::from_millis(if quick { 10 } else { 50 });
+    let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut per_iter_times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        per_iter_times.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    let min = per_iter_times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter_times.iter().cloned().fold(0.0f64, f64::max);
+    let mean = per_iter_times.iter().sum::<f64>() / per_iter_times.len() as f64;
+    println!(
+        "{name:<50} time: [{} {} {}]  ({} samples x {} iters)",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max),
+        samples,
+        iters,
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// The benchmark context handed to every target function.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `--quick` (also respected by the real crate) caps sampling for
+        // smoke runs; handy in CI.
+        let quick = std::env::args().any(|a| a == "--quick");
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+
+    pub fn bench_function<R>(&mut self, id: &str, routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, 10, routine, self.quick);
+        self
+    }
+}
+
+/// Collects benchmark target functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        group.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion { quick: true };
+        target(&mut c);
+    }
+}

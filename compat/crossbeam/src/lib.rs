@@ -1,0 +1,83 @@
+//! Offline drop-in subset of `crossbeam`: just `thread::scope` /
+//! `Scope::spawn` / `ScopedJoinHandle::join`, implemented on top of
+//! `std::thread::scope` (stable since 1.63).
+//!
+//! Vendored shim — this workspace builds without crates.io access; see
+//! `compat/` for the other stand-ins.
+//!
+//! Semantic difference from the real crate: if a spawned thread panics
+//! and its handle is joined with `.expect(..)` (the only pattern used in
+//! this workspace), the panic propagates out of `scope` as a panic
+//! rather than an `Err`. All callers here `.expect` the scope result
+//! anyway, so the observable behaviour — a panic — is the same.
+
+pub mod thread {
+    /// Spawn scope handed to the `scope` closure and to each spawned
+    /// thread's closure (crossbeam passes `&Scope` so workers can spawn
+    /// nested threads; the workers in this workspace ignore it).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread; `join` returns the closure's result or
+    /// the payload of its panic.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope that joins all still-running spawned
+    /// threads before returning.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let counter = AtomicUsize::new(0);
+        let counter_ref = &counter;
+        let total = crate::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    scope.spawn(move |_| {
+                        counter_ref.fetch_add(1, Ordering::SeqCst);
+                        i * 2
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .sum::<usize>()
+        })
+        .expect("scope failed");
+        assert_eq!(total, 0 + 2 + 4 + 6);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+}

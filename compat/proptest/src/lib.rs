@@ -1,0 +1,382 @@
+//! Offline drop-in subset of `proptest`: the `proptest!` test macro,
+//! `prop_assert*` / `prop_assume!`, and the strategy combinators this
+//! workspace's property tests use (ranges, tuples, `prop_map`,
+//! `collection::vec`, `sample::select`, `sample::Index`, `any`).
+//!
+//! Vendored shim — this workspace builds without crates.io access; see
+//! `compat/` for the other stand-ins. Differences from the real crate:
+//! no shrinking (a failing case reports its values' seed, not a
+//! minimised counterexample) and a smaller default case count (32).
+
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, Just, Strategy};
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-test deterministic RNG. Seeded from the test's module path so
+    /// every run of the suite explores the same cases.
+    pub struct TestRng {
+        pub(crate) inner: StdRng,
+    }
+
+    impl TestRng {
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the fully qualified test name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(h),
+            }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assert*` failed: the property is violated.
+        Fail(String),
+        /// `prop_assume!` failed: the case is outside the property's
+        /// domain and is re-drawn without counting against `cases`.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    /// Runner configuration. Only `cases` is honoured by the shim.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 32 }
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Length specification accepted by [`vec()`]: a fixed `usize` or a
+    /// (half-open or inclusive) range.
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.inner.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.inner.gen_range(self.clone())
+        }
+    }
+
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Strategy generating a `Vec` whose elements come from `element`
+    /// and whose length is drawn from `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::{Arbitrary, Strategy};
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A position into a not-yet-known collection; resolved against a
+    /// concrete length with [`Index::index`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(pub(crate) u64);
+
+    impl Index {
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.inner.gen())
+        }
+    }
+
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.items[rng.inner.gen_range(0..self.items.len())].clone()
+        }
+    }
+
+    /// Strategy drawing uniformly from a fixed list of options.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select: empty choice list");
+        Select { items }
+    }
+}
+
+/// The strategy prelude: everything a `proptest!` test file needs.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Mirror of the real prelude's `prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                // Strategy expressions are evaluated once per test; the
+                // loop body shadows each name with a sampled value.
+                $(let $arg = $strat;)*
+                let mut __cases = 0u32;
+                let mut __rejects = 0u32;
+                while __cases < __config.cases {
+                    let __result = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $(let $arg = $crate::Strategy::new_value(&$arg, &mut __rng);)*
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    match __result {
+                        Ok(()) => __cases += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                            __rejects += 1;
+                            assert!(
+                                __rejects < 1 << 16,
+                                "proptest: too many prop_assume! rejections in {} \
+                                 ({} cases passed)",
+                                stringify!($name),
+                                __cases,
+                            );
+                        }
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case failed: {} (case {} of {})\n{}",
+                                stringify!($name),
+                                __cases + 1,
+                                __config.cases,
+                                msg,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property inside `proptest!`, failing the current case (not
+/// panicking outright) so the runner can report it coherently.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*), __l, __r,
+        );
+    }};
+}
+
+/// `prop_assert!` for inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), __l,
+        );
+    }};
+}
+
+/// Discards the current case (without failing) when its inputs fall
+/// outside the property's domain; the runner draws a replacement.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Ranges stay in bounds and tuples/maps compose.
+        #[test]
+        fn ranges_and_maps(
+            a in 0u32..40,
+            b in -100.0..100.0f64,
+            c in (1usize..8, 0u64..64).prop_map(|(x, y)| x as u64 + y),
+        ) {
+            prop_assert!(a < 40);
+            prop_assert!((-100.0..100.0).contains(&b));
+            prop_assert!(c >= 1);
+        }
+
+        /// `collection::vec` honours both fixed and ranged sizes.
+        #[test]
+        fn vec_sizes(
+            fixed in crate::collection::vec(0u32..5, 8),
+            ranged in crate::collection::vec(0u32..5, 0..12),
+            nested in crate::collection::vec(crate::collection::vec(0u32..3, 0..4), 0..6),
+        ) {
+            prop_assert_eq!(fixed.len(), 8);
+            prop_assert!(ranged.len() < 12);
+            prop_assert!(nested.iter().all(|v| v.len() < 4));
+        }
+
+        /// `any`, `Index`, `select`, and `prop_assume` all function.
+        #[test]
+        fn sampling(
+            byte in any::<u8>(),
+            pick in any::<prop::sample::Index>(),
+            choice in prop::sample::select(vec![2usize, 3, 5, 7]),
+        ) {
+            prop_assume!(byte != 255);
+            prop_assert!(byte < 255);
+            prop_assert!(pick.index(10) < 10);
+            prop_assert!([2, 3, 5, 7].contains(&choice));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failing_property_panics() {
+        proptest! {
+            #[allow(unused)]
+            fn inner(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

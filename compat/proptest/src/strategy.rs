@@ -1,0 +1,133 @@
+//! The `Strategy` trait and the combinators the workspace's property
+//! tests use: numeric ranges, tuples, `prop_map`, `Just`, and
+//! `any::<T>()` over [`Arbitrary`] types.
+
+use crate::test_runner::TestRng;
+use rand::{Rng, SampleUniform, StandardSample};
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike the real crate there is no value tree / shrinking: a strategy
+/// is just a deterministic function of the test RNG.
+pub trait Strategy {
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms every generated value with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.new_value(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        rng.inner.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        rng.inner.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A/0);
+impl_tuple_strategy!(A/0, B/1);
+impl_tuple_strategy!(A/0, B/1, C/2);
+impl_tuple_strategy!(A/0, B/1, C/2, D/3);
+impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
+impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
+impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5, G/6);
+impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7);
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                StandardSample::sample_standard(&mut rng.inner)
+            }
+        }
+    )*};
+}
+impl_arbitrary_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool);
+
+/// Strategy for an [`Arbitrary`] type's full domain.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — uniform over `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}

@@ -5,7 +5,9 @@
 //! ```
 //!
 //! `<experiment>` is one of `tab1 tab2 fig4 … fig13 all`. Results print
-//! as aligned tables; `--out DIR` additionally writes one CSV per table.
+//! as aligned tables; `--out DIR` additionally writes one CSV per table,
+//! plus a `<slug>.metrics.json` with the full per-point query reports
+//! (phase timings, node visits, prune events, buffer-pool I/O).
 
 use wnsk_bench::{experiments, XpConfig};
 
@@ -33,6 +35,11 @@ fn main() {
             let path = dir.join(format!("{}.csv", table.slug()));
             std::fs::write(&path, table.to_csv()).expect("cannot write CSV");
             eprintln!("wrote {}", path.display());
+            if let Some(json) = table.metrics_json() {
+                let path = dir.join(format!("{}.metrics.json", table.slug()));
+                std::fs::write(&path, json).expect("cannot write metrics JSON");
+                eprintln!("wrote {}", path.display());
+            }
         }
     }
     eprintln!("done in {:.1}s", started.elapsed().as_secs_f64());

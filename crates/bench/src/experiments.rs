@@ -7,9 +7,10 @@
 //! `α = 0.5`, `R(m,q) = 51`, `λ = 0.5`, 1 missing object, EURO dataset.
 
 use crate::config::XpConfig;
-use crate::runner::{measure, Algo, Measurement, TestBed};
+use crate::runner::{measure_with_report, Algo, Measurement, TestBed};
 use crate::table::Table;
 use wnsk_core::{AdvancedOptions, KcrOptions, WhyNotEngine, WhyNotQuestion};
+use wnsk_obs::QueryReport;
 use wnsk_data::workload::WorkloadSpec;
 use wnsk_data::DatasetSpec;
 use wnsk_geo::Point;
@@ -34,10 +35,10 @@ fn trio_names() -> Vec<String> {
     Algo::paper_trio().iter().map(|a| a.name()).collect()
 }
 
-fn run_trio(bed: &TestBed, questions: &[WhyNotQuestion]) -> Vec<Measurement> {
+fn run_trio(bed: &TestBed, questions: &[WhyNotQuestion]) -> Vec<(Measurement, QueryReport)> {
     Algo::paper_trio()
         .iter()
-        .map(|a| measure(bed, a, questions))
+        .map(|a| measure_with_report(bed, a, questions))
         .collect()
 }
 
@@ -56,7 +57,7 @@ pub fn fig4(cfg: &XpConfig) -> Vec<Table> {
             eprintln!("fig4: no workload for k0={k0}, skipping");
             continue;
         }
-        table.push_row(k0.to_string(), run_trio(&bed, &qs));
+        table.push_row_reported(k0.to_string(), run_trio(&bed, &qs));
     }
     vec![table]
 }
@@ -79,7 +80,7 @@ pub fn fig5(cfg: &XpConfig) -> Vec<Table> {
             eprintln!("fig5: no workload for {kw} keywords, skipping");
             continue;
         }
-        table.push_row(kw.to_string(), run_trio(&bed, &qs));
+        table.push_row_reported(kw.to_string(), run_trio(&bed, &qs));
     }
     vec![table]
 }
@@ -97,7 +98,7 @@ pub fn fig6(cfg: &XpConfig) -> Vec<Table> {
         if qs.is_empty() {
             continue;
         }
-        table.push_row(format!("{alpha}"), run_trio(&bed, &qs));
+        table.push_row_reported(format!("{alpha}"), run_trio(&bed, &qs));
     }
     vec![table]
 }
@@ -112,7 +113,7 @@ pub fn fig7(cfg: &XpConfig) -> Vec<Table> {
         if qs.is_empty() {
             continue;
         }
-        table.push_row(format!("{lambda}"), run_trio(&bed, &qs));
+        table.push_row_reported(format!("{lambda}"), run_trio(&bed, &qs));
     }
     vec![table]
 }
@@ -134,7 +135,7 @@ pub fn fig8(cfg: &XpConfig) -> Vec<Table> {
         if qs.is_empty() {
             continue;
         }
-        table.push_row(rank.to_string(), run_trio(&bed, &qs));
+        table.push_row_reported(rank.to_string(), run_trio(&bed, &qs));
     }
     vec![table]
 }
@@ -157,7 +158,7 @@ pub fn fig9(cfg: &XpConfig) -> Vec<Table> {
         if qs.is_empty() {
             continue;
         }
-        table.push_row(n_missing.to_string(), run_trio(&bed, &qs));
+        table.push_row_reported(n_missing.to_string(), run_trio(&bed, &qs));
     }
     vec![table]
 }
@@ -186,9 +187,12 @@ pub fn fig10(cfg: &XpConfig) -> Vec<Table> {
             ..AdvancedOptions::default()
         });
         let kcr = Algo::Kcr(KcrOptions { threads, ..KcrOptions::default() });
-        table.push_row(
+        table.push_row_reported(
             threads.to_string(),
-            vec![measure(&bed, &adv, &qs), measure(&bed, &kcr, &qs)],
+            vec![
+                measure_with_report(&bed, &adv, &qs),
+                measure_with_report(&bed, &kcr, &qs),
+            ],
         );
         threads *= 2;
     }
@@ -225,8 +229,8 @@ pub fn fig11(cfg: &XpConfig) -> Vec<Table> {
         ("AdvancedBS(all)", AdvancedOptions::default()),
     ];
     for (name, opts) in configs {
-        let m = measure(&bed, &Algo::Advanced(opts), &qs);
-        table.push_row(name, vec![m]);
+        let pair = measure_with_report(&bed, &Algo::Advanced(opts), &qs);
+        table.push_row_reported(name, vec![pair]);
     }
     vec![table]
 }
@@ -248,18 +252,18 @@ pub fn fig12(cfg: &XpConfig) -> Vec<Table> {
     );
     table.show_penalty = true;
     for t in [100usize, 200, 400, 800] {
-        let ms = vec![
-            measure(&bed, &Algo::ApproxBs(t), &qs),
-            measure(
+        let pairs = vec![
+            measure_with_report(&bed, &Algo::ApproxBs(t), &qs),
+            measure_with_report(
                 &bed,
                 &Algo::ApproxAdvanced(AdvancedOptions::default(), t),
                 &qs,
             ),
-            measure(&bed, &Algo::ApproxKcr(KcrOptions::default(), t), &qs),
+            measure_with_report(&bed, &Algo::ApproxKcr(KcrOptions::default(), t), &qs),
         ];
-        table.push_row(t.to_string(), ms);
+        table.push_row_reported(t.to_string(), pairs);
     }
-    table.push_row("exact", run_trio(&bed, &qs));
+    table.push_row_reported("exact", run_trio(&bed, &qs));
     vec![table]
 }
 
@@ -280,7 +284,7 @@ pub fn fig13(cfg: &XpConfig) -> Vec<Table> {
         if qs.is_empty() {
             continue;
         }
-        table.push_row(n.to_string(), run_trio(&bed, &qs));
+        table.push_row_reported(n.to_string(), run_trio(&bed, &qs));
     }
     vec![table]
 }

@@ -20,5 +20,5 @@ pub mod runner;
 pub mod table;
 
 pub use config::XpConfig;
-pub use runner::{measure, Algo, Measurement, TestBed};
+pub use runner::{measure, measure_with_report, Algo, Measurement, TestBed};
 pub use table::Table;

@@ -3,21 +3,26 @@
 use std::sync::Arc;
 use wnsk_core::{
     answer_advanced, answer_approx_advanced, answer_approx_basic, answer_approx_kcr,
-    answer_basic, answer_kcr, AdvancedOptions, KcrOptions, WhyNotAnswer, WhyNotQuestion,
+    answer_basic, answer_kcr, AdvancedOptions, AlgoStats, KcrOptions, WhyNotAnswer,
+    WhyNotQuestion,
 };
 use wnsk_data::workload::{generate_item, WorkloadSpec};
 use wnsk_data::{generate, DatasetSpec, GeneratedData};
 use wnsk_index::{KcrTree, SetRTree};
+use wnsk_obs::{QueryReport, Registry};
 use wnsk_storage::{BufferPool, BufferPoolConfig, MemBackend};
 
 /// The paper's node capacity (§VII-A1).
 pub const FANOUT: usize = 100;
 
-/// A dataset with both disk-resident indexes built over it.
+/// A dataset with both disk-resident indexes built over it. All
+/// components report into one shared metrics [`Registry`] (same layout
+/// as `WhyNotEngine`: `setr.pool.` / `kcr.pool.` / `setr.` / `kcr.`).
 pub struct TestBed {
     pub data: GeneratedData,
     pub setr: SetRTree,
     pub kcr: KcrTree,
+    registry: Registry,
 }
 
 impl TestBed {
@@ -31,19 +36,36 @@ impl TestBed {
     /// trees).
     pub fn with_fanout(spec: &DatasetSpec, fanout: usize) -> Self {
         let data = generate(spec);
-        let setr_pool = Arc::new(BufferPool::new(
+        let registry = Registry::new();
+        let setr_pool = Arc::new(BufferPool::new_registered(
             Arc::new(MemBackend::new()),
             BufferPoolConfig::default(),
+            &registry,
+            "setr.pool.",
         ));
-        let kcr_pool = Arc::new(BufferPool::new(
+        let kcr_pool = Arc::new(BufferPool::new_registered(
             Arc::new(MemBackend::new()),
             BufferPoolConfig::default(),
+            &registry,
+            "kcr.pool.",
         ));
-        let setr = SetRTree::build(setr_pool, &data.dataset, fanout)
+        let mut setr = SetRTree::build(setr_pool, &data.dataset, fanout)
             .expect("SetR-tree build cannot fail on MemBackend");
-        let kcr = KcrTree::build(kcr_pool, &data.dataset, fanout)
+        setr.register_metrics(&registry, "setr.");
+        let mut kcr = KcrTree::build(kcr_pool, &data.dataset, fanout)
             .expect("KcR-tree build cannot fail on MemBackend");
-        TestBed { data, setr, kcr }
+        kcr.register_metrics(&registry, "kcr.");
+        TestBed {
+            data,
+            setr,
+            kcr,
+            registry,
+        }
+    }
+
+    /// The shared metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Generates `n` why-not questions for a workload spec (distinct
@@ -152,7 +174,7 @@ impl Algo {
 }
 
 /// Aggregated measurement over a set of queries.
-#[derive(Clone, Copy, Debug, Default, serde::Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct Measurement {
     /// Mean wall-clock time per query, milliseconds.
     pub time_ms: f64,
@@ -168,28 +190,58 @@ pub struct Measurement {
 /// each query, and averages the metrics (the paper reports averages over
 /// its query batch the same way).
 pub fn measure(bed: &TestBed, algo: &Algo, questions: &[WhyNotQuestion]) -> Measurement {
-    let mut total_time = 0.0;
-    let mut total_io = 0u64;
+    measure_with_report(bed, algo, questions).0
+}
+
+/// Like [`measure`], but also produces the unified [`QueryReport`] for
+/// the batch: solver stats summed over every query, plus the registry
+/// delta (buffer-pool I/O, node visits, Theorem 2/3 prune events)
+/// attributed to this batch. The experiment driver writes these reports
+/// as JSON next to its CSV output.
+pub fn measure_with_report(
+    bed: &TestBed,
+    algo: &Algo,
+    questions: &[WhyNotQuestion],
+) -> (Measurement, QueryReport) {
+    let before = bed.registry.snapshot();
+    let mut agg = AlgoStats::default();
     let mut total_penalty = 0.0;
     let mut n = 0usize;
     for q in questions {
         bed.clear_caches();
         match algo.run(bed, q) {
             Ok(ans) => {
-                total_time += ans.stats.wall.as_secs_f64() * 1e3;
-                total_io += ans.stats.io;
+                agg.wall += ans.stats.wall;
+                agg.io += ans.stats.io;
+                agg.candidates_total += ans.stats.candidates_total;
+                agg.pruned_by_filter += ans.stats.pruned_by_filter;
+                agg.pruned_by_bound += ans.stats.pruned_by_bound;
+                agg.queries_run += ans.stats.queries_run;
+                agg.nodes_expanded += ans.stats.nodes_expanded;
+                agg.phase_initial_rank += ans.stats.phase_initial_rank;
+                agg.phase_enumeration += ans.stats.phase_enumeration;
+                agg.phase_verification += ans.stats.phase_verification;
                 total_penalty += ans.refined.penalty;
                 n += 1;
             }
             Err(e) => panic!("{} failed on a generated workload: {e}", algo.name()),
         }
     }
-    Measurement {
-        time_ms: total_time / n.max(1) as f64,
-        io: total_io as f64 / n.max(1) as f64,
+    agg.record_into(&bed.registry);
+    let delta = bed.registry.snapshot().since(&before);
+    let mut report = QueryReport::new(algo.name(), agg.wall);
+    report.queries = n;
+    for (name, elapsed) in agg.phases() {
+        report.push_phase(name, elapsed);
+    }
+    report.absorb(&delta);
+    let measurement = Measurement {
+        time_ms: agg.wall.as_secs_f64() * 1e3 / n.max(1) as f64,
+        io: agg.io as f64 / n.max(1) as f64,
         penalty: total_penalty / n.max(1) as f64,
         n,
-    }
+    };
+    (measurement, report)
 }
 
 #[cfg(test)]
@@ -263,6 +315,33 @@ mod tests {
             &qs,
         );
         assert!(approx.penalty >= exact.penalty - 1e-9);
+    }
+
+    #[test]
+    fn measure_with_report_unifies_the_stack() {
+        let bed = tiny_bed();
+        let spec = WorkloadSpec {
+            k: 3,
+            n_keywords: 2,
+            missing_rank: 16,
+            ..WorkloadSpec::paper_default(5)
+        };
+        let qs = bed.questions(&spec, 2, 0.5);
+        assert!(!qs.is_empty());
+        let (m, report) = measure_with_report(&bed, &Algo::Kcr(KcrOptions::default()), &qs);
+        assert_eq!(report.queries, m.n);
+        assert_eq!(report.algorithm, "KcRBased");
+        // The report unifies all three layers around the KcR query:
+        // buffer pool, tree traversal and solver counters.
+        assert!(report.counter("kcr.pool.physical_reads") > 0);
+        assert!(report.counter("kcr.node_visits") > 0);
+        assert!(report.counter("core.candidates") > 0);
+        assert_eq!(report.phases.len(), 3);
+        // Back-to-back batches are isolated by the snapshot delta: the
+        // SetR batch does not inherit the KcR batch's counts.
+        let (_, setr_report) = measure_with_report(&bed, &Algo::Bs, &qs);
+        assert_eq!(setr_report.counter("kcr.node_visits"), 0);
+        assert!(setr_report.counter("setr.node_visits") > 0);
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! Pretty-printed / CSV result tables, one per figure.
 
 use crate::runner::Measurement;
+use wnsk_obs::{JsonValue, QueryReport};
 
 /// A result table: one row per x-axis value, one measurement per series
-/// (algorithm).
-#[derive(Debug, serde::Serialize)]
+/// (algorithm). Rows pushed with [`Table::push_row_reported`] also carry
+/// the per-batch [`QueryReport`]s, which [`Table::metrics_json`] renders
+/// for the experiment driver's `<slug>.metrics.json` output.
+#[derive(Debug)]
 pub struct Table {
     /// E.g. `"Fig. 4 — varying k0"`.
     pub title: String,
@@ -14,6 +17,10 @@ pub struct Table {
     pub series: Vec<String>,
     /// `(x value, measurements aligned with `series`)`.
     pub rows: Vec<(String, Vec<Measurement>)>,
+    /// `(x value, reports aligned with `series`)` for rows that carried
+    /// reports; may be shorter than `rows` when some rows are
+    /// measurement-only.
+    pub reports: Vec<(String, Vec<QueryReport>)>,
     /// Whether to print the penalty column (Fig. 12).
     pub show_penalty: bool,
 }
@@ -26,6 +33,7 @@ impl Table {
             x_label: x_label.into(),
             series,
             rows: Vec::new(),
+            reports: Vec::new(),
             show_penalty: false,
         }
     }
@@ -37,6 +45,53 @@ impl Table {
     pub fn push_row(&mut self, x: impl Into<String>, ms: Vec<Measurement>) {
         assert_eq!(ms.len(), self.series.len(), "row arity mismatch");
         self.rows.push((x.into(), ms));
+    }
+
+    /// Appends a row that also carries the per-series query reports.
+    ///
+    /// # Panics
+    /// Panics when the pair count does not match the series.
+    pub fn push_row_reported(
+        &mut self,
+        x: impl Into<String>,
+        pairs: Vec<(Measurement, QueryReport)>,
+    ) {
+        assert_eq!(pairs.len(), self.series.len(), "row arity mismatch");
+        let x = x.into();
+        let (ms, reports): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+        self.rows.push((x.clone(), ms));
+        self.reports.push((x, reports));
+    }
+
+    /// JSON document with every row's per-series query reports, or
+    /// `None` when no row carried reports. Shape:
+    /// `{"title", "x_label", "rows": [{"x", "series": {name: report}}]}`.
+    pub fn metrics_json(&self) -> Option<String> {
+        if self.reports.is_empty() {
+            return None;
+        }
+        let rows = self
+            .reports
+            .iter()
+            .map(|(x, reports)| {
+                let series = self
+                    .series
+                    .iter()
+                    .zip(reports)
+                    .map(|(name, report)| (name.clone(), report.to_json()))
+                    .collect();
+                JsonValue::object(vec![
+                    ("x", x.as_str().into()),
+                    ("series", JsonValue::Object(series)),
+                ])
+            })
+            .collect();
+        let doc = JsonValue::object(vec![
+            ("title", self.title.as_str().into()),
+            ("x_label", self.x_label.as_str().into()),
+            ("rows", JsonValue::Array(rows)),
+        ]);
+        Some(doc.render())
     }
 
     /// Renders the table for the terminal.
@@ -142,6 +197,34 @@ mod tests {
     fn slug_is_filesystem_friendly() {
         let t = Table::new("Fig. 4 — varying k0 (EURO)", "k0", vec![]);
         assert_eq!(t.slug(), "fig_4_varying_k0_euro");
+    }
+
+    #[test]
+    fn reported_rows_feed_metrics_json() {
+        use std::time::Duration;
+        let mut t = Table::new("t", "x", vec!["A".into(), "B".into()]);
+        assert!(t.metrics_json().is_none());
+        let report = |algo: &str| {
+            let mut r = wnsk_obs::QueryReport::new(algo, Duration::from_millis(3));
+            r.push_phase("verification", Duration::from_millis(2));
+            r
+        };
+        t.push_row_reported("1", vec![(m(1.0, 1.0), report("A")), (m(2.0, 2.0), report("B"))]);
+        assert_eq!(t.rows.len(), 1);
+        let json = t.metrics_json().unwrap();
+        assert!(json.contains("\"x_label\":\"x\""));
+        assert!(json.contains("\"A\":{"));
+        assert!(json.contains("\"B\":{"));
+        assert!(json.contains("\"verification\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn reported_arity_checked() {
+        use std::time::Duration;
+        let mut t = Table::new("t", "x", vec!["A".into(), "B".into()]);
+        let r = wnsk_obs::QueryReport::new("A", Duration::ZERO);
+        t.push_row_reported("1", vec![(m(1.0, 1.0), r)]);
     }
 
     #[test]

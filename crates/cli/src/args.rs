@@ -3,13 +3,17 @@
 use std::collections::HashMap;
 use wnsk_geo::Point;
 
+/// Flags that take no value — their presence alone means "on".
+const BOOLEAN_FLAGS: &[&str] = &["metrics"];
+
 /// Parsed `--key value` pairs.
 pub struct ParsedArgs {
     values: HashMap<String, String>,
 }
 
 impl ParsedArgs {
-    /// Parses alternating `--key value` tokens.
+    /// Parses alternating `--key value` tokens. Boolean flags
+    /// (`--metrics`) stand alone and take no value.
     pub fn parse(args: &[String]) -> Result<Self, String> {
         let mut values = HashMap::new();
         let mut i = 0;
@@ -17,6 +21,13 @@ impl ParsedArgs {
             let key = args[i]
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?;
+            if BOOLEAN_FLAGS.contains(&key) {
+                if values.insert(key.to_string(), "true".into()).is_some() {
+                    return Err(format!("--{key} given twice"));
+                }
+                i += 1;
+                continue;
+            }
             let value = args
                 .get(i + 1)
                 .ok_or_else(|| format!("--{key} needs a value"))?;
@@ -26,6 +37,11 @@ impl ParsedArgs {
             i += 2;
         }
         Ok(ParsedArgs { values })
+    }
+
+    /// Whether a boolean flag (e.g. `--metrics`) was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.values.contains_key(key)
     }
 
     /// A required string flag.
@@ -108,6 +124,17 @@ mod tests {
         assert_eq!(a.list("keywords").unwrap(), vec!["a", "b", "c"]);
         let bad = parse(&["--at", "0.5"]).unwrap();
         assert!(bad.point("at").is_err());
+    }
+
+    #[test]
+    fn boolean_flags_stand_alone() {
+        let a = parse(&["--metrics", "--k", "5"]).unwrap();
+        assert!(a.flag("metrics"));
+        assert!(!a.flag("verbose"));
+        assert_eq!(a.required("k").unwrap(), "5");
+        assert!(parse(&["--metrics", "--metrics"]).is_err());
+        // Value-taking flags still require their value.
+        assert!(parse(&["--k"]).is_err());
     }
 
     #[test]

@@ -10,7 +10,8 @@ use wnsk_core::{
 };
 use wnsk_data::{io as dataio, DatasetSpec};
 use wnsk_index::{Dataset, KcrTree, ObjectId, SetRTree, SpatialKeywordQuery};
-use wnsk_storage::{BufferPool, FileBackend};
+use wnsk_obs::{QueryReport, Registry, Snapshot};
+use wnsk_storage::{BufferPool, BufferPoolConfig, FileBackend};
 use wnsk_text::{KeywordSet, Vocabulary};
 
 /// `wnsk generate` — write a synthetic dataset file.
@@ -69,6 +70,41 @@ fn open_pool(path: &str, create: bool) -> Result<Arc<BufferPool>, String> {
     }
     .map_err(|e| format!("{path}: {e}"))?;
     Ok(Arc::new(BufferPool::with_default_config(Arc::new(backend))))
+}
+
+/// Like [`open_pool`], but the pool's I/O counters are published into
+/// `registry` under `prefix` so they land in the `--metrics` report.
+fn open_pool_registered(
+    path: &str,
+    registry: &Registry,
+    prefix: &str,
+) -> Result<Arc<BufferPool>, String> {
+    let backend =
+        FileBackend::open(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    Ok(Arc::new(BufferPool::new_registered(
+        Arc::new(backend),
+        BufferPoolConfig::default(),
+        registry,
+        prefix,
+    )))
+}
+
+/// Everything that moved in `registry` since `before`, rendered as a
+/// [`QueryReport`] with the given phase timings.
+fn render_metrics(
+    registry: &Registry,
+    before: &Snapshot,
+    algorithm: &str,
+    wall: std::time::Duration,
+    phases: &[(&str, std::time::Duration)],
+) -> String {
+    let delta = registry.snapshot().since(before);
+    let mut report = QueryReport::new(algorithm, wall);
+    for (name, elapsed) in phases {
+        report.push_phase(*name, *elapsed);
+    }
+    report.absorb(&delta);
+    report.render()
 }
 
 /// `wnsk build` — bulk-load both index files.
@@ -139,8 +175,11 @@ fn render(doc: &KeywordSet, vocab: &Vocabulary) -> String {
 pub fn topk(args: &ParsedArgs) -> Result<String, String> {
     let (ds, vocab) = load_dataset(args)?;
     let query = parse_query(args, &vocab)?;
-    let tree = SetRTree::open(open_pool(args.required("setr")?, false)?)
-        .map_err(|e| format!("opening SetR-tree: {e}"))?;
+    let registry = Registry::new();
+    let mut tree =
+        SetRTree::open(open_pool_registered(args.required("setr")?, &registry, "setr.pool.")?)
+            .map_err(|e| format!("opening SetR-tree: {e}"))?;
+    tree.register_metrics(&registry, "setr.");
     if tree.len() != ds.len() as u64 {
         return Err(format!(
             "index covers {} objects but the dataset has {} — rebuild with `wnsk build`",
@@ -148,7 +187,10 @@ pub fn topk(args: &ParsedArgs) -> Result<String, String> {
             ds.len()
         ));
     }
+    let before = registry.snapshot();
+    let started = std::time::Instant::now();
     let result = tree.top_k(&query).map_err(|e| e.to_string())?;
+    let wall = started.elapsed();
     let mut out = String::new();
     for (i, (id, score)) in result.iter().enumerate() {
         let o = ds.object(*id);
@@ -166,6 +208,9 @@ pub fn topk(args: &ParsedArgs) -> Result<String, String> {
     }
     let stats = tree.pool().stats();
     writeln!(out, "({} physical page reads)", stats.physical_reads).unwrap();
+    if args.flag("metrics") {
+        out.push_str(&render_metrics(&registry, &before, "topk", wall, &[]));
+    }
     Ok(out)
 }
 
@@ -191,29 +236,49 @@ pub fn whynot(args: &ParsedArgs) -> Result<String, String> {
 
     let algo = args.optional("algo").unwrap_or("kcr");
     let approx: usize = args.parse_or("approx", 0)?;
-    let answer: WhyNotAnswer = match (algo, approx) {
+    let registry = Registry::new();
+    let (answer, before): (WhyNotAnswer, Snapshot) = match (algo, approx) {
         ("bs", 0) => {
-            let tree = SetRTree::open(open_pool(args.required("setr")?, false)?)
-                .map_err(|e| e.to_string())?;
-            answer_basic(&ds, &tree, &question).map_err(|e| e.to_string())?
+            let mut tree = SetRTree::open(open_pool_registered(
+                args.required("setr")?,
+                &registry,
+                "setr.pool.",
+            )?)
+            .map_err(|e| e.to_string())?;
+            tree.register_metrics(&registry, "setr.");
+            let before = registry.snapshot();
+            let a = answer_basic(&ds, &tree, &question).map_err(|e| e.to_string())?;
+            (a, before)
         }
         ("advanced", 0) => {
-            let tree = SetRTree::open(open_pool(args.required("setr")?, false)?)
+            let mut tree = SetRTree::open(open_pool_registered(
+                args.required("setr")?,
+                &registry,
+                "setr.pool.",
+            )?)
+            .map_err(|e| e.to_string())?;
+            tree.register_metrics(&registry, "setr.");
+            let before = registry.snapshot();
+            let a = answer_advanced(&ds, &tree, &question, AdvancedOptions::default())
                 .map_err(|e| e.to_string())?;
-            answer_advanced(&ds, &tree, &question, AdvancedOptions::default())
-                .map_err(|e| e.to_string())?
-        }
-        ("kcr", 0) => {
-            let tree = KcrTree::open(open_pool(args.required("kcr")?, false)?)
-                .map_err(|e| e.to_string())?;
-            answer_kcr(&ds, &tree, &question, KcrOptions::default())
-                .map_err(|e| e.to_string())?
+            (a, before)
         }
         ("kcr", t) => {
-            let tree = KcrTree::open(open_pool(args.required("kcr")?, false)?)
-                .map_err(|e| e.to_string())?;
-            answer_approx_kcr(&ds, &tree, &question, KcrOptions::default(), t)
-                .map_err(|e| e.to_string())?
+            let mut tree = KcrTree::open(open_pool_registered(
+                args.required("kcr")?,
+                &registry,
+                "kcr.pool.",
+            )?)
+            .map_err(|e| e.to_string())?;
+            tree.register_metrics(&registry, "kcr.");
+            let before = registry.snapshot();
+            let a = if t == 0 {
+                answer_kcr(&ds, &tree, &question, KcrOptions::default())
+            } else {
+                answer_approx_kcr(&ds, &tree, &question, KcrOptions::default(), t)
+            }
+            .map_err(|e| e.to_string())?;
+            (a, before)
         }
         (other, t) if t > 0 => {
             return Err(format!("--approx is only supported with --algo kcr, not '{other}'"))
@@ -249,6 +314,22 @@ pub fn whynot(args: &ParsedArgs) -> Result<String, String> {
         answer.stats.io
     )
     .unwrap();
+    if args.flag("metrics") {
+        let label = match (algo, approx) {
+            ("bs", _) => "BS",
+            ("advanced", _) => "AdvancedBS",
+            (_, 0) => "KcRBased",
+            _ => "ApproxKcR",
+        };
+        answer.stats.record_into(&registry);
+        out.push_str(&render_metrics(
+            &registry,
+            &before,
+            label,
+            answer.stats.wall,
+            &answer.stats.phases(),
+        ));
+    }
     Ok(out)
 }
 
@@ -343,6 +424,29 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("refined query"), "{out}");
+
+        // --metrics appends the unified report: phases, tree traversal
+        // counters and buffer-pool I/O from one registry.
+        let out = run(&[
+            "whynot", "--data", &data, "--setr", &setr, "--kcr", &kcr, "--at", "0.5,0.5",
+            "--keywords", &word, "--k", "5", "--missing", &last, "--algo", "kcr",
+            "--metrics",
+        ])
+        .unwrap();
+        assert!(out.contains("report (KcRBased"), "{out}");
+        assert!(out.contains("wall time"), "{out}");
+        assert!(out.contains("phase verification"), "{out}");
+        assert!(out.contains("kcr.node_visits"), "{out}");
+        assert!(out.contains("kcr.pool.physical_reads"), "{out}");
+
+        let out = run(&[
+            "topk", "--data", &data, "--setr", &setr, "--at", "0.5,0.5", "--keywords",
+            &word, "--k", "5", "--metrics",
+        ])
+        .unwrap();
+        assert!(out.contains("report (topk"), "{out}");
+        assert!(out.contains("setr.node_visits"), "{out}");
+        assert!(out.contains("setr.pool.logical_reads"), "{out}");
 
         for f in [&data, &setr, &kcr] {
             std::fs::remove_file(f).ok();

@@ -7,12 +7,16 @@
 //! wnsk stats    --data data.txt
 //! wnsk build    --data data.txt --setr setr.db --kcr kcr.db [--fanout 100]
 //! wnsk topk     --data data.txt --setr setr.db --at X,Y --keywords a,b
-//!               [--k 10] [--alpha 0.5]
+//!               [--k 10] [--alpha 0.5] [--metrics]
 //! wnsk whynot   --data data.txt --setr setr.db --kcr kcr.db --at X,Y
 //!               --keywords a,b --missing ID[,ID…]
 //!               [--k 10] [--alpha 0.5] [--lambda 0.5]
-//!               [--algo bs|advanced|kcr] [--approx T]
+//!               [--algo bs|advanced|kcr] [--approx T] [--metrics]
 //! ```
+//!
+//! `--metrics` appends the unified observability report: per-phase wall
+//! time, SetR/KcR node visits, Theorem 2/3 prune counts, and buffer-pool
+//! logical/physical reads, all drawn from one [`wnsk_obs::Registry`].
 //!
 //! Datasets are the plain-text format of [`wnsk_data::io`]; indexes are
 //! the file-backed page stores the library reads through its buffer pool.
@@ -31,9 +35,13 @@ commands:
   stats     --data FILE
   build     --data FILE --setr FILE --kcr FILE [--fanout N]
   topk      --data FILE --setr FILE --at X,Y --keywords a,b [--k N] [--alpha A]
+            [--metrics]
   whynot    --data FILE --setr FILE --kcr FILE --at X,Y --keywords a,b
             --missing ID[,ID...] [--k N] [--alpha A] [--lambda L]
-            [--algo bs|advanced|kcr] [--approx T]";
+            [--algo bs|advanced|kcr] [--approx T] [--metrics]
+
+--metrics appends the per-query observability report (phase wall times,
+node visits, prune counts, buffer-pool I/O).";
 
 /// Dispatches a full command line (without the program name) and returns
 /// the text to print.

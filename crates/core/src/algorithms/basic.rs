@@ -141,6 +141,8 @@ pub(crate) fn run(
     let initial_rank = crate::rank::rank_of_set(&mut scan, &initial_targets, None, true)?
         .rank()
         .expect("unbounded scan always completes");
+    drop(scan);
+    let phase_initial_rank = start.elapsed();
 
     let ctx = WhyNotContext::new(dataset, question, initial_rank)?;
     let enumerator = CandidateEnumerator::new(&ctx);
@@ -150,13 +152,16 @@ pub(crate) fn run(
     let stats = SharedStats::default();
 
     // Group candidates into edit-distance layers.
+    let enumeration_started = Instant::now();
     let layers: Vec<(usize, Vec<Candidate>)> = match source {
         CandidateSource::Full => (1..=enumerator.max_edit_distance())
             .map(|d| (d, enumerator.layer(d, opts.ordered_enumeration)))
             .collect(),
         CandidateSource::Sample(sample) => layer_sample(sample),
     };
+    let phase_enumeration = enumeration_started.elapsed();
 
+    let verification_started = Instant::now();
     'layers: for (d, layer) in layers {
         // Opt2 global termination: no deeper layer can beat the best.
         if opts.ordered_enumeration
@@ -205,6 +210,9 @@ pub(crate) fn run(
     let mut stats = stats.into_stats();
     stats.wall = start.elapsed();
     stats.io = tree.pool().stats().since(&io_before).physical_reads;
+    stats.phase_initial_rank = phase_initial_rank;
+    stats.phase_enumeration = phase_enumeration;
+    stats.phase_verification = verification_started.elapsed();
     Ok(WhyNotAnswer { refined, stats })
 }
 

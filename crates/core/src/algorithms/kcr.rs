@@ -98,6 +98,8 @@ pub(crate) fn run(
     let initial_rank = crate::rank::rank_of_set(&mut scan, &initial_targets, None, false)?
         .rank()
         .expect("unbounded scan always completes");
+    drop(scan);
+    let phase_initial_rank = start.elapsed();
 
     let ctx = WhyNotContext::new(dataset, question, initial_rank)?;
     let enumerator = CandidateEnumerator::new(&ctx);
@@ -106,13 +108,16 @@ pub(crate) fn run(
     let best = SharedBest::new(ctx.baseline());
     let stats = SharedStats::default();
 
+    let enumeration_started = Instant::now();
     let layers: Vec<(usize, Vec<Candidate>)> = match sample {
         None => (1..=enumerator.max_edit_distance())
             .map(|d| (d, enumerator.layer(d, true)))
             .collect(),
         Some(sample) => layer_sample(sample),
     };
+    let phase_enumeration = enumeration_started.elapsed();
 
+    let verification_started = Instant::now();
     for (d, layer) in layers {
         // Line 4: the next batch's keyword penalty alone disqualifies it.
         if ctx.penalty.keyword_penalty(d) >= best.penalty() {
@@ -169,6 +174,9 @@ pub(crate) fn run(
         candidates_total: stats.candidates_total.into_inner(),
         pruned_by_bound: stats.pruned_by_bound.into_inner(),
         nodes_expanded: stats.nodes_expanded.into_inner(),
+        phase_initial_rank,
+        phase_enumeration,
+        phase_verification: verification_started.elapsed(),
         ..AlgoStats::default()
     };
     Ok(WhyNotAnswer { refined, stats })
@@ -242,7 +250,8 @@ fn bound_and_prune(
         cand.rank_hi += hi as i64;
         cand.rank_lo += lo as i64;
     }
-    refresh_candidates(ctx, &mut cands, best, stats);
+    let traversal = tree.traversal();
+    refresh_candidates(ctx, &mut cands, best, stats, traversal);
     if !cands.iter().any(|c| c.active) {
         return Ok(());
     }
@@ -256,6 +265,8 @@ fn bound_and_prune(
     // Lines 8–32: traverse, tightening the frontier sums.
     while let Some(qn) = queue.pop_front() {
         if !cands.iter().any(|c| c.active) {
+            // Every candidate retired: nothing enqueued will be visited.
+            traversal.nodes_pruned.add(queue.len() as u64 + 1);
             return Ok(());
         }
         let node = tree.read_node(qn.node).map_err(crate::WhyNotError::Storage)?;
@@ -285,6 +296,11 @@ fn bound_and_prune(
                         .any(|(c, &(hi, lo))| c.active && hi != lo);
                     if loose {
                         child_nodes.push((e.child, contrib));
+                    } else {
+                        // The dominance bounds agree for every active
+                        // candidate: this subtree can never tighten the
+                        // frontier sums, so it is pruned unvisited.
+                        traversal.nodes_pruned.inc();
                     }
                 }
             }
@@ -324,7 +340,7 @@ fn bound_and_prune(
             cand.rank_lo += sums[i].1 - qn.contrib[i].1 as i64;
             debug_assert!(cand.rank_lo >= 1 && cand.rank_hi >= cand.rank_lo);
         }
-        refresh_candidates(ctx, &mut cands, best, stats);
+        refresh_candidates(ctx, &mut cands, best, stats, traversal);
 
         for (node, contrib) in child_nodes {
             queue.push_back(QueuedNode { node, contrib });
@@ -372,6 +388,7 @@ fn refresh_candidates(
     cands: &mut [CandState],
     best: &SharedBest,
     stats: &SharedStats,
+    traversal: &wnsk_index::TraversalStats,
 ) {
     for cand in cands.iter_mut() {
         if !cand.active {
@@ -394,14 +411,19 @@ fn refresh_candidates(
             });
         }
         if pn_lo > best.penalty() {
+            // Theorem 3: the MinDom-derived penalty lower bound already
+            // exceeds the best refined query.
             cand.active = false;
             stats.pruned_by_bound.fetch_add(1, Ordering::Relaxed);
+            traversal.prune_mindom.inc();
         } else if cand.rank_hi == cand.rank_lo {
             // Fully converged: the frontier sums can never change again
             // (every per-node contribution gap is zero), and the exact
             // penalty has just been offered to `best` — retire the
-            // candidate so deeper nodes stop paying for it.
+            // candidate so deeper nodes stop paying for it. Theorem 2's
+            // MaxDom bound closed the gap without object-level access.
             cand.active = false;
+            traversal.prune_maxdom.inc();
         }
     }
 }

@@ -4,20 +4,27 @@ use crate::algorithms::{
     answer_advanced, answer_approx_kcr, answer_basic, answer_kcr, AdvancedOptions, KcrOptions,
 };
 use crate::error::Result;
-use crate::question::{WhyNotAnswer, WhyNotQuestion};
+use crate::question::{AlgoStats, WhyNotAnswer, WhyNotQuestion};
 use std::sync::Arc;
 use wnsk_index::{Dataset, KcrTree, ObjectId, SetRTree, SpatialKeywordQuery};
+use wnsk_obs::{QueryReport, Registry, Snapshot};
 use wnsk_storage::{BufferPool, BufferPoolConfig, MemBackend};
 use wnsk_text::Vocabulary;
 
 /// A ready-to-query why-not engine: dataset + SetR-tree + KcR-tree, each
 /// on its own simulated disk with the paper's defaults (4 KiB pages,
 /// 4 MiB buffer, fanout 100).
+///
+/// Every component publishes its counters into one shared metrics
+/// [`Registry`] (buffer pools under `setr.pool.` / `kcr.pool.`, tree
+/// traversals under `setr.` / `kcr.`), so a [`WhyNotEngine::report`]
+/// built around any `answer_*` call shows the whole stack's activity.
 pub struct WhyNotEngine {
     dataset: Dataset,
     setr: SetRTree,
     kcr: KcrTree,
     vocabulary: Option<Vocabulary>,
+    registry: Registry,
 }
 
 /// The paper's node capacity (§VII-A1).
@@ -35,15 +42,29 @@ impl WhyNotEngine {
         fanout: usize,
         pool_config: BufferPoolConfig,
     ) -> Result<Self> {
-        let setr_pool = Arc::new(BufferPool::new(Arc::new(MemBackend::new()), pool_config));
-        let kcr_pool = Arc::new(BufferPool::new(Arc::new(MemBackend::new()), pool_config));
-        let setr = SetRTree::build(setr_pool, &dataset, fanout)?;
-        let kcr = KcrTree::build(kcr_pool, &dataset, fanout)?;
+        let registry = Registry::new();
+        let setr_pool = Arc::new(BufferPool::new_registered(
+            Arc::new(MemBackend::new()),
+            pool_config,
+            &registry,
+            "setr.pool.",
+        ));
+        let kcr_pool = Arc::new(BufferPool::new_registered(
+            Arc::new(MemBackend::new()),
+            pool_config,
+            &registry,
+            "kcr.pool.",
+        ));
+        let mut setr = SetRTree::build(setr_pool, &dataset, fanout)?;
+        setr.register_metrics(&registry, "setr.");
+        let mut kcr = KcrTree::build(kcr_pool, &dataset, fanout)?;
+        kcr.register_metrics(&registry, "kcr.");
         Ok(WhyNotEngine {
             dataset,
             setr,
             kcr,
             vocabulary: None,
+            registry,
         })
     }
 
@@ -72,6 +93,59 @@ impl WhyNotEngine {
     /// The attached vocabulary, if any.
     pub fn vocabulary(&self) -> Option<&Vocabulary> {
         self.vocabulary.as_ref()
+    }
+
+    /// The unified metrics registry every component reports into.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Captures the current value of every metric — take one before a
+    /// query and pass it to [`WhyNotEngine::report`] afterwards.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// Builds the unified per-query report: the answer's solver stats
+    /// (phase timings, candidate/prune counters) are mirrored into the
+    /// registry, then everything that moved since `before` — buffer-pool
+    /// I/O, tree node visits, Theorem 2/3 prune events, solver counters —
+    /// is folded into one [`QueryReport`].
+    ///
+    /// ```
+    /// # use wnsk_core::*;
+    /// # use wnsk_index::{Dataset, SpatialObject, ObjectId};
+    /// # use wnsk_geo::{Point, WorldBounds};
+    /// # use wnsk_text::KeywordSet;
+    /// # let objects = (0..30).map(|i| SpatialObject {
+    /// #     id: ObjectId(0),
+    /// #     loc: Point::new((i as f64 * 7.0 % 29.0) / 29.0, (i as f64 * 11.0 % 31.0) / 31.0),
+    /// #     doc: KeywordSet::from_ids([i as u32 % 5, 5 + i as u32 % 3]),
+    /// # }).collect();
+    /// # let dataset = Dataset::new(objects, WorldBounds::unit());
+    /// let engine = WhyNotEngine::build_with(
+    ///     dataset, 4, wnsk_storage::BufferPoolConfig::default())?;
+    /// # let query = wnsk_index::SpatialKeywordQuery::new(
+    /// #     Point::new(0.1, 0.1), KeywordSet::from_ids([0, 5]), 3, 0.5);
+    /// # let missing = vec![engine.top_k(&query)?.last().unwrap().0];
+    /// # let question = WhyNotQuestion::new(
+    /// #     wnsk_index::SpatialKeywordQuery { k: 2, ..query }, missing, 0.5);
+    /// let before = engine.snapshot();
+    /// let answer = engine.answer(&question)?;
+    /// let report = engine.report("KcRBased", &answer.stats, &before);
+    /// assert!(report.counter("kcr.node_visits") > 0);
+    /// println!("{}", report.render());
+    /// # Ok::<(), WhyNotError>(())
+    /// ```
+    pub fn report(&self, algorithm: &str, stats: &AlgoStats, before: &Snapshot) -> QueryReport {
+        stats.record_into(&self.registry);
+        let delta = self.registry.snapshot().since(before);
+        let mut report = QueryReport::new(algorithm, stats.wall);
+        for (name, elapsed) in stats.phases() {
+            report.push_phase(name, elapsed);
+        }
+        report.absorb(&delta);
+        report
     }
 
     /// Runs a plain spatial keyword top-k query.

@@ -225,6 +225,51 @@ pub struct AlgoStats {
     pub queries_run: u64,
     /// KcR-tree nodes expanded by the bound-and-prune traversal.
     pub nodes_expanded: u64,
+    /// Wall time of the initial-rank phase (finding `R(M, q₀)`).
+    pub phase_initial_rank: Duration,
+    /// Wall time spent enumerating candidate keyword sets.
+    pub phase_enumeration: Duration,
+    /// Wall time verifying candidates against the index (rank queries
+    /// for BS/AdvancedBS, the bound-and-prune traversal for KcRBased).
+    pub phase_verification: Duration,
+}
+
+impl AlgoStats {
+    /// The per-phase wall times in execution order, named with the
+    /// labels used by [`wnsk_obs::QueryReport`] phases.
+    pub fn phases(&self) -> [(&'static str, Duration); 3] {
+        [
+            ("initial_rank", self.phase_initial_rank),
+            ("enumeration", self.phase_enumeration),
+            ("verification", self.phase_verification),
+        ]
+    }
+
+    /// Mirrors the counters and phase timers into a shared metrics
+    /// `registry` under the canonical `core.*` names, so a registry
+    /// delta taken around an `answer_*` call contains solver-level
+    /// metrics alongside buffer-pool and tree-traversal counters.
+    pub fn record_into(&self, registry: &wnsk_obs::Registry) {
+        use wnsk_obs::names;
+        for (name, value) in [
+            (names::CORE_CANDIDATES, self.candidates_total),
+            (names::CORE_PRUNED_FILTER, self.pruned_by_filter),
+            (names::CORE_PRUNED_BOUND, self.pruned_by_bound),
+            (names::CORE_QUERIES_RUN, self.queries_run),
+            (names::CORE_NODES_EXPANDED, self.nodes_expanded),
+        ] {
+            registry.counter(name).add(value);
+        }
+        for (name, elapsed) in [
+            (names::PHASE_INITIAL_RANK, self.phase_initial_rank),
+            (names::PHASE_ENUMERATION, self.phase_enumeration),
+            (names::PHASE_VERIFICATION, self.phase_verification),
+        ] {
+            if elapsed > Duration::ZERO {
+                registry.timer(name).record(elapsed);
+            }
+        }
+    }
 }
 
 /// The result of a why-not algorithm: the best refined query plus stats.

@@ -21,8 +21,10 @@ pub use node::{KcrEntry, KcrInternalEntry, KcrLeafEntry, KcrNode};
 pub use search::KcrTopKSearch;
 
 use crate::payload;
+use crate::stats::TraversalStats;
 use std::sync::Arc;
 use wnsk_geo::{Rect, WorldBounds};
+use wnsk_obs::Registry;
 use wnsk_storage::{BlobRef, BlobStore, BufferPool, Result};
 use wnsk_text::{KeywordCountMap, KeywordSet};
 
@@ -58,6 +60,7 @@ pub struct KcrTree {
     pool: Arc<BufferPool>,
     blobs: BlobStore,
     meta: Meta,
+    stats: TraversalStats,
 }
 
 impl KcrTree {
@@ -73,18 +76,35 @@ impl KcrTree {
     /// Opens a previously built tree.
     pub fn open(pool: Arc<BufferPool>) -> Result<Self> {
         let meta = build::read_meta(&pool)?;
-        let blobs = BlobStore::new(Arc::clone(&pool));
-        Ok(KcrTree { pool, blobs, meta })
+        Ok(Self::from_parts(pool, meta))
     }
 
     pub(crate) fn from_parts(pool: Arc<BufferPool>, meta: Meta) -> Self {
         let blobs = BlobStore::new(Arc::clone(&pool));
-        KcrTree { pool, blobs, meta }
+        KcrTree {
+            pool,
+            blobs,
+            meta,
+            stats: TraversalStats::detached(),
+        }
     }
 
     /// The buffer pool (I/O metering lives here).
     pub fn pool(&self) -> &Arc<BufferPool> {
         &self.pool
+    }
+
+    /// Traversal counters: node visits, pruned subtrees, and the
+    /// Theorem 2/3 `MaxDom`/`MinDom` prune events recorded by the
+    /// bound-and-prune driver.
+    pub fn traversal(&self) -> &TraversalStats {
+        &self.stats
+    }
+
+    /// Publishes the traversal counters into `registry` under `prefix`
+    /// (e.g. `"kcr."`), including the dominance-bound counters.
+    pub fn register_metrics(&mut self, registry: &Registry, prefix: &str) {
+        self.stats.register(registry, prefix, true);
     }
 
     /// World bounds the tree was built with.
@@ -122,8 +142,10 @@ impl KcrTree {
         })
     }
 
-    /// Reads and decodes a node.
+    /// Reads and decodes a node (every traversal path funnels through
+    /// here, so this is also where node visits are counted).
     pub fn read_node(&self, node: BlobRef) -> Result<KcrNode> {
+        self.stats.node_visits.inc();
         let bytes = self.blobs.read(node)?;
         KcrNode::decode(&bytes)
     }

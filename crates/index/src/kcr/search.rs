@@ -62,6 +62,22 @@ pub struct KcrTopKSearch<'a> {
     primed: bool,
 }
 
+impl Drop for KcrTopKSearch<'_> {
+    fn drop(&mut self) {
+        // Subtrees still enqueued when the scan stops were pruned by the
+        // keyword-count score bound: the caller terminated before their
+        // bound reached the front of the queue.
+        let pruned = self
+            .heap
+            .iter()
+            .filter(|e| matches!(e.item, Item::Node(_)))
+            .count();
+        if pruned > 0 {
+            self.tree.traversal().nodes_pruned.add(pruned as u64);
+        }
+    }
+}
+
 impl<'a> KcrTopKSearch<'a> {
     /// Starts a scan for `query`.
     pub fn new(tree: &'a KcrTree, query: SpatialKeywordQuery) -> Self {

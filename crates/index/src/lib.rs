@@ -26,6 +26,7 @@ pub mod model;
 pub mod payload;
 pub mod query;
 pub mod setr;
+pub mod stats;
 pub mod str_pack;
 mod stream;
 mod util;
@@ -34,5 +35,6 @@ pub use kcr::{KcrEntry, KcrNode, KcrTree, NodeSummary};
 pub use model::{Dataset, ObjectId, SpatialObject};
 pub use query::{st_score, tsim_node_upper, SpatialKeywordQuery};
 pub use setr::{RankMode, RankOutcome, SetRTree, TopKSearch};
+pub use stats::TraversalStats;
 pub use stream::ObjectStream;
 pub use util::OrdF64;

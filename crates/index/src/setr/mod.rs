@@ -15,8 +15,10 @@ pub use search::{RankMode, RankOutcome, TopKSearch};
 
 use crate::model::Dataset;
 use crate::payload;
+use crate::stats::TraversalStats;
 use std::sync::Arc;
 use wnsk_geo::WorldBounds;
+use wnsk_obs::Registry;
 use wnsk_storage::{BlobRef, BlobStore, BufferPool, Result};
 use wnsk_text::KeywordSet;
 
@@ -41,6 +43,7 @@ pub struct SetRTree {
     pool: Arc<BufferPool>,
     blobs: BlobStore,
     meta: Meta,
+    stats: TraversalStats,
 }
 
 impl SetRTree {
@@ -53,18 +56,34 @@ impl SetRTree {
     /// Opens a previously built tree from its storage.
     pub fn open(pool: Arc<BufferPool>) -> Result<Self> {
         let meta = build::read_meta(&pool)?;
-        let blobs = BlobStore::new(Arc::clone(&pool));
-        Ok(SetRTree { pool, blobs, meta })
+        Ok(Self::from_parts(pool, meta))
     }
 
     pub(crate) fn from_parts(pool: Arc<BufferPool>, meta: Meta) -> Self {
         let blobs = BlobStore::new(Arc::clone(&pool));
-        SetRTree { pool, blobs, meta }
+        SetRTree {
+            pool,
+            blobs,
+            meta,
+            stats: TraversalStats::detached(),
+        }
     }
 
     /// The buffer pool (I/O metering lives here).
     pub fn pool(&self) -> &Arc<BufferPool> {
         &self.pool
+    }
+
+    /// Traversal counters (node visits, pruned subtrees).
+    pub fn traversal(&self) -> &TraversalStats {
+        &self.stats
+    }
+
+    /// Publishes the traversal counters into `registry` under `prefix`
+    /// (e.g. `"setr."`). The SetR-tree has no dominance bounds, so only
+    /// `node_visits` / `nodes_pruned` are registered.
+    pub fn register_metrics(&mut self, registry: &Registry, prefix: &str) {
+        self.stats.register(registry, prefix, false);
     }
 
     /// World bounds the tree was built with.
@@ -92,8 +111,10 @@ impl SetRTree {
         self.meta.root
     }
 
-    /// Reads and decodes a node.
+    /// Reads and decodes a node (every traversal path funnels through
+    /// here, so this is also where node visits are counted).
     pub(crate) fn read_node(&self, node: BlobRef) -> Result<SetrNode> {
+        self.stats.node_visits.inc();
         let bytes = self.blobs.read(node)?;
         SetrNode::decode(&bytes)
     }

@@ -67,6 +67,22 @@ pub struct TopKSearch<'a> {
     primed: bool,
 }
 
+impl Drop for TopKSearch<'_> {
+    fn drop(&mut self) {
+        // Subtrees still enqueued when the scan stops were never
+        // descended into: the Theorem 1 bound (via score ordering plus
+        // the caller's early termination) pruned them.
+        let pruned = self
+            .heap
+            .iter()
+            .filter(|e| matches!(e.item, Item::Node(_)))
+            .count();
+        if pruned > 0 {
+            self.tree.traversal().nodes_pruned.add(pruned as u64);
+        }
+    }
+}
+
 impl<'a> TopKSearch<'a> {
     /// Starts a scan for `query` over `tree`.
     pub fn new(tree: &'a SetRTree, query: SpatialKeywordQuery) -> Self {

@@ -1,0 +1,95 @@
+//! Traversal-level observability shared by both trees.
+
+use wnsk_obs::{names, Counter, Registry};
+
+/// Counters describing what a tree traversal did: nodes actually read
+/// and decoded, subtrees skipped thanks to score bounds, and — for the
+/// KcR-tree — candidates retired by the Theorem 2/3 dominance bounds.
+///
+/// Every tree owns a `TraversalStats`; it starts detached (counting into
+/// private counters) and can be published into a shared
+/// [`Registry`] with [`TraversalStats::register`], after which the same
+/// counters show up in unified query reports.
+#[derive(Clone, Debug, Default)]
+pub struct TraversalStats {
+    /// Nodes read and decoded during search or bound-and-prune.
+    pub node_visits: Counter,
+    /// Subtrees that were enqueued (or enumerated) but never descended
+    /// into because a bound proved them useless.
+    pub nodes_pruned: Counter,
+    /// Candidates retired because `MaxDom` converged with `MinDom`
+    /// (Theorem 2 made the dominator count exact without object access).
+    pub prune_maxdom: Counter,
+    /// Candidates deactivated because the `MinDom` penalty lower bound
+    /// already exceeded the best refined query (Theorem 3).
+    pub prune_mindom: Counter,
+}
+
+impl TraversalStats {
+    /// Fresh zeroed counters not attached to any registry.
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    /// Publishes the counters under `prefix` (e.g. `"kcr."` yields
+    /// `kcr.node_visits` …). `dom_bounds` controls whether the
+    /// Theorem 2/3 counters are published too — the SetR-tree has no
+    /// dominance bounds, so registering them would only add permanent
+    /// zero rows to every report.
+    ///
+    /// If a name already exists in the registry, this stats object
+    /// adopts the existing counter (see
+    /// [`Registry::register_counter`]).
+    pub fn register(&mut self, registry: &Registry, prefix: &str, dom_bounds: bool) {
+        self.node_visits = registry.register_counter(
+            &format!("{prefix}{}", names::NODE_VISITS),
+            self.node_visits.clone(),
+        );
+        self.nodes_pruned = registry.register_counter(
+            &format!("{prefix}{}", names::NODES_PRUNED),
+            self.nodes_pruned.clone(),
+        );
+        if dom_bounds {
+            self.prune_maxdom = registry.register_counter(
+                &format!("{prefix}{}", names::PRUNE_MAXDOM),
+                self.prune_maxdom.clone(),
+            );
+            self.prune_mindom = registry.register_counter(
+                &format!("{prefix}{}", names::PRUNE_MINDOM),
+                self.prune_mindom.clone(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_publishes_selected_counters() {
+        let registry = Registry::new();
+        let mut setr = TraversalStats::detached();
+        setr.register(&registry, "setr.", false);
+        let mut kcr = TraversalStats::detached();
+        kcr.register(&registry, "kcr.", true);
+
+        setr.node_visits.add(3);
+        kcr.prune_mindom.inc();
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("setr.node_visits"), 3);
+        assert_eq!(snap.counter("kcr.prune.mindom"), 1);
+        assert!(!snap.counters.contains_key("setr.prune.mindom"));
+        assert!(snap.counters.contains_key("kcr.prune.maxdom"));
+    }
+
+    #[test]
+    fn detached_counters_still_count() {
+        let stats = TraversalStats::detached();
+        stats.node_visits.inc();
+        stats.nodes_pruned.add(2);
+        assert_eq!(stats.node_visits.get(), 1);
+        assert_eq!(stats.nodes_pruned.get(), 2);
+    }
+}

@@ -1,0 +1,176 @@
+//! A minimal JSON value with a renderer — enough for metric reports,
+//! written by hand because this workspace builds without crates.io
+//! access (no serde).
+
+use std::fmt;
+
+/// A JSON value. Objects preserve insertion order (reports read better
+/// when phases stay in execution order).
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any finite number; non-finite floats render as `null`.
+    Number(f64),
+    /// A string (escaped on render).
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object with ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor for objects from `(&str, value)` pairs.
+    pub fn object(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        )
+    }
+
+    /// Renders to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => {
+                if n.is_finite() {
+                    if n.fract() == 0.0 && n.abs() < 9e15 {
+                        out.push_str(&format!("{}", *n as i64));
+                    } else {
+                        out.push_str(&format!("{n}"));
+                    }
+                } else {
+                    // JSON has no NaN/Infinity.
+                    out.push_str("null");
+                }
+            }
+            JsonValue::String(s) => write_escaped(s, out),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::Number(v as f64)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::Number(v as f64)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Number(v)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::String(v.to_owned())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::String(v)
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(JsonValue::Null.render(), "null");
+        assert_eq!(JsonValue::Bool(true).render(), "true");
+        assert_eq!(JsonValue::from(42u64).render(), "42");
+        assert_eq!(JsonValue::from(1.5).render(), "1.5");
+        assert_eq!(JsonValue::from(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::from(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(
+            JsonValue::from("a\"b\\c\nd").render(),
+            r#""a\"b\\c\nd""#
+        );
+        assert_eq!(JsonValue::from("\u{1}").render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn renders_nested() {
+        let v = JsonValue::object(vec![
+            ("xs", JsonValue::Array(vec![1u64.into(), 2u64.into()])),
+            ("name", "trial".into()),
+        ]);
+        assert_eq!(v.render(), r#"{"xs":[1,2],"name":"trial"}"#);
+    }
+
+    #[test]
+    fn large_integers_stay_integral() {
+        assert_eq!(JsonValue::from(1_000_000u64).render(), "1000000");
+    }
+}

@@ -1,0 +1,82 @@
+//! `wnsk-obs` — the workspace's unified observability substrate.
+//!
+//! The paper's entire evaluation (§VII) is a story told in counters:
+//! number of I/Os, candidate sets examined, nodes pruned by the
+//! Theorem 2/3 bounds. This crate provides the measurement vocabulary
+//! every other crate shares:
+//!
+//! * [`Counter`] — a cheaply clonable atomic event counter.
+//! * [`Timer`] — histogram-ish duration accumulator (count / total /
+//!   max) with an RAII [`Span`] guard.
+//! * [`Registry`] — a get-or-create namespace of counters and timers;
+//!   [`Registry::snapshot`] captures every metric at once and
+//!   [`Snapshot::since`] produces deltas, so concurrent queries can be
+//!   metered without resetting anything.
+//! * [`QueryReport`] — the per-query (or per-experiment) summary the CLI
+//!   prints under `--metrics` and the bench runner writes as JSON.
+//!
+//! The crate is dependency-free by design: it sits below `wnsk-storage`
+//! in the crate graph, so everything — buffer pools, tree traversals,
+//! solvers, the bench harness — can register into one registry.
+//!
+//! ```
+//! use wnsk_obs::Registry;
+//! use std::time::Duration;
+//!
+//! let registry = Registry::new();
+//! let before = registry.snapshot();
+//!
+//! registry.counter("setr.node_visits").add(3);
+//! registry.timer("phase.verification").record(Duration::from_millis(2));
+//!
+//! let delta = registry.snapshot().since(&before);
+//! assert_eq!(delta.counter("setr.node_visits"), 3);
+//! assert_eq!(delta.timers["phase.verification"].count, 1);
+//! ```
+
+mod json;
+mod metric;
+mod registry;
+mod report;
+
+pub use json::JsonValue;
+pub use metric::{Counter, Span, Timer, TimerSnapshot};
+pub use registry::{Registry, Snapshot};
+pub use report::QueryReport;
+
+/// Canonical metric-name suffixes, shared by every crate so the same
+/// quantity always lands under the same registry key (`docs/METRICS.md`
+/// documents each one against the paper figure it reproduces).
+pub mod names {
+    /// Page reads served from cache or disk (buffer pool).
+    pub const LOGICAL_READS: &str = "logical_reads";
+    /// Page reads that went to the backend — the paper's "number of
+    /// I/Os" metric.
+    pub const PHYSICAL_READS: &str = "physical_reads";
+    /// Page writes to the backend.
+    pub const PHYSICAL_WRITES: &str = "physical_writes";
+    /// Index nodes read and decoded during traversal.
+    pub const NODE_VISITS: &str = "node_visits";
+    /// Subtrees never descended into thanks to score bounds.
+    pub const NODES_PRUNED: &str = "nodes_pruned";
+    /// Candidates retired because the MaxDom bound converged (Theorem 2).
+    pub const PRUNE_MAXDOM: &str = "prune.maxdom";
+    /// Candidates pruned by the MinDom penalty lower bound (Theorem 3).
+    pub const PRUNE_MINDOM: &str = "prune.mindom";
+    /// Solver phase: determining the missing set's initial rank.
+    pub const PHASE_INITIAL_RANK: &str = "core.phase.initial_rank";
+    /// Solver phase: enumerating candidate keyword sets.
+    pub const PHASE_ENUMERATION: &str = "core.phase.enumeration";
+    /// Solver phase: verifying candidates against the index.
+    pub const PHASE_VERIFICATION: &str = "core.phase.verification";
+    /// Candidate keyword sets generated.
+    pub const CORE_CANDIDATES: &str = "core.candidates";
+    /// Candidates discarded by the Opt3 dominator-cache filter.
+    pub const CORE_PRUNED_FILTER: &str = "core.pruned.filter";
+    /// Candidates never fully examined thanks to penalty bounds.
+    pub const CORE_PRUNED_BOUND: &str = "core.pruned.bound";
+    /// Spatial keyword queries actually executed.
+    pub const CORE_QUERIES_RUN: &str = "core.queries_run";
+    /// KcR-tree nodes expanded by bound-and-prune.
+    pub const CORE_NODES_EXPANDED: &str = "core.nodes_expanded";
+}

@@ -1,0 +1,203 @@
+//! The two metric primitives: [`Counter`] and [`Timer`] (+ its RAII
+//! [`Span`] guard).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonically increasing event counter.
+///
+/// Clones share the same underlying atomic, so a counter handed out by a
+/// [`crate::Registry`] can be stashed inside a tree or buffer pool and
+/// bumped on hot paths without going back through the registry map.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A fresh counter at zero, not attached to any registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        // Relaxed is enough: metrics are aggregated, never used for
+        // cross-thread synchronisation.
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A duration accumulator: number of recordings, total and maximum
+/// nanoseconds. Cheap enough to keep on query hot paths; rich enough to
+/// answer "how long did phase X take, and was any single run an outlier".
+#[derive(Clone, Debug, Default)]
+pub struct Timer {
+    inner: Arc<TimerInner>,
+}
+
+#[derive(Debug, Default)]
+struct TimerInner {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Timer {
+    /// A fresh timer, not attached to any registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one elapsed duration.
+    pub fn record(&self, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.inner.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Times a closure and records its duration.
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        let _span = self.span();
+        f()
+    }
+
+    /// Starts an RAII span; the elapsed time is recorded when the guard
+    /// drops.
+    pub fn span(&self) -> Span {
+        Span {
+            timer: self.clone(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Point-in-time view of the accumulated values.
+    pub fn snapshot(&self) -> TimerSnapshot {
+        TimerSnapshot {
+            count: self.inner.count.load(Ordering::Relaxed),
+            total_ns: self.inner.total_ns.load(Ordering::Relaxed),
+            max_ns: self.inner.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// RAII guard returned by [`Timer::span`]; records on drop.
+#[derive(Debug)]
+pub struct Span {
+    timer: Timer,
+    started: Instant,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.timer.record(self.started.elapsed());
+    }
+}
+
+/// Frozen view of a [`Timer`]'s accumulators.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TimerSnapshot {
+    /// Number of recorded spans.
+    pub count: u64,
+    /// Sum of all recorded durations, nanoseconds.
+    pub total_ns: u64,
+    /// Longest single recorded duration, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl TimerSnapshot {
+    /// Total recorded time as a [`Duration`].
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.total_ns)
+    }
+
+    /// Mean recorded duration (zero when nothing was recorded).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(self.total_ns / self.count)
+        }
+    }
+
+    /// Delta against an earlier snapshot of the same timer (`max_ns` is
+    /// carried over, not subtracted — a maximum has no meaningful delta).
+    pub fn since(&self, earlier: &TimerSnapshot) -> TimerSnapshot {
+        TimerSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            total_ns: self.total_ns.saturating_sub(earlier.total_ns),
+            max_ns: self.max_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_shares_state_across_clones() {
+        let a = Counter::new();
+        let b = a.clone();
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        assert_eq!(b.get(), 5);
+    }
+
+    #[test]
+    fn timer_records_spans() {
+        let t = Timer::new();
+        t.record(Duration::from_micros(10));
+        t.record(Duration::from_micros(30));
+        let s = t.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_ns, 40_000);
+        assert_eq!(s.max_ns, 30_000);
+        assert_eq!(s.mean(), Duration::from_micros(20));
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let t = Timer::new();
+        {
+            let _span = t.span();
+        }
+        assert_eq!(t.snapshot().count, 1);
+    }
+
+    #[test]
+    fn time_returns_closure_value() {
+        let t = Timer::new();
+        let v = t.time(|| 7);
+        assert_eq!(v, 7);
+        assert_eq!(t.snapshot().count, 1);
+    }
+
+    #[test]
+    fn timer_snapshot_delta() {
+        let t = Timer::new();
+        t.record(Duration::from_nanos(100));
+        let before = t.snapshot();
+        t.record(Duration::from_nanos(250));
+        let delta = t.snapshot().since(&before);
+        assert_eq!(delta.count, 1);
+        assert_eq!(delta.total_ns, 250);
+        assert_eq!(delta.max_ns, 250);
+    }
+}

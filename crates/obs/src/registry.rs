@@ -1,0 +1,280 @@
+//! The [`Registry`]: a shared namespace of named counters and timers,
+//! plus whole-registry [`Snapshot`]s with delta arithmetic.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::json::JsonValue;
+use crate::metric::{Counter, Timer, TimerSnapshot};
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    timers: Mutex<BTreeMap<String, Timer>>,
+}
+
+/// A get-or-create namespace of metrics. Clones share the same store, so
+/// one registry can be threaded through buffer pools, index trees, the
+/// solver layer and the bench harness, and a single [`Registry::snapshot`]
+/// sees everything.
+///
+/// Lookup takes a mutex, so callers on hot paths should fetch their
+/// [`Counter`]/[`Timer`] handle once and keep the clone; the handles
+/// themselves are lock-free.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it at zero
+    /// on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self
+            .inner
+            .counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Registers an externally created counter under `name`. If the name
+    /// is already taken the existing counter wins and is returned, so two
+    /// racing registrations still converge on one shared handle.
+    pub fn register_counter(&self, name: &str, counter: Counter) -> Counter {
+        let mut map = self
+            .inner
+            .counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        map.entry(name.to_owned()).or_insert(counter).clone()
+    }
+
+    /// Returns the timer registered under `name`, creating it on first
+    /// use.
+    pub fn timer(&self, name: &str) -> Timer {
+        let mut map = self
+            .inner
+            .timers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Captures every registered metric at one point in time.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let timers = self
+            .inner
+            .timers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        Snapshot { counters, timers }
+    }
+}
+
+/// A frozen view of a [`Registry`], suitable for delta arithmetic: take
+/// one snapshot before a query and one after, and [`Snapshot::since`]
+/// isolates exactly what that query did.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Timer accumulators by name.
+    pub timers: BTreeMap<String, TimerSnapshot>,
+}
+
+impl Snapshot {
+    /// Value of a counter, zero if it was never registered.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Total accumulated time of a timer, zero if never registered.
+    pub fn timer_total(&self, name: &str) -> std::time::Duration {
+        self.timers
+            .get(name)
+            .map(TimerSnapshot::total)
+            .unwrap_or_default()
+    }
+
+    /// Delta against an earlier snapshot. Metrics that appear only in
+    /// `self` (registered after `earlier` was taken) are kept at their
+    /// full value; metrics only in `earlier` are dropped.
+    pub fn since(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| {
+                let base = earlier.counters.get(k).copied().unwrap_or(0);
+                (k.clone(), v.saturating_sub(base))
+            })
+            .collect();
+        let timers = self
+            .timers
+            .iter()
+            .map(|(k, v)| {
+                let base = earlier.timers.get(k).copied().unwrap_or_default();
+                (k.clone(), v.since(&base))
+            })
+            .collect();
+        Snapshot { counters, timers }
+    }
+
+    /// JSON object: `{"counters": {...}, "timers": {name: {count,
+    /// total_ms, max_ms}}}`.
+    pub fn to_json(&self) -> JsonValue {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), JsonValue::from(*v)))
+            .collect();
+        let timers = self
+            .timers
+            .iter()
+            .map(|(k, v)| {
+                let obj = JsonValue::object(vec![
+                    ("count", JsonValue::from(v.count)),
+                    ("total_ms", JsonValue::from(v.total_ns as f64 / 1e6)),
+                    ("max_ms", JsonValue::from(v.max_ns as f64 / 1e6)),
+                ]);
+                (k.clone(), obj)
+            })
+            .collect();
+        JsonValue::Object(vec![
+            ("counters".to_owned(), JsonValue::Object(counters)),
+            ("timers".to_owned(), JsonValue::Object(timers)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn counter_is_get_or_create() {
+        let r = Registry::new();
+        r.counter("a").inc();
+        r.counter("a").add(2);
+        assert_eq!(r.snapshot().counter("a"), 3);
+        assert_eq!(r.snapshot().counter("missing"), 0);
+    }
+
+    #[test]
+    fn register_counter_keeps_existing() {
+        let r = Registry::new();
+        let first = r.counter("x");
+        first.inc();
+        let external = Counter::new();
+        external.add(100);
+        let resolved = r.register_counter("x", external);
+        // The pre-existing counter wins; the external one is discarded.
+        assert_eq!(resolved.get(), 1);
+        resolved.inc();
+        assert_eq!(first.get(), 2);
+    }
+
+    #[test]
+    fn register_counter_adopts_external_handle() {
+        let r = Registry::new();
+        let external = Counter::new();
+        let resolved = r.register_counter("y", external.clone());
+        external.add(7);
+        assert_eq!(resolved.get(), 7);
+        assert_eq!(r.snapshot().counter("y"), 7);
+    }
+
+    #[test]
+    fn snapshot_since_isolates_new_work() {
+        let r = Registry::new();
+        r.counter("io").add(10);
+        r.timer("phase").record(Duration::from_millis(1));
+        let before = r.snapshot();
+        r.counter("io").add(5);
+        r.counter("fresh").add(2);
+        r.timer("phase").record(Duration::from_millis(3));
+        let delta = r.snapshot().since(&before);
+        assert_eq!(delta.counter("io"), 5);
+        assert_eq!(delta.counter("fresh"), 2);
+        assert_eq!(delta.timers["phase"].count, 1);
+        assert_eq!(delta.timers["phase"].total_ns, 3_000_000);
+    }
+
+    #[test]
+    fn clones_share_the_store() {
+        let r = Registry::new();
+        let r2 = r.clone();
+        r.counter("shared").inc();
+        assert_eq!(r2.snapshot().counter("shared"), 1);
+    }
+
+    #[test]
+    fn concurrent_counting_loses_nothing() {
+        let r = Registry::new();
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let r = r.clone();
+                s.spawn(move || {
+                    // Hot-path idiom: fetch the handle once, then count
+                    // lock-free.
+                    let c = r.counter("hits");
+                    for _ in 0..per_thread {
+                        c.inc();
+                    }
+                    r.timer("work").record(Duration::from_nanos(100));
+                });
+            }
+        });
+        let s = r.snapshot();
+        assert_eq!(s.counter("hits"), threads * per_thread);
+        assert_eq!(s.timers["work"].count, threads);
+    }
+
+    #[test]
+    fn concurrent_registration_converges() {
+        let r = Registry::new();
+        let threads = 8;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let r = r.clone();
+                s.spawn(move || {
+                    // Every thread races to register its own counter under
+                    // the same name; all must end up on one shared handle.
+                    let own = Counter::new();
+                    let resolved = r.register_counter("raced", own);
+                    resolved.inc();
+                });
+            }
+        });
+        assert_eq!(r.snapshot().counter("raced"), threads);
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let r = Registry::new();
+        r.counter("io").add(3);
+        r.timer("t").record(Duration::from_millis(2));
+        let s = r.snapshot().to_json().render();
+        assert!(s.contains("\"io\":3"), "{s}");
+        assert!(s.contains("\"count\":1"), "{s}");
+    }
+}

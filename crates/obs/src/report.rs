@@ -1,0 +1,198 @@
+//! [`QueryReport`]: the human- and machine-readable summary of what one
+//! query (or one averaged experiment run) cost.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::json::JsonValue;
+use crate::registry::Snapshot;
+
+/// Everything observed while answering a query: wall time, per-phase
+/// breakdown, and every counter that moved in the registry delta.
+///
+/// The CLI prints [`QueryReport::render`] under `--metrics`; the bench
+/// runner serialises [`QueryReport::to_json`] next to its CSV output.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueryReport {
+    /// Algorithm that produced the answer (paper legend name).
+    pub algorithm: String,
+    /// Number of queries aggregated into this report (1 for the CLI,
+    /// the batch size for bench experiments).
+    pub queries: usize,
+    /// Total wall-clock time across all aggregated queries.
+    pub wall: Duration,
+    /// Ordered per-phase wall times (execution order preserved).
+    pub phases: Vec<(String, Duration)>,
+    /// Counter deltas attributed to this query batch.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl QueryReport {
+    /// Starts a report for `algorithm` with a known wall time.
+    pub fn new(algorithm: impl Into<String>, wall: Duration) -> Self {
+        QueryReport {
+            algorithm: algorithm.into(),
+            queries: 1,
+            wall,
+            phases: Vec::new(),
+            counters: BTreeMap::new(),
+        }
+    }
+
+    /// Appends a named phase (kept in insertion order).
+    pub fn push_phase(&mut self, name: impl Into<String>, elapsed: Duration) {
+        self.phases.push((name.into(), elapsed));
+    }
+
+    /// Folds a registry delta into the report: counters are added, and
+    /// timers whose name starts with `core.phase.` become phases (in
+    /// the registry's sorted order) unless a phase of that name already
+    /// exists.
+    pub fn absorb(&mut self, delta: &Snapshot) {
+        for (name, value) in &delta.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, timer) in &delta.timers {
+            if timer.count == 0 {
+                continue;
+            }
+            let label = match name.strip_prefix("core.phase.") {
+                Some(rest) => rest.to_owned(),
+                None => name.clone(),
+            };
+            if !self.phases.iter().any(|(p, _)| *p == label) {
+                self.phases.push((label, timer.total()));
+            }
+        }
+    }
+
+    /// Value of a counter in this report, zero if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Multi-line plain-text rendering, e.g.
+    ///
+    /// ```text
+    /// report (KcRBased, 1 query):
+    ///   wall time              12.34 ms
+    ///   phase initial_rank      1.20 ms
+    ///   phase verification     11.10 ms
+    ///   kcr.node_visits           123
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let plural = if self.queries == 1 { "query" } else { "queries" };
+        out.push_str(&format!(
+            "report ({}, {} {plural}):\n",
+            self.algorithm, self.queries
+        ));
+        let width = self
+            .phases
+            .iter()
+            .map(|(n, _)| n.len() + 6)
+            .chain(self.counters.keys().map(String::len))
+            .chain(std::iter::once("wall time".len()))
+            .max()
+            .unwrap_or(0);
+        out.push_str(&format!(
+            "  {:<width$}  {:>10.2} ms\n",
+            "wall time",
+            self.wall.as_secs_f64() * 1e3,
+        ));
+        for (name, elapsed) in &self.phases {
+            out.push_str(&format!(
+                "  {:<width$}  {:>10.2} ms\n",
+                format!("phase {name}"),
+                elapsed.as_secs_f64() * 1e3,
+            ));
+        }
+        for (name, value) in &self.counters {
+            out.push_str(&format!("  {name:<width$}  {value:>10}\n"));
+        }
+        out
+    }
+
+    /// JSON object mirroring [`QueryReport::render`]; durations are
+    /// reported in milliseconds.
+    pub fn to_json(&self) -> JsonValue {
+        let phases = self
+            .phases
+            .iter()
+            .map(|(n, d)| (n.clone(), JsonValue::from(d.as_secs_f64() * 1e3)))
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .map(|(n, v)| (n.clone(), JsonValue::from(*v)))
+            .collect();
+        JsonValue::object(vec![
+            ("algorithm", self.algorithm.as_str().into()),
+            ("queries", self.queries.into()),
+            ("wall_ms", (self.wall.as_secs_f64() * 1e3).into()),
+            ("phases", JsonValue::Object(phases)),
+            ("counters", JsonValue::Object(counters)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> QueryReport {
+        let registry = Registry::new();
+        registry.counter("kcr.node_visits").add(123);
+        registry.counter("kcr.pool.physical_reads").add(17);
+        registry
+            .timer("core.phase.verification")
+            .record(Duration::from_millis(11));
+        let mut report = QueryReport::new("KcRBased", Duration::from_millis(12));
+        report.push_phase("initial_rank", Duration::from_millis(1));
+        report.absorb(&registry.snapshot());
+        report
+    }
+
+    #[test]
+    fn absorb_merges_counters_and_phase_timers() {
+        let report = sample();
+        assert_eq!(report.counter("kcr.node_visits"), 123);
+        assert_eq!(report.counter("kcr.pool.physical_reads"), 17);
+        assert_eq!(report.phases.len(), 2);
+        assert_eq!(report.phases[0].0, "initial_rank");
+        assert_eq!(report.phases[1].0, "verification");
+    }
+
+    #[test]
+    fn absorb_does_not_duplicate_existing_phase() {
+        let registry = Registry::new();
+        registry
+            .timer("core.phase.initial_rank")
+            .record(Duration::from_millis(5));
+        let mut report = QueryReport::new("BS", Duration::from_millis(6));
+        report.push_phase("initial_rank", Duration::from_millis(5));
+        report.absorb(&registry.snapshot());
+        assert_eq!(report.phases.len(), 1);
+    }
+
+    #[test]
+    fn render_mentions_everything() {
+        let text = sample().render();
+        assert!(text.contains("KcRBased"), "{text}");
+        assert!(text.contains("wall time"), "{text}");
+        assert!(text.contains("phase initial_rank"), "{text}");
+        assert!(text.contains("phase verification"), "{text}");
+        assert!(text.contains("kcr.node_visits"), "{text}");
+        assert!(text.contains("123"), "{text}");
+    }
+
+    #[test]
+    fn json_shape() {
+        let json = sample().to_json().render();
+        assert!(json.contains("\"algorithm\":\"KcRBased\""), "{json}");
+        assert!(json.contains("\"wall_ms\":12"), "{json}");
+        assert!(json.contains("\"kcr.node_visits\":123"), "{json}");
+        assert!(json.contains("\"initial_rank\":1"), "{json}");
+    }
+}

@@ -71,6 +71,21 @@ impl BufferPool {
         Self::new(backend, BufferPoolConfig::default())
     }
 
+    /// Creates a pool whose I/O counters are published into `registry`
+    /// under `prefix` (e.g. `"kcr.pool."`), so buffer-pool activity
+    /// appears in unified [`wnsk_obs::QueryReport`]s alongside index and
+    /// solver metrics.
+    pub fn new_registered(
+        backend: Arc<dyn StorageBackend>,
+        config: BufferPoolConfig,
+        registry: &wnsk_obs::Registry,
+        prefix: &str,
+    ) -> Self {
+        let mut pool = Self::new(backend, config);
+        pool.stats.register(registry, prefix);
+        pool
+    }
+
     #[inline]
     fn shard(&self, id: PageId) -> &Shard {
         // Fibonacci hashing spreads sequential page ids across shards.

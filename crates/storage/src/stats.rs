@@ -1,4 +1,4 @@
-use std::sync::atomic::{AtomicU64, Ordering};
+use wnsk_obs::{names, Counter, Registry};
 
 /// Shared, thread-safe I/O counters.
 ///
@@ -6,11 +6,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// fetched from the backend because they were not resident in the buffer
 /// pool. Counters are monotonically increasing; experiments snapshot them
 /// before and after a query and subtract.
-#[derive(Default, Debug)]
+///
+/// The counters are [`wnsk_obs::Counter`] handles, so a pool's stats can
+/// be published into a shared [`Registry`] (see [`IoStats::register`])
+/// and show up in unified query reports without double bookkeeping.
+#[derive(Clone, Default, Debug)]
 pub struct IoStats {
-    logical_reads: AtomicU64,
-    physical_reads: AtomicU64,
-    physical_writes: AtomicU64,
+    logical_reads: Counter,
+    physical_reads: Counter,
+    physical_writes: Counter,
 }
 
 impl IoStats {
@@ -19,27 +23,47 @@ impl IoStats {
         Self::default()
     }
 
+    /// Publishes the counters into `registry` under `prefix` (e.g.
+    /// `"kcr.pool."` yields `kcr.pool.physical_reads` …). If a name is
+    /// already registered, this stats object adopts the registry's
+    /// existing counter instead, so repeated registration under one
+    /// prefix keeps all parties on a single shared handle.
+    pub fn register(&mut self, registry: &Registry, prefix: &str) {
+        self.logical_reads = registry.register_counter(
+            &format!("{prefix}{}", names::LOGICAL_READS),
+            self.logical_reads.clone(),
+        );
+        self.physical_reads = registry.register_counter(
+            &format!("{prefix}{}", names::PHYSICAL_READS),
+            self.physical_reads.clone(),
+        );
+        self.physical_writes = registry.register_counter(
+            &format!("{prefix}{}", names::PHYSICAL_WRITES),
+            self.physical_writes.clone(),
+        );
+    }
+
     #[inline]
     pub(crate) fn record_logical_read(&self) {
-        self.logical_reads.fetch_add(1, Ordering::Relaxed);
+        self.logical_reads.inc();
     }
 
     #[inline]
     pub(crate) fn record_physical_read(&self) {
-        self.physical_reads.fetch_add(1, Ordering::Relaxed);
+        self.physical_reads.inc();
     }
 
     #[inline]
     pub(crate) fn record_physical_write(&self) {
-        self.physical_writes.fetch_add(1, Ordering::Relaxed);
+        self.physical_writes.inc();
     }
 
     /// Takes a consistent-enough snapshot of the counters.
     pub fn snapshot(&self) -> IoStatsSnapshot {
         IoStatsSnapshot {
-            logical_reads: self.logical_reads.load(Ordering::Relaxed),
-            physical_reads: self.physical_reads.load(Ordering::Relaxed),
-            physical_writes: self.physical_writes.load(Ordering::Relaxed),
+            logical_reads: self.logical_reads.get(),
+            physical_reads: self.physical_reads.get(),
+            physical_writes: self.physical_writes.get(),
         }
     }
 }
@@ -111,5 +135,34 @@ mod tests {
         snap.logical_reads = 10;
         snap.physical_reads = 2;
         assert!((snap.hit_ratio() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn register_publishes_and_preserves_values() {
+        let mut s = IoStats::new();
+        s.record_physical_read();
+        let registry = Registry::new();
+        s.register(&registry, "setr.pool.");
+        // Pre-registration activity is visible through the registry…
+        assert_eq!(registry.snapshot().counter("setr.pool.physical_reads"), 1);
+        // …and post-registration activity flows into the same counter.
+        s.record_physical_read();
+        s.record_logical_read();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("setr.pool.physical_reads"), 2);
+        assert_eq!(snap.counter("setr.pool.logical_reads"), 1);
+        assert_eq!(s.snapshot().physical_reads, 2);
+    }
+
+    #[test]
+    fn reregistering_converges_on_one_counter() {
+        let registry = Registry::new();
+        let mut a = IoStats::new();
+        a.register(&registry, "p.");
+        let mut b = IoStats::new();
+        b.register(&registry, "p.");
+        a.record_physical_write();
+        b.record_physical_write();
+        assert_eq!(registry.snapshot().counter("p.physical_writes"), 2);
     }
 }
