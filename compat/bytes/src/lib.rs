@@ -104,7 +104,9 @@ pub struct Bytes {
 
 impl Bytes {
     pub fn new() -> Self {
-        Bytes { data: Arc::from([]) }
+        Bytes {
+            data: Arc::from([]),
+        }
     }
 
     pub fn copy_from_slice(data: &[u8]) -> Self {

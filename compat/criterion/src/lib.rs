@@ -102,12 +102,7 @@ impl<'a> BenchmarkGroup<'a> {
     pub fn finish(&mut self) {}
 }
 
-fn run_benchmark<R: FnMut(&mut Bencher)>(
-    name: &str,
-    samples: usize,
-    mut routine: R,
-    quick: bool,
-) {
+fn run_benchmark<R: FnMut(&mut Bencher)>(name: &str, samples: usize, mut routine: R, quick: bool) {
     let samples = if quick { samples.min(2) } else { samples };
     // Warm-up: one measured iteration, also used to size batches so a
     // sample stays in the ~10ms-100ms range.

@@ -77,7 +77,7 @@ mod tests {
                 .sum::<usize>()
         })
         .expect("scope failed");
-        assert_eq!(total, 0 + 2 + 4 + 6);
+        assert_eq!(total, 2 + 4 + 6);
         assert_eq!(counter.load(Ordering::SeqCst), 4);
     }
 }

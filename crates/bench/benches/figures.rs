@@ -39,16 +39,12 @@ fn bench_trio(
     let mut group = c.benchmark_group(group_name);
     group.sample_size(10);
     for algo in Algo::paper_trio() {
-        group.bench_with_input(
-            BenchmarkId::new(algo.name(), param),
-            q,
-            |b, q| {
-                b.iter(|| {
-                    bed.clear_caches();
-                    algo.run(bed, q).expect("algorithm must succeed")
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new(algo.name(), param), q, |b, q| {
+            b.iter(|| {
+                bed.clear_caches();
+                algo.run(bed, q).expect("algorithm must succeed")
+            })
+        });
     }
     group.finish();
 }
@@ -162,7 +158,10 @@ fn fig10(c: &mut Criterion) {
             threads,
             ..AdvancedOptions::default()
         });
-        let kcr = Algo::Kcr(KcrOptions { threads, ..KcrOptions::default() });
+        let kcr = Algo::Kcr(KcrOptions {
+            threads,
+            ..KcrOptions::default()
+        });
         for algo in [adv, kcr] {
             group.bench_with_input(
                 BenchmarkId::new(algo.name(), threads.to_string()),
@@ -282,7 +281,5 @@ fn fig13(c: &mut Criterion) {
     }
 }
 
-criterion_group!(
-    figures, fig4, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13
-);
+criterion_group!(figures, fig4, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13);
 criterion_main!(figures);

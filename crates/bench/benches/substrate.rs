@@ -38,12 +38,10 @@ fn search(c: &mut Criterion) {
     let setr = SetRTree::build(pool(), &data.dataset, 100).unwrap();
     let kcr = KcrTree::build(pool(), &data.dataset, 100).unwrap();
     let wspec = WorkloadSpec::paper_default(7);
-    let item = wnsk_data::workload::generate_item(&data.dataset, &wspec)
-        .expect("workload must generate");
+    let item =
+        wnsk_data::workload::generate_item(&data.dataset, &wspec).expect("workload must generate");
     let target = item.missing[0];
-    let target_score = data
-        .dataset
-        .score(data.dataset.object(target), &item.query);
+    let target_score = data.dataset.score(data.dataset.object(target), &item.query);
 
     let mut group = c.benchmark_group("search");
     group.sample_size(20);
@@ -64,14 +62,26 @@ fn search(c: &mut Criterion) {
     });
     group.bench_function("setr_rank_of", |b| {
         b.iter(|| {
-            setr.rank_of(&item.query, target, target_score, None, RankMode::StopAtScore)
-                .unwrap()
+            setr.rank_of(
+                &item.query,
+                target,
+                target_score,
+                None,
+                RankMode::StopAtScore,
+            )
+            .unwrap()
         })
     });
     group.bench_function("setr_rank_of_until_found", |b| {
         b.iter(|| {
-            setr.rank_of(&item.query, target, target_score, None, RankMode::UntilFound)
-                .unwrap()
+            setr.rank_of(
+                &item.query,
+                target,
+                target_score,
+                None,
+                RankMode::UntilFound,
+            )
+            .unwrap()
         })
     });
     group.finish();
@@ -98,12 +108,16 @@ fn dominance_bounds(c: &mut Criterion) {
     group.bench_function("prepare_node", |b| b.iter(|| PreparedNode::new(&summary)));
     let prep = PreparedNode::new(&summary);
     for tau in [0.1, 0.5, 0.9] {
-        group.bench_with_input(BenchmarkId::new("max_dom", tau.to_string()), &tau, |b, &tau| {
-            b.iter(|| max_dom(&prep, &s, tau, wnsk_text::TextModel::Jaccard))
-        });
-        group.bench_with_input(BenchmarkId::new("min_dom", tau.to_string()), &tau, |b, &tau| {
-            b.iter(|| min_dom(&prep, &s, tau, wnsk_text::TextModel::Jaccard))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("max_dom", tau.to_string()),
+            &tau,
+            |b, &tau| b.iter(|| max_dom(&prep, &s, tau, wnsk_text::TextModel::Jaccard)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("min_dom", tau.to_string()),
+            &tau,
+            |b, &tau| b.iter(|| min_dom(&prep, &s, tau, wnsk_text::TextModel::Jaccard)),
+        );
     }
     group.finish();
 }
@@ -149,9 +163,16 @@ fn text_algebra(c: &mut Criterion) {
     group.finish();
 }
 
-fn b_iter_jaccard(bch: &mut criterion::Bencher<'_>, a: &KeywordSet, b: &KeywordSet) {
+fn b_iter_jaccard(bch: &mut criterion::Bencher, a: &KeywordSet, b: &KeywordSet) {
     bch.iter(|| jaccard(a, b));
 }
 
-criterion_group!(substrate, tree_build, search, dominance_bounds, storage, text_algebra);
+criterion_group!(
+    substrate,
+    tree_build,
+    search,
+    dominance_bounds,
+    storage,
+    text_algebra
+);
 criterion_main!(substrate);

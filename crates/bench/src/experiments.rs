@@ -10,11 +10,11 @@ use crate::config::XpConfig;
 use crate::runner::{measure_with_report, Algo, Measurement, TestBed};
 use crate::table::Table;
 use wnsk_core::{AdvancedOptions, KcrOptions, WhyNotEngine, WhyNotQuestion};
-use wnsk_obs::QueryReport;
 use wnsk_data::workload::WorkloadSpec;
 use wnsk_data::DatasetSpec;
 use wnsk_geo::Point;
 use wnsk_index::{Dataset, ObjectId, SpatialKeywordQuery, SpatialObject};
+use wnsk_obs::QueryReport;
 use wnsk_text::KeywordSet;
 
 /// Table III defaults.
@@ -106,7 +106,11 @@ pub fn fig6(cfg: &XpConfig) -> Vec<Table> {
 /// Fig. 7 — varying λ (the penalty preference).
 pub fn fig7(cfg: &XpConfig) -> Vec<Table> {
     let bed = TestBed::new(&DatasetSpec::euro_like(cfg.scale));
-    let mut table = Table::new("Fig. 7 — varying lambda (EURO-like)", "lambda", trio_names());
+    let mut table = Table::new(
+        "Fig. 7 — varying lambda (EURO-like)",
+        "lambda",
+        trio_names(),
+    );
     let wspec = default_workload(7000);
     for lambda in [0.1, 0.3, 0.5, 0.7, 0.9] {
         let qs = bed.questions(&wspec, cfg.queries, lambda);
@@ -186,7 +190,10 @@ pub fn fig10(cfg: &XpConfig) -> Vec<Table> {
             threads,
             ..AdvancedOptions::default()
         });
-        let kcr = Algo::Kcr(KcrOptions { threads, ..KcrOptions::default() });
+        let kcr = Algo::Kcr(KcrOptions {
+            threads,
+            ..KcrOptions::default()
+        });
         table.push_row_reported(
             threads.to_string(),
             vec![
@@ -298,10 +305,26 @@ pub fn fig13(cfg: &XpConfig) -> Vec<Table> {
 pub fn tab1(_cfg: &XpConfig) -> Vec<Table> {
     let t = |ids: &[u32]| KeywordSet::from_ids(ids.iter().copied());
     let objects = vec![
-        SpatialObject { id: ObjectId(0), loc: Point::new(5.0, 0.0), doc: t(&[1, 2, 3]) }, // m
-        SpatialObject { id: ObjectId(0), loc: Point::new(8.0, 0.0), doc: t(&[1]) },       // o1
-        SpatialObject { id: ObjectId(0), loc: Point::new(1.0, 0.0), doc: t(&[1, 3]) },    // o2
-        SpatialObject { id: ObjectId(0), loc: Point::new(6.0, 0.0), doc: t(&[1, 2]) },    // o3
+        SpatialObject {
+            id: ObjectId(0),
+            loc: Point::new(5.0, 0.0),
+            doc: t(&[1, 2, 3]),
+        }, // m
+        SpatialObject {
+            id: ObjectId(0),
+            loc: Point::new(8.0, 0.0),
+            doc: t(&[1]),
+        }, // o1
+        SpatialObject {
+            id: ObjectId(0),
+            loc: Point::new(1.0, 0.0),
+            doc: t(&[1, 3]),
+        }, // o2
+        SpatialObject {
+            id: ObjectId(0),
+            loc: Point::new(6.0, 0.0),
+            doc: t(&[1, 2]),
+        }, // o3
     ];
     let world = wnsk_geo::WorldBounds::new(wnsk_geo::Rect::new(
         Point::new(0.0, 0.0),
@@ -312,7 +335,10 @@ pub fn tab1(_cfg: &XpConfig) -> Vec<Table> {
     let question = WhyNotQuestion::new(q.clone(), vec![ObjectId(0)], 0.5);
 
     println!("\n== Table I — the paper's worked example (exact evaluation) ==");
-    println!("{:>18} {:>6} {:>8} {:>8}", "doc'", "rank", "Δdoc", "penalty");
+    println!(
+        "{:>18} {:>6} {:>8} {:>8}",
+        "doc'", "rank", "Δdoc", "penalty"
+    );
     let initial_rank = ds.rank_of(ObjectId(0), &q);
     let ctx = wnsk_core::WhyNotContext::new(&ds, &question, initial_rank).unwrap();
     let mut rows: Vec<(String, usize, usize, f64)> = vec![(
@@ -330,8 +356,8 @@ pub fn tab1(_cfg: &XpConfig) -> Vec<Table> {
     for (doc, rank, ed, p) in &rows {
         println!("{doc:>18} {rank:>6} {ed:>8} {p:>8.4}");
     }
-    let engine = WhyNotEngine::build_with(ds, 2, wnsk_storage::BufferPoolConfig::default())
-        .unwrap();
+    let engine =
+        WhyNotEngine::build_with(ds, 2, wnsk_storage::BufferPoolConfig::default()).unwrap();
     let ans = engine.answer(&question).unwrap();
     println!(
         "best refined query: doc' = {:?}, k' = {}, penalty = {:.4}",
@@ -342,7 +368,10 @@ pub fn tab1(_cfg: &XpConfig) -> Vec<Table> {
 
 /// Table II — statistics of the generated datasets at the current scale.
 pub fn tab2(cfg: &XpConfig) -> Vec<Table> {
-    println!("\n== Table II — dataset information (synthetic, scale {}) ==", cfg.scale);
+    println!(
+        "\n== Table II — dataset information (synthetic, scale {}) ==",
+        cfg.scale
+    );
     println!(
         "{:>18} {:>12} {:>16} {:>12}",
         "dataset", "# objects", "# distinct words", "avg doc len"
@@ -446,6 +475,6 @@ pub fn run(name: &str, cfg: &XpConfig) -> Option<Vec<Table>> {
 
 /// All experiment names, in paper order.
 pub const EXPERIMENTS: &[&str] = &[
-    "tab1", "tab2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "fig13", "ext", "all",
+    "tab1", "tab2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "fig13", "ext", "all",
 ];

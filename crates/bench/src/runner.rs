@@ -2,9 +2,8 @@
 
 use std::sync::Arc;
 use wnsk_core::{
-    answer_advanced, answer_approx_advanced, answer_approx_basic, answer_approx_kcr,
-    answer_basic, answer_kcr, AdvancedOptions, AlgoStats, KcrOptions, WhyNotAnswer,
-    WhyNotQuestion,
+    answer_advanced, answer_approx_advanced, answer_approx_basic, answer_approx_kcr, answer_basic,
+    answer_kcr, AdvancedOptions, AlgoStats, KcrOptions, WhyNotAnswer, WhyNotQuestion,
 };
 use wnsk_data::workload::{generate_item, WorkloadSpec};
 use wnsk_data::{generate, DatasetSpec, GeneratedData};
@@ -70,12 +69,7 @@ impl TestBed {
 
     /// Generates `n` why-not questions for a workload spec (distinct
     /// seeds; draws that cannot satisfy the spec are skipped).
-    pub fn questions(
-        &self,
-        wspec: &WorkloadSpec,
-        n: usize,
-        lambda: f64,
-    ) -> Vec<WhyNotQuestion> {
+    pub fn questions(&self, wspec: &WorkloadSpec, n: usize, lambda: f64) -> Vec<WhyNotQuestion> {
         let mut out = Vec::with_capacity(n);
         let mut seed = wspec.seed;
         let mut attempts = 0;
@@ -309,11 +303,7 @@ mod tests {
         };
         let qs = bed.questions(&spec, 2, 0.5);
         let exact = measure(&bed, &Algo::Kcr(KcrOptions::default()), &qs);
-        let approx = measure(
-            &bed,
-            &Algo::ApproxKcr(KcrOptions::default(), 8),
-            &qs,
-        );
+        let approx = measure(&bed, &Algo::ApproxKcr(KcrOptions::default(), 8), &qs);
         assert!(approx.penalty >= exact.penalty - 1e-9);
     }
 
@@ -347,14 +337,27 @@ mod tests {
     #[test]
     fn algo_names() {
         assert_eq!(Algo::Bs.name(), "BS");
-        assert_eq!(Algo::Advanced(AdvancedOptions::default()).name(), "AdvancedBS");
-        assert_eq!(Algo::Kcr(KcrOptions { threads: 4, ..KcrOptions::default() }).name(), "KcRBased(t=4)");
-        assert_eq!(Algo::ApproxKcr(KcrOptions::default(), 100).name(), "KcRBased~100");
+        assert_eq!(
+            Algo::Advanced(AdvancedOptions::default()).name(),
+            "AdvancedBS"
+        );
+        assert_eq!(
+            Algo::Kcr(KcrOptions {
+                threads: 4,
+                ..KcrOptions::default()
+            })
+            .name(),
+            "KcRBased(t=4)"
+        );
+        assert_eq!(
+            Algo::ApproxKcr(KcrOptions::default(), 100).name(),
+            "KcRBased~100"
+        );
         let only_opt1 = AdvancedOptions {
             early_stop: true,
             ordered_enumeration: false,
             keyword_set_filtering: false,
-            threads: 1,
+            ..AdvancedOptions::none()
         };
         assert_eq!(Algo::Advanced(only_opt1).name(), "BS+Opt1");
     }

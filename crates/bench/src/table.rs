@@ -143,7 +143,13 @@ impl Table {
     pub fn slug(&self) -> String {
         self.title
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
             .collect::<String>()
             .split('_')
             .filter(|s| !s.is_empty())
@@ -209,7 +215,10 @@ mod tests {
             r.push_phase("verification", Duration::from_millis(2));
             r
         };
-        t.push_row_reported("1", vec![(m(1.0, 1.0), report("A")), (m(2.0, 2.0), report("B"))]);
+        t.push_row_reported(
+            "1",
+            vec![(m(1.0, 1.0), report("A")), (m(2.0, 2.0), report("B"))],
+        );
         assert_eq!(t.rows.len(), 1);
         let json = t.metrics_json().unwrap();
         assert!(json.contains("\"x_label\":\"x\""));

@@ -5,8 +5,8 @@ use std::fmt::Write as _;
 use std::path::Path;
 use std::sync::Arc;
 use wnsk_core::{
-    answer_advanced, answer_approx_kcr, answer_basic, answer_kcr, AdvancedOptions, KcrOptions,
-    WhyNotAnswer, WhyNotQuestion,
+    answer_advanced, answer_approx_kcr, answer_basic_with_budget, answer_kcr, AdvancedOptions,
+    KcrOptions, QueryBudget, WhyNotAnswer, WhyNotQuestion,
 };
 use wnsk_data::{io as dataio, DatasetSpec};
 use wnsk_index::{Dataset, KcrTree, ObjectId, SetRTree, SpatialKeywordQuery};
@@ -79,8 +79,7 @@ fn open_pool_registered(
     registry: &Registry,
     prefix: &str,
 ) -> Result<Arc<BufferPool>, String> {
-    let backend =
-        FileBackend::open(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    let backend = FileBackend::open(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
     Ok(Arc::new(BufferPool::new_registered(
         Arc::new(backend),
         BufferPoolConfig::default(),
@@ -127,10 +126,7 @@ pub fn build(args: &ParsedArgs) -> Result<String, String> {
     ))
 }
 
-fn parse_query(
-    args: &ParsedArgs,
-    vocab: &Vocabulary,
-) -> Result<SpatialKeywordQuery, String> {
+fn parse_query(args: &ParsedArgs, vocab: &Vocabulary) -> Result<SpatialKeywordQuery, String> {
     let loc = args.point("at")?;
     let words = args.list("keywords")?;
     let mut unknown = Vec::new();
@@ -176,9 +172,12 @@ pub fn topk(args: &ParsedArgs) -> Result<String, String> {
     let (ds, vocab) = load_dataset(args)?;
     let query = parse_query(args, &vocab)?;
     let registry = Registry::new();
-    let mut tree =
-        SetRTree::open(open_pool_registered(args.required("setr")?, &registry, "setr.pool.")?)
-            .map_err(|e| format!("opening SetR-tree: {e}"))?;
+    let mut tree = SetRTree::open(open_pool_registered(
+        args.required("setr")?,
+        &registry,
+        "setr.pool.",
+    )?)
+    .map_err(|e| format!("opening SetR-tree: {e}"))?;
     tree.register_metrics(&registry, "setr.");
     if tree.len() != ds.len() as u64 {
         return Err(format!(
@@ -236,6 +235,17 @@ pub fn whynot(args: &ParsedArgs) -> Result<String, String> {
 
     let algo = args.optional("algo").unwrap_or("kcr");
     let approx: usize = args.parse_or("approx", 0)?;
+    // 0 = unlimited for both budget knobs; on exhaustion the solver
+    // degrades to the approximate fallback and says so below.
+    let deadline_ms: u64 = args.parse_or("deadline-ms", 0)?;
+    let max_page_reads: u64 = args.parse_or("max-page-reads", 0)?;
+    let mut budget = QueryBudget::unlimited();
+    if deadline_ms > 0 {
+        budget = budget.with_deadline(std::time::Duration::from_millis(deadline_ms));
+    }
+    if max_page_reads > 0 {
+        budget = budget.with_max_page_reads(max_page_reads);
+    }
     let registry = Registry::new();
     let (answer, before): (WhyNotAnswer, Snapshot) = match (algo, approx) {
         ("bs", 0) => {
@@ -247,7 +257,8 @@ pub fn whynot(args: &ParsedArgs) -> Result<String, String> {
             .map_err(|e| e.to_string())?;
             tree.register_metrics(&registry, "setr.");
             let before = registry.snapshot();
-            let a = answer_basic(&ds, &tree, &question).map_err(|e| e.to_string())?;
+            let a = answer_basic_with_budget(&ds, &tree, &question, budget)
+                .map_err(|e| e.to_string())?;
             (a, before)
         }
         ("advanced", 0) => {
@@ -259,8 +270,11 @@ pub fn whynot(args: &ParsedArgs) -> Result<String, String> {
             .map_err(|e| e.to_string())?;
             tree.register_metrics(&registry, "setr.");
             let before = registry.snapshot();
-            let a = answer_advanced(&ds, &tree, &question, AdvancedOptions::default())
-                .map_err(|e| e.to_string())?;
+            let opts = AdvancedOptions {
+                budget,
+                ..AdvancedOptions::default()
+            };
+            let a = answer_advanced(&ds, &tree, &question, opts).map_err(|e| e.to_string())?;
             (a, before)
         }
         ("kcr", t) => {
@@ -272,16 +286,22 @@ pub fn whynot(args: &ParsedArgs) -> Result<String, String> {
             .map_err(|e| e.to_string())?;
             tree.register_metrics(&registry, "kcr.");
             let before = registry.snapshot();
+            let opts = KcrOptions {
+                budget,
+                ..KcrOptions::default()
+            };
             let a = if t == 0 {
-                answer_kcr(&ds, &tree, &question, KcrOptions::default())
+                answer_kcr(&ds, &tree, &question, opts)
             } else {
-                answer_approx_kcr(&ds, &tree, &question, KcrOptions::default(), t)
+                answer_approx_kcr(&ds, &tree, &question, opts, t)
             }
             .map_err(|e| e.to_string())?;
             (a, before)
         }
         (other, t) if t > 0 => {
-            return Err(format!("--approx is only supported with --algo kcr, not '{other}'"))
+            return Err(format!(
+                "--approx is only supported with --algo kcr, not '{other}'"
+            ))
         }
         (other, _) => return Err(format!("unknown --algo '{other}' (bs|advanced|kcr)")),
     };
@@ -304,7 +324,11 @@ pub fn whynot(args: &ParsedArgs) -> Result<String, String> {
         answer.refined.k,
         answer.refined.penalty,
         answer.refined.edit_distance,
-        if answer.refined.edit_distance == 1 { "" } else { "s" },
+        if answer.refined.edit_distance == 1 {
+            ""
+        } else {
+            "s"
+        },
     )
     .unwrap();
     writeln!(
@@ -314,6 +338,9 @@ pub fn whynot(args: &ParsedArgs) -> Result<String, String> {
         answer.stats.io
     )
     .unwrap();
+    if !answer.quality.is_exact() {
+        writeln!(out, "answer quality: {}", answer.quality).unwrap();
+    }
     if args.flag("metrics") {
         let label = match (algo, approx) {
             ("bs", _) => "BS",
@@ -383,8 +410,17 @@ mod tests {
             .to_string();
 
         let out = run(&[
-            "topk", "--data", &data, "--setr", &setr, "--at", "0.5,0.5", "--keywords",
-            &word, "--k", "5",
+            "topk",
+            "--data",
+            &data,
+            "--setr",
+            &setr,
+            "--at",
+            "0.5,0.5",
+            "--keywords",
+            &word,
+            "--k",
+            "5",
         ])
         .unwrap();
         assert!(out.lines().count() >= 6, "{out}");
@@ -393,14 +429,22 @@ mod tests {
         // Find an object outside the top-5 to ask why-not about: take the
         // last listed rank line id from a larger topk.
         let out = run(&[
-            "topk", "--data", &data, "--setr", &setr, "--at", "0.5,0.5", "--keywords",
-            &word, "--k", "30",
+            "topk",
+            "--data",
+            &data,
+            "--setr",
+            &setr,
+            "--at",
+            "0.5,0.5",
+            "--keywords",
+            &word,
+            "--k",
+            "30",
         ])
         .unwrap();
         let last = out
             .lines()
-            .filter(|l| l.starts_with('#'))
-            .last()
+            .rfind(|l| l.starts_with('#'))
             .unwrap()
             .split_whitespace()
             .nth(1)
@@ -409,8 +453,22 @@ mod tests {
 
         for algo in ["bs", "advanced", "kcr"] {
             let out = run(&[
-                "whynot", "--data", &data, "--setr", &setr, "--kcr", &kcr, "--at",
-                "0.5,0.5", "--keywords", &word, "--k", "5", "--missing", &last, "--algo",
+                "whynot",
+                "--data",
+                &data,
+                "--setr",
+                &setr,
+                "--kcr",
+                &kcr,
+                "--at",
+                "0.5,0.5",
+                "--keywords",
+                &word,
+                "--k",
+                "5",
+                "--missing",
+                &last,
+                "--algo",
                 algo,
             ])
             .unwrap();
@@ -419,8 +477,23 @@ mod tests {
 
         // Approximate path.
         let out = run(&[
-            "whynot", "--data", &data, "--setr", &setr, "--kcr", &kcr, "--at", "0.5,0.5",
-            "--keywords", &word, "--k", "5", "--missing", &last, "--approx", "16",
+            "whynot",
+            "--data",
+            &data,
+            "--setr",
+            &setr,
+            "--kcr",
+            &kcr,
+            "--at",
+            "0.5,0.5",
+            "--keywords",
+            &word,
+            "--k",
+            "5",
+            "--missing",
+            &last,
+            "--approx",
+            "16",
         ])
         .unwrap();
         assert!(out.contains("refined query"), "{out}");
@@ -428,8 +501,23 @@ mod tests {
         // --metrics appends the unified report: phases, tree traversal
         // counters and buffer-pool I/O from one registry.
         let out = run(&[
-            "whynot", "--data", &data, "--setr", &setr, "--kcr", &kcr, "--at", "0.5,0.5",
-            "--keywords", &word, "--k", "5", "--missing", &last, "--algo", "kcr",
+            "whynot",
+            "--data",
+            &data,
+            "--setr",
+            &setr,
+            "--kcr",
+            &kcr,
+            "--at",
+            "0.5,0.5",
+            "--keywords",
+            &word,
+            "--k",
+            "5",
+            "--missing",
+            &last,
+            "--algo",
+            "kcr",
             "--metrics",
         ])
         .unwrap();
@@ -440,8 +528,18 @@ mod tests {
         assert!(out.contains("kcr.pool.physical_reads"), "{out}");
 
         let out = run(&[
-            "topk", "--data", &data, "--setr", &setr, "--at", "0.5,0.5", "--keywords",
-            &word, "--k", "5", "--metrics",
+            "topk",
+            "--data",
+            &data,
+            "--setr",
+            &setr,
+            "--at",
+            "0.5,0.5",
+            "--keywords",
+            &word,
+            "--k",
+            "5",
+            "--metrics",
         ])
         .unwrap();
         assert!(out.contains("report (topk"), "{out}");
@@ -463,6 +561,88 @@ mod tests {
         assert!(err.contains("cannot open"), "{err}");
     }
 
+    /// A starved page-read budget degrades to the approximate answer and
+    /// the CLI reports the non-exact quality.
+    #[test]
+    fn budget_exhaustion_reports_degraded_quality() {
+        let data = tmp("budget.txt");
+        let setr = tmp("budget-setr.db");
+        let kcr = tmp("budget-kcr.db");
+        run(&[
+            "generate", "--preset", "tiny", "--scale", "1.0", "--out", &data, "--seed", "3",
+        ])
+        .unwrap();
+        run(&[
+            "build", "--data", &data, "--setr", &setr, "--kcr", &kcr, "--fanout", "16",
+        ])
+        .unwrap();
+        let body = std::fs::read_to_string(&data).unwrap();
+        let word = body
+            .lines()
+            .find(|l| !l.starts_with('#'))
+            .unwrap()
+            .split_whitespace()
+            .nth(2)
+            .unwrap()
+            .split(',')
+            .next()
+            .unwrap()
+            .to_string();
+        let out = run(&[
+            "topk",
+            "--data",
+            &data,
+            "--setr",
+            &setr,
+            "--at",
+            "0.5,0.5",
+            "--keywords",
+            &word,
+            "--k",
+            "30",
+        ])
+        .unwrap();
+        let last = out
+            .lines()
+            .rfind(|l| l.starts_with('#'))
+            .unwrap()
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .to_string();
+
+        let out = run(&[
+            "whynot",
+            "--data",
+            &data,
+            "--setr",
+            &setr,
+            "--kcr",
+            &kcr,
+            "--at",
+            "0.5,0.5",
+            "--keywords",
+            &word,
+            "--k",
+            "5",
+            "--missing",
+            &last,
+            "--algo",
+            "bs",
+            "--max-page-reads",
+            "1",
+        ])
+        .unwrap();
+        assert!(out.contains("refined query"), "{out}");
+        assert!(
+            out.contains("answer quality: degraded (page-read limit reached)"),
+            "{out}"
+        );
+        for f in [&data, &setr, &kcr] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
     #[test]
     fn unknown_keyword_is_reported() {
         let data = tmp("kw.txt");
@@ -474,7 +654,14 @@ mod tests {
         let kcr = tmp("kw-kcr.db");
         run(&["build", "--data", &data, "--setr", &setr, "--kcr", &kcr]).unwrap();
         let err = run(&[
-            "topk", "--data", &data, "--setr", &setr, "--at", "0.5,0.5", "--keywords",
+            "topk",
+            "--data",
+            &data,
+            "--setr",
+            &setr,
+            "--at",
+            "0.5,0.5",
+            "--keywords",
             "definitely-not-a-word",
         ])
         .unwrap_err();

@@ -12,6 +12,7 @@
 //!               --keywords a,b --missing ID[,ID…]
 //!               [--k 10] [--alpha 0.5] [--lambda 0.5]
 //!               [--algo bs|advanced|kcr] [--approx T] [--metrics]
+//!               [--deadline-ms N] [--max-page-reads N]
 //! ```
 //!
 //! `--metrics` appends the unified observability report: per-phase wall
@@ -39,9 +40,13 @@ commands:
   whynot    --data FILE --setr FILE --kcr FILE --at X,Y --keywords a,b
             --missing ID[,ID...] [--k N] [--alpha A] [--lambda L]
             [--algo bs|advanced|kcr] [--approx T] [--metrics]
+            [--deadline-ms N] [--max-page-reads N]
 
 --metrics appends the per-query observability report (phase wall times,
-node visits, prune counts, buffer-pool I/O).";
+node visits, prune counts, buffer-pool I/O).
+--deadline-ms / --max-page-reads cap the query budget (0 = unlimited);
+an exhausted budget degrades to the approximate answer and the output
+reports the answer quality.";
 
 /// Dispatches a full command line (without the program name) and returns
 /// the text to print.

@@ -20,19 +20,18 @@
 //! 4. **Parallel processing** — candidates of a layer are processed by
 //!    multiple threads sharing the current best penalty.
 
+use crate::algorithms::approx::degraded_fallback;
 use crate::algorithms::SharedBest;
+use crate::budget::{AnswerQuality, BudgetGuard, QueryBudget};
 use crate::enumeration::{Candidate, CandidateEnumerator};
 use crate::error::Result;
-use crate::question::{
-    AlgoStats, RefinedQuery, WhyNotAnswer, WhyNotContext, WhyNotQuestion,
-};
-use crate::rank::SetRankOutcome;
+use crate::question::{AlgoStats, RefinedQuery, WhyNotAnswer, WhyNotContext, WhyNotQuestion};
+use crate::rank::{SetRankOutcome, BUDGET_CHECK_INTERVAL};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
-use wnsk_index::{
-    st_score, Dataset, ObjectId, SetRTree, SpatialKeywordQuery, TopKSearch,
-};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wnsk_index::{st_score, Dataset, ObjectId, SetRTree, SpatialKeywordQuery, TopKSearch};
 
 /// Toggles for the AdvancedBS optimisations (all on by default,
 /// single-threaded). `AdvancedOptions::none()` turns AdvancedBS back into
@@ -48,6 +47,9 @@ pub struct AdvancedOptions {
     pub keyword_set_filtering: bool,
     /// Opt4: number of worker threads (1 = serial).
     pub threads: usize,
+    /// Resource limits; on exhaustion the solver degrades to the
+    /// in-memory approximate fallback instead of running to completion.
+    pub budget: QueryBudget,
 }
 
 impl Default for AdvancedOptions {
@@ -57,6 +59,7 @@ impl Default for AdvancedOptions {
             ordered_enumeration: true,
             keyword_set_filtering: true,
             threads: 1,
+            budget: QueryBudget::unlimited(),
         }
     }
 }
@@ -69,6 +72,7 @@ impl AdvancedOptions {
             ordered_enumeration: false,
             keyword_set_filtering: false,
             threads: 1,
+            budget: QueryBudget::unlimited(),
         }
     }
 }
@@ -106,7 +110,28 @@ pub fn answer_basic(
     tree: &SetRTree,
     question: &WhyNotQuestion,
 ) -> Result<WhyNotAnswer> {
-    run(dataset, tree, question, AdvancedOptions::none(), CandidateSource::Full)
+    run(
+        dataset,
+        tree,
+        question,
+        AdvancedOptions::none(),
+        CandidateSource::Full,
+    )
+}
+
+/// **BS** under a [`QueryBudget`]: exhausting the budget degrades to the
+/// approximate fallback rather than running to completion.
+pub fn answer_basic_with_budget(
+    dataset: &Dataset,
+    tree: &SetRTree,
+    question: &WhyNotQuestion,
+    budget: QueryBudget,
+) -> Result<WhyNotAnswer> {
+    let opts = AdvancedOptions {
+        budget,
+        ..AdvancedOptions::none()
+    };
+    run(dataset, tree, question, opts, CandidateSource::Full)
 }
 
 /// **AdvancedBS**: BS with the §IV-C optimisations per `opts`.
@@ -119,6 +144,16 @@ pub fn answer_advanced(
     run(dataset, tree, question, opts, CandidateSource::Full)
 }
 
+/// An edit-distance layer that may not have been generated yet: deeper
+/// layers are exponentially larger, so under a budget they are only
+/// materialised when the search actually reaches them.
+enum LayerSpec {
+    /// Generate layer `d` from the enumerator when reached.
+    Gen(usize),
+    /// Already materialised (the §VI-B sample arrives pre-built).
+    Ready(usize, Vec<Candidate>),
+}
+
 pub(crate) fn run(
     dataset: &Dataset,
     tree: &SetRTree,
@@ -129,6 +164,7 @@ pub(crate) fn run(
     question.validate(dataset)?;
     let start = Instant::now();
     let io_before = tree.pool().stats();
+    let guard = BudgetGuard::new(opts.budget, Arc::clone(tree.pool()));
 
     // Line 1 of Algorithm 1: determine R(M, q) by processing the initial
     // query until the missing objects appear.
@@ -138,11 +174,24 @@ pub(crate) fn run(
         .map(|&id| (id, dataset.score(dataset.object(id), &question.query)))
         .collect();
     let mut scan = TopKSearch::new(tree, question.query.clone());
-    let initial_rank = crate::rank::rank_of_set(&mut scan, &initial_targets, None, true)?
-        .rank()
-        .expect("unbounded scan always completes");
+    let outcome = crate::rank::rank_of_set(&mut scan, &initial_targets, None, true, Some(&guard))?;
     drop(scan);
     let phase_initial_rank = start.elapsed();
+    let initial_rank = match outcome {
+        SetRankOutcome::Exact { rank } => rank,
+        _ => {
+            // Budget gone before R(M, q) was known: degrade with nothing
+            // but the question itself.
+            let reason = guard.breached().expect("scan only stops early on breach");
+            let stats = AlgoStats {
+                wall: start.elapsed(),
+                io: tree.pool().stats().since(&io_before).physical_reads,
+                phase_initial_rank,
+                ..AlgoStats::default()
+            };
+            return degraded_fallback(dataset, question, None, None, reason, &opts.budget, stats);
+        }
+    };
 
     let ctx = WhyNotContext::new(dataset, question, initial_rank)?;
     let enumerator = CandidateEnumerator::new(&ctx);
@@ -151,30 +200,55 @@ pub(crate) fn run(
     let best = SharedBest::new(ctx.baseline());
     let stats = SharedStats::default();
 
-    // Group candidates into edit-distance layers.
-    let enumeration_started = Instant::now();
-    let layers: Vec<(usize, Vec<Candidate>)> = match source {
+    // Group candidates into edit-distance layers (lazily for the full
+    // space — a budget breach may make deeper layers unnecessary).
+    let mut phase_enumeration = Duration::ZERO;
+    let mut sample_size = None;
+    let specs: Vec<LayerSpec> = match source {
         CandidateSource::Full => (1..=enumerator.max_edit_distance())
-            .map(|d| (d, enumerator.layer(d, opts.ordered_enumeration)))
+            .map(LayerSpec::Gen)
             .collect(),
-        CandidateSource::Sample(sample) => layer_sample(sample),
+        CandidateSource::Sample(sample) => {
+            sample_size = Some(sample.len());
+            let t = Instant::now();
+            let layers = layer_sample(sample);
+            phase_enumeration += t.elapsed();
+            layers
+                .into_iter()
+                .map(|(d, l)| LayerSpec::Ready(d, l))
+                .collect()
+        }
     };
-    let phase_enumeration = enumeration_started.elapsed();
 
     let verification_started = Instant::now();
-    'layers: for (d, layer) in layers {
+    'layers: for spec in specs {
+        if guard.check().is_some() {
+            break 'layers;
+        }
+        let (d, layer) = match spec {
+            LayerSpec::Ready(d, layer) => (d, layer),
+            LayerSpec::Gen(d) => {
+                let t = Instant::now();
+                let layer = enumerator.layer(d, opts.ordered_enumeration);
+                phase_enumeration += t.elapsed();
+                (d, layer)
+            }
+        };
         // Opt2 global termination: no deeper layer can beat the best.
-        if opts.ordered_enumeration
-            && ctx.penalty.keyword_penalty(d) >= best.penalty()
-        {
+        if opts.ordered_enumeration && ctx.penalty.keyword_penalty(d) >= best.penalty() {
             let remaining: u64 = layer.len() as u64;
-            stats.pruned_by_bound.fetch_add(remaining, Ordering::Relaxed);
+            stats
+                .pruned_by_bound
+                .fetch_add(remaining, Ordering::Relaxed);
             break 'layers;
         }
         if opts.threads <= 1 {
             let mut cache = HashSet::new();
             for cand in &layer {
-                process_candidate(tree, &ctx, &opts, cand, &best, &stats, &mut cache)?;
+                if guard.check().is_some() {
+                    break 'layers;
+                }
+                process_candidate(tree, &ctx, &opts, cand, &best, &stats, &mut cache, &guard)?;
             }
         } else {
             crossbeam::thread::scope(|scope| -> Result<()> {
@@ -185,12 +259,16 @@ pub(crate) fn run(
                     let best = &best;
                     let stats = &stats;
                     let opts = &opts;
+                    let guard = &guard;
                     handles.push(scope.spawn(move |_| -> Result<()> {
                         let mut cache = HashSet::new();
                         let mut i = t;
                         while i < layer.len() {
+                            if guard.check().is_some() {
+                                return Ok(());
+                            }
                             process_candidate(
-                                tree, ctx, opts, &layer[i], best, stats, &mut cache,
+                                tree, ctx, opts, &layer[i], best, stats, &mut cache, guard,
                             )?;
                             i += opts.threads;
                         }
@@ -203,6 +281,9 @@ pub(crate) fn run(
                 Ok(())
             })
             .expect("thread scope failed")?;
+            if guard.breached().is_some() {
+                break 'layers;
+            }
         }
     }
 
@@ -213,7 +294,26 @@ pub(crate) fn run(
     stats.phase_initial_rank = phase_initial_rank;
     stats.phase_enumeration = phase_enumeration;
     stats.phase_verification = verification_started.elapsed();
-    Ok(WhyNotAnswer { refined, stats })
+    if let Some(reason) = guard.breached() {
+        return degraded_fallback(
+            dataset,
+            question,
+            Some(initial_rank),
+            Some(refined),
+            reason,
+            &opts.budget,
+            stats,
+        );
+    }
+    let quality = match sample_size {
+        Some(sample_size) => AnswerQuality::Approximate { sample_size },
+        None => AnswerQuality::Exact,
+    };
+    Ok(WhyNotAnswer {
+        refined,
+        stats,
+        quality,
+    })
 }
 
 /// Groups a benefit-ordered sample into ascending edit-distance layers,
@@ -236,6 +336,7 @@ fn process_candidate(
     best: &SharedBest,
     stats: &SharedStats,
     dominator_cache: &mut HashSet<ObjectId>,
+    guard: &BudgetGuard,
 ) -> Result<()> {
     stats.candidates_total.fetch_add(1, Ordering::Relaxed);
     let d = cand.edit_distance;
@@ -297,9 +398,13 @@ fn process_candidate(
         // variant stops as soon as the rank is known.
         !opts.early_stop,
         opts.keyword_set_filtering.then_some(dominator_cache),
+        guard,
     )?;
 
     match outcome {
+        // The outer loop sees the latched breach and degrades; this
+        // candidate's partial scan is simply discarded.
+        SetRankOutcome::Breached { .. } => {}
         SetRankOutcome::Aborted { .. } => {
             stats.pruned_by_bound.fetch_add(1, Ordering::Relaxed);
         }
@@ -319,6 +424,7 @@ fn process_candidate(
 
 /// A rank-of-set scan that optionally records the dominators it sees for
 /// the Opt3 cache.
+#[allow(clippy::too_many_arguments)]
 fn scan_rank(
     tree: &SetRTree,
     q_s: &SpatialKeywordQuery,
@@ -326,6 +432,7 @@ fn scan_rank(
     max_rank: Option<usize>,
     until_found: bool,
     mut collect: Option<&mut HashSet<ObjectId>>,
+    guard: &BudgetGuard,
 ) -> Result<SetRankOutcome> {
     let min_score = targets
         .iter()
@@ -334,7 +441,14 @@ fn scan_rank(
     let mut remaining: Vec<ObjectId> = targets.iter().map(|&(id, _)| id).collect();
     let mut search = TopKSearch::new(tree, q_s.clone());
     let mut dominators = 0usize;
+    let mut pulls = 0usize;
     loop {
+        if pulls.is_multiple_of(BUDGET_CHECK_INTERVAL) {
+            if let Some(reason) = guard.check() {
+                return Ok(SetRankOutcome::Breached { reason });
+            }
+        }
+        pulls += 1;
         if let Some(max_rank) = max_rank {
             if dominators + 1 > max_rank {
                 return Ok(SetRankOutcome::Aborted {

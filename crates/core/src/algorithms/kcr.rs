@@ -25,14 +25,18 @@
 //! `p_c`; batches may additionally be split across worker threads
 //! (Fig. 10's parallel variant).
 
+use crate::algorithms::approx::degraded_fallback;
 use crate::algorithms::basic::layer_sample;
 use crate::algorithms::SharedBest;
+use crate::budget::{AnswerQuality, BudgetGuard, QueryBudget};
 use crate::enumeration::{Candidate, CandidateEnumerator};
 use crate::error::Result;
 use crate::question::{AlgoStats, RefinedQuery, WhyNotAnswer, WhyNotContext, WhyNotQuestion};
+use crate::rank::SetRankOutcome;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use wnsk_index::kcr::{max_dom, min_dom, tau_lower, tau_upper, KcrTopKSearch, PreparedNode};
 use wnsk_index::{st_score, Dataset, KcrNode, KcrTree, NodeSummary, ObjectId};
 use wnsk_storage::BlobRef;
@@ -49,6 +53,9 @@ pub struct KcrOptions {
     /// ones pay for root-level bound evaluations — and each traversal
     /// keeps its per-node work proportional to a small `|CK|`.
     pub batch_size: usize,
+    /// Resource limits; on exhaustion the solver degrades to the
+    /// in-memory approximate fallback instead of running to completion.
+    pub budget: QueryBudget,
 }
 
 impl Default for KcrOptions {
@@ -56,6 +63,7 @@ impl Default for KcrOptions {
         KcrOptions {
             threads: 1,
             batch_size: 64,
+            budget: QueryBudget::unlimited(),
         }
     }
 }
@@ -87,6 +95,7 @@ pub(crate) fn run(
     question.validate(dataset)?;
     let start = Instant::now();
     let io_before = tree.pool().stats();
+    let guard = BudgetGuard::new(opts.budget, Arc::clone(tree.pool()));
 
     // Algorithm 4 line 1: determine R(M, q).
     let initial_targets: Vec<(ObjectId, f64)> = question
@@ -95,11 +104,22 @@ pub(crate) fn run(
         .map(|&id| (id, dataset.score(dataset.object(id), &question.query)))
         .collect();
     let mut scan = KcrTopKSearch::new(tree, question.query.clone());
-    let initial_rank = crate::rank::rank_of_set(&mut scan, &initial_targets, None, false)?
-        .rank()
-        .expect("unbounded scan always completes");
+    let outcome = crate::rank::rank_of_set(&mut scan, &initial_targets, None, false, Some(&guard))?;
     drop(scan);
     let phase_initial_rank = start.elapsed();
+    let initial_rank = match outcome {
+        SetRankOutcome::Exact { rank } => rank,
+        _ => {
+            let reason = guard.breached().expect("scan only stops early on breach");
+            let stats = AlgoStats {
+                wall: start.elapsed(),
+                io: tree.pool().stats().since(&io_before).physical_reads,
+                phase_initial_rank,
+                ..AlgoStats::default()
+            };
+            return degraded_fallback(dataset, question, None, None, reason, &opts.budget, stats);
+        }
+    };
 
     let ctx = WhyNotContext::new(dataset, question, initial_rank)?;
     let enumerator = CandidateEnumerator::new(&ctx);
@@ -108,17 +128,40 @@ pub(crate) fn run(
     let best = SharedBest::new(ctx.baseline());
     let stats = SharedStats::default();
 
-    let enumeration_started = Instant::now();
-    let layers: Vec<(usize, Vec<Candidate>)> = match sample {
-        None => (1..=enumerator.max_edit_distance())
-            .map(|d| (d, enumerator.layer(d, true)))
-            .collect(),
-        Some(sample) => layer_sample(sample),
+    // Layers are generated lazily for the full candidate space so a
+    // budget breach skips the exponentially larger deep layers entirely.
+    let mut phase_enumeration = Duration::ZERO;
+    let mut sample_size = None;
+    let ready_layers: Option<Vec<(usize, Vec<Candidate>)>> = match sample {
+        None => None,
+        Some(sample) => {
+            sample_size = Some(sample.len());
+            let t = Instant::now();
+            let layers = layer_sample(sample);
+            phase_enumeration += t.elapsed();
+            Some(layers)
+        }
     };
-    let phase_enumeration = enumeration_started.elapsed();
+    let depths: Vec<usize> = match &ready_layers {
+        None => (1..=enumerator.max_edit_distance()).collect(),
+        Some(layers) => layers.iter().map(|&(d, _)| d).collect(),
+    };
+    let mut ready_layers = ready_layers.map(|l| l.into_iter());
 
     let verification_started = Instant::now();
-    for (d, layer) in layers {
+    for d in depths {
+        if guard.check().is_some() {
+            break;
+        }
+        let layer: Vec<Candidate> = match &mut ready_layers {
+            Some(iter) => iter.next().expect("depths mirror the ready layers").1,
+            None => {
+                let t = Instant::now();
+                let layer = enumerator.layer(d, true);
+                phase_enumeration += t.elapsed();
+                layer
+            }
+        };
         // Line 4: the next batch's keyword penalty alone disqualifies it.
         if ctx.penalty.keyword_penalty(d) >= best.penalty() {
             stats
@@ -133,10 +176,13 @@ pub(crate) fn run(
         let batches: Vec<&[Candidate]> = layer.chunks(batch_size).collect();
         if opts.threads <= 1 {
             for batch in &batches {
+                if guard.check().is_some() {
+                    break;
+                }
                 // Batches run in benefit order; a later batch whose whole
                 // layer is already beaten is pruned by the root bounds
                 // almost immediately.
-                bound_and_prune(tree, &ctx, batch, &best, &stats)?;
+                bound_and_prune(tree, &ctx, batch, &best, &stats, &guard)?;
             }
         } else {
             let next = AtomicU64::new(0);
@@ -148,13 +194,17 @@ pub(crate) fn run(
                     let stats = &stats;
                     let next = &next;
                     let batches = &batches;
+                    let guard = &guard;
                     handles.push(scope.spawn(move |_| -> Result<()> {
                         loop {
+                            if guard.check().is_some() {
+                                return Ok(());
+                            }
                             let i = next.fetch_add(1, Ordering::Relaxed) as usize;
                             let Some(batch) = batches.get(i) else {
                                 return Ok(());
                             };
-                            bound_and_prune(tree, ctx, batch, best, stats)?;
+                            bound_and_prune(tree, ctx, batch, best, stats, guard)?;
                         }
                     }));
                 }
@@ -164,6 +214,9 @@ pub(crate) fn run(
                 Ok(())
             })
             .expect("thread scope failed")?;
+        }
+        if guard.breached().is_some() {
+            break;
         }
     }
 
@@ -179,7 +232,26 @@ pub(crate) fn run(
         phase_verification: verification_started.elapsed(),
         ..AlgoStats::default()
     };
-    Ok(WhyNotAnswer { refined, stats })
+    if let Some(reason) = guard.breached() {
+        return degraded_fallback(
+            dataset,
+            question,
+            Some(initial_rank),
+            Some(refined),
+            reason,
+            &opts.budget,
+            stats,
+        );
+    }
+    let quality = match sample_size {
+        Some(sample_size) => AnswerQuality::Approximate { sample_size },
+        None => AnswerQuality::Exact,
+    };
+    Ok(WhyNotAnswer {
+        refined,
+        stats,
+        quality,
+    })
 }
 
 /// Per-candidate traversal state.
@@ -210,6 +282,7 @@ fn bound_and_prune(
     candidates: &[Candidate],
     best: &SharedBest,
     stats: &SharedStats,
+    guard: &BudgetGuard,
 ) -> Result<()> {
     if candidates.is_empty() {
         return Ok(());
@@ -264,12 +337,20 @@ fn bound_and_prune(
 
     // Lines 8–32: traverse, tightening the frontier sums.
     while let Some(qn) = queue.pop_front() {
+        // Cooperative checkpoint: each pop costs at least one page read,
+        // so checking per pop keeps overhead negligible. The best found
+        // so far stays valid (rank_hi penalties are achievable).
+        if guard.check().is_some() {
+            return Ok(());
+        }
         if !cands.iter().any(|c| c.active) {
             // Every candidate retired: nothing enqueued will be visited.
             traversal.nodes_pruned.add(queue.len() as u64 + 1);
             return Ok(());
         }
-        let node = tree.read_node(qn.node).map_err(crate::WhyNotError::Storage)?;
+        let node = tree
+            .read_node(qn.node)
+            .map_err(crate::WhyNotError::Storage)?;
         stats.nodes_expanded.fetch_add(1, Ordering::Relaxed);
 
         // Gather each child's per-candidate contribution.

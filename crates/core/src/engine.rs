@@ -159,6 +159,22 @@ impl WhyNotEngine {
         answer_kcr(&self.dataset, &self.kcr, question, KcrOptions::default())
     }
 
+    /// Answers under a [`QueryBudget`](crate::QueryBudget): the
+    /// recommended solver runs until the budget is exhausted, then
+    /// degrades to the in-memory approximate fallback (the answer's
+    /// `quality` field says which happened).
+    pub fn answer_with_budget(
+        &self,
+        question: &WhyNotQuestion,
+        budget: crate::QueryBudget,
+    ) -> Result<WhyNotAnswer> {
+        let opts = KcrOptions {
+            budget,
+            ..KcrOptions::default()
+        };
+        answer_kcr(&self.dataset, &self.kcr, question, opts)
+    }
+
     /// Answers with the basic algorithm (BS).
     pub fn answer_basic(&self, question: &WhyNotQuestion) -> Result<WhyNotAnswer> {
         answer_basic(&self.dataset, &self.setr, question)
@@ -174,11 +190,7 @@ impl WhyNotEngine {
     }
 
     /// Answers with KcRBased.
-    pub fn answer_kcr(
-        &self,
-        question: &WhyNotQuestion,
-        opts: KcrOptions,
-    ) -> Result<WhyNotAnswer> {
+    pub fn answer_kcr(&self, question: &WhyNotQuestion, opts: KcrOptions) -> Result<WhyNotAnswer> {
         answer_kcr(&self.dataset, &self.kcr, question, opts)
     }
 

@@ -290,16 +290,15 @@ mod tests {
         let e = enumerator();
         let all = e.all(false);
         // Deleting both and inserting 3 → {3}.
-        assert!(all.iter().any(|c| c.doc == KeywordSet::from_ids([3])
-            && c.edit_distance == 3));
+        assert!(all
+            .iter()
+            .any(|c| c.doc == KeywordSet::from_ids([3]) && c.edit_distance == 3));
         // Single insert → {1, 2, 3}.
         assert!(all
             .iter()
             .any(|c| c.doc == KeywordSet::from_ids([1, 2, 3]) && c.edit_distance == 1));
         // Empty set is reachable by deleting everything (d = 2).
-        assert!(all
-            .iter()
-            .any(|c| c.doc.is_empty() && c.edit_distance == 2));
+        assert!(all.iter().any(|c| c.doc.is_empty() && c.edit_distance == 2));
     }
 
     #[test]

@@ -16,6 +16,11 @@ pub enum WhyNotError {
     NotMissing { object: ObjectId, rank: usize },
     /// The same object was listed twice in the missing set.
     DuplicateMissing(ObjectId),
+    /// The query budget ran out and even the approximate fallback could
+    /// not finish inside its grace window. Degradation normally returns
+    /// an answer tagged [`AnswerQuality::Degraded`](crate::AnswerQuality);
+    /// this error is the last rung of the ladder.
+    BudgetExhausted { reason: crate::DegradeReason },
 }
 
 impl fmt::Display for WhyNotError {
@@ -35,6 +40,11 @@ impl fmt::Display for WhyNotError {
             WhyNotError::DuplicateMissing(id) => {
                 write!(f, "object {id:?} listed twice in the missing set")
             }
+            WhyNotError::BudgetExhausted { reason } => write!(
+                f,
+                "query budget exhausted ({reason}) and the approximate fallback \
+                 could not finish within its grace window"
+            ),
         }
     }
 }
@@ -63,7 +73,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(WhyNotError::EmptyMissingSet.to_string().contains("at least one"));
+        assert!(WhyNotError::EmptyMissingSet
+            .to_string()
+            .contains("at least one"));
         assert!(WhyNotError::NotMissing {
             object: ObjectId(3),
             rank: 2
@@ -78,8 +90,7 @@ mod tests {
     #[test]
     fn storage_error_conversion() {
         use std::error::Error;
-        let e: WhyNotError =
-            wnsk_storage::StorageError::corrupt("node", "oops").into();
+        let e: WhyNotError = wnsk_storage::StorageError::corrupt("node", "oops").into();
         assert!(e.source().is_some());
     }
 }

@@ -79,8 +79,7 @@ pub fn refine_alpha(dataset: &Dataset, question: &WhyNotQuestion) -> Result<Alph
     // R(M, α) for a given α, evaluated with the dataset's own scoring so
     // results are bit-identical to what any later verification computes.
     let rank_at = |alpha: f64| -> usize {
-        let q_alpha =
-            wnsk_index::SpatialKeywordQuery::new(q.loc, q.doc.clone(), q.k, alpha);
+        let q_alpha = wnsk_index::SpatialKeywordQuery::new(q.loc, q.doc.clone(), q.k, alpha);
         question
             .missing
             .iter()
@@ -124,9 +123,8 @@ pub fn refine_alpha(dataset: &Dataset, question: &WhyNotQuestion) -> Result<Alph
             }
         }
     }
-    candidates.sort_by(|a, b| {
-        OrdF64::new((a - alpha0).abs()).cmp(&OrdF64::new((b - alpha0).abs()))
-    });
+    candidates
+        .sort_by(|a, b| OrdF64::new((a - alpha0).abs()).cmp(&OrdF64::new((b - alpha0).abs())));
     candidates.dedup_by(|a, b| (*a - *b).abs() < 1e-15);
 
     // Ordered evaluation with early stop on the preference penalty.
@@ -166,22 +164,33 @@ mod tests {
         // ones: lowering α revives the former.
         let t = |ids: &[u32]| KeywordSet::from_ids(ids.iter().copied());
         let objects = vec![
-            SpatialObject { id: ObjectId(0), loc: Point::new(0.9, 0.9), doc: t(&[1, 2]) }, // m
-            SpatialObject { id: ObjectId(0), loc: Point::new(0.1, 0.1), doc: t(&[3]) },
-            SpatialObject { id: ObjectId(0), loc: Point::new(0.15, 0.1), doc: t(&[4]) },
-            SpatialObject { id: ObjectId(0), loc: Point::new(0.1, 0.15), doc: t(&[5]) },
+            SpatialObject {
+                id: ObjectId(0),
+                loc: Point::new(0.9, 0.9),
+                doc: t(&[1, 2]),
+            }, // m
+            SpatialObject {
+                id: ObjectId(0),
+                loc: Point::new(0.1, 0.1),
+                doc: t(&[3]),
+            },
+            SpatialObject {
+                id: ObjectId(0),
+                loc: Point::new(0.15, 0.1),
+                doc: t(&[4]),
+            },
+            SpatialObject {
+                id: ObjectId(0),
+                loc: Point::new(0.1, 0.15),
+                doc: t(&[5]),
+            },
         ];
         Dataset::new(objects, WorldBounds::unit())
     }
 
     fn question(alpha: f64, k: usize, lambda: f64) -> WhyNotQuestion {
         WhyNotQuestion::new(
-            SpatialKeywordQuery::new(
-                Point::new(0.1, 0.1),
-                KeywordSet::from_ids([1, 2]),
-                k,
-                alpha,
-            ),
+            SpatialKeywordQuery::new(Point::new(0.1, 0.1), KeywordSet::from_ids([1, 2]), k, alpha),
             vec![ObjectId(0)],
             lambda,
         )
@@ -213,12 +222,8 @@ mod tests {
         assert!(r.alpha < 0.9, "expected a lower alpha, got {}", r.alpha);
         assert!(r.penalty < 0.5, "must beat the basic refinement");
         // Verify the refinement really revives m.
-        let q2 = SpatialKeywordQuery::new(
-            question.query.loc,
-            question.query.doc.clone(),
-            r.k,
-            r.alpha,
-        );
+        let q2 =
+            SpatialKeywordQuery::new(question.query.loc, question.query.doc.clone(), r.k, r.alpha);
         assert!(ds.rank_of(ObjectId(0), &q2) <= r.k);
     }
 
@@ -290,8 +295,16 @@ mod tests {
         // when λ is small.
         let t = |ids: &[u32]| KeywordSet::from_ids(ids.iter().copied());
         let objects = vec![
-            SpatialObject { id: ObjectId(0), loc: Point::new(0.9, 0.9), doc: t(&[9]) }, // m
-            SpatialObject { id: ObjectId(0), loc: Point::new(0.1, 0.1), doc: t(&[1]) },
+            SpatialObject {
+                id: ObjectId(0),
+                loc: Point::new(0.9, 0.9),
+                doc: t(&[9]),
+            }, // m
+            SpatialObject {
+                id: ObjectId(0),
+                loc: Point::new(0.1, 0.1),
+                doc: t(&[1]),
+            },
         ];
         let ds = Dataset::new(objects, WorldBounds::unit());
         let question = WhyNotQuestion::new(
@@ -312,22 +325,13 @@ mod tests {
     fn multi_missing_uses_worst_rank() {
         let ds = dataset();
         let question = WhyNotQuestion::new(
-            SpatialKeywordQuery::new(
-                Point::new(0.1, 0.1),
-                KeywordSet::from_ids([1, 2]),
-                1,
-                0.9,
-            ),
+            SpatialKeywordQuery::new(Point::new(0.1, 0.1), KeywordSet::from_ids([1, 2]), 1, 0.9),
             vec![ObjectId(0), ObjectId(2)],
             0.5,
         );
         let r = refine_alpha(&ds, &question).unwrap();
-        let q2 = SpatialKeywordQuery::new(
-            question.query.loc,
-            question.query.doc.clone(),
-            r.k,
-            r.alpha,
-        );
+        let q2 =
+            SpatialKeywordQuery::new(question.query.loc, question.query.doc.clone(), r.k, r.alpha);
         for &m in &question.missing {
             assert!(ds.rank_of(m, &q2) <= r.k);
         }

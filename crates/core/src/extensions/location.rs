@@ -130,9 +130,7 @@ pub fn refine_location(
     if best.loc != q.loc {
         let anchor = *anchors
             .iter()
-            .min_by(|a, b| {
-                OrdF64::new(a.dist(&best.loc)).cmp(&OrdF64::new(b.dist(&best.loc)))
-            })
+            .min_by(|a, b| OrdF64::new(a.dist(&best.loc)).cmp(&OrdF64::new(b.dist(&best.loc))))
             .expect("anchors non-empty");
         let eval = |t: f64| -> f64 {
             let loc = Point::new(
@@ -185,22 +183,33 @@ mod tests {
         // m shares the query keywords but sits far away; decoys crowd the
         // original location.
         let objects = vec![
-            SpatialObject { id: ObjectId(0), loc: Point::new(0.85, 0.85), doc: t(&[1]) }, // m
-            SpatialObject { id: ObjectId(0), loc: Point::new(0.1, 0.1), doc: t(&[1]) },
-            SpatialObject { id: ObjectId(0), loc: Point::new(0.12, 0.1), doc: t(&[1]) },
-            SpatialObject { id: ObjectId(0), loc: Point::new(0.1, 0.12), doc: t(&[1]) },
+            SpatialObject {
+                id: ObjectId(0),
+                loc: Point::new(0.85, 0.85),
+                doc: t(&[1]),
+            }, // m
+            SpatialObject {
+                id: ObjectId(0),
+                loc: Point::new(0.1, 0.1),
+                doc: t(&[1]),
+            },
+            SpatialObject {
+                id: ObjectId(0),
+                loc: Point::new(0.12, 0.1),
+                doc: t(&[1]),
+            },
+            SpatialObject {
+                id: ObjectId(0),
+                loc: Point::new(0.1, 0.12),
+                doc: t(&[1]),
+            },
         ];
         Dataset::new(objects, WorldBounds::unit())
     }
 
     fn question(k: usize, lambda: f64) -> WhyNotQuestion {
         WhyNotQuestion::new(
-            SpatialKeywordQuery::new(
-                Point::new(0.1, 0.1),
-                KeywordSet::from_ids([1]),
-                k,
-                0.5,
-            ),
+            SpatialKeywordQuery::new(Point::new(0.1, 0.1), KeywordSet::from_ids([1]), k, 0.5),
             vec![ObjectId(0)],
             lambda,
         )
@@ -252,8 +261,7 @@ mod tests {
             let rank = ds.rank_of(ObjectId(0), &q2);
             0.999 * rank.saturating_sub(1) as f64
                 / (ds.rank_of(ObjectId(0), &question.query) - 1) as f64
-                + 0.001 * question.query.loc.dist(&Point::new(0.85, 0.85))
-                    / ds.world().diagonal()
+                + 0.001 * question.query.loc.dist(&Point::new(0.85, 0.85)) / ds.world().diagonal()
         };
         assert!(r.penalty <= on_m + 1e-9);
     }
@@ -262,10 +270,26 @@ mod tests {
     fn multi_missing_revived_together() {
         let t = |ids: &[u32]| KeywordSet::from_ids(ids.iter().copied());
         let objects = vec![
-            SpatialObject { id: ObjectId(0), loc: Point::new(0.8, 0.8), doc: t(&[1]) },
-            SpatialObject { id: ObjectId(0), loc: Point::new(0.8, 0.9), doc: t(&[1]) },
-            SpatialObject { id: ObjectId(0), loc: Point::new(0.1, 0.1), doc: t(&[1]) },
-            SpatialObject { id: ObjectId(0), loc: Point::new(0.12, 0.1), doc: t(&[1]) },
+            SpatialObject {
+                id: ObjectId(0),
+                loc: Point::new(0.8, 0.8),
+                doc: t(&[1]),
+            },
+            SpatialObject {
+                id: ObjectId(0),
+                loc: Point::new(0.8, 0.9),
+                doc: t(&[1]),
+            },
+            SpatialObject {
+                id: ObjectId(0),
+                loc: Point::new(0.1, 0.1),
+                doc: t(&[1]),
+            },
+            SpatialObject {
+                id: ObjectId(0),
+                loc: Point::new(0.12, 0.1),
+                doc: t(&[1]),
+            },
         ];
         let ds = Dataset::new(objects, WorldBounds::unit());
         let question = WhyNotQuestion::new(
@@ -283,12 +307,7 @@ mod tests {
     #[test]
     fn invalid_questions_rejected() {
         let ds = dataset();
-        let q = SpatialKeywordQuery::new(
-            Point::new(0.8, 0.8),
-            KeywordSet::from_ids([1]),
-            1,
-            0.5,
-        );
+        let q = SpatialKeywordQuery::new(Point::new(0.8, 0.8), KeywordSet::from_ids([1]), 1, 0.5);
         // m is the top-1 from this location.
         let question = WhyNotQuestion::new(q, vec![ObjectId(0)], 0.5);
         assert!(matches!(

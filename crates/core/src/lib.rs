@@ -29,14 +29,16 @@
 //! take the pieces explicitly for experiments.
 
 pub mod algorithms;
-pub mod extensions;
+mod budget;
 mod engine;
 mod enumeration;
 mod error;
+pub mod extensions;
 mod penalty;
 mod question;
 mod rank;
 
+pub use budget::{AnswerQuality, BudgetGuard, DegradeReason, QueryBudget};
 pub use engine::WhyNotEngine;
 pub use enumeration::{Candidate, CandidateEnumerator};
 pub use error::{Result, WhyNotError};
@@ -45,6 +47,6 @@ pub use question::{AlgoStats, RefinedQuery, WhyNotAnswer, WhyNotContext, WhyNotQ
 pub use rank::{rank_of_set, SetRankOutcome};
 
 pub use algorithms::{
-    answer_advanced, answer_approx_advanced, answer_approx_basic, answer_approx_kcr,
-    answer_basic, answer_kcr, AdvancedOptions, KcrOptions,
+    answer_advanced, answer_approx_advanced, answer_approx_basic, answer_approx_kcr, answer_basic,
+    answer_basic_with_budget, answer_kcr, AdvancedOptions, KcrOptions,
 };

@@ -117,9 +117,7 @@ impl<'a> WhyNotContext<'a> {
                     id,
                     loc: o.loc,
                     doc: o.doc.clone(),
-                    sdist: dataset
-                        .world()
-                        .normalized_dist(&o.loc, &question.query.loc),
+                    sdist: dataset.world().normalized_dist(&o.loc, &question.query.loc),
                 }
             })
             .collect();
@@ -225,6 +223,9 @@ pub struct AlgoStats {
     pub queries_run: u64,
     /// KcR-tree nodes expanded by the bound-and-prune traversal.
     pub nodes_expanded: u64,
+    /// 1 when the query exhausted its [`QueryBudget`](crate::QueryBudget)
+    /// and degraded to the approximate fallback.
+    pub degraded: u64,
     /// Wall time of the initial-rank phase (finding `R(M, q₀)`).
     pub phase_initial_rank: Duration,
     /// Wall time spent enumerating candidate keyword sets.
@@ -257,6 +258,7 @@ impl AlgoStats {
             (names::CORE_PRUNED_BOUND, self.pruned_by_bound),
             (names::CORE_QUERIES_RUN, self.queries_run),
             (names::CORE_NODES_EXPANDED, self.nodes_expanded),
+            (names::CORE_DEGRADED, self.degraded),
         ] {
             registry.counter(name).add(value);
         }
@@ -272,11 +274,13 @@ impl AlgoStats {
     }
 }
 
-/// The result of a why-not algorithm: the best refined query plus stats.
+/// The result of a why-not algorithm: the best refined query plus stats
+/// and which rung of the degradation ladder produced it.
 #[derive(Clone, Debug)]
 pub struct WhyNotAnswer {
     pub refined: RefinedQuery,
     pub stats: AlgoStats,
+    pub quality: crate::AnswerQuality,
 }
 
 #[cfg(test)]
@@ -297,12 +301,7 @@ mod tests {
     }
 
     fn query(k: usize) -> SpatialKeywordQuery {
-        SpatialKeywordQuery::new(
-            Point::new(0.0, 0.0),
-            KeywordSet::from_ids([10]),
-            k,
-            0.5,
-        )
+        SpatialKeywordQuery::new(Point::new(0.0, 0.0), KeywordSet::from_ids([10]), k, 0.5)
     }
 
     #[test]

@@ -1,8 +1,14 @@
 //! Rank-of-set scans: computing `R(M, q') = max_i R(m_i, q')` with one
 //! pass over an [`ObjectStream`], with optional early stop.
 
+use crate::budget::{BudgetGuard, DegradeReason};
 use crate::error::Result;
 use wnsk_index::{ObjectId, ObjectStream};
+
+/// How often a scan re-measures its [`BudgetGuard`] (stream pulls between
+/// checkpoints). Sized so the clock/counter reads stay invisible next to
+/// the page I/O the pulls themselves cause.
+pub(crate) const BUDGET_CHECK_INTERVAL: usize = 64;
 
 /// How a rank-of-set scan terminated.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -12,6 +18,8 @@ pub enum SetRankOutcome {
     /// Aborted: the rank provably exceeds the supplied bound after seeing
     /// this many dominators.
     Aborted { seen_dominators: usize },
+    /// The query budget was exhausted mid-scan; the rank is unknown.
+    Breached { reason: DegradeReason },
 }
 
 impl SetRankOutcome {
@@ -19,7 +27,7 @@ impl SetRankOutcome {
     pub fn rank(&self) -> Option<usize> {
         match self {
             SetRankOutcome::Exact { rank } => Some(*rank),
-            SetRankOutcome::Aborted { .. } => None,
+            SetRankOutcome::Aborted { .. } | SetRankOutcome::Breached { .. } => None,
         }
     }
 }
@@ -37,11 +45,15 @@ impl SetRankOutcome {
 ///   pulling until every missing object has been *retrieved* (§IV-B);
 ///   when `false`, stop as soon as the stream's scores drop to the
 ///   worst missing score (same result, fewer pulls).
+/// * `guard` — cooperative budget checkpoint, measured every
+///   `BUDGET_CHECK_INTERVAL` (64) pulls; a breach returns
+///   [`SetRankOutcome::Breached`].
 pub fn rank_of_set(
     stream: &mut dyn ObjectStream,
     targets: &[(ObjectId, f64)],
     max_rank: Option<usize>,
     until_found: bool,
+    guard: Option<&BudgetGuard>,
 ) -> Result<SetRankOutcome> {
     assert!(!targets.is_empty(), "rank_of_set needs at least one target");
     let min_score = targets
@@ -50,7 +62,16 @@ pub fn rank_of_set(
         .fold(f64::INFINITY, f64::min);
     let mut remaining: Vec<ObjectId> = targets.iter().map(|&(id, _)| id).collect();
     let mut dominators = 0usize;
+    let mut pulls = 0usize;
     loop {
+        if let Some(guard) = guard {
+            if pulls.is_multiple_of(BUDGET_CHECK_INTERVAL) {
+                if let Some(reason) = guard.check() {
+                    return Ok(SetRankOutcome::Breached { reason });
+                }
+            }
+            pulls += 1;
+        }
         if let Some(max_rank) = max_rank {
             if dominators + 1 > max_rank {
                 return Ok(SetRankOutcome::Aborted {
@@ -111,7 +132,7 @@ mod tests {
     #[test]
     fn single_target_rank() {
         let mut s = VecStream::new(vec![(1, 0.9), (2, 0.8), (3, 0.5), (4, 0.4)]);
-        let out = rank_of_set(&mut s, &[(ObjectId(3), 0.5)], None, false).unwrap();
+        let out = rank_of_set(&mut s, &[(ObjectId(3), 0.5)], None, false, None).unwrap();
         assert_eq!(out.rank(), Some(3));
     }
 
@@ -124,6 +145,7 @@ mod tests {
             &[(ObjectId(2), 0.8), (ObjectId(3), 0.5)],
             None,
             false,
+            None,
         )
         .unwrap();
         assert_eq!(out.rank(), Some(3));
@@ -138,6 +160,7 @@ mod tests {
             &[(ObjectId(2), 0.8), (ObjectId(3), 0.5)],
             None,
             true,
+            None,
         )
         .unwrap();
         assert_eq!(out.rank(), Some(2));
@@ -147,14 +170,14 @@ mod tests {
     fn until_found_scans_past_ties() {
         // Three objects tie at 0.5; the target is emitted last among them.
         let mut s = VecStream::new(vec![(1, 0.9), (2, 0.5), (3, 0.5), (4, 0.5)]);
-        let out = rank_of_set(&mut s, &[(ObjectId(4), 0.5)], None, true).unwrap();
+        let out = rank_of_set(&mut s, &[(ObjectId(4), 0.5)], None, true, None).unwrap();
         assert_eq!(out.rank(), Some(2), "ties are not dominators");
     }
 
     #[test]
     fn early_stop_aborts() {
         let mut s = VecStream::new((0..100).map(|i| (i, 1.0 - i as f64 / 200.0)).collect());
-        let out = rank_of_set(&mut s, &[(ObjectId(99), 0.0)], Some(10), false).unwrap();
+        let out = rank_of_set(&mut s, &[(ObjectId(99), 0.0)], Some(10), false, None).unwrap();
         assert_eq!(
             out,
             SetRankOutcome::Aborted {
@@ -166,8 +189,28 @@ mod tests {
     #[test]
     fn early_stop_exact_when_rank_within() {
         let mut s = VecStream::new(vec![(1, 0.9), (2, 0.8), (3, 0.5)]);
-        let out = rank_of_set(&mut s, &[(ObjectId(3), 0.5)], Some(3), false).unwrap();
+        let out = rank_of_set(&mut s, &[(ObjectId(3), 0.5)], Some(3), false, None).unwrap();
         assert_eq!(out.rank(), Some(3));
+    }
+
+    #[test]
+    fn breached_budget_stops_the_scan() {
+        use crate::QueryBudget;
+        use std::sync::Arc;
+        use std::time::Duration;
+        let pool = Arc::new(wnsk_storage::BufferPool::with_default_config(Arc::new(
+            wnsk_storage::MemBackend::new(),
+        )));
+        let guard = BudgetGuard::new(QueryBudget::unlimited().with_deadline(Duration::ZERO), pool);
+        let mut s = VecStream::new(vec![(1, 0.9), (2, 0.8)]);
+        let out = rank_of_set(&mut s, &[(ObjectId(2), 0.8)], None, false, Some(&guard)).unwrap();
+        assert_eq!(
+            out,
+            SetRankOutcome::Breached {
+                reason: DegradeReason::DeadlineExceeded
+            }
+        );
+        assert_eq!(out.rank(), None);
     }
 
     #[test]
@@ -175,7 +218,7 @@ mod tests {
         let mut s = VecStream::new(vec![(1, 0.9)]);
         // Target never appears with until_found — stream ends; rank is
         // still 1 + dominators.
-        let out = rank_of_set(&mut s, &[(ObjectId(5), 0.95)], None, true).unwrap();
+        let out = rank_of_set(&mut s, &[(ObjectId(5), 0.95)], None, true, None).unwrap();
         assert_eq!(out.rank(), Some(1));
     }
 }

@@ -1,0 +1,443 @@
+//! Chaos suite: the solvers run over fault-injected storage and a starved
+//! query budget must never panic and never return a silently wrong
+//! refinement — every `Ok` answer contains all missing objects, every
+//! failure is a typed error.
+//!
+//! The fault matrix is seeded from `WNSK_CHAOS_SEED` (decimal, default
+//! `0xC0FFEE`) so CI can pin a reproducible schedule while local runs can
+//! explore new ones.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+use wnsk_core::{
+    answer_advanced, answer_basic_with_budget, answer_kcr, AdvancedOptions, AnswerQuality,
+    DegradeReason, KcrOptions, QueryBudget, WhyNotAnswer, WhyNotError, WhyNotQuestion,
+};
+use wnsk_geo::{Point, WorldBounds};
+use wnsk_index::{Dataset, KcrTree, ObjectId, SetRTree, SpatialKeywordQuery, SpatialObject};
+use wnsk_storage::{
+    BufferPool, BufferPoolConfig, FaultBackend, FaultPlan, FileBackend, MemBackend, StorageBackend,
+};
+use wnsk_text::KeywordSet;
+
+/// Base seed for the fault matrix; override with `WNSK_CHAOS_SEED`.
+fn chaos_seed() -> u64 {
+    std::env::var("WNSK_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE)
+}
+
+fn random_dataset(n: usize, vocab: u32, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let objects = (0..n)
+        .map(|_| {
+            let n_terms = rng.gen_range(1..=5);
+            let doc = KeywordSet::from_ids((0..n_terms).map(|_| rng.gen_range(0..vocab)));
+            SpatialObject {
+                id: ObjectId(0),
+                loc: Point::new(rng.gen::<f64>(), rng.gen::<f64>()),
+                doc,
+            }
+        })
+        .collect();
+    Dataset::new(objects, WorldBounds::unit())
+}
+
+/// A question whose missing objects genuinely sit below the top-k.
+fn make_question(ds: &Dataset, vocab: u32, seed: u64) -> Option<WhyNotQuestion> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    let q = SpatialKeywordQuery::new(
+        Point::new(rng.gen::<f64>(), rng.gen::<f64>()),
+        KeywordSet::from_ids((0..rng.gen_range(1..=3)).map(|_| rng.gen_range(0..vocab))),
+        5,
+        0.5,
+    );
+    let mut scored: Vec<(ObjectId, f64)> = ds
+        .objects()
+        .iter()
+        .map(|o| (o.id, ds.score(o, &q)))
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let lo = q.k + 2;
+    let hi = (q.k + 30).min(scored.len());
+    for _ in 0..100 {
+        let id = scored[rng.gen_range(lo..hi)].0;
+        if ds.rank_of(id, &q) > q.k {
+            return Some(WhyNotQuestion::new(q, vec![id], 0.5));
+        }
+    }
+    None
+}
+
+/// An `Ok` answer must be sound: finite penalty, and the refined query
+/// really retrieves every missing object within its refined `k'`.
+fn assert_valid_answer(ds: &Dataset, question: &WhyNotQuestion, a: &WhyNotAnswer, tag: &str) {
+    assert!(
+        a.refined.penalty.is_finite(),
+        "{tag}: penalty must be finite, got {}",
+        a.refined.penalty
+    );
+    let q_refined = question.query.with_doc(a.refined.doc.clone());
+    for &id in &question.missing {
+        let rank = ds.rank_of(id, &q_refined);
+        assert!(
+            rank <= a.refined.k,
+            "{tag}: missing {id:?} ranks {rank} under the refined query, beyond k'={}",
+            a.refined.k
+        );
+    }
+}
+
+fn pool_over(backend: Arc<dyn StorageBackend>) -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(backend, BufferPoolConfig::default()))
+}
+
+/// Re-wraps a build/open failure so the chaos assertions can classify it
+/// like any other storage error (`StorageError` holds `io::Error` and is
+/// not `Clone`).
+fn as_storage_error(e: &wnsk_storage::StorageError) -> WhyNotError {
+    WhyNotError::Storage(if e.is_transient() {
+        wnsk_storage::StorageError::transient("chaos build", e.to_string())
+    } else {
+        wnsk_storage::StorageError::corrupt("chaos build", e.to_string())
+    })
+}
+
+/// Builds both trees through the given (possibly faulty) storage — then
+/// re-opens them through a *fresh, cold* pool so persistent corruption is
+/// actually read back rather than masked by the build-time cache — and
+/// runs all three solvers. Build failures surface as one `Err` per
+/// solver slot.
+fn run_all_solvers(
+    ds: &Dataset,
+    question: &WhyNotQuestion,
+    setr_backend: Arc<dyn StorageBackend>,
+    kcr_backend: Arc<dyn StorageBackend>,
+) -> Vec<(&'static str, Result<WhyNotAnswer, WhyNotError>)> {
+    let setr = SetRTree::build(pool_over(Arc::clone(&setr_backend)), ds, 8)
+        .and_then(|_| SetRTree::open(pool_over(setr_backend)));
+    let kcr = KcrTree::build(pool_over(Arc::clone(&kcr_backend)), ds, 8)
+        .and_then(|_| KcrTree::open(pool_over(kcr_backend)));
+    let mut out = Vec::new();
+    match &setr {
+        Ok(tree) => {
+            out.push((
+                "bs",
+                answer_basic_with_budget(ds, tree, question, QueryBudget::unlimited()),
+            ));
+            out.push((
+                "advanced",
+                answer_advanced(ds, tree, question, AdvancedOptions::default()),
+            ));
+        }
+        Err(e) => {
+            out.push(("bs", Err(as_storage_error(e))));
+            out.push(("advanced", Err(as_storage_error(e))));
+        }
+    }
+    match &kcr {
+        Ok(tree) => out.push(("kcr", answer_kcr(ds, tree, question, KcrOptions::default()))),
+        Err(e) => out.push(("kcr", Err(as_storage_error(e)))),
+    }
+    out
+}
+
+/// Transient faults (read errors + bit flips) are healed by the pool's
+/// retry loop: every solver still reaches the clean exact answer.
+#[test]
+fn transient_faults_heal_to_the_exact_answer() {
+    let base = chaos_seed();
+    for round in 0..4u64 {
+        let seed = base.wrapping_add(round);
+        let ds = random_dataset(250, 25, seed);
+        let Some(question) = make_question(&ds, 25, seed) else {
+            continue;
+        };
+
+        // Clean reference run.
+        let clean = run_all_solvers(
+            &ds,
+            &question,
+            Arc::new(MemBackend::new()),
+            Arc::new(MemBackend::new()),
+        );
+
+        let plan = FaultPlan::new(seed)
+            .with_read_error_prob(0.05)
+            .with_read_bitflip_prob(0.05)
+            .with_write_error_prob(0.05);
+        let setr_fb = Arc::new(FaultBackend::new(MemBackend::new(), plan.clone()));
+        let kcr_fb = Arc::new(FaultBackend::new(MemBackend::new(), plan));
+        let faulty = run_all_solvers(
+            &ds,
+            &question,
+            Arc::clone(&setr_fb) as Arc<dyn StorageBackend>,
+            Arc::clone(&kcr_fb) as Arc<dyn StorageBackend>,
+        );
+
+        let injected = setr_fb.fault_stats().total() + kcr_fb.fault_stats().total();
+        assert!(injected > 0, "seed {seed}: the fault plan never fired");
+
+        for ((tag, clean_r), (_, faulty_r)) in clean.iter().zip(&faulty) {
+            let clean_a = clean_r.as_ref().expect("clean run must succeed");
+            let faulty_a = faulty_r
+                .as_ref()
+                .unwrap_or_else(|e| panic!("seed {seed} {tag}: transient faults must heal: {e}"));
+            assert_valid_answer(&ds, &question, faulty_a, &format!("seed {seed} {tag}"));
+            assert!(
+                (clean_a.refined.penalty - faulty_a.refined.penalty).abs() < 1e-12,
+                "seed {seed} {tag}: faulty run changed the refinement \
+                 ({} vs {})",
+                clean_a.refined.penalty,
+                faulty_a.refined.penalty
+            );
+        }
+    }
+}
+
+/// Persistent corruption (torn writes) either never lands on the query
+/// path — the answer is still sound — or surfaces as a typed storage
+/// error. Never a panic, never a silently wrong refinement. Runs over
+/// both the in-memory and the on-disk backend.
+#[test]
+fn persistent_corruption_is_detected_or_harmless() {
+    let base = chaos_seed();
+    let dir = std::env::temp_dir().join(format!("wnsk-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut injected_total = 0u64;
+    for round in 0..4u64 {
+        let seed = base.wrapping_add(0x100 + round);
+        let ds = random_dataset(250, 25, seed);
+        let Some(question) = make_question(&ds, 25, seed) else {
+            continue;
+        };
+        let plan = FaultPlan::new(seed)
+            .with_torn_write_prob(0.02)
+            .with_read_bitflip_prob(0.02)
+            .with_read_error_prob(0.02);
+
+        // In-memory and file-backed storage behind the same fault plan.
+        let mem_setr = Arc::new(FaultBackend::new(MemBackend::new(), plan.clone()));
+        let mem_kcr = Arc::new(FaultBackend::new(MemBackend::new(), plan.clone()));
+        let file_setr = Arc::new(FaultBackend::new(
+            FileBackend::create(&dir.join(format!("setr-{round}.db"))).unwrap(),
+            plan.clone(),
+        ));
+        let file_kcr = Arc::new(FaultBackend::new(
+            FileBackend::create(&dir.join(format!("kcr-{round}.db"))).unwrap(),
+            plan,
+        ));
+
+        let results = run_all_solvers(
+            &ds,
+            &question,
+            Arc::clone(&mem_setr) as Arc<dyn StorageBackend>,
+            Arc::clone(&mem_kcr) as Arc<dyn StorageBackend>,
+        )
+        .into_iter()
+        .chain(run_all_solvers(
+            &ds,
+            &question,
+            Arc::clone(&file_setr) as Arc<dyn StorageBackend>,
+            Arc::clone(&file_kcr) as Arc<dyn StorageBackend>,
+        ));
+
+        for (tag, r) in results {
+            match r {
+                Ok(a) => assert_valid_answer(&ds, &question, &a, &format!("seed {seed} {tag}")),
+                // A typed error is the correct way to fail; reaching this
+                // arm at all proves no panic escaped.
+                Err(WhyNotError::Storage(_)) => {}
+                Err(e) => panic!("seed {seed} {tag}: unexpected error class: {e}"),
+            }
+        }
+        injected_total += mem_setr.fault_stats().total()
+            + mem_kcr.fault_stats().total()
+            + file_setr.fault_stats().total()
+            + file_kcr.fault_stats().total();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        injected_total > 0,
+        "the chaos matrix never injected a fault"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Arbitrary fault schedules over arbitrary small instances: solvers
+    /// never panic, and answers are sound or errors typed.
+    #[test]
+    fn chaos_never_panics_or_lies(
+        seed in 0u64..1_000_000,
+        read_err in 0.0f64..0.1,
+        bitflip in 0.0f64..0.1,
+        torn in 0.0f64..0.05,
+    ) {
+        let ds = random_dataset(120, 15, seed);
+        if let Some(question) = make_question(&ds, 15, seed) {
+            let plan = FaultPlan::new(seed)
+                .with_read_error_prob(read_err)
+                .with_read_bitflip_prob(bitflip)
+                .with_torn_write_prob(torn);
+            let setr = Arc::new(FaultBackend::new(MemBackend::new(), plan.clone()));
+            let kcr = Arc::new(FaultBackend::new(MemBackend::new(), plan));
+            for (tag, r) in run_all_solvers(
+                &ds,
+                &question,
+                setr as Arc<dyn StorageBackend>,
+                kcr as Arc<dyn StorageBackend>,
+            ) {
+                match r {
+                    Ok(a) => assert_valid_answer(&ds, &question, &a, tag),
+                    Err(WhyNotError::Storage(_)) => {}
+                    Err(e) => panic!("{tag}: unexpected error class: {e}"),
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-solver query-budget behaviour.
+// ---------------------------------------------------------------------
+
+struct BudgetFixture {
+    ds: Dataset,
+    question: WhyNotQuestion,
+    setr: SetRTree,
+    kcr: KcrTree,
+}
+
+fn budget_fixture(seed: u64) -> BudgetFixture {
+    for s in seed.. {
+        let ds = random_dataset(300, 25, s);
+        if let Some(question) = make_question(&ds, 25, s) {
+            let setr = SetRTree::build(pool_over(Arc::new(MemBackend::new())), &ds, 8).unwrap();
+            let kcr = KcrTree::build(pool_over(Arc::new(MemBackend::new())), &ds, 8).unwrap();
+            return BudgetFixture {
+                ds,
+                question,
+                setr,
+                kcr,
+            };
+        }
+    }
+    unreachable!("some seed always yields a valid question")
+}
+
+/// Runs one solver under `budget` against the fixture, with a cold cache
+/// so page-read limits have physical reads to count.
+fn solve(f: &BudgetFixture, algo: &str, budget: QueryBudget) -> Result<WhyNotAnswer, WhyNotError> {
+    f.setr.pool().clear_cache();
+    f.kcr.pool().clear_cache();
+    match algo {
+        "bs" => answer_basic_with_budget(&f.ds, &f.setr, &f.question, budget),
+        "advanced" => answer_advanced(
+            &f.ds,
+            &f.setr,
+            &f.question,
+            AdvancedOptions {
+                budget,
+                ..AdvancedOptions::default()
+            },
+        ),
+        "kcr" => answer_kcr(
+            &f.ds,
+            &f.kcr,
+            &f.question,
+            KcrOptions {
+                budget,
+                ..KcrOptions::default()
+            },
+        ),
+        _ => unreachable!(),
+    }
+}
+
+/// A zero deadline (with the default grace window) degrades every solver
+/// to an approximate — but still sound — answer.
+#[test]
+fn zero_deadline_degrades_every_solver() {
+    let f = budget_fixture(7);
+    for algo in ["bs", "advanced", "kcr"] {
+        let budget = QueryBudget::unlimited().with_deadline(Duration::ZERO);
+        let a = solve(&f, algo, budget).unwrap_or_else(|e| panic!("{algo}: {e}"));
+        assert_eq!(
+            a.quality,
+            AnswerQuality::Degraded {
+                reason: DegradeReason::DeadlineExceeded
+            },
+            "{algo}"
+        );
+        assert_eq!(a.stats.degraded, 1, "{algo}");
+        assert_valid_answer(&f.ds, &f.question, &a, algo);
+    }
+}
+
+/// A one-page read budget degrades every solver with the page-read
+/// reason once the initial scan has touched storage.
+#[test]
+fn page_read_limit_degrades_every_solver() {
+    let f = budget_fixture(11);
+    for algo in ["bs", "advanced", "kcr"] {
+        let budget = QueryBudget::unlimited().with_max_page_reads(1);
+        let a = solve(&f, algo, budget).unwrap_or_else(|e| panic!("{algo}: {e}"));
+        assert_eq!(
+            a.quality,
+            AnswerQuality::Degraded {
+                reason: DegradeReason::PageReadLimit
+            },
+            "{algo}"
+        );
+        assert_valid_answer(&f.ds, &f.question, &a, algo);
+    }
+}
+
+/// With a zero deadline *and* a zero grace window even the fallback
+/// cannot run: the last rung is the typed `BudgetExhausted` error.
+#[test]
+fn zero_grace_is_a_typed_budget_error() {
+    let f = budget_fixture(13);
+    for algo in ["bs", "advanced", "kcr"] {
+        let budget = QueryBudget::unlimited()
+            .with_deadline(Duration::ZERO)
+            .with_fallback_grace(Duration::ZERO);
+        match solve(&f, algo, budget) {
+            Err(WhyNotError::BudgetExhausted { reason }) => {
+                assert_eq!(reason, DegradeReason::DeadlineExceeded, "{algo}")
+            }
+            other => panic!("{algo}: expected BudgetExhausted, got {other:?}"),
+        }
+    }
+}
+
+/// The acceptance scenario: a 1 ms deadline over slow storage on a
+/// paper-scale workload still yields an answer — degraded, finite
+/// penalty, and the refined query contains every missing object.
+#[test]
+fn millisecond_deadline_on_slow_storage_degrades_gracefully() {
+    let seed = chaos_seed();
+    let ds = random_dataset(2000, 40, seed);
+    let question = make_question(&ds, 40, seed).expect("paper-scale instance has a question");
+    // 20 µs per page read: a handful of reads blow the 1 ms deadline, as
+    // a cold spinning disk would.
+    let plan = FaultPlan::new(seed).with_latency(Duration::from_micros(20), Duration::ZERO);
+    let backend = Arc::new(FaultBackend::new(MemBackend::new(), plan));
+    let setr = SetRTree::build(pool_over(backend as Arc<dyn StorageBackend>), &ds, 16).unwrap();
+    setr.pool().clear_cache();
+
+    let budget = QueryBudget::unlimited().with_deadline(Duration::from_millis(1));
+    let a = answer_basic_with_budget(&ds, &setr, &question, budget).unwrap();
+    assert!(
+        a.quality.is_degraded(),
+        "expected degradation, got {:?}",
+        a.quality
+    );
+    assert_valid_answer(&ds, &question, &a, "1ms-deadline");
+}

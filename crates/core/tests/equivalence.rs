@@ -41,7 +41,12 @@ fn random_query(rng: &mut StdRng, vocab: u32, k: usize) -> SpatialKeywordQuery {
 
 /// Picks missing objects ranked strictly below the top-k but not too deep
 /// (keeps brute force fast).
-fn pick_missing(ds: &Dataset, q: &SpatialKeywordQuery, count: usize, rng: &mut StdRng) -> Vec<ObjectId> {
+fn pick_missing(
+    ds: &Dataset,
+    q: &SpatialKeywordQuery,
+    count: usize,
+    rng: &mut StdRng,
+) -> Vec<ObjectId> {
     let mut scored: Vec<(ObjectId, f64)> = ds
         .objects()
         .iter()
@@ -92,7 +97,13 @@ fn brute_force_optimal(ds: &Dataset, question: &WhyNotQuestion) -> f64 {
     best
 }
 
-fn setup(seed: u64, n: usize, vocab: u32, k: usize, missing: usize) -> Option<(WhyNotEngine, WhyNotQuestion)> {
+fn setup(
+    seed: u64,
+    n: usize,
+    vocab: u32,
+    k: usize,
+    missing: usize,
+) -> Option<(WhyNotEngine, WhyNotQuestion)> {
     let mut rng = StdRng::seed_from_u64(seed);
     let ds = random_dataset(n, vocab, seed);
     let q = random_query(&mut rng, vocab, k);
@@ -101,12 +112,8 @@ fn setup(seed: u64, n: usize, vocab: u32, k: usize, missing: usize) -> Option<(W
         return None;
     }
     let question = WhyNotQuestion::new(q, m, [0.3, 0.5, 0.7][rng.gen_range(0..3)]);
-    let engine = WhyNotEngine::build_with(
-        ds,
-        8,
-        wnsk_storage::BufferPoolConfig::default(),
-    )
-    .unwrap();
+    let engine =
+        WhyNotEngine::build_with(ds, 8, wnsk_storage::BufferPoolConfig::default()).unwrap();
     Some((engine, question))
 }
 
@@ -200,7 +207,7 @@ fn every_ablation_configuration_is_exact() {
                     early_stop,
                     ordered_enumeration: ordered,
                     keyword_set_filtering: filtering,
-                    threads: 1,
+                    ..AdvancedOptions::default()
                 };
                 let ans =
                     answer_advanced(engine.dataset(), engine.setr(), &question, opts).unwrap();
@@ -240,14 +247,20 @@ fn parallel_matches_serial() {
             engine.dataset(),
             engine.kcr(),
             &question,
-            KcrOptions { threads, ..KcrOptions::default() },
+            KcrOptions {
+                threads,
+                ..KcrOptions::default()
+            },
         )
         .unwrap();
         let kcr_ser = answer_kcr(
             engine.dataset(),
             engine.kcr(),
             &question,
-            KcrOptions { threads: 1, ..KcrOptions::default() },
+            KcrOptions {
+                threads: 1,
+                ..KcrOptions::default()
+            },
         )
         .unwrap();
         assert!((kcr_par.refined.penalty - kcr_ser.refined.penalty).abs() < 1e-9);
@@ -293,9 +306,7 @@ fn refined_query_revives_the_missing_objects() {
             continue;
         };
         let ans = engine.answer(&question).unwrap();
-        let refined_query = question
-            .query
-            .with_doc(ans.refined.doc.clone());
+        let refined_query = question.query.with_doc(ans.refined.doc.clone());
         for &m in &question.missing {
             let rank = engine.dataset().rank_of(m, &refined_query);
             assert!(
@@ -320,10 +331,26 @@ fn figure1_example_optimum() {
     // inconsistent with Fig. 1; our algorithms return the true optimum.
     let t = |ids: &[u32]| KeywordSet::from_ids(ids.iter().copied());
     let objects = vec![
-        SpatialObject { id: ObjectId(0), loc: Point::new(5.0, 0.0), doc: t(&[1, 2, 3]) }, // m
-        SpatialObject { id: ObjectId(0), loc: Point::new(8.0, 0.0), doc: t(&[1]) },
-        SpatialObject { id: ObjectId(0), loc: Point::new(1.0, 0.0), doc: t(&[1, 3]) },
-        SpatialObject { id: ObjectId(0), loc: Point::new(6.0, 0.0), doc: t(&[1, 2]) },
+        SpatialObject {
+            id: ObjectId(0),
+            loc: Point::new(5.0, 0.0),
+            doc: t(&[1, 2, 3]),
+        }, // m
+        SpatialObject {
+            id: ObjectId(0),
+            loc: Point::new(8.0, 0.0),
+            doc: t(&[1]),
+        },
+        SpatialObject {
+            id: ObjectId(0),
+            loc: Point::new(1.0, 0.0),
+            doc: t(&[1, 3]),
+        },
+        SpatialObject {
+            id: ObjectId(0),
+            loc: Point::new(6.0, 0.0),
+            doc: t(&[1, 2]),
+        },
     ];
     let world = WorldBounds::new(wnsk_geo::Rect::new(
         Point::new(0.0, 0.0),
@@ -332,8 +359,8 @@ fn figure1_example_optimum() {
     let ds = Dataset::new(objects, world);
     let q = SpatialKeywordQuery::new(Point::new(0.0, 0.0), t(&[1, 2]), 1, 0.5);
     let question = WhyNotQuestion::new(q, vec![ObjectId(0)], 0.5);
-    let engine = WhyNotEngine::build_with(ds, 2, wnsk_storage::BufferPoolConfig::default())
-        .unwrap();
+    let engine =
+        WhyNotEngine::build_with(ds, 2, wnsk_storage::BufferPoolConfig::default()).unwrap();
     let expected = 5.0 / 12.0;
     for ans in [
         engine.answer_basic(&question).unwrap(),
@@ -398,12 +425,8 @@ fn alternative_similarity_models_are_exact() {
                 continue;
             }
             let question = WhyNotQuestion::new(q, m, 0.5);
-            let engine = WhyNotEngine::build_with(
-                ds,
-                8,
-                wnsk_storage::BufferPoolConfig::default(),
-            )
-            .unwrap();
+            let engine =
+                WhyNotEngine::build_with(ds, 8, wnsk_storage::BufferPoolConfig::default()).unwrap();
             let expected = brute_force_optimal(engine.dataset(), &question);
             for ans in [
                 answer_basic(engine.dataset(), engine.setr(), &question).unwrap(),
@@ -450,8 +473,8 @@ fn kcr_batch_size_does_not_change_the_answer() {
             engine.kcr(),
             &question,
             KcrOptions {
-                threads: 1,
                 batch_size,
+                ..KcrOptions::default()
             },
         )
         .unwrap();

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use wnsk_core::{
-    answer_advanced, answer_basic, answer_kcr, AdvancedOptions, CandidateEnumerator,
-    KcrOptions, PenaltyModel, WhyNotContext, WhyNotEngine, WhyNotQuestion,
+    answer_advanced, answer_basic, answer_kcr, AdvancedOptions, CandidateEnumerator, KcrOptions,
+    PenaltyModel, WhyNotContext, WhyNotEngine, WhyNotQuestion,
 };
 use wnsk_geo::{Point, WorldBounds};
 use wnsk_index::{Dataset, ObjectId, SpatialKeywordQuery, SpatialObject};
@@ -16,19 +16,17 @@ fn arb_doc() -> impl Strategy<Value = KeywordSet> {
 }
 
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
-    proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64, arb_doc()), 8..40).prop_map(
-        |items| {
-            let objects = items
-                .into_iter()
-                .map(|(x, y, doc)| SpatialObject {
-                    id: ObjectId(0),
-                    loc: Point::new(x, y),
-                    doc,
-                })
-                .collect();
-            Dataset::new(objects, WorldBounds::unit())
-        },
-    )
+    proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64, arb_doc()), 8..40).prop_map(|items| {
+        let objects = items
+            .into_iter()
+            .map(|(x, y, doc)| SpatialObject {
+                id: ObjectId(0),
+                loc: Point::new(x, y),
+                doc,
+            })
+            .collect();
+        Dataset::new(objects, WorldBounds::unit())
+    })
 }
 
 proptest! {

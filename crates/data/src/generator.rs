@@ -18,12 +18,7 @@ pub struct GeneratedData {
 impl GeneratedData {
     /// Average keywords per object (Table II-style statistics).
     pub fn avg_doc_len(&self) -> f64 {
-        let total: usize = self
-            .dataset
-            .objects()
-            .iter()
-            .map(|o| o.doc.len())
-            .sum();
+        let total: usize = self.dataset.objects().iter().map(|o| o.doc.len()).sum();
         total as f64 / self.dataset.len().max(1) as f64
     }
 
@@ -44,7 +39,10 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedData {
         spec.doc_len.0 >= 1 && spec.doc_len.0 <= spec.doc_len.1,
         "doc_len range must be non-empty and start at ≥1"
     );
-    assert!(spec.doc_len.1 <= spec.vocab_size, "doc_len exceeds vocabulary");
+    assert!(
+        spec.doc_len.1 <= spec.vocab_size,
+        "doc_len exceeds vocabulary"
+    );
     let mut rng = StdRng::seed_from_u64(spec.seed);
 
     // Synthetic vocabulary: pseudo-words, rank order = popularity order.
@@ -207,8 +205,7 @@ mod tests {
 
     #[test]
     fn synthetic_words_are_unique() {
-        let words: std::collections::HashSet<String> =
-            (0..10_000).map(synthetic_word).collect();
+        let words: std::collections::HashSet<String> = (0..10_000).map(synthetic_word).collect();
         assert_eq!(words.len(), 10_000);
     }
 

@@ -22,7 +22,10 @@ use wnsk_text::{KeywordSet, Vocabulary};
 pub enum ParseError {
     Io(std::io::Error),
     /// A malformed line, with its 1-based number and a description.
-    Malformed { line: usize, reason: String },
+    Malformed {
+        line: usize,
+        reason: String,
+    },
     /// The file contained no objects.
     Empty,
 }
@@ -91,7 +94,9 @@ pub fn read_dataset<R: BufRead>(reader: R) -> Result<(Dataset, Vocabulary), Pars
     if objects.is_empty() {
         return Err(ParseError::Empty);
     }
-    Ok((Dataset::with_inferred_world(objects), vocab))
+    // Non-empty by the check above, so world-bounds inference cannot fail.
+    let dataset = Dataset::with_inferred_world(objects).map_err(|_| ParseError::Empty)?;
+    Ok((dataset, vocab))
 }
 
 fn parse_coord(tok: Option<&str>, line: usize, which: &str) -> Result<f64, ParseError> {
@@ -121,11 +126,7 @@ pub fn write_dataset<W: Write>(
 ) -> std::io::Result<()> {
     writeln!(writer, "# whynot-sk dataset: {} objects", dataset.len())?;
     for o in dataset.objects() {
-        let words: Vec<&str> = o
-            .doc
-            .iter()
-            .map(|t| vocab.name(t).unwrap_or("?"))
-            .collect();
+        let words: Vec<&str> = o.doc.iter().map(|t| vocab.name(t).unwrap_or("?")).collect();
         writeln!(writer, "{} {} {}", o.loc.x, o.loc.y, words.join(","))?;
     }
     Ok(())
@@ -143,7 +144,10 @@ mod tests {
         let (ds, vocab) = read_dataset(Cursor::new(input)).unwrap();
         assert_eq!(ds.len(), 2);
         assert_eq!(vocab.len(), 3);
-        assert!(ds.object(ObjectId(0)).doc.contains(vocab.get("hotel").unwrap()));
+        assert!(ds
+            .object(ObjectId(0))
+            .doc
+            .contains(vocab.get("hotel").unwrap()));
         assert_eq!(ds.object(ObjectId(1)).loc, Point::new(0.5, 0.5));
     }
 

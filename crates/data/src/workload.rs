@@ -70,11 +70,7 @@ pub fn generate_item(dataset: &Dataset, spec: &WorkloadSpec) -> Option<WorkloadI
     None
 }
 
-fn try_generate(
-    dataset: &Dataset,
-    spec: &WorkloadSpec,
-    rng: &mut StdRng,
-) -> Option<WorkloadItem> {
+fn try_generate(dataset: &Dataset, spec: &WorkloadSpec, rng: &mut StdRng) -> Option<WorkloadItem> {
     if dataset.len() <= spec.missing_rank {
         return None;
     }
@@ -96,12 +92,7 @@ fn try_generate(
         }
     }
     terms.truncate(spec.n_keywords);
-    let query = SpatialKeywordQuery::new(
-        loc,
-        KeywordSet::from_terms(terms),
-        spec.k,
-        spec.alpha,
-    );
+    let query = SpatialKeywordQuery::new(loc, KeywordSet::from_terms(terms), spec.k, spec.alpha);
 
     // Rank every object once (brute force — workload generation is not a
     // measured path).
@@ -227,10 +218,6 @@ mod tests {
             ..WorkloadSpec::paper_default(17)
         };
         let item = generate_item(&ds, &spec).unwrap();
-        assert!(item
-            .query
-            .doc
-            .iter()
-            .any(|t| ds.corpus().doc_freq(t) >= 1));
+        assert!(item.query.doc.iter().any(|t| ds.corpus().doc_freq(t) >= 1));
     }
 }

@@ -18,7 +18,10 @@ impl WorldBounds {
     /// A degenerate rectangle (all objects at one point) gets a diagonal of
     /// 1.0 so that normalised distances are still well defined (all zero).
     pub fn new(rect: Rect) -> Self {
-        assert!(!rect.is_empty(), "world bounds must enclose at least one point");
+        assert!(
+            !rect.is_empty(),
+            "world bounds must enclose at least one point"
+        );
         let diag = rect.min.dist(&rect.max);
         WorldBounds {
             rect,

@@ -174,9 +174,7 @@ pub fn max_dom(prep: &PreparedNode, s: &KeywordSet, tau: f64, model: TextModel) 
                 let cout = c_out(k);
                 let (num, den) = match model {
                     TextModel::Jaccard => (cin as f64, (s_len * ans + cout) as f64),
-                    TextModel::Dice => {
-                        (2.0 * cin as f64, (s_len * ans + cin + cout) as f64)
-                    }
+                    TextModel::Dice => (2.0 * cin as f64, (s_len * ans + cin + cout) as f64),
                     TextModel::Cosine => unreachable!(),
                 };
                 let tsim = if den == 0.0 { 0.0 } else { num / den };
@@ -307,9 +305,7 @@ pub fn min_dom(prep: &PreparedNode, s: &KeywordSet, tau: f64, model: TextModel) 
         let g_s: u64 = s_counts.iter().map(|&c| (c as u64).min(nd)).sum();
         let i_max = prep.g_all(nd) - g_s;
         let feasible = match model {
-            TextModel::Jaccard => {
-                r_min as f64 <= tau * (s_len * nd + i_max) as f64 + EPS
-            }
+            TextModel::Jaccard => r_min as f64 <= tau * (s_len * nd + i_max) as f64 + EPS,
             TextModel::Dice => {
                 2.0 * r_min as f64 <= tau * (s_len * nd + r_min + i_max) as f64 + EPS
             }
@@ -349,8 +345,16 @@ mod tests {
     fn max_dom_trivial_thresholds() {
         let prep = PreparedNode::new(&summary(&[(1, 5), (2, 3)], 5));
         let s = KeywordSet::from_ids([1]);
-        assert_eq!(max_dom(&prep, &s, -0.5, TextModel::Jaccard), 5, "negative tau keeps everyone");
-        assert_eq!(max_dom(&prep, &s, 1.5, TextModel::Jaccard), 0, "tau above 1 excludes everyone");
+        assert_eq!(
+            max_dom(&prep, &s, -0.5, TextModel::Jaccard),
+            5,
+            "negative tau keeps everyone"
+        );
+        assert_eq!(
+            max_dom(&prep, &s, 1.5, TextModel::Jaccard),
+            0,
+            "tau above 1 excludes everyone"
+        );
     }
 
     #[test]
@@ -372,8 +376,16 @@ mod tests {
     fn min_dom_trivial_thresholds() {
         let prep = PreparedNode::new(&summary(&[(1, 5)], 5));
         let s = KeywordSet::from_ids([1]);
-        assert_eq!(min_dom(&prep, &s, -0.1, TextModel::Jaccard), 5, "negative tau forces everyone");
-        assert_eq!(min_dom(&prep, &s, 1.0, TextModel::Jaccard), 0, "tau at 1 forces no one");
+        assert_eq!(
+            min_dom(&prep, &s, -0.1, TextModel::Jaccard),
+            5,
+            "negative tau forces everyone"
+        );
+        assert_eq!(
+            min_dom(&prep, &s, 1.0, TextModel::Jaccard),
+            0,
+            "tau at 1 forces no one"
+        );
     }
 
     #[test]
@@ -404,7 +416,8 @@ mod tests {
         ] {
             for tau in [0.0, 0.2, 0.5, 0.8, 1.0] {
                 assert!(
-                    min_dom(&prep, &s, tau, TextModel::Jaccard) <= max_dom(&prep, &s, tau, TextModel::Jaccard),
+                    min_dom(&prep, &s, tau, TextModel::Jaccard)
+                        <= max_dom(&prep, &s, tau, TextModel::Jaccard),
                     "s={s:?} tau={tau}"
                 );
             }
@@ -420,7 +433,9 @@ mod tests {
         // dependency-free and reproducible.
         let mut state = 0x12345678u64;
         let mut next = move |m: u32| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as u32) % m
         };
         for case in 0..200 {

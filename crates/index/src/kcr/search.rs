@@ -95,10 +95,7 @@ impl<'a> KcrTopKSearch<'a> {
             KcrNode::Leaf(entries) => {
                 for e in entries {
                     let doc = self.tree.read_doc(e.doc)?;
-                    let sdist = self
-                        .tree
-                        .world()
-                        .normalized_dist(&e.loc, &self.query.loc);
+                    let sdist = self.tree.world().normalized_dist(&e.loc, &self.query.loc);
                     let tsim = self.query.sim.similarity(&doc, &self.query.doc);
                     let score = st_score(self.query.alpha, sdist, tsim);
                     self.heap.push(HeapEntry {
@@ -110,16 +107,8 @@ impl<'a> KcrTopKSearch<'a> {
             KcrNode::Internal(entries) => {
                 for e in entries {
                     let kcm = self.tree.read_kcm(e.kcm)?;
-                    let matched = self
-                        .query
-                        .doc
-                        .iter()
-                        .filter(|&t| kcm.count(t) > 0)
-                        .count();
-                    let tsim_bound = self
-                        .query
-                        .sim
-                        .kcr_upper(matched, self.query.doc.len());
+                    let matched = self.query.doc.iter().filter(|&t| kcm.count(t) > 0).count();
+                    let tsim_bound = self.query.sim.kcr_upper(matched, self.query.doc.len());
                     let min_dist = self
                         .tree
                         .world()
@@ -228,8 +217,7 @@ mod tests {
         let objects = (0..n)
             .map(|_| {
                 let n_terms = rng.gen_range(1..=6);
-                let doc =
-                    KeywordSet::from_ids((0..n_terms).map(|_| rng.gen_range(0..vocab)));
+                let doc = KeywordSet::from_ids((0..n_terms).map(|_| rng.gen_range(0..vocab)));
                 SpatialObject {
                     id: ObjectId(0),
                     loc: Point::new(rng.gen::<f64>(), rng.gen::<f64>()),

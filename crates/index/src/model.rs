@@ -73,10 +73,17 @@ impl Dataset {
     }
 
     /// Builds a dataset computing the world bounds from the objects.
-    pub fn with_inferred_world(objects: Vec<SpatialObject>) -> Self {
-        let world = WorldBounds::from_points(objects.iter().map(|o| o.loc))
-            .expect("dataset must be non-empty to infer world bounds");
-        Self::new(objects, world)
+    ///
+    /// Returns [`wnsk_storage::StorageError::InvalidArgument`] when
+    /// `objects` is empty — there is no extent to infer bounds from.
+    pub fn with_inferred_world(objects: Vec<SpatialObject>) -> wnsk_storage::Result<Self> {
+        let world = WorldBounds::from_points(objects.iter().map(|o| o.loc)).ok_or_else(|| {
+            wnsk_storage::StorageError::invalid_argument(
+                "dataset",
+                "cannot infer world bounds from an empty dataset",
+            )
+        })?;
+        Ok(Self::new(objects, world))
     }
 
     /// All objects, id order.
@@ -172,8 +179,7 @@ pub(crate) mod tests {
             obj(1.0, t(&[1, 3])),    // o2: 1−SDist=0.9,  TSim=1/3
             obj(6.0, t(&[1, 2])),    // o3: 1−SDist=0.4,  TSim=1
         ];
-        let world =
-            WorldBounds::new(Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0)));
+        let world = WorldBounds::new(Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0)));
         let q = SpatialKeywordQuery::new(Point::new(0.0, 0.0), t(&[1, 2]), 1, 0.5);
         (Dataset::new(objects, world), q)
     }

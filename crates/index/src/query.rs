@@ -115,9 +115,7 @@ mod tests {
             KeywordSet::from_ids([1, 2, 3]),
             KeywordSet::from_ids([1, 4]),
         ];
-        let union = docs
-            .iter()
-            .fold(KeywordSet::empty(), |acc, d| acc.union(d));
+        let union = docs.iter().fold(KeywordSet::empty(), |acc, d| acc.union(d));
         let inter = docs[1..]
             .iter()
             .fold(docs[0].clone(), |acc, d| acc.intersection(d));
@@ -147,12 +145,7 @@ mod tests {
 
     #[test]
     fn with_doc_keeps_other_fields() {
-        let q = SpatialKeywordQuery::new(
-            Point::new(0.5, 0.5),
-            KeywordSet::from_ids([1]),
-            10,
-            0.7,
-        );
+        let q = SpatialKeywordQuery::new(Point::new(0.5, 0.5), KeywordSet::from_ids([1]), 10, 0.7);
         let q2 = q.with_doc(KeywordSet::from_ids([2, 3]));
         assert_eq!(q2.loc, q.loc);
         assert_eq!(q2.k, 10);

@@ -8,7 +8,7 @@ use crate::str_pack;
 use std::sync::Arc;
 use wnsk_geo::{Point, Rect, WorldBounds};
 use wnsk_storage::codec::{Reader, Writer};
-use wnsk_storage::{BlobRef, BlobStore, BufferPool, PageId, Result, StorageError, PAGE_SIZE};
+use wnsk_storage::{BlobRef, BlobStore, BufferPool, PageId, Result, StorageError, PAGE_DATA_SIZE};
 use wnsk_text::KeywordSet;
 
 /// A freshly written node plus the aggregates its parent entry needs.
@@ -20,12 +20,19 @@ struct BuiltNode {
 }
 
 pub(super) fn build(pool: Arc<BufferPool>, dataset: &Dataset, fanout: usize) -> Result<SetRTree> {
-    assert!(fanout >= 2, "fanout must be at least 2");
-    assert_eq!(
-        pool.backend().page_count(),
-        0,
-        "SetR-tree must be built into empty storage"
-    );
+    if fanout < 2 {
+        return Err(StorageError::invalid_argument(
+            "setr build",
+            format!("fanout must be at least 2, got {fanout}"),
+        ));
+    }
+    let allocated = pool.backend().page_count();
+    if allocated != 0 {
+        return Err(StorageError::invalid_argument(
+            "setr build",
+            format!("SetR-tree must be built into empty storage, found {allocated} pages"),
+        ));
+    }
     // Reserve page 0 for the meta record, written last.
     let meta_page = pool.allocate()?;
     debug_assert_eq!(meta_page, PageId(0));
@@ -68,10 +75,11 @@ pub(super) fn build(pool: Arc<BufferPool>, dataset: &Dataset, fanout: usize) -> 
             });
             let intersection = match group.split_first() {
                 None => KeywordSet::empty(),
-                Some((&first, rest)) => rest.iter().fold(
-                    dataset.objects()[first].doc.clone(),
-                    |acc, &i| acc.intersection(&dataset.objects()[i].doc),
-                ),
+                Some((&first, rest)) => rest
+                    .iter()
+                    .fold(dataset.objects()[first].doc.clone(), |acc, &i| {
+                        acc.intersection(&dataset.objects()[i].doc)
+                    }),
             };
             let node = blobs.write(&SetrNode::Leaf(entries).encode())?;
             Ok(BuiltNode {
@@ -135,7 +143,7 @@ pub(super) fn build(pool: Arc<BufferPool>, dataset: &Dataset, fanout: usize) -> 
 }
 
 fn write_meta(pool: &BufferPool, meta: &Meta) -> Result<()> {
-    let mut w = Writer::with_capacity(PAGE_SIZE);
+    let mut w = Writer::with_capacity(PAGE_DATA_SIZE);
     w.write_u32(MAGIC);
     meta.root.encode(&mut w);
     w.write_u32(meta.height);
@@ -146,9 +154,9 @@ fn write_meta(pool: &BufferPool, meta: &Meta) -> Result<()> {
     w.write_f64(rect.max.x);
     w.write_f64(rect.max.y);
     w.write_u32(meta.fanout);
-    let mut page = w.into_vec();
-    page.resize(PAGE_SIZE, 0);
-    pool.write(PageId(0), &page)
+    // The pool zero-pads to the full payload size and embeds the CRC
+    // trailer.
+    pool.write(PageId(0), &w.into_vec())
 }
 
 pub(super) fn read_meta(pool: &BufferPool) -> Result<Meta> {

@@ -100,10 +100,7 @@ impl<'a> TopKSearch<'a> {
             SetrNode::Leaf(entries) => {
                 for e in entries {
                     let doc = self.tree.read_keyword_set(e.doc)?;
-                    let sdist = self
-                        .tree
-                        .world()
-                        .normalized_dist(&e.loc, &self.query.loc);
+                    let sdist = self.tree.world().normalized_dist(&e.loc, &self.query.loc);
                     let tsim = self.query.sim.similarity(&doc, &self.query.doc);
                     let score = st_score(self.query.alpha, sdist, tsim);
                     self.heap.push(HeapEntry {
@@ -120,8 +117,7 @@ impl<'a> TopKSearch<'a> {
                         .tree
                         .world()
                         .normalized_min_dist(&self.query.loc, &e.mbr);
-                    let tsim_bound =
-                        self.query.sim.node_upper(&union, &inter, &self.query.doc);
+                    let tsim_bound = self.query.sim.node_upper(&union, &inter, &self.query.doc);
                     let bound = st_score(self.query.alpha, min_dist, tsim_bound);
                     self.heap.push(HeapEntry {
                         score: OrdF64::new(bound),
@@ -268,8 +264,7 @@ mod tests {
         let objects = (0..n)
             .map(|_| {
                 let n_terms = rng.gen_range(1..=6);
-                let doc =
-                    KeywordSet::from_ids((0..n_terms).map(|_| rng.gen_range(0..vocab)));
+                let doc = KeywordSet::from_ids((0..n_terms).map(|_| rng.gen_range(0..vocab)));
                 SpatialObject {
                     id: ObjectId(0),
                     loc: Point::new(rng.gen::<f64>(), rng.gen::<f64>()),

@@ -28,13 +28,14 @@ pub struct Level {
 pub fn str_levels(rects: &[Rect], fanout: usize) -> Vec<Level> {
     assert!(fanout >= 2, "fanout must be at least 2");
     if rects.is_empty() {
-        return vec![Level { groups: vec![vec![]] }];
+        return vec![Level {
+            groups: vec![vec![]],
+        }];
     }
 
     let mut levels: Vec<Level> = Vec::new();
     // Current working set: (index into lower level, center rect).
-    let mut current: Vec<(usize, Rect)> =
-        rects.iter().copied().enumerate().collect();
+    let mut current: Vec<(usize, Rect)> = rects.iter().copied().enumerate().collect();
 
     loop {
         let groups = str_partition(&mut current, fanout);
@@ -44,9 +45,7 @@ pub fn str_levels(rects: &[Rect], fanout: usize) -> Vec<Level> {
             .iter()
             .enumerate()
             .map(|(gi, group)| {
-                let mbr = group
-                    .iter()
-                    .fold(Rect::EMPTY, |acc, &(_, r)| acc.union(&r));
+                let mbr = group.iter().fold(Rect::EMPTY, |acc, &(_, r)| acc.union(&r));
                 (gi, mbr)
             })
             .collect();
@@ -177,7 +176,11 @@ mod tests {
         let rects = point_rects(1000);
         let levels = str_levels(&rects, 10);
         // 1000 leaves of ≤10 → ≥100 leaf nodes → ≥10 internal → 1 root.
-        assert!(levels.len() >= 3, "expected ≥3 levels, got {}", levels.len());
+        assert!(
+            levels.len() >= 3,
+            "expected ≥3 levels, got {}",
+            levels.len()
+        );
     }
 
     #[test]

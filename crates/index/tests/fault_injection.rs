@@ -6,9 +6,7 @@ use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use wnsk_geo::{Point, WorldBounds};
 use wnsk_index::{Dataset, KcrTree, ObjectId, SetRTree, SpatialKeywordQuery, SpatialObject};
-use wnsk_storage::{
-    BufferPool, MemBackend, PageId, StorageBackend, PAGE_SIZE,
-};
+use wnsk_storage::{BufferPool, MemBackend, PageId, StorageBackend, PAGE_SIZE};
 use wnsk_text::KeywordSet;
 
 fn dataset(n: usize, seed: u64) -> Dataset {
@@ -45,7 +43,7 @@ fn setr_survives_arbitrary_page_corruption() {
     let mut errors = 0;
     for _trial in 0..30 {
         let victim = PageId(rng.gen_range(1..n_pages)); // keep the meta page
-        // Save, smash, scan, restore.
+                                                        // Save, smash, scan, restore.
         let mut original = vec![0u8; PAGE_SIZE];
         backend.read_page(victim, &mut original).unwrap();
         let mut garbage = original.clone();
@@ -70,7 +68,10 @@ fn setr_survives_arbitrary_page_corruption() {
     }
     // At least some corruptions must actually be detected (the test would
     // be vacuous if nothing ever noticed).
-    assert!(errors > 0, "no corruption was ever detected across 30 trials");
+    assert!(
+        errors > 0,
+        "no corruption was ever detected across 30 trials"
+    );
 }
 
 /// A zeroed meta page is rejected at open time with a corruption error.
@@ -84,7 +85,9 @@ fn zeroed_meta_page_is_rejected() {
         ));
         KcrTree::build(pool, &ds, 8).unwrap();
     }
-    backend.write_page(PageId(0), &vec![0u8; PAGE_SIZE]).unwrap();
+    backend
+        .write_page(PageId(0), &vec![0u8; PAGE_SIZE])
+        .unwrap();
     let pool = Arc::new(BufferPool::with_default_config(
         Arc::clone(&backend) as Arc<dyn StorageBackend>
     ));

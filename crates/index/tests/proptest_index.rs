@@ -18,19 +18,17 @@ fn arb_doc() -> impl Strategy<Value = KeywordSet> {
 }
 
 fn arb_dataset(max_n: usize) -> impl Strategy<Value = Dataset> {
-    proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64, arb_doc()), 1..max_n).prop_map(
-        |items| {
-            let objects = items
-                .into_iter()
-                .map(|(x, y, doc)| SpatialObject {
-                    id: ObjectId(0),
-                    loc: Point::new(x, y),
-                    doc,
-                })
-                .collect();
-            Dataset::new(objects, WorldBounds::unit())
-        },
-    )
+    proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64, arb_doc()), 1..max_n).prop_map(|items| {
+        let objects = items
+            .into_iter()
+            .map(|(x, y, doc)| SpatialObject {
+                id: ObjectId(0),
+                loc: Point::new(x, y),
+                doc,
+            })
+            .collect();
+        Dataset::new(objects, WorldBounds::unit())
+    })
 }
 
 fn arb_model() -> impl Strategy<Value = TextModel> {

@@ -25,12 +25,7 @@ pub enum JsonValue {
 impl JsonValue {
     /// Convenience constructor for objects from `(&str, value)` pairs.
     pub fn object(fields: Vec<(&str, JsonValue)>) -> JsonValue {
-        JsonValue::Object(
-            fields
-                .into_iter()
-                .map(|(k, v)| (k.to_owned(), v))
-                .collect(),
-        )
+        JsonValue::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
     }
 
     /// Renders to a compact JSON string.
@@ -153,10 +148,7 @@ mod tests {
 
     #[test]
     fn escapes_strings() {
-        assert_eq!(
-            JsonValue::from("a\"b\\c\nd").render(),
-            r#""a\"b\\c\nd""#
-        );
+        assert_eq!(JsonValue::from("a\"b\\c\nd").render(), r#""a\"b\\c\nd""#);
         assert_eq!(JsonValue::from("\u{1}").render(), "\"\\u0001\"");
     }
 

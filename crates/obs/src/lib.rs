@@ -79,4 +79,15 @@ pub mod names {
     pub const CORE_QUERIES_RUN: &str = "core.queries_run";
     /// KcR-tree nodes expanded by bound-and-prune.
     pub const CORE_NODES_EXPANDED: &str = "core.nodes_expanded";
+    /// Extra attempts spent retrying transient storage faults.
+    pub const RETRIES: &str = "retries";
+    /// Storage operations that failed even after all retries.
+    pub const RETRIES_EXHAUSTED: &str = "retries_exhausted";
+    /// Total nanoseconds slept in retry backoff.
+    pub const RETRY_BACKOFF_NANOS: &str = "retry_backoff_nanos";
+    /// Page reads whose embedded CRC32 did not match the payload.
+    pub const CHECKSUM_FAILURES: &str = "checksum_failures";
+    /// Queries that exhausted their budget and degraded to the
+    /// sampling-based approximate answer.
+    pub const CORE_DEGRADED: &str = "core.degraded";
 }

@@ -128,11 +128,9 @@ impl TimerSnapshot {
 
     /// Mean recorded duration (zero when nothing was recorded).
     pub fn mean(&self) -> Duration {
-        if self.count == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_nanos(self.total_ns / self.count)
-        }
+        self.total_ns
+            .checked_div(self.count)
+            .map_or(Duration::ZERO, Duration::from_nanos)
     }
 
     /// Delta against an earlier snapshot of the same timer (`max_ns` is

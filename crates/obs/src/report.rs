@@ -82,7 +82,11 @@ impl QueryReport {
     /// ```
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let plural = if self.queries == 1 { "query" } else { "queries" };
+        let plural = if self.queries == 1 {
+            "query"
+        } else {
+            "queries"
+        };
         out.push_str(&format!(
             "report ({}, {} {plural}):\n",
             self.algorithm, self.queries

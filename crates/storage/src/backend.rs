@@ -11,10 +11,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// be thread-safe — the parallel optimisation (§IV-C4) reads pages from
 /// many threads.
 pub trait StorageBackend: Send + Sync {
-    /// Reads page `id` into `buf` (`buf.len() == PAGE_SIZE`).
+    /// Reads page `id` into `buf` (`buf.len() == PAGE_SIZE`, otherwise
+    /// [`StorageError::BadPageBuffer`]).
     fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()>;
 
-    /// Writes page `id` from `data` (`data.len() == PAGE_SIZE`).
+    /// Writes page `id` from `data` (`data.len() == PAGE_SIZE`, otherwise
+    /// [`StorageError::BadPageBuffer`]).
     fn write_page(&self, id: PageId, data: &[u8]) -> Result<()>;
 
     /// Allocates a fresh zeroed page and returns its id.
@@ -41,9 +43,21 @@ impl MemBackend {
     }
 }
 
+/// A malformed caller surfaces a typed error instead of aborting the
+/// process.
+fn check_page_buf(len: usize) -> Result<()> {
+    if len != PAGE_SIZE {
+        return Err(StorageError::BadPageBuffer {
+            expected: PAGE_SIZE,
+            actual: len,
+        });
+    }
+    Ok(())
+}
+
 impl StorageBackend for MemBackend {
     fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
-        assert_eq!(buf.len(), PAGE_SIZE);
+        check_page_buf(buf.len())?;
         let pages = self.pages.read();
         let page = pages
             .get(id.0 as usize)
@@ -56,7 +70,7 @@ impl StorageBackend for MemBackend {
     }
 
     fn write_page(&self, id: PageId, data: &[u8]) -> Result<()> {
-        assert_eq!(data.len(), PAGE_SIZE);
+        check_page_buf(data.len())?;
         let mut pages = self.pages.write();
         let len = pages.len() as u64;
         let page = pages
@@ -132,7 +146,7 @@ impl FileBackend {
 
 impl StorageBackend for FileBackend {
     fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
-        assert_eq!(buf.len(), PAGE_SIZE);
+        check_page_buf(buf.len())?;
         if id.0 >= self.allocated.load(Ordering::Acquire) {
             return Err(StorageError::PageOutOfBounds {
                 page: id,
@@ -145,7 +159,7 @@ impl StorageBackend for FileBackend {
     }
 
     fn write_page(&self, id: PageId, data: &[u8]) -> Result<()> {
-        assert_eq!(data.len(), PAGE_SIZE);
+        check_page_buf(data.len())?;
         if id.0 >= self.allocated.load(Ordering::Acquire) {
             return Err(StorageError::PageOutOfBounds {
                 page: id,
@@ -197,6 +211,39 @@ mod tests {
     #[test]
     fn mem_backend_roundtrip() {
         roundtrip(&MemBackend::new());
+    }
+
+    #[test]
+    fn wrong_buffer_length_is_typed_error() {
+        let m = MemBackend::new();
+        m.allocate_page().unwrap();
+        let mut short = vec![0u8; 12];
+        assert!(matches!(
+            m.read_page(PageId(0), &mut short),
+            Err(StorageError::BadPageBuffer {
+                expected: PAGE_SIZE,
+                actual: 12
+            })
+        ));
+        assert!(matches!(
+            m.write_page(PageId(0), &short),
+            Err(StorageError::BadPageBuffer { .. })
+        ));
+
+        let dir = std::env::temp_dir().join(format!("wnsk-fb3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.db");
+        let f = FileBackend::create(&path).unwrap();
+        f.allocate_page().unwrap();
+        assert!(matches!(
+            f.read_page(PageId(0), &mut short),
+            Err(StorageError::BadPageBuffer { .. })
+        ));
+        assert!(matches!(
+            f.write_page(PageId(0), &short),
+            Err(StorageError::BadPageBuffer { .. })
+        ));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

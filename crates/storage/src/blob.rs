@@ -1,12 +1,13 @@
 use crate::codec::{Reader, Writer};
-use crate::{BufferPool, PageId, Result, StorageError, PAGE_SIZE};
+use crate::{BufferPool, PageId, Result, StorageError, PAGE_DATA_SIZE};
 use std::sync::Arc;
 
 /// Per-page header of a blob chain: `next` page id (8) + payload length in
 /// this page (4).
 const BLOB_HEADER: usize = 12;
-/// Payload capacity of one blob page.
-const BLOB_CAPACITY: usize = PAGE_SIZE - BLOB_HEADER;
+/// Payload capacity of one blob page (the buffer pool keeps the CRC
+/// trailer for itself).
+const BLOB_CAPACITY: usize = PAGE_DATA_SIZE - BLOB_HEADER;
 
 /// A handle to a stored blob: first page of its chain plus total length.
 ///
@@ -49,7 +50,7 @@ impl BlobRef {
 
 /// Chained-page storage for variable-length payloads.
 ///
-/// A blob is split into `PAGE_SIZE − 12` byte chunks, each page carrying a
+/// A blob is split into `PAGE_DATA_SIZE − 12` byte chunks, each page carrying a
 /// `next` pointer. Reads go through the buffer pool so blob access is
 /// charged the same I/O as node access — mirroring the paper, where the
 /// union/intersection keyword sets of a SetR-tree node live on disk next to
@@ -83,13 +84,13 @@ impl BlobStore {
             .collect::<Result<_>>()?;
         for (i, chunk) in data.chunks(BLOB_CAPACITY).enumerate() {
             let next = pages.get(i + 1).copied().unwrap_or(PageId::INVALID);
-            let mut w = Writer::with_capacity(PAGE_SIZE);
+            let mut w = Writer::with_capacity(PAGE_DATA_SIZE);
             w.write_u64(next.0);
             w.write_u32(chunk.len() as u32);
             w.write_bytes(chunk);
-            let mut page = w.into_vec();
-            page.resize(PAGE_SIZE, 0);
-            self.pool.write(pages[i], &page)?;
+            // The pool zero-pads to the full payload size and embeds the
+            // CRC trailer.
+            self.pool.write(pages[i], &w.into_vec())?;
         }
         Ok(BlobRef {
             first_page: pages[0],
@@ -134,7 +135,7 @@ impl BlobStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{BufferPoolConfig, MemBackend};
+    use crate::{BufferPoolConfig, MemBackend, PAGE_SIZE};
 
     fn store() -> BlobStore {
         let backend = Arc::new(MemBackend::new());

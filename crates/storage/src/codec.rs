@@ -167,7 +167,10 @@ mod tests {
         let mut r = Reader::new(&buf, "node header");
         assert!(matches!(
             r.read_u32(),
-            Err(StorageError::Corrupt { context: "node header", .. })
+            Err(StorageError::Corrupt {
+                context: "node header",
+                ..
+            })
         ));
     }
 

@@ -14,6 +14,30 @@ pub enum StorageError {
         context: &'static str,
         detail: String,
     },
+    /// A page's embedded CRC32 did not match its payload: the stored page
+    /// was corrupted below the buffer pool (bit rot, torn write, fault
+    /// injection).
+    ChecksumMismatch {
+        page: PageId,
+        stored: u32,
+        computed: u32,
+    },
+    /// A caller handed `read_page`/`write_page` a buffer of the wrong
+    /// length.
+    BadPageBuffer { expected: usize, actual: usize },
+    /// A transient fault (injected or environmental) that may succeed on
+    /// retry; the buffer pool retries these with exponential backoff.
+    Transient {
+        /// The operation that failed, e.g. `"read_page"`.
+        op: &'static str,
+        detail: String,
+    },
+    /// A caller-supplied argument was structurally invalid (e.g. building
+    /// an index over an empty dataset).
+    InvalidArgument {
+        context: &'static str,
+        detail: String,
+    },
 }
 
 impl StorageError {
@@ -23,6 +47,34 @@ impl StorageError {
             context,
             detail: detail.into(),
         }
+    }
+
+    /// Shorthand for a transient error.
+    pub fn transient(op: &'static str, detail: impl Into<String>) -> Self {
+        StorageError::Transient {
+            op,
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand for an invalid-argument error.
+    pub fn invalid_argument(context: &'static str, detail: impl Into<String>) -> Self {
+        StorageError::InvalidArgument {
+            context,
+            detail: detail.into(),
+        }
+    }
+
+    /// Whether retrying the failed operation may succeed. Checksum
+    /// mismatches count as retryable because the *transport* may have
+    /// corrupted the frame (the retry re-reads the stored page); if the
+    /// stored page itself is rotten, retries exhaust and the mismatch is
+    /// surfaced.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            StorageError::Transient { .. } | StorageError::ChecksumMismatch { .. }
+        )
     }
 }
 
@@ -36,6 +88,24 @@ impl fmt::Display for StorageError {
             ),
             StorageError::Corrupt { context, detail } => {
                 write!(f, "corrupt {context}: {detail}")
+            }
+            StorageError::ChecksumMismatch {
+                page,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checksum mismatch on page {page:?}: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            StorageError::BadPageBuffer { expected, actual } => write!(
+                f,
+                "bad page buffer: expected {expected} bytes, got {actual}"
+            ),
+            StorageError::Transient { op, detail } => {
+                write!(f, "transient storage fault in {op}: {detail}")
+            }
+            StorageError::InvalidArgument { context, detail } => {
+                write!(f, "invalid argument ({context}): {detail}")
             }
         }
     }
@@ -72,6 +142,39 @@ mod tests {
         assert!(e.to_string().contains("p9"));
         let c = StorageError::corrupt("node header", "bad magic");
         assert!(c.to_string().contains("node header"));
+        let m = StorageError::ChecksumMismatch {
+            page: PageId(3),
+            stored: 1,
+            computed: 2,
+        };
+        assert!(m.to_string().contains("checksum mismatch"));
+        let b = StorageError::BadPageBuffer {
+            expected: 4096,
+            actual: 7,
+        };
+        assert!(b.to_string().contains("expected 4096"));
+        let t = StorageError::transient("read_page", "injected");
+        assert!(t.to_string().contains("read_page"));
+        let i = StorageError::invalid_argument("index build", "empty dataset");
+        assert!(i.to_string().contains("empty dataset"));
+    }
+
+    #[test]
+    fn transiency_classification() {
+        assert!(StorageError::transient("read_page", "x").is_transient());
+        assert!(StorageError::ChecksumMismatch {
+            page: PageId(0),
+            stored: 0,
+            computed: 1
+        }
+        .is_transient());
+        assert!(!StorageError::corrupt("blob", "x").is_transient());
+        assert!(!StorageError::PageOutOfBounds {
+            page: PageId(0),
+            allocated: 0
+        }
+        .is_transient());
+        assert!(!StorageError::invalid_argument("c", "d").is_transient());
     }
 
     #[test]

@@ -1,0 +1,337 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! [`FaultBackend`] wraps any [`StorageBackend`] and injects faults
+//! according to a seedable [`FaultPlan`]: transient read/write errors
+//! (per-op probability or scripted by op index), artificial latency,
+//! bit flips on the read path (transient — the stored page is intact),
+//! and torn writes (persistent — only a prefix of the page reaches the
+//! inner backend).
+//!
+//! Every decision derives from `SplitMix64(seed ⊕ op_index)`, so a run is
+//! exactly reproducible from `(plan, sequence of operations)` regardless
+//! of wall clock — the property the CI chaos matrix relies on.
+
+use crate::{PageId, Result, StorageBackend, StorageError, PAGE_SIZE};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// What kind of fault a scripted entry injects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The operation fails with [`StorageError::Transient`].
+    TransientError,
+    /// One deterministic bit of the returned buffer is flipped (reads
+    /// only; ignored for writes).
+    BitFlip,
+    /// Only the first half of the page reaches the backend; the rest is
+    /// zeroed (writes only; ignored for reads).
+    TornWrite,
+}
+
+/// A deterministic, seedable schedule of storage faults.
+///
+/// Probabilities are per *operation* (one `read_page` or `write_page`
+/// call); scripted faults fire at exact global op indexes and compose
+/// with the probabilistic ones.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Seed for the per-op fault RNG.
+    pub seed: u64,
+    /// Probability that a read fails with a transient error.
+    pub read_error_prob: f64,
+    /// Probability that a write fails with a transient error.
+    pub write_error_prob: f64,
+    /// Probability that a read's returned buffer has one bit flipped
+    /// (the stored page stays intact — a transport-level corruption).
+    pub read_bitflip_prob: f64,
+    /// Probability that a write is torn: only the first half of the page
+    /// is stored, the rest zeroed (a persistent, power-loss-style fault).
+    pub torn_write_prob: f64,
+    /// Latency added to every read.
+    pub read_latency: Duration,
+    /// Latency added to every write.
+    pub write_latency: Duration,
+    /// `(op_index, fault)` entries that fire unconditionally when the
+    /// global op counter reaches `op_index`.
+    pub scripted: Vec<(u64, FaultKind)>,
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing (seed only).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Sets the transient read-error probability.
+    pub fn with_read_error_prob(mut self, p: f64) -> Self {
+        self.read_error_prob = p;
+        self
+    }
+
+    /// Sets the transient write-error probability.
+    pub fn with_write_error_prob(mut self, p: f64) -> Self {
+        self.write_error_prob = p;
+        self
+    }
+
+    /// Sets the read bit-flip probability.
+    pub fn with_read_bitflip_prob(mut self, p: f64) -> Self {
+        self.read_bitflip_prob = p;
+        self
+    }
+
+    /// Sets the torn-write probability.
+    pub fn with_torn_write_prob(mut self, p: f64) -> Self {
+        self.torn_write_prob = p;
+        self
+    }
+
+    /// Sets injected read/write latency.
+    pub fn with_latency(mut self, read: Duration, write: Duration) -> Self {
+        self.read_latency = read;
+        self.write_latency = write;
+        self
+    }
+
+    /// Adds a scripted fault at the given global op index.
+    pub fn with_scripted(mut self, op_index: u64, kind: FaultKind) -> Self {
+        self.scripted.push((op_index, kind));
+        self
+    }
+}
+
+/// Counts of faults actually injected, for test assertions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    pub read_errors: u64,
+    pub write_errors: u64,
+    pub bit_flips: u64,
+    pub torn_writes: u64,
+}
+
+impl FaultStats {
+    /// Total injected faults of any kind.
+    pub fn total(&self) -> u64 {
+        self.read_errors + self.write_errors + self.bit_flips + self.torn_writes
+    }
+}
+
+#[derive(Default)]
+struct FaultCounters {
+    read_errors: AtomicU64,
+    write_errors: AtomicU64,
+    bit_flips: AtomicU64,
+    torn_writes: AtomicU64,
+}
+
+/// SplitMix64: a single deterministic 64-bit draw per (seed, op, salt).
+fn mix(seed: u64, op: u64, salt: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(op.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(salt.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a 64-bit draw to `[0, 1)` and compares against `p`.
+fn hit(draw: u64, p: f64) -> bool {
+    p > 0.0 && ((draw >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+}
+
+/// A [`StorageBackend`] decorator that injects the faults described by a
+/// [`FaultPlan`]. Wrap it around [`MemBackend`](crate::MemBackend) or
+/// [`FileBackend`](crate::FileBackend) and hand it to a
+/// [`BufferPool`](crate::BufferPool); the pool's retry logic then has
+/// something real to push against.
+pub struct FaultBackend<B> {
+    inner: B,
+    plan: FaultPlan,
+    ops: AtomicU64,
+    counters: FaultCounters,
+}
+
+impl<B: StorageBackend> FaultBackend<B> {
+    /// Wraps `inner` with the fault schedule of `plan`.
+    pub fn new(inner: B, plan: FaultPlan) -> Self {
+        FaultBackend {
+            inner,
+            plan,
+            ops: AtomicU64::new(0),
+            counters: FaultCounters::default(),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Counts of faults injected so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        FaultStats {
+            read_errors: self.counters.read_errors.load(Ordering::Relaxed),
+            write_errors: self.counters.write_errors.load(Ordering::Relaxed),
+            bit_flips: self.counters.bit_flips.load(Ordering::Relaxed),
+            torn_writes: self.counters.torn_writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Scripted fault scheduled for `op`, if any.
+    fn scripted(&self, op: u64) -> Option<FaultKind> {
+        self.plan
+            .scripted
+            .iter()
+            .find(|&&(at, _)| at == op)
+            .map(|&(_, kind)| kind)
+    }
+}
+
+impl<B: StorageBackend> StorageBackend for FaultBackend<B> {
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        let op = self.ops.fetch_add(1, Ordering::Relaxed);
+        if !self.plan.read_latency.is_zero() {
+            std::thread::sleep(self.plan.read_latency);
+        }
+        let scripted = self.scripted(op);
+        if scripted == Some(FaultKind::TransientError)
+            || hit(mix(self.plan.seed, op, 1), self.plan.read_error_prob)
+        {
+            self.counters.read_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(StorageError::transient(
+                "read_page",
+                format!("injected read fault at op {op} on {id:?}"),
+            ));
+        }
+        self.inner.read_page(id, buf)?;
+        if scripted == Some(FaultKind::BitFlip)
+            || hit(mix(self.plan.seed, op, 2), self.plan.read_bitflip_prob)
+        {
+            self.counters.bit_flips.fetch_add(1, Ordering::Relaxed);
+            let pos = mix(self.plan.seed, op, 3) as usize % (buf.len() * 8);
+            buf[pos / 8] ^= 1 << (pos % 8);
+        }
+        Ok(())
+    }
+
+    fn write_page(&self, id: PageId, data: &[u8]) -> Result<()> {
+        let op = self.ops.fetch_add(1, Ordering::Relaxed);
+        if !self.plan.write_latency.is_zero() {
+            std::thread::sleep(self.plan.write_latency);
+        }
+        let scripted = self.scripted(op);
+        if scripted == Some(FaultKind::TransientError)
+            || hit(mix(self.plan.seed, op, 4), self.plan.write_error_prob)
+        {
+            self.counters.write_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(StorageError::transient(
+                "write_page",
+                format!("injected write fault at op {op} on {id:?}"),
+            ));
+        }
+        if data.len() == PAGE_SIZE
+            && (scripted == Some(FaultKind::TornWrite)
+                || hit(mix(self.plan.seed, op, 5), self.plan.torn_write_prob))
+        {
+            self.counters.torn_writes.fetch_add(1, Ordering::Relaxed);
+            let mut torn = data.to_vec();
+            torn[PAGE_SIZE / 2..].fill(0);
+            return self.inner.write_page(id, &torn);
+        }
+        self.inner.write_page(id, data)
+    }
+
+    fn allocate_page(&self) -> Result<PageId> {
+        self.inner.allocate_page()
+    }
+
+    fn page_count(&self) -> u64 {
+        self.inner.page_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemBackend;
+
+    fn backend_with_page() -> MemBackend {
+        let b = MemBackend::new();
+        let id = b.allocate_page().unwrap();
+        let mut data = vec![0u8; PAGE_SIZE];
+        data[0] = 0xAA;
+        b.write_page(id, &data).unwrap();
+        b
+    }
+
+    #[test]
+    fn no_faults_is_transparent() {
+        let fb = FaultBackend::new(backend_with_page(), FaultPlan::new(1));
+        let mut buf = vec![0u8; PAGE_SIZE];
+        fb.read_page(PageId(0), &mut buf).unwrap();
+        assert_eq!(buf[0], 0xAA);
+        assert_eq!(fb.fault_stats().total(), 0);
+    }
+
+    #[test]
+    fn scripted_transient_error_fires_once() {
+        let plan = FaultPlan::new(7).with_scripted(0, FaultKind::TransientError);
+        let fb = FaultBackend::new(backend_with_page(), plan);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let err = fb.read_page(PageId(0), &mut buf).unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        // Op 1 is past the script: succeeds.
+        fb.read_page(PageId(0), &mut buf).unwrap();
+        assert_eq!(fb.fault_stats().read_errors, 1);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = |seed: u64| -> Vec<bool> {
+            let plan = FaultPlan::new(seed).with_read_error_prob(0.5);
+            let fb = FaultBackend::new(backend_with_page(), plan);
+            let mut buf = vec![0u8; PAGE_SIZE];
+            (0..50)
+                .map(|_| fb.read_page(PageId(0), &mut buf).is_err())
+                .collect()
+        };
+        assert_eq!(run(42), run(42), "same seed, same fault sequence");
+        assert_ne!(run(42), run(43), "different seeds diverge");
+        assert!(run(42).iter().any(|&e| e) && run(42).iter().any(|&e| !e));
+    }
+
+    #[test]
+    fn bitflip_corrupts_exactly_one_bit_transiently() {
+        let plan = FaultPlan::new(3).with_scripted(0, FaultKind::BitFlip);
+        let fb = FaultBackend::new(backend_with_page(), plan);
+        let mut flipped = vec![0u8; PAGE_SIZE];
+        fb.read_page(PageId(0), &mut flipped).unwrap();
+        let mut clean = vec![0u8; PAGE_SIZE];
+        fb.read_page(PageId(0), &mut clean).unwrap();
+        let diff_bits: u32 = flipped
+            .iter()
+            .zip(&clean)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff_bits, 1, "exactly one bit differs");
+        assert_eq!(clean[0], 0xAA, "the stored page was never touched");
+    }
+
+    #[test]
+    fn torn_write_zeroes_the_tail() {
+        let plan = FaultPlan::new(5).with_scripted(0, FaultKind::TornWrite);
+        let inner = MemBackend::new();
+        inner.allocate_page().unwrap();
+        let fb = FaultBackend::new(inner, plan);
+        let data = vec![0x77u8; PAGE_SIZE];
+        fb.write_page(PageId(0), &data).unwrap();
+        let mut out = vec![0u8; PAGE_SIZE];
+        fb.inner().read_page(PageId(0), &mut out).unwrap();
+        assert!(out[..PAGE_SIZE / 2].iter().all(|&b| b == 0x77));
+        assert!(out[PAGE_SIZE / 2..].iter().all(|&b| b == 0));
+        assert_eq!(fb.fault_stats().torn_writes, 1);
+    }
+}

@@ -16,19 +16,32 @@
 //!   seeks"),
 //! * [`codec`] — the little-endian encoding helpers shared by all node
 //!   formats.
+//!
+//! # Robustness
+//!
+//! The substrate is hardened against a faulty disk: the buffer pool embeds
+//! a CRC32 trailer in every page ([`PAGE_DATA_SIZE`] payload bytes remain
+//! usable) and verifies it on read, surfacing at-rest corruption as a
+//! typed [`StorageError::ChecksumMismatch`]; transient faults are retried
+//! with bounded exponential backoff ([`RetryPolicy`]); and the [`fault`]
+//! module provides a deterministic, seedable [`FaultBackend`] for chaos
+//! testing the whole stack.
 
 mod backend;
 mod blob;
 mod buffer_pool;
 pub mod codec;
+pub mod crc;
 mod error;
+pub mod fault;
 mod lru;
 mod page;
 mod stats;
 
 pub use backend::{FileBackend, MemBackend, StorageBackend};
 pub use blob::{BlobRef, BlobStore};
-pub use buffer_pool::{BufferPool, BufferPoolConfig};
+pub use buffer_pool::{BufferPool, BufferPoolConfig, RetryPolicy};
 pub use error::{Result, StorageError};
-pub use page::{PageId, PAGE_SIZE};
+pub use fault::{FaultBackend, FaultKind, FaultPlan, FaultStats};
+pub use page::{PageId, PAGE_CRC_LEN, PAGE_DATA_SIZE, PAGE_SIZE};
 pub use stats::{IoStats, IoStatsSnapshot};

@@ -4,6 +4,15 @@ use std::fmt;
 /// (§VII-A1: "The page size is set to 4KB").
 pub const PAGE_SIZE: usize = 4096;
 
+/// Bytes of every page reserved for the CRC32 trailer the buffer pool
+/// embeds on write and verifies on read.
+pub const PAGE_CRC_LEN: usize = 4;
+
+/// Usable payload bytes per page when going through the buffer pool.
+/// Backends still move raw [`PAGE_SIZE`] frames; the pool owns the
+/// trailer.
+pub const PAGE_DATA_SIZE: usize = PAGE_SIZE - PAGE_CRC_LEN;
+
 /// Identifier of a page within a [`StorageBackend`](crate::StorageBackend).
 ///
 /// Pages are allocated densely from zero; `PageId` is also the byte offset

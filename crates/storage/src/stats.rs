@@ -15,6 +15,10 @@ pub struct IoStats {
     logical_reads: Counter,
     physical_reads: Counter,
     physical_writes: Counter,
+    retries: Counter,
+    retries_exhausted: Counter,
+    retry_backoff_nanos: Counter,
+    checksum_failures: Counter,
 }
 
 impl IoStats {
@@ -41,6 +45,20 @@ impl IoStats {
             &format!("{prefix}{}", names::PHYSICAL_WRITES),
             self.physical_writes.clone(),
         );
+        self.retries =
+            registry.register_counter(&format!("{prefix}{}", names::RETRIES), self.retries.clone());
+        self.retries_exhausted = registry.register_counter(
+            &format!("{prefix}{}", names::RETRIES_EXHAUSTED),
+            self.retries_exhausted.clone(),
+        );
+        self.retry_backoff_nanos = registry.register_counter(
+            &format!("{prefix}{}", names::RETRY_BACKOFF_NANOS),
+            self.retry_backoff_nanos.clone(),
+        );
+        self.checksum_failures = registry.register_counter(
+            &format!("{prefix}{}", names::CHECKSUM_FAILURES),
+            self.checksum_failures.clone(),
+        );
     }
 
     #[inline]
@@ -58,12 +76,36 @@ impl IoStats {
         self.physical_writes.inc();
     }
 
+    #[inline]
+    pub(crate) fn record_retry(&self) {
+        self.retries.inc();
+    }
+
+    #[inline]
+    pub(crate) fn record_retries_exhausted(&self) {
+        self.retries_exhausted.inc();
+    }
+
+    #[inline]
+    pub(crate) fn record_backoff(&self, slept: std::time::Duration) {
+        self.retry_backoff_nanos.add(slept.as_nanos() as u64);
+    }
+
+    #[inline]
+    pub(crate) fn record_checksum_failure(&self) {
+        self.checksum_failures.inc();
+    }
+
     /// Takes a consistent-enough snapshot of the counters.
     pub fn snapshot(&self) -> IoStatsSnapshot {
         IoStatsSnapshot {
             logical_reads: self.logical_reads.get(),
             physical_reads: self.physical_reads.get(),
             physical_writes: self.physical_writes.get(),
+            retries: self.retries.get(),
+            retries_exhausted: self.retries_exhausted.get(),
+            retry_backoff_nanos: self.retry_backoff_nanos.get(),
+            checksum_failures: self.checksum_failures.get(),
         }
     }
 }
@@ -77,6 +119,14 @@ pub struct IoStatsSnapshot {
     pub physical_reads: u64,
     /// Pages written through to the backend.
     pub physical_writes: u64,
+    /// Extra attempts spent retrying transient faults.
+    pub retries: u64,
+    /// Operations that failed even after all retries.
+    pub retries_exhausted: u64,
+    /// Total nanoseconds slept in retry backoff.
+    pub retry_backoff_nanos: u64,
+    /// Page reads whose CRC32 trailer did not match the payload.
+    pub checksum_failures: u64,
 }
 
 impl IoStatsSnapshot {
@@ -86,6 +136,10 @@ impl IoStatsSnapshot {
             logical_reads: self.logical_reads - earlier.logical_reads,
             physical_reads: self.physical_reads - earlier.physical_reads,
             physical_writes: self.physical_writes - earlier.physical_writes,
+            retries: self.retries - earlier.retries,
+            retries_exhausted: self.retries_exhausted - earlier.retries_exhausted,
+            retry_backoff_nanos: self.retry_backoff_nanos - earlier.retry_backoff_nanos,
+            checksum_failures: self.checksum_failures - earlier.checksum_failures,
         }
     }
 

@@ -3,24 +3,26 @@
 use proptest::prelude::*;
 use std::sync::Arc;
 use wnsk_storage::{
-    BlobStore, BufferPool, BufferPoolConfig, MemBackend, PageId, StorageBackend, PAGE_SIZE,
+    BlobStore, BufferPool, BufferPoolConfig, MemBackend, PageId, StorageBackend, PAGE_DATA_SIZE,
+    PAGE_SIZE,
 };
 
 fn pool_with(frames: usize, shards: usize, pages: u64) -> Arc<BufferPool> {
     let backend = Arc::new(MemBackend::new());
-    for i in 0..pages {
-        let id = backend.allocate_page().unwrap();
-        let mut data = vec![0u8; PAGE_SIZE];
-        data[..8].copy_from_slice(&i.to_le_bytes());
-        backend.write_page(id, &data).unwrap();
-    }
-    Arc::new(BufferPool::new(
+    let pool = Arc::new(BufferPool::new(
         backend,
         BufferPoolConfig {
             capacity_bytes: frames * PAGE_SIZE,
             shards,
+            ..BufferPoolConfig::default()
         },
-    ))
+    ));
+    for i in 0..pages {
+        let id = pool.allocate().unwrap();
+        pool.write(id, &i.to_le_bytes()).unwrap();
+    }
+    pool.clear_cache();
+    pool
 }
 
 proptest! {
@@ -82,9 +84,10 @@ proptest! {
         }
     }
 
-    /// Page writes through the pool are durable on the backend.
+    /// Page writes through the pool are durable on the backend, with the
+    /// CRC trailer embedded in the raw frame.
     #[test]
-    fn write_through_is_durable(contents in proptest::collection::vec(any::<u8>(), PAGE_SIZE..=PAGE_SIZE)) {
+    fn write_through_is_durable(contents in proptest::collection::vec(any::<u8>(), PAGE_DATA_SIZE..=PAGE_DATA_SIZE)) {
         let backend = Arc::new(MemBackend::new());
         let id = backend.allocate_page().unwrap();
         let pool = BufferPool::with_default_config(Arc::clone(&backend) as Arc<dyn StorageBackend>);
@@ -92,6 +95,11 @@ proptest! {
         // Read straight from the backend, bypassing the cache.
         let mut raw = vec![0u8; PAGE_SIZE];
         backend.read_page(id, &mut raw).unwrap();
-        prop_assert_eq!(raw, contents);
+        prop_assert_eq!(&raw[..PAGE_DATA_SIZE], &contents[..]);
+        let stored = u32::from_le_bytes(raw[PAGE_DATA_SIZE..].try_into().unwrap());
+        prop_assert_eq!(stored, wnsk_storage::crc::crc32(&contents));
+        // And the verified read round-trips.
+        pool.clear_cache();
+        prop_assert_eq!(&pool.read(id).unwrap()[..], &contents[..]);
     }
 }

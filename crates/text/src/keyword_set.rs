@@ -15,7 +15,9 @@ pub struct KeywordSet {
 impl KeywordSet {
     /// The empty keyword set.
     pub fn empty() -> Self {
-        KeywordSet { terms: Box::new([]) }
+        KeywordSet {
+            terms: Box::new([]),
+        }
     }
 
     /// Builds a set from arbitrary term ids, sorting and deduplicating.
@@ -23,7 +25,9 @@ impl KeywordSet {
         let mut v: Vec<TermId> = terms.into_iter().collect();
         v.sort_unstable();
         v.dedup();
-        KeywordSet { terms: v.into_boxed_slice() }
+        KeywordSet {
+            terms: v.into_boxed_slice(),
+        }
     }
 
     /// Convenience constructor from raw `u32` ids (used heavily in tests).
@@ -36,8 +40,13 @@ impl KeywordSet {
     /// # Panics
     /// Debug-asserts the invariant; callers are trusted in release builds.
     pub fn from_sorted_unchecked(terms: Vec<TermId>) -> Self {
-        debug_assert!(terms.windows(2).all(|w| w[0] < w[1]), "terms not sorted/unique");
-        KeywordSet { terms: terms.into_boxed_slice() }
+        debug_assert!(
+            terms.windows(2).all(|w| w[0] < w[1]),
+            "terms not sorted/unique"
+        );
+        KeywordSet {
+            terms: terms.into_boxed_slice(),
+        }
     }
 
     /// Number of terms in the set.
@@ -117,7 +126,9 @@ impl KeywordSet {
         }
         v.extend_from_slice(&a[i..]);
         v.extend_from_slice(&b[j..]);
-        KeywordSet { terms: v.into_boxed_slice() }
+        KeywordSet {
+            terms: v.into_boxed_slice(),
+        }
     }
 
     /// Set intersection as a new keyword set.
@@ -136,7 +147,9 @@ impl KeywordSet {
                 }
             }
         }
-        KeywordSet { terms: v.into_boxed_slice() }
+        KeywordSet {
+            terms: v.into_boxed_slice(),
+        }
     }
 
     /// Set difference `self − other` as a new keyword set.
@@ -147,7 +160,9 @@ impl KeywordSet {
                 v.push(t);
             }
         }
-        KeywordSet { terms: v.into_boxed_slice() }
+        KeywordSet {
+            terms: v.into_boxed_slice(),
+        }
     }
 
     /// Insert/delete edit distance to `other` (the `Δdoc` of Eqn. 4):

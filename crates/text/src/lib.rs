@@ -20,8 +20,8 @@ mod particularity;
 mod vocab;
 
 pub use kcm::KeywordCountMap;
-pub use model::TextModel;
 pub use keyword_set::KeywordSet;
+pub use model::TextModel;
 pub use particularity::CorpusStats;
 pub use vocab::{TermId, Vocabulary};
 

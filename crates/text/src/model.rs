@@ -102,8 +102,7 @@ impl TextModel {
                 if qdoc.is_empty() {
                     0.0
                 } else {
-                    let den =
-                        ((intersection.len().max(1) as f64) * qdoc.len() as f64).sqrt();
+                    let den = ((intersection.len().max(1) as f64) * qdoc.len() as f64).sqrt();
                     (num / den).min(1.0)
                 }
             }
@@ -158,9 +157,7 @@ mod tests {
         let c = s(&[1, 2, 3, 4]);
         // a vs c: inter 2: dice = 4/6, cosine = 2/sqrt(8).
         assert!((TextModel::Dice.similarity(&a, &c) - 2.0 / 3.0).abs() < 1e-12);
-        assert!(
-            (TextModel::Cosine.similarity(&a, &c) - 2.0 / 8f64.sqrt()).abs() < 1e-12
-        );
+        assert!((TextModel::Cosine.similarity(&a, &c) - 2.0 / 8f64.sqrt()).abs() < 1e-12);
     }
 
     #[test]

@@ -83,9 +83,7 @@ impl CorpusStats {
     where
         I: IntoIterator<Item = &'a KeywordSet>,
     {
-        docs.into_iter()
-            .map(|d| self.particularity(d, t))
-            .sum()
+        docs.into_iter().map(|d| self.particularity(d, t)).sum()
     }
 }
 

@@ -18,16 +18,56 @@ struct HotelSpec {
 
 /// A hand-curated city block around the conference venue at (0.5, 0.5).
 const HOTELS: &[HotelSpec] = &[
-    HotelSpec { name: "Budget Inn Central", loc: (0.505, 0.495), tags: &["clean", "budget", "hostel"] },
-    HotelSpec { name: "City Comfort Rooms", loc: (0.492, 0.508), tags: &["clean", "comfortable", "rooms"] },
-    HotelSpec { name: "Station Sleep Lodge", loc: (0.498, 0.488), tags: &["comfortable", "clean", "lodge"] },
-    HotelSpec { name: "Grand International", loc: (0.52, 0.53), tags: &["luxury", "international", "spa", "comfortable"] },
-    HotelSpec { name: "Imperial Plaza", loc: (0.55, 0.47), tags: &["luxury", "international", "plaza"] },
-    HotelSpec { name: "Old Town B&B", loc: (0.46, 0.54), tags: &["clean", "breakfast", "quiet"] },
-    HotelSpec { name: "Airport Express Hotel", loc: (0.8, 0.2), tags: &["clean", "comfortable", "airport"] },
-    HotelSpec { name: "Riverside Boutique", loc: (0.43, 0.49), tags: &["boutique", "spa", "comfortable"] },
-    HotelSpec { name: "Metro Capsules", loc: (0.51, 0.51), tags: &["budget", "capsule", "clean"] },
-    HotelSpec { name: "Harbor View Suites", loc: (0.58, 0.58), tags: &["luxury", "suites", "view", "spa"] },
+    HotelSpec {
+        name: "Budget Inn Central",
+        loc: (0.505, 0.495),
+        tags: &["clean", "budget", "hostel"],
+    },
+    HotelSpec {
+        name: "City Comfort Rooms",
+        loc: (0.492, 0.508),
+        tags: &["clean", "comfortable", "rooms"],
+    },
+    HotelSpec {
+        name: "Station Sleep Lodge",
+        loc: (0.498, 0.488),
+        tags: &["comfortable", "clean", "lodge"],
+    },
+    HotelSpec {
+        name: "Grand International",
+        loc: (0.52, 0.53),
+        tags: &["luxury", "international", "spa", "comfortable"],
+    },
+    HotelSpec {
+        name: "Imperial Plaza",
+        loc: (0.55, 0.47),
+        tags: &["luxury", "international", "plaza"],
+    },
+    HotelSpec {
+        name: "Old Town B&B",
+        loc: (0.46, 0.54),
+        tags: &["clean", "breakfast", "quiet"],
+    },
+    HotelSpec {
+        name: "Airport Express Hotel",
+        loc: (0.8, 0.2),
+        tags: &["clean", "comfortable", "airport"],
+    },
+    HotelSpec {
+        name: "Riverside Boutique",
+        loc: (0.43, 0.49),
+        tags: &["boutique", "spa", "comfortable"],
+    },
+    HotelSpec {
+        name: "Metro Capsules",
+        loc: (0.51, 0.51),
+        tags: &["budget", "capsule", "clean"],
+    },
+    HotelSpec {
+        name: "Harbor View Suites",
+        loc: (0.58, 0.58),
+        tags: &["luxury", "suites", "view", "spa"],
+    },
 ];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -48,19 +88,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let venue = Point::new(0.5, 0.5);
     let query = SpatialKeywordQuery::new(
         venue,
-        KeywordSet::from_terms([vocab.get("clean").unwrap(), vocab.get("comfortable").unwrap()]),
+        KeywordSet::from_terms([
+            vocab.get("clean").unwrap(),
+            vocab.get("comfortable").unwrap(),
+        ]),
         3,
         0.5,
     );
-    println!("top-3 hotels near the venue for {}:", engine.render_keywords(&query.doc));
+    println!(
+        "top-3 hotels near the venue for {}:",
+        engine.render_keywords(&query.doc)
+    );
     for (i, (id, score)) in engine.top_k(&query)?.iter().enumerate() {
-        println!("  #{} {} (score {score:.4})", i + 1, HOTELS[id.index()].name);
+        println!(
+            "  #{} {} (score {score:.4})",
+            i + 1,
+            HOTELS[id.index()].name
+        );
     }
 
     // The user expected the Grand International.
     let grand = ObjectId(3);
     let rank = engine.dataset().rank_of(grand, &query);
-    println!("\n\"Why is the {} missing?\" (it ranks {rank})", HOTELS[grand.index()].name);
+    println!(
+        "\n\"Why is the {} missing?\" (it ranks {rank})",
+        HOTELS[grand.index()].name
+    );
 
     let question = WhyNotQuestion::new(query.clone(), vec![grand], 0.5);
     let answer = engine.answer(&question)?;
@@ -87,7 +140,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             ""
         };
-        println!("  #{} {} (score {score:.4}){marker}", i + 1, HOTELS[id.index()].name);
+        println!(
+            "  #{} {} (score {score:.4}){marker}",
+            i + 1,
+            HOTELS[id.index()].name
+        );
     }
     assert!(found, "the refined query must contain the missing hotel");
     Ok(())

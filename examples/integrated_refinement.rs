@@ -80,7 +80,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .into_iter()
     .min_by(|a, b| a.1.total_cmp(&b.1))
     .unwrap();
-    println!("\ncheapest refinement channel: {} (penalty {:.4})", best.0, best.1);
+    println!(
+        "\ncheapest refinement channel: {} (penalty {:.4})",
+        best.0, best.1
+    );
 
     // Whatever channel wins, each refinement on its own revives m.
     let q = &item.query;

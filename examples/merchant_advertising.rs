@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (&["sichuan", "teahouse"], (0.3488, 0.6512)),
         (&["cuisine"], (0.3515, 0.6488)),
         (&["cuisine", "buffet"], (0.3485, 0.6485)),
-        (&["sichuan", "cuisine", "hotpot", "bar", "karaoke", "garden"], (0.3503, 0.6493)),
+        (
+            &["sichuan", "cuisine", "hotpot", "bar", "karaoke", "garden"],
+            (0.3503, 0.6493),
+        ),
         (&["cuisine", "express"], (0.3507, 0.6503)),
         (&["sichuan", "cuisine"], (0.3493, 0.6507)),
         (&["sichuan", "cuisine"], (0.3511, 0.6489)),
@@ -66,10 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // landmark — is the restaurant in the top-10?
     let draft = SpatialKeywordQuery::new(
         landmark,
-        KeywordSet::from_terms([
-            vocab.get("sichuan").unwrap(),
-            vocab.get("cuisine").unwrap(),
-        ]),
+        KeywordSet::from_terms([vocab.get("sichuan").unwrap(), vocab.get("cuisine").unwrap()]),
         10,
         0.3, // searching customers weigh text over distance
     );
@@ -85,14 +85,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Why not? Ask all three solvers and compare their work.
     let question = WhyNotQuestion::new(draft.clone(), vec![restaurant], 0.5);
-    println!("\n{:<12} {:>10} {:>10} {:>9}  suggestion", "solver", "time(ms)", "page I/O", "penalty");
+    println!(
+        "\n{:<12} {:>10} {:>10} {:>9}  suggestion",
+        "solver", "time(ms)", "page I/O", "penalty"
+    );
     let answers = [
         ("BS", engine.answer_basic(&question)?),
         (
             "AdvancedBS",
             engine.answer_advanced(&question, AdvancedOptions::default())?,
         ),
-        ("KcRBased", engine.answer_kcr(&question, KcrOptions::default())?),
+        (
+            "KcRBased",
+            engine.answer_kcr(&question, KcrOptions::default())?,
+        ),
     ];
     for (name, ans) in &answers {
         println!(
@@ -105,7 +111,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     let p = answers[0].1.refined.penalty;
-    assert!(answers.iter().all(|(_, a)| (a.refined.penalty - p).abs() < 1e-9));
+    assert!(answers
+        .iter()
+        .all(|(_, a)| (a.refined.penalty - p).abs() < 1e-9));
 
     let best = &answers[2].1.refined;
     let refined = SpatialKeywordQuery::new(draft.loc, best.doc.clone(), best.k, draft.alpha);

@@ -59,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // The approximate ladder: sample sizes vs quality.
-    println!("\n{:>8} {:>10} {:>10} {:>9}", "T", "time(ms)", "page I/O", "penalty");
+    println!(
+        "\n{:>8} {:>10} {:>10} {:>9}",
+        "T", "time(ms)", "page I/O", "penalty"
+    );
     for t in [10, 50, 200, 800] {
         let approx = engine.answer_approx(&question, t)?;
         println!(
@@ -70,7 +73,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         assert!(approx.refined.penalty >= exact.refined.penalty - 1e-9);
     }
-    println!("{:>8} {:>10.2} {:>10} {:>9.4}", "exact",
-        exact.stats.wall.as_secs_f64() * 1e3, exact.stats.io, exact.refined.penalty);
+    println!(
+        "{:>8} {:>10.2} {:>10} {:>9.4}",
+        "exact",
+        exact.stats.wall.as_secs_f64() * 1e3,
+        exact.stats.io,
+        exact.refined.penalty
+    );
     Ok(())
 }

@@ -19,20 +19,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Build both disk-resident indexes (4 KiB pages, 4 MiB buffer,
     //    fanout 100 — the paper's §VII-A1 setup).
-    let engine = WhyNotEngine::build_in_memory(generated.dataset)?
-        .with_vocabulary(generated.vocabulary);
+    let engine =
+        WhyNotEngine::build_in_memory(generated.dataset)?.with_vocabulary(generated.vocabulary);
 
     // 3. An initial top-5 query: "find objects near (0.4, 0.6) matching
     //    these keywords".
     let anchor = engine.dataset().object(ObjectId(42)).clone();
-    let query = SpatialKeywordQuery::new(
-        Point::new(0.4, 0.6),
-        anchor.doc.clone(),
-        5,
-        0.5,
-    );
+    let query = SpatialKeywordQuery::new(Point::new(0.4, 0.6), anchor.doc.clone(), 5, 0.5);
     let result = engine.top_k(&query)?;
-    println!("\ninitial top-{} for {}:", query.k, engine.render_keywords(&query.doc));
+    println!(
+        "\ninitial top-{} for {}:",
+        query.k,
+        engine.render_keywords(&query.doc)
+    );
     for (rank, (id, score)) in result.iter().enumerate() {
         println!(
             "  #{:<2} {id:?} score {score:.4} {}",
@@ -75,6 +74,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let refined = query.with_doc(answer.refined.doc.clone());
     let rank = engine.dataset().rank_of(missing, &refined);
     assert!(rank <= answer.refined.k);
-    println!("verified: {missing:?} now ranks {rank} ≤ k' = {}", answer.refined.k);
+    println!(
+        "verified: {missing:?} now ranks {rank} ≤ k' = {}",
+        answer.refined.k
+    );
     Ok(())
 }

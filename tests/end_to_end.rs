@@ -16,7 +16,9 @@ fn generated() -> (Dataset, Vocabulary) {
 #[test]
 fn why_not_pipeline_end_to_end() {
     let (dataset, vocab) = generated();
-    let engine = WhyNotEngine::build_in_memory(dataset).unwrap().with_vocabulary(vocab);
+    let engine = WhyNotEngine::build_in_memory(dataset)
+        .unwrap()
+        .with_vocabulary(vocab);
 
     let item = generate_item(
         engine.dataset(),
@@ -123,22 +125,11 @@ fn persistence_round_trip_through_files() {
         )));
         let setr = SetRTree::build(setr_pool, &dataset, 16).unwrap();
         let kcr = KcrTree::build(kcr_pool, &dataset, 16).unwrap();
-        let ans = wnsk_core::answer_kcr(
-            &dataset,
-            &kcr,
-            &question,
-            KcrOptions::default(),
-        )
-        .unwrap();
+        let ans = wnsk_core::answer_kcr(&dataset, &kcr, &question, KcrOptions::default()).unwrap();
         first_penalty = ans.refined.penalty;
         // Sanity: SetR answers too.
-        let bs = wnsk_core::answer_advanced(
-            &dataset,
-            &setr,
-            &question,
-            AdvancedOptions::default(),
-        )
-        .unwrap();
+        let bs = wnsk_core::answer_advanced(&dataset, &setr, &question, AdvancedOptions::default())
+            .unwrap();
         assert!((bs.refined.penalty - first_penalty).abs() < 1e-9);
     }
 
@@ -149,13 +140,7 @@ fn persistence_round_trip_through_files() {
         )));
         let kcr = KcrTree::open(kcr_pool).unwrap();
         assert_eq!(kcr.len(), dataset.len() as u64);
-        let ans = wnsk_core::answer_kcr(
-            &dataset,
-            &kcr,
-            &question,
-            KcrOptions::default(),
-        )
-        .unwrap();
+        let ans = wnsk_core::answer_kcr(&dataset, &kcr, &question, KcrOptions::default()).unwrap();
         assert!((ans.refined.penalty - first_penalty).abs() < 1e-9);
         assert!(ans.stats.io > 0, "cold reopen must do physical I/O");
     }
@@ -167,12 +152,7 @@ fn persistence_round_trip_through_files() {
 fn degenerate_questions_error_cleanly() {
     let (dataset, _) = generated();
     let engine = WhyNotEngine::build_in_memory(dataset).unwrap();
-    let q = SpatialKeywordQuery::new(
-        Point::new(0.5, 0.5),
-        KeywordSet::from_ids([0, 1]),
-        5,
-        0.5,
-    );
+    let q = SpatialKeywordQuery::new(Point::new(0.5, 0.5), KeywordSet::from_ids([0, 1]), 5, 0.5);
     // Empty missing set.
     assert!(matches!(
         engine.answer(&WhyNotQuestion::new(q.clone(), vec![], 0.5)),
@@ -180,7 +160,11 @@ fn degenerate_questions_error_cleanly() {
     ));
     // Unknown object.
     assert!(matches!(
-        engine.answer(&WhyNotQuestion::new(q.clone(), vec![ObjectId(1_000_000)], 0.5)),
+        engine.answer(&WhyNotQuestion::new(
+            q.clone(),
+            vec![ObjectId(1_000_000)],
+            0.5
+        )),
         Err(WhyNotError::UnknownObject(_))
     ));
     // Duplicate.
@@ -201,12 +185,7 @@ fn whole_dataset_k_still_works() {
     let (dataset, _) = generated();
     let n = dataset.len();
     let engine = WhyNotEngine::build_in_memory(dataset).unwrap();
-    let q = SpatialKeywordQuery::new(
-        Point::new(0.5, 0.5),
-        KeywordSet::from_ids([0]),
-        n,
-        0.5,
-    );
+    let q = SpatialKeywordQuery::new(Point::new(0.5, 0.5), KeywordSet::from_ids([0]), n, 0.5);
     let res = engine.answer(&WhyNotQuestion::new(q, vec![ObjectId(0)], 0.5));
     assert!(matches!(res, Err(WhyNotError::NotMissing { .. })));
 }
@@ -283,15 +262,10 @@ fn dice_model_end_to_end() {
     .expect("workload must generate");
     let q = item.query.clone().with_model(TextModel::Dice);
     // Find an object missing under the *Dice* scoring.
-    let missing = engine
-        .dataset()
-        .objects()
-        .iter()
-        .map(|o| o.id)
-        .find(|&id| {
-            let r = engine.dataset().rank_of(id, &q);
-            r > q.k && r < 40
-        });
+    let missing = engine.dataset().objects().iter().map(|o| o.id).find(|&id| {
+        let r = engine.dataset().rank_of(id, &q);
+        r > q.k && r < 40
+    });
     let Some(missing) = missing else { return };
     let question = WhyNotQuestion::new(q.clone(), vec![missing], 0.5);
     let a = engine.answer_basic(&question).unwrap();
@@ -330,5 +304,8 @@ fn approximate_engine_path() {
     let exact = engine.answer(&question).unwrap();
     let approx = engine.answer_approx(&question, 32).unwrap();
     assert!(approx.refined.penalty >= exact.refined.penalty - 1e-9);
-    assert!(approx.refined.penalty <= 0.5 + 1e-12, "bounded by the baseline λ");
+    assert!(
+        approx.refined.penalty <= 0.5 + 1e-12,
+        "bounded by the baseline λ"
+    );
 }

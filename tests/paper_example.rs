@@ -25,16 +25,32 @@ use whynot_sk::prelude::*;
 fn build() -> (WhyNotEngine, SpatialKeywordQuery) {
     let t = |ids: &[u32]| KeywordSet::from_ids(ids.iter().copied());
     let objects = vec![
-        SpatialObject { id: ObjectId(0), loc: Point::new(5.0, 0.0), doc: t(&[1, 2, 3]) }, // m
-        SpatialObject { id: ObjectId(0), loc: Point::new(8.0, 0.0), doc: t(&[1]) },       // o1
-        SpatialObject { id: ObjectId(0), loc: Point::new(1.0, 0.0), doc: t(&[1, 3]) },    // o2
-        SpatialObject { id: ObjectId(0), loc: Point::new(6.0, 0.0), doc: t(&[1, 2]) },    // o3
+        SpatialObject {
+            id: ObjectId(0),
+            loc: Point::new(5.0, 0.0),
+            doc: t(&[1, 2, 3]),
+        }, // m
+        SpatialObject {
+            id: ObjectId(0),
+            loc: Point::new(8.0, 0.0),
+            doc: t(&[1]),
+        }, // o1
+        SpatialObject {
+            id: ObjectId(0),
+            loc: Point::new(1.0, 0.0),
+            doc: t(&[1, 3]),
+        }, // o2
+        SpatialObject {
+            id: ObjectId(0),
+            loc: Point::new(6.0, 0.0),
+            doc: t(&[1, 2]),
+        }, // o3
     ];
     let world = WorldBounds::new(Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0)));
     let ds = Dataset::new(objects, world);
     let q = SpatialKeywordQuery::new(Point::new(0.0, 0.0), t(&[1, 2]), 1, 0.5);
-    let engine = WhyNotEngine::build_with(ds, 2, wnsk_storage::BufferPoolConfig::default())
-        .unwrap();
+    let engine =
+        WhyNotEngine::build_with(ds, 2, wnsk_storage::BufferPoolConfig::default()).unwrap();
     (engine, q)
 }
 
@@ -86,9 +102,7 @@ fn all_solvers_return_the_true_optimum() {
         engine
             .answer_advanced(&question, AdvancedOptions::default())
             .unwrap(),
-        engine
-            .answer_kcr(&question, KcrOptions::default())
-            .unwrap(),
+        engine.answer_kcr(&question, KcrOptions::default()).unwrap(),
     ] {
         assert!((ans.refined.penalty - 5.0 / 12.0).abs() < 1e-12);
         assert_eq!(ans.refined.rank, 2);
