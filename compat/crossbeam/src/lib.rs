@@ -1,6 +1,7 @@
-//! Offline drop-in subset of `crossbeam`: just `thread::scope` /
-//! `Scope::spawn` / `ScopedJoinHandle::join`, implemented on top of
-//! `std::thread::scope` (stable since 1.63).
+//! Offline drop-in subset of `crossbeam`: `thread::scope` /
+//! `Scope::spawn` / `ScopedJoinHandle::join` on top of
+//! `std::thread::scope` (stable since 1.63), plus the `deque` module's
+//! `Worker` / `Stealer` / `Steal` / `Injector` work-stealing surface.
 //!
 //! Vendored shim — this workspace builds without crates.io access; see
 //! `compat/` for the other stand-ins.
@@ -54,9 +55,214 @@ pub mod thread {
     }
 }
 
+pub mod deque {
+    //! Work-stealing deques, API-compatible with `crossbeam-deque`'s
+    //! FIFO flavour: the owner pushes to and pops from the front of its
+    //! own queue; thieves steal from the same end through [`Stealer`]
+    //! handles, so benefit-ordered task lists are consumed roughly in
+    //! order regardless of who executes each task.
+    //!
+    //! The real crate is lock-free; this offline shim is a
+    //! `Mutex<VecDeque>` with the same observable semantics. `Steal`
+    //! keeps the three-state shape (`Empty` / `Success` / `Retry`) so
+    //! caller retry loops port verbatim, but the mutex implementation
+    //! never needs to report `Retry`.
+
+    use parking_lot::Mutex;
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+
+    /// Outcome of one steal attempt.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was observed empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried (never produced
+        /// by this shim; kept for API compatibility).
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                Steal::Empty | Steal::Retry => None,
+            }
+        }
+
+        /// `true` when the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// The owner side of a work-stealing queue (FIFO flavour).
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates an empty FIFO queue.
+        pub fn new_fifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Creates a [`Stealer`] handle for other threads.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+
+        /// Enqueues a task at the back.
+        pub fn push(&self, task: T) {
+            self.queue.lock().push_back(task);
+        }
+
+        /// Dequeues the front task, if any.
+        pub fn pop(&self) -> Option<T> {
+            self.queue.lock().pop_front()
+        }
+
+        /// `true` when the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().is_empty()
+        }
+
+        /// Number of tasks currently queued.
+        pub fn len(&self) -> usize {
+            self.queue.lock().len()
+        }
+    }
+
+    /// A thief-side handle to another worker's queue.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Attempts to steal the front task.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// `true` when the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().is_empty()
+        }
+    }
+
+    /// A shared FIFO injection queue (global task inbox).
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueues a task at the back.
+        pub fn push(&self, task: T) {
+            self.queue.lock().push_back(task);
+        }
+
+        /// Attempts to steal the front task.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// `true` when the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().is_empty()
+        }
+
+        /// Number of tasks currently queued.
+        pub fn len(&self) -> usize {
+            self.queue.lock().len()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_worker_preserves_order_and_shares_with_stealers() {
+        use crate::deque::{Steal, Worker};
+        let w: Worker<u32> = Worker::new_fifo();
+        let s = w.stealer();
+        for i in 0..4 {
+            w.push(i);
+        }
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.pop(), Some(0), "owner pops FIFO");
+        assert_eq!(s.steal(), Steal::Success(1), "thieves steal FIFO too");
+        assert_eq!(s.clone().steal(), Steal::Success(2));
+        assert_eq!(w.pop(), Some(3));
+        assert!(w.is_empty() && s.is_empty());
+        assert_eq!(s.steal(), Steal::Empty);
+        assert_eq!(Steal::Success(7).success(), Some(7));
+        assert!(Steal::<u32>::Empty.is_empty());
+    }
+
+    #[test]
+    fn injector_feeds_many_threads_exactly_once() {
+        use crate::deque::{Injector, Steal};
+        let inj: Injector<usize> = Injector::new();
+        for i in 0..100 {
+            inj.push(i);
+        }
+        assert_eq!(inj.len(), 100);
+        let total = AtomicUsize::new(0);
+        let seen = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| loop {
+                    match inj.steal() {
+                        Steal::Success(v) => {
+                            total.fetch_add(v, Ordering::Relaxed);
+                            seen.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Empty => break,
+                        Steal::Retry => continue,
+                    }
+                });
+            }
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 100);
+        assert_eq!(total.load(Ordering::Relaxed), 99 * 100 / 2);
+        assert!(inj.is_empty());
+    }
 
     #[test]
     fn scoped_threads_borrow_stack_data() {

@@ -2,20 +2,34 @@
 //!
 //! ```text
 //! xp <experiment> [--scale S] [--queries N] [--threads T] [--out DIR]
+//! xp bench [--output FILE] [--scale S] [--queries N] [--threads T]
+//! xp compare <baseline.json> <pr.json> [--tolerance T]
 //! ```
 //!
 //! `<experiment>` is one of `tab1 tab2 fig4 … fig13 all`. Results print
 //! as aligned tables; `--out DIR` additionally writes one CSV per table,
 //! plus a `<slug>.metrics.json` with the full per-point query reports
 //! (phase timings, node visits, prune events, buffer-pool I/O).
+//!
+//! `bench` runs the pinned CI sweep and writes a `BENCH_*.json`;
+//! `compare` diffs two such files and exits non-zero on regression —
+//! together they form the CI benchmark gate (see `.github/workflows`).
 
-use wnsk_bench::{experiments, XpConfig};
+use wnsk_bench::{experiments, gate, XpConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((name, rest)) = args.split_first() else {
         usage_and_exit(None);
     };
+    match name.as_str() {
+        "bench" => bench_cmd(rest),
+        "compare" => compare_cmd(rest),
+        _ => experiment_cmd(name, rest),
+    }
+}
+
+fn experiment_cmd(name: &str, rest: &[String]) -> ! {
     let cfg = match XpConfig::from_args(rest) {
         Ok(cfg) => cfg,
         Err(e) => usage_and_exit(Some(&e)),
@@ -43,6 +57,113 @@ fn main() {
         }
     }
     eprintln!("done in {:.1}s", started.elapsed().as_secs_f64());
+    std::process::exit(0);
+}
+
+/// `xp bench`: the pinned sweep behind the CI regression gate.
+fn bench_cmd(args: &[String]) -> ! {
+    let mut output = std::path::PathBuf::from("BENCH_pr.json");
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--output" {
+            let Some(value) = args.get(i + 1) else {
+                usage_and_exit(Some("--output needs a value"));
+            };
+            output = value.into();
+            i += 2;
+        } else {
+            flags.push(args[i].clone());
+            i += 1;
+        }
+    }
+    let mut cfg = gate::pinned_config();
+    if let Err(e) = cfg.apply_args(&flags) {
+        usage_and_exit(Some(&e));
+    }
+    eprintln!(
+        "benchmarking (scale {}, {} queries, ≤{} threads, {} µs/read)…",
+        cfg.scale, cfg.queries, cfg.max_threads, cfg.io_latency_us
+    );
+    let started = std::time::Instant::now();
+    let rows = gate::run_bench(&cfg);
+    for row in &rows {
+        let io = row
+            .work
+            .iter()
+            .find(|(k, _)| *k == "io")
+            .map_or(0.0, |(_, v)| *v);
+        eprintln!(
+            "  {:<24} {:>8.1} ms {:>8.0} io  penalty {:.6}",
+            row.id, row.time_ms, io, row.penalty
+        );
+    }
+    std::fs::write(&output, gate::to_json(&cfg, &rows).render()).expect("cannot write bench JSON");
+    eprintln!(
+        "wrote {} ({} rows) in {:.1}s",
+        output.display(),
+        rows.len(),
+        started.elapsed().as_secs_f64()
+    );
+    std::process::exit(0);
+}
+
+/// `xp compare`: diff two bench files; exit 1 on regression.
+fn compare_cmd(args: &[String]) -> ! {
+    let mut files = Vec::new();
+    let mut tolerance = 0.20;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--tolerance" {
+            let Some(value) = args.get(i + 1) else {
+                usage_and_exit(Some("--tolerance needs a value"));
+            };
+            tolerance = match value.parse() {
+                Ok(t) if (0.0..10.0).contains(&t) => t,
+                _ => usage_and_exit(Some("--tolerance must be a fraction like 0.20")),
+            };
+            i += 2;
+        } else {
+            files.push(args[i].clone());
+            i += 1;
+        }
+    }
+    let [base_path, pr_path] = files.as_slice() else {
+        usage_and_exit(Some(
+            "compare needs exactly two files: <baseline.json> <pr.json>",
+        ));
+    };
+    let load = |path: &str| -> gate::BenchDoc {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| usage_and_exit(Some(&format!("cannot read {path}: {e}"))));
+        gate::parse_doc(&text)
+            .unwrap_or_else(|e| usage_and_exit(Some(&format!("cannot parse {path}: {e}"))))
+    };
+    let baseline = load(base_path);
+    let pr = load(pr_path);
+    let c = gate::compare(&baseline, &pr, tolerance);
+    for note in &c.notes {
+        println!("note: {note}");
+    }
+    for failure in &c.failures {
+        println!("FAIL: {failure}");
+    }
+    if c.failures.is_empty() {
+        println!(
+            "OK: {} rows within {:.0} % of {}",
+            baseline.rows.len(),
+            tolerance * 100.0,
+            base_path
+        );
+        std::process::exit(0);
+    }
+    println!(
+        "{} regression(s) against {} (tolerance {:.0} %)",
+        c.failures.len(),
+        base_path,
+        tolerance * 100.0
+    );
+    std::process::exit(1);
 }
 
 fn usage_and_exit(err: Option<&str>) -> ! {
@@ -50,6 +171,8 @@ fn usage_and_exit(err: Option<&str>) -> ! {
         eprintln!("error: {e}\n");
     }
     eprintln!("usage: xp <experiment> [--scale S] [--queries N] [--threads T] [--out DIR]");
+    eprintln!("       xp bench [--output FILE] [--scale S] [--queries N] [--threads T]");
+    eprintln!("       xp compare <baseline.json> <pr.json> [--tolerance T]");
     eprintln!("experiments: {}", experiments::EXPERIMENTS.join(" "));
     std::process::exit(if err.is_some() { 2 } else { 0 });
 }

@@ -12,6 +12,11 @@ pub struct XpConfig {
     pub queries: usize,
     /// Worker threads for the parallel experiment (Fig. 10).
     pub max_threads: usize,
+    /// Simulated per-physical-read latency in microseconds for the
+    /// experiments that model disk-resident indexes (Fig. 10). The
+    /// paper measures elapsed time on disk (§VII-A1); 100 µs ≈ one SSD
+    /// random 4 KiB read.
+    pub io_latency_us: u64,
     /// Optional directory for CSV output.
     pub out_dir: Option<std::path::PathBuf>,
 }
@@ -22,15 +27,31 @@ impl Default for XpConfig {
             scale: 0.02,
             queries: 3,
             max_threads: 8,
+            io_latency_us: 100,
             out_dir: None,
         }
     }
 }
 
 impl XpConfig {
-    /// Parses `--scale`, `--queries`, `--threads`, `--out` style flags.
+    /// The configured I/O latency as a [`std::time::Duration`].
+    pub fn io_latency(&self) -> std::time::Duration {
+        std::time::Duration::from_micros(self.io_latency_us)
+    }
+
+    /// Parses `--scale`, `--queries`, `--threads`, `--io-latency-us`,
+    /// `--out` style flags.
     pub fn from_args(args: &[String]) -> Result<Self, String> {
         let mut cfg = XpConfig::default();
+        cfg.apply_args(args)?;
+        Ok(cfg)
+    }
+
+    /// Applies the same flags on top of an existing configuration
+    /// (subcommands with pinned defaults, e.g. `xp bench`, start from
+    /// their own base instead of [`XpConfig::default`]).
+    pub fn apply_args(&mut self, args: &[String]) -> Result<(), String> {
+        let cfg = self;
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -55,6 +76,11 @@ impl XpConfig {
                         .parse()
                         .map_err(|e| format!("bad --threads: {e}"))?;
                 }
+                "--io-latency-us" => {
+                    cfg.io_latency_us = next_value(args, &mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --io-latency-us: {e}"))?;
+                }
                 "--out" => {
                     cfg.out_dir = Some(next_value(args, &mut i)?.into());
                 }
@@ -62,7 +88,7 @@ impl XpConfig {
             }
             i += 1;
         }
-        Ok(cfg)
+        Ok(())
     }
 }
 

@@ -1,0 +1,481 @@
+//! The CI benchmark-regression gate: `xp bench` runs a pinned
+//! small-scale sweep and writes a machine-readable `BENCH_*.json`;
+//! `xp compare` diffs such a file against the committed baseline and
+//! fails (non-zero exit) on regressions.
+//!
+//! What is gated and what is merely reported:
+//!
+//! - **Work metrics** (`io`, `candidates`, `queries_run`,
+//!   `nodes_expanded`, `penalty`) are *deterministic* for serial rows —
+//!   seeded datasets, seeded workloads, cold caches — so a change means
+//!   the algorithms changed, never the machine. These fail the gate
+//!   beyond the tolerance. Parallel rows (`threads > 1`) run the same
+//!   work modulo steal-schedule noise; their work metrics get extra
+//!   slack (see [`PARALLEL_EXTRA_SLACK`]).
+//! - **Penalty** is schedule-invariant even in parallel (the executor's
+//!   determinism contract), so it is compared exactly everywhere.
+//! - **Wall time** is reported for humans but never gated: CI runners
+//!   are noisy-neighbour machines, and the simulated I/O latency makes
+//!   the deterministic I/O counts a faithful time proxy anyway.
+
+use crate::config::XpConfig;
+use crate::runner::{measure_with_report, Algo, TestBed};
+use wnsk_core::{AdvancedOptions, KcrOptions};
+use wnsk_data::workload::WorkloadSpec;
+use wnsk_data::DatasetSpec;
+use wnsk_obs::JsonValue;
+
+/// Schema version of the `BENCH_*.json` document.
+const FORMAT_VERSION: u64 = 1;
+
+/// Extra relative slack added to the tolerance for `threads > 1` rows,
+/// whose work metrics vary with the steal schedule.
+pub const PARALLEL_EXTRA_SLACK: f64 = 0.15;
+
+/// Penalties must match to this absolute tolerance (they are exact
+/// algorithm outputs; the epsilon only absorbs decimal JSON round-trip).
+const PENALTY_EPS: f64 = 1e-9;
+
+/// One measured configuration.
+pub struct BenchRow {
+    /// Stable row identifier, e.g. `sweep/AdvancedBS/t=2`.
+    pub id: String,
+    pub threads: usize,
+    /// Mean wall-clock per query, ms (reported, never gated).
+    pub time_ms: f64,
+    /// Mean penalty of the refined query (gated exactly).
+    pub penalty: f64,
+    /// Gated work metrics, name → per-batch value.
+    pub work: Vec<(&'static str, f64)>,
+}
+
+/// The pinned default configuration for `xp bench`: small enough that
+/// the CI job finishes in a couple of minutes, large enough that the
+/// work metrics are non-trivial. The committed `BENCH_baseline.json`
+/// was produced with exactly this config; [`compare`] refuses to diff
+/// runs whose configs differ, so changing a pin requires refreshing
+/// the baseline in the same PR.
+pub fn pinned_config() -> XpConfig {
+    XpConfig {
+        scale: 0.01,
+        queries: 3,
+        max_threads: 4,
+        io_latency_us: 100,
+        out_dir: None,
+    }
+}
+
+/// The pinned sweep: every row the gate measures. The scale, seeds,
+/// queries and I/O latency come from `cfg` — CI pins them on the
+/// command line and [`compare`] refuses to diff mismatched configs.
+pub fn run_bench(cfg: &XpConfig) -> Vec<BenchRow> {
+    let mut rows = Vec::new();
+
+    // A serial trio on the Table III default workload: covers BS's
+    // until-found scans and the Opt1+Opt2+Opt3 serial paths.
+    let bed = TestBed::with_fanout_and_io_latency(
+        &DatasetSpec::euro_like(cfg.scale),
+        crate::runner::FANOUT,
+        cfg.io_latency(),
+    );
+    let trio_spec = WorkloadSpec {
+        n_keywords: 4,
+        k: 10,
+        alpha: 0.5,
+        missing_rank: 51,
+        n_missing: 1,
+        seed: 42_000,
+    };
+    let qs = bed.questions(&trio_spec, cfg.queries, 0.5);
+    for algo in [
+        Algo::Bs,
+        Algo::Advanced(AdvancedOptions::default()),
+        Algo::Kcr(KcrOptions::default()),
+    ] {
+        rows.push(measure_row(&bed, &algo, &qs, "trio", 1));
+    }
+
+    // The Fig. 10 thread sweep on the heavier workload: covers the
+    // parallel executor (counting ranks, dynamic subtree tasks, shared
+    // bound pruning) at every thread count the figure plots.
+    let sweep_spec = WorkloadSpec {
+        n_keywords: 6,
+        missing_rank: 101,
+        seed: 10_000,
+        ..trio_spec
+    };
+    let qs = bed.questions(&sweep_spec, cfg.queries, 0.5);
+    let mut threads = 1usize;
+    while threads <= cfg.max_threads {
+        let adv = Algo::Advanced(AdvancedOptions {
+            threads,
+            ..AdvancedOptions::default()
+        });
+        let kcr = Algo::Kcr(KcrOptions {
+            threads,
+            ..KcrOptions::default()
+        });
+        rows.push(measure_row(&bed, &adv, &qs, "sweep", threads));
+        rows.push(measure_row(&bed, &kcr, &qs, "sweep", threads));
+        threads *= 2;
+    }
+    rows
+}
+
+fn measure_row(
+    bed: &TestBed,
+    algo: &Algo,
+    qs: &[wnsk_core::WhyNotQuestion],
+    group: &str,
+    threads: usize,
+) -> BenchRow {
+    let (m, report) = measure_with_report(bed, algo, qs);
+    BenchRow {
+        id: format!("{group}/{}/t={threads}", base_name(algo)),
+        threads,
+        time_ms: m.time_ms,
+        penalty: m.penalty,
+        work: vec![
+            ("io", m.io),
+            ("candidates", report.counter("core.candidates") as f64),
+            ("queries_run", report.counter("core.queries_run") as f64),
+            (
+                "nodes_expanded",
+                report.counter("core.nodes_expanded") as f64,
+            ),
+        ],
+    }
+}
+
+/// Algorithm name without the thread suffix (`threads` is its own JSON
+/// field, and row ids must be stable across `--threads` sweeps).
+fn base_name(algo: &Algo) -> &'static str {
+    match algo {
+        Algo::Bs => "BS",
+        Algo::Advanced(_) => "AdvancedBS",
+        Algo::Kcr(_) => "KcRBased",
+        Algo::ApproxBs(_) => "BS~",
+        Algo::ApproxAdvanced(_, _) => "AdvancedBS~",
+        Algo::ApproxKcr(_, _) => "KcRBased~",
+    }
+}
+
+/// Serialises a sweep (plus the config that produced it) to the
+/// `BENCH_*.json` document.
+pub fn to_json(cfg: &XpConfig, rows: &[BenchRow]) -> JsonValue {
+    JsonValue::object(vec![
+        ("version", FORMAT_VERSION.into()),
+        (
+            "config",
+            JsonValue::object(vec![
+                ("scale", cfg.scale.into()),
+                ("queries", cfg.queries.into()),
+                ("max_threads", cfg.max_threads.into()),
+                ("io_latency_us", cfg.io_latency_us.into()),
+            ]),
+        ),
+        (
+            "rows",
+            JsonValue::Array(
+                rows.iter()
+                    .map(|r| {
+                        JsonValue::object(vec![
+                            ("id", r.id.as_str().into()),
+                            ("threads", r.threads.into()),
+                            ("time_ms", r.time_ms.into()),
+                            ("penalty", r.penalty.into()),
+                            (
+                                "work",
+                                JsonValue::Object(
+                                    r.work
+                                        .iter()
+                                        .map(|&(k, v)| (k.to_owned(), v.into()))
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// A parsed `BENCH_*.json`.
+pub struct BenchDoc {
+    pub config: Vec<(String, f64)>,
+    pub rows: Vec<ParsedRow>,
+}
+
+pub struct ParsedRow {
+    pub id: String,
+    pub threads: usize,
+    pub time_ms: f64,
+    pub penalty: f64,
+    pub work: Vec<(String, f64)>,
+}
+
+/// Parses a document produced by [`to_json`].
+pub fn parse_doc(text: &str) -> Result<BenchDoc, String> {
+    let v = JsonValue::parse(text)?;
+    let version = v
+        .get("version")
+        .and_then(JsonValue::as_f64)
+        .ok_or("missing version")?;
+    if version != FORMAT_VERSION as f64 {
+        return Err(format!("unsupported bench format version {version}"));
+    }
+    let config = match v.get("config") {
+        Some(JsonValue::Object(fields)) => fields
+            .iter()
+            .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n)))
+            .collect(),
+        _ => return Err("missing config object".into()),
+    };
+    let rows = v
+        .get("rows")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing rows array")?
+        .iter()
+        .map(|row| {
+            let id = row
+                .get("id")
+                .and_then(JsonValue::as_str)
+                .ok_or("row without id")?
+                .to_owned();
+            let threads =
+                row.get("threads")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("{id}: missing threads"))? as usize;
+            let time_ms = row
+                .get("time_ms")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("{id}: missing time_ms"))?;
+            let penalty = row
+                .get("penalty")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("{id}: missing penalty"))?;
+            let work = match row.get("work") {
+                Some(JsonValue::Object(fields)) => fields
+                    .iter()
+                    .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n)))
+                    .collect(),
+                _ => return Err(format!("{id}: missing work object")),
+            };
+            Ok(ParsedRow {
+                id,
+                threads,
+                time_ms,
+                penalty,
+                work,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(BenchDoc { config, rows })
+}
+
+/// The outcome of a comparison: regressions fail CI, notes do not.
+pub struct Comparison {
+    pub failures: Vec<String>,
+    pub notes: Vec<String>,
+}
+
+/// Diffs `pr` against `baseline` with the given relative tolerance on
+/// work metrics (e.g. `0.20` = fail on >20 % growth).
+pub fn compare(baseline: &BenchDoc, pr: &BenchDoc, tolerance: f64) -> Comparison {
+    let mut failures = Vec::new();
+    let mut notes = Vec::new();
+
+    // The sweep configuration must match exactly: differing scales or
+    // latencies make every number incomparable.
+    for (key, base_val) in &baseline.config {
+        match pr.config.iter().find(|(k, _)| k == key) {
+            Some((_, pr_val)) if pr_val == base_val => {}
+            Some((_, pr_val)) => failures.push(format!(
+                "config mismatch: {key} = {pr_val} (baseline {base_val}) — \
+                 rerun both sides with identical flags"
+            )),
+            None => failures.push(format!("config key {key} missing from the PR run")),
+        }
+    }
+
+    for base_row in &baseline.rows {
+        let Some(pr_row) = pr.rows.iter().find(|r| r.id == base_row.id) else {
+            failures.push(format!("row {} missing from the PR run", base_row.id));
+            continue;
+        };
+        let id = &base_row.id;
+
+        if (pr_row.penalty - base_row.penalty).abs() > PENALTY_EPS {
+            failures.push(format!(
+                "{id}: penalty changed {:.9} → {:.9} — the refined answers differ",
+                base_row.penalty, pr_row.penalty
+            ));
+        }
+
+        let slack = if base_row.threads > 1 {
+            tolerance + PARALLEL_EXTRA_SLACK
+        } else {
+            tolerance
+        };
+        for (metric, base_val) in &base_row.work {
+            let Some((_, pr_val)) = pr_row.work.iter().find(|(k, _)| k == metric) else {
+                failures.push(format!(
+                    "{id}: work metric {metric} missing from the PR run"
+                ));
+                continue;
+            };
+            if *base_val <= 0.0 {
+                if *pr_val > 0.0 {
+                    notes.push(format!("{id}: {metric} appeared ({pr_val:.1})"));
+                }
+                continue;
+            }
+            let ratio = pr_val / base_val;
+            if ratio > 1.0 + slack {
+                failures.push(format!(
+                    "{id}: {metric} regressed {base_val:.1} → {pr_val:.1} \
+                     (+{:.1} %, tolerance {:.0} %)",
+                    (ratio - 1.0) * 100.0,
+                    slack * 100.0
+                ));
+            } else if ratio < 1.0 - slack {
+                notes.push(format!(
+                    "{id}: {metric} improved {base_val:.1} → {pr_val:.1} \
+                     ({:.1} %) — consider refreshing the baseline",
+                    (ratio - 1.0) * 100.0
+                ));
+            }
+        }
+
+        let time_ratio = if base_row.time_ms > 0.0 {
+            pr_row.time_ms / base_row.time_ms
+        } else {
+            1.0
+        };
+        if !(0.5..=2.0).contains(&time_ratio) {
+            notes.push(format!(
+                "{id}: wall time {:.1} ms → {:.1} ms (informational; time is never gated)",
+                base_row.time_ms, pr_row.time_ms
+            ));
+        }
+    }
+
+    for pr_row in &pr.rows {
+        if !baseline.rows.iter().any(|r| r.id == pr_row.id) {
+            notes.push(format!(
+                "{}: new row, not in the baseline (refresh it to start gating this point)",
+                pr_row.id
+            ));
+        }
+    }
+
+    Comparison { failures, notes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(rows: Vec<ParsedRow>) -> BenchDoc {
+        BenchDoc {
+            config: vec![("scale".into(), 0.01), ("queries".into(), 3.0)],
+            rows,
+        }
+    }
+
+    fn row(id: &str, threads: usize, io: f64, penalty: f64) -> ParsedRow {
+        ParsedRow {
+            id: id.into(),
+            threads,
+            time_ms: 100.0,
+            penalty,
+            work: vec![("io".into(), io), ("candidates".into(), 50.0)],
+        }
+    }
+
+    #[test]
+    fn identical_docs_pass() {
+        let base = doc(vec![row("trio/BS/t=1", 1, 1000.0, 0.25)]);
+        let pr = doc(vec![row("trio/BS/t=1", 1, 1000.0, 0.25)]);
+        let c = compare(&base, &pr, 0.20);
+        assert!(c.failures.is_empty(), "{:?}", c.failures);
+    }
+
+    #[test]
+    fn io_regression_fails() {
+        let base = doc(vec![row("trio/BS/t=1", 1, 1000.0, 0.25)]);
+        let pr = doc(vec![row("trio/BS/t=1", 1, 1300.0, 0.25)]);
+        let c = compare(&base, &pr, 0.20);
+        assert_eq!(c.failures.len(), 1);
+        assert!(c.failures[0].contains("io regressed"), "{}", c.failures[0]);
+    }
+
+    #[test]
+    fn within_tolerance_passes_and_improvement_notes() {
+        let base = doc(vec![row("trio/BS/t=1", 1, 1000.0, 0.25)]);
+        let pr = doc(vec![row("trio/BS/t=1", 1, 1150.0, 0.25)]);
+        assert!(compare(&base, &pr, 0.20).failures.is_empty());
+        let pr = doc(vec![row("trio/BS/t=1", 1, 500.0, 0.25)]);
+        let c = compare(&base, &pr, 0.20);
+        assert!(c.failures.is_empty());
+        assert!(c.notes.iter().any(|n| n.contains("improved")));
+    }
+
+    #[test]
+    fn parallel_rows_get_extra_slack() {
+        let base = doc(vec![row("sweep/KcRBased/t=4", 4, 1000.0, 0.25)]);
+        // +30 % would fail a serial row at 20 % tolerance but passes a
+        // parallel one (20 % + 15 % slack).
+        let pr = doc(vec![row("sweep/KcRBased/t=4", 4, 1300.0, 0.25)]);
+        assert!(compare(&base, &pr, 0.20).failures.is_empty());
+        let pr = doc(vec![row("sweep/KcRBased/t=4", 4, 1400.0, 0.25)]);
+        assert_eq!(compare(&base, &pr, 0.20).failures.len(), 1);
+    }
+
+    #[test]
+    fn penalty_drift_fails_exactly() {
+        let base = doc(vec![row("trio/KcRBased/t=1", 1, 1000.0, 0.25)]);
+        let pr = doc(vec![row("trio/KcRBased/t=1", 1, 1000.0, 0.2500001)]);
+        let c = compare(&base, &pr, 0.20);
+        assert_eq!(c.failures.len(), 1);
+        assert!(c.failures[0].contains("penalty"), "{}", c.failures[0]);
+    }
+
+    #[test]
+    fn missing_row_and_config_mismatch_fail() {
+        let base = doc(vec![row("trio/BS/t=1", 1, 1000.0, 0.25)]);
+        let pr = BenchDoc {
+            config: vec![("scale".into(), 0.02), ("queries".into(), 3.0)],
+            rows: vec![],
+        };
+        let c = compare(&base, &pr, 0.20);
+        assert!(c.failures.iter().any(|f| f.contains("config mismatch")));
+        assert!(c
+            .failures
+            .iter()
+            .any(|f| f.contains("missing from the PR run")));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let cfg = XpConfig::default();
+        let rows = vec![BenchRow {
+            id: "sweep/AdvancedBS/t=2".into(),
+            threads: 2,
+            time_ms: 123.4,
+            penalty: 0.5,
+            work: vec![("io", 100.0), ("candidates", 7.0)],
+        }];
+        let text = to_json(&cfg, &rows).render();
+        let parsed = parse_doc(&text).unwrap();
+        assert_eq!(parsed.rows.len(), 1);
+        assert_eq!(parsed.rows[0].id, "sweep/AdvancedBS/t=2");
+        assert_eq!(parsed.rows[0].threads, 2);
+        assert_eq!(parsed.rows[0].work[0], ("io".into(), 100.0));
+        // Identical docs compare clean.
+        assert!(compare(&parsed, &parse_doc(&text).unwrap(), 0.2)
+            .failures
+            .is_empty());
+    }
+}

@@ -16,6 +16,7 @@
 
 pub mod config;
 pub mod experiments;
+pub mod gate;
 pub mod runner;
 pub mod table;
 

@@ -8,6 +8,7 @@ fn tiny_cfg() -> XpConfig {
         scale: 0.002, // ~320 objects EURO-like (generator floor is 100)
         queries: 1,
         max_threads: 2,
+        io_latency_us: 0, // keep smoke tests CPU-bound and fast
         out_dir: None,
     }
 }

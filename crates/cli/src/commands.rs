@@ -5,8 +5,8 @@ use std::fmt::Write as _;
 use std::path::Path;
 use std::sync::Arc;
 use wnsk_core::{
-    answer_advanced, answer_approx_kcr, answer_basic_with_budget, answer_kcr, AdvancedOptions,
-    KcrOptions, QueryBudget, WhyNotAnswer, WhyNotQuestion,
+    answer_advanced, answer_approx_kcr, answer_kcr, AdvancedOptions, KcrOptions, QueryBudget,
+    WhyNotAnswer, WhyNotQuestion,
 };
 use wnsk_data::{io as dataio, DatasetSpec};
 use wnsk_index::{Dataset, KcrTree, ObjectId, SetRTree, SpatialKeywordQuery};
@@ -231,6 +231,10 @@ pub fn whynot(args: &ParsedArgs) -> Result<String, String> {
     if !(0.0..=1.0).contains(&lambda) {
         return Err("--lambda must be in [0, 1]".into());
     }
+    let threads: usize = args.parse_or("threads", 1)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
     let question = WhyNotQuestion::new(query.clone(), missing.clone(), lambda);
 
     let algo = args.optional("algo").unwrap_or("kcr");
@@ -257,8 +261,14 @@ pub fn whynot(args: &ParsedArgs) -> Result<String, String> {
             .map_err(|e| e.to_string())?;
             tree.register_metrics(&registry, "setr.");
             let before = registry.snapshot();
-            let a = answer_basic_with_budget(&ds, &tree, &question, budget)
-                .map_err(|e| e.to_string())?;
+            // BS = AdvancedBS with every optimisation off; threads only
+            // change how candidates are distributed, not the answer.
+            let opts = AdvancedOptions {
+                budget,
+                threads,
+                ..AdvancedOptions::none()
+            };
+            let a = answer_advanced(&ds, &tree, &question, opts).map_err(|e| e.to_string())?;
             (a, before)
         }
         ("advanced", 0) => {
@@ -272,6 +282,7 @@ pub fn whynot(args: &ParsedArgs) -> Result<String, String> {
             let before = registry.snapshot();
             let opts = AdvancedOptions {
                 budget,
+                threads,
                 ..AdvancedOptions::default()
             };
             let a = answer_advanced(&ds, &tree, &question, opts).map_err(|e| e.to_string())?;
@@ -288,6 +299,7 @@ pub fn whynot(args: &ParsedArgs) -> Result<String, String> {
             let before = registry.snapshot();
             let opts = KcrOptions {
                 budget,
+                threads,
                 ..KcrOptions::default()
             };
             let a = if t == 0 {

@@ -11,8 +11,8 @@
 //! wnsk whynot   --data data.txt --setr setr.db --kcr kcr.db --at X,Y
 //!               --keywords a,b --missing ID[,ID…]
 //!               [--k 10] [--alpha 0.5] [--lambda 0.5]
-//!               [--algo bs|advanced|kcr] [--approx T] [--metrics]
-//!               [--deadline-ms N] [--max-page-reads N]
+//!               [--algo bs|advanced|kcr] [--approx T] [--threads N]
+//!               [--metrics] [--deadline-ms N] [--max-page-reads N]
 //! ```
 //!
 //! `--metrics` appends the unified observability report: per-phase wall
@@ -39,11 +39,13 @@ commands:
             [--metrics]
   whynot    --data FILE --setr FILE --kcr FILE --at X,Y --keywords a,b
             --missing ID[,ID...] [--k N] [--alpha A] [--lambda L]
-            [--algo bs|advanced|kcr] [--approx T] [--metrics]
+            [--algo bs|advanced|kcr] [--approx T] [--threads N] [--metrics]
             [--deadline-ms N] [--max-page-reads N]
 
 --metrics appends the per-query observability report (phase wall times,
 node visits, prune counts, buffer-pool I/O).
+--threads N runs the solver on a work-stealing pool of N workers; the
+answer is identical for every N.
 --deadline-ms / --max-page-reads cap the query budget (0 = unlimited);
 an exhausted budget degrades to the approximate answer and the output
 reports the answer quality.";

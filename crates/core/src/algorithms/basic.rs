@@ -17,11 +17,15 @@
 //!    in earlier scans are cached; if enough of them still dominate under
 //!    the next candidate (an in-memory check), the candidate is pruned
 //!    without touching the index.
-//! 4. **Parallel processing** — candidates of a layer are processed by
-//!    multiple threads sharing the current best penalty.
+//! 4. **Parallel processing** — candidates of a layer fan out to the
+//!    [`wnsk_exec`] work-stealing pool; workers prune against the shared
+//!    atomic best-penalty bound and their per-worker local bests are
+//!    merged at the layer's sequence barrier (see
+//!    [`crate::algorithms::shared`] for the determinism contract).
 
 use crate::algorithms::approx::degraded_fallback;
-use crate::algorithms::SharedBest;
+use crate::algorithms::count;
+use crate::algorithms::shared::{BestEntry, LocalBest, SharedBest};
 use crate::budget::{AnswerQuality, BudgetGuard, QueryBudget};
 use crate::enumeration::{Candidate, CandidateEnumerator};
 use crate::error::Result;
@@ -31,7 +35,10 @@ use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use wnsk_exec::{ExecMetrics, Executor, TaskContext, WorkerHandle};
 use wnsk_index::{st_score, Dataset, ObjectId, SetRTree, SpatialKeywordQuery, TopKSearch};
+use wnsk_storage::BlobRef;
+use wnsk_text::KeywordSet;
 
 /// Toggles for the AdvancedBS optimisations (all on by default,
 /// single-threaded). `AdvancedOptions::none()` turns AdvancedBS back into
@@ -166,16 +173,38 @@ pub(crate) fn run(
     let io_before = tree.pool().stats();
     let guard = BudgetGuard::new(opts.budget, Arc::clone(tree.pool()));
 
+    // The work-stealing pool: one per query, reused across the initial
+    // rank and every layer so the per-worker counters aggregate over
+    // the whole search.
+    let exec = Executor::new(opts.threads);
+    let metrics = ExecMetrics::new(exec.threads());
+
     // Line 1 of Algorithm 1: determine R(M, q) by processing the initial
-    // query until the missing objects appear.
+    // query until the missing objects appear. With several workers the
+    // scan becomes a parallel dominator count over subtree tasks — the
+    // rank is identical (ties are never dominators), only the wall time
+    // shrinks.
     let initial_targets: Vec<(ObjectId, f64)> = question
         .missing
         .iter()
         .map(|&id| (id, dataset.score(dataset.object(id), &question.query)))
         .collect();
-    let mut scan = TopKSearch::new(tree, question.query.clone());
-    let outcome = crate::rank::rank_of_set(&mut scan, &initial_targets, None, true, Some(&guard))?;
-    drop(scan);
+    let outcome = if exec.threads() > 1 {
+        count::parallel_rank(
+            tree,
+            &exec,
+            &metrics,
+            &question.query,
+            &initial_targets,
+            &guard,
+        )?
+    } else {
+        let mut scan = TopKSearch::new(tree, question.query.clone());
+        let outcome =
+            crate::rank::rank_of_set(&mut scan, &initial_targets, None, true, Some(&guard))?;
+        drop(scan);
+        outcome
+    };
     let phase_initial_rank = start.elapsed();
     let initial_rank = match outcome {
         SetRankOutcome::Exact { rank } => rank,
@@ -220,6 +249,11 @@ pub(crate) fn run(
         }
     };
 
+    // Global candidate sequence numbers (baseline = 0): candidates are
+    // numbered in canonical enumeration order across layers, giving the
+    // lexicographic merge its deterministic tiebreak.
+    let mut next_seq: u64 = 1;
+
     let verification_started = Instant::now();
     'layers: for spec in specs {
         if guard.check().is_some() {
@@ -235,6 +269,8 @@ pub(crate) fn run(
             }
         };
         // Opt2 global termination: no deeper layer can beat the best.
+        // `best` is fully merged here (sequence barrier), so the check
+        // is identical for every thread count.
         if opts.ordered_enumeration && ctx.penalty.keyword_penalty(d) >= best.penalty() {
             let remaining: u64 = layer.len() as u64;
             stats
@@ -242,53 +278,82 @@ pub(crate) fn run(
                 .fetch_add(remaining, Ordering::Relaxed);
             break 'layers;
         }
-        if opts.threads <= 1 {
-            let mut cache = HashSet::new();
-            for cand in &layer {
-                if guard.check().is_some() {
-                    break 'layers;
-                }
-                process_candidate(tree, &ctx, &opts, cand, &best, &stats, &mut cache, &guard)?;
-            }
+        let base_seq = next_seq;
+        next_seq += layer.len() as u64;
+        let tasks: Vec<(u64, Candidate)> = layer
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (base_seq + i as u64, c))
+            .collect();
+        let locals = if exec.threads() > 1 && opts.early_stop {
+            // Opt1 + Opt4: candidates fan out to the pool AND each
+            // surviving candidate's rank determination forks into
+            // per-subtree counting tasks, so one dominant scan no
+            // longer bounds the layer's critical path. Workers prune
+            // against the live shared bound at every node.
+            exec.run_dynamic(
+                tasks
+                    .into_iter()
+                    .map(|(seq, c)| BsTask::Candidate(seq, c))
+                    .collect(),
+                &metrics,
+                || guard.check().is_some(),
+                |_worker| WorkerState {
+                    cache: HashSet::new(),
+                    best: LocalBest::new(),
+                },
+                |state, task, tctx| match task {
+                    BsTask::Candidate(seq, cand) => launch_candidate(
+                        tree, &ctx, &opts, &cand, seq, &best, state, &stats, &guard, tctx,
+                    ),
+                    BsTask::Count(cs, node) => count_step(
+                        tree, &ctx, &opts, &cs, node, &best, state, &stats, &guard, tctx,
+                    ),
+                },
+            )?
         } else {
-            crossbeam::thread::scope(|scope| -> Result<()> {
-                let mut handles = Vec::new();
-                for t in 0..opts.threads {
-                    let layer = &layer;
-                    let ctx = &ctx;
-                    let best = &best;
-                    let stats = &stats;
-                    let opts = &opts;
-                    let guard = &guard;
-                    handles.push(scope.spawn(move |_| -> Result<()> {
-                        let mut cache = HashSet::new();
-                        let mut i = t;
-                        while i < layer.len() {
-                            if guard.check().is_some() {
-                                return Ok(());
-                            }
-                            process_candidate(
-                                tree, ctx, opts, &layer[i], best, stats, &mut cache, guard,
-                            )?;
-                            i += opts.threads;
-                        }
-                        Ok(())
-                    }));
-                }
-                for h in handles {
-                    h.join().expect("worker thread panicked")?;
-                }
-                Ok(())
-            })
-            .expect("thread scope failed")?;
-            if guard.breached().is_some() {
-                break 'layers;
-            }
+            exec.run(
+                tasks,
+                &metrics,
+                || guard.check().is_some(),
+                |_worker| WorkerState {
+                    cache: HashSet::new(),
+                    best: LocalBest::new(),
+                },
+                |state, (seq, cand), handle| {
+                    process_candidate(
+                        tree,
+                        &ctx,
+                        &opts,
+                        &cand,
+                        seq,
+                        &best,
+                        &mut state.best,
+                        &stats,
+                        &mut state.cache,
+                        &guard,
+                        handle,
+                    )
+                },
+            )?
+        };
+        // Sequence barrier: fold every worker's local best into the
+        // global one before the next layer's termination check.
+        for state in locals {
+            best.merge(state.best);
+        }
+        if guard.breached().is_some() {
+            break 'layers;
         }
     }
 
     let refined = best.into_inner();
     let mut stats = stats.into_stats();
+    let totals = metrics.totals();
+    stats.tasks_stolen = totals.stolen;
+    stats.bound_refreshes = totals.bound_refreshes;
+    stats.prune_hits = totals.prune_hits;
+    stats.workers = metrics.per_worker();
     stats.wall = start.elapsed();
     stats.io = tree.pool().stats().since(&io_before).physical_reads;
     stats.phase_initial_rank = phase_initial_rank;
@@ -327,28 +392,57 @@ pub(crate) fn layer_sample(sample: Vec<Candidate>) -> Vec<(usize, Vec<Candidate>
     by_d.into_iter().collect()
 }
 
+/// Per-worker private state: the Opt3 dominator cache and the local
+/// best merged at the layer's sequence barrier.
+struct WorkerState {
+    cache: HashSet<ObjectId>,
+    best: LocalBest,
+}
+
+/// Outcome of the in-memory candidate prechecks (Opt1 + Opt3).
+enum Prechecked {
+    /// The candidate is provably beaten: no index access needed.
+    Pruned,
+    /// Run the spatial keyword query with these parameters.
+    Run {
+        max_rank: Option<usize>,
+        targets: Vec<(ObjectId, f64)>,
+        min_score: f64,
+        q_s: SpatialKeywordQuery,
+    },
+}
+
+/// The shared in-memory prechecks of Algorithm 1 lines 5–13: the Opt1
+/// rank budget (Eqn. 6) against the cross-worker bound and the Opt3
+/// dominator-cache filter. Both are tie-permissive / strictly-over
+/// tests, so a candidate whose exact penalty equals the final best is
+/// never pruned under any thread schedule.
 #[allow(clippy::too_many_arguments)]
-fn process_candidate(
-    tree: &SetRTree,
+fn precheck_candidate(
     ctx: &WhyNotContext<'_>,
     opts: &AdvancedOptions,
     cand: &Candidate,
     best: &SharedBest,
     stats: &SharedStats,
-    dominator_cache: &mut HashSet<ObjectId>,
-    guard: &BudgetGuard,
-) -> Result<()> {
+    dominator_cache: &HashSet<ObjectId>,
+    handle: &WorkerHandle<'_>,
+) -> Prechecked {
     stats.candidates_total.fetch_add(1, Ordering::Relaxed);
     let d = cand.edit_distance;
-    let p_c = best.penalty();
+    // The cross-worker bound: monotonically non-increasing, so a stale
+    // read only makes pruning conservative, never wrong.
+    let p_c = best.bound().value();
 
     // Opt1: rank budget from Eqn. 6. Without early stop the scan runs to
-    // completion regardless.
+    // completion regardless. The bound is tie-permissive (a candidate
+    // whose exact penalty *equals* `p_c` always completes its scan), so
+    // minimal-penalty candidates survive under any thread schedule.
     let max_rank = if opts.early_stop {
         match ctx.penalty.rank_upper_limit(d, p_c) {
             None => {
                 stats.pruned_by_bound.fetch_add(1, Ordering::Relaxed);
-                return Ok(());
+                handle.count_prune_hit();
+                return Prechecked::Pruned;
             }
             Some(usize::MAX) => None,
             Some(r) => Some(r),
@@ -382,10 +476,88 @@ fn process_candidate(
                 .count();
             if still_dominating + 1 > max_rank {
                 stats.pruned_by_filter.fetch_add(1, Ordering::Relaxed);
-                return Ok(());
+                handle.count_prune_hit();
+                return Prechecked::Pruned;
             }
         }
     }
+    Prechecked::Run {
+        max_rank,
+        targets,
+        min_score,
+        q_s,
+    }
+}
+
+/// Folds an exactly determined rank into the worker-local best and, on
+/// improvement, publishes the penalty into the shared bound so *other*
+/// workers prune mid-layer; the refined query itself only moves at the
+/// sequence barrier.
+#[allow(clippy::too_many_arguments)]
+fn offer_exact(
+    ctx: &WhyNotContext<'_>,
+    doc: &KeywordSet,
+    d: usize,
+    seq: u64,
+    rank: usize,
+    best: &SharedBest,
+    local: &mut LocalBest,
+    handle: &WorkerHandle<'_>,
+) {
+    let penalty = ctx.penalty.penalty(d, rank);
+    let improved = local.offer(BestEntry::new(
+        RefinedQuery {
+            doc: doc.clone(),
+            k: ctx.refined_k(rank),
+            rank,
+            edit_distance: d,
+            penalty,
+        },
+        seq,
+    ));
+    if improved && best.bound().refresh(penalty) {
+        handle.count_bound_refresh();
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process_candidate(
+    tree: &SetRTree,
+    ctx: &WhyNotContext<'_>,
+    opts: &AdvancedOptions,
+    cand: &Candidate,
+    seq: u64,
+    best: &SharedBest,
+    local: &mut LocalBest,
+    stats: &SharedStats,
+    dominator_cache: &mut HashSet<ObjectId>,
+    guard: &BudgetGuard,
+    handle: &WorkerHandle<'_>,
+) -> Result<()> {
+    let d = cand.edit_distance;
+    let (max_rank, targets, min_score, q_s) =
+        match precheck_candidate(ctx, opts, cand, best, stats, dominator_cache, handle) {
+            Prechecked::Pruned => return Ok(()),
+            Prechecked::Run {
+                max_rank,
+                targets,
+                min_score,
+                q_s,
+            } => (max_rank, targets, min_score, q_s),
+        };
+    let _ = min_score;
+    // Under Opt1+Opt4 the limit is re-derived from the *live* shared
+    // bound at every scan checkpoint: a peer's refresh mid-scan tightens
+    // this candidate's abort rank, which is what makes concurrent scans
+    // prune against each other instead of each running to the limit it
+    // saw at launch. The bound only decreases, so the limit only
+    // tightens — and stays tie-permissive throughout.
+    let live_limit = move || ctx.penalty.rank_upper_limit(d, best.bound().value());
+    let live_limit: Option<&dyn Fn() -> Option<usize>> = if opts.early_stop {
+        Some(&live_limit)
+    } else {
+        None
+    };
 
     // Run the spatial keyword query (Algorithm 1 line 14).
     stats.queries_run.fetch_add(1, Ordering::Relaxed);
@@ -394,6 +566,7 @@ fn process_candidate(
         &q_s,
         &targets,
         max_rank,
+        live_limit,
         // BS retrieves until the missing objects appear; the optimised
         // variant stops as soon as the rank is known.
         !opts.early_stop,
@@ -407,29 +580,153 @@ fn process_candidate(
         SetRankOutcome::Breached { .. } => {}
         SetRankOutcome::Aborted { .. } => {
             stats.pruned_by_bound.fetch_add(1, Ordering::Relaxed);
+            handle.count_prune_hit();
         }
         SetRankOutcome::Exact { rank } => {
-            let penalty = ctx.penalty.penalty(d, rank);
-            best.improve(RefinedQuery {
-                doc: cand.doc.clone(),
-                k: ctx.refined_k(rank),
-                rank,
-                edit_distance: d,
-                penalty,
-            });
+            offer_exact(ctx, &cand.doc, d, seq, rank, best, local, handle);
+        }
+    }
+    Ok(())
+}
+
+/// A task of the dynamic (Opt1 + Opt4) layer execution: either a whole
+/// candidate or one subtree of an in-flight counting rank scan.
+enum BsTask {
+    Candidate(u64, Candidate),
+    Count(Arc<CandScan>, BlobRef),
+}
+
+/// One candidate's in-flight counting rank determination, shared by its
+/// subtree tasks.
+struct CandScan {
+    scan: count::CountScan,
+    doc: KeywordSet,
+    d: usize,
+    seq: u64,
+}
+
+/// Prechecks a candidate and, if it survives, seeds its counting rank
+/// scan into the pool (root subtree task). The scan's node tasks then
+/// fan out across workers.
+#[allow(clippy::too_many_arguments)]
+fn launch_candidate(
+    tree: &SetRTree,
+    ctx: &WhyNotContext<'_>,
+    opts: &AdvancedOptions,
+    cand: &Candidate,
+    seq: u64,
+    best: &SharedBest,
+    state: &mut WorkerState,
+    stats: &SharedStats,
+    guard: &BudgetGuard,
+    tctx: &TaskContext<'_, BsTask>,
+) -> Result<()> {
+    let _ = guard;
+    let (min_score, q_s) =
+        match precheck_candidate(ctx, opts, cand, best, stats, &state.cache, &tctx.handle) {
+            Prechecked::Pruned => return Ok(()),
+            Prechecked::Run { min_score, q_s, .. } => (min_score, q_s),
+        };
+    stats.queries_run.fetch_add(1, Ordering::Relaxed);
+    if tree.is_empty() {
+        offer_exact(
+            ctx,
+            &cand.doc,
+            cand.edit_distance,
+            seq,
+            1,
+            best,
+            &mut state.best,
+            &tctx.handle,
+        );
+        return Ok(());
+    }
+    let cs = Arc::new(CandScan {
+        scan: count::CountScan::new(q_s, min_score, opts.keyword_set_filtering),
+        doc: cand.doc.clone(),
+        d: cand.edit_distance,
+        seq,
+    });
+    cs.scan.add_pending();
+    tctx.spawn(BsTask::Count(Arc::clone(&cs), tree.root()));
+    Ok(())
+}
+
+/// Executes one subtree task of a counting rank scan: re-derives the
+/// live Opt1 limit from the shared bound, expands the node (tallying
+/// leaf dominators, forking child subtrees), and — as the scan's last
+/// outstanding task — finalises the candidate: offers the exact rank or
+/// books the abort as a bound prune, and merges the collected
+/// dominators into this worker's Opt3 cache.
+#[allow(clippy::too_many_arguments)]
+fn count_step(
+    tree: &SetRTree,
+    ctx: &WhyNotContext<'_>,
+    opts: &AdvancedOptions,
+    cs: &Arc<CandScan>,
+    node: BlobRef,
+    best: &SharedBest,
+    state: &mut WorkerState,
+    stats: &SharedStats,
+    guard: &BudgetGuard,
+    tctx: &TaskContext<'_, BsTask>,
+) -> Result<()> {
+    let scan = &cs.scan;
+    if !scan.is_aborted() {
+        if guard.breached().is_some() {
+            scan.abort();
+        } else {
+            // The live Opt1 limit: tie-permissive against the current
+            // (monotonically non-increasing) shared bound, checked at
+            // every node so concurrent scans prune against each other.
+            match ctx.penalty.rank_upper_limit(cs.d, best.bound().value()) {
+                None => scan.abort(),
+                Some(limit) if limit != usize::MAX && scan.count() + 1 > limit => scan.abort(),
+                _ => {}
+            }
+        }
+    }
+    if !scan.is_aborted() {
+        scan.expand_node(tree, node, |child| {
+            scan.add_pending();
+            tctx.spawn(BsTask::Count(Arc::clone(cs), child));
+        })?;
+    }
+    if scan.complete_one() {
+        if scan.is_aborted() {
+            if guard.breached().is_none() {
+                stats.pruned_by_bound.fetch_add(1, Ordering::Relaxed);
+                tctx.handle.count_prune_hit();
+            }
+        } else {
+            offer_exact(
+                ctx,
+                &cs.doc,
+                cs.d,
+                cs.seq,
+                scan.count() + 1,
+                best,
+                &mut state.best,
+                &tctx.handle,
+            );
+            if opts.keyword_set_filtering {
+                state.cache.extend(scan.found.lock().drain(..));
+            }
         }
     }
     Ok(())
 }
 
 /// A rank-of-set scan that optionally records the dominators it sees for
-/// the Opt3 cache.
+/// the Opt3 cache. `live_limit`, when given, re-derives the abort rank
+/// from the shared penalty bound at every budget checkpoint.
 #[allow(clippy::too_many_arguments)]
 fn scan_rank(
     tree: &SetRTree,
     q_s: &SpatialKeywordQuery,
     targets: &[(ObjectId, f64)],
-    max_rank: Option<usize>,
+    mut max_rank: Option<usize>,
+    live_limit: Option<&dyn Fn() -> Option<usize>>,
     until_found: bool,
     mut collect: Option<&mut HashSet<ObjectId>>,
     guard: &BudgetGuard,
@@ -446,6 +743,18 @@ fn scan_rank(
         if pulls.is_multiple_of(BUDGET_CHECK_INTERVAL) {
             if let Some(reason) = guard.check() {
                 return Ok(SetRankOutcome::Breached { reason });
+            }
+            if let Some(limit) = live_limit {
+                max_rank = match limit() {
+                    // No rank can beat the bound any more: abort now.
+                    None => {
+                        return Ok(SetRankOutcome::Aborted {
+                            seen_dominators: dominators,
+                        })
+                    }
+                    Some(usize::MAX) => None,
+                    Some(r) => Some(r),
+                };
             }
         }
         pulls += 1;

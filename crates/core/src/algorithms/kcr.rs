@@ -22,21 +22,28 @@
 //!
 //! Algorithm 4 drives the batches in ascending edit distance and stops as
 //! soon as the next layer's keyword penalty alone can no longer beat
-//! `p_c`; batches may additionally be split across worker threads
-//! (Fig. 10's parallel variant).
+//! `p_c`. Each batch's traversal is an independent subtree-expansion
+//! unit: the [`wnsk_exec`] work-stealing pool hands batches to workers,
+//! which prune against the shared atomic bound mid-flight and keep
+//! per-worker local bests that merge at the layer's sequence barrier —
+//! so MaxDom/MinDom tightening stays deterministic and the refined
+//! query is bit-identical to the single-threaded run (Fig. 10's
+//! parallel variant; see [`crate::algorithms::shared`]).
 
 use crate::algorithms::approx::degraded_fallback;
 use crate::algorithms::basic::layer_sample;
-use crate::algorithms::SharedBest;
+use crate::algorithms::count;
+use crate::algorithms::shared::{BestEntry, BestKey, LocalBest, SharedBest};
 use crate::budget::{AnswerQuality, BudgetGuard, QueryBudget};
 use crate::enumeration::{Candidate, CandidateEnumerator};
 use crate::error::Result;
 use crate::question::{AlgoStats, RefinedQuery, WhyNotAnswer, WhyNotContext, WhyNotQuestion};
 use crate::rank::SetRankOutcome;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use wnsk_exec::{ExecMetrics, Executor, SharedBound, TaskContext, WorkerHandle};
 use wnsk_index::kcr::{max_dom, min_dom, tau_lower, tau_upper, KcrTopKSearch, PreparedNode};
 use wnsk_index::{st_score, Dataset, KcrNode, KcrTree, NodeSummary, ObjectId};
 use wnsk_storage::BlobRef;
@@ -97,15 +104,35 @@ pub(crate) fn run(
     let io_before = tree.pool().stats();
     let guard = BudgetGuard::new(opts.budget, Arc::clone(tree.pool()));
 
-    // Algorithm 4 line 1: determine R(M, q).
+    // Work-stealing pool, one per query: reused for the initial rank and
+    // every verification layer.
+    let exec = Executor::new(opts.threads);
+    let metrics = ExecMetrics::new(exec.threads());
+
+    // Algorithm 4 line 1: determine R(M, q). With several workers the
+    // rank is computed as a parallel dominator count over subtree tasks
+    // (bit-identical to the scan — see [`crate::algorithms::count`]).
     let initial_targets: Vec<(ObjectId, f64)> = question
         .missing
         .iter()
         .map(|&id| (id, dataset.score(dataset.object(id), &question.query)))
         .collect();
-    let mut scan = KcrTopKSearch::new(tree, question.query.clone());
-    let outcome = crate::rank::rank_of_set(&mut scan, &initial_targets, None, false, Some(&guard))?;
-    drop(scan);
+    let outcome = if exec.threads() > 1 {
+        count::parallel_rank(
+            tree,
+            &exec,
+            &metrics,
+            &question.query,
+            &initial_targets,
+            &guard,
+        )?
+    } else {
+        let mut scan = KcrTopKSearch::new(tree, question.query.clone());
+        let outcome =
+            crate::rank::rank_of_set(&mut scan, &initial_targets, None, false, Some(&guard))?;
+        drop(scan);
+        outcome
+    };
     let phase_initial_rank = start.elapsed();
     let initial_rank = match outcome {
         SetRankOutcome::Exact { rank } => rank,
@@ -148,6 +175,10 @@ pub(crate) fn run(
     };
     let mut ready_layers = ready_layers.map(|l| l.into_iter());
 
+    // Global candidate sequence numbers (baseline = 0), mirroring
+    // AdvancedBS.
+    let mut next_seq: u64 = 1;
+
     let verification_started = Instant::now();
     for d in depths {
         if guard.check().is_some() {
@@ -162,7 +193,9 @@ pub(crate) fn run(
                 layer
             }
         };
-        // Line 4: the next batch's keyword penalty alone disqualifies it.
+        // Line 4: the next batch's keyword penalty alone disqualifies
+        // it. `best` is fully merged here (sequence barrier), so the
+        // termination point is identical for every thread count.
         if ctx.penalty.keyword_penalty(d) >= best.penalty() {
             stats
                 .pruned_by_bound
@@ -172,48 +205,84 @@ pub(crate) fn run(
         stats
             .candidates_total
             .fetch_add(layer.len() as u64, Ordering::Relaxed);
+        let base_seq = next_seq;
+        next_seq += layer.len() as u64;
+        // Split the layer into benefit-ordered batches, each carrying
+        // the sequence number of its first candidate. The partition is
+        // identical for every thread count — parallelism comes from the
+        // per-node subtree tasks below, not from slicing batches thinner
+        // (which would duplicate per-batch root traversals).
         let batch_size = opts.batch_size.max(1);
-        let batches: Vec<&[Candidate]> = layer.chunks(batch_size).collect();
-        if opts.threads <= 1 {
-            for batch in &batches {
-                if guard.check().is_some() {
-                    break;
-                }
-                // Batches run in benefit order; a later batch whose whole
-                // layer is already beaten is pruned by the root bounds
-                // almost immediately.
-                bound_and_prune(tree, &ctx, batch, &best, &stats, &guard)?;
-            }
+        let mut tasks: Vec<(u64, Vec<Candidate>)> = Vec::new();
+        let mut rest = layer;
+        let mut seq0 = base_seq;
+        while !rest.is_empty() {
+            let take = batch_size.min(rest.len());
+            let tail = rest.split_off(take);
+            let taken = std::mem::replace(&mut rest, tail);
+            tasks.push((seq0, taken));
+            seq0 += take as u64;
+        }
+        let locals = if exec.threads() > 1 {
+            // Dynamic mode: each batch seeds a shared traversal whose
+            // frontier *nodes* are independent pool tasks — one
+            // expensive subtree no longer serialises its whole batch,
+            // and idle workers steal node expansions mid-batch. The
+            // per-candidate rank bracket lives in a packed atomic;
+            // every observed state is a valid frontier, so pruning and
+            // offers stay exact (see [`ParCand`]).
+            exec.run_dynamic(
+                tasks
+                    .into_iter()
+                    .map(|(seq0, batch)| KcrTask::Batch(seq0, batch))
+                    .collect(),
+                &metrics,
+                || guard.check().is_some(),
+                |_worker| LocalBest::new(),
+                |local, task, tctx| match task {
+                    KcrTask::Batch(seq0, batch) => {
+                        launch_batch(tree, &ctx, seq0, batch, best.bound(), local, &stats, tctx)
+                    }
+                    KcrTask::Node(scan, node, contrib) => expand_batch_node(
+                        tree,
+                        &ctx,
+                        &scan,
+                        node,
+                        &contrib,
+                        best.bound(),
+                        local,
+                        &stats,
+                        tctx,
+                    ),
+                },
+            )?
         } else {
-            let next = AtomicU64::new(0);
-            crossbeam::thread::scope(|scope| -> Result<()> {
-                let mut handles = Vec::new();
-                for _ in 0..opts.threads.min(batches.len()) {
-                    let ctx = &ctx;
-                    let best = &best;
-                    let stats = &stats;
-                    let next = &next;
-                    let batches = &batches;
-                    let guard = &guard;
-                    handles.push(scope.spawn(move |_| -> Result<()> {
-                        loop {
-                            if guard.check().is_some() {
-                                return Ok(());
-                            }
-                            let i = next.fetch_add(1, Ordering::Relaxed) as usize;
-                            let Some(batch) = batches.get(i) else {
-                                return Ok(());
-                            };
-                            bound_and_prune(tree, ctx, batch, best, stats, guard)?;
-                        }
-                    }));
-                }
-                for h in handles {
-                    h.join().expect("worker thread panicked")?;
-                }
-                Ok(())
-            })
-            .expect("thread scope failed")?;
+            exec.run(
+                tasks,
+                &metrics,
+                || guard.check().is_some(),
+                |_worker| LocalBest::new(),
+                |local, (seq0, batch), handle| {
+                    // Batches run in rough benefit order pool-wide; a later
+                    // batch whose whole layer is already beaten is pruned by
+                    // the root bounds almost immediately.
+                    bound_and_prune(
+                        tree,
+                        &ctx,
+                        &batch,
+                        seq0,
+                        best.bound(),
+                        local,
+                        &stats,
+                        &guard,
+                        handle,
+                    )
+                },
+            )?
+        };
+        // Sequence barrier: merge per-worker bests deterministically.
+        for local in locals {
+            best.merge(local);
         }
         if guard.breached().is_some() {
             break;
@@ -221,12 +290,17 @@ pub(crate) fn run(
     }
 
     let refined = best.into_inner();
+    let totals = metrics.totals();
     let stats = AlgoStats {
         wall: start.elapsed(),
         io: tree.pool().stats().since(&io_before).physical_reads,
         candidates_total: stats.candidates_total.into_inner(),
         pruned_by_bound: stats.pruned_by_bound.into_inner(),
         nodes_expanded: stats.nodes_expanded.into_inner(),
+        tasks_stolen: totals.stolen,
+        bound_refreshes: totals.bound_refreshes,
+        prune_hits: totals.prune_hits,
+        workers: metrics.per_worker(),
         phase_initial_rank,
         phase_enumeration,
         phase_verification: verification_started.elapsed(),
@@ -258,6 +332,8 @@ pub(crate) fn run(
 struct CandState {
     doc: KeywordSet,
     edit_distance: usize,
+    /// Global candidate sequence number (lexicographic merge tiebreak).
+    seq: u64,
     /// `TSim(m_i, S)` per missing object.
     m_tsims: Vec<f64>,
     /// `ST(m_i, q_S)` per missing object (for exact leaf dominance).
@@ -275,14 +351,21 @@ struct QueuedNode {
 }
 
 /// Algorithm 3: finds the best refined query among `candidates` in one
-/// KcR-tree traversal, folding improvements into the shared best.
+/// KcR-tree traversal, folding improvements into the worker's local
+/// best and publishing achieved penalties into the shared bound.
+/// `seq0` is the global sequence number of `candidates[0]` (the batch
+/// is contiguous in enumeration order).
+#[allow(clippy::too_many_arguments)]
 fn bound_and_prune(
     tree: &KcrTree,
     ctx: &WhyNotContext<'_>,
     candidates: &[Candidate],
-    best: &SharedBest,
+    seq0: u64,
+    bound: &SharedBound,
+    local: &mut LocalBest,
     stats: &SharedStats,
     guard: &BudgetGuard,
+    handle: &WorkerHandle<'_>,
 ) -> Result<()> {
     if candidates.is_empty() {
         return Ok(());
@@ -292,7 +375,8 @@ fn bound_and_prune(
 
     let mut cands: Vec<CandState> = candidates
         .iter()
-        .map(|c| {
+        .enumerate()
+        .map(|(i, c)| {
             let m_tsims: Vec<f64> = ctx
                 .missing
                 .iter()
@@ -307,6 +391,7 @@ fn bound_and_prune(
             CandState {
                 doc: c.doc.clone(),
                 edit_distance: c.edit_distance,
+                seq: seq0 + i as u64,
                 m_tsims,
                 m_scores,
                 rank_hi: 1,
@@ -318,13 +403,13 @@ fn bound_and_prune(
 
     // Lines 2–6: initial bounds from the root summary.
     let root_summary = tree.root_summary().map_err(crate::WhyNotError::Storage)?;
-    let root_contrib = node_contrib(&root_summary, ctx, &mut cands, world, alpha);
+    let root_contrib = node_contrib(&root_summary, ctx, &mut cands, world);
     for (cand, &(hi, lo)) in cands.iter_mut().zip(&root_contrib) {
         cand.rank_hi += hi as i64;
         cand.rank_lo += lo as i64;
     }
     let traversal = tree.traversal();
-    refresh_candidates(ctx, &mut cands, best, stats, traversal);
+    refresh_candidates(ctx, &mut cands, bound, local, stats, traversal, handle);
     if !cands.iter().any(|c| c.active) {
         return Ok(());
     }
@@ -364,7 +449,7 @@ fn bound_and_prune(
                         cnt: e.cnt,
                         kcm: tree.read_kcm(e.kcm).map_err(crate::WhyNotError::Storage)?,
                     };
-                    let contrib = node_contrib(&summary, ctx, &mut cands, world, alpha);
+                    let contrib = node_contrib(&summary, ctx, &mut cands, world);
                     for (i, &(hi, lo)) in contrib.iter().enumerate() {
                         sums[i].0 += hi as i64;
                         sums[i].1 += lo as i64;
@@ -396,15 +481,7 @@ fn bound_and_prune(
                         let score =
                             st_score(alpha, sdist, ctx.query.sim.similarity(&doc, &cand.doc));
                         // max_i / min_i of per-missing dominance flags.
-                        let mut any = false;
-                        let mut all = true;
-                        for &m_score in &cand.m_scores {
-                            if score > m_score {
-                                any = true;
-                            } else {
-                                all = false;
-                            }
-                        }
+                        let (any, all) = leaf_dominance(score, &cand.m_scores);
                         sums[i].0 += any as i64;
                         sums[i].1 += all as i64;
                     }
@@ -421,13 +498,50 @@ fn bound_and_prune(
             cand.rank_lo += sums[i].1 - qn.contrib[i].1 as i64;
             debug_assert!(cand.rank_lo >= 1 && cand.rank_hi >= cand.rank_lo);
         }
-        refresh_candidates(ctx, &mut cands, best, stats, traversal);
+        refresh_candidates(ctx, &mut cands, bound, local, stats, traversal, handle);
 
         for (node, contrib) in child_nodes {
             queue.push_back(QueuedNode { node, contrib });
         }
     }
     Ok(())
+}
+
+/// `(MaxDom, MinDom)` of one prepared node summary for one candidate,
+/// maximised/minimised over the missing objects (§VI-A).
+fn entry_dom_bounds(
+    prep: &PreparedNode,
+    min_dist: f64,
+    max_dist: f64,
+    ctx: &WhyNotContext<'_>,
+    doc: &KeywordSet,
+    m_tsims: &[f64],
+) -> (u32, u32) {
+    let alpha = ctx.query.alpha;
+    let mut hi = 0u32;
+    let mut lo = u32::MAX;
+    for (m, &tsim) in ctx.missing.iter().zip(m_tsims) {
+        let tl = tau_lower(alpha, min_dist, m.sdist, tsim);
+        let tu = tau_upper(alpha, max_dist, m.sdist, tsim);
+        hi = hi.max(max_dom(prep, doc, tl, ctx.query.sim));
+        lo = lo.min(min_dom(prep, doc, tu, ctx.query.sim));
+    }
+    (hi, lo)
+}
+
+/// Per-missing-object strict dominance of one leaf object's exact score:
+/// `(any, all)` feed the MaxDom/MinDom sums respectively.
+fn leaf_dominance(score: f64, m_scores: &[f64]) -> (bool, bool) {
+    let mut any = false;
+    let mut all = true;
+    for &m_score in m_scores {
+        if score > m_score {
+            any = true;
+        } else {
+            all = false;
+        }
+    }
+    (any, all)
 }
 
 /// Computes the per-candidate `(MaxDom, MinDom)` of one node summary,
@@ -437,7 +551,6 @@ fn node_contrib(
     ctx: &WhyNotContext<'_>,
     cands: &mut [CandState],
     world: &wnsk_geo::WorldBounds,
-    alpha: f64,
 ) -> Vec<(u32, u32)> {
     let prep = PreparedNode::new(summary);
     let min_dist = world.normalized_min_dist(&ctx.query.loc, &summary.mbr);
@@ -448,28 +561,23 @@ fn node_contrib(
             if !cand.active {
                 return (0, 0);
             }
-            let mut hi = 0u32;
-            let mut lo = u32::MAX;
-            for (m, &tsim) in ctx.missing.iter().zip(&cand.m_tsims) {
-                let tl = tau_lower(alpha, min_dist, m.sdist, tsim);
-                let tu = tau_upper(alpha, max_dist, m.sdist, tsim);
-                hi = hi.max(max_dom(&prep, &cand.doc, tl, ctx.query.sim));
-                lo = lo.min(min_dom(&prep, &cand.doc, tu, ctx.query.sim));
-            }
-            (hi, lo)
+            entry_dom_bounds(&prep, min_dist, max_dist, ctx, &cand.doc, &cand.m_tsims)
         })
         .collect()
 }
 
-/// Lines 20–26: recompute penalty bounds, improve the best with the
-/// (always achievable) upper bound, prune candidates whose lower bound
-/// already exceeds the best.
+/// Lines 20–26: recompute penalty bounds, improve the worker's local
+/// best with the (always achievable) upper bound, prune candidates
+/// whose lower bound already exceeds the shared bound.
+#[allow(clippy::too_many_arguments)]
 fn refresh_candidates(
     ctx: &WhyNotContext<'_>,
     cands: &mut [CandState],
-    best: &SharedBest,
+    bound: &SharedBound,
+    local: &mut LocalBest,
     stats: &SharedStats,
     traversal: &wnsk_index::TraversalStats,
+    handle: &WorkerHandle<'_>,
 ) {
     for cand in cands.iter_mut() {
         if !cand.active {
@@ -480,31 +588,362 @@ fn refresh_candidates(
         let pn_hi = ctx.penalty.penalty(cand.edit_distance, rank_hi);
         let pn_lo = ctx.penalty.penalty(cand.edit_distance, rank_lo);
         // The refined query (S, max(k₀, rank_hi)) certainly contains M,
-        // so pn_hi is achievable. The lock-free read keeps the hot path
-        // allocation-free; `improve` re-checks under the lock.
-        if pn_hi < best.penalty() {
-            best.improve(RefinedQuery {
+        // so pn_hi is achievable: offer it to the worker-local best and,
+        // on improvement, publish the penalty into the lock-free shared
+        // bound so sibling workers prune against it mid-layer.
+        let key = BestKey::new(pn_hi, cand.seq, rank_hi);
+        let improved = local.improve_with(key, || {
+            BestEntry::new(
+                RefinedQuery {
+                    doc: cand.doc.clone(),
+                    k: ctx.refined_k(rank_hi),
+                    rank: rank_hi,
+                    edit_distance: cand.edit_distance,
+                    penalty: pn_hi,
+                },
+                cand.seq,
+            )
+        });
+        if improved && bound.refresh(pn_hi) {
+            handle.count_bound_refresh();
+        }
+        if pn_lo > bound.value() {
+            // Theorem 3: the MinDom-derived penalty lower bound already
+            // exceeds the best refined query. Strict comparison, so the
+            // globally minimal candidate can never be pruned — the basis
+            // of the thread-count determinism argument.
+            cand.active = false;
+            stats.pruned_by_bound.fetch_add(1, Ordering::Relaxed);
+            traversal.prune_mindom.inc();
+            handle.count_prune_hit();
+        } else if cand.rank_hi == cand.rank_lo {
+            // Fully converged: the frontier sums can never change again
+            // (every per-node contribution gap is zero), and the exact
+            // penalty has just been offered to the local best — retire
+            // the candidate so deeper nodes stop paying for it.
+            // Theorem 2's MaxDom bound closed the gap without
+            // object-level access.
+            cand.active = false;
+            traversal.prune_maxdom.inc();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dynamic (threads > 1) batch traversal: frontier nodes as pool tasks.
+// ---------------------------------------------------------------------
+
+/// One candidate of a parallel batch traversal. The rank bracket lives
+/// in one packed atomic — `(rank_hi << 32) | rank_lo` — so a node task
+/// replaces a node's contribution by its children's with a *single*
+/// `fetch_add` and both fields move together.
+///
+/// Why every observed value is trustworthy: a child's delta is only
+/// applied after its parent's (tasks apply their delta *before*
+/// spawning children, and a same-atomic happens-before edge orders the
+/// two `fetch_add`s), so every prefix of the atomic's coherence order
+/// is a prefix-closed set of expansions — i.e. the sums of a *valid
+/// frontier*. A frontier partitions the objects, so its `hi` sum is ≥
+/// the exact dominator count and its `lo` sum is ≤ it; both fields stay
+/// in `u32` range, which also means the packed mod-2⁶⁴ arithmetic never
+/// corrupts across the field boundary. Hence: every offered `pn_hi` is
+/// achievable, every prune (`pn_lo > bound`) is sound, and a transient
+/// `hi == lo` *is* the exact rank (per-node `hi ≥ lo`, so equal sums
+/// force every frontier node exact — retiring there is Theorem 2).
+struct ParCand {
+    doc: KeywordSet,
+    edit_distance: usize,
+    /// Global candidate sequence number (lexicographic merge tiebreak).
+    seq: u64,
+    /// `TSim(m_i, S)` per missing object.
+    m_tsims: Vec<f64>,
+    /// `ST(m_i, q_S)` per missing object (for exact leaf dominance).
+    m_scores: Vec<f64>,
+    /// Packed `(rank_hi << 32) | rank_lo`, both including the `1 +`.
+    bounds: AtomicU64,
+    active: AtomicBool,
+}
+
+/// The shared state of one batch's traversal; node tasks hold it by
+/// [`Arc`] and apply their bound deltas concurrently.
+struct BatchScan {
+    cands: Vec<ParCand>,
+}
+
+/// A task of the dynamic KcR layer execution: a whole candidate batch
+/// (roots its traversal) or one frontier node of an in-flight batch,
+/// carrying that node's per-candidate `(MaxDom, MinDom)` contribution.
+enum KcrTask {
+    Batch(u64, Vec<Candidate>),
+    Node(Arc<BatchScan>, BlobRef, Vec<(u32, u32)>),
+}
+
+fn pack_bounds(hi: u32, lo: u32) -> u64 {
+    ((hi as u64) << 32) | lo as u64
+}
+
+fn pack_delta(dhi: i64, dlo: i64) -> u64 {
+    (dhi << 32).wrapping_add(dlo) as u64
+}
+
+/// The parallel counterpart of one candidate's slice of
+/// [`refresh_candidates`], fed the post-delta packed value the caller
+/// computed from its own `fetch_add` return.
+#[allow(clippy::too_many_arguments)]
+fn refresh_one(
+    ctx: &WhyNotContext<'_>,
+    cand: &ParCand,
+    hi: u32,
+    lo: u32,
+    bound: &SharedBound,
+    local: &mut LocalBest,
+    stats: &SharedStats,
+    traversal: &wnsk_index::TraversalStats,
+    handle: &WorkerHandle<'_>,
+) {
+    if !cand.active.load(Ordering::Acquire) {
+        return;
+    }
+    let rank_hi = hi as usize;
+    let rank_lo = lo as usize;
+    let pn_hi = ctx.penalty.penalty(cand.edit_distance, rank_hi);
+    let pn_lo = ctx.penalty.penalty(cand.edit_distance, rank_lo);
+    let key = BestKey::new(pn_hi, cand.seq, rank_hi);
+    let improved = local.improve_with(key, || {
+        BestEntry::new(
+            RefinedQuery {
                 doc: cand.doc.clone(),
                 k: ctx.refined_k(rank_hi),
                 rank: rank_hi,
                 edit_distance: cand.edit_distance,
                 penalty: pn_hi,
-            });
-        }
-        if pn_lo > best.penalty() {
-            // Theorem 3: the MinDom-derived penalty lower bound already
-            // exceeds the best refined query.
-            cand.active = false;
+            },
+            cand.seq,
+        )
+    });
+    if improved && bound.refresh(pn_hi) {
+        handle.count_bound_refresh();
+    }
+    if pn_lo > bound.value() {
+        // Theorem 3 (strict, so the minimal candidate never prunes);
+        // `swap` so concurrent tasks book the retirement exactly once.
+        if cand.active.swap(false, Ordering::AcqRel) {
             stats.pruned_by_bound.fetch_add(1, Ordering::Relaxed);
             traversal.prune_mindom.inc();
-        } else if cand.rank_hi == cand.rank_lo {
-            // Fully converged: the frontier sums can never change again
-            // (every per-node contribution gap is zero), and the exact
-            // penalty has just been offered to `best` — retire the
-            // candidate so deeper nodes stop paying for it. Theorem 2's
-            // MaxDom bound closed the gap without object-level access.
-            cand.active = false;
+            handle.count_prune_hit();
+        }
+    } else if hi == lo {
+        // Theorem 2: the bracket closed — `pn_hi` just offered is exact.
+        if cand.active.swap(false, Ordering::AcqRel) {
             traversal.prune_maxdom.inc();
         }
     }
+}
+
+/// Dynamic-mode batch seed: builds the shared candidate states, applies
+/// the root-summary bounds (Algorithm 3 lines 2–6) and hands the root
+/// node to the pool as the traversal's first frontier task.
+#[allow(clippy::too_many_arguments)]
+fn launch_batch(
+    tree: &KcrTree,
+    ctx: &WhyNotContext<'_>,
+    seq0: u64,
+    batch: Vec<Candidate>,
+    bound: &SharedBound,
+    local: &mut LocalBest,
+    stats: &SharedStats,
+    tctx: &TaskContext<'_, KcrTask>,
+) -> Result<()> {
+    if batch.is_empty() {
+        return Ok(());
+    }
+    let alpha = ctx.query.alpha;
+    let world = tree.world();
+    let cands: Vec<ParCand> = batch
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let m_tsims: Vec<f64> = ctx
+                .missing
+                .iter()
+                .map(|m| ctx.query.sim.similarity(&m.doc, &c.doc))
+                .collect();
+            let m_scores: Vec<f64> = ctx
+                .missing
+                .iter()
+                .zip(&m_tsims)
+                .map(|(m, &tsim)| st_score(alpha, m.sdist, tsim))
+                .collect();
+            ParCand {
+                doc: c.doc.clone(),
+                edit_distance: c.edit_distance,
+                seq: seq0 + i as u64,
+                m_tsims,
+                m_scores,
+                bounds: AtomicU64::new(pack_bounds(1, 1)),
+                active: AtomicBool::new(true),
+            }
+        })
+        .collect();
+    let scan = Arc::new(BatchScan { cands });
+
+    let root_summary = tree.root_summary().map_err(crate::WhyNotError::Storage)?;
+    let prep = PreparedNode::new(&root_summary);
+    let min_dist = world.normalized_min_dist(&ctx.query.loc, &root_summary.mbr);
+    let max_dist = world.normalized_max_dist(&ctx.query.loc, &root_summary.mbr);
+    let traversal = tree.traversal();
+    let mut root_contrib = Vec::with_capacity(scan.cands.len());
+    for cand in &scan.cands {
+        let (hi, lo) = entry_dom_bounds(&prep, min_dist, max_dist, ctx, &cand.doc, &cand.m_tsims);
+        let delta = pack_delta(hi as i64, lo as i64);
+        let new = cand
+            .bounds
+            .fetch_add(delta, Ordering::AcqRel)
+            .wrapping_add(delta);
+        refresh_one(
+            ctx,
+            cand,
+            (new >> 32) as u32,
+            new as u32,
+            bound,
+            local,
+            stats,
+            traversal,
+            &tctx.handle,
+        );
+        root_contrib.push((hi, lo));
+    }
+    // An active candidate always has a loose bracket (refresh retires
+    // `hi == lo`), so any survivor justifies expanding the root.
+    if scan.cands.iter().any(|c| c.active.load(Ordering::Acquire)) {
+        tctx.spawn(KcrTask::Node(scan, tree.root(), root_contrib));
+    } else {
+        traversal.nodes_pruned.inc();
+    }
+    Ok(())
+}
+
+/// Dynamic-mode frontier step (Algorithm 3 lines 8–32 for one node):
+/// replaces this node's per-candidate contribution by its children's —
+/// one packed `fetch_add` per candidate, applied *before* any child is
+/// spawned so coherence order respects tree order (see [`ParCand`]) —
+/// and forks the still-loose children as new pool tasks.
+#[allow(clippy::too_many_arguments)]
+fn expand_batch_node(
+    tree: &KcrTree,
+    ctx: &WhyNotContext<'_>,
+    scan: &Arc<BatchScan>,
+    node_ref: BlobRef,
+    contrib: &[(u32, u32)],
+    bound: &SharedBound,
+    local: &mut LocalBest,
+    stats: &SharedStats,
+    tctx: &TaskContext<'_, KcrTask>,
+) -> Result<()> {
+    let traversal = tree.traversal();
+    // Snapshot: a candidate retired after this never receives another
+    // delta from this task's subtree (its bracket is already final or
+    // its penalty already beaten — either way its bounds are dead).
+    let actives: Vec<bool> = scan
+        .cands
+        .iter()
+        .map(|c| c.active.load(Ordering::Acquire))
+        .collect();
+    if !actives.iter().any(|&a| a) {
+        traversal.nodes_pruned.inc();
+        return Ok(());
+    }
+    let node = tree
+        .read_node(node_ref)
+        .map_err(crate::WhyNotError::Storage)?;
+    stats.nodes_expanded.fetch_add(1, Ordering::Relaxed);
+    let alpha = ctx.query.alpha;
+    let world = tree.world();
+
+    let mut child_nodes: Vec<(BlobRef, Vec<(u32, u32)>)> = Vec::new();
+    let mut sums: Vec<(i64, i64)> = vec![(0, 0); scan.cands.len()];
+    match node {
+        KcrNode::Internal(entries) => {
+            for e in &entries {
+                let summary = NodeSummary {
+                    mbr: e.mbr,
+                    cnt: e.cnt,
+                    kcm: tree.read_kcm(e.kcm).map_err(crate::WhyNotError::Storage)?,
+                };
+                let prep = PreparedNode::new(&summary);
+                let min_dist = world.normalized_min_dist(&ctx.query.loc, &summary.mbr);
+                let max_dist = world.normalized_max_dist(&ctx.query.loc, &summary.mbr);
+                let child_contrib: Vec<(u32, u32)> = scan
+                    .cands
+                    .iter()
+                    .zip(&actives)
+                    .map(|(cand, &a)| {
+                        if !a {
+                            return (0, 0);
+                        }
+                        entry_dom_bounds(&prep, min_dist, max_dist, ctx, &cand.doc, &cand.m_tsims)
+                    })
+                    .collect();
+                for (i, &(hi, lo)) in child_contrib.iter().enumerate() {
+                    sums[i].0 += hi as i64;
+                    sums[i].1 += lo as i64;
+                }
+                let loose = actives
+                    .iter()
+                    .zip(&child_contrib)
+                    .any(|(&a, &(hi, lo))| a && hi != lo);
+                if loose {
+                    child_nodes.push((e.child, child_contrib));
+                } else {
+                    traversal.nodes_pruned.inc();
+                }
+            }
+        }
+        KcrNode::Leaf(entries) => {
+            for e in &entries {
+                let doc = tree.read_doc(e.doc).map_err(crate::WhyNotError::Storage)?;
+                let sdist = world.normalized_dist(&e.loc, &ctx.query.loc);
+                for (i, cand) in scan.cands.iter().enumerate() {
+                    if !actives[i] {
+                        continue;
+                    }
+                    let score = st_score(alpha, sdist, ctx.query.sim.similarity(&doc, &cand.doc));
+                    let (any, all) = leaf_dominance(score, &cand.m_scores);
+                    sums[i].0 += any as i64;
+                    sums[i].1 += all as i64;
+                }
+            }
+        }
+    }
+
+    // Apply every delta before spawning any child — load-bearing for
+    // the valid-frontier invariant (see [`ParCand`]).
+    for (i, cand) in scan.cands.iter().enumerate() {
+        if !actives[i] {
+            continue;
+        }
+        let delta = pack_delta(
+            sums[i].0 - contrib[i].0 as i64,
+            sums[i].1 - contrib[i].1 as i64,
+        );
+        let new = cand
+            .bounds
+            .fetch_add(delta, Ordering::AcqRel)
+            .wrapping_add(delta);
+        refresh_one(
+            ctx,
+            cand,
+            (new >> 32) as u32,
+            new as u32,
+            bound,
+            local,
+            stats,
+            traversal,
+            &tctx.handle,
+        );
+    }
+    for (child, child_contrib) in child_nodes {
+        tctx.spawn(KcrTask::Node(Arc::clone(scan), child, child_contrib));
+    }
+    Ok(())
 }

@@ -226,6 +226,17 @@ pub struct AlgoStats {
     /// 1 when the query exhausted its [`QueryBudget`](crate::QueryBudget)
     /// and degraded to the approximate fallback.
     pub degraded: u64,
+    /// Tasks executed off a peer's deque by the work-stealing pool.
+    pub tasks_stolen: u64,
+    /// Times a worker lowered the shared best-penalty bound.
+    pub bound_refreshes: u64,
+    /// Prunes performed against the shared bound (Opt1 keyword-penalty
+    /// prunes, Opt3 filter prunes, early-stop aborts, Theorem 3 prunes).
+    pub prune_hits: u64,
+    /// Per-worker executor counters, in worker-index order (length 1 for
+    /// sequential runs; empty when the solver never reached the
+    /// candidate-processing phase).
+    pub workers: Vec<wnsk_exec::WorkerSnapshot>,
     /// Wall time of the initial-rank phase (finding `R(M, q₀)`).
     pub phase_initial_rank: Duration,
     /// Wall time spent enumerating candidate keyword sets.
@@ -259,6 +270,9 @@ impl AlgoStats {
             (names::CORE_QUERIES_RUN, self.queries_run),
             (names::CORE_NODES_EXPANDED, self.nodes_expanded),
             (names::CORE_DEGRADED, self.degraded),
+            (names::EXEC_TASKS_STOLEN, self.tasks_stolen),
+            (names::EXEC_BOUND_REFRESHES, self.bound_refreshes),
+            (names::EXEC_PRUNE_HITS, self.prune_hits),
         ] {
             registry.counter(name).add(value);
         }

@@ -24,11 +24,18 @@ use wnsk_storage::{
 use wnsk_text::KeywordSet;
 
 /// Base seed for the fault matrix; override with `WNSK_CHAOS_SEED`.
+/// A malformed value is a hard error — silently falling back to the
+/// default would make a CI matrix entry quietly re-run the default
+/// schedule instead of the one it names.
 fn chaos_seed() -> u64 {
-    std::env::var("WNSK_CHAOS_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0xC0FFEE)
+    match std::env::var("WNSK_CHAOS_SEED") {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("WNSK_CHAOS_SEED must be a decimal u64, got {s:?}: {e}")),
+        Err(std::env::VarError::NotPresent) => 0xC0FFEE,
+        Err(e) => panic!("WNSK_CHAOS_SEED is unreadable: {e}"),
+    }
 }
 
 fn random_dataset(n: usize, vocab: u32, seed: u64) -> Dataset {

@@ -1,0 +1,173 @@
+//! Thread-count determinism: the parallel executor's contract (see
+//! `crates/core/src/algorithms/shared.rs`) promises the refined query is
+//! *bit-identical* for every thread count and steal schedule. These
+//! property tests run seeded workloads through AdvancedBS and KcRBased
+//! at 1, 2, 4 and 8 threads and compare every answer field exactly —
+//! penalties by their `f64` bit patterns, not within a tolerance.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use wnsk_core::{
+    answer_advanced, answer_kcr, AdvancedOptions, KcrOptions, RefinedQuery, WhyNotQuestion,
+};
+use wnsk_geo::{Point, WorldBounds};
+use wnsk_index::{Dataset, KcrTree, ObjectId, SetRTree, SpatialKeywordQuery, SpatialObject};
+use wnsk_storage::{BufferPool, BufferPoolConfig, MemBackend};
+use wnsk_text::KeywordSet;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn random_dataset(n: usize, vocab: u32, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let objects = (0..n)
+        .map(|_| {
+            let n_terms = rng.gen_range(1..=5);
+            let doc = KeywordSet::from_ids((0..n_terms).map(|_| rng.gen_range(0..vocab)));
+            SpatialObject {
+                id: ObjectId(0),
+                loc: Point::new(rng.gen::<f64>(), rng.gen::<f64>()),
+                doc,
+            }
+        })
+        .collect();
+    Dataset::new(objects, WorldBounds::unit())
+}
+
+/// A question whose missing objects genuinely sit below the top-k.
+fn make_question(ds: &Dataset, vocab: u32, seed: u64) -> Option<WhyNotQuestion> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    let q = SpatialKeywordQuery::new(
+        Point::new(rng.gen::<f64>(), rng.gen::<f64>()),
+        KeywordSet::from_ids((0..rng.gen_range(2..=4)).map(|_| rng.gen_range(0..vocab))),
+        5,
+        0.5,
+    );
+    let mut scored: Vec<(ObjectId, f64)> = ds
+        .objects()
+        .iter()
+        .map(|o| (o.id, ds.score(o, &q)))
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let lo = q.k + 2;
+    let hi = (q.k + 40).min(scored.len());
+    for _ in 0..100 {
+        let id = scored[rng.gen_range(lo..hi)].0;
+        if ds.rank_of(id, &q) > q.k {
+            return Some(WhyNotQuestion::new(q, vec![id], 0.5));
+        }
+    }
+    None
+}
+
+fn pool() -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(
+        Arc::new(MemBackend::new()),
+        BufferPoolConfig::default(),
+    ))
+}
+
+/// Exact comparison, penalties as bit patterns.
+fn assert_identical(base: &RefinedQuery, other: &RefinedQuery, algo: &str, threads: usize) {
+    assert_eq!(
+        base.doc, other.doc,
+        "{algo} t={threads}: refined keyword set diverged"
+    );
+    assert_eq!(base.k, other.k, "{algo} t={threads}: refined k diverged");
+    assert_eq!(base.rank, other.rank, "{algo} t={threads}: rank diverged");
+    assert_eq!(
+        base.edit_distance, other.edit_distance,
+        "{algo} t={threads}: edit distance diverged"
+    );
+    assert_eq!(
+        base.penalty.to_bits(),
+        other.penalty.to_bits(),
+        "{algo} t={threads}: penalty bits diverged ({} vs {})",
+        base.penalty,
+        other.penalty
+    );
+}
+
+#[test]
+fn kcr_refined_query_is_identical_across_thread_counts() {
+    let vocab = 40;
+    let mut covered = 0;
+    for seed in 0..6u64 {
+        let ds = random_dataset(400, vocab, 1000 + seed);
+        let tree = KcrTree::build(pool(), &ds, 8).unwrap();
+        let Some(question) = make_question(&ds, vocab, 2000 + seed) else {
+            continue;
+        };
+        covered += 1;
+        let baseline = answer_kcr(&ds, &tree, &question, KcrOptions::default()).unwrap();
+        for threads in THREAD_COUNTS {
+            // A small batch size forces several batches per layer, so the
+            // pool really interleaves batch and node tasks.
+            let opts = KcrOptions {
+                threads,
+                batch_size: 16,
+                ..KcrOptions::default()
+            };
+            let ans = answer_kcr(&ds, &tree, &question, opts).unwrap();
+            assert_identical(&baseline.refined, &ans.refined, "KcRBased", threads);
+        }
+    }
+    assert!(covered >= 3, "only {covered} seeds produced a workload");
+}
+
+#[test]
+fn advanced_refined_query_is_identical_across_thread_counts() {
+    let vocab = 40;
+    let mut covered = 0;
+    for seed in 0..6u64 {
+        let ds = random_dataset(400, vocab, 3000 + seed);
+        let tree = SetRTree::build(pool(), &ds, 8).unwrap();
+        let Some(question) = make_question(&ds, vocab, 4000 + seed) else {
+            continue;
+        };
+        covered += 1;
+        let baseline = answer_advanced(&ds, &tree, &question, AdvancedOptions::default()).unwrap();
+        for threads in THREAD_COUNTS {
+            let opts = AdvancedOptions {
+                threads,
+                ..AdvancedOptions::default()
+            };
+            let ans = answer_advanced(&ds, &tree, &question, opts).unwrap();
+            assert_identical(&baseline.refined, &ans.refined, "AdvancedBS", threads);
+        }
+    }
+    assert!(covered >= 3, "only {covered} seeds produced a workload");
+}
+
+#[test]
+fn parallel_runs_agree_with_every_opt_combination() {
+    // Opt1/Opt3 interact with the parallel paths (live limits, counting
+    // scans, per-worker dominator caches): toggling them must never
+    // change the answer either.
+    let vocab = 30;
+    let ds = random_dataset(300, vocab, 7100);
+    let tree = SetRTree::build(pool(), &ds, 8).unwrap();
+    let Some(question) = make_question(&ds, vocab, 7200) else {
+        panic!("seed 7200 must produce a workload");
+    };
+    let baseline = answer_advanced(&ds, &tree, &question, AdvancedOptions::default()).unwrap();
+    for early_stop in [false, true] {
+        for keyword_set_filtering in [false, true] {
+            for threads in [1, 4] {
+                let opts = AdvancedOptions {
+                    early_stop,
+                    keyword_set_filtering,
+                    threads,
+                    ..AdvancedOptions::default()
+                };
+                let ans = answer_advanced(&ds, &tree, &question, opts).unwrap();
+                assert_identical(
+                    &baseline.refined,
+                    &ans.refined,
+                    &format!("AdvancedBS(es={early_stop},ksf={keyword_set_filtering})"),
+                    threads,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Query-scored node expansion shared by the best-first searches and the
+//! parallel counting traversals.
+//!
+//! Both trees expose the same primitive: read one node and return every
+//! child tagged with its score (leaf objects: the exact `ST` score;
+//! internal children: the tree's score *upper bound* for the subtree —
+//! Theorem 1's set bound on the SetR-tree, the keyword-count bound on
+//! the KcR-tree). A counting traversal descends only into subtrees whose
+//! bound exceeds the target score, which visits exactly the strict
+//! dominators — the same rank as the best-first scan (ties are never
+//! dominators), but decomposable into independent subtree tasks.
+
+use crate::kcr::KcrTree;
+use crate::model::ObjectId;
+use crate::query::{st_score, SpatialKeywordQuery};
+use crate::setr::{SetRTree, SetrNode};
+use crate::KcrNode;
+use wnsk_storage::{BlobRef, Result};
+
+/// One expanded node: children with their score (bound).
+pub enum ScoredChildren {
+    /// Internal children with the per-subtree score upper bound.
+    Internal(Vec<(BlobRef, f64)>),
+    /// Leaf objects with their exact score under the query.
+    Leaf(Vec<(ObjectId, f64)>),
+}
+
+impl SetRTree {
+    /// Expands `node`, scoring every child against `query` (Theorem 1's
+    /// union/intersection bound for internal entries, the exact score
+    /// for leaf objects).
+    pub fn scored_children(
+        &self,
+        query: &SpatialKeywordQuery,
+        node: BlobRef,
+    ) -> Result<ScoredChildren> {
+        match self.read_node(node)? {
+            SetrNode::Leaf(entries) => {
+                let mut out = Vec::with_capacity(entries.len());
+                for e in entries {
+                    let doc = self.read_keyword_set(e.doc)?;
+                    let sdist = self.world().normalized_dist(&e.loc, &query.loc);
+                    let tsim = query.sim.similarity(&doc, &query.doc);
+                    out.push((e.object, st_score(query.alpha, sdist, tsim)));
+                }
+                Ok(ScoredChildren::Leaf(out))
+            }
+            SetrNode::Internal(entries) => {
+                let mut out = Vec::with_capacity(entries.len());
+                for e in entries {
+                    let union = self.read_keyword_set(e.union)?;
+                    let inter = self.read_keyword_set(e.intersection)?;
+                    let min_dist = self.world().normalized_min_dist(&query.loc, &e.mbr);
+                    let tsim_bound = query.sim.node_upper(&union, &inter, &query.doc);
+                    out.push((e.child, st_score(query.alpha, min_dist, tsim_bound)));
+                }
+                Ok(ScoredChildren::Internal(out))
+            }
+        }
+    }
+}
+
+impl KcrTree {
+    /// Expands `node`, scoring every child against `query` (the
+    /// keyword-count-map bound for internal entries, the exact score for
+    /// leaf objects).
+    pub fn scored_children(
+        &self,
+        query: &SpatialKeywordQuery,
+        node: BlobRef,
+    ) -> Result<ScoredChildren> {
+        match self.read_node(node)? {
+            KcrNode::Leaf(entries) => {
+                let mut out = Vec::with_capacity(entries.len());
+                for e in entries {
+                    let doc = self.read_doc(e.doc)?;
+                    let sdist = self.world().normalized_dist(&e.loc, &query.loc);
+                    let tsim = query.sim.similarity(&doc, &query.doc);
+                    out.push((e.object, st_score(query.alpha, sdist, tsim)));
+                }
+                Ok(ScoredChildren::Leaf(out))
+            }
+            KcrNode::Internal(entries) => {
+                let mut out = Vec::with_capacity(entries.len());
+                for e in entries {
+                    let kcm = self.read_kcm(e.kcm)?;
+                    let matched = query.doc.iter().filter(|&t| kcm.count(t) > 0).count();
+                    let tsim_bound = query.sim.kcr_upper(matched, query.doc.len());
+                    let min_dist = self.world().normalized_min_dist(&query.loc, &e.mbr);
+                    out.push((e.child, st_score(query.alpha, min_dist, tsim_bound)));
+                }
+                Ok(ScoredChildren::Internal(out))
+            }
+        }
+    }
+}

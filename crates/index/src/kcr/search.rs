@@ -8,10 +8,10 @@
 //! bound — enough for the KcR-based algorithm to determine the missing
 //! object's initial rank on its own index (§V-D, Algorithm 4 line 1).
 
-use super::node::KcrNode;
 use super::KcrTree;
+use crate::descend::ScoredChildren;
 use crate::model::ObjectId;
-use crate::query::{st_score, SpatialKeywordQuery};
+use crate::query::SpatialKeywordQuery;
 use crate::setr::{RankMode, RankOutcome};
 use crate::util::OrdF64;
 use std::cmp::Ordering;
@@ -90,33 +90,20 @@ impl<'a> KcrTopKSearch<'a> {
     }
 
     fn expand(&mut self, node_ref: BlobRef) -> Result<()> {
-        let node = self.tree.read_node(node_ref)?;
-        match node {
-            KcrNode::Leaf(entries) => {
-                for e in entries {
-                    let doc = self.tree.read_doc(e.doc)?;
-                    let sdist = self.tree.world().normalized_dist(&e.loc, &self.query.loc);
-                    let tsim = self.query.sim.similarity(&doc, &self.query.doc);
-                    let score = st_score(self.query.alpha, sdist, tsim);
+        match self.tree.scored_children(&self.query, node_ref)? {
+            ScoredChildren::Leaf(objects) => {
+                for (id, score) in objects {
                     self.heap.push(HeapEntry {
                         score: OrdF64::new(score),
-                        item: Item::Object(e.object),
+                        item: Item::Object(id),
                     });
                 }
             }
-            KcrNode::Internal(entries) => {
-                for e in entries {
-                    let kcm = self.tree.read_kcm(e.kcm)?;
-                    let matched = self.query.doc.iter().filter(|&t| kcm.count(t) > 0).count();
-                    let tsim_bound = self.query.sim.kcr_upper(matched, self.query.doc.len());
-                    let min_dist = self
-                        .tree
-                        .world()
-                        .normalized_min_dist(&self.query.loc, &e.mbr);
-                    let bound = st_score(self.query.alpha, min_dist, tsim_bound);
+            ScoredChildren::Internal(children) => {
+                for (child, bound) in children {
                     self.heap.push(HeapEntry {
                         score: OrdF64::new(bound),
-                        item: Item::Node(e.child),
+                        item: Item::Node(child),
                     });
                 }
             }
@@ -204,6 +191,7 @@ impl KcrTree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kcr::KcrNode;
     use crate::model::{Dataset, SpatialObject};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};

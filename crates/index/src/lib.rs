@@ -21,6 +21,7 @@
 //! shared object/dataset model ([`model`]) includes deliberately naive
 //! brute-force evaluators used as ground truth by the test suites.
 
+mod descend;
 pub mod kcr;
 pub mod model;
 pub mod payload;
@@ -31,6 +32,7 @@ pub mod str_pack;
 mod stream;
 mod util;
 
+pub use descend::ScoredChildren;
 pub use kcr::{KcrEntry, KcrNode, KcrTree, NodeSummary};
 pub use model::{Dataset, ObjectId, SpatialObject};
 pub use query::{st_score, tsim_node_upper, SpatialKeywordQuery};

@@ -106,8 +106,9 @@ impl SetRTree {
         self.meta.height
     }
 
-    /// Blob reference of the root node.
-    pub(crate) fn root(&self) -> BlobRef {
+    /// Blob reference of the root node (the entry point for external
+    /// traversals such as the parallel counting rank).
+    pub fn root(&self) -> BlobRef {
         self.meta.root
     }
 

@@ -7,10 +7,10 @@
 //! deterministically: nodes are expanded before equal-priority objects are
 //! emitted, and equal-scored objects are emitted in ascending object id.
 
-use super::node::SetrNode;
 use super::SetRTree;
+use crate::descend::ScoredChildren;
 use crate::model::ObjectId;
-use crate::query::{st_score, SpatialKeywordQuery};
+use crate::query::SpatialKeywordQuery;
 use crate::util::OrdF64;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -95,33 +95,20 @@ impl<'a> TopKSearch<'a> {
     }
 
     fn expand(&mut self, node_ref: BlobRef) -> Result<()> {
-        let node = self.tree.read_node(node_ref)?;
-        match node {
-            SetrNode::Leaf(entries) => {
-                for e in entries {
-                    let doc = self.tree.read_keyword_set(e.doc)?;
-                    let sdist = self.tree.world().normalized_dist(&e.loc, &self.query.loc);
-                    let tsim = self.query.sim.similarity(&doc, &self.query.doc);
-                    let score = st_score(self.query.alpha, sdist, tsim);
+        match self.tree.scored_children(&self.query, node_ref)? {
+            ScoredChildren::Leaf(objects) => {
+                for (id, score) in objects {
                     self.heap.push(HeapEntry {
                         score: OrdF64::new(score),
-                        item: Item::Object(e.object),
+                        item: Item::Object(id),
                     });
                 }
             }
-            SetrNode::Internal(entries) => {
-                for e in entries {
-                    let union = self.tree.read_keyword_set(e.union)?;
-                    let inter = self.tree.read_keyword_set(e.intersection)?;
-                    let min_dist = self
-                        .tree
-                        .world()
-                        .normalized_min_dist(&self.query.loc, &e.mbr);
-                    let tsim_bound = self.query.sim.node_upper(&union, &inter, &self.query.doc);
-                    let bound = st_score(self.query.alpha, min_dist, tsim_bound);
+            ScoredChildren::Internal(children) => {
+                for (child, bound) in children {
                     self.heap.push(HeapEntry {
                         score: OrdF64::new(bound),
-                        item: Item::Node(e.child),
+                        item: Item::Node(child),
                     });
                 }
             }

@@ -90,4 +90,11 @@ pub mod names {
     /// Queries that exhausted their budget and degraded to the
     /// sampling-based approximate answer.
     pub const CORE_DEGRADED: &str = "core.degraded";
+    /// Tasks the work-stealing executor ran off a peer worker's deque
+    /// (summed over workers; per-worker splits live in `AlgoStats`).
+    pub const EXEC_TASKS_STOLEN: &str = "exec.tasks_stolen";
+    /// Times a worker lowered the shared best-penalty bound.
+    pub const EXEC_BOUND_REFRESHES: &str = "exec.bound_refreshes";
+    /// Prunes performed against the shared best-penalty bound.
+    pub const EXEC_PRUNE_HITS: &str = "exec.prune_hits";
 }
