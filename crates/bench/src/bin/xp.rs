@@ -3,6 +3,7 @@
 //! ```text
 //! xp <experiment> [--scale S] [--queries N] [--threads T] [--out DIR]
 //! xp bench [--output FILE] [--scale S] [--queries N] [--threads T]
+//!          [--trace-sample N] [--metrics-export PATH|-]
 //! xp compare <baseline.json> <pr.json> [--tolerance T]
 //! ```
 //!
@@ -63,6 +64,7 @@ fn experiment_cmd(name: &str, rest: &[String]) -> ! {
 /// `xp bench`: the pinned sweep behind the CI regression gate.
 fn bench_cmd(args: &[String]) -> ! {
     let mut output = std::path::PathBuf::from("BENCH_pr.json");
+    let mut metrics_export: Option<String> = None;
     let mut flags = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -71,6 +73,12 @@ fn bench_cmd(args: &[String]) -> ! {
                 usage_and_exit(Some("--output needs a value"));
             };
             output = value.into();
+            i += 2;
+        } else if args[i] == "--metrics-export" {
+            let Some(value) = args.get(i + 1) else {
+                usage_and_exit(Some("--metrics-export needs a value (a path, or '-')"));
+            };
+            metrics_export = Some(value.clone());
             i += 2;
         } else {
             flags.push(args[i].clone());
@@ -86,8 +94,9 @@ fn bench_cmd(args: &[String]) -> ! {
         cfg.scale, cfg.queries, cfg.max_threads, cfg.io_latency_us
     );
     let started = std::time::Instant::now();
-    let rows = gate::run_bench(&cfg);
-    for row in &rows {
+    let outcome = gate::run_bench_full(&cfg);
+    let rows = &outcome.rows;
+    for row in rows {
         let io = row
             .work
             .iter()
@@ -98,7 +107,18 @@ fn bench_cmd(args: &[String]) -> ! {
             row.id, row.time_ms, io, row.penalty
         );
     }
-    std::fs::write(&output, gate::to_json(&cfg, &rows).render()).expect("cannot write bench JSON");
+    std::fs::write(&output, gate::to_json(&cfg, rows).render()).expect("cannot write bench JSON");
+    if let Some(target) = metrics_export {
+        let text = wnsk_obs::prometheus_text(&outcome.metrics);
+        if target == "-" {
+            print!("{text}");
+        } else if let Err(e) = std::fs::write(&target, &text) {
+            eprintln!("error: cannot export metrics to {target}: {e}");
+            std::process::exit(1);
+        } else {
+            eprintln!("exported metrics to {target}");
+        }
+    }
     eprintln!(
         "wrote {} ({} rows) in {:.1}s",
         output.display(),
@@ -171,7 +191,10 @@ fn usage_and_exit(err: Option<&str>) -> ! {
         eprintln!("error: {e}\n");
     }
     eprintln!("usage: xp <experiment> [--scale S] [--queries N] [--threads T] [--out DIR]");
-    eprintln!("       xp bench [--output FILE] [--scale S] [--queries N] [--threads T]");
+    eprintln!(
+        "       xp bench [--output FILE] [--scale S] [--queries N] [--threads T]
+                [--trace-sample N] [--metrics-export PATH|-]"
+    );
     eprintln!("       xp compare <baseline.json> <pr.json> [--tolerance T]");
     eprintln!("experiments: {}", experiments::EXPERIMENTS.join(" "));
     std::process::exit(if err.is_some() { 2 } else { 0 });

@@ -17,6 +17,9 @@ pub struct XpConfig {
     /// paper measures elapsed time on disk (§VII-A1); 100 µs ≈ one SSD
     /// random 4 KiB read.
     pub io_latency_us: u64,
+    /// Trace 1-in-N queries on the gate's traced rows (`--trace-sample`;
+    /// the first query of a batch is always sampled).
+    pub trace_sample: usize,
     /// Optional directory for CSV output.
     pub out_dir: Option<std::path::PathBuf>,
 }
@@ -28,6 +31,7 @@ impl Default for XpConfig {
             queries: 3,
             max_threads: 8,
             io_latency_us: 100,
+            trace_sample: 16,
             out_dir: None,
         }
     }
@@ -80,6 +84,14 @@ impl XpConfig {
                     cfg.io_latency_us = next_value(args, &mut i)?
                         .parse()
                         .map_err(|e| format!("bad --io-latency-us: {e}"))?;
+                }
+                "--trace-sample" => {
+                    cfg.trace_sample = next_value(args, &mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --trace-sample: {e}"))?;
+                    if cfg.trace_sample == 0 {
+                        return Err("--trace-sample must be ≥ 1".into());
+                    }
                 }
                 "--out" => {
                     cfg.out_dir = Some(next_value(args, &mut i)?.into());

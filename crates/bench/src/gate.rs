@@ -19,11 +19,11 @@
 //!   the deterministic I/O counts a faithful time proxy anyway.
 
 use crate::config::XpConfig;
-use crate::runner::{measure_with_report, Algo, TestBed};
+use crate::runner::{measure_traced, measure_with_report, Algo, Measurement, TestBed};
 use wnsk_core::{AdvancedOptions, KcrOptions};
 use wnsk_data::workload::WorkloadSpec;
 use wnsk_data::DatasetSpec;
-use wnsk_obs::JsonValue;
+use wnsk_obs::{JsonValue, QueryReport, Snapshot, Tracer};
 
 /// Schema version of the `BENCH_*.json` document.
 const FORMAT_VERSION: u64 = 1;
@@ -61,14 +61,30 @@ pub fn pinned_config() -> XpConfig {
         queries: 3,
         max_threads: 4,
         io_latency_us: 100,
+        trace_sample: 16,
         out_dir: None,
     }
+}
+
+/// A full sweep plus the registry state it produced (for
+/// `xp bench --metrics-export`).
+pub struct BenchOutcome {
+    pub rows: Vec<BenchRow>,
+    /// The main bed's metrics after every untraced row — the richest
+    /// single snapshot the sweep produces (the traced row runs on its
+    /// own instrumented bed and is gated, not exported).
+    pub metrics: Snapshot,
 }
 
 /// The pinned sweep: every row the gate measures. The scale, seeds,
 /// queries and I/O latency come from `cfg` — CI pins them on the
 /// command line and [`compare`] refuses to diff mismatched configs.
 pub fn run_bench(cfg: &XpConfig) -> Vec<BenchRow> {
+    run_bench_full(cfg).rows
+}
+
+/// [`run_bench`] plus the metrics snapshot behind `--metrics-export`.
+pub fn run_bench_full(cfg: &XpConfig) -> BenchOutcome {
     let mut rows = Vec::new();
 
     // A serial trio on the Table III default workload: covers BS's
@@ -95,6 +111,29 @@ pub fn run_bench(cfg: &XpConfig) -> Vec<BenchRow> {
         rows.push(measure_row(&bed, &algo, &qs, "trio", 1));
     }
 
+    // The same serial KcRBased workload with tracing sampled 1-in-N:
+    // tracing is observation-only, so every deterministic work metric
+    // must land exactly where the untraced trio row does — the gate
+    // compares this row against the baseline at the normal serial
+    // tolerance, which is how the <5 % tracing-overhead budget on work
+    // metrics is enforced in CI.
+    let tracer = Tracer::new();
+    let traced_bed = TestBed::instrumented(
+        &DatasetSpec::euro_like(cfg.scale),
+        crate::runner::FANOUT,
+        cfg.io_latency(),
+        tracer.clone(),
+    );
+    let traced_qs = traced_bed.questions(&trio_spec, cfg.queries, 0.5);
+    let (m, report) = measure_traced(
+        &traced_bed,
+        &Algo::Kcr(KcrOptions::default()),
+        &traced_qs,
+        &tracer,
+        cfg.trace_sample,
+    );
+    rows.push(bench_row("trio/KcRBased/t=1/traced".into(), 1, m, &report));
+
     // The Fig. 10 thread sweep on the heavier workload: covers the
     // parallel executor (counting ranks, dynamic subtree tasks, shared
     // bound pruning) at every thread count the figure plots.
@@ -119,7 +158,10 @@ pub fn run_bench(cfg: &XpConfig) -> Vec<BenchRow> {
         rows.push(measure_row(&bed, &kcr, &qs, "sweep", threads));
         threads *= 2;
     }
-    rows
+    BenchOutcome {
+        metrics: bed.registry().snapshot(),
+        rows,
+    }
 }
 
 fn measure_row(
@@ -130,8 +172,17 @@ fn measure_row(
     threads: usize,
 ) -> BenchRow {
     let (m, report) = measure_with_report(bed, algo, qs);
+    bench_row(
+        format!("{group}/{}/t={threads}", base_name(algo)),
+        threads,
+        m,
+        &report,
+    )
+}
+
+fn bench_row(id: String, threads: usize, m: Measurement, report: &QueryReport) -> BenchRow {
     BenchRow {
-        id: format!("{group}/{}/t={threads}", base_name(algo)),
+        id,
         threads,
         time_ms: m.time_ms,
         penalty: m.penalty,
@@ -172,6 +223,7 @@ pub fn to_json(cfg: &XpConfig, rows: &[BenchRow]) -> JsonValue {
                 ("queries", cfg.queries.into()),
                 ("max_threads", cfg.max_threads.into()),
                 ("io_latency_us", cfg.io_latency_us.into()),
+                ("trace_sample", cfg.trace_sample.into()),
             ]),
         ),
         (

@@ -21,5 +21,5 @@ pub mod runner;
 pub mod table;
 
 pub use config::XpConfig;
-pub use runner::{measure, measure_with_report, Algo, Measurement, TestBed};
+pub use runner::{measure, measure_traced, measure_with_report, Algo, Measurement, TestBed};
 pub use table::Table;

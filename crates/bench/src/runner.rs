@@ -8,7 +8,7 @@ use wnsk_core::{
 use wnsk_data::workload::{generate_item, WorkloadSpec};
 use wnsk_data::{generate, DatasetSpec, GeneratedData};
 use wnsk_index::{KcrTree, SetRTree};
-use wnsk_obs::{QueryReport, Registry};
+use wnsk_obs::{Hist, QueryReport, Registry, Tracer};
 use wnsk_storage::{
     BufferPool, BufferPoolConfig, FaultBackend, FaultPlan, MemBackend, StorageBackend,
 };
@@ -52,6 +52,23 @@ impl TestBed {
         fanout: usize,
         read_latency: std::time::Duration,
     ) -> Self {
+        Self::instrumented(spec, fanout, read_latency, Tracer::off())
+    }
+
+    /// Same again, with every layer — both buffer pools and both trees —
+    /// publishing trace events through `tracer`. The gate's traced rows
+    /// and `--explain`-style debugging use this; bulk-loading is kept
+    /// out of the trace (the build would swamp any query's spans), so
+    /// the tracer comes back in whatever enabled state it went in with
+    /// and its buffers empty.
+    pub fn instrumented(
+        spec: &DatasetSpec,
+        fanout: usize,
+        read_latency: std::time::Duration,
+        tracer: Tracer,
+    ) -> Self {
+        let was_on = tracer.is_on();
+        tracer.set_enabled(false);
         let data = generate(spec);
         let registry = Registry::new();
         let backend = |seed: u64| -> Arc<dyn StorageBackend> {
@@ -64,24 +81,30 @@ impl TestBed {
                 ))
             }
         };
-        let setr_pool = Arc::new(BufferPool::new_registered(
+        let setr_pool = Arc::new(BufferPool::new_instrumented(
             backend(1),
             BufferPoolConfig::default(),
             &registry,
             "setr.pool.",
+            tracer.clone(),
         ));
-        let kcr_pool = Arc::new(BufferPool::new_registered(
+        let kcr_pool = Arc::new(BufferPool::new_instrumented(
             backend(2),
             BufferPoolConfig::default(),
             &registry,
             "kcr.pool.",
+            tracer.clone(),
         ));
         let mut setr = SetRTree::build(setr_pool, &data.dataset, fanout)
             .expect("SetR-tree build cannot fail on MemBackend");
         setr.register_metrics(&registry, "setr.");
+        setr.set_tracer(tracer.clone());
         let mut kcr = KcrTree::build(kcr_pool, &data.dataset, fanout)
             .expect("KcR-tree build cannot fail on MemBackend");
         kcr.register_metrics(&registry, "kcr.");
+        kcr.set_tracer(tracer.clone());
+        let _ = tracer.drain();
+        tracer.set_enabled(was_on);
         TestBed {
             data,
             setr,
@@ -225,11 +248,43 @@ pub fn measure_with_report(
     algo: &Algo,
     questions: &[WhyNotQuestion],
 ) -> (Measurement, QueryReport) {
+    measure_inner(bed, algo, questions, None)
+}
+
+/// Like [`measure_with_report`] on an [`TestBed::instrumented`] bed:
+/// opens the tracer's sampling gate on every `sample`-th query (1-in-N,
+/// starting with the first) and drains the buffers afterwards so
+/// back-to-back batches never mix spans. The measurement itself is the
+/// untraced code path plus whatever the tracer costs — which is what
+/// the gate's traced row exists to bound.
+pub fn measure_traced(
+    bed: &TestBed,
+    algo: &Algo,
+    questions: &[WhyNotQuestion],
+    tracer: &Tracer,
+    sample: usize,
+) -> (Measurement, QueryReport) {
+    let out = measure_inner(bed, algo, questions, Some((tracer, sample.max(1))));
+    tracer.set_enabled(false);
+    let _ = tracer.drain();
+    out
+}
+
+fn measure_inner(
+    bed: &TestBed,
+    algo: &Algo,
+    questions: &[WhyNotQuestion],
+    trace: Option<(&Tracer, usize)>,
+) -> (Measurement, QueryReport) {
     let before = bed.registry.snapshot();
     let mut agg = AlgoStats::default();
+    let task_hist = Hist::new();
     let mut total_penalty = 0.0;
     let mut n = 0usize;
-    for q in questions {
+    for (i, q) in questions.iter().enumerate() {
+        if let Some((tracer, sample)) = trace {
+            tracer.set_enabled(i % sample == 0);
+        }
         bed.clear_caches();
         match algo.run(bed, q) {
             Ok(ans) => {
@@ -246,12 +301,14 @@ pub fn measure_with_report(
                 agg.phase_initial_rank += ans.stats.phase_initial_rank;
                 agg.phase_enumeration += ans.stats.phase_enumeration;
                 agg.phase_verification += ans.stats.phase_verification;
+                task_hist.merge_snapshot(&ans.stats.task_latency);
                 total_penalty += ans.refined.penalty;
                 n += 1;
             }
             Err(e) => panic!("{} failed on a generated workload: {e}", algo.name()),
         }
     }
+    agg.task_latency = task_hist.snapshot();
     agg.record_into(&bed.registry);
     let delta = bed.registry.snapshot().since(&before);
     let mut report = QueryReport::new(algo.name(), agg.wall);
@@ -363,6 +420,50 @@ mod tests {
         let (_, setr_report) = measure_with_report(&bed, &Algo::Bs, &qs);
         assert_eq!(setr_report.counter("kcr.node_visits"), 0);
         assert!(setr_report.counter("setr.node_visits") > 0);
+    }
+
+    /// The tracing-overhead guard: a fully traced run (sample 1) must
+    /// keep every deterministic work metric within the 5 % budget of an
+    /// untraced run on the identical bed — and since tracing is
+    /// observation-only, they are in fact exactly equal.
+    #[test]
+    fn traced_measurement_keeps_work_metrics_within_budget() {
+        let spec = DatasetSpec::tiny(3);
+        let wspec = WorkloadSpec {
+            k: 3,
+            n_keywords: 2,
+            missing_rank: 16,
+            ..WorkloadSpec::paper_default(5)
+        };
+        let plain = TestBed::with_fanout(&spec, 8);
+        let tracer = Tracer::new();
+        let traced = TestBed::instrumented(&spec, 8, std::time::Duration::ZERO, tracer.clone());
+        let qs = plain.questions(&wspec, 2, 0.5);
+        assert!(!qs.is_empty());
+        let algo = Algo::Kcr(KcrOptions::default());
+        let (m0, r0) = measure_with_report(&plain, &algo, &qs);
+        let (m1, r1) = measure_traced(
+            &traced,
+            &algo,
+            &traced.questions(&wspec, 2, 0.5),
+            &tracer,
+            1,
+        );
+        assert!(
+            (m1.io - m0.io).abs() <= 0.05 * m0.io.max(1.0),
+            "io: {} vs {}",
+            m0.io,
+            m1.io
+        );
+        for name in ["core.candidates", "core.queries_run", "core.nodes_expanded"] {
+            let (a, b) = (r0.counter(name) as f64, r1.counter(name) as f64);
+            assert!((b - a).abs() <= 0.05 * a.max(1.0), "{name}: {a} vs {b}");
+        }
+        assert!((m0.penalty - m1.penalty).abs() < 1e-12);
+        // Sampling gate: after measure_traced the tracer is drained and
+        // closed, so back-to-back batches cannot mix spans.
+        assert!(!tracer.is_on());
+        assert!(tracer.drain().is_empty());
     }
 
     #[test]

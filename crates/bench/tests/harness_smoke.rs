@@ -9,6 +9,7 @@ fn tiny_cfg() -> XpConfig {
         queries: 1,
         max_threads: 2,
         io_latency_us: 0, // keep smoke tests CPU-bound and fast
+        trace_sample: 16,
         out_dir: None,
     }
 }

@@ -6,34 +6,57 @@ use wnsk_geo::Point;
 /// Flags that take no value — their presence alone means "on".
 const BOOLEAN_FLAGS: &[&str] = &["metrics"];
 
+/// Flags whose value is optional: bare `--explain` means the default,
+/// and an explicit value must use the `=` form (`--explain=json`) so
+/// the parser never has to guess whether the next token is a value.
+const OPTIONAL_VALUE_FLAGS: &[(&str, &str)] = &[("explain", "tree")];
+
 /// Parsed `--key value` pairs.
 pub struct ParsedArgs {
     values: HashMap<String, String>,
 }
 
 impl ParsedArgs {
-    /// Parses alternating `--key value` tokens. Boolean flags
-    /// (`--metrics`) stand alone and take no value.
+    /// Parses alternating `--key value` tokens. `--key=value` is
+    /// equivalent to `--key value`. Boolean flags (`--metrics`) stand
+    /// alone; optional-value flags (`--explain[=json|tree]`) default
+    /// when bare.
     pub fn parse(args: &[String]) -> Result<Self, String> {
         let mut values = HashMap::new();
+        let insert = |values: &mut HashMap<String, String>, key: &str, value: String| {
+            if values.insert(key.to_string(), value).is_some() {
+                return Err(format!("--{key} given twice"));
+            }
+            Ok(())
+        };
         let mut i = 0;
         while i < args.len() {
-            let key = args[i]
+            let body = args[i]
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?;
-            if BOOLEAN_FLAGS.contains(&key) {
-                if values.insert(key.to_string(), "true".into()).is_some() {
-                    return Err(format!("--{key} given twice"));
+            if let Some((key, value)) = body.split_once('=') {
+                if key.is_empty() {
+                    return Err(format!("bad flag '{}'", args[i]));
                 }
+                insert(&mut values, key, value.to_string())?;
+                i += 1;
+                continue;
+            }
+            let key = body;
+            if BOOLEAN_FLAGS.contains(&key) {
+                insert(&mut values, key, "true".into())?;
+                i += 1;
+                continue;
+            }
+            if let Some(&(_, default)) = OPTIONAL_VALUE_FLAGS.iter().find(|&&(k, _)| k == key) {
+                insert(&mut values, key, default.into())?;
                 i += 1;
                 continue;
             }
             let value = args
                 .get(i + 1)
                 .ok_or_else(|| format!("--{key} needs a value"))?;
-            if values.insert(key.to_string(), value.clone()).is_some() {
-                return Err(format!("--{key} given twice"));
-            }
+            insert(&mut values, key, value.clone())?;
             i += 2;
         }
         Ok(ParsedArgs { values })
@@ -141,5 +164,29 @@ mod tests {
     fn typed_parse_errors() {
         let a = parse(&["--k", "ten"]).unwrap();
         assert!(a.parse_or("k", 1usize).is_err());
+    }
+
+    #[test]
+    fn equals_form_is_equivalent() {
+        let a = parse(&["--k=10", "--alpha=0.3", "--metrics"]).unwrap();
+        assert_eq!(a.required("k").unwrap(), "10");
+        assert_eq!(a.parse_or("alpha", 0.5).unwrap(), 0.3);
+        assert!(a.flag("metrics"));
+        assert!(parse(&["--k=1", "--k", "2"]).is_err());
+        assert!(parse(&["--=x"]).is_err());
+    }
+
+    #[test]
+    fn optional_value_flags_default_when_bare() {
+        let a = parse(&["--explain"]).unwrap();
+        assert_eq!(a.optional("explain"), Some("tree"));
+        let a = parse(&["--explain=json"]).unwrap();
+        assert_eq!(a.optional("explain"), Some("json"));
+        let a = parse(&["--k", "5"]).unwrap();
+        assert_eq!(a.optional("explain"), None);
+        // Bare --explain never swallows the next flag.
+        let a = parse(&["--explain", "--k", "5"]).unwrap();
+        assert_eq!(a.optional("explain"), Some("tree"));
+        assert_eq!(a.required("k").unwrap(), "5");
     }
 }

@@ -1,6 +1,7 @@
 //! Subcommand implementations.
 
 use crate::args::ParsedArgs;
+use crate::export::{self, ExportTarget};
 use std::fmt::Write as _;
 use std::path::Path;
 use std::sync::Arc;
@@ -10,7 +11,7 @@ use wnsk_core::{
 };
 use wnsk_data::{io as dataio, DatasetSpec};
 use wnsk_index::{Dataset, KcrTree, ObjectId, SetRTree, SpatialKeywordQuery};
-use wnsk_obs::{QueryReport, Registry, Snapshot};
+use wnsk_obs::{QueryReport, Registry, Snapshot, Tracer};
 use wnsk_storage::{BufferPool, BufferPoolConfig, FileBackend};
 use wnsk_text::{KeywordSet, Vocabulary};
 
@@ -73,19 +74,38 @@ fn open_pool(path: &str, create: bool) -> Result<Arc<BufferPool>, String> {
 }
 
 /// Like [`open_pool`], but the pool's I/O counters are published into
-/// `registry` under `prefix` so they land in the `--metrics` report.
+/// `registry` under `prefix` so they land in the `--metrics` report, and
+/// its cache hits / physical reads emit events through `tracer`
+/// ([`Tracer::off`] costs nothing on untraced runs).
 fn open_pool_registered(
     path: &str,
     registry: &Registry,
     prefix: &str,
+    tracer: &Tracer,
 ) -> Result<Arc<BufferPool>, String> {
     let backend = FileBackend::open(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
-    Ok(Arc::new(BufferPool::new_registered(
+    Ok(Arc::new(BufferPool::new_instrumented(
         Arc::new(backend),
         BufferPoolConfig::default(),
         registry,
         prefix,
+        tracer.clone(),
     )))
+}
+
+/// How `--explain` renders the drained span tree.
+enum ExplainMode {
+    Tree,
+    Json,
+}
+
+fn parse_explain(args: &ParsedArgs) -> Result<Option<ExplainMode>, String> {
+    match args.optional("explain") {
+        None => Ok(None),
+        Some("tree") => Ok(Some(ExplainMode::Tree)),
+        Some("json") => Ok(Some(ExplainMode::Json)),
+        Some(other) => Err(format!("bad --explain value '{other}' (tree|json)")),
+    }
 }
 
 /// Everything that moved in `registry` since `before`, rendered as a
@@ -171,11 +191,13 @@ fn render(doc: &KeywordSet, vocab: &Vocabulary) -> String {
 pub fn topk(args: &ParsedArgs) -> Result<String, String> {
     let (ds, vocab) = load_dataset(args)?;
     let query = parse_query(args, &vocab)?;
+    let export_target = args.optional("metrics-export").map(ExportTarget::parse);
     let registry = Registry::new();
     let mut tree = SetRTree::open(open_pool_registered(
         args.required("setr")?,
         &registry,
         "setr.pool.",
+        &Tracer::off(),
     )?)
     .map_err(|e| format!("opening SetR-tree: {e}"))?;
     tree.register_metrics(&registry, "setr.");
@@ -209,6 +231,12 @@ pub fn topk(args: &ParsedArgs) -> Result<String, String> {
     writeln!(out, "({} physical page reads)", stats.physical_reads).unwrap();
     if args.flag("metrics") {
         out.push_str(&render_metrics(&registry, &before, "topk", wall, &[]));
+    }
+    if let Some(target) = &export_target {
+        out.push_str(
+            &export::export(&registry.snapshot().since(&before), target)
+                .map_err(|e| e.to_string())?,
+        );
     }
     Ok(out)
 }
@@ -250,6 +278,20 @@ pub fn whynot(args: &ParsedArgs) -> Result<String, String> {
     if max_page_reads > 0 {
         budget = budget.with_max_page_reads(max_page_reads);
     }
+
+    let explain = parse_explain(args)?;
+    let trace_sample: usize = args.parse_or("trace-sample", 0)?;
+    let export_target = args.optional("metrics-export").map(ExportTarget::parse);
+    // One CLI invocation runs a single query — index 0 — which every
+    // sample rate selects, so `--trace-sample N` here simply turns
+    // tracing on without asking for the explain rendering (the 1-in-N
+    // behaviour matters under `xp bench`, which traces whole batches).
+    let tracer = if explain.is_some() || trace_sample >= 1 {
+        Tracer::new()
+    } else {
+        Tracer::off()
+    };
+
     let registry = Registry::new();
     let (answer, before): (WhyNotAnswer, Snapshot) = match (algo, approx) {
         ("bs", 0) => {
@@ -257,9 +299,11 @@ pub fn whynot(args: &ParsedArgs) -> Result<String, String> {
                 args.required("setr")?,
                 &registry,
                 "setr.pool.",
+                &tracer,
             )?)
             .map_err(|e| e.to_string())?;
             tree.register_metrics(&registry, "setr.");
+            tree.set_tracer(tracer.clone());
             let before = registry.snapshot();
             // BS = AdvancedBS with every optimisation off; threads only
             // change how candidates are distributed, not the answer.
@@ -276,9 +320,11 @@ pub fn whynot(args: &ParsedArgs) -> Result<String, String> {
                 args.required("setr")?,
                 &registry,
                 "setr.pool.",
+                &tracer,
             )?)
             .map_err(|e| e.to_string())?;
             tree.register_metrics(&registry, "setr.");
+            tree.set_tracer(tracer.clone());
             let before = registry.snapshot();
             let opts = AdvancedOptions {
                 budget,
@@ -293,9 +339,11 @@ pub fn whynot(args: &ParsedArgs) -> Result<String, String> {
                 args.required("kcr")?,
                 &registry,
                 "kcr.pool.",
+                &tracer,
             )?)
             .map_err(|e| e.to_string())?;
             tree.register_metrics(&registry, "kcr.");
+            tree.set_tracer(tracer.clone());
             let before = registry.snapshot();
             let opts = KcrOptions {
                 budget,
@@ -317,6 +365,7 @@ pub fn whynot(args: &ParsedArgs) -> Result<String, String> {
         }
         (other, _) => return Err(format!("unknown --algo '{other}' (bs|advanced|kcr)")),
     };
+    let trace_report = tracer.drain();
 
     let mut out = String::new();
     for &m in &missing {
@@ -353,6 +402,23 @@ pub fn whynot(args: &ParsedArgs) -> Result<String, String> {
     if !answer.quality.is_exact() {
         writeln!(out, "answer quality: {}", answer.quality).unwrap();
     }
+    match &explain {
+        Some(ExplainMode::Tree) => {
+            writeln!(out, "\nexplain (span tree):").unwrap();
+            out.push_str(&trace_report.render_tree());
+        }
+        Some(ExplainMode::Json) => {
+            writeln!(out, "\nexplain (json):").unwrap();
+            out.push_str(&trace_report.to_json().render());
+            out.push('\n');
+        }
+        None => {}
+    }
+    // Solver stats land in the registry exactly once, no matter how
+    // many reporting sections (`--metrics`, `--metrics-export`) read it.
+    if args.flag("metrics") || export_target.is_some() {
+        answer.stats.record_into(&registry);
+    }
     if args.flag("metrics") {
         let label = match (algo, approx) {
             ("bs", _) => "BS",
@@ -360,7 +426,6 @@ pub fn whynot(args: &ParsedArgs) -> Result<String, String> {
             (_, 0) => "KcRBased",
             _ => "ApproxKcR",
         };
-        answer.stats.record_into(&registry);
         out.push_str(&render_metrics(
             &registry,
             &before,
@@ -368,6 +433,12 @@ pub fn whynot(args: &ParsedArgs) -> Result<String, String> {
             answer.stats.wall,
             &answer.stats.phases(),
         ));
+    }
+    if let Some(target) = &export_target {
+        out.push_str(
+            &export::export(&registry.snapshot().since(&before), target)
+                .map_err(|e| e.to_string())?,
+        );
     }
     Ok(out)
 }
@@ -650,6 +721,132 @@ mod tests {
             out.contains("answer quality: degraded (page-read limit reached)"),
             "{out}"
         );
+        for f in [&data, &setr, &kcr] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    /// `--explain`, `--metrics` and `--metrics-export` compose: each
+    /// section appears exactly once, the span tree reconciles with the
+    /// counters, and the Prometheus text carries the same registry delta.
+    #[test]
+    fn explain_and_export_compose() {
+        let data = tmp("explain.txt");
+        let setr = tmp("explain-setr.db");
+        let kcr = tmp("explain-kcr.db");
+        run(&[
+            "generate", "--preset", "tiny", "--scale", "1.0", "--out", &data, "--seed", "11",
+        ])
+        .unwrap();
+        run(&[
+            "build", "--data", &data, "--setr", &setr, "--kcr", &kcr, "--fanout", "16",
+        ])
+        .unwrap();
+        let body = std::fs::read_to_string(&data).unwrap();
+        let word = body
+            .lines()
+            .find(|l| !l.starts_with('#'))
+            .unwrap()
+            .split_whitespace()
+            .nth(2)
+            .unwrap()
+            .split(',')
+            .next()
+            .unwrap()
+            .to_string();
+        let out = run(&[
+            "topk",
+            "--data",
+            &data,
+            "--setr",
+            &setr,
+            "--at",
+            "0.5,0.5",
+            "--keywords",
+            &word,
+            "--k",
+            "30",
+        ])
+        .unwrap();
+        let last = out
+            .lines()
+            .rfind(|l| l.starts_with('#'))
+            .unwrap()
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .to_string();
+        let base = [
+            "whynot",
+            "--data",
+            &data,
+            "--setr",
+            &setr,
+            "--kcr",
+            &kcr,
+            "--at",
+            "0.5,0.5",
+            "--keywords",
+            &word,
+            "--k",
+            "5",
+            "--missing",
+            &last,
+            "--algo",
+            "kcr",
+        ];
+
+        // Bare --explain renders the span tree rooted in the query span.
+        let mut cmd = base.to_vec();
+        cmd.push("--explain");
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("explain (span tree):"), "{out}");
+        assert!(out.contains("kcr.query"), "{out}");
+        assert!(out.contains("phase.initial_rank"), "{out}");
+        assert!(out.contains("node_visits"), "{out}");
+
+        // --explain=json is parseable JSON and composes with --metrics
+        // without repeating either section.
+        let mut cmd = base.to_vec();
+        cmd.extend(["--explain=json", "--metrics"]);
+        let out = run(&cmd).unwrap();
+        assert_eq!(out.matches("explain (json):").count(), 1, "{out}");
+        assert_eq!(out.matches("report (KcRBased").count(), 1, "{out}");
+        let json_part = out
+            .split("explain (json):\n")
+            .nth(1)
+            .unwrap()
+            .lines()
+            .next()
+            .unwrap();
+        let v = wnsk_obs::JsonValue::parse(json_part).unwrap();
+        assert!(v.get("spans").is_some(), "{json_part}");
+
+        // --metrics-export - appends Prometheus text for this query's
+        // registry delta, histograms included.
+        let mut cmd = base.to_vec();
+        cmd.extend(["--metrics-export", "-"]);
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("# TYPE wnsk_kcr_node_visits counter"), "{out}");
+        assert!(out.contains("wnsk_kcr_pool_physical_reads"), "{out}");
+        assert!(
+            out.contains("wnsk_kcr_pool_read_latency_ns_bucket"),
+            "{out}"
+        );
+        assert!(out.contains("wnsk_core_phase_ns_verification_sum"), "{out}");
+
+        // Bad export paths are typed errors, not panics.
+        let mut cmd = base.to_vec();
+        cmd.extend(["--metrics-export", "/nonexistent-dir/m.prom"]);
+        let err = run(&cmd).unwrap_err();
+        assert!(err.contains("cannot export metrics to"), "{err}");
+
+        // --explain only accepts the two renderings.
+        let mut cmd = base.to_vec();
+        cmd.push("--explain=dot");
+        let err = run(&cmd).unwrap_err();
+        assert!(err.contains("bad --explain value"), "{err}");
+
         for f in [&data, &setr, &kcr] {
             std::fs::remove_file(f).ok();
         }

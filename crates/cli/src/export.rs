@@ -1,0 +1,120 @@
+//! `--metrics-export` target handling: a Prometheus-text snapshot to a
+//! file or standard output, with typed errors (the CLI never unwraps on
+//! file I/O — a bad path comes back as an [`ExportError`]).
+
+use std::fmt;
+use std::path::PathBuf;
+use wnsk_obs::Snapshot;
+
+/// Where `--metrics-export` delivers the exposition text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExportTarget {
+    /// `-`: the text becomes part of the command's printed output.
+    Stdout,
+    /// Any other value: the text is written to that file.
+    File(PathBuf),
+}
+
+impl ExportTarget {
+    /// Interprets a `--metrics-export` value (`-` means stdout).
+    pub fn parse(raw: &str) -> Self {
+        if raw == "-" {
+            ExportTarget::Stdout
+        } else {
+            ExportTarget::File(PathBuf::from(raw))
+        }
+    }
+}
+
+/// A failed export: the path that could not be written plus the
+/// underlying OS error.
+#[derive(Debug)]
+pub struct ExportError {
+    path: PathBuf,
+    source: std::io::Error,
+}
+
+impl fmt::Display for ExportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot export metrics to {}: {}",
+            self.path.display(),
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for ExportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Renders `snapshot` as Prometheus text format and delivers it to
+/// `target`. Returns the text to append to the command's output: the
+/// exposition itself for [`ExportTarget::Stdout`], a one-line
+/// confirmation for files.
+pub fn export(snapshot: &Snapshot, target: &ExportTarget) -> Result<String, ExportError> {
+    let text = wnsk_obs::prometheus_text(snapshot);
+    match target {
+        ExportTarget::Stdout => Ok(text),
+        ExportTarget::File(path) => {
+            std::fs::write(path, &text).map_err(|source| ExportError {
+                path: path.clone(),
+                source,
+            })?;
+            Ok(format!("exported metrics to {}\n", path.display()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wnsk_obs::Registry;
+
+    #[test]
+    fn dash_means_stdout() {
+        assert_eq!(ExportTarget::parse("-"), ExportTarget::Stdout);
+        assert_eq!(
+            ExportTarget::parse("metrics.prom"),
+            ExportTarget::File(PathBuf::from("metrics.prom"))
+        );
+    }
+
+    #[test]
+    fn stdout_target_returns_the_exposition() {
+        let r = Registry::new();
+        r.counter("kcr.node_visits").add(3);
+        let out = export(&r.snapshot(), &ExportTarget::Stdout).unwrap();
+        assert!(out.contains("# TYPE wnsk_kcr_node_visits counter"), "{out}");
+        assert!(out.contains("wnsk_kcr_node_visits 3"), "{out}");
+    }
+
+    #[test]
+    fn file_target_writes_and_confirms() {
+        let path = std::env::temp_dir().join(format!("wnsk-export-{}.prom", std::process::id()));
+        let r = Registry::new();
+        r.counter("setr.node_visits").add(1);
+        let note = export(&r.snapshot(), &ExportTarget::parse(&path.to_string_lossy())).unwrap();
+        assert!(note.contains("exported metrics to"), "{note}");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("wnsk_setr_node_visits 1"), "{body}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unwritable_path_is_a_typed_error() {
+        let r = Registry::new();
+        let err = export(
+            &r.snapshot(),
+            &ExportTarget::parse("/nonexistent-dir/metrics.prom"),
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("cannot export metrics to"), "{msg}");
+        assert!(msg.contains("/nonexistent-dir/metrics.prom"), "{msg}");
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

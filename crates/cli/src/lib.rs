@@ -12,18 +12,27 @@
 //!               --keywords a,b --missing ID[,ID…]
 //!               [--k 10] [--alpha 0.5] [--lambda 0.5]
 //!               [--algo bs|advanced|kcr] [--approx T] [--threads N]
-//!               [--metrics] [--deadline-ms N] [--max-page-reads N]
+//!               [--metrics] [--explain[=tree|json]] [--trace-sample N]
+//!               [--metrics-export PATH|-]
+//!               [--deadline-ms N] [--max-page-reads N]
 //! ```
 //!
 //! `--metrics` appends the unified observability report: per-phase wall
 //! time, SetR/KcR node visits, Theorem 2/3 prune counts, and buffer-pool
 //! logical/physical reads, all drawn from one [`wnsk_obs::Registry`].
 //!
+//! `--explain` additionally traces the query and renders its span tree
+//! (per-span durations, node visits, Theorem 2/3 prune events, cache
+//! hits); `--explain=json` emits the same tree as JSON.
+//! `--metrics-export` writes the query's registry delta as Prometheus
+//! text format to a file, or into the output with `-`.
+//!
 //! Datasets are the plain-text format of [`wnsk_data::io`]; indexes are
 //! the file-backed page stores the library reads through its buffer pool.
 
 mod args;
 mod commands;
+mod export;
 
 pub use args::ParsedArgs;
 
@@ -36,14 +45,20 @@ commands:
   stats     --data FILE
   build     --data FILE --setr FILE --kcr FILE [--fanout N]
   topk      --data FILE --setr FILE --at X,Y --keywords a,b [--k N] [--alpha A]
-            [--metrics]
+            [--metrics] [--metrics-export PATH|-]
   whynot    --data FILE --setr FILE --kcr FILE --at X,Y --keywords a,b
             --missing ID[,ID...] [--k N] [--alpha A] [--lambda L]
             [--algo bs|advanced|kcr] [--approx T] [--threads N] [--metrics]
+            [--explain[=tree|json]] [--trace-sample N]
+            [--metrics-export PATH|-]
             [--deadline-ms N] [--max-page-reads N]
 
 --metrics appends the per-query observability report (phase wall times,
 node visits, prune counts, buffer-pool I/O).
+--explain traces the query and renders its span tree (durations, prune
+events, cache hits); --explain=json emits the same tree as JSON.
+--metrics-export writes the query's metrics as Prometheus text to a
+file ('-' = into the output).
 --threads N runs the solver on a work-stealing pool of N workers; the
 answer is identical for every N.
 --deadline-ms / --max-page-reads cap the query budget (0 = unlimited);

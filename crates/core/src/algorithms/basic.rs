@@ -37,6 +37,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wnsk_exec::{ExecMetrics, Executor, TaskContext, WorkerHandle};
 use wnsk_index::{st_score, Dataset, ObjectId, SetRTree, SpatialKeywordQuery, TopKSearch};
+use wnsk_obs::{Hist, SpanId, TracePayload, Tracer};
 use wnsk_storage::BlobRef;
 use wnsk_text::KeywordSet;
 
@@ -168,6 +169,35 @@ pub(crate) fn run(
     opts: AdvancedOptions,
     source: CandidateSource,
 ) -> Result<WhyNotAnswer> {
+    // Same tracing discipline as the KcR solver: the tracer lives on
+    // the tree, and the query span brackets every exit path.
+    let tracer = tree.traversal().tracer().clone();
+    let query_span = tracer.begin("bs.query");
+    tracer.set_scope(query_span.id());
+    let result = run_inner(
+        dataset,
+        tree,
+        question,
+        opts,
+        source,
+        &tracer,
+        query_span.id(),
+    );
+    tracer.clear_scope();
+    tracer.end(query_span);
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_inner(
+    dataset: &Dataset,
+    tree: &SetRTree,
+    question: &WhyNotQuestion,
+    opts: AdvancedOptions,
+    source: CandidateSource,
+    tracer: &Tracer,
+    query: SpanId,
+) -> Result<WhyNotAnswer> {
     question.validate(dataset)?;
     let start = Instant::now();
     let io_before = tree.pool().stats();
@@ -177,7 +207,10 @@ pub(crate) fn run(
     // rank and every layer so the per-worker counters aggregate over
     // the whole search.
     let exec = Executor::new(opts.threads);
-    let metrics = ExecMetrics::new(exec.threads());
+    let mut metrics = ExecMetrics::new(exec.threads());
+    metrics.set_tracer(tracer.clone());
+    let task_hist = Hist::new();
+    metrics.set_task_hist(task_hist.clone());
 
     // Line 1 of Algorithm 1: determine R(M, q) by processing the initial
     // query until the missing objects appear. With several workers the
@@ -189,6 +222,8 @@ pub(crate) fn run(
         .iter()
         .map(|&id| (id, dataset.score(dataset.object(id), &question.query)))
         .collect();
+    let rank_span = tracer.begin("phase.initial_rank");
+    tracer.set_scope(rank_span.id());
     let outcome = if exec.threads() > 1 {
         count::parallel_rank(
             tree,
@@ -205,6 +240,8 @@ pub(crate) fn run(
         drop(scan);
         outcome
     };
+    tracer.set_scope(query);
+    tracer.end(rank_span);
     let phase_initial_rank = start.elapsed();
     let initial_rank = match outcome {
         SetRankOutcome::Exact { rank } => rank,
@@ -278,6 +315,8 @@ pub(crate) fn run(
                 .fetch_add(remaining, Ordering::Relaxed);
             break 'layers;
         }
+        let layer_span = tracer.begin("bs.layer");
+        tracer.set_scope(layer_span.id());
         let base_seq = next_seq;
         next_seq += layer.len() as u64;
         let tasks: Vec<(u64, Candidate)> = layer
@@ -342,6 +381,8 @@ pub(crate) fn run(
         for state in locals {
             best.merge(state.best);
         }
+        tracer.set_scope(query);
+        tracer.end(layer_span);
         if guard.breached().is_some() {
             break 'layers;
         }
@@ -359,6 +400,7 @@ pub(crate) fn run(
     stats.phase_initial_rank = phase_initial_rank;
     stats.phase_enumeration = phase_enumeration;
     stats.phase_verification = verification_started.elapsed();
+    stats.task_latency = task_hist.snapshot();
     if let Some(reason) = guard.breached() {
         return degraded_fallback(
             dataset,
@@ -578,9 +620,18 @@ fn process_candidate(
         // The outer loop sees the latched breach and degrades; this
         // candidate's partial scan is simply discarded.
         SetRankOutcome::Breached { .. } => {}
-        SetRankOutcome::Aborted { .. } => {
+        SetRankOutcome::Aborted { seen_dominators } => {
             stats.pruned_by_bound.fetch_add(1, Ordering::Relaxed);
             handle.count_prune_hit();
+            let traversal = tree.traversal();
+            if traversal.tracer().is_on() {
+                traversal.tracer().event(
+                    "bs.candidate_rejected",
+                    TracePayload::CandidateRejected {
+                        rank_lower_bound: (seen_dominators + 1).min(u32::MAX as usize) as u32,
+                    },
+                );
+            }
         }
         SetRankOutcome::Exact { rank } => {
             offer_exact(ctx, &cand.doc, d, seq, rank, best, local, handle);
@@ -697,6 +748,15 @@ fn count_step(
             if guard.breached().is_none() {
                 stats.pruned_by_bound.fetch_add(1, Ordering::Relaxed);
                 tctx.handle.count_prune_hit();
+                let traversal = tree.traversal();
+                if traversal.tracer().is_on() {
+                    traversal.tracer().event(
+                        "bs.candidate_rejected",
+                        TracePayload::CandidateRejected {
+                            rank_lower_bound: (scan.count() + 1).min(u32::MAX as usize) as u32,
+                        },
+                    );
+                }
             }
         } else {
             offer_exact(

@@ -46,6 +46,7 @@ use std::time::{Duration, Instant};
 use wnsk_exec::{ExecMetrics, Executor, SharedBound, TaskContext, WorkerHandle};
 use wnsk_index::kcr::{max_dom, min_dom, tau_lower, tau_upper, KcrTopKSearch, PreparedNode};
 use wnsk_index::{st_score, Dataset, KcrNode, KcrTree, NodeSummary, ObjectId};
+use wnsk_obs::{Hist, SpanId, TracePayload, Tracer};
 use wnsk_storage::BlobRef;
 use wnsk_text::KeywordSet;
 
@@ -99,6 +100,37 @@ pub(crate) fn run(
     opts: KcrOptions,
     sample: Option<Vec<Candidate>>,
 ) -> Result<WhyNotAnswer> {
+    // The tracer lives on the tree (next to the traversal counters it
+    // must stay in lockstep with); the query span wraps the whole run
+    // so every path — including budget degradation and I/O errors —
+    // leaves the scope clean.
+    let tracer = tree.traversal().tracer().clone();
+    let query_span = tracer.begin("kcr.query");
+    tracer.set_scope(query_span.id());
+    let result = run_inner(
+        dataset,
+        tree,
+        question,
+        opts,
+        sample,
+        &tracer,
+        query_span.id(),
+    );
+    tracer.clear_scope();
+    tracer.end(query_span);
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_inner(
+    dataset: &Dataset,
+    tree: &KcrTree,
+    question: &WhyNotQuestion,
+    opts: KcrOptions,
+    sample: Option<Vec<Candidate>>,
+    tracer: &Tracer,
+    query: SpanId,
+) -> Result<WhyNotAnswer> {
     question.validate(dataset)?;
     let start = Instant::now();
     let io_before = tree.pool().stats();
@@ -107,7 +139,10 @@ pub(crate) fn run(
     // Work-stealing pool, one per query: reused for the initial rank and
     // every verification layer.
     let exec = Executor::new(opts.threads);
-    let metrics = ExecMetrics::new(exec.threads());
+    let mut metrics = ExecMetrics::new(exec.threads());
+    metrics.set_tracer(tracer.clone());
+    let task_hist = Hist::new();
+    metrics.set_task_hist(task_hist.clone());
 
     // Algorithm 4 line 1: determine R(M, q). With several workers the
     // rank is computed as a parallel dominator count over subtree tasks
@@ -117,6 +152,8 @@ pub(crate) fn run(
         .iter()
         .map(|&id| (id, dataset.score(dataset.object(id), &question.query)))
         .collect();
+    let rank_span = tracer.begin("phase.initial_rank");
+    tracer.set_scope(rank_span.id());
     let outcome = if exec.threads() > 1 {
         count::parallel_rank(
             tree,
@@ -133,6 +170,8 @@ pub(crate) fn run(
         drop(scan);
         outcome
     };
+    tracer.set_scope(query);
+    tracer.end(rank_span);
     let phase_initial_rank = start.elapsed();
     let initial_rank = match outcome {
         SetRankOutcome::Exact { rank } => rank,
@@ -147,6 +186,12 @@ pub(crate) fn run(
             return degraded_fallback(dataset, question, None, None, reason, &opts.budget, stats);
         }
     };
+    tracer.event(
+        "kcr.initial_rank",
+        TracePayload::RankConverged {
+            rank: initial_rank.min(u32::MAX as usize) as u32,
+        },
+    );
 
     let ctx = WhyNotContext::new(dataset, question, initial_rank)?;
     let enumerator = CandidateEnumerator::new(&ctx);
@@ -205,6 +250,11 @@ pub(crate) fn run(
         stats
             .candidates_total
             .fetch_add(layer.len() as u64, Ordering::Relaxed);
+        // One span per verification layer; worker-side events (prunes,
+        // steals, pool reads) attach to it through the global scope,
+        // which is only moved here, between the layer barriers.
+        let layer_span = tracer.begin("kcr.layer");
+        tracer.set_scope(layer_span.id());
         let base_seq = next_seq;
         next_seq += layer.len() as u64;
         // Split the layer into benefit-ordered batches, each carrying
@@ -284,6 +334,8 @@ pub(crate) fn run(
         for local in locals {
             best.merge(local);
         }
+        tracer.set_scope(query);
+        tracer.end(layer_span);
         if guard.breached().is_some() {
             break;
         }
@@ -304,6 +356,7 @@ pub(crate) fn run(
         phase_initial_rank,
         phase_enumeration,
         phase_verification: verification_started.elapsed(),
+        task_latency: task_hist.snapshot(),
         ..AlgoStats::default()
     };
     if let Some(reason) = guard.breached() {
@@ -466,7 +519,7 @@ fn bound_and_prune(
                         // The dominance bounds agree for every active
                         // candidate: this subtree can never tighten the
                         // frontier sums, so it is pruned unvisited.
-                        traversal.nodes_pruned.inc();
+                        traversal.nodes_pruned_traced(e.child.first_page.0, 0);
                     }
                 }
             }
@@ -614,7 +667,7 @@ fn refresh_candidates(
             // of the thread-count determinism argument.
             cand.active = false;
             stats.pruned_by_bound.fetch_add(1, Ordering::Relaxed);
-            traversal.prune_mindom.inc();
+            traversal.prune_mindom_traced(rank_lo.min(u32::MAX as usize) as u32);
             handle.count_prune_hit();
         } else if cand.rank_hi == cand.rank_lo {
             // Fully converged: the frontier sums can never change again
@@ -624,7 +677,12 @@ fn refresh_candidates(
             // Theorem 2's MaxDom bound closed the gap without
             // object-level access.
             cand.active = false;
-            traversal.prune_maxdom.inc();
+            traversal.prune_maxdom_traced(
+                0,
+                rank_hi.min(u32::MAX as usize) as u32,
+                rank_lo.min(u32::MAX as usize) as u32,
+                cand.edit_distance as u32,
+            );
         }
     }
 }
@@ -729,13 +787,13 @@ fn refresh_one(
         // `swap` so concurrent tasks book the retirement exactly once.
         if cand.active.swap(false, Ordering::AcqRel) {
             stats.pruned_by_bound.fetch_add(1, Ordering::Relaxed);
-            traversal.prune_mindom.inc();
+            traversal.prune_mindom_traced(lo);
             handle.count_prune_hit();
         }
     } else if hi == lo {
         // Theorem 2: the bracket closed — `pn_hi` just offered is exact.
         if cand.active.swap(false, Ordering::AcqRel) {
-            traversal.prune_maxdom.inc();
+            traversal.prune_maxdom_traced(0, hi, lo, cand.edit_distance as u32);
         }
     }
 }
@@ -818,7 +876,7 @@ fn launch_batch(
     if scan.cands.iter().any(|c| c.active.load(Ordering::Acquire)) {
         tctx.spawn(KcrTask::Node(scan, tree.root(), root_contrib));
     } else {
-        traversal.nodes_pruned.inc();
+        traversal.nodes_pruned_traced(tree.root().first_page.0, 0);
     }
     Ok(())
 }
@@ -850,7 +908,7 @@ fn expand_batch_node(
         .map(|c| c.active.load(Ordering::Acquire))
         .collect();
     if !actives.iter().any(|&a| a) {
-        traversal.nodes_pruned.inc();
+        traversal.nodes_pruned_traced(node_ref.first_page.0, 0);
         return Ok(());
     }
     let node = tree
@@ -895,7 +953,7 @@ fn expand_batch_node(
                 if loose {
                     child_nodes.push((e.child, child_contrib));
                 } else {
-                    traversal.nodes_pruned.inc();
+                    traversal.nodes_pruned_traced(e.child.first_page.0, 0);
                 }
             }
         }

@@ -244,6 +244,9 @@ pub struct AlgoStats {
     /// Wall time verifying candidates against the index (rank queries
     /// for BS/AdvancedBS, the bound-and-prune traversal for KcRBased).
     pub phase_verification: Duration,
+    /// Distribution of per-task executor latencies (empty when the
+    /// solver never timed tasks).
+    pub task_latency: wnsk_obs::HistSnapshot,
 }
 
 impl AlgoStats {
@@ -284,6 +287,23 @@ impl AlgoStats {
             if elapsed > Duration::ZERO {
                 registry.timer(name).record(elapsed);
             }
+        }
+        // Histograms: per-phase wall times accumulate one sample per
+        // query (so p99 over a workload is meaningful), task latencies
+        // merge the solver's whole distribution.
+        for (name, elapsed) in [
+            (names::PHASE_NS_INITIAL_RANK, self.phase_initial_rank),
+            (names::PHASE_NS_ENUMERATION, self.phase_enumeration),
+            (names::PHASE_NS_VERIFICATION, self.phase_verification),
+        ] {
+            if elapsed > Duration::ZERO {
+                registry.hist(name).record_duration(elapsed);
+            }
+        }
+        if !self.task_latency.is_empty() {
+            registry
+                .hist(names::EXEC_TASK_NS)
+                .merge_snapshot(&self.task_latency);
         }
     }
 }

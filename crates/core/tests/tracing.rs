@@ -1,0 +1,211 @@
+//! Tracing is observation only: answers must stay bit-identical with
+//! tracing on or off at every thread count, and the span tree must
+//! reconcile exactly with the counters recorded by the same query —
+//! the `prune.maxdom` / `prune.mindom` events and counters share one
+//! call site, so any drift here is a real bug, not flakiness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use wnsk_core::{answer_advanced, answer_kcr, AdvancedOptions, KcrOptions, WhyNotQuestion};
+use wnsk_geo::{Point, WorldBounds};
+use wnsk_index::{Dataset, KcrTree, ObjectId, SetRTree, SpatialKeywordQuery, SpatialObject};
+use wnsk_obs::{names, Registry, Tracer};
+use wnsk_storage::{BufferPool, BufferPoolConfig, MemBackend};
+use wnsk_text::KeywordSet;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn random_dataset(n: usize, vocab: u32, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let objects = (0..n)
+        .map(|_| {
+            let n_terms = rng.gen_range(1..=5);
+            let doc = KeywordSet::from_ids((0..n_terms).map(|_| rng.gen_range(0..vocab)));
+            SpatialObject {
+                id: ObjectId(0),
+                loc: Point::new(rng.gen::<f64>(), rng.gen::<f64>()),
+                doc,
+            }
+        })
+        .collect();
+    Dataset::new(objects, WorldBounds::unit())
+}
+
+fn make_question(ds: &Dataset, vocab: u32, seed: u64) -> Option<WhyNotQuestion> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    let q = SpatialKeywordQuery::new(
+        Point::new(rng.gen::<f64>(), rng.gen::<f64>()),
+        KeywordSet::from_ids((0..rng.gen_range(2..=4)).map(|_| rng.gen_range(0..vocab))),
+        5,
+        0.5,
+    );
+    let mut scored: Vec<(ObjectId, f64)> = ds
+        .objects()
+        .iter()
+        .map(|o| (o.id, ds.score(o, &q)))
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let lo = q.k + 2;
+    let hi = (q.k + 40).min(scored.len());
+    for _ in 0..100 {
+        let id = scored[rng.gen_range(lo..hi)].0;
+        if ds.rank_of(id, &q) > q.k {
+            return Some(WhyNotQuestion::new(q, vec![id], 0.5));
+        }
+    }
+    None
+}
+
+fn pool() -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(
+        Arc::new(MemBackend::new()),
+        BufferPoolConfig::default(),
+    ))
+}
+
+/// Tracing on/off must not move a single bit of the answer, at any
+/// thread count (the tracer feeds nothing back into solver decisions).
+#[test]
+fn tracing_leaves_answers_bit_identical() {
+    let vocab = 40;
+    let mut covered = 0;
+    for seed in 0..4u64 {
+        let ds = random_dataset(400, vocab, 1000 + seed);
+        let Some(question) = make_question(&ds, vocab, 2000 + seed) else {
+            continue;
+        };
+        covered += 1;
+
+        let plain = KcrTree::build(pool(), &ds, 8).unwrap();
+        let mut traced = KcrTree::build(pool(), &ds, 8).unwrap();
+        let tracer = Tracer::new();
+        traced.set_tracer(tracer.clone());
+
+        for threads in THREAD_COUNTS {
+            let opts = KcrOptions {
+                threads,
+                batch_size: 16,
+                ..KcrOptions::default()
+            };
+            let base = answer_kcr(&ds, &plain, &question, opts).unwrap();
+            let ans = answer_kcr(&ds, &traced, &question, opts).unwrap();
+            let report = tracer.drain();
+            assert!(
+                !report.is_empty(),
+                "t={threads}: the traced run must record spans"
+            );
+            assert_eq!(
+                base.refined.doc, ans.refined.doc,
+                "t={threads}: doc diverged"
+            );
+            assert_eq!(base.refined.k, ans.refined.k, "t={threads}: k diverged");
+            assert_eq!(
+                base.refined.rank, ans.refined.rank,
+                "t={threads}: rank diverged"
+            );
+            assert_eq!(
+                base.refined.penalty.to_bits(),
+                ans.refined.penalty.to_bits(),
+                "t={threads}: penalty bits diverged"
+            );
+        }
+    }
+    assert!(covered >= 2, "only {covered} seeds produced a workload");
+}
+
+/// The acceptance check: one traced KcRBased query's span tree carries
+/// exactly as many `prune.maxdom` / `prune.mindom` events as the
+/// registry counters moved, and the tree is rooted in the query span.
+#[test]
+fn kcr_prune_events_reconcile_with_counters() {
+    let vocab = 40;
+    let ds = random_dataset(400, vocab, 1003);
+    let question = make_question(&ds, vocab, 2003).expect("seed 1003/2003 produces a workload");
+
+    let registry = Registry::new();
+    let tracer = Tracer::new();
+    tracer.set_enabled(false); // keep the build out of the trace
+    let mut tree = KcrTree::build(pool(), &ds, 8).unwrap();
+    tree.register_metrics(&registry, "kcr.");
+    tree.set_tracer(tracer.clone());
+
+    for threads in [1, 4] {
+        tracer.set_enabled(true);
+        let before = registry.snapshot();
+        let opts = KcrOptions {
+            threads,
+            batch_size: 16,
+            ..KcrOptions::default()
+        };
+        let ans = answer_kcr(&ds, &tree, &question, opts).unwrap();
+        tracer.set_enabled(false);
+        let report = tracer.drain();
+        let delta = registry.snapshot().since(&before);
+
+        assert_eq!(
+            report.count_events(names::PRUNE_MAXDOM),
+            delta.counter("kcr.prune.maxdom"),
+            "t={threads}: maxdom events vs counter"
+        );
+        assert_eq!(
+            report.count_events(names::PRUNE_MINDOM),
+            delta.counter("kcr.prune.mindom"),
+            "t={threads}: mindom events vs counter"
+        );
+        assert!(
+            report.count_events(names::PRUNE_MAXDOM) + report.count_events(names::PRUNE_MINDOM) > 0,
+            "t={threads}: the workload must actually prune"
+        );
+        assert_eq!(
+            report.count_events(names::NODE_VISITS),
+            delta.counter("kcr.node_visits"),
+            "t={threads}: node-visit events vs counter"
+        );
+
+        let tree_text = report.render_tree();
+        assert!(
+            tree_text.contains("kcr.query"),
+            "missing query span:\n{tree_text}"
+        );
+        assert!(
+            tree_text.contains("phase.initial_rank"),
+            "missing phase span:\n{tree_text}"
+        );
+        assert!(
+            !ans.stats.task_latency.is_empty(),
+            "t={threads}: task latencies must be recorded"
+        );
+    }
+}
+
+/// Same reconciliation for the SetR-tree solver: node visits counted by
+/// the tree equal the node-visit events in the trace.
+#[test]
+fn advanced_node_visits_reconcile_with_counters() {
+    let vocab = 40;
+    let ds = random_dataset(300, vocab, 3001);
+    let question = make_question(&ds, vocab, 4001).expect("seed 3001/4001 produces a workload");
+
+    let registry = Registry::new();
+    let tracer = Tracer::new();
+    tracer.set_enabled(false);
+    let mut tree = SetRTree::build(pool(), &ds, 8).unwrap();
+    tree.register_metrics(&registry, "setr.");
+    tree.set_tracer(tracer.clone());
+
+    tracer.set_enabled(true);
+    let before = registry.snapshot();
+    let ans = answer_advanced(&ds, &tree, &question, AdvancedOptions::default()).unwrap();
+    tracer.set_enabled(false);
+    let report = tracer.drain();
+    let delta = registry.snapshot().since(&before);
+
+    assert_eq!(
+        report.count_events(names::NODE_VISITS),
+        delta.counter("setr.node_visits"),
+        "node-visit events vs counter"
+    );
+    assert!(report.render_tree().contains("bs.query"));
+    assert!(ans.stats.queries_run > 0);
+}

@@ -30,6 +30,9 @@ use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+use wnsk_obs::trace::worker_scope;
+use wnsk_obs::{names, Hist, TracePayload, Tracer};
 
 /// The shared best-penalty bound `p_c`, maintained as a CAS-min over the
 /// `f64` bit pattern so readers and writers never lock.
@@ -103,16 +106,40 @@ impl WorkerCounters {
 /// `AlgoStats` / the `exec.*` observability names.
 pub struct ExecMetrics {
     workers: Vec<WorkerCounters>,
+    tracer: Tracer,
+    task_hist: Option<Hist>,
 }
 
 impl ExecMetrics {
-    /// Creates counters for `threads` workers.
+    /// Creates counters for `threads` workers (tracing off, no task
+    /// histogram — the zero-overhead default).
     pub fn new(threads: usize) -> Self {
         ExecMetrics {
             workers: (0..threads.max(1))
                 .map(|_| WorkerCounters::default())
                 .collect(),
+            tracer: Tracer::off(),
+            task_hist: None,
         }
+    }
+
+    /// Attaches a tracer: workers route spans to their `(worker, seq)`
+    /// buffers and steals emit `exec.tasks_stolen` events with the
+    /// victim's index. Purely observational — task scheduling and
+    /// results are unaffected.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer ([`Tracer::off`] by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Attaches a latency histogram; every task's `step` duration is
+    /// recorded into it (the registry's `exec.task_ns`).
+    pub fn set_task_hist(&mut self, hist: Hist) {
+        self.task_hist = Some(hist);
     }
 
     /// Number of workers tracked.
@@ -304,6 +331,9 @@ impl Executor {
                 },
                 spawner: Spawner::Inline(&queue),
             };
+            // Inline execution is "worker 0" for trace routing, so
+            // serial and parallel traces share one shape.
+            let _trace_slot = worker_scope(0);
             loop {
                 if cancel() {
                     break;
@@ -312,7 +342,12 @@ impl Executor {
                     break;
                 };
                 ctx.handle.counters.tasks.fetch_add(1, Ordering::Relaxed);
-                step(&mut state, task, &ctx)?;
+                let started = metrics.task_hist.as_ref().map(|_| Instant::now());
+                let result = step(&mut state, task, &ctx);
+                if let (Some(h), Some(t0)) = (metrics.task_hist.as_ref(), started) {
+                    h.record_duration(t0.elapsed());
+                }
+                result?;
             }
             return Ok(vec![state]);
         }
@@ -342,6 +377,7 @@ impl Executor {
                     let init = &init;
                     let step = &step;
                     scope.spawn(move |_| -> S {
+                        let _trace_slot = worker_scope(i);
                         let mut state = init(i);
                         let counters = metrics.counters(i);
                         let ctx = TaskContext {
@@ -354,7 +390,7 @@ impl Executor {
                             }
                             let task = match own.pop() {
                                 Some(t) => Some(t),
-                                None => steal_from_peers(i, stealers, counters),
+                                None => steal_from_peers(i, stealers, counters, &metrics.tracer),
                             };
                             let Some(task) = task else {
                                 // Every deque is empty, but a running
@@ -367,7 +403,11 @@ impl Executor {
                                 continue;
                             };
                             counters.tasks.fetch_add(1, Ordering::Relaxed);
+                            let started = metrics.task_hist.as_ref().map(|_| Instant::now());
                             let result = step(&mut state, task, &ctx);
+                            if let (Some(h), Some(t0)) = (metrics.task_hist.as_ref(), started) {
+                                h.record_duration(t0.elapsed());
+                            }
                             pending.fetch_sub(1, Ordering::SeqCst);
                             if let Err(e) = result {
                                 let mut slot = error.lock();
@@ -398,7 +438,12 @@ impl Executor {
 
 /// One full sweep over the peers' deques (starting after `me`), retried
 /// while any attempt reports `Steal::Retry`.
-fn steal_from_peers<T>(me: usize, stealers: &[Stealer<T>], counters: &WorkerCounters) -> Option<T> {
+fn steal_from_peers<T>(
+    me: usize,
+    stealers: &[Stealer<T>],
+    counters: &WorkerCounters,
+    tracer: &Tracer,
+) -> Option<T> {
     let n = stealers.len();
     loop {
         let mut retry = false;
@@ -407,6 +452,10 @@ fn steal_from_peers<T>(me: usize, stealers: &[Stealer<T>], counters: &WorkerCoun
             match stealers[j].steal() {
                 Steal::Success(task) => {
                     counters.stolen.fetch_add(1, Ordering::Relaxed);
+                    tracer.event(
+                        names::EXEC_TASKS_STOLEN,
+                        TracePayload::TaskStolen { victim: j },
+                    );
                     return Some(task);
                 }
                 Steal::Retry => retry = true,
@@ -634,6 +683,40 @@ mod tests {
             },
         );
         assert_eq!(out.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn tracing_and_task_hist_observe_without_interfering() {
+        let exec = Executor::new(4);
+        let mut metrics = ExecMetrics::new(4);
+        let tracer = Tracer::new();
+        metrics.set_tracer(tracer.clone());
+        let hist = Hist::new();
+        metrics.set_task_hist(hist.clone());
+        // A single seed fans the work out, forcing steals.
+        exec.run_dynamic(
+            vec![0usize],
+            &metrics,
+            || false,
+            |_| (),
+            |_s, depth, ctx| -> Result<(), ()> {
+                if depth < 6 {
+                    ctx.spawn(depth + 1);
+                    ctx.spawn(depth + 1);
+                }
+                std::thread::sleep(std::time::Duration::from_micros(100));
+                Ok(())
+            },
+        )
+        .unwrap();
+        let totals = metrics.totals();
+        assert_eq!(totals.tasks, 127);
+        // Every steal produced exactly one TaskStolen event, and every
+        // task landed once in the latency histogram.
+        let report = tracer.drain();
+        assert_eq!(report.count_events(names::EXEC_TASKS_STOLEN), totals.stolen);
+        assert_eq!(hist.snapshot().count, totals.tasks);
+        assert!(hist.snapshot().p50() >= 100_000, "tasks sleep ≥100µs");
     }
 
     #[test]

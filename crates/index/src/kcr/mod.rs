@@ -107,6 +107,13 @@ impl KcrTree {
         self.stats.register(registry, prefix, true);
     }
 
+    /// Attaches a tracer: node visits (and the solvers' Theorem 2/3
+    /// prune decisions, which go through [`TraversalStats`]) emit trace
+    /// events.
+    pub fn set_tracer(&mut self, tracer: wnsk_obs::Tracer) {
+        self.stats.set_tracer(tracer);
+    }
+
     /// World bounds the tree was built with.
     pub fn world(&self) -> &WorldBounds {
         &self.meta.world
@@ -145,7 +152,7 @@ impl KcrTree {
     /// Reads and decodes a node (every traversal path funnels through
     /// here, so this is also where node visits are counted).
     pub fn read_node(&self, node: BlobRef) -> Result<KcrNode> {
-        self.stats.node_visits.inc();
+        self.stats.visit_traced(node.first_page.0);
         let bytes = self.blobs.read(node)?;
         KcrNode::decode(&bytes)
     }

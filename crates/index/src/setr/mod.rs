@@ -86,6 +86,12 @@ impl SetRTree {
         self.stats.register(registry, prefix, false);
     }
 
+    /// Attaches a tracer: node visits (and the solvers' prune decisions,
+    /// which go through [`TraversalStats`]) emit trace events.
+    pub fn set_tracer(&mut self, tracer: wnsk_obs::Tracer) {
+        self.stats.set_tracer(tracer);
+    }
+
     /// World bounds the tree was built with.
     pub fn world(&self) -> &WorldBounds {
         &self.meta.world
@@ -115,7 +121,7 @@ impl SetRTree {
     /// Reads and decodes a node (every traversal path funnels through
     /// here, so this is also where node visits are counted).
     pub(crate) fn read_node(&self, node: BlobRef) -> Result<SetrNode> {
-        self.stats.node_visits.inc();
+        self.stats.visit_traced(node.first_page.0);
         let bytes = self.blobs.read(node)?;
         SetrNode::decode(&bytes)
     }

@@ -1,6 +1,6 @@
 //! Traversal-level observability shared by both trees.
 
-use wnsk_obs::{names, Counter, Registry};
+use wnsk_obs::{names, Counter, Registry, TracePayload, Tracer};
 
 /// Counters describing what a tree traversal did: nodes actually read
 /// and decoded, subtrees skipped thanks to score bounds, and — for the
@@ -23,6 +23,9 @@ pub struct TraversalStats {
     /// Candidates deactivated because the `MinDom` penalty lower bound
     /// already exceeded the best refined query (Theorem 3).
     pub prune_mindom: Counter,
+    /// Emits per-prune trace events when enabled; [`Tracer::off`] (free)
+    /// otherwise.
+    tracer: Tracer,
 }
 
 impl TraversalStats {
@@ -60,6 +63,80 @@ impl TraversalStats {
             );
         }
     }
+
+    /// Attaches a tracer so the `*_traced` methods emit span events in
+    /// addition to counting. Counters and events share one call site, so
+    /// the two can never drift apart.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer ([`Tracer::off`] unless installed).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Counts a node visit and (when tracing) emits a `node_visits`
+    /// event carrying the node's identity.
+    #[inline]
+    pub fn visit_traced(&self, node_id: u64) {
+        self.node_visits.inc();
+        if self.tracer.is_on() {
+            self.tracer
+                .event(names::NODE_VISITS, TracePayload::NodeVisited { node_id });
+        }
+    }
+
+    /// Counts a Theorem 2 retirement (`MaxDom` met `MinDom`) and emits a
+    /// matching `prune.maxdom` event. The span tree's `prune.maxdom`
+    /// event count therefore always equals the `kcr.prune.maxdom`
+    /// counter delta for the same query.
+    #[inline]
+    pub fn prune_maxdom_traced(&self, node_id: u64, max_dom: u32, min_dom: u32, layer: u32) {
+        self.prune_maxdom.inc();
+        if self.tracer.is_on() {
+            self.tracer.event(
+                names::PRUNE_MAXDOM,
+                TracePayload::NodePruned {
+                    node_id,
+                    max_dom,
+                    min_dom,
+                    layer,
+                },
+            );
+        }
+    }
+
+    /// Counts a Theorem 3 deactivation (`MinDom` lower bound exceeded
+    /// the incumbent) and emits a matching `prune.mindom` event.
+    #[inline]
+    pub fn prune_mindom_traced(&self, rank_lower_bound: u32) {
+        self.prune_mindom.inc();
+        if self.tracer.is_on() {
+            self.tracer.event(
+                names::PRUNE_MINDOM,
+                TracePayload::CandidateRejected { rank_lower_bound },
+            );
+        }
+    }
+
+    /// Counts a bound-based subtree prune and emits a `nodes_pruned`
+    /// event naming the skipped node.
+    #[inline]
+    pub fn nodes_pruned_traced(&self, node_id: u64, layer: u32) {
+        self.nodes_pruned.inc();
+        if self.tracer.is_on() {
+            self.tracer.event(
+                names::NODES_PRUNED,
+                TracePayload::NodePruned {
+                    node_id,
+                    max_dom: 0,
+                    min_dom: 0,
+                    layer,
+                },
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -82,6 +159,44 @@ mod tests {
         assert_eq!(snap.counter("kcr.prune.mindom"), 1);
         assert!(!snap.counters.contains_key("setr.prune.mindom"));
         assert!(snap.counters.contains_key("kcr.prune.maxdom"));
+    }
+
+    #[test]
+    fn traced_methods_keep_counters_and_events_in_lockstep() {
+        let mut stats = TraversalStats::detached();
+        let tracer = Tracer::new();
+        stats.set_tracer(tracer.clone());
+        stats.visit_traced(7);
+        stats.prune_maxdom_traced(7, 5, 5, 1);
+        stats.prune_maxdom_traced(9, 3, 3, 2);
+        stats.prune_mindom_traced(12);
+        stats.nodes_pruned_traced(4, 0);
+        let report = tracer.drain();
+        assert_eq!(
+            report.count_events(names::PRUNE_MAXDOM),
+            stats.prune_maxdom.get()
+        );
+        assert_eq!(
+            report.count_events(names::PRUNE_MINDOM),
+            stats.prune_mindom.get()
+        );
+        assert_eq!(
+            report.count_events(names::NODE_VISITS),
+            stats.node_visits.get()
+        );
+        assert_eq!(
+            report.count_events(names::NODES_PRUNED),
+            stats.nodes_pruned.get()
+        );
+    }
+
+    #[test]
+    fn traced_methods_count_without_a_tracer() {
+        let stats = TraversalStats::detached();
+        stats.prune_maxdom_traced(1, 0, 0, 0);
+        stats.prune_mindom_traced(2);
+        assert_eq!(stats.prune_maxdom.get(), 1);
+        assert_eq!(stats.prune_mindom.get(), 1);
     }
 
     #[test]

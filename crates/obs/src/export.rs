@@ -1,0 +1,183 @@
+//! Prometheus text exposition of a registry [`Snapshot`], behind the
+//! CLI's and `xp`'s `--metrics-export`.
+//!
+//! The output follows the text format version 0.0.4: one `# TYPE` line
+//! per family, counters as plain samples, timers as `_count` /
+//! `_seconds_total` / `_max_seconds` series, and histograms as
+//! cumulative `_bucket{le="..."}` series with the mandatory `+Inf`
+//! bucket, `_sum` and `_count`. Metric names are sanitized to
+//! `[a-zA-Z0-9_]` and prefixed `wnsk_` so dotted registry names such as
+//! `kcr.prune.maxdom` become `wnsk_kcr_prune_maxdom`.
+
+use crate::registry::Snapshot;
+
+/// Maps a registry name onto the Prometheus name grammar.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("wnsk_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders `snapshot` as Prometheus text format.
+pub fn prometheus_text(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let name = sanitize(name);
+        out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+    }
+    for (name, t) in &snapshot.timers {
+        let name = sanitize(name);
+        out.push_str(&format!(
+            "# TYPE {name}_count counter\n{name}_count {}\n",
+            t.count
+        ));
+        out.push_str(&format!(
+            "# TYPE {name}_seconds_total counter\n{name}_seconds_total {}\n",
+            t.total_ns as f64 / 1e9
+        ));
+        out.push_str(&format!(
+            "# TYPE {name}_max_seconds gauge\n{name}_max_seconds {}\n",
+            t.max_ns as f64 / 1e9
+        ));
+    }
+    for (name, h) in &snapshot.hists {
+        let name = sanitize(name);
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let mut cumulative = 0u64;
+        for (upper, count) in h.nonzero_buckets() {
+            cumulative += count;
+            out.push_str(&format!("{name}_bucket{{le=\"{upper}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{name}_sum {}\n", h.sum));
+        out.push_str(&format!("{name}_count {}\n", h.count));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use std::collections::BTreeMap;
+    use std::time::Duration;
+
+    /// A strict mini-parser for the subset of the exposition format we
+    /// emit: validates line shapes, `# TYPE` coverage, le monotonicity
+    /// and bucket cumulativity. Returns samples keyed by full sample
+    /// name (labels included).
+    fn parse_prometheus(text: &str) -> BTreeMap<String, f64> {
+        let mut samples = BTreeMap::new();
+        let mut typed: Vec<String> = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts.next().expect("TYPE line has a name");
+                let kind = parts.next().expect("TYPE line has a kind");
+                assert!(
+                    matches!(kind, "counter" | "gauge" | "histogram"),
+                    "unknown type {kind:?}"
+                );
+                typed.push(name.to_owned());
+                continue;
+            }
+            assert!(!line.starts_with('#'), "unexpected comment: {line}");
+            let (name_part, value_part) = line.rsplit_once(' ').expect("sample has a value");
+            let value: f64 = value_part.parse().expect("sample value is a number");
+            let base = name_part.split('{').next().unwrap();
+            assert!(
+                base.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name {base:?}"
+            );
+            // Every sample must belong to a declared family.
+            assert!(
+                typed.iter().any(|t| base == t
+                    || base == format!("{t}_bucket")
+                    || base == format!("{t}_sum")
+                    || base == format!("{t}_count")),
+                "sample {base} has no # TYPE"
+            );
+            let prev = samples.insert(name_part.to_owned(), value);
+            assert!(prev.is_none(), "duplicate sample {name_part}");
+        }
+        samples
+    }
+
+    /// Asserts histogram invariants for `name`: buckets cumulative and
+    /// non-decreasing, le values increasing, `+Inf` equals `_count`.
+    fn check_histogram(text: &str, samples: &BTreeMap<String, f64>, name: &str) {
+        let mut les = Vec::new();
+        let mut counts = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix(&format!("{name}_bucket{{le=\"")) {
+                let (le, rest) = rest.split_once('"').unwrap();
+                let count: f64 = rest.trim_start_matches('}').trim().parse().unwrap();
+                les.push(le.to_owned());
+                counts.push(count);
+            }
+        }
+        assert!(!les.is_empty(), "{name} has no buckets");
+        assert_eq!(les.last().unwrap(), "+Inf", "{name} missing +Inf bucket");
+        let mut prev_le = -1.0f64;
+        let mut prev_count = -1.0f64;
+        for (le, &count) in les.iter().zip(&counts) {
+            if le != "+Inf" {
+                let le: f64 = le.parse().unwrap();
+                assert!(le > prev_le, "{name} le values must increase");
+                prev_le = le;
+            }
+            assert!(count >= prev_count, "{name} buckets must be cumulative");
+            prev_count = count;
+        }
+        let count = samples[&format!("{name}_count")];
+        assert_eq!(*counts.last().unwrap(), count, "{name} +Inf != _count");
+        assert!(samples.contains_key(&format!("{name}_sum")), "{name}_sum");
+    }
+
+    #[test]
+    fn exports_counters_timers_and_histograms() {
+        let r = Registry::new();
+        r.counter("kcr.prune.maxdom").add(7);
+        r.timer("core.phase.verification")
+            .record(Duration::from_millis(3));
+        let h = r.hist("exec.task_ns");
+        for v in [5u64, 40, 40, 999, 1_000_000] {
+            h.record(v);
+        }
+        let text = prometheus_text(&r.snapshot());
+        let samples = parse_prometheus(&text);
+        assert_eq!(samples["wnsk_kcr_prune_maxdom"], 7.0);
+        assert_eq!(samples["wnsk_core_phase_verification_count"], 1.0);
+        assert!((samples["wnsk_core_phase_verification_seconds_total"] - 0.003).abs() < 1e-9);
+        check_histogram(&text, &samples, "wnsk_exec_task_ns");
+        assert_eq!(samples["wnsk_exec_task_ns_count"], 5.0);
+        assert_eq!(samples["wnsk_exec_task_ns_sum"], 1_001_084.0);
+    }
+
+    #[test]
+    fn empty_histogram_still_exports_valid_series() {
+        let r = Registry::new();
+        let _ = r.hist("quiet");
+        let text = prometheus_text(&r.snapshot());
+        let samples = parse_prometheus(&text);
+        check_histogram(&text, &samples, "wnsk_quiet");
+        assert_eq!(samples["wnsk_quiet_count"], 0.0);
+    }
+
+    #[test]
+    fn sanitizes_dotted_names() {
+        assert_eq!(
+            sanitize("kcr.pool.read_latency_ns"),
+            "wnsk_kcr_pool_read_latency_ns"
+        );
+        assert_eq!(sanitize("weird-name"), "wnsk_weird_name");
+    }
+}

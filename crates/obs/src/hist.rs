@@ -1,0 +1,425 @@
+//! [`Hist`]: a lock-free log-linear latency histogram (HDR-style).
+//!
+//! Values are bucketed exactly below 32 and log-linearly above: each
+//! power-of-two octave is split into 16 linear sub-buckets, so the
+//! relative quantization error is bounded by 1/16 ≈ 6.25% across the
+//! whole `u64` range. Recording is a single atomic `fetch_add` on the
+//! bucket plus count/sum/max updates — safe on any hot path.
+//!
+//! [`HistSnapshot`] is the frozen, mergeable view: snapshots add
+//! ([`HistSnapshot::merge`]), subtract ([`HistSnapshot::since`]) and
+//! answer percentile queries ([`HistSnapshot::percentile`]) whose
+//! results are bucket upper bounds, hence monotone in `p` by
+//! construction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::json::JsonValue;
+
+/// Sub-buckets per octave = 2^SUB_BITS.
+const SUB_BITS: u32 = 4;
+const SUBS: usize = 1 << SUB_BITS;
+/// Values below this are bucketed exactly (identity mapping).
+const LINEAR_LIMIT: u64 = 2 * SUBS as u64; // 32
+/// Octaves above the linear region: exponents 5..=63.
+const OCTAVES: usize = 59;
+/// Total bucket count: 32 exact + 59 octaves × 16 sub-buckets = 976.
+pub(crate) const BUCKETS: usize = LINEAR_LIMIT as usize + OCTAVES * SUBS;
+
+/// Bucket index for a value (total order preserving).
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_LIMIT {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // 5..=63
+    let sub = (v >> (exp - SUB_BITS)) & (SUBS as u64 - 1);
+    LINEAR_LIMIT as usize + (exp as usize - 5) * SUBS + sub as usize
+}
+
+/// Inclusive upper bound of a bucket — the value every sample in the
+/// bucket is rounded up to when reporting percentiles.
+fn bucket_upper(i: usize) -> u64 {
+    if i < LINEAR_LIMIT as usize {
+        return i as u64;
+    }
+    let j = i - LINEAR_LIMIT as usize;
+    let exp = (j / SUBS) as u32 + 5;
+    let sub = (j % SUBS) as u64;
+    // Start of the octave plus (sub+1) linear steps, minus one —
+    // subtracting first keeps the top bucket (exp=63, sub=15) landing
+    // exactly on u64::MAX instead of overflowing.
+    ((1u64 << exp) - 1).saturating_add((sub + 1) << (exp - SUB_BITS))
+}
+
+#[derive(Debug)]
+struct HistInner {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A cheaply clonable, lock-free histogram handle. Clones share the same
+/// buckets, mirroring [`crate::Counter`]'s `Arc` idiom.
+#[derive(Clone, Debug)]
+pub struct Hist {
+    inner: Arc<HistInner>,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hist {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        let buckets = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Hist {
+            inner: Arc::new(HistInner {
+                buckets,
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one value (typically nanoseconds).
+    pub fn record(&self, v: u64) {
+        let inner = &*self.inner;
+        inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        // The sum saturates instead of wrapping: ~584 years of
+        // nanoseconds fit in a u64, so saturation is a formality, but
+        // wrapping would silently corrupt `_sum` in exported metrics.
+        let _ = inner
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(v))
+            });
+        inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration as nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Re-applies every sample of a snapshot into this live histogram
+    /// (used to fold per-query snapshots into a long-lived registry).
+    pub fn merge_snapshot(&self, snap: &HistSnapshot) {
+        let inner = &*self.inner;
+        for (i, &n) in snap.buckets.iter().enumerate() {
+            if n > 0 {
+                inner.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        inner.count.fetch_add(snap.count, Ordering::Relaxed);
+        let _ = inner
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(snap.sum))
+            });
+        inner.max.fetch_max(snap.max, Ordering::Relaxed);
+    }
+
+    /// Freezes the current state.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let inner = &*self.inner;
+        let mut buckets: Vec<u64> = inner
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        HistSnapshot {
+            buckets,
+            count: inner.count.load(Ordering::Relaxed),
+            sum: inner.sum.load(Ordering::Relaxed),
+            max: inner.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frozen histogram: dense bucket counts (truncated after the last
+/// non-empty bucket), total count/sum, and the exact observed maximum.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket counts, index order matching the live histogram.
+    buckets: Vec<u64>,
+    /// Total number of recorded samples.
+    pub count: u64,
+    /// Saturating sum of all recorded values.
+    pub sum: u64,
+    /// Exact maximum recorded value (not bucket-rounded).
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Adds another snapshot into this one (commutative, associative).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, &n) in other.buckets.iter().enumerate() {
+            self.buckets[i] += n;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Delta against an earlier snapshot of the *same* histogram.
+    /// `max` cannot be subtracted, so the delta keeps the later maximum.
+    pub fn since(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        let mut buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v.saturating_sub(earlier.buckets.get(i).copied().unwrap_or(0)))
+            .collect();
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        HistSnapshot {
+            buckets,
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+        }
+    }
+
+    /// Value at percentile `p` (0.0..=100.0) as a bucket upper bound;
+    /// zero on an empty histogram. Monotone in `p` because cumulative
+    /// counts walk the buckets in value order.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // Rank of the target sample, 1-based: ceil(p/100 * count),
+        // clamped to [1, count] so p=0 reads the first bucket.
+        let target = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_upper(i);
+            }
+        }
+        self.max
+    }
+
+    /// Median (bucket upper bound).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 90th percentile (bucket upper bound).
+    pub fn p90(&self) -> u64 {
+        self.percentile(90.0)
+    }
+
+    /// 99th percentile (bucket upper bound).
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// Mean of recorded values, zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(inclusive_upper_bound, count)` pairs, in
+    /// increasing value order — the exporter builds cumulative
+    /// Prometheus buckets from these.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_upper(i), n))
+    }
+
+    /// JSON object with count/sum/max and the headline percentiles.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("count", JsonValue::from(self.count)),
+            ("sum", JsonValue::from(self.sum)),
+            ("max", JsonValue::from(self.max)),
+            ("p50", JsonValue::from(self.p50())),
+            ("p90", JsonValue::from(self.p90())),
+            ("p99", JsonValue::from(self.p99())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let probes = [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            100,
+            1_000,
+            1_000_000,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut prev = 0usize;
+        for &v in &probes {
+            let i = bucket_index(v);
+            assert!(i < BUCKETS, "index {i} out of range for {v}");
+            assert!(i >= prev, "bucket index not monotone at {v}");
+            prev = i;
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(31), 31);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_upper_bounds_each_bucket() {
+        for i in 0..BUCKETS {
+            let upper = bucket_upper(i);
+            assert_eq!(
+                bucket_index(upper),
+                i,
+                "upper bound {upper} of bucket {i} maps elsewhere"
+            );
+            if i + 1 < BUCKETS {
+                assert!(upper < bucket_upper(i + 1));
+                assert_eq!(bucket_index(upper.saturating_add(1)), i + 1);
+            }
+        }
+        assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn record_and_percentiles() {
+        let h = Hist::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 5050);
+        assert_eq!(s.max, 100);
+        // Exact below 32; ≤6.25% rounding above.
+        assert_eq!(s.percentile(10.0), 10);
+        assert!(s.p50() >= 50 && s.p50() <= 53, "p50={}", s.p50());
+        assert!(s.p99() >= 99 && s.p99() <= 105, "p99={}", s.p99());
+        assert_eq!(s.percentile(0.0), 1);
+    }
+
+    #[test]
+    fn extremes_saturate() {
+        let h = Hist::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.sum, u64::MAX, "sum must saturate, not wrap");
+        assert_eq!(s.percentile(100.0), u64::MAX);
+        assert_eq!(s.percentile(0.0), 0);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let a = Hist::new();
+        let b = Hist::new();
+        let both = Hist::new();
+        for v in [3u64, 40, 40, 999, 12_345] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [7u64, 40, 1_000_000] {
+            b.record(v);
+            both.record(v);
+        }
+        let mut ab = a.snapshot();
+        ab.merge(&b.snapshot());
+        let mut ba = b.snapshot();
+        ba.merge(&a.snapshot());
+        assert_eq!(ab, ba, "merge must be commutative");
+        assert_eq!(ab, both.snapshot());
+    }
+
+    #[test]
+    fn since_isolates_new_samples() {
+        let h = Hist::new();
+        h.record(10);
+        h.record(500);
+        let before = h.snapshot();
+        h.record(10);
+        h.record(77);
+        let delta = h.snapshot().since(&before);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.sum, 87);
+        let buckets: Vec<_> = delta.nonzero_buckets().collect();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0], (10, 1));
+    }
+
+    #[test]
+    fn merge_snapshot_into_live_hist() {
+        let per_query = Hist::new();
+        per_query.record(64);
+        per_query.record(128);
+        let live = Hist::new();
+        live.record(1);
+        live.merge_snapshot(&per_query.snapshot());
+        let s = live.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 193);
+        assert_eq!(s.max, 128);
+    }
+
+    #[test]
+    fn clones_share_buckets() {
+        let h = Hist::new();
+        let h2 = h.clone();
+        h.record(5);
+        assert_eq!(h2.snapshot().count, 1);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Hist::new();
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1_000 + i % 100);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.snapshot().count, 80_000);
+    }
+}

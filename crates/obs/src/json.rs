@@ -140,6 +140,7 @@ impl JsonValue {
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -183,12 +184,30 @@ impl JsonValue {
     }
 }
 
+/// Maximum container nesting the parser accepts. The recursive-descent
+/// parser uses the thread's stack, so untrusted input (`xp compare`
+/// baselines, `--explain=json` round-trips) must not be able to drive
+/// recursion arbitrarily deep.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
+    fn descend(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} levels at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
     fn skip_ws(&mut self) {
         while let Some(&b) = self.bytes.get(self.pos) {
             if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
@@ -258,6 +277,13 @@ impl Parser<'_> {
             .map_err(|e| format!("bad number {text:?} at byte {start}: {e}"))
     }
 
+    /// Four hex digits starting at byte `at` (the body of a `\u` escape).
+    fn hex4(&self, at: usize) -> Result<u32, String> {
+        let hex = self.bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
+        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+        u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_owned())
+    }
+
     fn string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
         let mut out = String::new();
@@ -280,19 +306,35 @@ impl Parser<'_> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
-                                16,
-                            )
-                            .map_err(|_| "bad \\u escape")?;
-                            // Surrogates are not produced by our renderer;
-                            // map them to the replacement character.
-                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
-                            self.pos += 4;
+                            let code = self.hex4(self.pos + 1)?;
+                            if (0xD800..=0xDBFF).contains(&code) {
+                                // High surrogate: join with a following
+                                // \uDC00..\uDFFF low surrogate; a lone or
+                                // mismatched surrogate half becomes U+FFFD
+                                // (same policy as every mainstream parser).
+                                let follows_escape = self.bytes.get(self.pos + 5) == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 6) == Some(&b'u');
+                                let low = if follows_escape {
+                                    self.hex4(self.pos + 7).ok()
+                                } else {
+                                    None
+                                };
+                                match low {
+                                    Some(lo) if (0xDC00..=0xDFFF).contains(&lo) => {
+                                        let c = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+                                        out.push(char::from_u32(c).unwrap_or('\u{FFFD}'));
+                                        self.pos += 10;
+                                    }
+                                    _ => {
+                                        out.push('\u{FFFD}');
+                                        self.pos += 4;
+                                    }
+                                }
+                            } else {
+                                // Lone low surrogates also map to U+FFFD.
+                                out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                                self.pos += 4;
+                            }
                         }
                         other => return Err(format!("bad escape {other:?}")),
                     }
@@ -312,10 +354,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<JsonValue, String> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Array(items));
         }
         loop {
@@ -326,6 +370,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Array(items));
                 }
                 other => return Err(format!("expected ',' or ']', found {other:?}")),
@@ -335,10 +380,12 @@ impl Parser<'_> {
 
     fn object_value(&mut self) -> Result<JsonValue, String> {
         self.expect(b'{')?;
+        self.descend()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Object(fields));
         }
         loop {
@@ -354,6 +401,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Object(fields));
                 }
                 other => return Err(format!("expected ',' or '}}', found {other:?}")),
@@ -429,6 +477,71 @@ mod tests {
         assert!(JsonValue::parse("nul").is_err());
         assert!(JsonValue::parse("{} trailing").is_err());
         assert!(JsonValue::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn nesting_is_capped() {
+        // Exactly at the cap parses; one level deeper is rejected
+        // instead of risking a stack overflow on untrusted input.
+        let ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(JsonValue::parse(&ok).is_ok());
+        let deep_arrays = format!(
+            "{}0{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        let err = JsonValue::parse(&deep_arrays).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        let deep_objects = format!(
+            "{}0{}",
+            "{\"k\":".repeat(MAX_DEPTH + 1),
+            "}".repeat(MAX_DEPTH + 1)
+        );
+        assert!(JsonValue::parse(&deep_objects).is_err());
+        // Unbalanced-but-deep input must also fail cheaply.
+        assert!(JsonValue::parse(&"[".repeat(100_000)).is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        // \uD83D\uDE00 is the UTF-16 surrogate pair for U+1F600 (😀).
+        let v = JsonValue::parse(r#""\uD83D\uDE00""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+        // Astral chars survive a render → parse round trip as raw UTF-8.
+        let rendered = JsonValue::from("a\u{1F600}b").render();
+        assert_eq!(
+            JsonValue::parse(&rendered).unwrap().as_str(),
+            Some("a\u{1F600}b")
+        );
+    }
+
+    #[test]
+    fn lone_surrogates_become_replacement_chars() {
+        // Lone high, lone low, and a high followed by a non-surrogate
+        // escape: the lone half degrades to U+FFFD, the rest is kept.
+        assert_eq!(
+            JsonValue::parse(r#""\uD800x""#).unwrap().as_str(),
+            Some("\u{FFFD}x")
+        );
+        assert_eq!(
+            JsonValue::parse(r#""\uDC00""#).unwrap().as_str(),
+            Some("\u{FFFD}")
+        );
+        assert_eq!(
+            JsonValue::parse(r#""\uD800A""#).unwrap().as_str(),
+            Some("\u{FFFD}A")
+        );
+        // Truncated escapes are still hard errors.
+        assert!(JsonValue::parse(r#""\uD8"#).is_err());
+        assert!(JsonValue::parse(r#""\uZZZZ""#).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage_after_valid_values() {
+        assert!(JsonValue::parse("1 2").is_err());
+        assert!(JsonValue::parse("[1] [2]").is_err());
+        assert!(JsonValue::parse("{\"a\":1}x").is_err());
+        assert!(JsonValue::parse("\"s\"\"t\"").is_err());
     }
 
     #[test]

@@ -14,6 +14,14 @@
 //!   metered without resetting anything.
 //! * [`QueryReport`] — the per-query (or per-experiment) summary the CLI
 //!   prints under `--metrics` and the bench runner writes as JSON.
+//! * [`Hist`] — a lock-free log-linear latency histogram with mergeable
+//!   [`HistSnapshot`]s and p50/p90/p99 queries (`docs/METRICS.md`,
+//!   "Histograms").
+//! * [`Tracer`] — per-query structured tracing: per-worker span buffers
+//!   merged into the deterministic span tree behind `--explain` (see
+//!   [`trace`]).
+//! * [`prometheus_text`] — Prometheus text exposition of a [`Snapshot`]
+//!   for `--metrics-export`.
 //!
 //! The crate is dependency-free by design: it sits below `wnsk-storage`
 //! in the crate graph, so everything — buffer pools, tree traversals,
@@ -34,15 +42,21 @@
 //! assert_eq!(delta.timers["phase.verification"].count, 1);
 //! ```
 
+mod export;
+mod hist;
 mod json;
 mod metric;
 mod registry;
 mod report;
+pub mod trace;
 
+pub use export::prometheus_text;
+pub use hist::{Hist, HistSnapshot};
 pub use json::JsonValue;
 pub use metric::{Counter, Span, Timer, TimerSnapshot};
 pub use registry::{Registry, Snapshot};
 pub use report::QueryReport;
+pub use trace::{SpanId, SpanRecord, TracePayload, TraceReport, Tracer};
 
 /// Canonical metric-name suffixes, shared by every crate so the same
 /// quantity always lands under the same registry key (`docs/METRICS.md`
@@ -97,4 +111,52 @@ pub mod names {
     pub const EXEC_BOUND_REFRESHES: &str = "exec.bound_refreshes";
     /// Prunes performed against the shared best-penalty bound.
     pub const EXEC_PRUNE_HITS: &str = "exec.prune_hits";
+    /// Histogram of buffer-pool miss latencies (nanoseconds per
+    /// physical read, including any simulated `--io-latency-us` wait).
+    pub const READ_LATENCY_NS: &str = "read_latency_ns";
+    /// Histogram of individual retry-backoff sleeps, nanoseconds.
+    pub const RETRY_BACKOFF_NS: &str = "retry_backoff_ns";
+    /// Histogram of per-task executor latencies, nanoseconds.
+    pub const EXEC_TASK_NS: &str = "exec.task_ns";
+    /// Histogram of initial-rank phase latencies, nanoseconds per query.
+    pub const PHASE_NS_INITIAL_RANK: &str = "core.phase_ns.initial_rank";
+    /// Histogram of enumeration phase latencies, nanoseconds per query.
+    pub const PHASE_NS_ENUMERATION: &str = "core.phase_ns.enumeration";
+    /// Histogram of verification phase latencies, nanoseconds per query.
+    pub const PHASE_NS_VERIFICATION: &str = "core.phase_ns.verification";
+
+    /// Every canonical name, for the docs/METRICS.md lint: the test in
+    /// `tests/metrics_names.rs` fails when this list and the reference
+    /// drift apart in either direction.
+    pub const ALL: &[&str] = &[
+        LOGICAL_READS,
+        PHYSICAL_READS,
+        PHYSICAL_WRITES,
+        NODE_VISITS,
+        NODES_PRUNED,
+        PRUNE_MAXDOM,
+        PRUNE_MINDOM,
+        PHASE_INITIAL_RANK,
+        PHASE_ENUMERATION,
+        PHASE_VERIFICATION,
+        CORE_CANDIDATES,
+        CORE_PRUNED_FILTER,
+        CORE_PRUNED_BOUND,
+        CORE_QUERIES_RUN,
+        CORE_NODES_EXPANDED,
+        RETRIES,
+        RETRIES_EXHAUSTED,
+        RETRY_BACKOFF_NANOS,
+        CHECKSUM_FAILURES,
+        CORE_DEGRADED,
+        EXEC_TASKS_STOLEN,
+        EXEC_BOUND_REFRESHES,
+        EXEC_PRUNE_HITS,
+        READ_LATENCY_NS,
+        RETRY_BACKOFF_NS,
+        EXEC_TASK_NS,
+        PHASE_NS_INITIAL_RANK,
+        PHASE_NS_ENUMERATION,
+        PHASE_NS_VERIFICATION,
+    ];
 }

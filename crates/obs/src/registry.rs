@@ -4,6 +4,7 @@
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, PoisonError};
 
+use crate::hist::{Hist, HistSnapshot};
 use crate::json::JsonValue;
 use crate::metric::{Counter, Timer, TimerSnapshot};
 
@@ -11,6 +12,7 @@ use crate::metric::{Counter, Timer, TimerSnapshot};
 struct Inner {
     counters: Mutex<BTreeMap<String, Counter>>,
     timers: Mutex<BTreeMap<String, Timer>>,
+    hists: Mutex<BTreeMap<String, Hist>>,
 }
 
 /// A get-or-create namespace of metrics. Clones share the same store, so
@@ -66,6 +68,28 @@ impl Registry {
         map.entry(name.to_owned()).or_default().clone()
     }
 
+    /// Returns the histogram registered under `name`, creating it empty
+    /// on first use.
+    pub fn hist(&self, name: &str) -> Hist {
+        let mut map = self
+            .inner
+            .hists
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Registers an externally created histogram under `name`; as with
+    /// [`Registry::register_counter`], an existing histogram wins.
+    pub fn register_hist(&self, name: &str, hist: Hist) -> Hist {
+        let mut map = self
+            .inner
+            .hists
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        map.entry(name.to_owned()).or_insert(hist).clone()
+    }
+
     /// Captures every registered metric at one point in time.
     pub fn snapshot(&self) -> Snapshot {
         let counters = self
@@ -84,7 +108,19 @@ impl Registry {
             .iter()
             .map(|(k, v)| (k.clone(), v.snapshot()))
             .collect();
-        Snapshot { counters, timers }
+        let hists = self
+            .inner
+            .hists
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        Snapshot {
+            counters,
+            timers,
+            hists,
+        }
     }
 }
 
@@ -97,12 +133,19 @@ pub struct Snapshot {
     pub counters: BTreeMap<String, u64>,
     /// Timer accumulators by name.
     pub timers: BTreeMap<String, TimerSnapshot>,
+    /// Histogram snapshots by name.
+    pub hists: BTreeMap<String, HistSnapshot>,
 }
 
 impl Snapshot {
     /// Value of a counter, zero if it was never registered.
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of a histogram, `None` if it was never registered.
+    pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
+        self.hists.get(name)
     }
 
     /// Total accumulated time of a timer, zero if never registered.
@@ -133,7 +176,19 @@ impl Snapshot {
                 (k.clone(), v.since(&base))
             })
             .collect();
-        Snapshot { counters, timers }
+        let hists = self
+            .hists
+            .iter()
+            .map(|(k, v)| {
+                let base = earlier.hists.get(k).cloned().unwrap_or_default();
+                (k.clone(), v.since(&base))
+            })
+            .collect();
+        Snapshot {
+            counters,
+            timers,
+            hists,
+        }
     }
 
     /// JSON object: `{"counters": {...}, "timers": {name: {count,
@@ -156,9 +211,15 @@ impl Snapshot {
                 (k.clone(), obj)
             })
             .collect();
+        let hists = self
+            .hists
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_json()))
+            .collect();
         JsonValue::Object(vec![
             ("counters".to_owned(), JsonValue::Object(counters)),
             ("timers".to_owned(), JsonValue::Object(timers)),
+            ("hists".to_owned(), JsonValue::Object(hists)),
         ])
     }
 }
@@ -266,6 +327,31 @@ mod tests {
             }
         });
         assert_eq!(r.snapshot().counter("raced"), threads);
+    }
+
+    #[test]
+    fn hist_is_get_or_create_and_snapshots_delta() {
+        let r = Registry::new();
+        r.hist("lat").record(100);
+        let before = r.snapshot();
+        r.hist("lat").record(200);
+        let delta = r.snapshot().since(&before);
+        assert_eq!(delta.hist("lat").unwrap().count, 1);
+        assert_eq!(delta.hist("lat").unwrap().sum, 200);
+        assert!(delta.hist("missing").is_none());
+    }
+
+    #[test]
+    fn register_hist_keeps_existing() {
+        let r = Registry::new();
+        r.hist("h").record(1);
+        let external = Hist::new();
+        external.record(2);
+        let resolved = r.register_hist("h", external);
+        assert_eq!(resolved.snapshot().count, 1, "pre-existing hist wins");
+        let adopted = r.register_hist("fresh", Hist::new());
+        adopted.record(9);
+        assert_eq!(r.snapshot().hist("fresh").unwrap().count, 1);
     }
 
     #[test]

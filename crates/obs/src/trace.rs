@@ -1,0 +1,744 @@
+//! Per-query structured tracing: span buffers, typed prune events, and
+//! the merged span tree behind the CLI's `--explain`.
+//!
+//! The design constraint is the workspace's determinism contract
+//! (`crates/core/src/algorithms/shared.rs`): tracing must observe the
+//! solvers without feeding anything back into their decisions, and the
+//! merged output must be stable under work stealing. Both follow from
+//! the span identity scheme: every record carries a `(worker, seq)` id,
+//! where `seq` is a per-worker monotonic counter, so merging the
+//! per-worker buffers with a `(worker, seq)` sort is reproducible for
+//! any steal schedule — only wall-clock timestamps vary between runs.
+//!
+//! Recording is contention-free on the hot path: each worker appends to
+//! its own buffer (the buffer mutex exists for the drain at the query
+//! barrier, not for inter-worker sharing), and a disabled tracer —
+//! [`Tracer::off`], or a live tracer whose sampling gate is closed —
+//! reduces every call to one branch.
+//!
+//! Parent attribution uses two mechanisms:
+//! * the coordinator publishes a **global scope** ([`Tracer::set_scope`])
+//!   between executor barriers — worker-side records parent to it;
+//! * a worker can refine that with a thread-local parent
+//!   ([`Tracer::parented`]) while expanding one node, so prune events
+//!   nest under the node span that produced them.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+use crate::json::JsonValue;
+
+/// Worker slots: slot 0 is the coordinator thread, executor worker `i`
+/// maps to slot `1 + i % 32`. More than 32 workers share slots, which
+/// stays correct (the slot mutex serializes them) but interleaves seqs.
+const WORKER_SLOTS: usize = 33;
+const SLOT_BITS: u32 = 48;
+const NONE_ID: u64 = u64::MAX;
+
+thread_local! {
+    static CUR_SLOT: Cell<usize> = const { Cell::new(0) };
+    static CUR_PARENT: Cell<u64> = const { Cell::new(NONE_ID) };
+}
+
+fn pack(slot: usize, seq: u64) -> u64 {
+    ((slot as u64) << SLOT_BITS) | (seq & ((1 << SLOT_BITS) - 1))
+}
+
+/// Installs the calling thread as executor worker `worker` for trace
+/// routing; restored on drop. The executor wraps each worker loop (and
+/// its inline path) in this so lower layers — index traversal, buffer
+/// pool — need no explicit worker argument.
+pub fn worker_scope(worker: usize) -> WorkerScope {
+    let slot = 1 + worker % (WORKER_SLOTS - 1);
+    let prev = CUR_SLOT.with(|c| c.replace(slot));
+    WorkerScope { prev }
+}
+
+/// RAII guard from [`worker_scope`].
+pub struct WorkerScope {
+    prev: usize,
+}
+
+impl Drop for WorkerScope {
+    fn drop(&mut self) {
+        CUR_SLOT.with(|c| c.set(self.prev));
+    }
+}
+
+/// Identity of a span: packed `(worker slot, per-slot sequence)`.
+/// Ordering ids orders records worker-major, which is exactly the
+/// deterministic merge order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// The absent id (roots have this as their parent).
+    pub const NONE: SpanId = SpanId(NONE_ID);
+
+    /// True for [`SpanId::NONE`].
+    pub fn is_none(&self) -> bool {
+        self.0 == NONE_ID
+    }
+
+    /// Worker slot (0 = coordinator, `1 + i` = executor worker `i`).
+    pub fn worker(&self) -> usize {
+        (self.0 >> SLOT_BITS) as usize
+    }
+
+    /// Per-worker monotonic sequence number.
+    pub fn seq(&self) -> u64 {
+        self.0 & ((1 << SLOT_BITS) - 1)
+    }
+}
+
+/// Typed payload attached to point events (and available to spans).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TracePayload {
+    /// A subtree/candidate was retired by the MaxDom convergence test
+    /// (Theorem 2) or a node-level dominance bound.
+    NodePruned {
+        /// Node (blob) id of the pruned subtree, when known.
+        node_id: u64,
+        /// MaxDom contribution bound at the prune site.
+        max_dom: u32,
+        /// MinDom contribution bound at the prune site.
+        min_dom: u32,
+        /// Enumeration layer (edit distance) being processed.
+        layer: u32,
+    },
+    /// A candidate was rejected because its rank lower bound already
+    /// exceeds the best penalty (Theorem 3).
+    CandidateRejected {
+        /// The rank lower bound that triggered the rejection.
+        rank_lower_bound: u32,
+    },
+    /// A candidate's rank bounds converged to an exact rank.
+    RankConverged {
+        /// The exact rank.
+        rank: u32,
+    },
+    /// A tree node was read and decoded.
+    NodeVisited {
+        /// Node (blob) id, i.e. its first page.
+        node_id: u64,
+    },
+    /// A buffer-pool read served from cache.
+    CacheHit,
+    /// A task executed off another worker's deque.
+    TaskStolen {
+        /// The worker the task was stolen from.
+        victim: usize,
+    },
+}
+
+impl TracePayload {
+    fn summary(&self) -> String {
+        match self {
+            TracePayload::NodePruned {
+                node_id,
+                max_dom,
+                min_dom,
+                layer,
+            } => format!("node={node_id} max_dom={max_dom} min_dom={min_dom} layer={layer}"),
+            TracePayload::CandidateRejected { rank_lower_bound } => {
+                format!("rank_lb={rank_lower_bound}")
+            }
+            TracePayload::RankConverged { rank } => format!("rank={rank}"),
+            TracePayload::NodeVisited { node_id } => format!("node={node_id}"),
+            TracePayload::CacheHit => String::new(),
+            TracePayload::TaskStolen { victim } => format!("victim={victim}"),
+        }
+    }
+
+    fn to_json(self) -> JsonValue {
+        let typed = |t: &str, fields: Vec<(&str, JsonValue)>| {
+            let mut obj = vec![("type", JsonValue::from(t))];
+            obj.extend(fields);
+            JsonValue::object(obj)
+        };
+        match self {
+            TracePayload::NodePruned {
+                node_id,
+                max_dom,
+                min_dom,
+                layer,
+            } => typed(
+                "node_pruned",
+                vec![
+                    ("node_id", JsonValue::from(node_id)),
+                    ("max_dom", JsonValue::from(u64::from(max_dom))),
+                    ("min_dom", JsonValue::from(u64::from(min_dom))),
+                    ("layer", JsonValue::from(u64::from(layer))),
+                ],
+            ),
+            TracePayload::CandidateRejected { rank_lower_bound } => typed(
+                "candidate_rejected",
+                vec![(
+                    "rank_lower_bound",
+                    JsonValue::from(u64::from(rank_lower_bound)),
+                )],
+            ),
+            TracePayload::RankConverged { rank } => typed(
+                "rank_converged",
+                vec![("rank", JsonValue::from(u64::from(rank)))],
+            ),
+            TracePayload::NodeVisited { node_id } => {
+                typed("node_visited", vec![("node_id", JsonValue::from(node_id))])
+            }
+            TracePayload::CacheHit => typed("cache_hit", vec![]),
+            TracePayload::TaskStolen { victim } => typed(
+                "task_stolen",
+                vec![("victim", JsonValue::from(victim as u64))],
+            ),
+        }
+    }
+}
+
+/// One finished span or point event in a worker buffer.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Span identity (worker slot + per-worker sequence).
+    pub id: SpanId,
+    /// Parent span, [`SpanId::NONE`] for roots.
+    pub parent: SpanId,
+    /// Static span name (the canonical metric names double as event
+    /// names, e.g. `prune.maxdom`).
+    pub name: &'static str,
+    /// Start offset from the tracer epoch, nanoseconds.
+    pub start_ns: u64,
+    /// End offset; equal to `start_ns` for point events.
+    pub end_ns: u64,
+    /// Typed payload, if any.
+    pub payload: Option<TracePayload>,
+}
+
+impl SpanRecord {
+    /// Span duration in nanoseconds (zero for point events).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// True for zero-duration point events.
+    pub fn is_event(&self) -> bool {
+        self.end_ns == self.start_ns
+    }
+}
+
+/// A span begun but not yet ended. Returned by [`Tracer::begin`]; a
+/// disabled tracer returns a *dead* span whose `end` is free.
+#[must_use = "end the span with Tracer::end, or it never reaches the buffer"]
+#[derive(Debug)]
+pub struct OpenSpan {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start_ns: u64,
+}
+
+impl OpenSpan {
+    /// The span's id, for [`Tracer::set_scope`]. Dead spans return
+    /// [`SpanId::NONE`], which scopes children to the root.
+    pub fn id(&self) -> SpanId {
+        SpanId(self.id)
+    }
+}
+
+#[derive(Debug)]
+struct Buffer {
+    seq: AtomicU64,
+    records: Mutex<Vec<SpanRecord>>,
+}
+
+#[derive(Debug)]
+struct TracerState {
+    enabled: AtomicBool,
+    epoch: Instant,
+    scope: AtomicU64,
+    buffers: Box<[Buffer; WORKER_SLOTS]>,
+}
+
+impl TracerState {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A cheaply clonable tracing handle. [`Tracer::off`] carries no state
+/// at all; [`Tracer::new`] allocates per-worker buffers, and the
+/// sampling gate ([`Tracer::set_enabled`]) turns recording on and off
+/// per query without reallocating anything.
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    state: Option<Arc<TracerState>>,
+}
+
+impl Tracer {
+    /// A live tracer, initially enabled.
+    pub fn new() -> Self {
+        let buffers = std::array::from_fn(|_| Buffer {
+            seq: AtomicU64::new(0),
+            records: Mutex::new(Vec::new()),
+        });
+        Tracer {
+            state: Some(Arc::new(TracerState {
+                enabled: AtomicBool::new(true),
+                epoch: Instant::now(),
+                scope: AtomicU64::new(NONE_ID),
+                buffers: Box::new(buffers),
+            })),
+        }
+    }
+
+    /// The permanently-disabled tracer: every call is a no-op behind a
+    /// single branch, so untraced paths pay nothing measurable.
+    pub fn off() -> Self {
+        Tracer { state: None }
+    }
+
+    /// True when records are currently being collected.
+    pub fn is_on(&self) -> bool {
+        self.state
+            .as_deref()
+            .is_some_and(|s| s.enabled.load(Ordering::Relaxed))
+    }
+
+    /// Opens or closes the sampling gate (e.g. `--trace-sample N`
+    /// enables the tracer on every N-th query only). No-op on
+    /// [`Tracer::off`].
+    pub fn set_enabled(&self, on: bool) {
+        if let Some(s) = self.state.as_deref() {
+            s.enabled.store(on, Ordering::Relaxed);
+        }
+    }
+
+    fn live(&self) -> Option<&TracerState> {
+        let s = self.state.as_deref()?;
+        s.enabled.load(Ordering::Relaxed).then_some(s)
+    }
+
+    /// Begins a span on the calling thread's worker slot. The parent is
+    /// the thread-local parent if set ([`Tracer::parented`]), else the
+    /// coordinator's global scope.
+    pub fn begin(&self, name: &'static str) -> OpenSpan {
+        let Some(state) = self.live() else {
+            return OpenSpan {
+                id: NONE_ID,
+                parent: NONE_ID,
+                name,
+                start_ns: 0,
+            };
+        };
+        let slot = CUR_SLOT.with(Cell::get);
+        let seq = state.buffers[slot].seq.fetch_add(1, Ordering::Relaxed);
+        let local = CUR_PARENT.with(Cell::get);
+        let parent = if local != NONE_ID {
+            local
+        } else {
+            state.scope.load(Ordering::Relaxed)
+        };
+        OpenSpan {
+            id: pack(slot, seq),
+            parent,
+            name,
+            start_ns: state.now_ns(),
+        }
+    }
+
+    /// Ends a span, committing its record. Dead spans are dropped.
+    pub fn end(&self, span: OpenSpan) {
+        if span.id == NONE_ID {
+            return;
+        }
+        let Some(state) = self.state.as_deref() else {
+            return;
+        };
+        // Deliberately not gated on `enabled`: a span begun inside the
+        // sampling window is committed even if the gate closed while it
+        // ran, so trees never contain dangling parents.
+        let end_ns = state.now_ns();
+        let slot = (span.id >> SLOT_BITS) as usize;
+        state.buffers[slot]
+            .records
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(SpanRecord {
+                id: SpanId(span.id),
+                parent: SpanId(span.parent),
+                name: span.name,
+                start_ns: span.start_ns,
+                end_ns,
+                payload: None,
+            });
+    }
+
+    /// Records a zero-duration point event with a typed payload.
+    pub fn event(&self, name: &'static str, payload: TracePayload) {
+        let Some(state) = self.live() else {
+            return;
+        };
+        let slot = CUR_SLOT.with(Cell::get);
+        let seq = state.buffers[slot].seq.fetch_add(1, Ordering::Relaxed);
+        let local = CUR_PARENT.with(Cell::get);
+        let parent = if local != NONE_ID {
+            local
+        } else {
+            state.scope.load(Ordering::Relaxed)
+        };
+        let now = state.now_ns();
+        state.buffers[slot]
+            .records
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(SpanRecord {
+                id: SpanId(pack(slot, seq)),
+                parent: SpanId(parent),
+                name,
+                start_ns: now,
+                end_ns: now,
+                payload: Some(payload),
+            });
+    }
+
+    /// Publishes the global scope: worker-side records begun after this
+    /// call parent to `id`. Only the coordinator calls this, between
+    /// executor barriers, so workers observe a stable scope for the
+    /// whole parallel section.
+    pub fn set_scope(&self, id: SpanId) {
+        if let Some(s) = self.state.as_deref() {
+            s.scope.store(id.0, Ordering::Relaxed);
+        }
+    }
+
+    /// Clears the global scope (records parent to the root again).
+    pub fn clear_scope(&self) {
+        self.set_scope(SpanId::NONE);
+    }
+
+    /// Sets the calling thread's parent to `span` until the guard
+    /// drops; used to nest per-node events under the node's span.
+    pub fn parented(&self, span: &OpenSpan) -> ParentGuard {
+        let prev = CUR_PARENT.with(|c| c.replace(span.id));
+        ParentGuard { prev }
+    }
+
+    /// Drains every worker buffer into a merged [`TraceReport`] and
+    /// resets sequence counters and scope for the next query. Records
+    /// are sorted by `(worker, seq)`, the deterministic merge order.
+    pub fn drain(&self) -> TraceReport {
+        let Some(state) = self.state.as_deref() else {
+            return TraceReport::default();
+        };
+        let mut records = Vec::new();
+        for buf in state.buffers.iter() {
+            records.append(&mut buf.records.lock().unwrap_or_else(PoisonError::into_inner));
+            buf.seq.store(0, Ordering::Relaxed);
+        }
+        state.scope.store(NONE_ID, Ordering::Relaxed);
+        records.sort_by_key(|r| r.id);
+        TraceReport { records }
+    }
+}
+
+/// RAII guard from [`Tracer::parented`].
+pub struct ParentGuard {
+    prev: u64,
+}
+
+impl Drop for ParentGuard {
+    fn drop(&mut self) {
+        CUR_PARENT.with(|c| c.set(self.prev));
+    }
+}
+
+/// The merged, ordered records of one traced query, with tree
+/// rendering for `--explain`.
+#[derive(Clone, Debug, Default)]
+pub struct TraceReport {
+    records: Vec<SpanRecord>,
+}
+
+impl TraceReport {
+    /// All records in `(worker, seq)` order.
+    pub fn records(&self) -> &[SpanRecord] {
+        &self.records
+    }
+
+    /// True when nothing was traced (tracer off or query unsampled).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of records (spans + events) named `name` — e.g. counting
+    /// `prune.maxdom` events to reconcile against the counter of the
+    /// same name.
+    pub fn count_events(&self, name: &str) -> u64 {
+        self.records.iter().filter(|r| r.name == name).count() as u64
+    }
+
+    /// Children adjacency (indices into `records`) plus root indices.
+    /// Records whose parent was never committed become roots.
+    fn adjacency(&self) -> (Vec<usize>, Vec<Vec<usize>>) {
+        let index_of: std::collections::BTreeMap<SpanId, usize> = self
+            .records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.id, i))
+            .collect();
+        let mut children = vec![Vec::new(); self.records.len()];
+        let mut roots = Vec::new();
+        for (i, r) in self.records.iter().enumerate() {
+            match index_of.get(&r.parent) {
+                Some(&p) if !r.parent.is_none() => children[p].push(i),
+                _ => roots.push(i),
+            }
+        }
+        (roots, children)
+    }
+
+    /// Human-readable span tree. Durations are per span; sibling point
+    /// events with the same name are aggregated as `name ×N` (their
+    /// individual payloads remain available via `--explain=json`).
+    pub fn render_tree(&self) -> String {
+        let (roots, children) = self.adjacency();
+        let mut out = format!("trace ({} spans):\n", self.records.len());
+        for &r in &roots {
+            self.render_node(r, &children, 1, &mut out);
+        }
+        out
+    }
+
+    fn render_node(&self, i: usize, children: &[Vec<usize>], depth: usize, out: &mut String) {
+        let r = &self.records[i];
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(r.name);
+        if !r.is_event() {
+            out.push(' ');
+            out.push_str(&fmt_ns(r.duration_ns()));
+        }
+        if let Some(p) = &r.payload {
+            let s = p.summary();
+            if !s.is_empty() {
+                out.push_str(&format!(" ({s})"));
+            }
+        }
+        out.push('\n');
+        // Aggregate repeated sibling point events by name at their
+        // first occurrence; everything else renders in merge order.
+        let kids = &children[i];
+        let mut done: Vec<&str> = Vec::new();
+        for &c in kids {
+            let rec = &self.records[c];
+            if rec.is_event() {
+                if done.contains(&rec.name) {
+                    continue;
+                }
+                let n = kids
+                    .iter()
+                    .filter(|&&k| self.records[k].is_event() && self.records[k].name == rec.name)
+                    .count();
+                if n > 1 {
+                    done.push(rec.name);
+                    out.push_str(&"  ".repeat(depth + 1));
+                    out.push_str(&format!("{} ×{n}\n", rec.name));
+                    continue;
+                }
+            }
+            self.render_node(c, children, depth + 1, out);
+        }
+    }
+
+    /// The span tree as nested JSON (shares the `JsonValue` codepath
+    /// with every other machine-readable output in the workspace).
+    pub fn to_json(&self) -> JsonValue {
+        let (roots, children) = self.adjacency();
+        let spans = roots
+            .iter()
+            .map(|&r| self.node_json(r, &children))
+            .collect();
+        JsonValue::object(vec![
+            ("spans", JsonValue::from(self.records.len() as u64)),
+            ("tree", JsonValue::Array(spans)),
+        ])
+    }
+
+    fn node_json(&self, i: usize, children: &[Vec<usize>]) -> JsonValue {
+        let r = &self.records[i];
+        let mut fields = vec![
+            ("name", JsonValue::from(r.name)),
+            ("worker", JsonValue::from(r.id.worker() as u64)),
+            ("seq", JsonValue::from(r.id.seq())),
+            ("start_ns", JsonValue::from(r.start_ns)),
+            ("dur_ns", JsonValue::from(r.duration_ns())),
+        ];
+        if let Some(p) = r.payload {
+            fields.push(("payload", p.to_json()));
+        }
+        let kids = &children[i];
+        if !kids.is_empty() {
+            fields.push((
+                "children",
+                JsonValue::Array(kids.iter().map(|&c| self.node_json(c, children)).collect()),
+            ));
+        }
+        JsonValue::object(fields)
+    }
+}
+
+/// Formats nanoseconds with a human-scale unit.
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_tracer_records_nothing() {
+        let t = Tracer::off();
+        let span = t.begin("query");
+        t.event("prune.maxdom", TracePayload::CacheHit);
+        t.end(span);
+        assert!(t.drain().is_empty());
+        assert!(!t.is_on());
+    }
+
+    #[test]
+    fn sampling_gate_toggles_recording() {
+        let t = Tracer::new();
+        t.set_enabled(false);
+        t.event("e", TracePayload::CacheHit);
+        assert!(t.drain().is_empty());
+        t.set_enabled(true);
+        t.event("e", TracePayload::CacheHit);
+        assert_eq!(t.drain().records().len(), 1);
+    }
+
+    #[test]
+    fn spans_nest_under_scope_and_parent() {
+        let t = Tracer::new();
+        let query = t.begin("query");
+        t.set_scope(query.id());
+        let node = t.begin("node.expand");
+        {
+            let _g = t.parented(&node);
+            t.event(
+                "prune.maxdom",
+                TracePayload::NodePruned {
+                    node_id: 7,
+                    max_dom: 3,
+                    min_dom: 1,
+                    layer: 2,
+                },
+            );
+            t.event(
+                "prune.maxdom",
+                TracePayload::NodePruned {
+                    node_id: 9,
+                    max_dom: 2,
+                    min_dom: 1,
+                    layer: 2,
+                },
+            );
+        }
+        t.end(node);
+        t.clear_scope();
+        t.end(query);
+        let report = t.drain();
+        assert_eq!(report.count_events("prune.maxdom"), 2);
+        let tree = report.render_tree();
+        assert!(tree.contains("query"), "{tree}");
+        assert!(tree.contains("prune.maxdom ×2"), "{tree}");
+        // The events nest under node.expand, which nests under query.
+        let node_rec = report
+            .records()
+            .iter()
+            .find(|r| r.name == "node.expand")
+            .unwrap();
+        let query_rec = report.records().iter().find(|r| r.name == "query").unwrap();
+        assert_eq!(node_rec.parent, query_rec.id);
+        for ev in report.records().iter().filter(|r| r.name == "prune.maxdom") {
+            assert_eq!(ev.parent, node_rec.id);
+        }
+    }
+
+    #[test]
+    fn worker_ids_make_merges_stable() {
+        let t = Tracer::new();
+        let query = t.begin("query");
+        t.set_scope(query.id());
+        std::thread::scope(|s| {
+            for w in 0..4usize {
+                let t = t.clone();
+                s.spawn(move || {
+                    let _scope = worker_scope(w);
+                    for _ in 0..5 {
+                        let span = t.begin("task");
+                        t.end(span);
+                    }
+                });
+            }
+        });
+        t.clear_scope();
+        t.end(query);
+        let report = t.drain();
+        assert_eq!(report.count_events("task"), 20);
+        // Records are sorted (worker, seq): per-worker seqs are 0..5 in
+        // order regardless of interleaving.
+        let mut per_worker: std::collections::BTreeMap<usize, Vec<u64>> = Default::default();
+        for r in report.records().iter().filter(|r| r.name == "task") {
+            per_worker
+                .entry(r.id.worker())
+                .or_default()
+                .push(r.id.seq());
+        }
+        assert_eq!(per_worker.len(), 4);
+        for (_, seqs) in per_worker {
+            assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn drain_resets_for_the_next_query() {
+        let t = Tracer::new();
+        let a = t.begin("query");
+        t.end(a);
+        assert_eq!(t.drain().records().len(), 1);
+        let b = t.begin("query");
+        t.end(b);
+        let report = t.drain();
+        assert_eq!(report.records().len(), 1);
+        assert_eq!(report.records()[0].id.seq(), 0, "seq resets per query");
+    }
+
+    #[test]
+    fn json_tree_round_trips_through_the_parser() {
+        let t = Tracer::new();
+        let q = t.begin("query");
+        t.set_scope(q.id());
+        t.event("exec.tasks_stolen", TracePayload::TaskStolen { victim: 2 });
+        t.clear_scope();
+        t.end(q);
+        let json = t.drain().to_json().render();
+        let parsed = JsonValue::parse(&json).expect("trace JSON must parse");
+        assert_eq!(parsed.get("spans").and_then(JsonValue::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(1_200_000_000), "1.20s");
+    }
+}

@@ -1,0 +1,132 @@
+//! The metrics-name lint: `wnsk_obs::names` and `docs/METRICS.md` must
+//! agree in both directions, so the reference cannot drift from the
+//! code. CI runs this as an explicit lint step
+//! (`cargo test -p wnsk-obs --test metrics_names`).
+
+use std::collections::BTreeSet;
+
+fn metrics_doc() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/METRICS.md");
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("docs/METRICS.md must exist next to the workspace: {e}"))
+}
+
+/// Strips the registration prefixes the pools/trees apply, mapping a
+/// documented name like `kcr.pool.physical_reads` back onto the
+/// canonical suffix `physical_reads`.
+fn canonical(doc_name: &str) -> &str {
+    for prefix in ["setr.pool.", "kcr.pool.", "setr.", "kcr."] {
+        if let Some(rest) = doc_name.strip_prefix(prefix) {
+            return rest;
+        }
+    }
+    doc_name
+}
+
+/// Backticked identifiers in the doc that look like metric names:
+/// lowercase segments joined by `.`/`_`, at least one letter, no
+/// spaces, not a CLI flag or file path.
+fn documented_metrics(doc: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for raw in doc.split('`').skip(1).step_by(2) {
+        let ok = !raw.is_empty()
+            && raw
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_')
+            && raw.chars().any(|c| c.is_ascii_lowercase())
+            && !raw.ends_with(".md")
+            && !raw.ends_with(".rs");
+        if ok {
+            out.insert(raw.to_owned());
+        }
+    }
+    out
+}
+
+#[test]
+fn every_canonical_name_is_documented() {
+    let doc = metrics_doc();
+    let missing: Vec<&str> = wnsk_obs::names::ALL
+        .iter()
+        .copied()
+        .filter(|name| !doc.contains(&format!("`{name}`")) && !documented_with_prefix(&doc, name))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "wnsk_obs::names constants absent from docs/METRICS.md: {missing:?}"
+    );
+}
+
+/// A suffix-style name (e.g. `physical_reads`) counts as documented if
+/// any prefixed form (e.g. `kcr.pool.physical_reads`) appears.
+fn documented_with_prefix(doc: &str, name: &str) -> bool {
+    ["setr.pool.", "kcr.pool.", "setr.", "kcr."]
+        .iter()
+        .any(|p| doc.contains(&format!("`{p}{name}`")))
+}
+
+#[test]
+fn every_documented_metric_is_a_canonical_name() {
+    let doc = metrics_doc();
+    let known: BTreeSet<&str> = wnsk_obs::names::ALL.iter().copied().collect();
+    let unknown: Vec<String> = documented_metrics(&doc)
+        .into_iter()
+        .filter(|m| {
+            let c = canonical(m);
+            // Words documented as prose (e.g. `count`, `total_ms` report
+            // fields) are exempted via an explicit allowlist; everything
+            // that *looks* like a registry metric must exist in names.
+            let is_metric_shaped = c.contains('.') || c.contains('_');
+            is_metric_shaped && !known.contains(c) && !ALLOWED_NON_METRICS.contains(&c)
+        })
+        .collect();
+    assert!(
+        unknown.is_empty(),
+        "docs/METRICS.md documents names missing from wnsk_obs::names \
+         (add the constant or extend ALLOWED_NON_METRICS): {unknown:?}"
+    );
+}
+
+/// Backticked identifiers in METRICS.md that are not registry metric
+/// names: report/JSON field names, CLI flag values, type names.
+const ALLOWED_NON_METRICS: &[&str] = &[
+    // QueryReport / snapshot JSON fields.
+    "algorithm",
+    "queries",
+    "wall_ms",
+    "phases",
+    "counters",
+    "timers",
+    "hists",
+    "count",
+    "total_ms",
+    "max_ms",
+    "total_nanoseconds",
+    "hit_ratio",
+    "time_ms",
+    "penalty",
+    "p50",
+    "p90",
+    "p99",
+    "sum",
+    "max",
+    // Flag/config identifiers discussed in prose.
+    "io_latency_us",
+    "trace_sample",
+    "metrics_export",
+    // API names discussed in prose.
+    "fetch_min",
+    "read_node",
+    "register_metrics",
+    "record_into",
+    "worker_scope",
+    "set_scope",
+    // Prometheus export series suffixes and sanitized sample names.
+    "_bucket",
+    "_sum",
+    "_count",
+    "_seconds_total",
+    "_max_seconds",
+    "wnsk_",
+    "wnsk_kcr_prune_maxdom",
+];

@@ -1,0 +1,146 @@
+//! Property-based coverage for the log-linear [`Hist`]: merge algebra,
+//! bucket boundary behaviour across the whole `u64` range, percentile
+//! monotonicity, and cumulativity of the exported Prometheus buckets.
+
+use proptest::prelude::*;
+use wnsk_obs::{prometheus_text, Hist, Registry};
+
+fn hist_of(samples: &[u64]) -> Hist {
+    let h = Hist::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// Samples spanning every regime: the exact region (<32), mid-range
+/// values, and the saturating top octaves.
+fn sample_value() -> impl Strategy<Value = u64> {
+    (any::<u64>(), 0u8..5).prop_map(|(v, kind)| match kind {
+        0 => v % 64,
+        1 => v % 1_000_000,
+        2 => u64::MAX,
+        3 => u64::MAX - (v % 3),
+        _ => v,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging snapshots in either order equals recording everything
+    /// into one histogram.
+    #[test]
+    fn merge_is_commutative_and_matches_combined(
+        xs in proptest::collection::vec(sample_value(), 0..100),
+        ys in proptest::collection::vec(sample_value(), 0..100),
+    ) {
+        let a = hist_of(&xs).snapshot();
+        let b = hist_of(&ys).snapshot();
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        let combined: Vec<u64> = xs.iter().chain(&ys).copied().collect();
+        prop_assert_eq!(&ab, &hist_of(&combined).snapshot());
+    }
+
+    /// Count and saturating sum are exact; the maximum is exact (not
+    /// bucket-rounded); percentiles bound the true max from above with
+    /// at most one sub-bucket (≤1/16) of relative rounding.
+    #[test]
+    fn totals_and_extremes_are_faithful(
+        xs in proptest::collection::vec(sample_value(), 1..100),
+    ) {
+        let s = hist_of(&xs).snapshot();
+        prop_assert_eq!(s.count, xs.len() as u64);
+        let true_sum = xs.iter().fold(0u64, |a, &v| a.saturating_add(v));
+        prop_assert_eq!(s.sum, true_sum);
+        let max = *xs.iter().max().unwrap();
+        prop_assert_eq!(s.max, max);
+        let p100 = s.percentile(100.0);
+        prop_assert!(p100 >= max);
+        prop_assert!(p100 <= max.saturating_add(max / 16 + 1));
+    }
+
+    /// percentile(p) is monotone non-decreasing in p.
+    #[test]
+    fn percentiles_are_monotone(
+        xs in proptest::collection::vec(sample_value(), 1..100),
+        pa in 0.0f64..100.0,
+        pb in 0.0f64..100.0,
+    ) {
+        let (p1, p2) = if pa <= pb { (pa, pb) } else { (pb, pa) };
+        let s = hist_of(&xs).snapshot();
+        prop_assert!(s.percentile(p1) <= s.percentile(p2));
+        prop_assert!(s.p50() <= s.p90());
+        prop_assert!(s.p90() <= s.p99());
+        prop_assert!(s.p99() <= s.percentile(100.0));
+    }
+
+    /// since() is the inverse of recording more samples.
+    #[test]
+    fn since_isolates_the_delta(
+        xs in proptest::collection::vec(sample_value(), 0..50),
+        ys in proptest::collection::vec(sample_value(), 0..50),
+    ) {
+        let h = hist_of(&xs);
+        let before = h.snapshot();
+        for &v in &ys {
+            h.record(v);
+        }
+        let delta = h.snapshot().since(&before);
+        prop_assert_eq!(delta.count, ys.len() as u64);
+        // The sum identity only holds while the accumulator has not
+        // saturated (saturation deliberately loses delta information).
+        let total: u128 = xs.iter().chain(&ys).map(|&v| v as u128).sum();
+        if total < u64::MAX as u128 {
+            prop_assert_eq!(delta.sum, ys.iter().copied().sum::<u64>());
+        }
+        // Bucket-for-bucket the delta matches a fresh recording of ys
+        // (max differs: it cannot be un-merged, so since() keeps the
+        // later max).
+        let fresh = hist_of(&ys).snapshot();
+        let deltas: Vec<_> = delta.nonzero_buckets().collect();
+        let freshs: Vec<_> = fresh.nonzero_buckets().collect();
+        prop_assert_eq!(deltas, freshs);
+    }
+
+    /// The exported Prometheus buckets are cumulative, their le bounds
+    /// strictly increase, and `+Inf` equals `_count`.
+    #[test]
+    fn prometheus_buckets_are_cumulative(
+        xs in proptest::collection::vec(sample_value(), 0..100),
+    ) {
+        let r = Registry::new();
+        let h = r.hist("lat_ns");
+        for &v in &xs {
+            h.record(v);
+        }
+        let text = prometheus_text(&r.snapshot());
+        let mut prev_le = -1.0f64;
+        let mut prev_cum = 0u64;
+        let mut inf = None;
+        for line in text.lines() {
+            let Some(rest) = line.strip_prefix("wnsk_lat_ns_bucket{le=\"") else {
+                continue;
+            };
+            let (le, rest) = rest.split_once('"').unwrap();
+            let cum: u64 = rest.trim_start_matches('}').trim().parse().unwrap();
+            prop_assert!(cum >= prev_cum, "buckets must be cumulative: {line}");
+            prev_cum = cum;
+            if le == "+Inf" {
+                inf = Some(cum);
+            } else {
+                let le: f64 = le.parse().unwrap();
+                prop_assert!(le > prev_le, "le must increase: {line}");
+                prev_le = le;
+            }
+        }
+        prop_assert_eq!(inf, Some(xs.len() as u64));
+        prop_assert!(text.contains("wnsk_lat_ns_sum "));
+        let count_line = format!("wnsk_lat_ns_count {}", xs.len());
+        prop_assert!(text.contains(&count_line));
+    }
+}

@@ -157,6 +157,22 @@ impl BufferPool {
         pool
     }
 
+    /// [`BufferPool::new_registered`] plus a [`wnsk_obs::Tracer`]: cache
+    /// hits become `pool.cache_hit` events and misses become `pool.read`
+    /// spans (covering the backend fetch, verification, and any retry
+    /// backoff), attributed to the worker that issued the read.
+    pub fn new_instrumented(
+        backend: Arc<dyn StorageBackend>,
+        config: BufferPoolConfig,
+        registry: &wnsk_obs::Registry,
+        prefix: &str,
+        tracer: wnsk_obs::Tracer,
+    ) -> Self {
+        let mut pool = Self::new_registered(backend, config, registry, prefix);
+        pool.stats.set_tracer(tracer);
+        pool
+    }
+
     #[inline]
     fn shard(&self, id: PageId) -> &Shard {
         // Fibonacci hashing spreads sequential page ids across shards.
@@ -219,11 +235,19 @@ impl BufferPool {
         let shard = self.shard(id);
         let mut cache = shard.cache.lock();
         if let Some(bytes) = cache.get(&id) {
+            self.stats.trace_cache_hit();
             return Ok(bytes.clone());
         }
         // Miss: fetch under the lock so concurrent readers of the same page
-        // do not duplicate the physical read.
-        let bytes = self.with_retries(|| self.fetch_verified(id))?;
+        // do not duplicate the physical read. The latency histogram covers
+        // the whole miss (fetch + verification + retry backoff), which is
+        // what a caller actually waits for.
+        let span = self.stats.tracer().begin("pool.read");
+        let started = std::time::Instant::now();
+        let result = self.with_retries(|| self.fetch_verified(id));
+        self.stats.record_read_latency(started.elapsed());
+        self.stats.tracer().end(span);
+        let bytes = result?;
         self.stats.record_physical_read();
         cache.insert(id, bytes.clone());
         Ok(bytes)
@@ -492,6 +516,61 @@ mod tests {
         assert_eq!(p.backoff(2), Duration::from_micros(200));
         assert_eq!(p.backoff(3), Duration::from_micros(400));
         assert_eq!(p.backoff(9), Duration::from_millis(1), "capped");
+    }
+
+    #[test]
+    fn instrumented_pool_traces_hits_and_times_misses() {
+        let registry = wnsk_obs::Registry::new();
+        let tracer = wnsk_obs::Tracer::new();
+        let backend = Arc::new(MemBackend::new());
+        let pool = BufferPool::new_instrumented(
+            backend,
+            BufferPoolConfig::default(),
+            &registry,
+            "setr.pool.",
+            tracer.clone(),
+        );
+        let id = pool.allocate().unwrap();
+        pool.write(id, b"observed").unwrap();
+        pool.clear_cache();
+        pool.read(id).unwrap(); // miss
+        pool.read(id).unwrap(); // hit
+        pool.read(id).unwrap(); // hit
+        let report = tracer.drain();
+        assert_eq!(report.count_events("pool.cache_hit"), 2);
+        let miss_spans = report
+            .records()
+            .iter()
+            .filter(|r| r.name == "pool.read" && !r.is_event())
+            .count();
+        assert_eq!(miss_spans, 1);
+        let snap = registry.snapshot();
+        let lat = snap.hist("setr.pool.read_latency_ns").unwrap();
+        assert_eq!(lat.count, 1);
+        assert!(lat.sum > 0, "a physical read takes measurable time");
+    }
+
+    #[test]
+    fn backoff_sleeps_feed_the_backoff_histogram() {
+        let registry = wnsk_obs::Registry::new();
+        let inner = MemBackend::new();
+        let plan = FaultPlan::new(19).with_scripted(2, FaultKind::TransientError);
+        let fb = Arc::new(FaultBackend::new(inner, plan));
+        let pool =
+            BufferPool::new_registered(fb, BufferPoolConfig::default(), &registry, "kcr.pool.");
+        let id = pool.allocate().unwrap();
+        pool.write(id, b"slow lane").unwrap(); // op 0
+        pool.clear_cache();
+        pool.read(id).unwrap(); // op 1 clean miss
+        pool.clear_cache();
+        pool.read(id).unwrap(); // op 2 faults → one backoff sleep
+        let snap = registry.snapshot();
+        let backoff = snap.hist("kcr.pool.retry_backoff_ns").unwrap();
+        assert_eq!(backoff.count, 1);
+        // The histogram and the legacy counter record the same nanoseconds.
+        assert_eq!(backoff.sum, snap.counter("kcr.pool.retry_backoff_nanos"));
+        let lat = snap.hist("kcr.pool.read_latency_ns").unwrap();
+        assert_eq!(lat.count, 2, "both misses were timed");
     }
 
     #[test]

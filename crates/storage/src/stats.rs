@@ -1,4 +1,4 @@
-use wnsk_obs::{names, Counter, Registry};
+use wnsk_obs::{names, Counter, Hist, Registry, TracePayload, Tracer};
 
 /// Shared, thread-safe I/O counters.
 ///
@@ -19,6 +19,9 @@ pub struct IoStats {
     retries_exhausted: Counter,
     retry_backoff_nanos: Counter,
     checksum_failures: Counter,
+    read_latency: Hist,
+    retry_backoff: Hist,
+    tracer: Tracer,
 }
 
 impl IoStats {
@@ -59,6 +62,25 @@ impl IoStats {
             &format!("{prefix}{}", names::CHECKSUM_FAILURES),
             self.checksum_failures.clone(),
         );
+        self.read_latency = registry.register_hist(
+            &format!("{prefix}{}", names::READ_LATENCY_NS),
+            self.read_latency.clone(),
+        );
+        self.retry_backoff = registry.register_hist(
+            &format!("{prefix}{}", names::RETRY_BACKOFF_NS),
+            self.retry_backoff.clone(),
+        );
+    }
+
+    /// Attaches a tracer: cache hits and physical reads emit trace
+    /// events/spans attributed to the executing worker.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer ([`Tracer::off`] unless installed).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     #[inline]
@@ -89,6 +111,23 @@ impl IoStats {
     #[inline]
     pub(crate) fn record_backoff(&self, slept: std::time::Duration) {
         self.retry_backoff_nanos.add(slept.as_nanos() as u64);
+        self.retry_backoff.record_duration(slept);
+    }
+
+    /// Records one pool-miss latency (backend fetch + verification,
+    /// including any simulated I/O wait).
+    #[inline]
+    pub(crate) fn record_read_latency(&self, elapsed: std::time::Duration) {
+        self.read_latency.record_duration(elapsed);
+    }
+
+    /// Emits a `CacheHit` trace event (hit counts are derivable as
+    /// `logical_reads - physical_reads`, so there is no counter).
+    #[inline]
+    pub(crate) fn trace_cache_hit(&self) {
+        if self.tracer.is_on() {
+            self.tracer.event("pool.cache_hit", TracePayload::CacheHit);
+        }
     }
 
     #[inline]
