@@ -158,10 +158,133 @@ pub fn run_bench_full(cfg: &XpConfig) -> BenchOutcome {
         rows.push(measure_row(&bed, &kcr, &qs, "sweep", threads));
         threads *= 2;
     }
+
+    // The serving layer, end to end and in-process: a warm server, one
+    // sequential client, every query issued cold then warm. Sequential
+    // submission makes the service counters (accepted / cache hits /
+    // misses) exactly deterministic, and the why-not penalties are the
+    // solver's own, so the gate catches both protocol-level and
+    // cache-consistency regressions.
+    rows.push(serve_row(cfg));
+
     BenchOutcome {
         metrics: bed.registry().snapshot(),
         rows,
     }
+}
+
+/// The in-process serving-layer row: `serve/session/t=2`.
+fn serve_row(cfg: &XpConfig) -> BenchRow {
+    use wnsk_index::{ObjectId, SpatialKeywordQuery};
+    use wnsk_serve::{client, Client, Server, ServerConfig};
+    use wnsk_text::KeywordSet;
+
+    const K: usize = 10;
+    let g = wnsk_data::generate(&DatasetSpec::euro_like(cfg.scale));
+    let engine = wnsk_core::WhyNotEngine::build_in_memory(g.dataset)
+        .expect("bench dataset builds")
+        .with_vocabulary(g.vocabulary);
+    let handle = Server::start(
+        engine,
+        ServerConfig {
+            threads: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bench server binds a loopback port");
+
+    // Deterministic request lines drawn from real objects; every third
+    // step also asks the matching why-not question for an object picked
+    // by brute-force ranking to sit strictly below the top-K.
+    let ds = handle.serve_engine().engine().dataset();
+    let vocab = handle
+        .serve_engine()
+        .engine()
+        .vocabulary()
+        .expect("bench engine has a vocabulary");
+    let mut lines = Vec::new();
+    for i in 0..cfg.queries.max(1) {
+        let o = ds.object(ObjectId(((i * 97 + 13) % ds.len()) as u32));
+        let at = wnsk_serve::cache::canonical_point(o.loc);
+        let terms: Vec<_> = o.doc.iter().take(2).collect();
+        let names: Vec<&str> = terms.iter().filter_map(|&t| vocab.name(t)).collect();
+        if names.is_empty() {
+            continue;
+        }
+        lines.push(client::topk_line((at.x, at.y), &names, K, 0.5));
+        let query =
+            SpatialKeywordQuery::new(at, KeywordSet::from_ids(terms.iter().map(|t| t.0)), K, 0.5);
+        let mut scored: Vec<(ObjectId, f64)> = ds
+            .objects()
+            .iter()
+            .map(|obj| (obj.id, ds.score(obj, &query)))
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let kth = scored[K - 1].1;
+        if let Some(&(missing, _)) = scored[K..(K + 20).min(scored.len())]
+            .iter()
+            .find(|&&(_, s)| s < kth)
+        {
+            lines.push(client::whynot_line(
+                (at.x, at.y),
+                &names,
+                K,
+                0.5,
+                &[missing.0],
+                0.5,
+                None,
+            ));
+        }
+    }
+
+    let mut conn = Client::connect(handle.addr()).expect("bench client connects");
+    let mut penalties = Vec::new();
+    let mut requests = 0u32;
+    let started = std::time::Instant::now();
+    for _pass in 0..2 {
+        for line in &lines {
+            let doc = conn.call_json(line).expect("bench request answered");
+            assert_eq!(
+                doc.get("ok"),
+                Some(&JsonValue::Bool(true)),
+                "bench serve session must answer every request: {doc:?}"
+            );
+            requests += 1;
+            if doc.get("type").and_then(JsonValue::as_str) == Some("whynot") {
+                let p = doc
+                    .get("refined")
+                    .and_then(|r| r.get("penalty"))
+                    .and_then(JsonValue::as_f64)
+                    .expect("whynot answers carry a penalty");
+                penalties.push(p);
+            }
+        }
+    }
+    let time_ms = started.elapsed().as_secs_f64() * 1e3 / f64::from(requests.max(1));
+
+    let snap = handle.registry().snapshot();
+    let row = BenchRow {
+        id: "serve/session/t=2".into(),
+        threads: 2,
+        time_ms,
+        penalty: penalties.iter().sum::<f64>() / penalties.len().max(1) as f64,
+        work: vec![
+            (
+                "accepted",
+                snap.counter(wnsk_obs::names::SERVE_ACCEPTED) as f64,
+            ),
+            (
+                "cache_hits",
+                snap.counter(wnsk_obs::names::SERVE_CACHE_HITS) as f64,
+            ),
+            (
+                "cache_misses",
+                snap.counter(wnsk_obs::names::SERVE_CACHE_MISSES) as f64,
+            ),
+        ],
+    };
+    handle.shutdown();
+    row
 }
 
 fn measure_row(

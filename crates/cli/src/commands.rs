@@ -12,6 +12,7 @@ use wnsk_core::{
 use wnsk_data::{io as dataio, DatasetSpec};
 use wnsk_index::{Dataset, KcrTree, ObjectId, SetRTree, SpatialKeywordQuery};
 use wnsk_obs::{QueryReport, Registry, Snapshot, Tracer};
+use wnsk_serve::{LoadgenConfig, Server, ServerConfig};
 use wnsk_storage::{BufferPool, BufferPoolConfig, FileBackend};
 use wnsk_text::{KeywordSet, Vocabulary};
 
@@ -441,6 +442,162 @@ pub fn whynot(args: &ParsedArgs) -> Result<String, String> {
         );
     }
     Ok(out)
+}
+
+/// Builds the warm in-memory engine `wnsk serve` runs on.
+fn build_serve_engine(args: &ParsedArgs) -> Result<wnsk_core::WhyNotEngine, String> {
+    let (ds, vocab) = load_dataset(args)?;
+    Ok(wnsk_core::WhyNotEngine::build_in_memory(ds)
+        .map_err(|e| format!("building indexes: {e}"))?
+        .with_vocabulary(vocab))
+}
+
+/// `wnsk serve` — run the embedded query-serving layer over a dataset.
+pub fn serve(args: &ParsedArgs) -> Result<String, String> {
+    let engine = build_serve_engine(args)?;
+    let objects = engine.dataset().len();
+    let config = ServerConfig {
+        addr: args.optional("addr").unwrap_or("127.0.0.1:0").to_string(),
+        threads: args.parse_or("threads", 2usize)?.max(1),
+        queue_depth: args.parse_or("queue-depth", 64usize)?.max(1),
+        cache_entries: args.parse_or("cache-entries", 256usize)?.max(1),
+        worker_delay: std::time::Duration::from_millis(args.parse_or("worker-delay-ms", 0u64)?),
+    };
+    let duration_ms: u64 = args.parse_or("duration-ms", 0)?;
+    let export_target = args.optional("metrics-export").map(ExportTarget::parse);
+
+    let handle =
+        Server::start(engine, config.clone()).map_err(|e| format!("starting server: {e}"))?;
+    let addr = handle.addr();
+    if let Some(path) = args.optional("addr-file") {
+        std::fs::write(path, addr.to_string()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    // The banner goes to stderr so scripted clients can treat stdout as
+    // the run summary.
+    eprintln!(
+        "wnsk-serve listening on {addr} ({objects} objects, {} threads, queue depth {}, cache {})",
+        config.threads, config.queue_depth, config.cache_entries
+    );
+    if duration_ms == 0 {
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(std::time::Duration::from_millis(duration_ms));
+
+    let snapshot = handle.registry().snapshot();
+    let counter = |name| snapshot.counter(name);
+    let mut out = format!(
+        "served {addr} for {duration_ms} ms: accepted {}, shed {}, cache {} hits / {} misses\n",
+        counter(wnsk_obs::names::SERVE_ACCEPTED),
+        counter(wnsk_obs::names::SERVE_SHED),
+        counter(wnsk_obs::names::SERVE_CACHE_HITS),
+        counter(wnsk_obs::names::SERVE_CACHE_MISSES),
+    );
+    if let Some(target) = &export_target {
+        out.push_str(&export::export(&snapshot, target).map_err(|e| e.to_string())?);
+    }
+    handle.shutdown();
+    Ok(out)
+}
+
+/// Builds a deterministic request-line pool for `wnsk loadgen`: query
+/// locations and keywords are sampled from real objects (so top-k
+/// answers are non-trivial), and every fourth entry is a why-not
+/// question whose missing object is picked by brute-force ranking to be
+/// genuinely outside the top-k *of the canonicalized query* — the same
+/// query the server executes after snapping.
+fn build_loadgen_pool(
+    ds: &Dataset,
+    vocab: &Vocabulary,
+    pool_size: usize,
+    k: usize,
+    alpha: f64,
+    lambda: f64,
+    seed: u64,
+) -> Vec<String> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pool = Vec::with_capacity(pool_size);
+    for i in 0..pool_size {
+        let o = ds.object(ObjectId(rng.gen_range(0..ds.len() as u32)));
+        let at = wnsk_serve::cache::canonical_point(o.loc);
+        let terms: Vec<_> = o.doc.iter().collect();
+        let take = rng.gen_range(1..=terms.len().min(2));
+        let names: Vec<&str> = terms[..take]
+            .iter()
+            .filter_map(|&t| vocab.name(t))
+            .collect();
+        if names.is_empty() {
+            continue;
+        }
+        if i % 4 == 3 {
+            let ids = terms[..take].iter().map(|t| t.0);
+            let query = SpatialKeywordQuery::new(at, KeywordSet::from_ids(ids), k, alpha);
+            let mut scored: Vec<(ObjectId, f64)> = ds
+                .objects()
+                .iter()
+                .map(|obj| (obj.id, ds.score(obj, &query)))
+                .collect();
+            scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+            let kth = scored.get(k.saturating_sub(1)).map(|&(_, s)| s);
+            let candidate = kth.and_then(|kth_score| {
+                scored[k..(k + 10).min(scored.len())]
+                    .iter()
+                    .find(|&&(_, s)| s < kth_score)
+                    .map(|&(id, _)| id)
+            });
+            if let Some(missing) = candidate {
+                pool.push(wnsk_serve::client::whynot_line(
+                    (at.x, at.y),
+                    &names,
+                    k,
+                    alpha,
+                    &[missing.0],
+                    lambda,
+                    None,
+                ));
+                continue;
+            }
+        }
+        pool.push(wnsk_serve::client::topk_line(
+            (at.x, at.y),
+            &names,
+            k,
+            alpha,
+        ));
+    }
+    pool
+}
+
+/// `wnsk loadgen` — closed-loop load generation against a running
+/// server.
+pub fn loadgen(args: &ParsedArgs) -> Result<String, String> {
+    let addr = args.required("addr")?.to_string();
+    let (ds, vocab) = load_dataset(args)?;
+    let k: usize = args.parse_or("k", 5)?;
+    let alpha: f64 = args.parse_or("alpha", 0.5)?;
+    let lambda: f64 = args.parse_or("lambda", 0.5)?;
+    let pool_size: usize = args.parse_or("pool", 32)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    if k == 0 || pool_size == 0 {
+        return Err("--k and --pool must be at least 1".into());
+    }
+    let pool = build_loadgen_pool(&ds, &vocab, pool_size, k, alpha, lambda, seed);
+    if pool.is_empty() {
+        return Err("query pool came out empty — dataset too small?".into());
+    }
+    let config = LoadgenConfig {
+        addr,
+        connections: args.parse_or("connections", 4usize)?.max(1),
+        requests: args.parse_or("requests", 200usize)?,
+        target_qps: args.parse_or("qps", 0.0f64)?,
+        zipf_exponent: args.parse_or("zipf", 1.0f64)?,
+        seed,
+    };
+    let report = wnsk_serve::loadgen::run(&config, &pool).map_err(|e| format!("loadgen: {e}"))?;
+    Ok(format!("{}\n", report.render()))
 }
 
 #[cfg(test)]
@@ -876,6 +1033,169 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("not in the dataset vocabulary"), "{err}");
         for f in [&data, &setr, &kcr] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    /// End-to-end `wnsk serve` + `wnsk loadgen`: the server comes up,
+    /// answers a scripted session identically to the one-shot CLI,
+    /// sustains a load-generation run without errors, and its run
+    /// summary reports cache hits plus the Prometheus `serve.*` family.
+    #[test]
+    fn serve_and_loadgen_session() {
+        use wnsk_obs::JsonValue;
+
+        let data = tmp("serve-data.txt");
+        run(&[
+            "generate", "--preset", "tiny", "--scale", "1.0", "--out", &data, "--seed", "7",
+        ])
+        .unwrap();
+        let (_, vocab) = {
+            let file = std::fs::File::open(&data).unwrap();
+            wnsk_data::io::read_dataset(std::io::BufReader::new(file)).unwrap()
+        };
+        let keywords = format!(
+            "{},{}",
+            vocab.name(wnsk_text::TermId(0)).unwrap(),
+            vocab.name(wnsk_text::TermId(1)).unwrap()
+        );
+        let kw: Vec<&str> = keywords.split(',').collect();
+
+        let addr_file = tmp("serve-addr.txt");
+        std::fs::remove_file(&addr_file).ok();
+        let server = {
+            let data = data.clone();
+            let addr_file = addr_file.clone();
+            std::thread::spawn(move || {
+                run(&[
+                    "serve",
+                    "--data",
+                    &data,
+                    "--duration-ms",
+                    "8000",
+                    "--addr-file",
+                    &addr_file,
+                    "--threads",
+                    "2",
+                    "--metrics-export",
+                    "-",
+                ])
+            })
+        };
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        let addr = loop {
+            if let Ok(s) = std::fs::read_to_string(&addr_file) {
+                if !s.is_empty() {
+                    break s;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "server never published its address"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+
+        // Scripted session: deep top-k to find a genuinely missing
+        // object, then warm why-not.
+        let mut client = wnsk_serve::Client::connect(&addr).unwrap();
+        let deep = client
+            .call_json(&wnsk_serve::client::topk_line((0.5, 0.25), &kw, 12, 0.5))
+            .unwrap();
+        assert_eq!(deep.get("ok"), Some(&JsonValue::Bool(true)), "{deep:?}");
+        let results = deep.get("results").and_then(|v| v.as_array()).unwrap();
+        assert!(results.len() >= 7, "need rank depth to pick a missing id");
+        let missing = results[5].get("object").and_then(|v| v.as_f64()).unwrap() as u32;
+
+        let wn_line =
+            wnsk_serve::client::whynot_line((0.5, 0.25), &kw, 3, 0.5, &[missing], 0.5, None);
+        let served = client.call_json(&wn_line).unwrap();
+        assert_eq!(served.get("ok"), Some(&JsonValue::Bool(true)), "{served:?}");
+        let served_penalty = served
+            .get("refined")
+            .and_then(|r| r.get("penalty"))
+            .and_then(|v| v.as_f64())
+            .unwrap();
+        let served_k = served
+            .get("refined")
+            .and_then(|r| r.get("k"))
+            .and_then(|v| v.as_f64())
+            .unwrap() as usize;
+        // Warm repeat: answer unchanged, rank reused from the cache.
+        let warm = client.call_json(&wn_line).unwrap();
+        assert_eq!(warm.get("rank_reused"), Some(&JsonValue::Bool(true)));
+        assert_eq!(
+            warm.get("refined")
+                .and_then(|r| r.get("penalty"))
+                .and_then(|v| v.as_f64())
+                .map(f64::to_bits),
+            Some(served_penalty.to_bits()),
+            "warm answer must be bit-identical"
+        );
+
+        // One-shot CLI over file-backed indexes answers the same
+        // question with the same refined query.
+        let setr = tmp("serve-setr.db");
+        let kcr = tmp("serve-kcr.db");
+        run(&["build", "--data", &data, "--setr", &setr, "--kcr", &kcr]).unwrap();
+        let oneshot = run(&[
+            "whynot",
+            "--data",
+            &data,
+            "--setr",
+            &setr,
+            "--kcr",
+            &kcr,
+            "--at",
+            "0.5,0.25",
+            "--keywords",
+            &keywords,
+            "--missing",
+            &missing.to_string(),
+            "--k",
+            "3",
+        ])
+        .unwrap();
+        assert!(
+            oneshot.contains(&format!("penalty {served_penalty:.4}")),
+            "one-shot CLI and warm server disagree: served {served_penalty}, cli:\n{oneshot}"
+        );
+        assert!(oneshot.contains(&format!("k' = {served_k}")), "{oneshot}");
+
+        // Load generation against the same server: no errors, and the
+        // zipfian repeats should land cache hits.
+        let report = run(&[
+            "loadgen",
+            "--addr",
+            &addr,
+            "--data",
+            &data,
+            "--connections",
+            "2",
+            "--requests",
+            "40",
+            "--pool",
+            "12",
+            "--seed",
+            "3",
+        ])
+        .unwrap();
+        assert!(report.contains("loadgen: 40 requests"), "{report}");
+        assert!(report.contains("errors 0"), "{report}");
+
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("accepted"), "{summary}");
+        assert!(summary.contains("wnsk_serve_accepted"), "{summary}");
+        assert!(summary.contains("wnsk_serve_cache_hits"), "{summary}");
+        let hits: u64 = summary
+            .lines()
+            .find(|l| l.starts_with("wnsk_serve_cache_hits "))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap();
+        assert!(hits > 0, "warm session must hit the cache:\n{summary}");
+
+        for f in [&data, &setr, &kcr, &addr_file] {
             std::fs::remove_file(f).ok();
         }
     }

@@ -15,7 +15,20 @@
 //!               [--metrics] [--explain[=tree|json]] [--trace-sample N]
 //!               [--metrics-export PATH|-]
 //!               [--deadline-ms N] [--max-page-reads N]
+//! wnsk serve    --data data.txt [--addr HOST:PORT] [--threads N]
+//!               [--queue-depth N] [--cache-entries N] [--duration-ms N]
+//!               [--worker-delay-ms N] [--addr-file PATH]
+//!               [--metrics-export PATH|-]
+//! wnsk loadgen  --addr HOST:PORT --data data.txt [--connections N]
+//!               [--requests N] [--qps Q] [--zipf S] [--pool N]
+//!               [--k N] [--alpha A] [--seed N]
 //! ```
+//!
+//! `serve` runs the embedded query-serving layer of [`wnsk_serve`]: a
+//! warm engine behind a newline-delimited-JSON TCP endpoint with a
+//! bounded admission queue and a cross-query answer cache. `loadgen` is
+//! its closed-loop benchmark client (zipfian query mix, target QPS,
+//! latency percentiles).
 //!
 //! `--metrics` appends the unified observability report: per-phase wall
 //! time, SetR/KcR node visits, Theorem 2/3 prune counts, and buffer-pool
@@ -52,6 +65,11 @@ commands:
             [--explain[=tree|json]] [--trace-sample N]
             [--metrics-export PATH|-]
             [--deadline-ms N] [--max-page-reads N]
+  serve     --data FILE [--addr HOST:PORT] [--threads N] [--queue-depth N]
+            [--cache-entries N] [--duration-ms N] [--worker-delay-ms N]
+            [--addr-file PATH] [--metrics-export PATH|-]
+  loadgen   --addr HOST:PORT --data FILE [--connections N] [--requests N]
+            [--qps Q] [--zipf S] [--pool N] [--k N] [--alpha A] [--seed N]
 
 --metrics appends the per-query observability report (phase wall times,
 node visits, prune counts, buffer-pool I/O).
@@ -78,6 +96,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "build" => commands::build(&parsed),
         "topk" => commands::topk(&parsed),
         "whynot" => commands::whynot(&parsed),
+        "serve" => commands::serve(&parsed),
+        "loadgen" => commands::loadgen(&parsed),
         other => Err(format!("unknown command '{other}'")),
     }
 }

@@ -64,6 +64,14 @@ pub struct KcrOptions {
     /// Resource limits; on exhaustion the solver degrades to the
     /// in-memory approximate fallback instead of running to completion.
     pub budget: QueryBudget,
+    /// A precomputed initial rank `R(M, q₀)` (Algorithm 4 line 1). When
+    /// set, the initial-rank phase is skipped entirely — the serving
+    /// layer supplies this from its cross-query answer cache, where the
+    /// rank is derived from a cached top-k list containing every missing
+    /// object. The hint must equal the exact rank the scan would produce
+    /// (strict dominators + 1); it is still validated against `k`
+    /// ([`crate::WhyNotError::NotMissing`] on a rank ≤ k).
+    pub initial_rank_hint: Option<usize>,
 }
 
 impl Default for KcrOptions {
@@ -72,6 +80,7 @@ impl Default for KcrOptions {
             threads: 1,
             batch_size: 64,
             budget: QueryBudget::unlimited(),
+            initial_rank_hint: None,
         }
     }
 }
@@ -154,7 +163,9 @@ fn run_inner(
         .collect();
     let rank_span = tracer.begin("phase.initial_rank");
     tracer.set_scope(rank_span.id());
-    let outcome = if exec.threads() > 1 {
+    let outcome = if let Some(rank) = opts.initial_rank_hint {
+        SetRankOutcome::Exact { rank }
+    } else if exec.threads() > 1 {
         count::parallel_rank(
             tree,
             &exec,
@@ -353,6 +364,7 @@ fn run_inner(
         bound_refreshes: totals.bound_refreshes,
         prune_hits: totals.prune_hits,
         workers: metrics.per_worker(),
+        initial_rank: initial_rank as u64,
         phase_initial_rank,
         phase_enumeration,
         phase_verification: verification_started.elapsed(),

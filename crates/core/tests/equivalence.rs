@@ -486,3 +486,60 @@ fn kcr_batch_size_does_not_change_the_answer() {
         );
     }
 }
+
+#[test]
+fn kcr_initial_rank_hint_is_bit_identical_to_the_scan() {
+    // The serving layer derives R(M, q) from cached top-k lists and
+    // passes it back as `initial_rank_hint`; a correct hint must not
+    // change the answer in any observable way.
+    let mut checked = 0;
+    for seed in 0..12u64 {
+        let Some((engine, question)) = setup(seed, 250, 25, 5, 1) else {
+            continue;
+        };
+        let scanned = answer_kcr(
+            engine.dataset(),
+            engine.kcr(),
+            &question,
+            KcrOptions::default(),
+        )
+        .unwrap();
+        assert!(scanned.stats.initial_rank > question.query.k as u64);
+        let hinted = answer_kcr(
+            engine.dataset(),
+            engine.kcr(),
+            &question,
+            KcrOptions {
+                initial_rank_hint: Some(scanned.stats.initial_rank as usize),
+                ..KcrOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            scanned.refined.penalty.to_bits(),
+            hinted.refined.penalty.to_bits()
+        );
+        assert_eq!(scanned.refined.doc, hinted.refined.doc);
+        assert_eq!(scanned.refined.k, hinted.refined.k);
+        assert_eq!(scanned.refined.edit_distance, hinted.refined.edit_distance);
+        assert_eq!(scanned.stats.initial_rank, hinted.stats.initial_rank);
+        checked += 1;
+    }
+    assert!(checked >= 8, "too few usable seeds ({checked})");
+}
+
+#[test]
+fn kcr_rejects_a_hint_that_contradicts_missingness() {
+    let (engine, question) = setup(17, 250, 25, 5, 1).expect("seed 17 must be usable");
+    let err = answer_kcr(
+        engine.dataset(),
+        engine.kcr(),
+        &question,
+        KcrOptions {
+            initial_rank_hint: Some(question.query.k), // rank ≤ k: not missing
+            ..KcrOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(err, WhyNotError::NotMissing { .. }));
+}

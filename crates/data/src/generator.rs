@@ -48,7 +48,12 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedData {
     // Synthetic vocabulary: pseudo-words, rank order = popularity order.
     let mut vocabulary = Vocabulary::new();
     for i in 0..spec.vocab_size {
-        vocabulary.intern(&synthetic_word(i));
+        // Bounded by spec.vocab_size, which the asserts above keep sane;
+        // synthetic generation is the one caller allowed to treat overflow
+        // as a programming error.
+        vocabulary
+            .intern(&synthetic_word(i))
+            .expect("synthetic vocabulary fits in u32 term ids");
     }
 
     // Cluster centers ("cities").

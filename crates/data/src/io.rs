@@ -77,8 +77,13 @@ pub fn read_dataset<R: BufRead>(reader: R) -> Result<(Dataset, Vocabulary), Pars
         let terms: Vec<_> = words
             .split(',')
             .filter(|w| !w.is_empty())
-            .map(|w| vocab.intern(w))
-            .collect();
+            .map(|w| {
+                vocab.intern(w).map_err(|e| ParseError::Malformed {
+                    line: line_no,
+                    reason: e.to_string(),
+                })
+            })
+            .collect::<Result<_, _>>()?;
         if terms.is_empty() {
             return Err(ParseError::Malformed {
                 line: line_no,

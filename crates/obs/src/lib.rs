@@ -124,6 +124,22 @@ pub mod names {
     pub const PHASE_NS_ENUMERATION: &str = "core.phase_ns.enumeration";
     /// Histogram of verification phase latencies, nanoseconds per query.
     pub const PHASE_NS_VERIFICATION: &str = "core.phase_ns.verification";
+    /// Requests admitted past the serving layer's bounded queue.
+    pub const SERVE_ACCEPTED: &str = "serve.accepted";
+    /// Requests shed by admission control (queue full, or the deadline
+    /// expired before a worker picked the request up).
+    pub const SERVE_SHED: &str = "serve.shed";
+    /// Requests answered from the cross-query answer cache, including
+    /// why-not requests whose initial rank `R(M,q)` was reused from a
+    /// cached rank list.
+    pub const SERVE_CACHE_HITS: &str = "serve.cache_hits";
+    /// Cacheable requests that had to be computed from the indexes.
+    pub const SERVE_CACHE_MISSES: &str = "serve.cache_misses";
+    /// Histogram of the request-queue depth observed at each admission.
+    pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+    /// Histogram of end-to-end request latencies (enqueue to response),
+    /// nanoseconds.
+    pub const SERVE_REQUEST_NS: &str = "serve.request_ns";
 
     /// Every canonical name, for the docs/METRICS.md lint: the test in
     /// `tests/metrics_names.rs` fails when this list and the reference
@@ -158,5 +174,11 @@ pub mod names {
         PHASE_NS_INITIAL_RANK,
         PHASE_NS_ENUMERATION,
         PHASE_NS_VERIFICATION,
+        SERVE_ACCEPTED,
+        SERVE_SHED,
+        SERVE_CACHE_HITS,
+        SERVE_CACHE_MISSES,
+        SERVE_QUEUE_DEPTH,
+        SERVE_REQUEST_NS,
     ];
 }

@@ -1,0 +1,154 @@
+//! Property-based coverage for the hand-rolled [`JsonValue`]
+//! parser/renderer pair, which carries the serving layer's wire
+//! protocol, the bench-gate baselines and the `--explain=json` output:
+//! arbitrary finite documents must round-trip losslessly, numbers
+//! bit-identically, and the parser must reject trailing garbage.
+//!
+//! The vendored proptest shim has no recursive/regex strategies, so
+//! documents are grown by a deterministic splitmix64 expansion of a
+//! single `u64` seed — every case is still fully reproducible.
+
+use proptest::prelude::*;
+use wnsk_obs::JsonValue;
+
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Characters that exercise every rendering path: plain ASCII, the two
+/// mandatory escapes, control characters (`\u` escapes), multi-byte
+/// UTF-8 and an astral-plane scalar.
+const CHAR_POOL: &[char] = &[
+    'a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{1}', '\u{1f}', '\u{7f}', 'é', 'π',
+    '💧', '{', '[', ':', ',',
+];
+
+fn gen_string(state: &mut u64) -> String {
+    let len = (next(state) % 9) as usize;
+    (0..len)
+        .map(|_| CHAR_POOL[(next(state) as usize) % CHAR_POOL.len()])
+        .collect()
+}
+
+/// A finite number — JSON has no NaN/Infinity (the renderer maps them
+/// to `null`, deliberately not a round trip) — with `-0.0` normalised
+/// to `0.0`, since integral values render through `i64` and the sign of
+/// zero is not representable there.
+fn normalize(v: f64) -> f64 {
+    if !v.is_finite() || v == 0.0 {
+        0.0
+    } else {
+        v
+    }
+}
+
+fn gen_number(state: &mut u64) -> f64 {
+    let raw = next(state);
+    let v = match raw % 4 {
+        0 => next(state) as i32 as f64,
+        1 => f64::from_bits(next(state)),
+        2 => (next(state) as i32 as f64) * 1e-7,
+        _ => (next(state) as i32 as f64) * 1e18,
+    };
+    normalize(v)
+}
+
+fn gen_value(state: &mut u64, depth: u32) -> JsonValue {
+    let containers_allowed = depth < 4;
+    match next(state) % if containers_allowed { 6 } else { 4 } {
+        0 => JsonValue::Null,
+        1 => JsonValue::Bool(next(state).is_multiple_of(2)),
+        2 => JsonValue::Number(gen_number(state)),
+        3 => JsonValue::String(gen_string(state)),
+        4 => {
+            let n = (next(state) % 5) as usize;
+            JsonValue::Array((0..n).map(|_| gen_value(state, depth + 1)).collect())
+        }
+        _ => {
+            let n = (next(state) % 5) as usize;
+            JsonValue::Object(
+                (0..n)
+                    .map(|_| (gen_string(state), gen_value(state, depth + 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+fn json_value() -> impl Strategy<Value = JsonValue> {
+    any::<u64>().prop_map(|seed| {
+        let mut state = seed;
+        gen_value(&mut state, 0)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse ∘ render` is the identity on finite documents — including
+    /// every number bit, every escape-worthy string and every nesting
+    /// the generator produces.
+    #[test]
+    fn parse_render_round_trips(v in json_value()) {
+        let rendered = v.render();
+        match JsonValue::parse(&rendered) {
+            Ok(parsed) => prop_assert_eq!(parsed, v),
+            Err(e) => prop_assert!(false, "own output must parse: {e}\n{rendered}"),
+        }
+    }
+
+    /// Rendering is a normal form: one round trip reaches a fixed
+    /// point, so response lines can be compared textually.
+    #[test]
+    fn render_is_a_fixed_point(v in json_value()) {
+        let once = v.render();
+        let twice = JsonValue::parse(&once).unwrap().render();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Numbers survive the wire bit-for-bit — the property the serving
+    /// layer's "cached answers are bit-identical" guarantee rests on.
+    #[test]
+    fn numbers_round_trip_bit_identically(bits in any::<u64>(), scale in -40i32..40) {
+        let n = normalize(f64::from_bits(bits) * 10f64.powi(scale));
+        let rendered = JsonValue::Number(n).render();
+        let parsed = JsonValue::parse(&rendered).unwrap().as_f64().unwrap();
+        prop_assert_eq!(parsed.to_bits(), n.to_bits(), "rendered as {}", rendered);
+    }
+
+    /// Anything after a complete document is an error, not silently
+    /// ignored — NDJSON framing depends on it.
+    #[test]
+    fn trailing_garbage_is_rejected(
+        v in json_value(),
+        // No bare digits here: `5` + `0` would merge into the valid
+        // document `50` instead of being trailing garbage.
+        garbage in proptest::sample::select(vec!["x", "{}", "[", "null", ",", "}"]),
+    ) {
+        let line = format!("{}{garbage}", v.render());
+        prop_assert!(JsonValue::parse(&line).is_err(), "accepted: {}", line);
+    }
+
+    /// Surrounding ASCII whitespace never changes the parse.
+    #[test]
+    fn surrounding_whitespace_is_insignificant(
+        v in json_value(),
+        pad in proptest::sample::select(vec!["", " ", "\t", "\n", " \r\n ", "  \t  "]),
+    ) {
+        let line = format!("{pad}{}{pad}", v.render());
+        prop_assert_eq!(JsonValue::parse(&line).unwrap(), v);
+    }
+}
+
+/// The recursion guard holds exactly at the documented depth.
+#[test]
+fn nesting_beyond_the_cap_is_rejected() {
+    let deep = |n: usize| format!("{}null{}", "[".repeat(n), "]".repeat(n));
+    assert!(JsonValue::parse(&deep(128)).is_ok());
+    let err = JsonValue::parse(&deep(129)).unwrap_err();
+    assert!(err.contains("nesting deeper"), "{err}");
+}

@@ -1,0 +1,328 @@
+//! The cross-query answer cache.
+//!
+//! Keys are *canonicalized* queries: the location is snapped to a
+//! `2⁻²⁰`-grid cell, the keyword set is the (already sorted) term-id
+//! list, and `α` is keyed by its exact bit pattern. Canonicalization
+//! happens at admission — the engine only ever executes the snapped
+//! query — so a cache hit and a fresh computation are answering the
+//! *same* query and stay bit-identical. Dyadic coordinates with at most
+//! 20 fractional bits (0.5, 0.25, 0.625, …) are fixed points of the
+//! snap.
+//!
+//! Two structures share the promoted [`wnsk_storage::cache::Lru`]:
+//!
+//! * **top-k lists** keyed `(cell, doc, k, α)` — repeated top-k queries
+//!   are served without touching the indexes;
+//! * **rank lists / ranks** keyed `(cell, doc, α)` plus the missing set —
+//!   why-not refinement needs `R(M, q₀)` (the denominator of the
+//!   paper's Eqn 4 penalty) before anything else. A cached top-k list
+//!   that contains every missing object yields the *exact* rank:
+//!   `rank_of_set` counts strict dominators + 1, and every strict
+//!   dominator of an in-list object is itself in the list. Completed
+//!   why-not answers also deposit their computed rank directly.
+
+use std::sync::{Arc, Mutex};
+use wnsk_geo::Point;
+use wnsk_index::{ObjectId, SpatialKeywordQuery};
+use wnsk_storage::cache::Lru;
+
+/// Location grid resolution: `2²⁰` cells per unit axis.
+const CELL_SCALE: f64 = (1u64 << 20) as f64;
+
+/// Snaps a coordinate to its cell's lower-left corner. Exact for dyadic
+/// rationals with ≤ 20 fractional bits.
+fn snap(v: f64) -> f64 {
+    (v * CELL_SCALE).floor() / CELL_SCALE
+}
+
+/// The grid cell of a point, as integer cell coordinates.
+fn cell_of(p: Point) -> (i64, i64) {
+    (
+        (p.x * CELL_SCALE).floor() as i64,
+        (p.y * CELL_SCALE).floor() as i64,
+    )
+}
+
+/// Canonicalizes a query location: the returned point is the cell's
+/// lower-left corner, shared by every query landing in the same cell.
+pub fn canonical_point(p: Point) -> Point {
+    Point::new(snap(p.x), snap(p.y))
+}
+
+/// Canonicalizes a whole query (location only — `doc` term ids are
+/// already sorted and `k`/`α` are exact).
+pub fn canonical_query(q: &SpatialKeywordQuery) -> SpatialKeywordQuery {
+    SpatialKeywordQuery {
+        loc: canonical_point(q.loc),
+        ..q.clone()
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct TopkKey {
+    cell: (i64, i64),
+    doc: Vec<u32>,
+    k: usize,
+    alpha: u64,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct RankListKey {
+    cell: (i64, i64),
+    doc: Vec<u32>,
+    alpha: u64,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct RankKey {
+    cell: (i64, i64),
+    doc: Vec<u32>,
+    alpha: u64,
+    missing: Vec<u32>,
+}
+
+fn doc_ids(q: &SpatialKeywordQuery) -> Vec<u32> {
+    q.doc.iter().map(|t| t.0).collect()
+}
+
+fn topk_key(q: &SpatialKeywordQuery) -> TopkKey {
+    TopkKey {
+        cell: cell_of(q.loc),
+        doc: doc_ids(q),
+        k: q.k,
+        alpha: q.alpha.to_bits(),
+    }
+}
+
+fn rank_list_key(q: &SpatialKeywordQuery) -> RankListKey {
+    RankListKey {
+        cell: cell_of(q.loc),
+        doc: doc_ids(q),
+        alpha: q.alpha.to_bits(),
+    }
+}
+
+fn rank_key(q: &SpatialKeywordQuery, missing: &[ObjectId]) -> RankKey {
+    let mut ids: Vec<u32> = missing.iter().map(|m| m.0).collect();
+    ids.sort_unstable();
+    RankKey {
+        cell: cell_of(q.loc),
+        doc: doc_ids(q),
+        alpha: q.alpha.to_bits(),
+        missing: ids,
+    }
+}
+
+/// A ranked result list, shared between the cache and in-flight
+/// responses.
+pub type RankList = Arc<Vec<(ObjectId, f64)>>;
+
+/// The serving layer's cross-query cache (top-k answers + initial-rank
+/// reuse for why-not refinement).
+pub struct AnswerCache {
+    topk: Mutex<Lru<TopkKey, RankList>>,
+    rank_lists: Mutex<Lru<RankListKey, RankList>>,
+    ranks: Mutex<Lru<RankKey, usize>>,
+}
+
+impl AnswerCache {
+    /// Creates a cache holding at most `entries` items per structure.
+    pub fn new(entries: usize) -> Self {
+        let entries = entries.max(1);
+        AnswerCache {
+            topk: Mutex::new(Lru::new(entries)),
+            rank_lists: Mutex::new(Lru::new(entries)),
+            ranks: Mutex::new(Lru::new(entries)),
+        }
+    }
+
+    /// Looks up a top-k answer for an (already canonical) query.
+    pub fn get_topk(&self, q: &SpatialKeywordQuery) -> Option<RankList> {
+        self.topk.lock().unwrap().get(&topk_key(q)).cloned()
+    }
+
+    /// Stores a freshly computed top-k list; the deepest list per
+    /// `(cell, doc, α)` is also retained for rank derivation.
+    pub fn put_topk(&self, q: &SpatialKeywordQuery, list: RankList) {
+        self.topk
+            .lock()
+            .unwrap()
+            .insert(topk_key(q), Arc::clone(&list));
+        let key = rank_list_key(q);
+        let mut lists = self.rank_lists.lock().unwrap();
+        let deeper = match lists.peek(&key) {
+            Some(existing) => list.len() > existing.len(),
+            None => true,
+        };
+        if deeper {
+            lists.insert(key, list);
+        }
+    }
+
+    /// The exact initial rank `R(M, q)` for a canonical query, when the
+    /// cache can prove it: either a previous why-not computation
+    /// deposited it, or a cached rank list contains every missing object
+    /// (then `rank = 1 + |{e : score(e) > min missing score}|`, which is
+    /// precisely what the solver's scan counts — ties are not
+    /// dominators).
+    pub fn get_initial_rank(&self, q: &SpatialKeywordQuery, missing: &[ObjectId]) -> Option<usize> {
+        if missing.is_empty() {
+            return None;
+        }
+        if let Some(&rank) = self.ranks.lock().unwrap().get(&rank_key(q, missing)) {
+            return Some(rank);
+        }
+        let list = self
+            .rank_lists
+            .lock()
+            .unwrap()
+            .get(&rank_list_key(q))
+            .cloned()?;
+        let mut min_score = f64::INFINITY;
+        for m in missing {
+            let score = list.iter().find(|(id, _)| id == m).map(|&(_, s)| s)?;
+            if score < min_score {
+                min_score = score;
+            }
+        }
+        Some(1 + list.iter().filter(|&&(_, s)| s > min_score).count())
+    }
+
+    /// Deposits a rank computed by the solver so repeated why-not
+    /// questions skip the initial-rank phase.
+    pub fn put_initial_rank(&self, q: &SpatialKeywordQuery, missing: &[ObjectId], rank: usize) {
+        self.ranks
+            .lock()
+            .unwrap()
+            .insert(rank_key(q, missing), rank);
+    }
+
+    /// Resident entries, summed over all structures (for stats
+    /// responses).
+    pub fn len(&self) -> usize {
+        self.topk.lock().unwrap().len()
+            + self.rank_lists.lock().unwrap().len()
+            + self.ranks.lock().unwrap().len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wnsk_text::KeywordSet;
+
+    fn q(x: f64, y: f64, ids: &[u32], k: usize, alpha: f64) -> SpatialKeywordQuery {
+        SpatialKeywordQuery::new(
+            Point::new(x, y),
+            KeywordSet::from_ids(ids.iter().copied()),
+            k,
+            alpha,
+        )
+    }
+
+    #[test]
+    fn dyadic_points_are_snap_fixed_points() {
+        for v in [0.0, 0.5, 0.25, 0.625, 0.9990234375] {
+            assert_eq!(snap(v).to_bits(), v.to_bits(), "snap moved {v}");
+        }
+        // A non-dyadic coordinate moves by less than one cell.
+        assert!((snap(0.3) - 0.3).abs() < 1.0 / CELL_SCALE);
+        assert!(snap(0.3) <= 0.3);
+    }
+
+    #[test]
+    fn same_cell_same_key_different_cell_different_key() {
+        let cache = AnswerCache::new(4);
+        let a = q(0.5, 0.5, &[1, 2], 3, 0.5);
+        let list: RankList = Arc::new(vec![(ObjectId(7), 0.9)]);
+        cache.put_topk(&a, Arc::clone(&list));
+        // Same canonical cell (0.5 + half a cell is a different point but
+        // canonicalization happens before the cache — lookups use the
+        // snapped query).
+        assert!(cache.get_topk(&a).is_some());
+        let b = q(0.75, 0.5, &[1, 2], 3, 0.5);
+        assert!(cache.get_topk(&b).is_none());
+        let different_k = q(0.5, 0.5, &[1, 2], 4, 0.5);
+        assert!(cache.get_topk(&different_k).is_none());
+        let different_alpha = q(0.5, 0.5, &[1, 2], 3, 0.25);
+        assert!(cache.get_topk(&different_alpha).is_none());
+    }
+
+    #[test]
+    fn rank_derivation_counts_strict_dominators_only() {
+        let cache = AnswerCache::new(4);
+        let query = q(0.5, 0.5, &[1], 2, 0.5);
+        // Scores: 0.9, 0.8, 0.8, 0.7 — the 0.8-scored pair are ties.
+        let list: RankList = Arc::new(vec![
+            (ObjectId(1), 0.9),
+            (ObjectId(2), 0.8),
+            (ObjectId(3), 0.8),
+            (ObjectId(4), 0.7),
+        ]);
+        cache.put_topk(
+            &SpatialKeywordQuery {
+                k: 4,
+                ..query.clone()
+            },
+            list,
+        );
+        // Missing {3}: only object 1 scores strictly above 0.8 → rank 2.
+        assert_eq!(cache.get_initial_rank(&query, &[ObjectId(3)]), Some(2));
+        // Missing {4}: three strict dominators → rank 4.
+        assert_eq!(cache.get_initial_rank(&query, &[ObjectId(4)]), Some(4));
+        // Missing {2, 4}: min score 0.7 → same as {4}.
+        assert_eq!(
+            cache.get_initial_rank(&query, &[ObjectId(2), ObjectId(4)]),
+            Some(4)
+        );
+        // An object absent from the list cannot be ranked.
+        assert_eq!(cache.get_initial_rank(&query, &[ObjectId(9)]), None);
+    }
+
+    #[test]
+    fn deeper_lists_replace_shallower_ones() {
+        let cache = AnswerCache::new(4);
+        let base = q(0.5, 0.5, &[1], 2, 0.5);
+        let shallow: RankList = Arc::new(vec![(ObjectId(1), 0.9), (ObjectId(2), 0.8)]);
+        let deep: RankList = Arc::new(vec![
+            (ObjectId(1), 0.9),
+            (ObjectId(2), 0.8),
+            (ObjectId(3), 0.6),
+        ]);
+        cache.put_topk(
+            &SpatialKeywordQuery {
+                k: 3,
+                ..base.clone()
+            },
+            deep,
+        );
+        cache.put_topk(
+            &SpatialKeywordQuery {
+                k: 2,
+                ..base.clone()
+            },
+            shallow,
+        );
+        // The deep list must survive the shallower insert.
+        assert_eq!(cache.get_initial_rank(&base, &[ObjectId(3)]), Some(3));
+    }
+
+    #[test]
+    fn deposited_ranks_are_preferred_and_keyed_by_missing_set() {
+        let cache = AnswerCache::new(4);
+        let query = q(0.25, 0.25, &[1, 2], 5, 0.5);
+        cache.put_initial_rank(&query, &[ObjectId(8), ObjectId(3)], 11);
+        // Missing-set order must not matter.
+        assert_eq!(
+            cache.get_initial_rank(&query, &[ObjectId(3), ObjectId(8)]),
+            Some(11)
+        );
+        assert_eq!(cache.get_initial_rank(&query, &[ObjectId(3)]), None);
+        assert!(!cache.is_empty());
+    }
+}

@@ -1,0 +1,106 @@
+//! A minimal blocking NDJSON client, shared by tests, the bench gate
+//! and `wnsk loadgen`.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use wnsk_obs::JsonValue;
+
+/// One connection to a serving endpoint; requests are answered in
+/// order, one line per call.
+pub struct Client {
+    stream: TcpStream,
+    pending: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            pending: Vec::new(),
+        })
+    }
+
+    /// Sends one request line and blocks for its response line.
+    pub fn call(&mut self, line: &str) -> std::io::Result<String> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.stream.flush()?;
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.pending.drain(..=pos).collect();
+                return Ok(String::from_utf8_lossy(&line).trim().to_string());
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            self.pending.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// [`Client::call`] plus JSON parsing of the response.
+    pub fn call_json(&mut self, line: &str) -> std::io::Result<JsonValue> {
+        let response = self.call(line)?;
+        JsonValue::parse(&response)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Builds a `topk` request line.
+pub fn topk_line(at: (f64, f64), keywords: &[&str], k: usize, alpha: f64) -> String {
+    JsonValue::object(vec![
+        ("type", "topk".into()),
+        ("at", JsonValue::Array(vec![at.0.into(), at.1.into()])),
+        (
+            "keywords",
+            JsonValue::Array(keywords.iter().map(|&w| w.into()).collect()),
+        ),
+        ("k", k.into()),
+        ("alpha", alpha.into()),
+    ])
+    .render()
+}
+
+/// Builds a `whynot` request line. `deadline_ms` of `None` means no
+/// deadline.
+pub fn whynot_line(
+    at: (f64, f64),
+    keywords: &[&str],
+    k: usize,
+    alpha: f64,
+    missing: &[u32],
+    lambda: f64,
+    deadline_ms: Option<f64>,
+) -> String {
+    let mut fields = vec![
+        ("type", JsonValue::from("whynot")),
+        ("at", JsonValue::Array(vec![at.0.into(), at.1.into()])),
+        (
+            "keywords",
+            JsonValue::Array(keywords.iter().map(|&w| w.into()).collect()),
+        ),
+        ("k", k.into()),
+        ("alpha", alpha.into()),
+        (
+            "missing",
+            JsonValue::Array(missing.iter().map(|&m| JsonValue::from(m as u64)).collect()),
+        ),
+        ("lambda", lambda.into()),
+    ];
+    if let Some(ms) = deadline_ms {
+        fields.push(("deadline_ms", ms.into()));
+    }
+    JsonValue::object(fields).render()
+}
+
+/// Builds a `stats` request line.
+pub fn stats_line() -> String {
+    JsonValue::object(vec![("type", "stats".into())]).render()
+}

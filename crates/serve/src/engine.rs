@@ -1,0 +1,270 @@
+//! The warm serving engine: one [`WhyNotEngine`] (indexes built once at
+//! startup over the storage buffer pool) plus the cross-query
+//! [`AnswerCache`] and the `serve.*` metric handles, all publishing
+//! into the engine's own registry so `--metrics-export` shows service
+//! counters next to buffer-pool and tree-traversal activity.
+
+use crate::cache::{canonical_point, AnswerCache, RankList};
+use crate::protocol::{self, WireKeyword, WireRequest};
+use std::sync::Arc;
+use std::time::Duration;
+use wnsk_core::{KcrOptions, QueryBudget, WhyNotEngine, WhyNotQuestion};
+use wnsk_index::{ObjectId, SpatialKeywordQuery};
+use wnsk_obs::{names, Counter, Hist, Registry};
+use wnsk_text::KeywordSet;
+
+/// A request resolved against the dataset: keywords interned, ids
+/// validated, location canonicalized. Only resolved requests enter the
+/// admission queue, so malformed input never consumes a queue slot.
+#[derive(Clone, Debug)]
+pub enum ResolvedRequest {
+    /// Plain top-k over the canonical query.
+    TopK(SpatialKeywordQuery),
+    /// Why-not refinement.
+    WhyNot {
+        /// The question, with the canonical original query.
+        question: WhyNotQuestion,
+        /// Optional per-request page-read cap.
+        max_page_reads: Option<u64>,
+    },
+    /// Service counters.
+    Stats,
+}
+
+/// The serving layer's engine: warm indexes + answer cache + metrics.
+pub struct ServeEngine {
+    engine: WhyNotEngine,
+    cache: AnswerCache,
+    accepted: Counter,
+    shed: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    queue_depth: Hist,
+    request_ns: Hist,
+}
+
+impl ServeEngine {
+    /// Wraps a built engine with a cache of `cache_entries` entries per
+    /// structure and registers the `serve.*` metrics into the engine's
+    /// registry.
+    pub fn new(engine: WhyNotEngine, cache_entries: usize) -> Self {
+        let registry = engine.registry();
+        let accepted = registry.counter(names::SERVE_ACCEPTED);
+        let shed = registry.counter(names::SERVE_SHED);
+        let cache_hits = registry.counter(names::SERVE_CACHE_HITS);
+        let cache_misses = registry.counter(names::SERVE_CACHE_MISSES);
+        let queue_depth = registry.hist(names::SERVE_QUEUE_DEPTH);
+        let request_ns = registry.hist(names::SERVE_REQUEST_NS);
+        ServeEngine {
+            engine,
+            cache: AnswerCache::new(cache_entries),
+            accepted,
+            shed,
+            cache_hits,
+            cache_misses,
+            queue_depth,
+            request_ns,
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &WhyNotEngine {
+        &self.engine
+    }
+
+    /// The shared metrics registry.
+    pub fn registry(&self) -> &Registry {
+        self.engine.registry()
+    }
+
+    /// The answer cache.
+    pub fn cache(&self) -> &AnswerCache {
+        &self.cache
+    }
+
+    /// Records an admission (`serve.accepted` + the queue-depth
+    /// histogram sampled at admission time).
+    pub fn note_accepted(&self, queue_len: usize) {
+        self.accepted.inc();
+        self.queue_depth.record(queue_len as u64);
+    }
+
+    /// Records a load-shed (`serve.shed`).
+    pub fn note_shed(&self) {
+        self.shed.inc();
+    }
+
+    /// Records one completed request's end-to-end latency.
+    pub fn note_request_done(&self, elapsed: Duration) {
+        self.request_ns.record_duration(elapsed);
+    }
+
+    /// Resolves a wire request: interns keywords through the attached
+    /// vocabulary (raw term ids pass through), validates missing ids
+    /// against the dataset, and canonicalizes the location so cache
+    /// keys and execution agree.
+    pub fn resolve(&self, wire: &WireRequest) -> Result<ResolvedRequest, String> {
+        match wire {
+            WireRequest::Stats => Ok(ResolvedRequest::Stats),
+            WireRequest::TopK { query } => Ok(ResolvedRequest::TopK(self.resolve_query(query)?)),
+            WireRequest::WhyNot {
+                query,
+                missing,
+                lambda,
+                max_page_reads,
+            } => {
+                let query = self.resolve_query(query)?;
+                let n = self.engine.dataset().len();
+                let mut ids = Vec::with_capacity(missing.len());
+                for &m in missing {
+                    if (m as usize) >= n {
+                        return Err(format!("unknown object id {m} (dataset has {n} objects)"));
+                    }
+                    ids.push(ObjectId(m));
+                }
+                Ok(ResolvedRequest::WhyNot {
+                    question: WhyNotQuestion::new(query, ids, *lambda),
+                    max_page_reads: *max_page_reads,
+                })
+            }
+        }
+    }
+
+    fn resolve_query(
+        &self,
+        query: &crate::protocol::WireQuery,
+    ) -> Result<SpatialKeywordQuery, String> {
+        let mut ids = Vec::with_capacity(query.keywords.len());
+        for kw in &query.keywords {
+            match kw {
+                WireKeyword::Id(id) => ids.push(*id),
+                WireKeyword::Name(name) => match self.engine.vocabulary() {
+                    Some(vocab) => match vocab.get(name) {
+                        Some(t) => ids.push(t.0),
+                        None => return Err(format!("unknown keyword '{name}'")),
+                    },
+                    None => {
+                        return Err(format!(
+                            "no vocabulary attached; send keyword '{name}' as a numeric term id"
+                        ))
+                    }
+                },
+            }
+        }
+        Ok(SpatialKeywordQuery::new(
+            canonical_point(wnsk_geo::Point::new(query.at.0, query.at.1)),
+            KeywordSet::from_ids(ids),
+            query.k,
+            query.alpha,
+        ))
+    }
+
+    /// Executes a resolved request and renders the response line.
+    /// `remaining` is what is left of the request's deadline once a
+    /// worker picks it up; why-not queries run under a [`QueryBudget`]
+    /// built from it, so a mid-query expiry degrades the answer through
+    /// the existing ladder instead of blowing the latency envelope.
+    pub fn execute(&self, request: &ResolvedRequest, remaining: Option<Duration>) -> String {
+        match request {
+            ResolvedRequest::Stats => self.execute_stats(),
+            ResolvedRequest::TopK(query) => self.execute_topk(query),
+            ResolvedRequest::WhyNot {
+                question,
+                max_page_reads,
+            } => self.execute_whynot(question, *max_page_reads, remaining),
+        }
+    }
+
+    fn execute_topk(&self, query: &SpatialKeywordQuery) -> String {
+        if let Some(list) = self.cache.get_topk(query) {
+            self.cache_hits.inc();
+            return render_topk_list(&list, true);
+        }
+        match self.engine.top_k(query) {
+            Ok(results) => {
+                self.cache_misses.inc();
+                let list: RankList = Arc::new(results);
+                self.cache.put_topk(query, Arc::clone(&list));
+                render_topk_list(&list, false)
+            }
+            Err(e) => protocol::render_error(&e.to_string()),
+        }
+    }
+
+    fn execute_whynot(
+        &self,
+        question: &WhyNotQuestion,
+        max_page_reads: Option<u64>,
+        remaining: Option<Duration>,
+    ) -> String {
+        let hint = self
+            .cache
+            .get_initial_rank(&question.query, &question.missing);
+        let mut budget = QueryBudget::unlimited();
+        if let Some(d) = remaining {
+            budget = budget.with_deadline(d);
+        }
+        if let Some(max) = max_page_reads {
+            budget = budget.with_max_page_reads(max);
+        }
+        let opts = KcrOptions {
+            budget,
+            initial_rank_hint: hint,
+            ..KcrOptions::default()
+        };
+        match self.engine.answer_kcr(question, opts) {
+            Ok(answer) => {
+                if hint.is_some() {
+                    self.cache_hits.inc();
+                } else {
+                    self.cache_misses.inc();
+                    let rank = answer.stats.initial_rank as usize;
+                    if rank > question.query.k {
+                        self.cache
+                            .put_initial_rank(&question.query, &question.missing, rank);
+                    }
+                }
+                answer.stats.record_into(self.engine.registry());
+                let keywords: Vec<String> = answer
+                    .refined
+                    .doc
+                    .iter()
+                    .map(|t| match self.engine.vocabulary().and_then(|v| v.name(t)) {
+                        Some(name) => name.to_string(),
+                        None => format!("t{}", t.0),
+                    })
+                    .collect();
+                protocol::render_whynot(
+                    &keywords,
+                    answer.refined.k,
+                    answer.refined.rank,
+                    answer.refined.edit_distance,
+                    answer.refined.penalty,
+                    &answer.quality.to_string(),
+                    answer.stats.initial_rank,
+                    hint.is_some(),
+                )
+            }
+            Err(e) => protocol::render_error(&e.to_string()),
+        }
+    }
+
+    fn execute_stats(&self) -> String {
+        let snapshot = self.registry().snapshot();
+        let counters: Vec<(&str, u64)> = [
+            names::SERVE_ACCEPTED,
+            names::SERVE_SHED,
+            names::SERVE_CACHE_HITS,
+            names::SERVE_CACHE_MISSES,
+        ]
+        .iter()
+        .map(|&n| (n, snapshot.counter(n)))
+        .collect();
+        protocol::render_stats(self.engine.dataset().len(), self.cache.len(), &counters)
+    }
+}
+
+fn render_topk_list(list: &[(ObjectId, f64)], cached: bool) -> String {
+    let raw: Vec<(u32, f64)> = list.iter().map(|&(id, s)| (id.0, s)).collect();
+    protocol::render_topk(&raw, cached)
+}

@@ -1,0 +1,40 @@
+//! `wnsk-serve`: an embedded query-serving layer over the why-not
+//! spatial keyword engine.
+//!
+//! The crate turns a warm [`wnsk_core::WhyNotEngine`] (indexes built
+//! once at startup) into a multi-threaded TCP service speaking
+//! newline-delimited JSON, with:
+//!
+//! - **admission control** — a bounded request queue drained by a
+//!   `wnsk-exec` worker pool; requests beyond `queue_depth` are shed
+//!   with an explicit `queue full` response, and per-request deadlines
+//!   map onto [`wnsk_core::QueryBudget`] so expiry degrades answers
+//!   through the existing quality ladder instead of hanging clients;
+//! - **a cross-query answer cache** — top-k result lists and why-not
+//!   initial ranks keyed on the canonicalized `(loc-cell, doc, k, α)`
+//!   query, built on the shared [`wnsk_storage::cache::Lru`]; repeated
+//!   top-k queries are answered from memory and repeated why-not
+//!   refinements reuse the cached rank of the missing set (the
+//!   denominator of the paper's Eqn 4 penalty) instead of recomputing
+//!   it;
+//! - **service metrics** — `serve.accepted`, `serve.shed`,
+//!   `serve.cache_hits`, `serve.cache_misses`, the `serve.queue_depth`
+//!   admission histogram and the `serve.request_ns` end-to-end latency
+//!   histogram, all in the engine's own [`wnsk_obs::Registry`] so the
+//!   prometheus export shows service and engine activity side by side.
+//!
+//! [`loadgen`] is the matching closed-loop client: zipfian query mix,
+//! target QPS, latency histogram report.
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use cache::AnswerCache;
+pub use client::Client;
+pub use engine::{ResolvedRequest, ServeEngine};
+pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use server::{Server, ServerConfig, ServerHandle};

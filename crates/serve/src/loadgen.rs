@@ -1,0 +1,216 @@
+//! A closed-loop load generator: N connections replay a zipfian mix of
+//! prepared request lines against a serving endpoint at a target
+//! aggregate QPS, recording end-to-end latencies into a
+//! [`wnsk_obs::Hist`].
+//!
+//! Closed-loop means each connection waits for its response before
+//! sending the next request (so the generator can never outrun the
+//! server by more than `connections` in-flight requests); the target
+//! rate is enforced by pacing each connection against its share of the
+//! aggregate schedule. The zipfian index over the query pool is what
+//! makes the answer cache earn its keep — hot queries repeat.
+
+use crate::client::Client;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+use wnsk_data::zipf::Zipf;
+use wnsk_obs::{Hist, HistSnapshot, JsonValue};
+
+/// Load-generation parameters, mirrored by `wnsk loadgen`'s flags.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Concurrent closed-loop connections.
+    pub connections: usize,
+    /// Total requests to send across all connections.
+    pub requests: usize,
+    /// Aggregate target rate; `0.0` sends as fast as the closed loop
+    /// allows.
+    pub target_qps: f64,
+    /// Zipf exponent of the query-mix distribution (0 = uniform).
+    pub zipf_exponent: f64,
+    /// RNG seed for the per-connection query mix.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            connections: 4,
+            requests: 200,
+            target_qps: 0.0,
+            zipf_exponent: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+/// What came back: request counts by outcome plus the latency
+/// distribution.
+#[derive(Clone, Debug)]
+pub struct LoadgenReport {
+    /// Requests completed (every request is classified exactly once).
+    pub sent: usize,
+    /// `ok: true` responses.
+    pub ok: usize,
+    /// Shed responses (`shed: true` — queue full or deadline expired in
+    /// queue).
+    pub shed: usize,
+    /// Degraded-quality answers (`ok: true` but a `degraded (…)`
+    /// quality tag).
+    pub degraded: usize,
+    /// Error responses and unparseable reply lines.
+    pub errors: usize,
+    /// Wall-clock time for the whole run.
+    pub wall: Duration,
+    /// End-to-end latency distribution, nanoseconds.
+    pub latency: HistSnapshot,
+}
+
+impl LoadgenReport {
+    /// Requests per second actually achieved.
+    pub fn achieved_qps(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.sent as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Fraction of requests shed by admission control.
+    pub fn shed_rate(&self) -> f64 {
+        if self.sent == 0 {
+            return 0.0;
+        }
+        self.shed as f64 / self.sent as f64
+    }
+
+    /// Human-readable summary (the `wnsk loadgen` output).
+    pub fn render(&self) -> String {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        format!(
+            "loadgen: {} requests in {:.2}s ({:.1} qps achieved)\n  \
+             ok {}, shed {} ({:.1}%), degraded {}, errors {}\n  \
+             latency p50 {:.2}ms p90 {:.2}ms p99 {:.2}ms",
+            self.sent,
+            self.wall.as_secs_f64(),
+            self.achieved_qps(),
+            self.ok,
+            self.shed,
+            100.0 * self.shed_rate(),
+            self.degraded,
+            self.errors,
+            ms(self.latency.p50()),
+            ms(self.latency.p90()),
+            ms(self.latency.p99()),
+        )
+    }
+}
+
+/// `(ok, shed, degraded)` for one response line.
+fn classify(response: &str) -> (bool, bool, bool) {
+    match JsonValue::parse(response) {
+        Ok(doc) => {
+            let ok = doc.get("ok") == Some(&JsonValue::Bool(true));
+            let shed = doc.get("shed") == Some(&JsonValue::Bool(true));
+            let degraded = doc
+                .get("quality")
+                .and_then(|q| q.as_str())
+                .is_some_and(|q| q.starts_with("degraded"));
+            (ok, shed, ok && degraded)
+        }
+        Err(_) => (false, false, false),
+    }
+}
+
+/// Runs the closed loop: `pool` is the prepared request-line mix.
+pub fn run(config: &LoadgenConfig, pool: &[String]) -> std::io::Result<LoadgenReport> {
+    assert!(!pool.is_empty(), "loadgen needs a non-empty query pool");
+    let connections = config.connections.max(1);
+    let zipf = Zipf::new(pool.len(), config.zipf_exponent.max(0.0));
+    let slots = AtomicUsize::new(0);
+    let ok = AtomicUsize::new(0);
+    let shed = AtomicUsize::new(0);
+    let degraded = AtomicUsize::new(0);
+    let errors = AtomicUsize::new(0);
+    let hist = Hist::new();
+    let start = Instant::now();
+
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        let mut handles = Vec::with_capacity(connections);
+        for conn_idx in 0..connections {
+            let zipf = &zipf;
+            let slots = &slots;
+            let ok = &ok;
+            let shed = &shed;
+            let degraded = &degraded;
+            let errors = &errors;
+            let hist = &hist;
+            let addr = config.addr.clone();
+            let total = config.requests;
+            let seed = config.seed.wrapping_add(conn_idx as u64);
+            let per_conn_interval = if config.target_qps > 0.0 {
+                Some(Duration::from_secs_f64(
+                    connections as f64 / config.target_qps,
+                ))
+            } else {
+                None
+            };
+            handles.push(scope.spawn(move || -> std::io::Result<()> {
+                let mut client = Client::connect(&addr)?;
+                let mut rng = StdRng::seed_from_u64(seed);
+                let conn_start = Instant::now();
+                let mut local_seq: u32 = 0;
+                loop {
+                    if slots.fetch_add(1, Ordering::Relaxed) >= total {
+                        return Ok(());
+                    }
+                    if let Some(interval) = per_conn_interval {
+                        let scheduled = conn_start + interval * local_seq;
+                        if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(wait);
+                        }
+                    }
+                    local_seq += 1;
+                    let line = &pool[zipf.sample(&mut rng)];
+                    let sent_at = Instant::now();
+                    let response = client.call(line)?;
+                    hist.record_duration(sent_at.elapsed());
+                    let (is_ok, is_shed, is_degraded) = classify(&response);
+                    if is_ok {
+                        ok.fetch_add(1, Ordering::Relaxed);
+                    } else if is_shed {
+                        shed.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if is_degraded {
+                        degraded.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("loadgen thread panicked")?;
+        }
+        Ok(())
+    })?;
+
+    let (ok, shed, errors) = (
+        ok.load(Ordering::Relaxed),
+        shed.load(Ordering::Relaxed),
+        errors.load(Ordering::Relaxed),
+    );
+    Ok(LoadgenReport {
+        sent: ok + shed + errors,
+        ok,
+        shed,
+        degraded: degraded.load(Ordering::Relaxed),
+        errors,
+        wall: start.elapsed(),
+        latency: hist.snapshot(),
+    })
+}

@@ -1,0 +1,440 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response line per request, in order.
+//! Parsing and rendering are built on [`wnsk_obs::JsonValue`] — the
+//! same hand-rolled JSON the observability layer exports with — so the
+//! server adds no wire-format dependency.
+//!
+//! Requests (`type` selects the variant):
+//!
+//! ```json
+//! {"type":"topk","at":[0.5,0.5],"keywords":["cafe","wifi"],"k":5,"alpha":0.5}
+//! {"type":"whynot","at":[0.5,0.5],"keywords":["cafe"],"k":5,"alpha":0.5,
+//!  "missing":[42],"lambda":0.5,"deadline_ms":200}
+//! {"type":"stats"}
+//! ```
+//!
+//! Optional fields: `alpha` (default 0.5), `lambda` (default 0.5),
+//! `deadline_ms` (admission + execution deadline, measured from
+//! enqueue), `max_page_reads` (why-not only; maps onto the
+//! [`wnsk_core::QueryBudget`] page-read cap). Keywords may be strings
+//! (resolved against the dataset vocabulary) or raw numeric term ids.
+//!
+//! Every response carries `"ok"`; answers carry a `"quality"` string in
+//! [`wnsk_core::AnswerQuality`] display form, and shed responses carry
+//! `"shed": true` plus a degraded quality tag, so a client can always
+//! distinguish the rung of the degradation ladder it was served from.
+
+use std::time::Duration;
+use wnsk_obs::JsonValue;
+
+/// A keyword as it appears on the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireKeyword {
+    /// A keyword string, resolved against the dataset vocabulary.
+    Name(String),
+    /// A raw term id.
+    Id(u32),
+}
+
+/// The query core shared by `topk` and `whynot` requests.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireQuery {
+    /// Query location.
+    pub at: (f64, f64),
+    /// Query keywords.
+    pub keywords: Vec<WireKeyword>,
+    /// Result-set size `k`.
+    pub k: usize,
+    /// Ranking preference α ∈ (0, 1).
+    pub alpha: f64,
+}
+
+/// A parsed request body.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireRequest {
+    /// Plain spatial keyword top-k.
+    TopK {
+        /// The query.
+        query: WireQuery,
+    },
+    /// Why-not refinement for a set of missing objects.
+    WhyNot {
+        /// The original query `q₀`.
+        query: WireQuery,
+        /// Missing object ids.
+        missing: Vec<u32>,
+        /// Penalty trade-off λ.
+        lambda: f64,
+        /// Optional physical page-read cap for this request.
+        max_page_reads: Option<u64>,
+    },
+    /// Service counters.
+    Stats,
+}
+
+/// A request plus its admission metadata.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedRequest {
+    /// What to execute.
+    pub request: WireRequest,
+    /// End-to-end deadline measured from enqueue; expiry before a
+    /// worker picks the request up sheds it, expiry mid-query degrades
+    /// it through the budget ladder.
+    pub deadline: Option<Duration>,
+}
+
+fn field_f64(obj: &JsonValue, key: &str) -> Result<Option<f64>, String> {
+    match obj.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("field '{key}' must be a number")),
+    }
+}
+
+fn required_usize(obj: &JsonValue, key: &str) -> Result<usize, String> {
+    let v = field_f64(obj, key)?.ok_or_else(|| format!("missing field '{key}'"))?;
+    if v.fract() != 0.0 || v < 0.0 || v > u32::MAX as f64 {
+        return Err(format!("field '{key}' must be a non-negative integer"));
+    }
+    Ok(v as usize)
+}
+
+fn parse_query(obj: &JsonValue) -> Result<WireQuery, String> {
+    let at = obj.get("at").ok_or("missing field 'at'")?;
+    let coords = at.as_array().ok_or("field 'at' must be [x, y]")?;
+    if coords.len() != 2 {
+        return Err("field 'at' must be [x, y]".into());
+    }
+    let x = coords[0].as_f64().ok_or("field 'at' must hold numbers")?;
+    let y = coords[1].as_f64().ok_or("field 'at' must hold numbers")?;
+    if !x.is_finite() || !y.is_finite() {
+        return Err("query location must be finite".into());
+    }
+    let kws = obj
+        .get("keywords")
+        .and_then(|v| v.as_array())
+        .ok_or("missing or non-array field 'keywords'")?;
+    if kws.is_empty() {
+        return Err("field 'keywords' must be non-empty".into());
+    }
+    let mut keywords = Vec::with_capacity(kws.len());
+    for kw in kws {
+        match kw {
+            JsonValue::String(s) => keywords.push(WireKeyword::Name(s.clone())),
+            JsonValue::Number(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= u32::MAX as f64 => {
+                keywords.push(WireKeyword::Id(*n as u32))
+            }
+            _ => return Err("keywords must be strings or non-negative term ids".into()),
+        }
+    }
+    let k = required_usize(obj, "k")?;
+    if k == 0 {
+        return Err("field 'k' must be at least 1".into());
+    }
+    let alpha = field_f64(obj, "alpha")?.unwrap_or(0.5);
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err("field 'alpha' must be in (0, 1)".into());
+    }
+    Ok(WireQuery {
+        at: (x, y),
+        keywords,
+        k,
+        alpha,
+    })
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<ParsedRequest, String> {
+    let doc = JsonValue::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    if !matches!(doc, JsonValue::Object(_)) {
+        return Err("request must be a JSON object".into());
+    }
+    let deadline = match field_f64(&doc, "deadline_ms")? {
+        Some(ms) if ms < 0.0 => return Err("field 'deadline_ms' must be non-negative".into()),
+        Some(ms) => Some(Duration::from_nanos((ms * 1e6) as u64)),
+        None => None,
+    };
+    let ty = doc
+        .get("type")
+        .and_then(|v| v.as_str())
+        .ok_or("missing string field 'type'")?;
+    let request = match ty {
+        "topk" => WireRequest::TopK {
+            query: parse_query(&doc)?,
+        },
+        "whynot" => {
+            let query = parse_query(&doc)?;
+            let missing_field = doc
+                .get("missing")
+                .and_then(|v| v.as_array())
+                .ok_or("missing or non-array field 'missing'")?;
+            if missing_field.is_empty() {
+                return Err("field 'missing' must be non-empty".into());
+            }
+            let mut missing = Vec::with_capacity(missing_field.len());
+            for m in missing_field {
+                match m.as_f64() {
+                    Some(v) if v.fract() == 0.0 && v >= 0.0 && v <= u32::MAX as f64 => {
+                        missing.push(v as u32)
+                    }
+                    _ => return Err("missing object ids must be non-negative integers".into()),
+                }
+            }
+            let lambda = field_f64(&doc, "lambda")?.unwrap_or(0.5);
+            if !(lambda > 0.0 && lambda < 1.0) {
+                return Err("field 'lambda' must be in (0, 1)".into());
+            }
+            let max_page_reads = match field_f64(&doc, "max_page_reads")? {
+                Some(v) if v.fract() == 0.0 && v >= 0.0 => Some(v as u64),
+                Some(_) => {
+                    return Err("field 'max_page_reads' must be a non-negative integer".into())
+                }
+                None => None,
+            };
+            WireRequest::WhyNot {
+                query,
+                missing,
+                lambda,
+                max_page_reads,
+            }
+        }
+        "stats" => WireRequest::Stats,
+        other => return Err(format!("unknown request type '{other}'")),
+    };
+    Ok(ParsedRequest { request, deadline })
+}
+
+/// Renders a protocol error (malformed request, unknown keyword, …).
+pub fn render_error(message: &str) -> String {
+    JsonValue::object(vec![
+        ("ok", JsonValue::Bool(false)),
+        ("error", message.into()),
+    ])
+    .render()
+}
+
+/// Renders a load-shedding response: the request was *not* executed.
+/// `reason` is `"queue full"` or `"deadline exceeded"`; the quality tag
+/// mirrors [`wnsk_core::AnswerQuality::Degraded`]'s display form so
+/// clients read one quality vocabulary everywhere.
+pub fn render_shed(reason: &str) -> String {
+    JsonValue::object(vec![
+        ("ok", JsonValue::Bool(false)),
+        ("shed", JsonValue::Bool(true)),
+        ("error", reason.into()),
+        ("quality", format!("degraded ({reason})").into()),
+    ])
+    .render()
+}
+
+/// Renders a top-k answer.
+pub fn render_topk(results: &[(u32, f64)], cached: bool) -> String {
+    let items = results
+        .iter()
+        .map(|&(id, score)| {
+            JsonValue::object(vec![
+                ("object", JsonValue::from(id as u64)),
+                ("score", score.into()),
+            ])
+        })
+        .collect();
+    JsonValue::object(vec![
+        ("ok", JsonValue::Bool(true)),
+        ("type", "topk".into()),
+        ("cached", JsonValue::Bool(cached)),
+        ("quality", "exact".into()),
+        ("results", JsonValue::Array(items)),
+    ])
+    .render()
+}
+
+/// Renders a why-not answer. `keywords` are the refined query's
+/// keywords, already rendered to strings; `rank_reused` reports whether
+/// `R(M, q₀)` came from the answer cache.
+#[allow(clippy::too_many_arguments)]
+pub fn render_whynot(
+    keywords: &[String],
+    k: usize,
+    rank: usize,
+    edit_distance: usize,
+    penalty: f64,
+    quality: &str,
+    initial_rank: u64,
+    rank_reused: bool,
+) -> String {
+    let refined = JsonValue::object(vec![
+        (
+            "keywords",
+            JsonValue::Array(keywords.iter().map(|s| s.as_str().into()).collect()),
+        ),
+        ("k", k.into()),
+        ("rank", rank.into()),
+        ("edit_distance", edit_distance.into()),
+        ("penalty", penalty.into()),
+    ]);
+    JsonValue::object(vec![
+        ("ok", JsonValue::Bool(true)),
+        ("type", "whynot".into()),
+        ("quality", quality.into()),
+        ("initial_rank", initial_rank.into()),
+        ("rank_reused", JsonValue::Bool(rank_reused)),
+        ("refined", refined),
+    ])
+    .render()
+}
+
+/// Renders a stats answer from `(name, value)` counter pairs.
+pub fn render_stats(objects: usize, cache_entries: usize, counters: &[(&str, u64)]) -> String {
+    let mut fields = vec![
+        ("ok", JsonValue::Bool(true)),
+        ("type", "stats".into()),
+        ("objects", objects.into()),
+        ("cache_entries", cache_entries.into()),
+    ];
+    let mut counter_fields = Vec::with_capacity(counters.len());
+    for &(name, value) in counters {
+        counter_fields.push((name.to_owned(), JsonValue::from(value)));
+    }
+    fields.push(("counters", JsonValue::Object(counter_fields)));
+    JsonValue::object(fields).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_topk_request() {
+        let p = parse_request(
+            r#"{"type":"topk","at":[0.5,0.25],"keywords":["cafe",7],"k":5,"alpha":0.7,"deadline_ms":250}"#,
+        )
+        .unwrap();
+        assert_eq!(p.deadline, Some(Duration::from_millis(250)));
+        match p.request {
+            WireRequest::TopK { query } => {
+                assert_eq!(query.at, (0.5, 0.25));
+                assert_eq!(
+                    query.keywords,
+                    vec![WireKeyword::Name("cafe".into()), WireKeyword::Id(7)]
+                );
+                assert_eq!(query.k, 5);
+                assert_eq!(query.alpha, 0.7);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_whynot_with_defaults() {
+        let p = parse_request(
+            r#"{"type":"whynot","at":[0.1,0.2],"keywords":[1],"k":3,"missing":[42,7]}"#,
+        )
+        .unwrap();
+        assert_eq!(p.deadline, None);
+        match p.request {
+            WireRequest::WhyNot {
+                query,
+                missing,
+                lambda,
+                max_page_reads,
+            } => {
+                assert_eq!(query.alpha, 0.5);
+                assert_eq!(missing, vec![42, 7]);
+                assert_eq!(lambda, 0.5);
+                assert_eq!(max_page_reads, None);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_messages() {
+        for (line, needle) in [
+            ("{", "bad JSON"),
+            ("[1,2]", "must be a JSON object"),
+            (r#"{"type":"nope"}"#, "unknown request type"),
+            (
+                r#"{"type":"topk","keywords":["a"],"k":3}"#,
+                "missing field 'at'",
+            ),
+            (
+                r#"{"type":"topk","at":[0.5],"keywords":["a"],"k":3}"#,
+                "[x, y]",
+            ),
+            (
+                r#"{"type":"topk","at":[0.5,0.5],"keywords":[],"k":3}"#,
+                "non-empty",
+            ),
+            (
+                r#"{"type":"topk","at":[0.5,0.5],"keywords":["a"]}"#,
+                "missing field 'k'",
+            ),
+            (
+                r#"{"type":"topk","at":[0.5,0.5],"keywords":["a"],"k":0}"#,
+                "at least 1",
+            ),
+            (
+                r#"{"type":"topk","at":[0.5,0.5],"keywords":["a"],"k":3,"alpha":1.5}"#,
+                "alpha",
+            ),
+            (
+                r#"{"type":"whynot","at":[0.5,0.5],"keywords":["a"],"k":3,"missing":[]}"#,
+                "non-empty",
+            ),
+            (
+                r#"{"type":"whynot","at":[0.5,0.5],"keywords":["a"],"k":3,"missing":[1],"lambda":0}"#,
+                "lambda",
+            ),
+            (
+                r#"{"type":"topk","at":[0.5,0.5],"keywords":["a"],"k":3,"deadline_ms":-1}"#,
+                "deadline_ms",
+            ),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "line {line}: got '{err}'");
+        }
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let p = parse_request(r#"{"type":"stats"}"#).unwrap();
+        assert_eq!(p.request, WireRequest::Stats);
+        let rendered = render_stats(300, 2, &[("serve.accepted", 5)]);
+        let doc = JsonValue::parse(&rendered).unwrap();
+        assert_eq!(doc.get("objects").and_then(|v| v.as_f64()), Some(300.0));
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("serve.accepted"))
+                .and_then(|v| v.as_f64()),
+            Some(5.0)
+        );
+    }
+
+    #[test]
+    fn rendered_penalties_round_trip_bit_identical() {
+        let penalty = 0.123_456_789_012_345_68_f64 * std::f64::consts::PI;
+        let line = render_whynot(&["a".into()], 7, 9, 1, penalty, "exact", 9, true);
+        let doc = JsonValue::parse(&line).unwrap();
+        let parsed = doc
+            .get("refined")
+            .and_then(|r| r.get("penalty"))
+            .and_then(|v| v.as_f64())
+            .unwrap();
+        assert_eq!(parsed.to_bits(), penalty.to_bits());
+    }
+
+    #[test]
+    fn shed_responses_carry_degraded_quality() {
+        let line = render_shed("queue full");
+        let doc = JsonValue::parse(&line).unwrap();
+        assert_eq!(doc.get("ok"), Some(&JsonValue::Bool(false)));
+        assert_eq!(doc.get("shed"), Some(&JsonValue::Bool(true)));
+        assert_eq!(
+            doc.get("quality").and_then(|v| v.as_str()),
+            Some("degraded (queue full)")
+        );
+    }
+}

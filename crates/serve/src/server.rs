@@ -1,0 +1,333 @@
+//! The TCP server: acceptor, bounded admission queue, and the
+//! `wnsk-exec` worker pool that drains it.
+//!
+//! Request lifecycle:
+//!
+//! 1. a connection thread reads one NDJSON line, parses and *resolves*
+//!    it (vocabulary lookups, id validation) — malformed requests are
+//!    answered immediately and never consume a queue slot;
+//! 2. admission: the request enters the bounded queue, or is shed with
+//!    a `queue full` response when the queue is at `queue_depth`
+//!    (`serve.shed`); the queue length at admission feeds the
+//!    `serve.queue_depth` histogram;
+//! 3. a pool worker dequeues it; if its deadline already expired while
+//!    queued it is shed (`deadline exceeded`), otherwise the remaining
+//!    deadline becomes the query's [`wnsk_core::QueryBudget`] so a
+//!    mid-query expiry degrades the answer instead of stalling the
+//!    connection;
+//! 4. the response line travels back over the per-job channel and the
+//!    end-to-end latency lands in `serve.request_ns`.
+
+use crate::engine::{ResolvedRequest, ServeEngine};
+use crate::protocol;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use wnsk_core::WhyNotEngine;
+use wnsk_exec::{ExecMetrics, Executor};
+use wnsk_obs::Registry;
+
+/// Server configuration, mirrored by `wnsk serve`'s flags.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads draining the admission queue.
+    pub threads: usize,
+    /// Admission-queue capacity; requests beyond it are shed.
+    pub queue_depth: usize,
+    /// Answer-cache capacity (entries per cache structure).
+    pub cache_entries: usize,
+    /// Artificial per-request service delay — a load knob for shedding
+    /// experiments and deterministic queue-full tests; zero in
+    /// production.
+    pub worker_delay: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            queue_depth: 64,
+            cache_entries: 256,
+            worker_delay: Duration::ZERO,
+        }
+    }
+}
+
+struct Job {
+    request: ResolvedRequest,
+    deadline: Option<Duration>,
+    enqueued: Instant,
+    reply: mpsc::Sender<String>,
+}
+
+struct Shared {
+    serve: ServeEngine,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    queue_depth: usize,
+    worker_delay: Duration,
+}
+
+impl Shared {
+    /// Admission control: returns the reply channel on acceptance, the
+    /// rendered shed/shutdown response otherwise.
+    fn submit(
+        &self,
+        request: ResolvedRequest,
+        deadline: Option<Duration>,
+    ) -> Result<mpsc::Receiver<String>, String> {
+        let (reply, rx) = mpsc::channel();
+        let mut queue = self.queue.lock().unwrap();
+        if self.shutdown.load(Ordering::Acquire) {
+            return Err(protocol::render_error("server shutting down"));
+        }
+        if queue.len() >= self.queue_depth {
+            drop(queue);
+            self.serve.note_shed();
+            return Err(protocol::render_shed("queue full"));
+        }
+        self.serve.note_accepted(queue.len());
+        queue.push_back(Job {
+            request,
+            deadline,
+            enqueued: Instant::now(),
+            reply,
+        });
+        self.available.notify_one();
+        Ok(rx)
+    }
+
+    /// One worker's service loop: drain the queue, exit once shutdown
+    /// is signalled *and* the queue is empty (queued requests are
+    /// answered, not dropped).
+    fn pump(&self) {
+        loop {
+            let job = {
+                let mut queue = self.queue.lock().unwrap();
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        break Some(job);
+                    }
+                    if self.shutdown.load(Ordering::Acquire) {
+                        break None;
+                    }
+                    let (guard, _timeout) = self
+                        .available
+                        .wait_timeout(queue, Duration::from_millis(50))
+                        .unwrap();
+                    queue = guard;
+                }
+            };
+            let Some(job) = job else { return };
+            if !self.worker_delay.is_zero() {
+                std::thread::sleep(self.worker_delay);
+            }
+            let waited = job.enqueued.elapsed();
+            let response = match job.deadline {
+                Some(deadline) if waited >= deadline => {
+                    self.serve.note_shed();
+                    protocol::render_shed("deadline exceeded")
+                }
+                deadline => {
+                    let remaining = deadline.map(|d| d.saturating_sub(waited));
+                    self.serve.execute(&job.request, remaining)
+                }
+            };
+            self.serve.note_request_done(job.enqueued.elapsed());
+            let _ = job.reply.send(response);
+        }
+    }
+
+    /// Handles one client connection: line-framed request/response with
+    /// a read timeout so shutdown is observed even on idle connections.
+    fn handle_connection(&self, mut stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+        let _ = stream.set_nodelay(true);
+        let mut pending: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => return,
+                Ok(n) => {
+                    pending.extend_from_slice(&chunk[..n]);
+                    while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+                        let line: Vec<u8> = pending.drain(..=pos).collect();
+                        let line = String::from_utf8_lossy(&line);
+                        let line = line.trim();
+                        if line.is_empty() {
+                            continue;
+                        }
+                        let response = self.handle_line(line);
+                        if stream.write_all(response.as_bytes()).is_err()
+                            || stream.write_all(b"\n").is_err()
+                        {
+                            return;
+                        }
+                        let _ = stream.flush();
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn handle_line(&self, line: &str) -> String {
+        let parsed = match protocol::parse_request(line) {
+            Ok(p) => p,
+            Err(e) => return protocol::render_error(&e),
+        };
+        let resolved = match self.serve.resolve(&parsed.request) {
+            Ok(r) => r,
+            Err(e) => return protocol::render_error(&e),
+        };
+        match self.submit(resolved, parsed.deadline) {
+            Ok(rx) => rx
+                .recv()
+                .unwrap_or_else(|_| protocol::render_error("server shutting down")),
+            Err(response) => response,
+        }
+    }
+}
+
+/// The running server. Constructed by [`Server::start`]; dropped or
+/// explicitly [`ServerHandle::shutdown`] to stop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared metrics registry (engine + `serve.*`).
+    pub fn registry(&self) -> &Registry {
+        self.shared.serve.registry()
+    }
+
+    /// The serving engine (for in-process inspection in tests and the
+    /// bench gate).
+    pub fn serve_engine(&self) -> &ServeEngine {
+        &self.shared.serve
+    }
+
+    /// Graceful shutdown: stop admitting, answer everything already
+    /// queued, join every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.workers.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.connections.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    fn stop(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        // Unblock the acceptor's blocking `accept`.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // Best-effort signal; `shutdown()` is the joining path.
+        self.stop();
+    }
+}
+
+/// Builder entry point for the serving layer.
+pub struct Server;
+
+impl Server {
+    /// Binds `config.addr` and starts the acceptor plus the worker
+    /// pool. The engine is expected warm (indexes already built); the
+    /// server adds only the cache and admission machinery.
+    pub fn start(engine: WhyNotEngine, config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let threads = config.threads.max(1);
+        let shared = Arc::new(Shared {
+            serve: ServeEngine::new(engine, config.cache_entries),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            queue_depth: config.queue_depth.max(1),
+            worker_delay: config.worker_delay,
+        });
+
+        // The worker pool: one long-lived pump task per worker, seeded
+        // into the work-stealing executor. Each pump loops over the
+        // shared queue until shutdown, so requests are genuinely
+        // dispatched onto the wnsk-exec pool.
+        let pool_shared = Arc::clone(&shared);
+        let workers = std::thread::spawn(move || {
+            let exec = Executor::new(threads);
+            let metrics = ExecMetrics::new(exec.threads());
+            let seeds: Vec<usize> = (0..threads).collect();
+            let result: Result<Vec<()>, std::convert::Infallible> = exec.run(
+                seeds,
+                &metrics,
+                || false,
+                |_| (),
+                |_, _pump, _handle| {
+                    pool_shared.pump();
+                    Ok(())
+                },
+            );
+            result.expect("pump tasks are infallible");
+        });
+
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_shared = Arc::clone(&shared);
+        let accept_connections = Arc::clone(&connections);
+        let acceptor = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                let Ok(stream) = stream else { continue };
+                let conn_shared = Arc::clone(&accept_shared);
+                let handle = std::thread::spawn(move || conn_shared.handle_connection(stream));
+                accept_connections.lock().unwrap().push(handle);
+            }
+        });
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers: Some(workers),
+            connections,
+        })
+    }
+}

@@ -1,5 +1,5 @@
+use crate::cache::Lru;
 use crate::crc::crc32;
-use crate::lru::LruMap;
 use crate::{
     IoStats, IoStatsSnapshot, PageId, Result, StorageBackend, StorageError, PAGE_DATA_SIZE,
     PAGE_SIZE,
@@ -74,7 +74,7 @@ impl Default for BufferPoolConfig {
 }
 
 struct Shard {
-    cache: Mutex<LruMap<PageId, Bytes>>,
+    cache: Mutex<Lru<PageId, Bytes>>,
 }
 
 /// A sharded LRU page cache with I/O accounting, page checksums, and
@@ -126,7 +126,7 @@ impl BufferPool {
         let per_shard = frames / config.shards;
         let shards = (0..config.shards)
             .map(|_| Shard {
-                cache: Mutex::new(LruMap::new(per_shard)),
+                cache: Mutex::new(Lru::new(per_shard)),
             })
             .collect();
         BufferPool {

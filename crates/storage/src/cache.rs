@@ -1,8 +1,22 @@
-//! A classic intrusive-list LRU map used inside each buffer-pool shard.
+//! A reusable fixed-capacity LRU map.
 //!
 //! Entries live in a slab; a doubly linked list threaded through the slab
 //! orders them from most- to least-recently used. All operations are O(1)
-//! (plus the `HashMap` lookup).
+//! (plus the `HashMap` lookup). The buffer pool uses one [`Lru`] per
+//! shard; the serving layer's cross-query answer cache wraps one in a
+//! mutex — the structure itself is deliberately not synchronised, so
+//! every consumer picks its own locking granularity.
+//!
+//! ```
+//! use wnsk_storage::cache::Lru;
+//!
+//! let mut lru = Lru::new(2);
+//! lru.insert("a", 1);
+//! lru.insert("b", 2);
+//! lru.get(&"a"); // "b" is now least recently used
+//! assert_eq!(lru.insert("c", 3), Some(("b", 2)));
+//! assert_eq!(lru.get(&"a"), Some(&1));
+//! ```
 
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -18,7 +32,7 @@ struct Entry<K, V> {
 
 /// A fixed-capacity LRU map evicting the least-recently-used entry on
 /// overflow.
-pub(crate) struct LruMap<K, V> {
+pub struct Lru<K, V> {
     map: HashMap<K, usize>,
     slab: Vec<Option<Entry<K, V>>>,
     free: Vec<usize>,
@@ -27,11 +41,11 @@ pub(crate) struct LruMap<K, V> {
     capacity: usize,
 }
 
-impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
+impl<K: Eq + Hash + Clone, V> Lru<K, V> {
     /// Creates a map holding at most `capacity` entries (`capacity ≥ 1`).
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "LRU capacity must be at least 1");
-        LruMap {
+        Lru {
             map: HashMap::with_capacity(capacity),
             slab: Vec::with_capacity(capacity),
             free: Vec::new(),
@@ -46,10 +60,26 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
         self.map.len()
     }
 
+    /// `true` when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Looks up `key`, marking it most recently used.
     pub fn get(&mut self, key: &K) -> Option<&V> {
         let idx = *self.map.get(key)?;
         self.touch(idx);
+        Some(&self.slab[idx].as_ref().expect("mapped index is live").value)
+    }
+
+    /// Looks up `key` without disturbing the recency order.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
         Some(&self.slab[idx].as_ref().expect("mapped index is live").value)
     }
 
@@ -170,17 +200,19 @@ mod tests {
 
     #[test]
     fn insert_and_get() {
-        let mut lru = LruMap::new(2);
+        let mut lru = Lru::new(2);
         assert!(lru.insert(1, "a").is_none());
         assert!(lru.insert(2, "b").is_none());
         assert_eq!(lru.get(&1), Some(&"a"));
         assert_eq!(lru.get(&3), None);
         assert_eq!(lru.len(), 2);
+        assert!(!lru.is_empty());
+        assert_eq!(lru.capacity(), 2);
     }
 
     #[test]
     fn evicts_least_recently_used() {
-        let mut lru = LruMap::new(2);
+        let mut lru = Lru::new(2);
         lru.insert(1, "a");
         lru.insert(2, "b");
         lru.get(&1); // 2 is now LRU
@@ -192,8 +224,18 @@ mod tests {
     }
 
     #[test]
+    fn peek_does_not_touch() {
+        let mut lru = Lru::new(2);
+        lru.insert(1, "a");
+        lru.insert(2, "b");
+        assert_eq!(lru.peek(&1), Some(&"a")); // 1 stays LRU
+        assert_eq!(lru.insert(3, "c"), Some((1, "a")));
+        assert_eq!(lru.peek(&9), None);
+    }
+
+    #[test]
     fn reinsert_updates_value_without_eviction() {
-        let mut lru = LruMap::new(2);
+        let mut lru = Lru::new(2);
         lru.insert(1, "a");
         lru.insert(2, "b");
         assert!(lru.insert(1, "a2").is_none());
@@ -203,7 +245,7 @@ mod tests {
 
     #[test]
     fn capacity_one() {
-        let mut lru = LruMap::new(1);
+        let mut lru = Lru::new(1);
         lru.insert(1, 10);
         assert_eq!(lru.insert(2, 20), Some((1, 10)));
         assert_eq!(lru.get(&2), Some(&20));
@@ -211,7 +253,7 @@ mod tests {
 
     #[test]
     fn eviction_order_is_insertion_when_untouched() {
-        let mut lru = LruMap::new(3);
+        let mut lru = Lru::new(3);
         lru.insert(1, ());
         lru.insert(2, ());
         lru.insert(3, ());
@@ -221,10 +263,11 @@ mod tests {
 
     #[test]
     fn clear_resets() {
-        let mut lru = LruMap::new(2);
+        let mut lru = Lru::new(2);
         lru.insert(1, "a");
         lru.clear();
         assert_eq!(lru.len(), 0);
+        assert!(lru.is_empty());
         assert_eq!(lru.get(&1), None);
         lru.insert(2, "b");
         assert_eq!(lru.get(&2), Some(&"b"));
@@ -232,13 +275,13 @@ mod tests {
 
     #[test]
     fn pop_lru_on_empty_is_none() {
-        let mut lru: LruMap<u32, u32> = LruMap::new(4);
+        let mut lru: Lru<u32, u32> = Lru::new(4);
         assert_eq!(lru.pop_lru(), None);
     }
 
     #[test]
     fn heavy_mixed_workload_respects_capacity() {
-        let mut lru = LruMap::new(16);
+        let mut lru = Lru::new(16);
         for i in 0..1000u32 {
             lru.insert(i % 64, i);
             assert!(lru.len() <= 16);
@@ -251,10 +294,22 @@ mod tests {
     #[test]
     fn owned_values_drop_cleanly() {
         // Regression guard: V with a destructor must survive eviction.
-        let mut lru: LruMap<u32, String> = LruMap::new(2);
+        let mut lru: Lru<u32, String> = Lru::new(2);
         for i in 0..100 {
             lru.insert(i, format!("value-{i}"));
         }
         assert_eq!(lru.get(&99).map(|s| s.as_str()), Some("value-99"));
+    }
+
+    #[test]
+    fn shared_generic_works_with_arc_values() {
+        // The serving layer stores Arc'd rank lists; eviction must only
+        // drop the cache's reference.
+        use std::sync::Arc;
+        let outside = Arc::new(vec![1u32, 2, 3]);
+        let mut lru: Lru<u8, Arc<Vec<u32>>> = Lru::new(1);
+        lru.insert(1, Arc::clone(&outside));
+        lru.insert(2, Arc::new(vec![]));
+        assert_eq!(Arc::strong_count(&outside), 1);
     }
 }

@@ -30,11 +30,11 @@
 mod backend;
 mod blob;
 mod buffer_pool;
+pub mod cache;
 pub mod codec;
 pub mod crc;
 mod error;
 pub mod fault;
-mod lru;
 mod page;
 mod stats;
 

@@ -23,7 +23,7 @@ pub use kcm::KeywordCountMap;
 pub use keyword_set::KeywordSet;
 pub use model::TextModel;
 pub use particularity::CorpusStats;
-pub use vocab::{TermId, Vocabulary};
+pub use vocab::{TermId, Vocabulary, VocabularyFull};
 
 /// Jaccard similarity between two keyword sets (Eqn. 2).
 ///

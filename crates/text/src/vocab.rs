@@ -25,6 +25,23 @@ impl From<u32> for TermId {
     }
 }
 
+/// The vocabulary ran out of dense [`TermId`]s (more than `u32::MAX`
+/// distinct terms).
+///
+/// Surfaced as a typed error rather than a panic so that a server
+/// ingesting hostile or enormous documents degrades to a request error
+/// instead of taking the process down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VocabularyFull;
+
+impl fmt::Display for VocabularyFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vocabulary overflow: more than u32::MAX distinct terms")
+    }
+}
+
+impl std::error::Error for VocabularyFull {}
+
 /// An append-only string interner mapping keywords to [`TermId`]s.
 ///
 /// The vocabulary is shared between the dataset, the indexes and the query
@@ -44,17 +61,18 @@ impl Vocabulary {
 
     /// Interns `name`, returning its id (existing or fresh).
     ///
-    /// # Panics
-    /// Panics if more than `u32::MAX` distinct terms are interned.
-    pub fn intern(&mut self, name: &str) -> TermId {
+    /// # Errors
+    /// Returns [`VocabularyFull`] once `u32::MAX` distinct terms exist;
+    /// the vocabulary is left unchanged.
+    pub fn intern(&mut self, name: &str) -> Result<TermId, VocabularyFull> {
         if let Some(&id) = self.by_name.get(name) {
-            return id;
+            return Ok(id);
         }
-        let id = TermId(u32::try_from(self.names.len()).expect("vocabulary overflow"));
+        let id = TermId(u32::try_from(self.names.len()).map_err(|_| VocabularyFull)?);
         let boxed: Box<str> = name.into();
         self.names.push(boxed.clone());
         self.by_name.insert(boxed, id);
-        id
+        Ok(id)
     }
 
     /// Looks up a term id without interning.
@@ -99,8 +117,8 @@ mod tests {
     #[test]
     fn intern_is_idempotent() {
         let mut v = Vocabulary::new();
-        let a = v.intern("hotel");
-        let b = v.intern("hotel");
+        let a = v.intern("hotel").unwrap();
+        let b = v.intern("hotel").unwrap();
         assert_eq!(a, b);
         assert_eq!(v.len(), 1);
     }
@@ -108,16 +126,16 @@ mod tests {
     #[test]
     fn intern_assigns_dense_ids() {
         let mut v = Vocabulary::new();
-        assert_eq!(v.intern("a"), TermId(0));
-        assert_eq!(v.intern("b"), TermId(1));
-        assert_eq!(v.intern("a"), TermId(0));
-        assert_eq!(v.intern("c"), TermId(2));
+        assert_eq!(v.intern("a").unwrap(), TermId(0));
+        assert_eq!(v.intern("b").unwrap(), TermId(1));
+        assert_eq!(v.intern("a").unwrap(), TermId(0));
+        assert_eq!(v.intern("c").unwrap(), TermId(2));
     }
 
     #[test]
     fn name_round_trip() {
         let mut v = Vocabulary::new();
-        let id = v.intern("clean");
+        let id = v.intern("clean").unwrap();
         assert_eq!(v.name(id), Some("clean"));
         assert_eq!(v.get("clean"), Some(id));
         assert_eq!(v.get("missing"), None);
@@ -127,8 +145,8 @@ mod tests {
     #[test]
     fn iter_in_id_order() {
         let mut v = Vocabulary::new();
-        v.intern("x");
-        v.intern("y");
+        v.intern("x").unwrap();
+        v.intern("y").unwrap();
         let collected: Vec<_> = v.iter().map(|(id, s)| (id.0, s.to_string())).collect();
         assert_eq!(collected, vec![(0, "x".to_string()), (1, "y".to_string())]);
     }

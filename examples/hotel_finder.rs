@@ -77,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|h| SpatialObject {
             id: ObjectId(0),
             loc: Point::new(h.loc.0, h.loc.1),
-            doc: KeywordSet::from_terms(h.tags.iter().map(|t| vocab.intern(t))),
+            doc: KeywordSet::from_terms(h.tags.iter().map(|t| vocab.intern(t).unwrap())),
         })
         .collect();
     let dataset = Dataset::new(objects, WorldBounds::unit());

@@ -49,13 +49,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         objects.push(SpatialObject {
             id: ObjectId(0),
             loc: Point::new(loc.0, loc.1),
-            doc: KeywordSet::from_terms(tags.iter().map(|t| vocab.intern(t))),
+            doc: KeywordSet::from_terms(tags.iter().map(|t| vocab.intern(t).unwrap())),
         });
     }
 
     // …plus the merchant's restaurant, listed with its true attributes.
     let tags = ["sichuan", "cuisine", "spicy", "noodles", "family"];
-    let doc = KeywordSet::from_terms(tags.iter().map(|t| vocab.intern(t)));
+    let doc = KeywordSet::from_terms(tags.iter().map(|t| vocab.intern(t).unwrap()));
     objects.push(SpatialObject {
         id: ObjectId(0),
         loc: Point::new(0.358, 0.657), // two blocks from the landmark
