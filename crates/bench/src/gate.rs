@@ -134,6 +134,33 @@ pub fn run_bench_full(cfg: &XpConfig) -> BenchOutcome {
     );
     rows.push(bench_row("trio/KcRBased/t=1/traced".into(), 1, m, &report));
 
+    // The kernel A/B pairs: the serial trio workload under each
+    // set-arithmetic kernel. Both kernels are bit-identical in work
+    // metrics and penalty by construction (docs/KERNELS.md), and the
+    // gate's exact penalty check plus the serial work tolerance enforce
+    // that here; the wall-time delta between the pair is the measured
+    // kernel speedup (reported, never gated).
+    for kernel in wnsk_text::Kernel::ALL {
+        for algo in [
+            Algo::Advanced(AdvancedOptions {
+                kernel,
+                ..AdvancedOptions::default()
+            }),
+            Algo::Kcr(KcrOptions {
+                kernel,
+                ..KcrOptions::default()
+            }),
+        ] {
+            let (m, report) = measure_with_report(&bed, &algo, &qs);
+            rows.push(bench_row(
+                format!("kernel/{}/t=1/{kernel}", base_name(&algo)),
+                1,
+                m,
+                &report,
+            ));
+        }
+    }
+
     // The Fig. 10 thread sweep on the heavier workload: covers the
     // parallel executor (counting ranks, dynamic subtree tasks, shared
     // bound pruning) at every thread count the figure plots.

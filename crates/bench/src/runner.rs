@@ -171,33 +171,48 @@ impl Algo {
         ]
     }
 
-    /// Display name used in tables (matching the paper's legends).
+    /// Display name used in tables (matching the paper's legends). A
+    /// non-default kernel gets a `[scalar]`-style suffix — it is not one
+    /// of the paper's optimisations, so it never changes the base name.
     pub fn name(&self) -> String {
         match self {
             Algo::Bs => "BS".into(),
-            Algo::Advanced(o) if *o == AdvancedOptions::default() => "AdvancedBS".into(),
             Algo::Advanced(o) => {
-                let mut parts = Vec::new();
-                if o.early_stop {
-                    parts.push("Opt1");
-                }
-                if o.ordered_enumeration {
-                    parts.push("Opt2");
-                }
-                if o.keyword_set_filtering {
-                    parts.push("Opt3");
-                }
-                if o.threads > 1 {
-                    return format!("AdvancedBS(t={})", o.threads);
-                }
-                if parts.is_empty() {
-                    "BS".into()
+                let canonical = AdvancedOptions {
+                    kernel: o.kernel,
+                    ..AdvancedOptions::default()
+                };
+                let base = if *o == canonical {
+                    "AdvancedBS".into()
+                } else if o.threads > 1 {
+                    format!("AdvancedBS(t={})", o.threads)
                 } else {
-                    format!("BS+{}", parts.join("+"))
-                }
+                    let mut parts = Vec::new();
+                    if o.early_stop {
+                        parts.push("Opt1");
+                    }
+                    if o.ordered_enumeration {
+                        parts.push("Opt2");
+                    }
+                    if o.keyword_set_filtering {
+                        parts.push("Opt3");
+                    }
+                    if parts.is_empty() {
+                        "BS".into()
+                    } else {
+                        format!("BS+{}", parts.join("+"))
+                    }
+                };
+                tag_kernel(base, o.kernel)
             }
-            Algo::Kcr(o) if o.threads > 1 => format!("KcRBased(t={})", o.threads),
-            Algo::Kcr(_) => "KcRBased".into(),
+            Algo::Kcr(o) => {
+                let base = if o.threads > 1 {
+                    format!("KcRBased(t={})", o.threads)
+                } else {
+                    "KcRBased".into()
+                };
+                tag_kernel(base, o.kernel)
+            }
             Algo::ApproxBs(t) => format!("BS~{t}"),
             Algo::ApproxAdvanced(_, t) => format!("AdvancedBS~{t}"),
             Algo::ApproxKcr(_, t) => format!("KcRBased~{t}"),
@@ -215,6 +230,17 @@ impl Algo {
             Algo::ApproxAdvanced(o, t) => answer_approx_advanced(ds, &bed.setr, q, *o, *t),
             Algo::ApproxKcr(o, t) => answer_approx_kcr(ds, &bed.kcr, q, *o, *t),
         }
+    }
+}
+
+/// Appends a non-default kernel marker to a series name
+/// (`KcRBased[scalar]`); the default kernel stays unmarked so the
+/// paper-figure legends are unchanged.
+fn tag_kernel(base: String, kernel: wnsk_text::Kernel) -> String {
+    if kernel == wnsk_text::Kernel::default() {
+        base
+    } else {
+        format!("{base}[{kernel}]")
     }
 }
 

@@ -1,7 +1,11 @@
 //! Smoke tests: every experiment driver runs end-to-end on a miniature
 //! configuration and produces well-formed tables.
 
-use wnsk_bench::{experiments, XpConfig};
+use wnsk_bench::{experiments, measure_with_report, Algo, TestBed, XpConfig};
+use wnsk_core::{AdvancedOptions, KcrOptions};
+use wnsk_data::workload::WorkloadSpec;
+use wnsk_data::DatasetSpec;
+use wnsk_text::Kernel;
 
 fn tiny_cfg() -> XpConfig {
     XpConfig {
@@ -47,6 +51,90 @@ fn ext_channels_table() {
     for (_, ms) in &t.rows {
         for m in ms {
             assert!((0.0..=1.0).contains(&m.penalty));
+        }
+    }
+}
+
+/// The gate's kernel A/B contract, checked end-to-end at smoke scale:
+/// the scalar and bitset kernels must agree *bit for bit* on penalty
+/// and on every gated work metric — only wall time may differ. A
+/// violation here means a kernel changed what is computed, not just
+/// how fast (docs/KERNELS.md documents the invariant).
+#[test]
+fn kernel_ab_work_metrics_are_bit_identical() {
+    let cfg = tiny_cfg();
+    let bed = TestBed::with_fanout_and_io_latency(
+        &DatasetSpec::euro_like(cfg.scale),
+        wnsk_bench::runner::FANOUT,
+        cfg.io_latency(),
+    );
+    let spec = WorkloadSpec {
+        n_keywords: 4,
+        k: 10,
+        alpha: 0.5,
+        missing_rank: 51,
+        n_missing: 1,
+        seed: 42_000,
+    };
+    let qs = bed.questions(&spec, 2, 0.5);
+    assert!(!qs.is_empty(), "smoke workload generated no questions");
+
+    for threads in [1usize, 2] {
+        let pairs = [
+            (
+                Algo::Advanced(AdvancedOptions {
+                    threads,
+                    kernel: Kernel::Scalar,
+                    ..AdvancedOptions::default()
+                }),
+                Algo::Advanced(AdvancedOptions {
+                    threads,
+                    kernel: Kernel::Bitset,
+                    ..AdvancedOptions::default()
+                }),
+            ),
+            (
+                Algo::Kcr(KcrOptions {
+                    threads,
+                    kernel: Kernel::Scalar,
+                    ..KcrOptions::default()
+                }),
+                Algo::Kcr(KcrOptions {
+                    threads,
+                    kernel: Kernel::Bitset,
+                    ..KcrOptions::default()
+                }),
+            ),
+        ];
+        for (scalar, bitset) in pairs {
+            let (ms, rs) = measure_with_report(&bed, &scalar, &qs);
+            let (mb, rb) = measure_with_report(&bed, &bitset, &qs);
+            let name = bitset.name();
+            // The penalty is schedule-invariant (the executor's
+            // determinism contract), so it must match bit for bit at
+            // every thread count.
+            assert_eq!(
+                ms.penalty.to_bits(),
+                mb.penalty.to_bits(),
+                "{name} t={threads}: penalty differs between kernels"
+            );
+            // Work metrics are exactly deterministic only for serial
+            // runs; parallel runs carry steal-schedule noise that has
+            // nothing to do with the kernel (the gate gives such rows
+            // extra slack for the same reason).
+            if threads == 1 {
+                assert_eq!(
+                    ms.io, mb.io,
+                    "{name} t={threads}: physical I/O differs between kernels"
+                );
+                for counter in ["core.candidates", "core.queries_run", "core.nodes_expanded"] {
+                    assert_eq!(
+                        rs.counter(counter),
+                        rb.counter(counter),
+                        "{name} t={threads}: {counter} differs between kernels"
+                    );
+                }
+            }
         }
     }
 }

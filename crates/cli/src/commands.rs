@@ -14,7 +14,7 @@ use wnsk_index::{Dataset, KcrTree, ObjectId, SetRTree, SpatialKeywordQuery};
 use wnsk_obs::{QueryReport, Registry, Snapshot, Tracer};
 use wnsk_serve::{LoadgenConfig, Server, ServerConfig};
 use wnsk_storage::{BufferPool, BufferPoolConfig, FileBackend};
-use wnsk_text::{KeywordSet, Vocabulary};
+use wnsk_text::{Kernel, KeywordSet, Vocabulary};
 
 /// `wnsk generate` — write a synthetic dataset file.
 pub fn generate(args: &ParsedArgs) -> Result<String, String> {
@@ -264,6 +264,9 @@ pub fn whynot(args: &ParsedArgs) -> Result<String, String> {
     if threads == 0 {
         return Err("--threads must be at least 1".into());
     }
+    // Wall-time A/B knob: both kernels return bit-identical answers and
+    // work metrics (docs/KERNELS.md), so this never changes the output.
+    let kernel: Kernel = args.parse_or("kernel", Kernel::default())?;
     let question = WhyNotQuestion::new(query.clone(), missing.clone(), lambda);
 
     let algo = args.optional("algo").unwrap_or("kcr");
@@ -311,6 +314,7 @@ pub fn whynot(args: &ParsedArgs) -> Result<String, String> {
             let opts = AdvancedOptions {
                 budget,
                 threads,
+                kernel,
                 ..AdvancedOptions::none()
             };
             let a = answer_advanced(&ds, &tree, &question, opts).map_err(|e| e.to_string())?;
@@ -330,6 +334,7 @@ pub fn whynot(args: &ParsedArgs) -> Result<String, String> {
             let opts = AdvancedOptions {
                 budget,
                 threads,
+                kernel,
                 ..AdvancedOptions::default()
             };
             let a = answer_advanced(&ds, &tree, &question, opts).map_err(|e| e.to_string())?;
@@ -349,6 +354,7 @@ pub fn whynot(args: &ParsedArgs) -> Result<String, String> {
             let opts = KcrOptions {
                 budget,
                 threads,
+                kernel,
                 ..KcrOptions::default()
             };
             let a = if t == 0 {

@@ -12,6 +12,7 @@
 //!               --keywords a,b --missing ID[,ID…]
 //!               [--k 10] [--alpha 0.5] [--lambda 0.5]
 //!               [--algo bs|advanced|kcr] [--approx T] [--threads N]
+//!               [--kernel scalar|bitset]
 //!               [--metrics] [--explain[=tree|json]] [--trace-sample N]
 //!               [--metrics-export PATH|-]
 //!               [--deadline-ms N] [--max-page-reads N]
@@ -62,6 +63,7 @@ commands:
   whynot    --data FILE --setr FILE --kcr FILE --at X,Y --keywords a,b
             --missing ID[,ID...] [--k N] [--alpha A] [--lambda L]
             [--algo bs|advanced|kcr] [--approx T] [--threads N] [--metrics]
+            [--kernel scalar|bitset]
             [--explain[=tree|json]] [--trace-sample N]
             [--metrics-export PATH|-]
             [--deadline-ms N] [--max-page-reads N]
@@ -79,6 +81,9 @@ events, cache hits); --explain=json emits the same tree as JSON.
 file ('-' = into the output).
 --threads N runs the solver on a work-stealing pool of N workers; the
 answer is identical for every N.
+--kernel picks the set-arithmetic kernel (default bitset); both kernels
+return bit-identical answers and work metrics — only wall time changes
+(see docs/KERNELS.md).
 --deadline-ms / --max-page-reads cap the query budget (0 = unlimited);
 an exhausted budget degrades to the approximate answer and the output
 reports the answer quality.";

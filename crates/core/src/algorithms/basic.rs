@@ -31,15 +31,17 @@ use crate::enumeration::{Candidate, CandidateEnumerator};
 use crate::error::Result;
 use crate::question::{AlgoStats, RefinedQuery, WhyNotAnswer, WhyNotContext, WhyNotQuestion};
 use crate::rank::{SetRankOutcome, BUDGET_CHECK_INTERVAL};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wnsk_exec::{ExecMetrics, Executor, TaskContext, WorkerHandle};
-use wnsk_index::{st_score, Dataset, ObjectId, SetRTree, SpatialKeywordQuery, TopKSearch};
+use wnsk_index::{
+    st_score, Dataset, LeafSimKernel, ObjectId, SetRTree, SpatialKeywordQuery, TopKSearch,
+};
 use wnsk_obs::{Hist, SpanId, TracePayload, Tracer};
 use wnsk_storage::BlobRef;
-use wnsk_text::KeywordSet;
+use wnsk_text::{Kernel, KeywordSet, ProjectedSet};
 
 /// Toggles for the AdvancedBS optimisations (all on by default,
 /// single-threaded). `AdvancedOptions::none()` turns AdvancedBS back into
@@ -55,6 +57,12 @@ pub struct AdvancedOptions {
     pub keyword_set_filtering: bool,
     /// Opt4: number of worker threads (1 = serial).
     pub threads: usize,
+    /// Set-arithmetic kernel for the Opt3 filter and counting-scan leaf
+    /// similarities. Not one of the paper's optimisations — both kernels
+    /// produce bit-identical answers and work metrics (see
+    /// `docs/KERNELS.md`), so this is purely a wall-time A/B knob and
+    /// stays at its default under `none()` too.
+    pub kernel: Kernel,
     /// Resource limits; on exhaustion the solver degrades to the
     /// in-memory approximate fallback instead of running to completion.
     pub budget: QueryBudget,
@@ -67,6 +75,7 @@ impl Default for AdvancedOptions {
             ordered_enumeration: true,
             keyword_set_filtering: true,
             threads: 1,
+            kernel: Kernel::default(),
             budget: QueryBudget::unlimited(),
         }
     }
@@ -80,6 +89,7 @@ impl AdvancedOptions {
             ordered_enumeration: false,
             keyword_set_filtering: false,
             threads: 1,
+            kernel: Kernel::default(),
             budget: QueryBudget::unlimited(),
         }
     }
@@ -259,7 +269,12 @@ fn run_inner(
         }
     };
 
-    let ctx = WhyNotContext::new(dataset, question, initial_rank)?;
+    let mut ctx = WhyNotContext::new(dataset, question, initial_rank)?;
+    if opts.kernel == Kernel::Scalar {
+        // A/B knob: dropping the kernel state sends every downstream
+        // similarity through the merge-scan path.
+        ctx.kernel = None;
+    }
     let enumerator = CandidateEnumerator::new(&ctx);
 
     // Line 2: initialise with the basic refined query (penalty λ).
@@ -339,6 +354,7 @@ fn run_inner(
                 || guard.check().is_some(),
                 |_worker| WorkerState {
                     cache: HashSet::new(),
+                    proj: HashMap::new(),
                     best: LocalBest::new(),
                 },
                 |state, task, tctx| match task {
@@ -357,21 +373,12 @@ fn run_inner(
                 || guard.check().is_some(),
                 |_worker| WorkerState {
                     cache: HashSet::new(),
+                    proj: HashMap::new(),
                     best: LocalBest::new(),
                 },
                 |state, (seq, cand), handle| {
                     process_candidate(
-                        tree,
-                        &ctx,
-                        &opts,
-                        &cand,
-                        seq,
-                        &best,
-                        &mut state.best,
-                        &stats,
-                        &mut state.cache,
-                        &guard,
-                        handle,
+                        tree, &ctx, &opts, &cand, seq, &best, state, &stats, &guard, handle,
                     )
                 },
             )?
@@ -438,6 +445,10 @@ pub(crate) fn layer_sample(sample: Vec<Candidate>) -> Vec<(usize, Vec<Candidate>
 /// best merged at the layer's sequence barrier.
 struct WorkerState {
     cache: HashSet<ObjectId>,
+    /// Memoised bitset projections of cached dominators' documents, so
+    /// repeated Opt3 filter passes over the same dominator pay one merge
+    /// and then AND+popcount forever after. Unused on the scalar path.
+    proj: HashMap<ObjectId, ProjectedSet>,
     best: LocalBest,
 }
 
@@ -467,6 +478,7 @@ fn precheck_candidate(
     best: &SharedBest,
     stats: &SharedStats,
     dominator_cache: &HashSet<ObjectId>,
+    proj_cache: &mut HashMap<ObjectId, ProjectedSet>,
     handle: &WorkerHandle<'_>,
 ) -> Prechecked {
     stats.candidates_total.fetch_add(1, Ordering::Relaxed);
@@ -504,14 +516,29 @@ fn precheck_candidate(
     // test, Algorithm 1 lines 9–13).
     if opts.keyword_set_filtering {
         if let Some(max_rank) = max_rank {
+            // Bitset kernel: the candidate document (a subset of the
+            // question universe) projects once per precheck, each cached
+            // dominator's document once per worker (memoised in
+            // `proj_cache`), after which every filter test is an
+            // AND+popcount instead of a sorted-merge scan. The float
+            // expressions are identical, so the count — and therefore
+            // the pruning decision — matches the scalar path exactly.
+            let cand_bits = ctx.kernel.as_ref().map(|k| (k, k.project(&q_s.doc)));
             let still_dominating = dominator_cache
                 .iter()
                 .filter(|&&id| {
                     let o = ctx.dataset.object(id);
+                    let tsim = match &cand_bits {
+                        Some((k, cb)) => {
+                            let ob = proj_cache.entry(id).or_insert_with(|| k.project(&o.doc));
+                            q_s.sim.similarity_bits(ob, cb)
+                        }
+                        None => q_s.sim.similarity(&o.doc, &q_s.doc),
+                    };
                     let score = st_score(
                         q_s.alpha,
                         ctx.dataset.world().normalized_dist(&o.loc, &q_s.loc),
-                        q_s.sim.similarity(&o.doc, &q_s.doc),
+                        tsim,
                     );
                     score > min_score
                 })
@@ -570,23 +597,30 @@ fn process_candidate(
     cand: &Candidate,
     seq: u64,
     best: &SharedBest,
-    local: &mut LocalBest,
+    state: &mut WorkerState,
     stats: &SharedStats,
-    dominator_cache: &mut HashSet<ObjectId>,
     guard: &BudgetGuard,
     handle: &WorkerHandle<'_>,
 ) -> Result<()> {
     let d = cand.edit_distance;
-    let (max_rank, targets, min_score, q_s) =
-        match precheck_candidate(ctx, opts, cand, best, stats, dominator_cache, handle) {
-            Prechecked::Pruned => return Ok(()),
-            Prechecked::Run {
-                max_rank,
-                targets,
-                min_score,
-                q_s,
-            } => (max_rank, targets, min_score, q_s),
-        };
+    let (max_rank, targets, min_score, q_s) = match precheck_candidate(
+        ctx,
+        opts,
+        cand,
+        best,
+        stats,
+        &state.cache,
+        &mut state.proj,
+        handle,
+    ) {
+        Prechecked::Pruned => return Ok(()),
+        Prechecked::Run {
+            max_rank,
+            targets,
+            min_score,
+            q_s,
+        } => (max_rank, targets, min_score, q_s),
+    };
     let _ = min_score;
     // Under Opt1+Opt4 the limit is re-derived from the *live* shared
     // bound at every scan checkpoint: a peer's refresh mid-scan tightens
@@ -612,7 +646,7 @@ fn process_candidate(
         // BS retrieves until the missing objects appear; the optimised
         // variant stops as soon as the rank is known.
         !opts.early_stop,
-        opts.keyword_set_filtering.then_some(dominator_cache),
+        opts.keyword_set_filtering.then_some(&mut state.cache),
         guard,
     )?;
 
@@ -634,7 +668,7 @@ fn process_candidate(
             }
         }
         SetRankOutcome::Exact { rank } => {
-            offer_exact(ctx, &cand.doc, d, seq, rank, best, local, handle);
+            offer_exact(ctx, &cand.doc, d, seq, rank, best, &mut state.best, handle);
         }
     }
     Ok(())
@@ -673,11 +707,19 @@ fn launch_candidate(
     tctx: &TaskContext<'_, BsTask>,
 ) -> Result<()> {
     let _ = guard;
-    let (min_score, q_s) =
-        match precheck_candidate(ctx, opts, cand, best, stats, &state.cache, &tctx.handle) {
-            Prechecked::Pruned => return Ok(()),
-            Prechecked::Run { min_score, q_s, .. } => (min_score, q_s),
-        };
+    let (min_score, q_s) = match precheck_candidate(
+        ctx,
+        opts,
+        cand,
+        best,
+        stats,
+        &state.cache,
+        &mut state.proj,
+        &tctx.handle,
+    ) {
+        Prechecked::Pruned => return Ok(()),
+        Prechecked::Run { min_score, q_s, .. } => (min_score, q_s),
+    };
     stats.queries_run.fetch_add(1, Ordering::Relaxed);
     if tree.is_empty() {
         offer_exact(
@@ -692,8 +734,15 @@ fn launch_candidate(
         );
         return Ok(());
     }
+    // Candidate documents are subsets of the question universe, so the
+    // leaf kernel is exact; `None` (scalar merge) when the kernel is off
+    // or the universe spilled.
+    let leaf_kernel = ctx
+        .kernel
+        .as_ref()
+        .and_then(|_| LeafSimKernel::new(&ctx.universe, &q_s.doc));
     let cs = Arc::new(CandScan {
-        scan: count::CountScan::new(q_s, min_score, opts.keyword_set_filtering),
+        scan: count::CountScan::new(q_s, min_score, opts.keyword_set_filtering, leaf_kernel),
         doc: cand.doc.clone(),
         d: cand.edit_distance,
         seq,

@@ -25,7 +25,7 @@ use crate::rank::SetRankOutcome;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use wnsk_exec::{ExecMetrics, Executor};
-use wnsk_index::{KcrTree, ObjectId, ScoredChildren, SetRTree, SpatialKeywordQuery};
+use wnsk_index::{KcrTree, LeafSimKernel, ObjectId, ScoredChildren, SetRTree, SpatialKeywordQuery};
 use wnsk_storage::BlobRef;
 
 /// A tree the counting traversal can descend: both paper indexes expose
@@ -37,6 +37,7 @@ pub(crate) trait CountableTree: Sync {
         &self,
         query: &SpatialKeywordQuery,
         node: BlobRef,
+        kernel: Option<&LeafSimKernel>,
     ) -> wnsk_storage::Result<ScoredChildren>;
     /// Credits `n` subtrees pruned by the score bound to the tree's
     /// traversal stats.
@@ -54,8 +55,9 @@ impl CountableTree for SetRTree {
         &self,
         query: &SpatialKeywordQuery,
         node: BlobRef,
+        kernel: Option<&LeafSimKernel>,
     ) -> wnsk_storage::Result<ScoredChildren> {
-        SetRTree::scored_children(self, query, node)
+        SetRTree::scored_children_with(self, query, node, kernel)
     }
     fn count_pruned(&self, n: u64) {
         self.traversal().nodes_pruned.add(n);
@@ -73,8 +75,9 @@ impl CountableTree for KcrTree {
         &self,
         query: &SpatialKeywordQuery,
         node: BlobRef,
+        kernel: Option<&LeafSimKernel>,
     ) -> wnsk_storage::Result<ScoredChildren> {
-        KcrTree::scored_children(self, query, node)
+        KcrTree::scored_children_with(self, query, node, kernel)
     }
     fn count_pruned(&self, n: u64) {
         self.traversal().nodes_pruned.add(n);
@@ -94,10 +97,17 @@ pub(crate) struct CountScan {
     /// Dominator ids for the Opt3 cache (empty unless collecting).
     pub(crate) found: Mutex<Vec<ObjectId>>,
     collect: bool,
+    /// Bitset kernel for leaf similarities (`None` = scalar merge).
+    kernel: Option<LeafSimKernel>,
 }
 
 impl CountScan {
-    pub(crate) fn new(query: SpatialKeywordQuery, min_score: f64, collect: bool) -> Self {
+    pub(crate) fn new(
+        query: SpatialKeywordQuery,
+        min_score: f64,
+        collect: bool,
+        kernel: Option<LeafSimKernel>,
+    ) -> Self {
         CountScan {
             query,
             min_score,
@@ -106,6 +116,7 @@ impl CountScan {
             aborted: AtomicBool::new(false),
             found: Mutex::new(Vec::new()),
             collect,
+            kernel,
         }
     }
 
@@ -145,7 +156,7 @@ impl CountScan {
         mut spawn: impl FnMut(BlobRef),
     ) -> Result<()> {
         match tree
-            .scored_children(&self.query, node)
+            .scored_children(&self.query, node, self.kernel.as_ref())
             .map_err(crate::WhyNotError::Storage)?
         {
             ScoredChildren::Leaf(objects) => {
@@ -205,7 +216,10 @@ pub(crate) fn parallel_rank(
         .iter()
         .map(|&(_, s)| s)
         .fold(f64::INFINITY, f64::min);
-    let scan = CountScan::new(query.clone(), min_score, false);
+    // The initial-rank scan runs against the *initial* query, before a
+    // question universe exists — it stays on the scalar path under both
+    // kernels (one scan per question; nothing to amortise).
+    let scan = CountScan::new(query.clone(), min_score, false, None);
     exec.run_dynamic(
         vec![tree.root()],
         metrics,

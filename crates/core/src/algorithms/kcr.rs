@@ -44,11 +44,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wnsk_exec::{ExecMetrics, Executor, SharedBound, TaskContext, WorkerHandle};
-use wnsk_index::kcr::{max_dom, min_dom, tau_lower, tau_upper, KcrTopKSearch, PreparedNode};
+use wnsk_index::kcr::{
+    max_dom_counts, min_dom_counts, tau_lower, tau_upper, KcrTopKSearch, PreparedNode,
+};
 use wnsk_index::{st_score, Dataset, KcrNode, KcrTree, NodeSummary, ObjectId};
 use wnsk_obs::{Hist, SpanId, TracePayload, Tracer};
 use wnsk_storage::BlobRef;
-use wnsk_text::KeywordSet;
+use wnsk_text::{Kernel, KeywordSet, ProjectedSet};
 
 /// Options for the KcR-based solver.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,6 +58,10 @@ pub struct KcrOptions {
     /// Worker threads; candidate batches are distributed across them with
     /// the best penalty synchronised (§IV-C4 / Fig. 10).
     pub threads: usize,
+    /// Set-arithmetic kernel for the dominator bounds and leaf
+    /// similarities; both produce bit-identical answers and work metrics
+    /// (see `docs/KERNELS.md`), so this is purely a wall-time A/B knob.
+    pub kernel: Kernel,
     /// §V-D: each edit-distance layer is split into benefit-ordered
     /// batches of this size, so early batches lower `p_c` before later
     /// ones pay for root-level bound evaluations — and each traversal
@@ -78,6 +84,7 @@ impl Default for KcrOptions {
     fn default() -> Self {
         KcrOptions {
             threads: 1,
+            kernel: Kernel::default(),
             batch_size: 64,
             budget: QueryBudget::unlimited(),
             initial_rank_hint: None,
@@ -204,7 +211,12 @@ fn run_inner(
         },
     );
 
-    let ctx = WhyNotContext::new(dataset, question, initial_rank)?;
+    let mut ctx = WhyNotContext::new(dataset, question, initial_rank)?;
+    if opts.kernel == Kernel::Scalar {
+        // A/B knob: dropping the kernel state sends every downstream
+        // similarity and dominator bound through the merge-scan path.
+        ctx.kernel = None;
+    }
     let enumerator = CandidateEnumerator::new(&ctx);
 
     // Line 2: the basic refined query initialises the best.
@@ -396,6 +408,9 @@ fn run_inner(
 /// Per-candidate traversal state.
 struct CandState {
     doc: KeywordSet,
+    /// `doc` projected onto the question universe (bitset kernel only;
+    /// candidates are subsets of the universe, so this is lossless).
+    bits: Option<ProjectedSet>,
     edit_distance: usize,
     /// Global candidate sequence number (lexicographic merge tiebreak).
     seq: u64,
@@ -406,6 +421,15 @@ struct CandState {
     rank_hi: i64,
     rank_lo: i64,
     active: bool,
+}
+
+/// Builds a [`PreparedNode`] matching the context's kernel: with the
+/// packed per-slot counts when the bitset kernel is active.
+fn prepare_node(summary: &NodeSummary, ctx: &WhyNotContext<'_>) -> PreparedNode {
+    match ctx.kernel.as_ref() {
+        Some(k) => PreparedNode::with_projection(summary, k.universe()),
+        None => PreparedNode::new(summary),
+    }
 }
 
 struct QueuedNode {
@@ -454,6 +478,7 @@ fn bound_and_prune(
                 .map(|(m, &tsim)| st_score(alpha, m.sdist, tsim))
                 .collect();
             CandState {
+                bits: ctx.kernel.as_ref().map(|k| k.project(&c.doc)),
                 doc: c.doc.clone(),
                 edit_distance: c.edit_distance,
                 seq: seq0 + i as u64,
@@ -538,13 +563,19 @@ fn bound_and_prune(
             KcrNode::Leaf(entries) => {
                 for e in &entries {
                     let doc = tree.read_doc(e.doc).map_err(crate::WhyNotError::Storage)?;
+                    // Bitset kernel: project the document once, then each
+                    // candidate similarity is AND + popcount.
+                    let doc_bits = ctx.kernel.as_ref().map(|k| k.project(&doc));
                     let sdist = world.normalized_dist(&e.loc, &ctx.query.loc);
                     for (i, cand) in cands.iter().enumerate() {
                         if !cand.active {
                             continue;
                         }
-                        let score =
-                            st_score(alpha, sdist, ctx.query.sim.similarity(&doc, &cand.doc));
+                        let tsim = match (&doc_bits, &cand.bits) {
+                            (Some(db), Some(cb)) => ctx.query.sim.similarity_bits(db, cb),
+                            _ => ctx.query.sim.similarity(&doc, &cand.doc),
+                        };
+                        let score = st_score(alpha, sdist, tsim);
                         // max_i / min_i of per-missing dominance flags.
                         let (any, all) = leaf_dominance(score, &cand.m_scores);
                         sums[i].0 += any as i64;
@@ -574,22 +605,34 @@ fn bound_and_prune(
 
 /// `(MaxDom, MinDom)` of one prepared node summary for one candidate,
 /// maximised/minimised over the missing objects (§VI-A).
+///
+/// The candidate's term profile is built once — by the bitset gather
+/// when `bits` is present, by the scalar merge otherwise — and shared
+/// across every missing object's `max_dom`/`min_dom` threshold. Both
+/// constructions produce the same [`wnsk_index::kcr::SCounts`], so the
+/// bounds (and hence every work metric) are bit-identical by kernel.
+#[allow(clippy::too_many_arguments)]
 fn entry_dom_bounds(
     prep: &PreparedNode,
     min_dist: f64,
     max_dist: f64,
     ctx: &WhyNotContext<'_>,
     doc: &KeywordSet,
+    bits: Option<&ProjectedSet>,
     m_tsims: &[f64],
 ) -> (u32, u32) {
+    let sc = match bits {
+        Some(b) => prep.profile_bits(b),
+        None => prep.profile(doc),
+    };
     let alpha = ctx.query.alpha;
     let mut hi = 0u32;
     let mut lo = u32::MAX;
     for (m, &tsim) in ctx.missing.iter().zip(m_tsims) {
         let tl = tau_lower(alpha, min_dist, m.sdist, tsim);
         let tu = tau_upper(alpha, max_dist, m.sdist, tsim);
-        hi = hi.max(max_dom(prep, doc, tl, ctx.query.sim));
-        lo = lo.min(min_dom(prep, doc, tu, ctx.query.sim));
+        hi = hi.max(max_dom_counts(prep, &sc, tl, ctx.query.sim));
+        lo = lo.min(min_dom_counts(prep, &sc, tu, ctx.query.sim));
     }
     (hi, lo)
 }
@@ -617,7 +660,7 @@ fn node_contrib(
     cands: &mut [CandState],
     world: &wnsk_geo::WorldBounds,
 ) -> Vec<(u32, u32)> {
-    let prep = PreparedNode::new(summary);
+    let prep = prepare_node(summary, ctx);
     let min_dist = world.normalized_min_dist(&ctx.query.loc, &summary.mbr);
     let max_dist = world.normalized_max_dist(&ctx.query.loc, &summary.mbr);
     cands
@@ -626,7 +669,15 @@ fn node_contrib(
             if !cand.active {
                 return (0, 0);
             }
-            entry_dom_bounds(&prep, min_dist, max_dist, ctx, &cand.doc, &cand.m_tsims)
+            entry_dom_bounds(
+                &prep,
+                min_dist,
+                max_dist,
+                ctx,
+                &cand.doc,
+                cand.bits.as_ref(),
+                &cand.m_tsims,
+            )
         })
         .collect()
 }
@@ -722,6 +773,8 @@ fn refresh_candidates(
 /// force every frontier node exact — retiring there is Theorem 2).
 struct ParCand {
     doc: KeywordSet,
+    /// `doc` projected onto the question universe (bitset kernel only).
+    bits: Option<ProjectedSet>,
     edit_distance: usize,
     /// Global candidate sequence number (lexicographic merge tiebreak).
     seq: u64,
@@ -845,6 +898,7 @@ fn launch_batch(
                 .map(|(m, &tsim)| st_score(alpha, m.sdist, tsim))
                 .collect();
             ParCand {
+                bits: ctx.kernel.as_ref().map(|k| k.project(&c.doc)),
                 doc: c.doc.clone(),
                 edit_distance: c.edit_distance,
                 seq: seq0 + i as u64,
@@ -858,13 +912,21 @@ fn launch_batch(
     let scan = Arc::new(BatchScan { cands });
 
     let root_summary = tree.root_summary().map_err(crate::WhyNotError::Storage)?;
-    let prep = PreparedNode::new(&root_summary);
+    let prep = prepare_node(&root_summary, ctx);
     let min_dist = world.normalized_min_dist(&ctx.query.loc, &root_summary.mbr);
     let max_dist = world.normalized_max_dist(&ctx.query.loc, &root_summary.mbr);
     let traversal = tree.traversal();
     let mut root_contrib = Vec::with_capacity(scan.cands.len());
     for cand in &scan.cands {
-        let (hi, lo) = entry_dom_bounds(&prep, min_dist, max_dist, ctx, &cand.doc, &cand.m_tsims);
+        let (hi, lo) = entry_dom_bounds(
+            &prep,
+            min_dist,
+            max_dist,
+            ctx,
+            &cand.doc,
+            cand.bits.as_ref(),
+            &cand.m_tsims,
+        );
         let delta = pack_delta(hi as i64, lo as i64);
         let new = cand
             .bounds
@@ -940,7 +1002,7 @@ fn expand_batch_node(
                     cnt: e.cnt,
                     kcm: tree.read_kcm(e.kcm).map_err(crate::WhyNotError::Storage)?,
                 };
-                let prep = PreparedNode::new(&summary);
+                let prep = prepare_node(&summary, ctx);
                 let min_dist = world.normalized_min_dist(&ctx.query.loc, &summary.mbr);
                 let max_dist = world.normalized_max_dist(&ctx.query.loc, &summary.mbr);
                 let child_contrib: Vec<(u32, u32)> = scan
@@ -951,7 +1013,15 @@ fn expand_batch_node(
                         if !a {
                             return (0, 0);
                         }
-                        entry_dom_bounds(&prep, min_dist, max_dist, ctx, &cand.doc, &cand.m_tsims)
+                        entry_dom_bounds(
+                            &prep,
+                            min_dist,
+                            max_dist,
+                            ctx,
+                            &cand.doc,
+                            cand.bits.as_ref(),
+                            &cand.m_tsims,
+                        )
                     })
                     .collect();
                 for (i, &(hi, lo)) in child_contrib.iter().enumerate() {
@@ -972,12 +1042,17 @@ fn expand_batch_node(
         KcrNode::Leaf(entries) => {
             for e in &entries {
                 let doc = tree.read_doc(e.doc).map_err(crate::WhyNotError::Storage)?;
+                let doc_bits = ctx.kernel.as_ref().map(|k| k.project(&doc));
                 let sdist = world.normalized_dist(&e.loc, &ctx.query.loc);
                 for (i, cand) in scan.cands.iter().enumerate() {
                     if !actives[i] {
                         continue;
                     }
-                    let score = st_score(alpha, sdist, ctx.query.sim.similarity(&doc, &cand.doc));
+                    let tsim = match (&doc_bits, &cand.bits) {
+                        (Some(db), Some(cb)) => ctx.query.sim.similarity_bits(db, cb),
+                        _ => ctx.query.sim.similarity(&doc, &cand.doc),
+                    };
+                    let score = st_score(alpha, sdist, tsim);
                     let (any, all) = leaf_dominance(score, &cand.m_scores);
                     sums[i].0 += any as i64;
                     sums[i].1 += all as i64;

@@ -43,7 +43,9 @@ pub use engine::WhyNotEngine;
 pub use enumeration::{Candidate, CandidateEnumerator};
 pub use error::{Result, WhyNotError};
 pub use penalty::PenaltyModel;
-pub use question::{AlgoStats, RefinedQuery, WhyNotAnswer, WhyNotContext, WhyNotQuestion};
+pub use question::{
+    AlgoStats, QuestionKernel, RefinedQuery, WhyNotAnswer, WhyNotContext, WhyNotQuestion,
+};
 pub use rank::{rank_of_set, SetRankOutcome};
 
 pub use algorithms::{

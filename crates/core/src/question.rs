@@ -6,7 +6,7 @@ use crate::penalty::PenaltyModel;
 use std::time::Duration;
 use wnsk_geo::Point;
 use wnsk_index::{st_score, Dataset, ObjectId, SpatialKeywordQuery};
-use wnsk_text::KeywordSet;
+use wnsk_text::{KeywordSet, ProjectedSet, SimUniverse};
 
 /// A why-not question (Definition 2): the initial query, the objects the
 /// user expected to see, and the penalty preference λ.
@@ -64,6 +64,33 @@ pub struct MissingObjectInfo {
     pub sdist: f64,
 }
 
+/// Per-question bitset-kernel state, built once in
+/// [`WhyNotContext::new`] and shared by every candidate the solvers
+/// evaluate: the dense slot renumbering of the adaption universe.
+///
+/// `None` on the context when the universe spills past
+/// [`wnsk_text::BLOCK_BITS`] — impossible for enumerated questions
+/// (the enumerator caps the universe below 64 terms) but kept as a
+/// graceful scalar fallback rather than a panic.
+#[derive(Clone, Debug)]
+pub struct QuestionKernel {
+    uni: SimUniverse,
+}
+
+impl QuestionKernel {
+    /// The slot mapping over `doc₀ ∪ M.doc`.
+    #[inline]
+    pub fn universe(&self) -> &SimUniverse {
+        &self.uni
+    }
+
+    /// Projects a keyword set onto the question universe.
+    #[inline]
+    pub fn project(&self, set: &KeywordSet) -> ProjectedSet {
+        self.uni.project(set)
+    }
+}
+
 /// Everything the algorithms need about one why-not question, computed
 /// once: per-missing info, the candidate keyword universe, and the
 /// penalty model (which requires the initial rank `R(M, q)`).
@@ -77,6 +104,9 @@ pub struct WhyNotContext<'a> {
     pub missing_doc: KeywordSet,
     /// `doc₀ ∪ M.doc`, the candidate universe and Δdoc normaliser.
     pub universe: KeywordSet,
+    /// Bitset-kernel state over `universe` (`None` when it spills past
+    /// [`wnsk_text::BLOCK_BITS`]; solvers then stay on the scalar path).
+    pub kernel: Option<QuestionKernel>,
     /// `R(M, q) = max_i R(m_i, q)` under the initial query.
     pub initial_rank: usize,
     pub penalty: PenaltyModel,
@@ -131,6 +161,7 @@ impl<'a> WhyNotContext<'a> {
             initial_rank,
             universe.len(),
         );
+        let kernel = SimUniverse::new(&universe).map(|uni| QuestionKernel { uni });
         Ok(WhyNotContext {
             dataset,
             query: question.query.clone(),
@@ -138,6 +169,7 @@ impl<'a> WhyNotContext<'a> {
             missing,
             missing_doc,
             universe,
+            kernel,
             initial_rank,
             penalty,
         })

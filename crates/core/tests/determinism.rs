@@ -14,7 +14,7 @@ use wnsk_core::{
 use wnsk_geo::{Point, WorldBounds};
 use wnsk_index::{Dataset, KcrTree, ObjectId, SetRTree, SpatialKeywordQuery, SpatialObject};
 use wnsk_storage::{BufferPool, BufferPoolConfig, MemBackend};
-use wnsk_text::KeywordSet;
+use wnsk_text::{Kernel, KeywordSet};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -134,6 +134,67 @@ fn advanced_refined_query_is_identical_across_thread_counts() {
             };
             let ans = answer_advanced(&ds, &tree, &question, opts).unwrap();
             assert_identical(&baseline.refined, &ans.refined, "AdvancedBS", threads);
+        }
+    }
+    assert!(covered >= 3, "only {covered} seeds produced a workload");
+}
+
+/// The kernel A/B invariant at the answer level: swapping the bitset
+/// kernel for the scalar merge-scan — at any thread count — must leave
+/// the refined query bit-identical, for both solvers. The kernel is a
+/// wall-time knob, never a semantics knob (docs/KERNELS.md).
+#[test]
+fn kernels_agree_bit_for_bit_across_thread_counts() {
+    let vocab = 40;
+    let mut covered = 0;
+    for seed in 0..6u64 {
+        let ds = random_dataset(400, vocab, 5000 + seed);
+        let kcr_tree = KcrTree::build(pool(), &ds, 8).unwrap();
+        let setr_tree = SetRTree::build(pool(), &ds, 8).unwrap();
+        let Some(question) = make_question(&ds, vocab, 6000 + seed) else {
+            continue;
+        };
+        covered += 1;
+        let kcr_base = answer_kcr(&ds, &kcr_tree, &question, KcrOptions::default()).unwrap();
+        let adv_base =
+            answer_advanced(&ds, &setr_tree, &question, AdvancedOptions::default()).unwrap();
+        for kernel in Kernel::ALL {
+            for threads in THREAD_COUNTS {
+                let ans = answer_kcr(
+                    &ds,
+                    &kcr_tree,
+                    &question,
+                    KcrOptions {
+                        threads,
+                        kernel,
+                        ..KcrOptions::default()
+                    },
+                )
+                .unwrap();
+                assert_identical(
+                    &kcr_base.refined,
+                    &ans.refined,
+                    &format!("KcRBased[{kernel}]"),
+                    threads,
+                );
+                let ans = answer_advanced(
+                    &ds,
+                    &setr_tree,
+                    &question,
+                    AdvancedOptions {
+                        threads,
+                        kernel,
+                        ..AdvancedOptions::default()
+                    },
+                )
+                .unwrap();
+                assert_identical(
+                    &adv_base.refined,
+                    &ans.refined,
+                    &format!("AdvancedBS[{kernel}]"),
+                    threads,
+                );
+            }
         }
     }
     assert!(covered >= 3, "only {covered} seeds produced a workload");

@@ -16,6 +16,7 @@ use crate::query::{st_score, SpatialKeywordQuery};
 use crate::setr::{SetRTree, SetrNode};
 use crate::KcrNode;
 use wnsk_storage::{BlobRef, Result};
+use wnsk_text::{KeywordSet, SimUniverse, TextModel};
 
 /// One expanded node: children with their score (bound).
 pub enum ScoredChildren {
@@ -23,6 +24,42 @@ pub enum ScoredChildren {
     Internal(Vec<(BlobRef, f64)>),
     /// Leaf objects with their exact score under the query.
     Leaf(Vec<(ObjectId, f64)>),
+}
+
+/// Precomputed bitset state for leaf text scoring under one query: the
+/// universe slot mapping plus the query keyword set already projected.
+///
+/// With it, scoring a leaf is one projection of the decoded document
+/// followed by an AND+popcount per similarity — exact and bit-identical
+/// to the scalar merge because the query set lies fully inside the
+/// universe (see [`TextModel::similarity_bits`]). Internal-node bounds
+/// stay on the scalar path under both kernels: each bound is evaluated
+/// once per node against freshly decoded union/intersection sets, so
+/// there is no intersection to amortise.
+#[derive(Clone, Debug)]
+pub struct LeafSimKernel {
+    uni: SimUniverse,
+    qdoc: wnsk_text::ProjectedSet,
+}
+
+impl LeafSimKernel {
+    /// Builds the kernel, or `None` when `universe` spills past
+    /// [`wnsk_text::BLOCK_BITS`] or `qdoc` is not fully inside it (both
+    /// cases fall back to the scalar path, which is always exact).
+    pub fn new(universe: &KeywordSet, qdoc: &KeywordSet) -> Option<Self> {
+        let uni = SimUniverse::new(universe)?;
+        let q = uni.project(qdoc);
+        if !q.in_universe() {
+            return None;
+        }
+        Some(LeafSimKernel { uni, qdoc: q })
+    }
+
+    /// `similarity(doc, qdoc)` via the bitset kernel.
+    #[inline]
+    pub fn similarity(&self, model: TextModel, doc: &KeywordSet) -> f64 {
+        model.similarity_bits(&self.uni.project(doc), &self.qdoc)
+    }
 }
 
 impl SetRTree {
@@ -34,13 +71,27 @@ impl SetRTree {
         query: &SpatialKeywordQuery,
         node: BlobRef,
     ) -> Result<ScoredChildren> {
+        self.scored_children_with(query, node, None)
+    }
+
+    /// [`SetRTree::scored_children`] with an optional bitset kernel for
+    /// the leaf text similarities.
+    pub fn scored_children_with(
+        &self,
+        query: &SpatialKeywordQuery,
+        node: BlobRef,
+        kernel: Option<&LeafSimKernel>,
+    ) -> Result<ScoredChildren> {
         match self.read_node(node)? {
             SetrNode::Leaf(entries) => {
                 let mut out = Vec::with_capacity(entries.len());
                 for e in entries {
                     let doc = self.read_keyword_set(e.doc)?;
                     let sdist = self.world().normalized_dist(&e.loc, &query.loc);
-                    let tsim = query.sim.similarity(&doc, &query.doc);
+                    let tsim = match kernel {
+                        Some(k) => k.similarity(query.sim, &doc),
+                        None => query.sim.similarity(&doc, &query.doc),
+                    };
                     out.push((e.object, st_score(query.alpha, sdist, tsim)));
                 }
                 Ok(ScoredChildren::Leaf(out))
@@ -69,13 +120,27 @@ impl KcrTree {
         query: &SpatialKeywordQuery,
         node: BlobRef,
     ) -> Result<ScoredChildren> {
+        self.scored_children_with(query, node, None)
+    }
+
+    /// [`KcrTree::scored_children`] with an optional bitset kernel for
+    /// the leaf text similarities.
+    pub fn scored_children_with(
+        &self,
+        query: &SpatialKeywordQuery,
+        node: BlobRef,
+        kernel: Option<&LeafSimKernel>,
+    ) -> Result<ScoredChildren> {
         match self.read_node(node)? {
             KcrNode::Leaf(entries) => {
                 let mut out = Vec::with_capacity(entries.len());
                 for e in entries {
                     let doc = self.read_doc(e.doc)?;
                     let sdist = self.world().normalized_dist(&e.loc, &query.loc);
-                    let tsim = query.sim.similarity(&doc, &query.doc);
+                    let tsim = match kernel {
+                        Some(k) => k.similarity(query.sim, &doc),
+                        None => query.sim.similarity(&doc, &query.doc),
+                    };
                     out.push((e.object, st_score(query.alpha, sdist, tsim)));
                 }
                 Ok(ScoredChildren::Leaf(out))

@@ -47,7 +47,7 @@
 //! every assignment forces at least `ans+1` objects above `τ_U`.
 
 use super::NodeSummary;
-use wnsk_text::{KeywordCountMap, KeywordSet, TextModel};
+use wnsk_text::{KeywordCountMap, KeywordSet, ProjectedSet, SimUniverse, TextModel};
 
 /// Slack for floating-point comparisons, oriented so both bounds stay
 /// conservative (MaxDom can only grow, MinDom only shrink).
@@ -78,6 +78,10 @@ pub struct PreparedNode {
     sorted_counts: Vec<u32>,
     prefix_counts: Vec<u64>,
     kcm: KeywordCountMap,
+    /// Bitset-kernel layout: `count_t` per universe slot, contiguous and
+    /// addressed by bit index instead of hash lookup. Built by
+    /// [`PreparedNode::with_projection`]; `None` on the scalar path.
+    slot_counts: Option<Box<[u32]>>,
 }
 
 impl PreparedNode {
@@ -98,7 +102,26 @@ impl PreparedNode {
             sorted_counts,
             prefix_counts,
             kcm: summary.kcm.clone(),
+            slot_counts: None,
         }
+    }
+
+    /// Preprocesses a node summary for the bitset kernel: additionally
+    /// packs the keyword-count map into a dense per-slot array over the
+    /// question's [`SimUniverse`], so evaluating a candidate becomes a
+    /// popcount-driven gather instead of per-term hash lookups.
+    ///
+    /// Slot order is ascending `TermId` (the universe invariant), so the
+    /// gathered counts are *the same sequence* the scalar path produces —
+    /// which is what keeps the two kernels bit-identical.
+    pub fn with_projection(summary: &NodeSummary, uni: &SimUniverse) -> Self {
+        let mut prep = Self::new(summary);
+        prep.slot_counts = Some(
+            (0..uni.len())
+                .map(|slot| prep.kcm.count(uni.term_at(slot)))
+                .collect(),
+        );
+        prep
     }
 
     /// Number of objects under the node.
@@ -120,6 +143,62 @@ impl PreparedNode {
             .filter(|&c| c > 0)
             .collect()
     }
+
+    /// The candidate-term profile the dominator cores consume, via the
+    /// scalar merge path.
+    pub fn profile(&self, s: &KeywordSet) -> SCounts {
+        SCounts {
+            counts: self.s_counts(s),
+            s_len: s.len() as u64,
+        }
+    }
+
+    /// The candidate-term profile via the bitset kernel: gathers the
+    /// packed per-slot counts along the candidate's set bits (ascending
+    /// slots = ascending `TermId`s, so this equals [`Self::profile`] on
+    /// the same candidate).
+    ///
+    /// The candidate must lie fully inside the universe this node was
+    /// prepared with — true for every enumerated candidate, which is a
+    /// subset of `doc₀ ∪ M.doc` by construction.
+    ///
+    /// # Panics
+    /// If the node was built with [`PreparedNode::new`] rather than
+    /// [`PreparedNode::with_projection`].
+    pub fn profile_bits(&self, s: &ProjectedSet) -> SCounts {
+        let slot_counts = self
+            .slot_counts
+            .as_ref()
+            .expect("profile_bits on a node prepared without a projection");
+        debug_assert!(s.in_universe(), "candidate spills outside the universe");
+        let counts = s
+            .bits()
+            .iter_slots()
+            .map(|slot| slot_counts[slot])
+            .filter(|&c| c > 0)
+            .collect();
+        SCounts {
+            counts,
+            s_len: s.full_len() as u64,
+        }
+    }
+}
+
+/// The per-(node, candidate) term profile both dominator bounds consume:
+/// the counts of candidate terms present under the node plus the full
+/// candidate cardinality `|S|`.
+///
+/// Built once per candidate and shared by [`max_dom_counts`] and
+/// [`min_dom_counts`] across every missing object's threshold — and by
+/// *both* kernels, which converge on this type before any arithmetic
+/// happens (the structural form of the bit-identity invariant).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SCounts {
+    /// `count_t` for each `t ∈ S ∩ N.doc`, in ascending `TermId` order.
+    counts: Vec<u32>,
+    /// `|S|` — the *full* candidate length, including terms absent from
+    /// the node (the similarity denominators need it).
+    s_len: u64,
 }
 
 /// `MaxDom(N, S, m)` (Algorithm 2, generalised per text model): an
@@ -137,6 +216,28 @@ impl PreparedNode {
 ///   dominator to hold more than `τ²|S|` relevant terms, so
 ///   `c_in(ans) ≥ ans·x_min` with `x_min = ⌊τ²|S|⌋+1`.
 pub fn max_dom(prep: &PreparedNode, s: &KeywordSet, tau: f64, model: TextModel) -> u32 {
+    if prep.cnt == 0 {
+        return 0;
+    }
+    if !(0.0..=1.0).contains(&tau) {
+        // Resolved inside the core without needing the profile.
+        return max_dom_counts(
+            prep,
+            &SCounts {
+                counts: Vec::new(),
+                s_len: 0,
+            },
+            tau,
+            model,
+        );
+    }
+    max_dom_counts(prep, &prep.profile(s), tau, model)
+}
+
+/// [`max_dom`] over a prebuilt candidate profile — the shared core both
+/// kernels call, so a batch can amortise one [`SCounts`] across every
+/// missing object's threshold.
+pub fn max_dom_counts(prep: &PreparedNode, sc: &SCounts, tau: f64, model: TextModel) -> u32 {
     let cnt = prep.cnt;
     if cnt == 0 {
         return 0;
@@ -148,13 +249,13 @@ pub fn max_dom(prep: &PreparedNode, s: &KeywordSet, tau: f64, model: TextModel) 
     if tau > 1.0 {
         return 0; // Similarity ≤ 1 < tau for every object.
     }
-    let s_counts = prep.s_counts(s);
+    let s_counts = &sc.counts;
     let c_in_total: u64 = s_counts.iter().map(|&c| c as u64).sum();
     if c_in_total == 0 {
         // No candidate term occurs in the subtree.
         return 0;
     }
-    let s_len = s.len() as u64;
+    let s_len = sc.s_len;
     let total_out = prep.total - c_in_total;
     // Relevant occurrences kept on the remaining `ans` objects.
     let c_in = |ans: u64| -> u64 { s_counts.iter().map(|&c| (c as u64).min(ans)).sum() };
@@ -267,6 +368,26 @@ const LINEAR_SCAN_CAP: u64 = 512;
 /// degenerates to 0 (or `cnt` when `tau < 0`) — costing pruning power,
 /// never correctness.
 pub fn min_dom(prep: &PreparedNode, s: &KeywordSet, tau: f64, model: TextModel) -> u32 {
+    if prep.cnt == 0 {
+        return 0;
+    }
+    if !(0.0..1.0).contains(&tau) {
+        return min_dom_counts(
+            prep,
+            &SCounts {
+                counts: Vec::new(),
+                s_len: 0,
+            },
+            tau,
+            model,
+        );
+    }
+    min_dom_counts(prep, &prep.profile(s), tau, model)
+}
+
+/// [`min_dom`] over a prebuilt candidate profile — the shared core both
+/// kernels call (see [`max_dom_counts`]).
+pub fn min_dom_counts(prep: &PreparedNode, sc: &SCounts, tau: f64, model: TextModel) -> u32 {
     let cnt = prep.cnt;
     if cnt == 0 {
         return 0;
@@ -278,14 +399,14 @@ pub fn min_dom(prep: &PreparedNode, s: &KeywordSet, tau: f64, model: TextModel) 
     if tau >= 1.0 {
         return 0; // Similarity > tau ≥ 1 is impossible.
     }
-    let s_counts = prep.s_counts(s);
+    let s_counts = &sc.counts;
     if s_counts.is_empty() {
         return 0; // Every object can have similarity 0 ≤ tau.
     }
     if model == TextModel::Cosine {
         return 0;
     }
-    let s_len = s.len() as u64;
+    let s_len = sc.s_len;
     for ans in 0..cnt as u64 {
         if ans > LINEAR_SCAN_CAP {
             // Every smaller count is proven infeasible, so at least `ans`
@@ -469,6 +590,56 @@ mod tests {
                 lo <= true_count && true_count <= hi,
                 "case {case}: lo={lo} true={true_count} hi={hi} tau={tau} s={s:?} docs={docs:?}"
             );
+        }
+    }
+
+    #[test]
+    fn bitset_profile_matches_scalar_profile() {
+        let summary = summary(&[(1, 8), (2, 3), (3, 7), (4, 2), (5, 1)], 8);
+        let uni = SimUniverse::new(&KeywordSet::from_ids([1, 3, 4, 9])).unwrap();
+        let prep = PreparedNode::with_projection(&summary, &uni);
+        for s in [
+            KeywordSet::from_ids([3, 4]),
+            KeywordSet::from_ids([1, 3, 9]),
+            KeywordSet::from_ids([9]),
+            KeywordSet::empty(),
+        ] {
+            let scalar = prep.profile(&s);
+            let bits = prep.profile_bits(&uni.project(&s));
+            assert_eq!(scalar, bits, "s={s:?}");
+            // And the cores see through to identical bounds.
+            for tau in [0.0, 0.395, 0.8] {
+                for model in [TextModel::Jaccard, TextModel::Dice, TextModel::Cosine] {
+                    assert_eq!(
+                        max_dom_counts(&prep, &scalar, tau, model),
+                        max_dom_counts(&prep, &bits, tau, model)
+                    );
+                    assert_eq!(
+                        min_dom_counts(&prep, &scalar, tau, model),
+                        min_dom_counts(&prep, &bits, tau, model)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counts_core_matches_set_entry_points() {
+        let prep = PreparedNode::new(&summary(&[(1, 8), (2, 3), (3, 7), (4, 2), (5, 1)], 8));
+        let s = KeywordSet::from_ids([3, 4]);
+        for tau in [-0.5, 0.0, 0.395, 0.9, 1.0, 1.5] {
+            for model in [TextModel::Jaccard, TextModel::Dice, TextModel::Cosine] {
+                assert_eq!(
+                    max_dom(&prep, &s, tau, model),
+                    max_dom_counts(&prep, &prep.profile(&s), tau, model),
+                    "max tau={tau} {model:?}"
+                );
+                assert_eq!(
+                    min_dom(&prep, &s, tau, model),
+                    min_dom_counts(&prep, &prep.profile(&s), tau, model),
+                    "min tau={tau} {model:?}"
+                );
+            }
         }
     }
 

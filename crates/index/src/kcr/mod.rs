@@ -16,7 +16,9 @@ mod build;
 mod node;
 mod search;
 
-pub use dom::{max_dom, min_dom, tau_lower, tau_upper, PreparedNode};
+pub use dom::{
+    max_dom, max_dom_counts, min_dom, min_dom_counts, tau_lower, tau_upper, PreparedNode, SCounts,
+};
 pub use node::{KcrEntry, KcrInternalEntry, KcrLeafEntry, KcrNode};
 pub use search::KcrTopKSearch;
 

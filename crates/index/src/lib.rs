@@ -32,7 +32,7 @@ pub mod str_pack;
 mod stream;
 mod util;
 
-pub use descend::ScoredChildren;
+pub use descend::{LeafSimKernel, ScoredChildren};
 pub use kcr::{KcrEntry, KcrNode, KcrTree, NodeSummary};
 pub use model::{Dataset, ObjectId, SpatialObject};
 pub use query::{st_score, tsim_node_upper, SpatialKeywordQuery};

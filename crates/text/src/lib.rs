@@ -11,18 +11,25 @@
 //!   from term to the number of objects in a subtree containing that term,
 //! * [`CorpusStats`] — document frequencies backing the IDF-based keyword
 //!   *particularity* of Eqn. 7, which drives the enumeration order
-//!   (§IV-C2) and the greedy sampler (§VI-B).
+//!   (§IV-C2) and the greedy sampler (§VI-B),
+//! * [`simd`] — fixed-width bitset kernels ([`BlockSet`], [`SimUniverse`],
+//!   [`ProjectedSet`]) that rewrite the hot set-intersection loops as
+//!   AND + popcount while staying bit-identical to the merge scans
+//!   (see `docs/KERNELS.md`).
+#![cfg_attr(feature = "wide", feature(portable_simd))]
 
 mod kcm;
 mod keyword_set;
 mod model;
 mod particularity;
+pub mod simd;
 mod vocab;
 
 pub use kcm::KeywordCountMap;
 pub use keyword_set::KeywordSet;
 pub use model::TextModel;
 pub use particularity::CorpusStats;
+pub use simd::{BlockSet, Kernel, ProjectedSet, SimUniverse, BLOCK_BITS, BLOCK_WORDS};
 pub use vocab::{TermId, Vocabulary, VocabularyFull};
 
 /// Jaccard similarity between two keyword sets (Eqn. 2).

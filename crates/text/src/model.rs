@@ -6,6 +6,7 @@
 //! choice; every scoring and bounding path in the workspace dispatches on
 //! it.
 
+use crate::simd::ProjectedSet;
 use crate::KeywordSet;
 
 /// A set-overlap similarity coefficient in `[0, 1]`.
@@ -62,6 +63,69 @@ impl TextModel {
                     0.0
                 } else {
                     inter / ((a.len() as f64) * (b.len() as f64)).sqrt()
+                }
+            }
+        }
+    }
+
+    /// Similarity between two projected keyword sets under this model —
+    /// the AND+popcount twin of [`TextModel::similarity`].
+    ///
+    /// Exactness precondition: both operands are projected onto the same
+    /// [`crate::SimUniverse`] and **at least one of them lies fully inside
+    /// it** ([`ProjectedSet::in_universe`]). Then for `S ⊆ U` and any `D`,
+    /// `|D ∩ S| = |(D ∩ U) ∩ S|`, so the popcount intersection equals the
+    /// merge-scan intersection, and because the floating-point expressions
+    /// below replicate [`TextModel::similarity`] verbatim the result is
+    /// **bit-identical** — not merely close (the invariant `docs/KERNELS.md`
+    /// documents and the determinism suite enforces).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wnsk_text::{KeywordSet, SimUniverse, TextModel};
+    ///
+    /// let doc = KeywordSet::from_ids([1, 2, 77]); // 77 outside the universe
+    /// let cand = KeywordSet::from_ids([2, 3]);
+    /// let uni = SimUniverse::new(&KeywordSet::from_ids([1, 2, 3, 10])).unwrap();
+    /// let (p_doc, p_cand) = (uni.project(&doc), uni.project(&cand));
+    /// assert!(p_cand.in_universe());
+    /// for model in [TextModel::Jaccard, TextModel::Dice, TextModel::Cosine] {
+    ///     // scalar == bitset, to the last bit
+    ///     assert_eq!(
+    ///         model.similarity(&doc, &cand).to_bits(),
+    ///         model.similarity_bits(&p_doc, &p_cand).to_bits(),
+    ///     );
+    /// }
+    /// ```
+    pub fn similarity_bits(self, a: &ProjectedSet, b: &ProjectedSet) -> f64 {
+        debug_assert!(
+            a.in_universe() || b.in_universe(),
+            "similarity_bits needs one operand fully inside the universe"
+        );
+        let inter = a.and_count(b) as f64;
+        match self {
+            TextModel::Jaccard => {
+                let union = (a.full_len() + b.full_len()) as f64 - inter;
+                if union == 0.0 {
+                    0.0
+                } else {
+                    inter / union
+                }
+            }
+            TextModel::Dice => {
+                let total = (a.full_len() + b.full_len()) as f64;
+                if total == 0.0 {
+                    0.0
+                } else {
+                    2.0 * inter / total
+                }
+            }
+            TextModel::Cosine => {
+                if a.full_len() == 0 || b.full_len() == 0 {
+                    0.0
+                } else {
+                    inter / ((a.full_len() as f64) * (b.full_len() as f64)).sqrt()
                 }
             }
         }

@@ -1,0 +1,106 @@
+//! The kernel-docs lint: `docs/KERNELS.md` must agree with the code it
+//! documents, so the performance-model reference cannot drift. CI runs
+//! this as an explicit lint step
+//! (`cargo test -p wnsk-text --test kernel_docs`), the same pattern as
+//! the metrics-name lint in `crates/obs/tests/metrics_names.rs`.
+
+use wnsk_text::{Kernel, KeywordSet, SimUniverse, TextModel, BLOCK_BITS, BLOCK_WORDS};
+
+fn kernels_doc() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/KERNELS.md");
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("docs/KERNELS.md must exist next to the workspace: {e}"))
+}
+
+/// The documented block dimensions must be the compiled ones: the doc
+/// states them as `` `BLOCK_WORDS = 4` `` / `` `BLOCK_BITS = 256` ``
+/// and this test re-renders those snippets from the source constants.
+#[test]
+fn documented_block_dimensions_match_source() {
+    let doc = kernels_doc();
+    for snippet in [
+        format!("`BLOCK_WORDS = {BLOCK_WORDS}`"),
+        format!("`BLOCK_BITS = {BLOCK_BITS}`"),
+    ] {
+        assert!(
+            doc.contains(&snippet),
+            "docs/KERNELS.md must state {snippet} (the constants changed, \
+             or the doc stopped pinning them)"
+        );
+    }
+}
+
+/// Every kernel the A/B switch accepts is documented by its CLI name,
+/// and the documented default is the real default.
+#[test]
+fn documented_kernel_names_match_source() {
+    let doc = kernels_doc();
+    for k in Kernel::ALL {
+        assert!(
+            doc.contains(&format!("`{k}`")) || doc.contains(&format!("{k}|")),
+            "docs/KERNELS.md never names kernel `{k}`"
+        );
+    }
+    let default_snippet = format!("default kernel: `{}`", Kernel::default());
+    assert!(
+        doc.contains(&default_snippet),
+        "docs/KERNELS.md must state \"{default_snippet}\" (the default changed?)"
+    );
+}
+
+/// The public API the doc walks through must still exist under the
+/// documented names. Referencing the items here makes a rename fail
+/// this lint at compile time; the string checks catch the doc dropping
+/// them.
+#[test]
+fn documented_api_names_exist_and_are_mentioned() {
+    let doc = kernels_doc();
+    for name in [
+        "SimUniverse",
+        "ProjectedSet",
+        "BlockSet",
+        "and_count",
+        "in_universe",
+        "similarity_bits",
+        "profile_bits",
+        "with_projection",
+        "max_dom_counts",
+        "min_dom_counts",
+        "LeafSimKernel",
+    ] {
+        assert!(
+            doc.contains(name),
+            "docs/KERNELS.md no longer mentions `{name}`"
+        );
+    }
+
+    // Compile-time existence checks for the wnsk-text side of the list
+    // (the wnsk-index items are covered by that crate's own tests).
+    let u = KeywordSet::from_ids([1u32, 2, 3]);
+    let uni = SimUniverse::new(&u).expect("three terms fit any block");
+    let p = uni.project(&u);
+    assert!(p.in_universe());
+    assert_eq!(p.bits().and_count(p.bits()), 3);
+    let _ = TextModel::Jaccard.similarity_bits(&p, &p);
+}
+
+/// The documented exactness contract: one operand inside the universe
+/// suffices even when the other spills far outside it. This is the
+/// claim the doc's `|D ∩ S| = |(D ∩ U) ∩ S|` line makes.
+#[test]
+fn documented_exactness_contract_holds() {
+    let universe = KeywordSet::from_ids([2u32, 3, 5, 8]);
+    let inside = KeywordSet::from_ids([3u32, 5]);
+    let outside = KeywordSet::from_ids([3u32, 5, 100, 200, 300]);
+    let uni = SimUniverse::new(&universe).unwrap();
+    let pi = uni.project(&inside);
+    let po = uni.project(&outside);
+    assert!(pi.in_universe());
+    assert!(!po.in_universe());
+    for model in [TextModel::Jaccard, TextModel::Dice, TextModel::Cosine] {
+        assert_eq!(
+            model.similarity_bits(&pi, &po).to_bits(),
+            model.similarity(&inside, &outside).to_bits()
+        );
+    }
+}

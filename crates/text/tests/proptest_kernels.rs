@@ -1,0 +1,169 @@
+//! Property-based cross-checks of the bitset similarity kernel against
+//! the set-based reference implementations, plus deterministic edge
+//! cases at the block-width boundaries (see `docs/KERNELS.md`).
+//!
+//! The contract under test: for any universe `U` of at most
+//! [`BLOCK_BITS`] terms and any keyword set with at least one operand
+//! fully inside `U`, the bitset kernel produces *bit-identical* floats
+//! to the scalar merge-scan — not merely approximately equal ones.
+
+use proptest::prelude::*;
+use wnsk_text::{KeywordSet, SimUniverse, TextModel, BLOCK_BITS};
+
+const MODELS: [TextModel; 3] = [TextModel::Jaccard, TextModel::Dice, TextModel::Cosine];
+
+/// Up to `len` term ids drawn from `0..max` (duplicates collapse, so
+/// the resulting sets are smaller).
+fn arb_terms(max: u32, len: usize) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0..max, 0..len)
+}
+
+proptest! {
+    #[test]
+    fn projection_preserves_membership(
+        u in arb_terms(1000, 180),
+        s in arb_terms(1000, 60),
+    ) {
+        let universe = KeywordSet::from_ids(u);
+        let s = KeywordSet::from_ids(s);
+        // 180 draws < BLOCK_BITS distinct terms: never spills.
+        let uni = SimUniverse::new(&universe);
+        prop_assert!(uni.is_some());
+        let uni = uni.unwrap();
+        let p = uni.project(&s);
+
+        prop_assert_eq!(p.full_len(), s.len());
+        prop_assert_eq!(
+            p.bits().count() as usize,
+            s.intersection_len(&universe)
+        );
+        prop_assert_eq!(p.in_universe(), s.is_subset_of(&universe));
+
+        // The set bits, mapped back through the universe, are exactly
+        // s ∩ U in ascending term order.
+        let roundtrip: Vec<_> = p.bits().iter_slots().map(|i| uni.term_at(i)).collect();
+        let expected: Vec<_> = s.intersection(&universe).iter().collect();
+        prop_assert_eq!(roundtrip, expected);
+    }
+
+    #[test]
+    fn and_count_matches_set_intersection(
+        u in arb_terms(1000, 180),
+        a in arb_terms(1000, 60),
+        b in arb_terms(1000, 60),
+    ) {
+        let universe = KeywordSet::from_ids(u);
+        let a = KeywordSet::from_ids(a);
+        let b = KeywordSet::from_ids(b);
+        let uni = SimUniverse::new(&universe).unwrap();
+        let pa = uni.project(&a);
+        let pb = uni.project(&b);
+        // AND+popcount over projections counts |a ∩ b ∩ U|.
+        let expected = a.intersection(&universe).intersection_len(&b.intersection(&universe));
+        prop_assert_eq!(pa.and_count(&pb) as usize, expected);
+        prop_assert_eq!(pb.and_count(&pa) as usize, expected);
+    }
+
+    #[test]
+    fn similarity_bits_matches_scalar_bit_for_bit(
+        u_extra in arb_terms(1000, 120),
+        a in arb_terms(1000, 60),
+        b in arb_terms(1000, 60),
+    ) {
+        // Universe ⊇ a by construction — the exactness precondition the
+        // solvers establish (candidate documents are subsets of the
+        // question universe); b may stick out of it freely.
+        let a = KeywordSet::from_ids(a);
+        let b = KeywordSet::from_ids(b);
+        let universe = a.union(&KeywordSet::from_ids(u_extra));
+        let uni = SimUniverse::new(&universe).unwrap();
+        let pa = uni.project(&a);
+        let pb = uni.project(&b);
+        prop_assert!(pa.in_universe());
+        for model in MODELS {
+            prop_assert_eq!(
+                model.similarity_bits(&pa, &pb).to_bits(),
+                model.similarity(&a, &b).to_bits(),
+                "{:?}", model
+            );
+            // Same with the in-universe operand on either side.
+            prop_assert_eq!(
+                model.similarity_bits(&pb, &pa).to_bits(),
+                model.similarity(&b, &a).to_bits(),
+                "{:?} swapped", model
+            );
+        }
+    }
+}
+
+/// Empty operands: every model defines the similarity as 0, and the
+/// kernel must agree exactly.
+#[test]
+fn empty_sets_agree() {
+    let empty = KeywordSet::from_ids([] as [u32; 0]);
+    let other = KeywordSet::from_ids([1, 2, 3]);
+    let uni = SimUniverse::new(&other).unwrap();
+    for model in MODELS {
+        for (x, y) in [(&empty, &empty), (&empty, &other), (&other, &empty)] {
+            assert_eq!(
+                model
+                    .similarity_bits(&uni.project(x), &uni.project(y))
+                    .to_bits(),
+                model.similarity(x, y).to_bits(),
+                "{model:?} on {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    // The empty universe is valid too: everything projects to no bits.
+    let uni = SimUniverse::new(&empty).unwrap();
+    assert_eq!(uni.len(), 0);
+    let p = uni.project(&other);
+    assert_eq!(p.bits().count(), 0);
+    assert_eq!(p.full_len(), other.len());
+}
+
+/// A universe of exactly `BLOCK_BITS` terms fills every word of the
+/// block; one more term spills to the scalar fallback (`None`).
+#[test]
+fn full_width_universe_and_spill() {
+    let full = KeywordSet::from_ids(0..BLOCK_BITS as u32);
+    let uni = SimUniverse::new(&full).expect("exactly BLOCK_BITS terms must fit");
+    assert_eq!(uni.len(), BLOCK_BITS);
+    let p = uni.project(&full);
+    assert!(p.in_universe());
+    assert_eq!(p.bits().count() as usize, BLOCK_BITS);
+    for model in MODELS {
+        assert_eq!(
+            model.similarity_bits(&p, &p).to_bits(),
+            model.similarity(&full, &full).to_bits()
+        );
+    }
+
+    let over = KeywordSet::from_ids(0..=BLOCK_BITS as u32);
+    assert!(SimUniverse::new(&over).is_none(), "spill must be detected");
+}
+
+/// Sets whose slots straddle the 64-bit word boundaries inside the
+/// block: the AND+popcount must count across words without losing the
+/// edges.
+#[test]
+fn sets_straddling_word_boundaries_agree() {
+    // Universe of 200 terms → slots cross the word seams at 64 and 128.
+    let universe = KeywordSet::from_ids((0..200u32).map(|t| t * 3));
+    let uni = SimUniverse::new(&universe).unwrap();
+    // Terms sitting exactly on and around the seams (slot == term index
+    // here because the universe is the sorted term list).
+    let seam_slots = [0usize, 62, 63, 64, 65, 126, 127, 128, 129, 190, 199];
+    let a = KeywordSet::from_ids(seam_slots.iter().map(|&i| uni.term_at(i).0));
+    let b = KeywordSet::from_ids([63, 64, 128].iter().map(|&i| uni.term_at(i).0));
+    let pa = uni.project(&a);
+    let pb = uni.project(&b);
+    assert_eq!(pa.and_count(&pb) as usize, a.intersection_len(&b));
+    for model in MODELS {
+        assert_eq!(
+            model.similarity_bits(&pa, &pb).to_bits(),
+            model.similarity(&a, &b).to_bits()
+        );
+    }
+}
