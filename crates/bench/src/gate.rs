@@ -194,6 +194,14 @@ pub fn run_bench_full(cfg: &XpConfig) -> BenchOutcome {
     // cache-consistency regressions.
     rows.push(serve_row(cfg));
 
+    // The durable write path under churn: a WAL-attached server
+    // interleaving cached queries with inserts and deletes. Sequential
+    // submission keeps the epoch, cache, WAL and ingest counters exactly
+    // deterministic, so the gate pins the cost of a mutation — group
+    // commits paid, cache entries invalidated — next to the honest hit
+    // rate the cache achieves when the dataset refuses to sit still.
+    rows.push(churn_row(cfg));
+
     BenchOutcome {
         metrics: bed.registry().snapshot(),
         rows,
@@ -223,10 +231,9 @@ fn serve_row(cfg: &XpConfig) -> BenchRow {
     // Deterministic request lines drawn from real objects; every third
     // step also asks the matching why-not question for an object picked
     // by brute-force ranking to sit strictly below the top-K.
-    let ds = handle.serve_engine().engine().dataset();
-    let vocab = handle
-        .serve_engine()
-        .engine()
+    let engine_guard = handle.serve_engine().engine();
+    let ds = engine_guard.dataset();
+    let vocab = engine_guard
         .vocabulary()
         .expect("bench engine has a vocabulary");
     let mut lines = Vec::new();
@@ -264,6 +271,7 @@ fn serve_row(cfg: &XpConfig) -> BenchRow {
         }
     }
 
+    drop(engine_guard);
     let mut conn = Client::connect(handle.addr()).expect("bench client connects");
     let mut penalties = Vec::new();
     let mut requests = 0u32;
@@ -307,6 +315,151 @@ fn serve_row(cfg: &XpConfig) -> BenchRow {
             (
                 "cache_misses",
                 snap.counter(wnsk_obs::names::SERVE_CACHE_MISSES) as f64,
+            ),
+        ],
+    };
+    handle.shutdown();
+    row
+}
+
+/// The durable-churn row: `ingest/churn/t=2`.
+///
+/// Each round asks a top-k and a why-not question, inserts a perfect
+/// competitor through the WAL, re-asks both (the epoch moved — the
+/// cached answers must be recomputed), deletes the insert, and asks the
+/// top-k twice more (one recompute, one same-epoch cache hit). Every
+/// counter below is deterministic for the sequential session, and the
+/// mean why-not penalty is gated exactly like every other row's.
+fn churn_row(cfg: &XpConfig) -> BenchRow {
+    use std::sync::Arc;
+    use wnsk_index::{ObjectId, SpatialKeywordQuery};
+    use wnsk_serve::{client, Client, Server, ServerConfig};
+    use wnsk_storage::{BufferPool, BufferPoolConfig, MemBackend};
+    use wnsk_text::KeywordSet;
+
+    const K: usize = 10;
+    let g = wnsk_data::generate(&DatasetSpec::euro_like(cfg.scale));
+    let mut engine = wnsk_core::WhyNotEngine::build_in_memory(g.dataset)
+        .expect("bench dataset builds")
+        .with_vocabulary(g.vocabulary);
+    let wal_pool = Arc::new(BufferPool::new(
+        Arc::new(MemBackend::new()),
+        BufferPoolConfig::default(),
+    ));
+    let report = engine.attach_wal(wal_pool).expect("an empty WAL recovers");
+    assert_eq!(report.records_replayed, 0, "the bench WAL starts empty");
+    let handle = Server::start(
+        engine,
+        ServerConfig {
+            threads: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bench server binds a loopback port");
+
+    // Per-round request material drawn from real objects, exactly as the
+    // serve row does; the missing object is picked against the *base*
+    // dataset, which every round restores by deleting its own insert.
+    let engine_guard = handle.serve_engine().engine();
+    let ds = engine_guard.dataset();
+    let vocab = engine_guard
+        .vocabulary()
+        .expect("bench engine has a vocabulary");
+    struct Round {
+        topk: String,
+        whynot: Option<String>,
+        insert: String,
+    }
+    let mut rounds = Vec::new();
+    for i in 0..cfg.queries.max(1) {
+        let o = ds.object(ObjectId(((i * 97 + 13) % ds.len()) as u32));
+        let at = wnsk_serve::cache::canonical_point(o.loc);
+        let terms: Vec<_> = o.doc.iter().take(2).collect();
+        let names: Vec<&str> = terms.iter().filter_map(|&t| vocab.name(t)).collect();
+        if names.is_empty() {
+            continue;
+        }
+        let query =
+            SpatialKeywordQuery::new(at, KeywordSet::from_ids(terms.iter().map(|t| t.0)), K, 0.5);
+        let mut scored: Vec<(ObjectId, f64)> = ds
+            .objects()
+            .iter()
+            .map(|obj| (obj.id, ds.score(obj, &query)))
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let kth = scored[K - 1].1;
+        let whynot = scored[K..(K + 20).min(scored.len())]
+            .iter()
+            .find(|&&(_, s)| s < kth)
+            .map(|&(missing, _)| {
+                client::whynot_line((at.x, at.y), &names, K, 0.5, &[missing.0], 0.5, None)
+            });
+        rounds.push(Round {
+            topk: client::topk_line((at.x, at.y), &names, K, 0.5),
+            whynot,
+            insert: client::insert_line((at.x, at.y), &names),
+        });
+    }
+    drop(engine_guard);
+
+    let mut conn = Client::connect(handle.addr()).expect("bench client connects");
+    let mut call = |line: &str| -> JsonValue {
+        let doc = conn.call_json(line).expect("bench request answered");
+        assert_eq!(
+            doc.get("ok"),
+            Some(&JsonValue::Bool(true)),
+            "bench churn session must answer every request: {doc:?}"
+        );
+        doc
+    };
+    let penalty_of = |doc: &JsonValue| {
+        doc.get("refined")
+            .and_then(|r| r.get("penalty"))
+            .and_then(JsonValue::as_f64)
+            .expect("whynot answers carry a penalty")
+    };
+    let mut penalties = Vec::new();
+    let mut requests = 0u32;
+    let started = std::time::Instant::now();
+    for round in &rounds {
+        call(&round.topk);
+        if let Some(wn) = &round.whynot {
+            penalties.push(penalty_of(&call(wn)));
+        }
+        let ack = call(&round.insert);
+        let inserted = ack
+            .get("id")
+            .and_then(JsonValue::as_f64)
+            .expect("insert acks carry the new id") as u32;
+        call(&round.topk);
+        if let Some(wn) = &round.whynot {
+            penalties.push(penalty_of(&call(wn)));
+        }
+        call(&client::delete_line(inserted));
+        // Post-delete: one recompute, then a same-epoch repeat — the
+        // only request of the round the cache may legally serve.
+        call(&round.topk);
+        call(&round.topk);
+        requests += 8;
+    }
+    let time_ms = started.elapsed().as_secs_f64() * 1e3 / f64::from(requests.max(1));
+
+    let snap = handle.registry().snapshot();
+    let counter = |name: &str| snap.counter(name) as f64;
+    let row = BenchRow {
+        id: "ingest/churn/t=2".into(),
+        threads: 2,
+        time_ms,
+        penalty: penalties.iter().sum::<f64>() / penalties.len().max(1) as f64,
+        work: vec![
+            ("ingest_applied", counter(wnsk_obs::names::INGEST_APPLIED)),
+            ("wal_appends", counter(wnsk_obs::names::WAL_APPENDS)),
+            ("wal_commits", counter(wnsk_obs::names::WAL_COMMITS)),
+            ("cache_hits", counter(wnsk_obs::names::SERVE_CACHE_HITS)),
+            ("cache_misses", counter(wnsk_obs::names::SERVE_CACHE_MISSES)),
+            (
+                "cache_invalidated",
+                counter(wnsk_obs::names::SERVE_CACHE_INVALIDATED),
             ),
         ],
     };

@@ -458,10 +458,161 @@ fn build_serve_engine(args: &ParsedArgs) -> Result<wnsk_core::WhyNotEngine, Stri
         .with_vocabulary(vocab))
 }
 
+/// Opens (or creates) the write-ahead log file and attaches it to the
+/// engine: committed records are replayed through the same mutation
+/// path live ingest takes, so the engine resumes at the exact epoch a
+/// never-crashed twin would have reached. Returns the recovery report.
+fn attach_wal(
+    engine: &mut wnsk_core::WhyNotEngine,
+    path: &str,
+) -> Result<wnsk_storage::RecoveryReport, String> {
+    let pool = open_pool(path, !Path::new(path).exists())?;
+    engine
+        .attach_wal(pool)
+        .map_err(|e| format!("recovering WAL {path}: {e}"))
+}
+
+fn render_recovery(path: &str, report: &wnsk_storage::RecoveryReport) -> String {
+    let mut line = format!(
+        "recovered {path}: {} records replayed, {} bytes truncated, epoch {}",
+        report.records_replayed, report.bytes_truncated, report.last_lsn
+    );
+    if let Some(stop) = &report.stopped_by {
+        write!(line, " (scan stopped by: {stop})").unwrap();
+    }
+    line.push('\n');
+    line
+}
+
+/// One line of a `wnsk ingest` ops file, resolved against the dataset
+/// vocabulary. Lines: `insert X Y kw[,kw…]`, `delete ID`,
+/// `update ID kw[,kw…]`; blank lines and `#` comments are skipped.
+fn parse_ops(text: &str, vocab: &Vocabulary) -> Result<Vec<wnsk_core::Mutation>, String> {
+    let keywords = |raw: &str, line_no: usize| -> Result<KeywordSet, String> {
+        let terms: Vec<_> = raw
+            .split(',')
+            .map(str::trim)
+            .filter(|w| !w.is_empty())
+            .map(|w| {
+                vocab
+                    .get(w)
+                    .ok_or_else(|| format!("line {line_no}: keyword '{w}' not in the vocabulary"))
+            })
+            .collect::<Result<_, _>>()?;
+        if terms.is_empty() {
+            return Err(format!("line {line_no}: empty keyword list"));
+        }
+        Ok(KeywordSet::from_terms(terms))
+    };
+    let object_id = |raw: &str, line_no: usize| -> Result<ObjectId, String> {
+        raw.trim_start_matches('o')
+            .parse::<u32>()
+            .map(ObjectId)
+            .map_err(|_| format!("line {line_no}: bad object id '{raw}'"))
+    };
+    let mut muts = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let op = parts.next().expect("non-empty line has a first token");
+        let rest: Vec<&str> = parts.collect();
+        let mutation = match (op, rest.as_slice()) {
+            ("insert", [x, y, kws]) => {
+                let x: f64 = x
+                    .parse()
+                    .map_err(|_| format!("line {line_no}: bad x '{x}'"))?;
+                let y: f64 = y
+                    .parse()
+                    .map_err(|_| format!("line {line_no}: bad y '{y}'"))?;
+                wnsk_core::Mutation::Insert {
+                    loc: wnsk_geo::Point::new(x, y),
+                    doc: keywords(kws, line_no)?,
+                }
+            }
+            ("delete", [id]) => wnsk_core::Mutation::Remove {
+                id: object_id(id, line_no)?,
+            },
+            ("update", [id, kws]) => wnsk_core::Mutation::UpdateDoc {
+                id: object_id(id, line_no)?,
+                doc: keywords(kws, line_no)?,
+            },
+            _ => {
+                return Err(format!(
+                    "line {line_no}: expected 'insert X Y kw[,kw…]', 'delete ID' or \
+                     'update ID kw[,kw…]', got '{line}'"
+                ))
+            }
+        };
+        muts.push(mutation);
+    }
+    Ok(muts)
+}
+
+/// `wnsk ingest` — apply a mutation script through the write-ahead log.
+///
+/// The engine is rebuilt from the base dataset, the WAL is recovered
+/// (replaying every previously committed mutation), and the ops file is
+/// appended as one group-committed batch. Running the same command after
+/// a crash is safe: recovery replays exactly the committed prefix and
+/// truncates any torn tail.
+pub fn ingest(args: &ParsedArgs) -> Result<String, String> {
+    let mut engine = build_serve_engine(args)?;
+    let wal_path = args.required("wal")?;
+    let ops_path = args.required("ops")?;
+    let registry = engine.registry().clone();
+    let before = registry.snapshot();
+    let started = std::time::Instant::now();
+    let report = attach_wal(&mut engine, wal_path)?;
+    let ops_text =
+        std::fs::read_to_string(ops_path).map_err(|e| format!("cannot read {ops_path}: {e}"))?;
+    let vocab = engine
+        .vocabulary()
+        .cloned()
+        .ok_or("dataset has no vocabulary")?;
+    let muts = parse_ops(&ops_text, &vocab)?;
+    let ids = engine
+        .ingest_batch(&muts)
+        .map_err(|e| format!("ingest failed (nothing applied): {e}"))?;
+    let wall = started.elapsed();
+
+    let mut out = render_recovery(wal_path, &report);
+    let (mut inserts, mut deletes, mut updates) = (0usize, 0usize, 0usize);
+    for m in &muts {
+        match m {
+            wnsk_core::Mutation::Insert { .. } => inserts += 1,
+            wnsk_core::Mutation::Remove { .. } => deletes += 1,
+            wnsk_core::Mutation::UpdateDoc { .. } => updates += 1,
+        }
+    }
+    writeln!(
+        out,
+        "applied {} mutations ({inserts} inserts, {deletes} deletes, {updates} updates) — \
+         epoch {}, {} live objects",
+        ids.len(),
+        engine.epoch(),
+        engine.dataset().live_len()
+    )
+    .unwrap();
+    if args.flag("metrics") {
+        out.push_str(&render_metrics(&registry, &before, "ingest", wall, &[]));
+    }
+    Ok(out)
+}
+
 /// `wnsk serve` — run the embedded query-serving layer over a dataset.
 pub fn serve(args: &ParsedArgs) -> Result<String, String> {
-    let engine = build_serve_engine(args)?;
-    let objects = engine.dataset().len();
+    let mut engine = build_serve_engine(args)?;
+    let mut recovery_banner = String::new();
+    if let Some(wal_path) = args.optional("wal") {
+        let report = attach_wal(&mut engine, wal_path)?;
+        recovery_banner = render_recovery(wal_path, &report);
+    }
+    let engine = engine;
+    let objects = engine.dataset().live_len();
     let config = ServerConfig {
         addr: args.optional("addr").unwrap_or("127.0.0.1:0").to_string(),
         threads: args.parse_or("threads", 2usize)?.max(1),
@@ -480,6 +631,9 @@ pub fn serve(args: &ParsedArgs) -> Result<String, String> {
     }
     // The banner goes to stderr so scripted clients can treat stdout as
     // the run summary.
+    if !recovery_banner.is_empty() {
+        eprint!("{recovery_banner}");
+    }
     eprintln!(
         "wnsk-serve listening on {addr} ({objects} objects, {} threads, queue depth {}, cache {})",
         config.threads, config.queue_depth, config.cache_entries
@@ -793,6 +947,78 @@ mod tests {
         assert!(out.contains("setr.pool.logical_reads"), "{out}");
 
         for f in [&data, &setr, &kcr] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    /// `wnsk ingest` twice over the same WAL: the second run must replay
+    /// exactly the records the first one committed — the durable log, not
+    /// the process, carries the epoch.
+    #[test]
+    fn ingest_recovers_its_own_wal() {
+        let data = tmp("ingest.txt");
+        let wal = tmp("ingest-wal.db");
+        let ops1 = tmp("ingest-ops1.txt");
+        let ops2 = tmp("ingest-ops2.txt");
+        run(&[
+            "generate", "--preset", "tiny", "--scale", "1.0", "--out", &data, "--seed", "11",
+        ])
+        .unwrap();
+        let body = std::fs::read_to_string(&data).unwrap();
+        let word = body
+            .lines()
+            .find(|l| !l.starts_with('#'))
+            .unwrap()
+            .split_whitespace()
+            .nth(2)
+            .unwrap()
+            .split(',')
+            .next()
+            .unwrap()
+            .to_string();
+
+        std::fs::write(
+            &ops1,
+            format!("# churn script\ninsert 0.25 0.75 {word}\ndelete o3\nupdate 5 {word}\n"),
+        )
+        .unwrap();
+        let out = run(&[
+            "ingest",
+            "--data",
+            &data,
+            "--wal",
+            &wal,
+            "--ops",
+            &ops1,
+            "--metrics",
+        ])
+        .unwrap();
+        assert!(out.contains("0 records replayed"), "{out}");
+        assert!(
+            out.contains("applied 3 mutations (1 inserts, 1 deletes, 1 updates)"),
+            "{out}"
+        );
+        assert!(out.contains("epoch 3, 300 live objects"), "{out}");
+        assert!(out.contains("ingest.applied"), "{out}");
+        assert!(out.contains("wal.commits"), "{out}");
+
+        // Second run on a fresh process: recovery replays the first
+        // batch, then the new op lands at epoch 4.
+        std::fs::write(&ops2, "delete 7\n").unwrap();
+        let out = run(&["ingest", "--data", &data, "--wal", &wal, "--ops", &ops2]).unwrap();
+        assert!(out.contains("3 records replayed"), "{out}");
+        assert!(out.contains("epoch 4, 299 live objects"), "{out}");
+
+        // Bad scripts fail before anything is applied.
+        let bad = tmp("ingest-bad.txt");
+        std::fs::write(&bad, "teleport 1 2\n").unwrap();
+        let err = run(&["ingest", "--data", &data, "--wal", &wal, "--ops", &bad]).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        std::fs::write(&bad, "insert 0.1 0.2 notaword\n").unwrap();
+        let err = run(&["ingest", "--data", &data, "--wal", &wal, "--ops", &bad]).unwrap_err();
+        assert!(err.contains("not in the vocabulary"), "{err}");
+
+        for f in [&data, &wal, &ops1, &ops2, &bad] {
             std::fs::remove_file(f).ok();
         }
     }

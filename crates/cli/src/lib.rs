@@ -16,9 +16,10 @@
 //!               [--metrics] [--explain[=tree|json]] [--trace-sample N]
 //!               [--metrics-export PATH|-]
 //!               [--deadline-ms N] [--max-page-reads N]
-//! wnsk serve    --data data.txt [--addr HOST:PORT] [--threads N]
-//!               [--queue-depth N] [--cache-entries N] [--duration-ms N]
-//!               [--worker-delay-ms N] [--addr-file PATH]
+//! wnsk ingest   --data data.txt --wal wal.db --ops ops.txt [--metrics]
+//! wnsk serve    --data data.txt [--wal wal.db] [--addr HOST:PORT]
+//!               [--threads N] [--queue-depth N] [--cache-entries N]
+//!               [--duration-ms N] [--worker-delay-ms N] [--addr-file PATH]
 //!               [--metrics-export PATH|-]
 //! wnsk loadgen  --addr HOST:PORT --data data.txt [--connections N]
 //!               [--requests N] [--qps Q] [--zipf S] [--pool N]
@@ -30,6 +31,17 @@
 //! bounded admission queue and a cross-query answer cache. `loadgen` is
 //! its closed-loop benchmark client (zipfian query mix, target QPS,
 //! latency percentiles).
+//!
+//! `ingest` applies a mutation script (`insert X Y kw[,kw…]`,
+//! `delete ID`, `update ID kw[,kw…]`; `#` comments) through the
+//! write-ahead log: the WAL is recovered first — replaying every
+//! previously committed mutation and truncating any torn tail — then
+//! the script is appended as one group-committed batch. `serve --wal`
+//! recovers the same log at startup and routes the server's `insert` /
+//! `delete` requests through it, so a crashed server resumes at the
+//! exact epoch its durable log proves. `--metrics` on `ingest` reports
+//! the `wal.*` counters (appends, commits, recovered records, truncated
+//! bytes) next to `ingest.applied`.
 //!
 //! `--metrics` appends the unified observability report: per-phase wall
 //! time, SetR/KcR node visits, Theorem 2/3 prune counts, and buffer-pool
@@ -67,9 +79,10 @@ commands:
             [--explain[=tree|json]] [--trace-sample N]
             [--metrics-export PATH|-]
             [--deadline-ms N] [--max-page-reads N]
-  serve     --data FILE [--addr HOST:PORT] [--threads N] [--queue-depth N]
-            [--cache-entries N] [--duration-ms N] [--worker-delay-ms N]
-            [--addr-file PATH] [--metrics-export PATH|-]
+  ingest    --data FILE --wal FILE --ops FILE [--metrics]
+  serve     --data FILE [--wal FILE] [--addr HOST:PORT] [--threads N]
+            [--queue-depth N] [--cache-entries N] [--duration-ms N]
+            [--worker-delay-ms N] [--addr-file PATH] [--metrics-export PATH|-]
   loadgen   --addr HOST:PORT --data FILE [--connections N] [--requests N]
             [--qps Q] [--zipf S] [--pool N] [--k N] [--alpha A] [--seed N]
 
@@ -86,7 +99,11 @@ return bit-identical answers and work metrics — only wall time changes
 (see docs/KERNELS.md).
 --deadline-ms / --max-page-reads cap the query budget (0 = unlimited);
 an exhausted budget degrades to the approximate answer and the output
-reports the answer quality.";
+reports the answer quality.
+--wal points at the write-ahead log: ingest recovers it, appends the ops
+file as one group commit, and reports the recovery (records replayed,
+bytes truncated, epoch reached); serve --wal recovers at startup and
+logs the insert/delete requests it serves.";
 
 /// Dispatches a full command line (without the program name) and returns
 /// the text to print.
@@ -101,6 +118,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "build" => commands::build(&parsed),
         "topk" => commands::topk(&parsed),
         "whynot" => commands::whynot(&parsed),
+        "ingest" => commands::ingest(&parsed),
         "serve" => commands::serve(&parsed),
         "loadgen" => commands::loadgen(&parsed),
         other => Err(format!("unknown command '{other}'")),

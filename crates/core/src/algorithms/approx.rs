@@ -106,8 +106,7 @@ pub(crate) fn degraded_fallback(
             let q_s = ctx.query.with_doc(cand.doc.clone());
             // Exact brute-force R(M, q_S): no page reads, only CPU.
             let rank = 1 + dataset
-                .objects()
-                .iter()
+                .live_objects()
                 .filter(|o| dataset.score(o, &q_s) > min_score)
                 .count();
             let penalty = ctx.penalty.penalty(cand.edit_distance, rank);

@@ -3,12 +3,13 @@
 use crate::algorithms::{
     answer_advanced, answer_approx_kcr, answer_basic, answer_kcr, AdvancedOptions, KcrOptions,
 };
-use crate::error::Result;
+use crate::error::{Result, WhyNotError};
+use crate::ingest::Mutation;
 use crate::question::{AlgoStats, WhyNotAnswer, WhyNotQuestion};
 use std::sync::Arc;
 use wnsk_index::{Dataset, KcrTree, ObjectId, SetRTree, SpatialKeywordQuery};
-use wnsk_obs::{QueryReport, Registry, Snapshot};
-use wnsk_storage::{BufferPool, BufferPoolConfig, MemBackend};
+use wnsk_obs::{names, QueryReport, Registry, Snapshot};
+use wnsk_storage::{BufferPool, BufferPoolConfig, MemBackend, RecoveryReport, StorageError, Wal};
 use wnsk_text::Vocabulary;
 
 /// A ready-to-query why-not engine: dataset + SetR-tree + KcR-tree, each
@@ -25,6 +26,13 @@ pub struct WhyNotEngine {
     kcr: KcrTree,
     vocabulary: Option<Vocabulary>,
     registry: Registry,
+    /// Monotonic dataset version: bumped once per applied mutation.
+    /// Caches stamp entries with the epoch they were computed under and
+    /// drop them when it moves.
+    epoch: u64,
+    /// Durable mutation log, when attached. Without one, mutations are
+    /// in-memory only.
+    wal: Option<Wal>,
 }
 
 /// The paper's node capacity (§VII-A1).
@@ -65,6 +73,8 @@ impl WhyNotEngine {
             kcr,
             vocabulary: None,
             registry,
+            epoch: 0,
+            wal: None,
         })
     }
 
@@ -98,6 +108,161 @@ impl WhyNotEngine {
     /// The unified metrics registry every component reports into.
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// The current dataset epoch: 0 at build, +1 per applied mutation
+    /// (live or replayed). Anything derived from the dataset — cached
+    /// answers, initial-rank hints — is valid only for the epoch it was
+    /// computed under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The attached write-ahead log, if any.
+    pub fn wal(&self) -> Option<&Wal> {
+        self.wal.as_ref()
+    }
+
+    /// Attaches a write-ahead log stored behind `pool`, first replaying
+    /// every committed record against this engine (through the same
+    /// [`WhyNotEngine::apply`] path live mutations take, so the rebuilt
+    /// state is identical to a never-crashed engine's). A torn or corrupt
+    /// tail is truncated; the returned [`RecoveryReport`] says how many
+    /// records were replayed and how many bytes were dropped. After this,
+    /// [`WhyNotEngine::ingest`] is durable.
+    pub fn attach_wal(&mut self, pool: Arc<BufferPool>) -> Result<RecoveryReport> {
+        if self.wal.is_some() {
+            return Err(
+                StorageError::invalid_argument("ingest", "a WAL is already attached").into(),
+            );
+        }
+        let registry = self.registry.clone();
+        let (mut wal, report) = Wal::recover(pool, |_lsn, kind, payload| {
+            let m = Mutation::decode(kind, payload)?;
+            self.apply(&m).map_err(|e| match e {
+                WhyNotError::Storage(s) => s,
+                other => StorageError::corrupt("wal replay", other.to_string()),
+            })?;
+            Ok(())
+        })?;
+        wal.register_metrics(&registry);
+        registry
+            .counter(names::WAL_RECOVERED_RECORDS)
+            .add(report.records_replayed);
+        registry
+            .counter(names::WAL_TRUNCATED_BYTES)
+            .add(report.bytes_truncated);
+        self.wal = Some(wal);
+        Ok(report)
+    }
+
+    /// Durably applies one mutation: logged and group-committed to the
+    /// attached WAL first (if any), then applied in memory. Returns the
+    /// id of the affected object.
+    pub fn ingest(&mut self, m: &Mutation) -> Result<ObjectId> {
+        let mut ids = self.ingest_batch(std::slice::from_ref(m))?;
+        Ok(ids.pop().expect("one mutation in, one id out"))
+    }
+
+    /// Durably applies a batch of mutations under a single group commit
+    /// (one WAL sync for the whole batch). The batch is validated up
+    /// front so the log never records a mutation that cannot replay; it
+    /// is applied in order, and ids for inserts are assigned densely in
+    /// that order.
+    ///
+    /// If the commit itself fails the batch is not applied and its
+    /// durability is ambiguous (exactly as after a crash): rebuild the
+    /// engine and recover via [`WhyNotEngine::attach_wal`] before
+    /// continuing.
+    pub fn ingest_batch(&mut self, muts: &[Mutation]) -> Result<Vec<ObjectId>> {
+        self.validate_batch(muts)?;
+        if let Some(wal) = self.wal.as_mut() {
+            for m in muts {
+                wal.append(m.kind(), &m.encode())?;
+            }
+            wal.commit()?;
+        }
+        muts.iter().map(|m| self.apply(m)).collect()
+    }
+
+    /// Applies one mutation to the dataset and both trees, bumping the
+    /// epoch. Does NOT touch the WAL — this is the replay/apply half that
+    /// [`WhyNotEngine::ingest`] and recovery share; calling it directly
+    /// bypasses durability.
+    pub fn apply(&mut self, m: &Mutation) -> Result<ObjectId> {
+        let id = match m {
+            Mutation::Insert { loc, doc } => {
+                let id = self.dataset.insert(*loc, doc.clone())?;
+                self.setr.insert(id, *loc, doc)?;
+                self.kcr.insert(id, *loc, doc)?;
+                id
+            }
+            Mutation::Remove { id } => {
+                self.require_live(*id)?;
+                let loc = self.dataset.object(*id).loc;
+                self.dataset.remove(*id)?;
+                self.setr.remove(*id, loc)?;
+                self.kcr.remove(*id, loc)?;
+                *id
+            }
+            Mutation::UpdateDoc { id, doc } => {
+                self.require_live(*id)?;
+                let loc = self.dataset.object(*id).loc;
+                self.dataset.update_doc(*id, doc.clone())?;
+                self.setr.update_doc(*id, loc, doc)?;
+                self.kcr.update_doc(*id, loc, doc)?;
+                *id
+            }
+        };
+        self.epoch += 1;
+        self.registry.counter(names::INGEST_APPLIED).inc();
+        Ok(id)
+    }
+
+    fn require_live(&self, id: ObjectId) -> Result<()> {
+        if !self.dataset.is_live(id) {
+            return Err(
+                StorageError::invalid_argument("ingest", format!("{id:?} is not live")).into(),
+            );
+        }
+        Ok(())
+    }
+
+    /// Rejects a batch whose mutations cannot all apply, accounting for
+    /// ids the batch itself inserts or removes along the way.
+    fn validate_batch(&self, muts: &[Mutation]) -> Result<()> {
+        let base = self.dataset.len() as u32;
+        let mut next_id = base;
+        let mut removed: std::collections::HashSet<ObjectId> = std::collections::HashSet::new();
+        for m in muts {
+            match m {
+                Mutation::Insert { loc, .. } => {
+                    if !self.dataset.world().rect().contains_point(loc) {
+                        return Err(StorageError::invalid_argument(
+                            "ingest",
+                            format!("location {loc:?} lies outside the world bounds"),
+                        )
+                        .into());
+                    }
+                    next_id += 1;
+                }
+                Mutation::Remove { id } | Mutation::UpdateDoc { id, .. } => {
+                    let pending_insert = id.0 >= base && id.0 < next_id;
+                    let live = self.dataset.is_live(*id) || pending_insert;
+                    if !live || removed.contains(id) {
+                        return Err(StorageError::invalid_argument(
+                            "ingest",
+                            format!("{id:?} is not live"),
+                        )
+                        .into());
+                    }
+                    if matches!(m, Mutation::Remove { .. }) {
+                        removed.insert(*id);
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Captures the current value of every metric — take one before a

@@ -104,7 +104,7 @@ pub fn refine_alpha(dataset: &Dataset, question: &WhyNotQuestion) -> Result<Alph
     for m in &question.missing {
         let lm = lines[m.index()];
         for (i, lo) in lines.iter().enumerate() {
-            if i == m.index() {
+            if i == m.index() || !dataset.is_live(wnsk_index::ObjectId(i as u32)) {
                 continue;
             }
             let denom = lo.slope - lm.slope;

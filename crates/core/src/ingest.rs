@@ -1,0 +1,129 @@
+//! The durable mutation path: a [`Mutation`] codec over the write-ahead
+//! log, crash recovery, and the dataset epoch that keys cache
+//! invalidation.
+//!
+//! Durable state is the base dataset plus the committed WAL prefix. The
+//! engine applies every mutation — live or replayed — through the same
+//! [`WhyNotEngine::apply`](crate::WhyNotEngine::apply) code path, and all
+//! index maintenance is deterministic, so recovery rebuilds exactly the
+//! state a never-crashed engine holds: same trees, same epoch, same
+//! answers.
+
+use wnsk_geo::Point;
+use wnsk_index::{payload, ObjectId};
+use wnsk_storage::codec::{Reader, Writer};
+use wnsk_storage::{Result, StorageError};
+use wnsk_text::KeywordSet;
+
+/// WAL record kind for [`Mutation::Insert`].
+pub const KIND_INSERT: u8 = 1;
+/// WAL record kind for [`Mutation::Remove`].
+pub const KIND_REMOVE: u8 = 2;
+/// WAL record kind for [`Mutation::UpdateDoc`].
+pub const KIND_UPDATE_DOC: u8 = 3;
+
+/// One logical change to the dataset, as logged and replayed.
+///
+/// Inserts carry no object id: ids are assigned densely at apply time,
+/// which is deterministic because the WAL fixes the apply order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Mutation {
+    /// Add a new object; the dataset assigns the next id.
+    Insert { loc: Point, doc: KeywordSet },
+    /// Tombstone an existing object (ids are never reused).
+    Remove { id: ObjectId },
+    /// Replace an object's keyword set in place.
+    UpdateDoc { id: ObjectId, doc: KeywordSet },
+}
+
+impl Mutation {
+    /// The WAL record kind tag for this mutation.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Mutation::Insert { .. } => KIND_INSERT,
+            Mutation::Remove { .. } => KIND_REMOVE,
+            Mutation::UpdateDoc { .. } => KIND_UPDATE_DOC,
+        }
+    }
+
+    /// Serializes the mutation payload (the kind travels separately in
+    /// the record header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(32);
+        match self {
+            Mutation::Insert { loc, doc } => {
+                w.write_f64(loc.x);
+                w.write_f64(loc.y);
+                w.write_bytes(&payload::encode_keyword_set(doc));
+            }
+            Mutation::Remove { id } => {
+                w.write_u32(id.0);
+            }
+            Mutation::UpdateDoc { id, doc } => {
+                w.write_u32(id.0);
+                w.write_bytes(&payload::encode_keyword_set(doc));
+            }
+        }
+        w.into_vec()
+    }
+
+    /// Decodes a mutation from its WAL record `kind` and `payload`.
+    pub fn decode(kind: u8, bytes: &[u8]) -> Result<Mutation> {
+        let mut r = Reader::new(bytes, "wal mutation payload");
+        match kind {
+            KIND_INSERT => {
+                let loc = Point::new(r.read_f64()?, r.read_f64()?);
+                let rest = r.remaining();
+                let doc = payload::decode_keyword_set(r.read_bytes(rest)?)?;
+                Ok(Mutation::Insert { loc, doc })
+            }
+            KIND_REMOVE => Ok(Mutation::Remove {
+                id: ObjectId(r.read_u32()?),
+            }),
+            KIND_UPDATE_DOC => {
+                let id = ObjectId(r.read_u32()?);
+                let rest = r.remaining();
+                let doc = payload::decode_keyword_set(r.read_bytes(rest)?)?;
+                Ok(Mutation::UpdateDoc { id, doc })
+            }
+            other => Err(StorageError::corrupt(
+                "wal mutation payload",
+                format!("unknown mutation kind {other}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(ids: &[u32]) -> KeywordSet {
+        KeywordSet::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn mutation_roundtrip() {
+        let cases = vec![
+            Mutation::Insert {
+                loc: Point::new(0.25, 0.75),
+                doc: doc(&[3, 1, 7]),
+            },
+            Mutation::Remove { id: ObjectId(42) },
+            Mutation::UpdateDoc {
+                id: ObjectId(7),
+                doc: doc(&[0]),
+            },
+        ];
+        for m in cases {
+            let back = Mutation::decode(m.kind(), &m.encode()).unwrap();
+            assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_corrupt() {
+        let err = Mutation::decode(99, &[]).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { .. }));
+    }
+}

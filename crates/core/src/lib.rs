@@ -34,6 +34,7 @@ mod engine;
 mod enumeration;
 mod error;
 pub mod extensions;
+pub mod ingest;
 mod penalty;
 mod question;
 mod rank;
@@ -42,6 +43,7 @@ pub use budget::{AnswerQuality, BudgetGuard, DegradeReason, QueryBudget};
 pub use engine::WhyNotEngine;
 pub use enumeration::{Candidate, CandidateEnumerator};
 pub use error::{Result, WhyNotError};
+pub use ingest::Mutation;
 pub use penalty::PenaltyModel;
 pub use question::{
     AlgoStats, QuestionKernel, RefinedQuery, WhyNotAnswer, WhyNotContext, WhyNotQuestion,

@@ -42,7 +42,7 @@ impl WhyNotQuestion {
         }
         let mut seen = std::collections::HashSet::new();
         for &id in &self.missing {
-            if id.index() >= dataset.len() {
+            if !dataset.is_live(id) {
                 return Err(WhyNotError::UnknownObject(id));
             }
             if !seen.insert(id) {

@@ -1,0 +1,330 @@
+//! Crash-recovery determinism: an engine rebuilt from the base dataset
+//! plus the committed WAL prefix must be *bit-identical* to a
+//! never-crashed twin that applied the same prefix in memory — same
+//! epoch, same top-k lists (score bits included), and the same refined
+//! query from every solver, at every thread count, under both text
+//! kernels.
+//!
+//! The crash is simulated with a scripted `FaultBackend` torn write at a
+//! randomized WAL offset: the in-flight commit's page loses its second
+//! half (power-loss-style), the ingest loop stops, and recovery has to
+//! truncate the torn tail and replay the survivors.
+//!
+//! Seeded from `WNSK_CHAOS_SEED` like the chaos suite, so the CI matrix
+//! pins reproducible crash offsets while local runs explore new ones.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use wnsk_core::{
+    AdvancedOptions, KcrOptions, Mutation, RefinedQuery, WhyNotEngine, WhyNotQuestion,
+};
+use wnsk_geo::{Point, WorldBounds};
+use wnsk_index::{Dataset, ObjectId, SpatialKeywordQuery, SpatialObject};
+use wnsk_storage::{
+    BufferPool, BufferPoolConfig, FaultBackend, FaultKind, FaultPlan, MemBackend, RetryPolicy,
+};
+use wnsk_text::{Kernel, KeywordSet};
+
+const VOCAB: u32 = 30;
+const FANOUT: usize = 8;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn chaos_seed() -> u64 {
+    match std::env::var("WNSK_CHAOS_SEED") {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("WNSK_CHAOS_SEED must be a decimal u64, got {s:?}: {e}")),
+        Err(std::env::VarError::NotPresent) => 0xC0FFEE,
+        Err(e) => panic!("WNSK_CHAOS_SEED is unreadable: {e}"),
+    }
+}
+
+fn random_dataset(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let objects = (0..n)
+        .map(|_| {
+            let n_terms = rng.gen_range(1..=5);
+            let doc = KeywordSet::from_ids((0..n_terms).map(|_| rng.gen_range(0..VOCAB)));
+            SpatialObject {
+                id: ObjectId(0),
+                loc: Point::new(rng.gen::<f64>(), rng.gen::<f64>()),
+                doc,
+            }
+        })
+        .collect();
+    Dataset::new(objects, WorldBounds::unit())
+}
+
+/// A mutation script that is valid when applied in order: removals and
+/// updates only ever name ids that are live at that point (tracked
+/// against a simulation of the evolving live set).
+fn mutation_script(ds: &Dataset, n_ops: usize, seed: u64) -> Vec<Mutation> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1067);
+    let mut live: Vec<u32> = (0..ds.len() as u32).collect();
+    let mut next_id = ds.len() as u32;
+    (0..n_ops)
+        .map(|_| {
+            let roll = rng.gen_range(0..6u32);
+            if live.is_empty() || roll < 3 {
+                let loc = Point::new(rng.gen::<f64>(), rng.gen::<f64>());
+                let n_terms = rng.gen_range(1..=5);
+                let doc = KeywordSet::from_ids((0..n_terms).map(|_| rng.gen_range(0..VOCAB)));
+                live.push(next_id);
+                next_id += 1;
+                Mutation::Insert { loc, doc }
+            } else if roll < 5 {
+                let i = rng.gen_range(0..live.len());
+                let id = live.swap_remove(i);
+                Mutation::Remove { id: ObjectId(id) }
+            } else {
+                let id = live[rng.gen_range(0..live.len())];
+                let n_terms = rng.gen_range(1..=5);
+                let doc = KeywordSet::from_ids((0..n_terms).map(|_| rng.gen_range(0..VOCAB)));
+                Mutation::UpdateDoc {
+                    id: ObjectId(id),
+                    doc,
+                }
+            }
+        })
+        .collect()
+}
+
+/// A why-not question over the surviving objects (missing object below
+/// the top-k), or `None` when the workload has no candidates.
+fn make_question(ds: &Dataset, seed: u64) -> Option<WhyNotQuestion> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    let q = SpatialKeywordQuery::new(
+        Point::new(rng.gen::<f64>(), rng.gen::<f64>()),
+        KeywordSet::from_ids((0..rng.gen_range(2..=4)).map(|_| rng.gen_range(0..VOCAB))),
+        5,
+        0.5,
+    );
+    let mut scored: Vec<(ObjectId, f64)> =
+        ds.live_objects().map(|o| (o.id, ds.score(o, &q))).collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let lo = q.k + 2;
+    let hi = (q.k + 40).min(scored.len());
+    if lo >= hi {
+        return None;
+    }
+    for _ in 0..100 {
+        let id = scored[rng.gen_range(lo..hi)].0;
+        if ds.rank_of(id, &q) > q.k {
+            return Some(WhyNotQuestion::new(q, vec![id], 0.5));
+        }
+    }
+    None
+}
+
+/// A WAL pool over a fault backend scripting one torn write at `op`.
+/// No retries: recovery should see the torn page fail immediately.
+fn faulted_wal_pool(crash_op: u64, seed: u64) -> (Arc<FaultBackend<MemBackend>>, Arc<BufferPool>) {
+    let plan = FaultPlan::new(seed).with_scripted(crash_op, FaultKind::TornWrite);
+    let fb = Arc::new(FaultBackend::new(MemBackend::new(), plan));
+    let pool = Arc::new(BufferPool::new(
+        Arc::clone(&fb) as Arc<dyn wnsk_storage::StorageBackend>,
+        BufferPoolConfig {
+            retry: RetryPolicy::none(),
+            ..BufferPoolConfig::default()
+        },
+    ));
+    (fb, pool)
+}
+
+fn build_engine(ds: &Dataset) -> WhyNotEngine {
+    WhyNotEngine::build_with(ds.clone(), FANOUT, BufferPoolConfig::default()).unwrap()
+}
+
+/// Exact comparison, penalties as bit patterns.
+fn assert_identical(base: &RefinedQuery, other: &RefinedQuery, label: &str) {
+    assert_eq!(base.doc, other.doc, "{label}: refined keyword set diverged");
+    assert_eq!(base.k, other.k, "{label}: refined k diverged");
+    assert_eq!(base.rank, other.rank, "{label}: rank diverged");
+    assert_eq!(
+        base.edit_distance, other.edit_distance,
+        "{label}: edit distance diverged"
+    );
+    assert_eq!(
+        base.penalty.to_bits(),
+        other.penalty.to_bits(),
+        "{label}: penalty bits diverged ({} vs {})",
+        base.penalty,
+        other.penalty
+    );
+}
+
+/// Ingests the script in small batches until the scripted torn write
+/// fires (the "crash"), then drops the engine. Returns the number of
+/// mutations handed to `ingest_batch` before stopping.
+fn ingest_until_crash(
+    engine: &mut WhyNotEngine,
+    fb: &FaultBackend<MemBackend>,
+    muts: &[Mutation],
+    seed: u64,
+) -> usize {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBA7C);
+    let mut i = 0;
+    while i < muts.len() {
+        let n = rng.gen_range(1..=3usize).min(muts.len() - i);
+        engine.ingest_batch(&muts[i..i + n]).unwrap();
+        i += n;
+        if fb.fault_stats().torn_writes > 0 {
+            break;
+        }
+    }
+    i
+}
+
+/// The full scenario for one seed: ingest with a crash at `crash_op`
+/// storage ops into the WAL, recover, and cross-check the recovered
+/// engine against a never-crashed twin across the whole
+/// solver × thread × kernel matrix.
+fn crash_recover_and_check(seed: u64, crash_op: u64, n_base: usize, n_ops: usize) {
+    let ds = random_dataset(n_base, seed);
+    let muts = mutation_script(&ds, n_ops, seed);
+
+    // Phase 1: live engine ingests durably until the torn write "crash".
+    let (fb, wal_pool) = faulted_wal_pool(crash_op, seed);
+    let mut live = build_engine(&ds);
+    live.attach_wal(Arc::clone(&wal_pool)).unwrap();
+    let ingested = ingest_until_crash(&mut live, &fb, &muts, seed);
+    drop(live);
+
+    // Phase 2: "restart" — drop every cached page, recover from the
+    // durable bytes alone.
+    wal_pool.clear_cache();
+    let mut recovered = build_engine(&ds);
+    let report = recovered.attach_wal(Arc::clone(&wal_pool)).unwrap();
+    let replayed = report.records_replayed as usize;
+    assert!(
+        replayed <= ingested,
+        "recovery replayed {replayed} records but only {ingested} were ingested"
+    );
+    if fb.fault_stats().torn_writes > 0 {
+        assert!(
+            report.stopped_by.is_some() || replayed == ingested,
+            "a torn write fired but recovery neither truncated nor replayed everything"
+        );
+    }
+
+    // Phase 3: the never-crashed twin applies the same surviving prefix.
+    let mut twin = build_engine(&ds);
+    for m in &muts[..replayed] {
+        twin.apply(m).unwrap();
+    }
+
+    assert_eq!(recovered.epoch(), twin.epoch(), "epoch diverged");
+    assert_eq!(
+        recovered.dataset().live_len(),
+        twin.dataset().live_len(),
+        "live object count diverged"
+    );
+
+    // Top-k answers agree bit-for-bit.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x70FF);
+    for _ in 0..4 {
+        let q = SpatialKeywordQuery::new(
+            Point::new(rng.gen::<f64>(), rng.gen::<f64>()),
+            KeywordSet::from_ids((0..rng.gen_range(1..=4)).map(|_| rng.gen_range(0..VOCAB))),
+            5,
+            0.5,
+        );
+        let a = recovered.top_k(&q).unwrap();
+        let b = twin.top_k(&q).unwrap();
+        assert_eq!(a.len(), b.len(), "top-k length diverged");
+        for ((ia, sa), (ib, sb)) in a.iter().zip(&b) {
+            assert_eq!(ia, ib, "top-k ids diverged");
+            assert_eq!(sa.to_bits(), sb.to_bits(), "top-k score bits diverged");
+        }
+    }
+
+    // Why-not answers agree across every solver, thread count, and
+    // kernel.
+    let Some(question) = make_question(recovered.dataset(), seed) else {
+        return;
+    };
+    let base = recovered.answer_basic(&question).unwrap();
+    let twin_base = twin.answer_basic(&question).unwrap();
+    assert_identical(&base.refined, &twin_base.refined, "BS");
+    for kernel in Kernel::ALL {
+        for threads in THREAD_COUNTS {
+            let opts = KcrOptions {
+                threads,
+                kernel,
+                ..KcrOptions::default()
+            };
+            let a = recovered.answer_kcr(&question, opts).unwrap();
+            let b = twin.answer_kcr(&question, opts).unwrap();
+            assert_identical(
+                &a.refined,
+                &b.refined,
+                &format!("KcRBased[{kernel}] t={threads}"),
+            );
+            let opts = AdvancedOptions {
+                threads,
+                kernel,
+                ..AdvancedOptions::default()
+            };
+            let a = recovered.answer_advanced(&question, opts).unwrap();
+            let b = twin.answer_advanced(&question, opts).unwrap();
+            assert_identical(
+                &a.refined,
+                &b.refined,
+                &format!("AdvancedBS[{kernel}] t={threads}"),
+            );
+        }
+    }
+}
+
+/// Crash offsets sweep the WAL write stream (even ops are page writes,
+/// odd ops are syncs; torn writes only fire on writes, so an offset that
+/// lands on a sync simply never crashes — the script then completes,
+/// which is a valid "no crash" run of the same check).
+#[test]
+fn recovered_engine_is_bit_identical_to_never_crashed_twin() {
+    let base = chaos_seed();
+    let mut rng = StdRng::seed_from_u64(base);
+    for round in 0..3u64 {
+        let crash_op = rng.gen_range(0..40) * 2;
+        crash_recover_and_check(base.wrapping_add(round), crash_op, 120, 30);
+    }
+}
+
+/// The degenerate offsets: a crash on the very first WAL write (nothing
+/// survives) and one far past the script (no crash at all).
+#[test]
+fn recovery_handles_empty_and_complete_logs() {
+    let seed = chaos_seed() ^ 0xD06;
+    crash_recover_and_check(seed, 0, 60, 12);
+    crash_recover_and_check(seed, 1_000_000, 60, 12);
+}
+
+/// Re-running recovery over an already-recovered (truncated) log is a
+/// no-op: same records, same epoch — recovery is idempotent.
+#[test]
+fn recovery_is_idempotent() {
+    let seed = chaos_seed() ^ 0x1de;
+    let ds = random_dataset(80, seed);
+    let muts = mutation_script(&ds, 20, seed);
+
+    let (fb, wal_pool) = faulted_wal_pool(14, seed);
+    let mut live = build_engine(&ds);
+    live.attach_wal(Arc::clone(&wal_pool)).unwrap();
+    ingest_until_crash(&mut live, &fb, &muts, seed);
+    drop(live);
+
+    wal_pool.clear_cache();
+    let mut first = build_engine(&ds);
+    let r1 = first.attach_wal(Arc::clone(&wal_pool)).unwrap();
+
+    wal_pool.clear_cache();
+    let mut second = build_engine(&ds);
+    let r2 = second.attach_wal(Arc::clone(&wal_pool)).unwrap();
+
+    assert_eq!(r1.records_replayed, r2.records_replayed);
+    assert_eq!(r1.last_lsn, r2.last_lsn);
+    assert_eq!(r2.bytes_truncated, 0, "second recovery found more garbage");
+    assert_eq!(first.epoch(), second.epoch());
+}

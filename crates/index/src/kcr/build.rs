@@ -38,17 +38,15 @@ pub(super) fn build(pool: Arc<BufferPool>, dataset: &Dataset, fanout: usize) -> 
 
     let blobs = BlobStore::new(Arc::clone(&pool));
 
-    let doc_refs: Vec<BlobRef> = dataset
-        .objects()
+    // Tombstoned slots never enter the index (see the SetR build).
+    let objs: Vec<&crate::model::SpatialObject> = dataset.live_objects().collect();
+
+    let doc_refs: Vec<BlobRef> = objs
         .iter()
         .map(|o| blobs.write(&payload::encode_keyword_set(&o.doc)))
         .collect::<Result<_>>()?;
 
-    let rects: Vec<Rect> = dataset
-        .objects()
-        .iter()
-        .map(|o| Rect::point(o.loc))
-        .collect();
+    let rects: Vec<Rect> = objs.iter().map(|o| Rect::point(o.loc)).collect();
     let levels = str_pack::str_levels(&rects, fanout);
 
     // Leaf level.
@@ -59,8 +57,8 @@ pub(super) fn build(pool: Arc<BufferPool>, dataset: &Dataset, fanout: usize) -> 
             let entries: Vec<KcrLeafEntry> = group
                 .iter()
                 .map(|&i| KcrLeafEntry {
-                    object: dataset.objects()[i].id,
-                    loc: dataset.objects()[i].loc,
+                    object: objs[i].id,
+                    loc: objs[i].loc,
                     doc: doc_refs[i],
                 })
                 .collect();
@@ -69,7 +67,7 @@ pub(super) fn build(pool: Arc<BufferPool>, dataset: &Dataset, fanout: usize) -> 
                 .fold(Rect::EMPTY, |acc, &i| acc.union(&rects[i]));
             let mut kcm = KeywordCountMap::new();
             for &i in group {
-                kcm.add_doc(&dataset.objects()[i].doc);
+                kcm.add_doc(&objs[i].doc);
             }
             let node = blobs.write(&KcrNode::Leaf(entries).encode())?;
             Ok(BuiltNode {
@@ -128,7 +126,7 @@ pub(super) fn build(pool: Arc<BufferPool>, dataset: &Dataset, fanout: usize) -> 
         root_cnt: root.cnt,
         root_kcm,
         height: levels.len() as u32,
-        n_objects: dataset.len() as u64,
+        n_objects: objs.len() as u64,
         world: *dataset.world(),
         fanout: fanout as u32,
     };
@@ -136,7 +134,7 @@ pub(super) fn build(pool: Arc<BufferPool>, dataset: &Dataset, fanout: usize) -> 
     Ok(KcrTree::from_parts(pool, meta))
 }
 
-fn write_meta(pool: &BufferPool, meta: &Meta) -> Result<()> {
+pub(super) fn write_meta(pool: &BufferPool, meta: &Meta) -> Result<()> {
     let mut w = Writer::with_capacity(PAGE_DATA_SIZE);
     w.write_u32(MAGIC);
     meta.root.encode(&mut w);

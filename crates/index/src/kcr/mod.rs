@@ -13,6 +13,7 @@
 pub mod dom;
 
 mod build;
+mod mutate;
 mod node;
 mod search;
 

@@ -1,0 +1,271 @@
+//! Incremental mutation of the KcR-tree: insert, remove, and keyword
+//! update with exact maintenance of the per-entry `cnt` cardinalities and
+//! `kcm` keyword-count maps the `MaxDom`/`MinDom` bounds read.
+//!
+//! Copy-on-write over the append-only blob store, mirroring the SetR
+//! mutation path: every rewritten node and refreshed aggregate payload is
+//! a fresh blob, and only the meta page (which also carries the root
+//! summary) changes. All tie-breaking is deterministic so WAL replay
+//! reproduces the exact tree a never-crashed engine maintains.
+
+use super::node::{KcrInternalEntry, KcrLeafEntry, KcrNode};
+use super::{KcrTree, Meta};
+use crate::model::ObjectId;
+use crate::payload;
+use crate::setr::mutate::choose_subtree;
+use wnsk_geo::{Point, Rect};
+use wnsk_storage::{BlobRef, Result, StorageError};
+use wnsk_text::{KeywordCountMap, KeywordSet};
+
+/// A rewritten node plus the aggregates its parent entry records.
+struct Rebuilt {
+    node: BlobRef,
+    mbr: Rect,
+    cnt: u32,
+    kcm: KeywordCountMap,
+    /// The rewritten node has no entries left; the parent drops it.
+    empty: bool,
+}
+
+/// Outcome of inserting into a subtree.
+enum Inserted {
+    One(Rebuilt),
+    Split(Rebuilt, Rebuilt),
+}
+
+impl KcrTree {
+    /// Inserts one object, maintaining `cnt`/`kcm` along the path.
+    pub fn insert(&mut self, id: ObjectId, loc: Point, doc: &KeywordSet) -> Result<()> {
+        let root = self.meta.root;
+        let height = self.meta.height;
+        let outcome = self.insert_into(root, id, loc, doc)?;
+        let (rebuilt, new_height) = match outcome {
+            Inserted::One(r) => (r, height),
+            Inserted::Split(a, b) => {
+                let entries = vec![self.internal_entry(&a)?, self.internal_entry(&b)?];
+                (self.internal_rebuilt(entries)?, height + 1)
+            }
+        };
+        self.refresh_meta(rebuilt, new_height, self.meta.n_objects + 1)
+    }
+
+    /// Removes the object `id` located at `loc`. Underfull nodes are
+    /// permitted; emptied subtrees are dropped and a single-child
+    /// internal root collapses.
+    ///
+    /// Returns [`StorageError::InvalidArgument`] when no leaf entry
+    /// matches — the tree and dataset would otherwise silently diverge.
+    pub fn remove(&mut self, id: ObjectId, loc: Point) -> Result<()> {
+        let root = self.meta.root;
+        let height = self.meta.height;
+        let Some(mut rebuilt) = self.remove_from(root, id, loc)? else {
+            return Err(StorageError::invalid_argument(
+                "kcr remove",
+                format!("{id:?} not found at {loc:?}"),
+            ));
+        };
+        let mut new_height = height;
+        // Collapse a single-child (or emptied) internal root so the tree
+        // keeps the shape invariants of a fresh bulk load.
+        loop {
+            if new_height <= 1 {
+                break;
+            }
+            match self.read_node(rebuilt.node)? {
+                KcrNode::Internal(entries) if entries.is_empty() => {
+                    rebuilt.node = self.write_node(&KcrNode::Leaf(Vec::new()))?;
+                    new_height = 1;
+                }
+                KcrNode::Internal(entries) if entries.len() == 1 => {
+                    // The entry already carries the child's aggregates.
+                    let e = &entries[0];
+                    rebuilt = Rebuilt {
+                        node: e.child,
+                        mbr: e.mbr,
+                        cnt: e.cnt,
+                        kcm: self.read_kcm(e.kcm)?,
+                        empty: e.cnt == 0,
+                    };
+                    new_height -= 1;
+                }
+                _ => break,
+            }
+        }
+        self.refresh_meta(rebuilt, new_height, self.meta.n_objects - 1)
+    }
+
+    /// Replaces the keyword set of object `id` at `loc`: a remove + insert
+    /// under the same id.
+    pub fn update_doc(&mut self, id: ObjectId, loc: Point, doc: &KeywordSet) -> Result<()> {
+        self.remove(id, loc)?;
+        self.insert(id, loc, doc)
+    }
+
+    /// Rewrites the meta page with a new root, refreshing the root
+    /// summary (`root_mbr`/`root_cnt`/`root_kcm`) the solvers seed their
+    /// traversals with.
+    fn refresh_meta(&mut self, root: Rebuilt, height: u32, n_objects: u64) -> Result<()> {
+        let root_kcm = self.blobs.write(&payload::encode_kcm(&root.kcm))?;
+        self.meta = Meta {
+            root: root.node,
+            root_mbr: if root.mbr.is_empty() {
+                // Matches the bulk-load convention for an empty tree.
+                Rect::point(Point::new(0.0, 0.0))
+            } else {
+                root.mbr
+            },
+            root_cnt: root.cnt,
+            root_kcm,
+            height,
+            n_objects,
+            ..self.meta.clone()
+        };
+        super::build::write_meta(&self.pool, &self.meta)
+    }
+
+    fn write_node(&self, node: &KcrNode) -> Result<BlobRef> {
+        self.blobs.write(&node.encode())
+    }
+
+    fn internal_entry(&self, r: &Rebuilt) -> Result<KcrInternalEntry> {
+        Ok(KcrInternalEntry {
+            child: r.node,
+            mbr: r.mbr,
+            cnt: r.cnt,
+            kcm: self.blobs.write(&payload::encode_kcm(&r.kcm))?,
+        })
+    }
+
+    /// Leaf aggregates recomputed from the member documents.
+    fn leaf_rebuilt(&self, entries: Vec<KcrLeafEntry>) -> Result<Rebuilt> {
+        let mut mbr = Rect::EMPTY;
+        let mut kcm = KeywordCountMap::new();
+        for e in &entries {
+            mbr = mbr.union(&Rect::point(e.loc));
+            kcm.add_doc(&self.read_doc(e.doc)?);
+        }
+        let cnt = entries.len() as u32;
+        let empty = entries.is_empty();
+        let node = self.write_node(&KcrNode::Leaf(entries))?;
+        Ok(Rebuilt {
+            node,
+            mbr,
+            cnt,
+            kcm,
+            empty,
+        })
+    }
+
+    /// Internal aggregates recomputed from the entries' stored payloads.
+    fn internal_rebuilt(&self, entries: Vec<KcrInternalEntry>) -> Result<Rebuilt> {
+        let mut mbr = Rect::EMPTY;
+        let mut cnt = 0u32;
+        let mut kcm = KeywordCountMap::new();
+        for e in &entries {
+            mbr = mbr.union(&e.mbr);
+            cnt += e.cnt;
+            kcm.merge(&self.read_kcm(e.kcm)?);
+        }
+        let empty = entries.is_empty();
+        let node = self.write_node(&KcrNode::Internal(entries))?;
+        Ok(Rebuilt {
+            node,
+            mbr,
+            cnt,
+            kcm,
+            empty,
+        })
+    }
+
+    fn insert_into(
+        &self,
+        node: BlobRef,
+        id: ObjectId,
+        loc: Point,
+        doc: &KeywordSet,
+    ) -> Result<Inserted> {
+        match self.read_node(node)? {
+            KcrNode::Leaf(mut entries) => {
+                let doc_ref = self.blobs.write(&payload::encode_keyword_set(doc))?;
+                entries.push(KcrLeafEntry {
+                    object: id,
+                    loc,
+                    doc: doc_ref,
+                });
+                if entries.len() <= self.meta.fanout as usize {
+                    return Ok(Inserted::One(self.leaf_rebuilt(entries)?));
+                }
+                // Deterministic split: order by (x, y, id), cut in half.
+                entries.sort_by(|a, b| {
+                    a.loc
+                        .x
+                        .total_cmp(&b.loc.x)
+                        .then(a.loc.y.total_cmp(&b.loc.y))
+                        .then(a.object.cmp(&b.object))
+                });
+                let right = entries.split_off(entries.len() / 2);
+                Ok(Inserted::Split(
+                    self.leaf_rebuilt(entries)?,
+                    self.leaf_rebuilt(right)?,
+                ))
+            }
+            KcrNode::Internal(mut entries) => {
+                let chosen = choose_subtree(entries.iter().map(|e| &e.mbr), loc);
+                let child = entries[chosen].child;
+                match self.insert_into(child, id, loc, doc)? {
+                    Inserted::One(r) => {
+                        entries[chosen] = self.internal_entry(&r)?;
+                    }
+                    Inserted::Split(a, b) => {
+                        entries[chosen] = self.internal_entry(&a)?;
+                        entries.insert(chosen + 1, self.internal_entry(&b)?);
+                    }
+                }
+                if entries.len() <= self.meta.fanout as usize {
+                    return Ok(Inserted::One(self.internal_rebuilt(entries)?));
+                }
+                entries.sort_by(|a, b| {
+                    let (ca, cb) = (a.mbr.center(), b.mbr.center());
+                    ca.x.total_cmp(&cb.x)
+                        .then(ca.y.total_cmp(&cb.y))
+                        .then(a.child.first_page.cmp(&b.child.first_page))
+                });
+                let right = entries.split_off(entries.len() / 2);
+                Ok(Inserted::Split(
+                    self.internal_rebuilt(entries)?,
+                    self.internal_rebuilt(right)?,
+                ))
+            }
+        }
+    }
+
+    /// Removes `id` from the subtree; `None` when it was not found here.
+    fn remove_from(&self, node: BlobRef, id: ObjectId, loc: Point) -> Result<Option<Rebuilt>> {
+        match self.read_node(node)? {
+            KcrNode::Leaf(mut entries) => {
+                let Some(pos) = entries.iter().position(|e| e.object == id) else {
+                    return Ok(None);
+                };
+                entries.remove(pos);
+                Ok(Some(self.leaf_rebuilt(entries)?))
+            }
+            KcrNode::Internal(mut entries) => {
+                for i in 0..entries.len() {
+                    if !entries[i].mbr.contains_point(&loc) {
+                        continue;
+                    }
+                    let child = entries[i].child;
+                    if let Some(r) = self.remove_from(child, id, loc)? {
+                        if r.empty {
+                            entries.remove(i);
+                        } else {
+                            entries[i] = self.internal_entry(&r)?;
+                        }
+                        return Ok(Some(self.internal_rebuilt(entries)?));
+                    }
+                }
+                Ok(None)
+            }
+        }
+    }
+}

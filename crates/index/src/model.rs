@@ -42,9 +42,26 @@ pub struct SpatialObject {
 
 /// A complete dataset: objects, the world bounds normalising distances,
 /// and corpus statistics for the particularity weights.
+///
+/// # Mutability
+///
+/// The dataset is mutable through [`insert`](Dataset::insert),
+/// [`remove`](Dataset::remove) and [`update_doc`](Dataset::update_doc).
+/// Object ids are *stable*: a removed object leaves a tombstone (its slot
+/// keeps the location and document so concurrent readers of an older
+/// snapshot still resolve it) and ids are never reused. [`len`] therefore
+/// counts slots; [`live_len`](Dataset::live_len) counts surviving
+/// objects, and every brute-force evaluator skips tombstones. Corpus
+/// statistics are maintained incrementally and always equal a fresh
+/// [`CorpusStats::from_docs`] over the live documents.
+///
+/// [`len`]: Dataset::len
 #[derive(Clone, Debug)]
 pub struct Dataset {
     objects: Vec<SpatialObject>,
+    /// `live[i]` ⇔ slot `i` is not a tombstone. Always `objects.len()` long.
+    live: Vec<bool>,
+    n_live: usize,
     world: WorldBounds,
     corpus: CorpusStats,
 }
@@ -65,7 +82,10 @@ impl Dataset {
             );
         }
         let corpus = CorpusStats::from_docs(objects.iter().map(|o| &o.doc));
+        let n_live = objects.len();
         Dataset {
+            live: vec![true; n_live],
+            n_live,
             objects,
             world,
             corpus,
@@ -86,28 +106,108 @@ impl Dataset {
         Ok(Self::new(objects, world))
     }
 
-    /// All objects, id order.
+    /// All object slots in id order — *including* tombstones. Scans that
+    /// must reflect the current dataset should use
+    /// [`live_objects`](Dataset::live_objects) instead.
     #[inline]
     pub fn objects(&self) -> &[SpatialObject] {
         &self.objects
     }
 
-    /// Number of objects, `|D|`.
+    /// Number of object slots (live + tombstoned) — the exclusive upper
+    /// bound on valid [`ObjectId`]s.
     #[inline]
     pub fn len(&self) -> usize {
         self.objects.len()
     }
 
-    /// `true` when the dataset has no objects.
+    /// `true` when the dataset has no object slots at all.
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.objects.is_empty()
     }
 
-    /// Object lookup.
+    /// Number of live (non-tombstoned) objects, `|D|`.
+    #[inline]
+    pub fn live_len(&self) -> usize {
+        self.n_live
+    }
+
+    /// `true` when slot `id` exists and is not a tombstone.
+    #[inline]
+    pub fn is_live(&self, id: ObjectId) -> bool {
+        self.live.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// The live objects in id order.
+    pub fn live_objects(&self) -> impl Iterator<Item = &SpatialObject> {
+        self.objects
+            .iter()
+            .zip(&self.live)
+            .filter_map(|(o, &alive)| alive.then_some(o))
+    }
+
+    /// Object lookup. Tombstoned slots still resolve (their location and
+    /// document are retained for readers of pre-removal snapshots).
     #[inline]
     pub fn object(&self, id: ObjectId) -> &SpatialObject {
         &self.objects[id.index()]
+    }
+
+    /// Appends a live object and returns its freshly assigned id.
+    ///
+    /// Returns [`wnsk_storage::StorageError::InvalidArgument`] when `loc`
+    /// falls outside the world bounds (the normalised-distance model of
+    /// Eqn. 2 is only meaningful inside them).
+    pub fn insert(&mut self, loc: Point, doc: KeywordSet) -> wnsk_storage::Result<ObjectId> {
+        if !self.world.rect().contains_point(&loc) {
+            return Err(wnsk_storage::StorageError::invalid_argument(
+                "dataset insert",
+                format!("location {loc:?} outside the world bounds"),
+            ));
+        }
+        let id = ObjectId(self.objects.len() as u32);
+        self.corpus.add_doc(&doc);
+        self.objects.push(SpatialObject { id, loc, doc });
+        self.live.push(true);
+        self.n_live += 1;
+        Ok(id)
+    }
+
+    /// Tombstones a live object. Its id is never reused; its slot keeps
+    /// the location and document.
+    ///
+    /// Returns [`wnsk_storage::StorageError::InvalidArgument`] when `id`
+    /// is out of bounds or already tombstoned.
+    pub fn remove(&mut self, id: ObjectId) -> wnsk_storage::Result<()> {
+        if !self.is_live(id) {
+            return Err(wnsk_storage::StorageError::invalid_argument(
+                "dataset remove",
+                format!("{id:?} does not name a live object"),
+            ));
+        }
+        self.live[id.index()] = false;
+        self.n_live -= 1;
+        self.corpus.remove_doc(&self.objects[id.index()].doc);
+        Ok(())
+    }
+
+    /// Replaces a live object's keyword document, keeping its location
+    /// and id.
+    ///
+    /// Returns [`wnsk_storage::StorageError::InvalidArgument`] when `id`
+    /// is out of bounds or tombstoned.
+    pub fn update_doc(&mut self, id: ObjectId, doc: KeywordSet) -> wnsk_storage::Result<()> {
+        if !self.is_live(id) {
+            return Err(wnsk_storage::StorageError::invalid_argument(
+                "dataset update",
+                format!("{id:?} does not name a live object"),
+            ));
+        }
+        let old = std::mem::replace(&mut self.objects[id.index()].doc, doc);
+        self.corpus.remove_doc(&old);
+        self.corpus.add_doc(&self.objects[id.index()].doc);
+        Ok(())
     }
 
     /// World bounds used for distance normalisation.
@@ -129,13 +229,12 @@ impl Dataset {
         st_score(q.alpha, sdist, tsim)
     }
 
-    /// Brute-force top-k: ids and scores sorted by descending score, ties
-    /// broken by ascending object id (the deterministic order every search
-    /// path in this workspace uses).
+    /// Brute-force top-k over the live objects: ids and scores sorted by
+    /// descending score, ties broken by ascending object id (the
+    /// deterministic order every search path in this workspace uses).
     pub fn top_k(&self, q: &SpatialKeywordQuery) -> Vec<(ObjectId, f64)> {
         let mut scored: Vec<(ObjectId, f64)> = self
-            .objects
-            .iter()
+            .live_objects()
             .map(|o| (o.id, self.score(o, q)))
             .collect();
         scored.sort_by(|a, b| OrdF64::new(b.1).cmp(&OrdF64::new(a.1)).then(a.0.cmp(&b.0)));
@@ -143,13 +242,12 @@ impl Dataset {
         scored
     }
 
-    /// Brute-force rank `R(o, q)` of Eqn. 3: one plus the number of objects
-    /// with a *strictly* higher score.
+    /// Brute-force rank `R(o, q)` of Eqn. 3: one plus the number of live
+    /// objects with a *strictly* higher score.
     pub fn rank_of(&self, id: ObjectId, q: &SpatialKeywordQuery) -> usize {
         let target = self.score(self.object(id), q);
         1 + self
-            .objects
-            .iter()
+            .live_objects()
             .filter(|o| self.score(o, q) > target)
             .count()
     }
@@ -281,5 +379,65 @@ pub(crate) mod tests {
         // t1 appears in all four documents.
         assert_eq!(ds.corpus().doc_freq(wnsk_text::TermId(1)), 4);
         assert_eq!(ds.corpus().n_docs(), 4);
+    }
+
+    #[test]
+    fn insert_assigns_the_next_id_and_updates_corpus() {
+        let (mut ds, _) = figure1_dataset();
+        let id = ds
+            .insert(Point::new(2.0, 0.0), KeywordSet::from_ids([1, 9]))
+            .unwrap();
+        assert_eq!(id, ObjectId(4));
+        assert_eq!(ds.len(), 5);
+        assert_eq!(ds.live_len(), 5);
+        assert_eq!(ds.corpus().doc_freq(wnsk_text::TermId(1)), 5);
+        assert_eq!(ds.corpus().doc_freq(wnsk_text::TermId(9)), 1);
+        assert!(ds
+            .insert(Point::new(99.0, 0.0), KeywordSet::empty())
+            .is_err());
+    }
+
+    #[test]
+    fn remove_tombstones_without_id_reuse() {
+        let (mut ds, q) = figure1_dataset();
+        ds.remove(ObjectId(3)).unwrap();
+        assert_eq!(ds.len(), 4, "the slot stays");
+        assert_eq!(ds.live_len(), 3);
+        assert!(!ds.is_live(ObjectId(3)));
+        // The former winner is gone from brute-force results.
+        assert_eq!(ds.top_k(&q)[0].0, ObjectId(2));
+        // Its slot still resolves for old-snapshot readers.
+        assert_eq!(ds.object(ObjectId(3)).loc, Point::new(6.0, 0.0));
+        // Double remove is a typed error.
+        assert!(ds.remove(ObjectId(3)).is_err());
+        // A subsequent insert gets a *new* id.
+        let id = ds
+            .insert(Point::new(0.0, 0.0), KeywordSet::empty())
+            .unwrap();
+        assert_eq!(id, ObjectId(4));
+    }
+
+    #[test]
+    fn mutations_keep_corpus_equal_to_fresh_build() {
+        let (mut ds, _) = figure1_dataset();
+        ds.remove(ObjectId(1)).unwrap();
+        ds.update_doc(ObjectId(2), KeywordSet::from_ids([2, 7]))
+            .unwrap();
+        ds.insert(Point::new(3.0, 0.0), KeywordSet::from_ids([3]))
+            .unwrap();
+        let fresh = CorpusStats::from_docs(ds.live_objects().map(|o| &o.doc));
+        assert_eq!(ds.corpus().n_docs(), fresh.n_docs());
+        for t in 0..10 {
+            let t = wnsk_text::TermId(t);
+            assert_eq!(ds.corpus().doc_freq(t), fresh.doc_freq(t), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn rank_of_skips_tombstones() {
+        let (mut ds, q) = figure1_dataset();
+        assert_eq!(ds.rank_of(ObjectId(0), &q), 3);
+        ds.remove(ObjectId(3)).unwrap();
+        assert_eq!(ds.rank_of(ObjectId(0), &q), 2, "o3 no longer outranks m");
     }
 }

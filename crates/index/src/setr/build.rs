@@ -39,19 +39,18 @@ pub(super) fn build(pool: Arc<BufferPool>, dataset: &Dataset, fanout: usize) -> 
 
     let blobs = BlobStore::new(Arc::clone(&pool));
 
+    // Tombstoned slots never enter the index: a rebuilt tree over a
+    // mutated dataset equals one built over the surviving objects.
+    let objs: Vec<&crate::model::SpatialObject> = dataset.live_objects().collect();
+
     // 1. Write every object's keyword set once.
-    let doc_refs: Vec<BlobRef> = dataset
-        .objects()
+    let doc_refs: Vec<BlobRef> = objs
         .iter()
         .map(|o| blobs.write(&payload::encode_keyword_set(&o.doc)))
         .collect::<Result<_>>()?;
 
     // 2. STR grouping over the object points.
-    let rects: Vec<Rect> = dataset
-        .objects()
-        .iter()
-        .map(|o| Rect::point(o.loc))
-        .collect();
+    let rects: Vec<Rect> = objs.iter().map(|o| Rect::point(o.loc)).collect();
     let levels = str_pack::str_levels(&rects, fanout);
 
     // 3. Materialise the leaf level.
@@ -62,24 +61,22 @@ pub(super) fn build(pool: Arc<BufferPool>, dataset: &Dataset, fanout: usize) -> 
             let entries: Vec<SetrLeafEntry> = group
                 .iter()
                 .map(|&i| SetrLeafEntry {
-                    object: dataset.objects()[i].id,
-                    loc: dataset.objects()[i].loc,
+                    object: objs[i].id,
+                    loc: objs[i].loc,
                     doc: doc_refs[i],
                 })
                 .collect();
             let mbr = group
                 .iter()
                 .fold(Rect::EMPTY, |acc, &i| acc.union(&rects[i]));
-            let union = group.iter().fold(KeywordSet::empty(), |acc, &i| {
-                acc.union(&dataset.objects()[i].doc)
-            });
+            let union = group
+                .iter()
+                .fold(KeywordSet::empty(), |acc, &i| acc.union(&objs[i].doc));
             let intersection = match group.split_first() {
                 None => KeywordSet::empty(),
-                Some((&first, rest)) => rest
-                    .iter()
-                    .fold(dataset.objects()[first].doc.clone(), |acc, &i| {
-                        acc.intersection(&dataset.objects()[i].doc)
-                    }),
+                Some((&first, rest)) => rest.iter().fold(objs[first].doc.clone(), |acc, &i| {
+                    acc.intersection(&objs[i].doc)
+                }),
             };
             let node = blobs.write(&SetrNode::Leaf(entries).encode())?;
             Ok(BuiltNode {
@@ -134,7 +131,7 @@ pub(super) fn build(pool: Arc<BufferPool>, dataset: &Dataset, fanout: usize) -> 
     let meta = Meta {
         root: current[0].node,
         height: levels.len() as u32,
-        n_objects: dataset.len() as u64,
+        n_objects: objs.len() as u64,
         world: *dataset.world(),
         fanout: fanout as u32,
     };
@@ -142,7 +139,7 @@ pub(super) fn build(pool: Arc<BufferPool>, dataset: &Dataset, fanout: usize) -> 
     Ok(SetRTree::from_parts(pool, meta))
 }
 
-fn write_meta(pool: &BufferPool, meta: &Meta) -> Result<()> {
+pub(super) fn write_meta(pool: &BufferPool, meta: &Meta) -> Result<()> {
     let mut w = Writer::with_capacity(PAGE_DATA_SIZE);
     w.write_u32(MAGIC);
     meta.root.encode(&mut w);

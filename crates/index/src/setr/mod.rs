@@ -7,6 +7,7 @@
 //! rank-of-object search at the heart of the basic why-not algorithm.
 
 mod build;
+pub(crate) mod mutate;
 mod node;
 mod search;
 
@@ -119,15 +120,16 @@ impl SetRTree {
     }
 
     /// Reads and decodes a node (every traversal path funnels through
-    /// here, so this is also where node visits are counted).
-    pub(crate) fn read_node(&self, node: BlobRef) -> Result<SetrNode> {
+    /// here, so this is also where node visits are counted). Public for
+    /// external traversals and aggregate verification.
+    pub fn read_node(&self, node: BlobRef) -> Result<SetrNode> {
         self.stats.visit_traced(node.first_page.0);
         let bytes = self.blobs.read(node)?;
         SetrNode::decode(&bytes)
     }
 
     /// Reads a keyword-set payload (object doc or node union/intersection).
-    pub(crate) fn read_keyword_set(&self, blob: BlobRef) -> Result<KeywordSet> {
+    pub fn read_keyword_set(&self, blob: BlobRef) -> Result<KeywordSet> {
         let bytes = self.blobs.read(blob)?;
         payload::decode_keyword_set(&bytes)
     }

@@ -1,0 +1,296 @@
+//! Incremental mutation of the SetR-tree: insert, remove, and keyword
+//! update with exact maintenance of the per-entry union/intersection
+//! keyword sets Theorem 1's score bound depends on.
+//!
+//! Nodes are copy-on-write: the blob store is append-only, so every
+//! mutated node (and every refreshed aggregate payload) is written as a
+//! fresh blob and only the meta page changes. Readers holding the old
+//! root keep a fully consistent pre-mutation snapshot.
+//!
+//! All tie-breaking is deterministic (entry order, then split order by
+//! `(x, y, id)`), which is what makes WAL replay rebuild a tree
+//! bit-identical to the one the never-crashed engine maintained.
+
+use super::node::{SetrInternalEntry, SetrLeafEntry, SetrNode};
+use super::{Meta, SetRTree};
+use crate::model::ObjectId;
+use crate::payload;
+use wnsk_geo::{Point, Rect};
+use wnsk_storage::{BlobRef, Result, StorageError};
+use wnsk_text::KeywordSet;
+
+/// A rewritten node plus the aggregates its parent entry records.
+struct Rebuilt {
+    node: BlobRef,
+    mbr: Rect,
+    union: KeywordSet,
+    intersection: KeywordSet,
+    /// The rewritten node has no entries left; the parent drops it.
+    empty: bool,
+}
+
+/// Outcome of inserting into a subtree.
+enum Inserted {
+    /// The subtree absorbed the object.
+    One(Rebuilt),
+    /// The subtree overflowed and split in two.
+    Split(Rebuilt, Rebuilt),
+}
+
+impl SetRTree {
+    /// Inserts one object, maintaining every union/intersection aggregate
+    /// along the path (and splitting nodes that exceed the fanout).
+    pub fn insert(&mut self, id: ObjectId, loc: Point, doc: &KeywordSet) -> Result<()> {
+        let root = self.meta.root;
+        let height = self.meta.height;
+        let outcome = self.insert_into(root, id, loc, doc)?;
+        let (new_root, new_height) = match outcome {
+            Inserted::One(r) => (r.node, height),
+            Inserted::Split(a, b) => {
+                let entries = vec![self.internal_entry(&a)?, self.internal_entry(&b)?];
+                let root = self.write_node(&SetrNode::Internal(entries))?;
+                (root, height + 1)
+            }
+        };
+        self.meta = Meta {
+            root: new_root,
+            height: new_height,
+            n_objects: self.meta.n_objects + 1,
+            ..self.meta
+        };
+        super::build::write_meta(&self.pool, &self.meta)
+    }
+
+    /// Removes the object `id` located at `loc`. Underfull nodes are
+    /// permitted (entries are dropped when a subtree empties; a
+    /// single-child internal root collapses into its child).
+    ///
+    /// Returns [`StorageError::InvalidArgument`] when no leaf entry
+    /// matches — the tree and dataset would otherwise silently diverge.
+    pub fn remove(&mut self, id: ObjectId, loc: Point) -> Result<()> {
+        let root = self.meta.root;
+        let height = self.meta.height;
+        let Some(rebuilt) = self.remove_from(root, id, loc)? else {
+            return Err(StorageError::invalid_argument(
+                "setr remove",
+                format!("{id:?} not found at {loc:?}"),
+            ));
+        };
+        let mut new_root = rebuilt.node;
+        let mut new_height = height;
+        // Collapse a single-child (or emptied) internal root so the tree
+        // keeps the shape invariants of a fresh bulk load.
+        loop {
+            if new_height <= 1 {
+                break;
+            }
+            match self.read_node(new_root)? {
+                SetrNode::Internal(entries) if entries.is_empty() => {
+                    new_root = self.write_node(&SetrNode::Leaf(Vec::new()))?;
+                    new_height = 1;
+                }
+                SetrNode::Internal(entries) if entries.len() == 1 => {
+                    new_root = entries[0].child;
+                    new_height -= 1;
+                }
+                _ => break,
+            }
+        }
+        self.meta = Meta {
+            root: new_root,
+            height: new_height,
+            n_objects: self.meta.n_objects - 1,
+            ..self.meta
+        };
+        super::build::write_meta(&self.pool, &self.meta)
+    }
+
+    /// Replaces the keyword set of object `id` at `loc`: a remove + insert
+    /// under the same id, so every aggregate on both paths is refreshed.
+    pub fn update_doc(&mut self, id: ObjectId, loc: Point, doc: &KeywordSet) -> Result<()> {
+        self.remove(id, loc)?;
+        self.insert(id, loc, doc)
+    }
+
+    fn write_node(&self, node: &SetrNode) -> Result<BlobRef> {
+        self.blobs.write(&node.encode())
+    }
+
+    fn write_keyword_set(&self, set: &KeywordSet) -> Result<BlobRef> {
+        self.blobs.write(&payload::encode_keyword_set(set))
+    }
+
+    /// Builds the parent entry for a rebuilt child, persisting its
+    /// aggregate payloads.
+    fn internal_entry(&self, r: &Rebuilt) -> Result<SetrInternalEntry> {
+        Ok(SetrInternalEntry {
+            child: r.node,
+            mbr: r.mbr,
+            union: self.write_keyword_set(&r.union)?,
+            intersection: self.write_keyword_set(&r.intersection)?,
+        })
+    }
+
+    /// Leaf aggregates recomputed from the member documents.
+    fn leaf_rebuilt(&self, entries: Vec<SetrLeafEntry>) -> Result<Rebuilt> {
+        let mut mbr = Rect::EMPTY;
+        let mut union = KeywordSet::empty();
+        let mut intersection: Option<KeywordSet> = None;
+        for e in &entries {
+            mbr = mbr.union(&Rect::point(e.loc));
+            let doc = self.read_keyword_set(e.doc)?;
+            union = union.union(&doc);
+            intersection = Some(match intersection {
+                None => doc,
+                Some(acc) => acc.intersection(&doc),
+            });
+        }
+        let empty = entries.is_empty();
+        let node = self.write_node(&SetrNode::Leaf(entries))?;
+        Ok(Rebuilt {
+            node,
+            mbr,
+            union,
+            intersection: intersection.unwrap_or_else(KeywordSet::empty),
+            empty,
+        })
+    }
+
+    /// Internal aggregates recomputed from the entries' stored payloads.
+    fn internal_rebuilt(&self, entries: Vec<SetrInternalEntry>) -> Result<Rebuilt> {
+        let mut mbr = Rect::EMPTY;
+        let mut union = KeywordSet::empty();
+        let mut intersection: Option<KeywordSet> = None;
+        for e in &entries {
+            mbr = mbr.union(&e.mbr);
+            union = union.union(&self.read_keyword_set(e.union)?);
+            let inter = self.read_keyword_set(e.intersection)?;
+            intersection = Some(match intersection {
+                None => inter,
+                Some(acc) => acc.intersection(&inter),
+            });
+        }
+        let empty = entries.is_empty();
+        let node = self.write_node(&SetrNode::Internal(entries))?;
+        Ok(Rebuilt {
+            node,
+            mbr,
+            union,
+            intersection: intersection.unwrap_or_else(KeywordSet::empty),
+            empty,
+        })
+    }
+
+    fn insert_into(
+        &self,
+        node: BlobRef,
+        id: ObjectId,
+        loc: Point,
+        doc: &KeywordSet,
+    ) -> Result<Inserted> {
+        match self.read_node(node)? {
+            SetrNode::Leaf(mut entries) => {
+                let doc_ref = self.write_keyword_set(doc)?;
+                entries.push(SetrLeafEntry {
+                    object: id,
+                    loc,
+                    doc: doc_ref,
+                });
+                if entries.len() <= self.meta.fanout as usize {
+                    return Ok(Inserted::One(self.leaf_rebuilt(entries)?));
+                }
+                // Deterministic split: order by (x, y, id), cut in half.
+                entries.sort_by(|a, b| {
+                    a.loc
+                        .x
+                        .total_cmp(&b.loc.x)
+                        .then(a.loc.y.total_cmp(&b.loc.y))
+                        .then(a.object.cmp(&b.object))
+                });
+                let right = entries.split_off(entries.len() / 2);
+                Ok(Inserted::Split(
+                    self.leaf_rebuilt(entries)?,
+                    self.leaf_rebuilt(right)?,
+                ))
+            }
+            SetrNode::Internal(mut entries) => {
+                let chosen = choose_subtree(entries.iter().map(|e| &e.mbr), loc);
+                let child = entries[chosen].child;
+                match self.insert_into(child, id, loc, doc)? {
+                    Inserted::One(r) => {
+                        entries[chosen] = self.internal_entry(&r)?;
+                    }
+                    Inserted::Split(a, b) => {
+                        entries[chosen] = self.internal_entry(&a)?;
+                        entries.insert(chosen + 1, self.internal_entry(&b)?);
+                    }
+                }
+                if entries.len() <= self.meta.fanout as usize {
+                    return Ok(Inserted::One(self.internal_rebuilt(entries)?));
+                }
+                entries.sort_by(|a, b| {
+                    let (ca, cb) = (a.mbr.center(), b.mbr.center());
+                    ca.x.total_cmp(&cb.x)
+                        .then(ca.y.total_cmp(&cb.y))
+                        .then(a.child.first_page.cmp(&b.child.first_page))
+                });
+                let right = entries.split_off(entries.len() / 2);
+                Ok(Inserted::Split(
+                    self.internal_rebuilt(entries)?,
+                    self.internal_rebuilt(right)?,
+                ))
+            }
+        }
+    }
+
+    /// Removes `id` from the subtree; `None` when it was not found here.
+    fn remove_from(&self, node: BlobRef, id: ObjectId, loc: Point) -> Result<Option<Rebuilt>> {
+        match self.read_node(node)? {
+            SetrNode::Leaf(mut entries) => {
+                let Some(pos) = entries.iter().position(|e| e.object == id) else {
+                    return Ok(None);
+                };
+                entries.remove(pos);
+                Ok(Some(self.leaf_rebuilt(entries)?))
+            }
+            SetrNode::Internal(mut entries) => {
+                for i in 0..entries.len() {
+                    if !entries[i].mbr.contains_point(&loc) {
+                        continue;
+                    }
+                    let child = entries[i].child;
+                    if let Some(r) = self.remove_from(child, id, loc)? {
+                        if r.empty {
+                            // The child emptied out: drop its entry (and
+                            // let emptiness propagate upward in turn).
+                            entries.remove(i);
+                        } else {
+                            entries[i] = self.internal_entry(&r)?;
+                        }
+                        return Ok(Some(self.internal_rebuilt(entries)?));
+                    }
+                }
+                Ok(None)
+            }
+        }
+    }
+}
+
+/// R-tree choose-subtree: minimal area enlargement, ties by minimal area,
+/// then lowest entry index — all deterministic.
+pub(crate) fn choose_subtree<'a, I: Iterator<Item = &'a Rect>>(mbrs: I, loc: Point) -> usize {
+    let target = Rect::point(loc);
+    let mut best = 0usize;
+    let mut best_enlargement = f64::INFINITY;
+    let mut best_area = f64::INFINITY;
+    for (i, mbr) in mbrs.enumerate() {
+        let enlargement = mbr.enlargement(&target);
+        let area = mbr.area();
+        if enlargement < best_enlargement || (enlargement == best_enlargement && area < best_area) {
+            best = i;
+            best_enlargement = enlargement;
+            best_area = area;
+        }
+    }
+    best
+}

@@ -140,6 +140,21 @@ pub mod names {
     /// Histogram of end-to-end request latencies (enqueue to response),
     /// nanoseconds.
     pub const SERVE_REQUEST_NS: &str = "serve.request_ns";
+    /// Answer-cache entries dropped because the dataset epoch moved past
+    /// the epoch they were computed under.
+    pub const SERVE_CACHE_INVALIDATED: &str = "serve.cache_invalidated";
+    /// Records buffered into the write-ahead log (before commit).
+    pub const WAL_APPENDS: &str = "wal.appends";
+    /// Group commits synced to the log (one per `commit()`, however many
+    /// records it batched).
+    pub const WAL_COMMITS: &str = "wal.commits";
+    /// Committed records replayed during crash recovery.
+    pub const WAL_RECOVERED_RECORDS: &str = "wal.recovered_records";
+    /// Bytes of torn or corrupt log tail truncated during crash recovery.
+    pub const WAL_TRUNCATED_BYTES: &str = "wal.truncated_bytes";
+    /// Mutations applied to the engine (live ingest and WAL replay both
+    /// count; this equals the dataset epoch).
+    pub const INGEST_APPLIED: &str = "ingest.applied";
 
     /// Every canonical name, for the docs/METRICS.md lint: the test in
     /// `tests/metrics_names.rs` fails when this list and the reference
@@ -180,5 +195,11 @@ pub mod names {
         SERVE_CACHE_MISSES,
         SERVE_QUEUE_DEPTH,
         SERVE_REQUEST_NS,
+        SERVE_CACHE_INVALIDATED,
+        WAL_APPENDS,
+        WAL_COMMITS,
+        WAL_RECOVERED_RECORDS,
+        WAL_TRUNCATED_BYTES,
+        INGEST_APPLIED,
     ];
 }

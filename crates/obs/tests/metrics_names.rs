@@ -115,6 +115,7 @@ const ALLOWED_NON_METRICS: &[&str] = &[
     "trace_sample",
     "metrics_export",
     // API names discussed in prose.
+    "attach_wal",
     "fetch_min",
     "read_node",
     "register_metrics",

@@ -20,10 +20,23 @@
 //!   `rank_of_set` counts strict dominators + 1, and every strict
 //!   dominator of an in-list object is itself in the list. Completed
 //!   why-not answers also deposit their computed rank directly.
+//!
+//! # Epoch-based invalidation
+//!
+//! Every entry is stamped with the **dataset epoch** it was computed
+//! under ([`wnsk_core::WhyNotEngine::epoch`], bumped once per applied
+//! mutation). Lookups pass the current epoch; an entry stamped with any
+//! other epoch is *stale* — a mutation may have changed the answer — so
+//! the lookup drops it, counts it into `serve.cache_invalidated`, and
+//! reports a miss. Invalidation is lazy: mutations never sweep the
+//! cache, they just advance the epoch the serving layer reads under the
+//! same lock that executed the query, so a cached answer and the epoch
+//! it is checked against can never be torn.
 
 use std::sync::{Arc, Mutex};
 use wnsk_geo::Point;
 use wnsk_index::{ObjectId, SpatialKeywordQuery};
+use wnsk_obs::Counter;
 use wnsk_storage::cache::Lru;
 
 /// Location grid resolution: `2²⁰` cells per unit axis.
@@ -117,67 +130,135 @@ fn rank_key(q: &SpatialKeywordQuery, missing: &[ObjectId]) -> RankKey {
 /// responses.
 pub type RankList = Arc<Vec<(ObjectId, f64)>>;
 
+/// A cached value plus the dataset epoch it was computed under.
+struct Stamped<V> {
+    epoch: u64,
+    value: V,
+}
+
 /// The serving layer's cross-query cache (top-k answers + initial-rank
-/// reuse for why-not refinement).
+/// reuse for why-not refinement), with epoch-stamped entries.
 pub struct AnswerCache {
-    topk: Mutex<Lru<TopkKey, RankList>>,
-    rank_lists: Mutex<Lru<RankListKey, RankList>>,
-    ranks: Mutex<Lru<RankKey, usize>>,
+    topk: Mutex<Lru<TopkKey, Stamped<RankList>>>,
+    rank_lists: Mutex<Lru<RankListKey, Stamped<RankList>>>,
+    ranks: Mutex<Lru<RankKey, Stamped<usize>>>,
+    invalidated: Counter,
+}
+
+/// Epoch-checked lookup over one LRU structure: a resident entry from
+/// any *other* epoch is removed, counted, and reported as absent.
+fn get_fresh<K: Eq + std::hash::Hash + Clone, V: Clone>(
+    lru: &mut Lru<K, Stamped<V>>,
+    key: &K,
+    epoch: u64,
+    invalidated: &Counter,
+) -> Option<V> {
+    match lru.get(key) {
+        Some(entry) if entry.epoch == epoch => Some(entry.value.clone()),
+        Some(_) => {
+            lru.remove(key);
+            invalidated.inc();
+            None
+        }
+        None => None,
+    }
 }
 
 impl AnswerCache {
     /// Creates a cache holding at most `entries` items per structure.
+    /// The invalidation counter starts detached; call
+    /// [`AnswerCache::with_invalidated_counter`] to publish it.
     pub fn new(entries: usize) -> Self {
         let entries = entries.max(1);
         AnswerCache {
             topk: Mutex::new(Lru::new(entries)),
             rank_lists: Mutex::new(Lru::new(entries)),
             ranks: Mutex::new(Lru::new(entries)),
+            invalidated: Counter::new(),
         }
     }
 
-    /// Looks up a top-k answer for an (already canonical) query.
-    pub fn get_topk(&self, q: &SpatialKeywordQuery) -> Option<RankList> {
-        self.topk.lock().unwrap().get(&topk_key(q)).cloned()
+    /// Routes stale-entry drops into `counter` (the serving layer passes
+    /// its registered `serve.cache_invalidated` handle).
+    pub fn with_invalidated_counter(mut self, counter: Counter) -> Self {
+        self.invalidated = counter;
+        self
     }
 
-    /// Stores a freshly computed top-k list; the deepest list per
+    /// Entries dropped so far because their epoch was superseded.
+    pub fn invalidated(&self) -> u64 {
+        self.invalidated.get()
+    }
+
+    /// Looks up a top-k answer for an (already canonical) query,
+    /// honouring only entries computed under `epoch`.
+    pub fn get_topk(&self, q: &SpatialKeywordQuery, epoch: u64) -> Option<RankList> {
+        get_fresh(
+            &mut self.topk.lock().unwrap(),
+            &topk_key(q),
+            epoch,
+            &self.invalidated,
+        )
+    }
+
+    /// Stores a freshly computed top-k list stamped with the epoch it
+    /// was computed under; the deepest current-epoch list per
     /// `(cell, doc, α)` is also retained for rank derivation.
-    pub fn put_topk(&self, q: &SpatialKeywordQuery, list: RankList) {
-        self.topk
-            .lock()
-            .unwrap()
-            .insert(topk_key(q), Arc::clone(&list));
+    pub fn put_topk(&self, q: &SpatialKeywordQuery, list: RankList, epoch: u64) {
+        self.topk.lock().unwrap().insert(
+            topk_key(q),
+            Stamped {
+                epoch,
+                value: Arc::clone(&list),
+            },
+        );
         let key = rank_list_key(q);
         let mut lists = self.rank_lists.lock().unwrap();
         let deeper = match lists.peek(&key) {
-            Some(existing) => list.len() > existing.len(),
+            // A list from another epoch is dead weight regardless of
+            // depth — always replace it.
+            Some(existing) if existing.epoch == epoch => list.len() > existing.value.len(),
+            Some(_) => {
+                self.invalidated.inc();
+                true
+            }
             None => true,
         };
         if deeper {
-            lists.insert(key, list);
+            lists.insert(key, Stamped { epoch, value: list });
         }
     }
 
-    /// The exact initial rank `R(M, q)` for a canonical query, when the
-    /// cache can prove it: either a previous why-not computation
-    /// deposited it, or a cached rank list contains every missing object
-    /// (then `rank = 1 + |{e : score(e) > min missing score}|`, which is
+    /// The exact initial rank `R(M, q)` for a canonical query at `epoch`,
+    /// when the cache can prove it: either a previous why-not computation
+    /// under the same epoch deposited it, or a same-epoch cached rank
+    /// list contains every missing object (then
+    /// `rank = 1 + |{e : score(e) > min missing score}|`, which is
     /// precisely what the solver's scan counts — ties are not
     /// dominators).
-    pub fn get_initial_rank(&self, q: &SpatialKeywordQuery, missing: &[ObjectId]) -> Option<usize> {
+    pub fn get_initial_rank(
+        &self,
+        q: &SpatialKeywordQuery,
+        missing: &[ObjectId],
+        epoch: u64,
+    ) -> Option<usize> {
         if missing.is_empty() {
             return None;
         }
-        if let Some(&rank) = self.ranks.lock().unwrap().get(&rank_key(q, missing)) {
+        if let Some(rank) = get_fresh(
+            &mut self.ranks.lock().unwrap(),
+            &rank_key(q, missing),
+            epoch,
+            &self.invalidated,
+        ) {
             return Some(rank);
         }
-        let list = self
-            .rank_lists
-            .lock()
-            .unwrap()
-            .get(&rank_list_key(q))
-            .cloned()?;
+        let list = get_fresh(
+            &mut self.rank_lists.lock().unwrap(),
+            &rank_list_key(q),
+            epoch,
+            &self.invalidated,
+        )?;
         let mut min_score = f64::INFINITY;
         for m in missing {
             let score = list.iter().find(|(id, _)| id == m).map(|&(_, s)| s)?;
@@ -188,17 +269,23 @@ impl AnswerCache {
         Some(1 + list.iter().filter(|&&(_, s)| s > min_score).count())
     }
 
-    /// Deposits a rank computed by the solver so repeated why-not
-    /// questions skip the initial-rank phase.
-    pub fn put_initial_rank(&self, q: &SpatialKeywordQuery, missing: &[ObjectId], rank: usize) {
+    /// Deposits a rank computed by the solver under `epoch` so repeated
+    /// why-not questions skip the initial-rank phase.
+    pub fn put_initial_rank(
+        &self,
+        q: &SpatialKeywordQuery,
+        missing: &[ObjectId],
+        rank: usize,
+        epoch: u64,
+    ) {
         self.ranks
             .lock()
             .unwrap()
-            .insert(rank_key(q, missing), rank);
+            .insert(rank_key(q, missing), Stamped { epoch, value: rank });
     }
 
     /// Resident entries, summed over all structures (for stats
-    /// responses).
+    /// responses). Counts stale entries not yet swept by a lookup.
     pub fn len(&self) -> usize {
         self.topk.lock().unwrap().len()
             + self.rank_lists.lock().unwrap().len()
@@ -240,17 +327,87 @@ mod tests {
         let cache = AnswerCache::new(4);
         let a = q(0.5, 0.5, &[1, 2], 3, 0.5);
         let list: RankList = Arc::new(vec![(ObjectId(7), 0.9)]);
-        cache.put_topk(&a, Arc::clone(&list));
+        cache.put_topk(&a, Arc::clone(&list), 0);
         // Same canonical cell (0.5 + half a cell is a different point but
         // canonicalization happens before the cache — lookups use the
         // snapped query).
-        assert!(cache.get_topk(&a).is_some());
+        assert!(cache.get_topk(&a, 0).is_some());
         let b = q(0.75, 0.5, &[1, 2], 3, 0.5);
-        assert!(cache.get_topk(&b).is_none());
+        assert!(cache.get_topk(&b, 0).is_none());
         let different_k = q(0.5, 0.5, &[1, 2], 4, 0.5);
-        assert!(cache.get_topk(&different_k).is_none());
+        assert!(cache.get_topk(&different_k, 0).is_none());
         let different_alpha = q(0.5, 0.5, &[1, 2], 3, 0.25);
-        assert!(cache.get_topk(&different_alpha).is_none());
+        assert!(cache.get_topk(&different_alpha, 0).is_none());
+    }
+
+    #[test]
+    fn epoch_mismatch_invalidates_on_lookup() {
+        let cache = AnswerCache::new(4);
+        let query = q(0.5, 0.5, &[1, 2], 3, 0.5);
+        let list: RankList = Arc::new(vec![(ObjectId(7), 0.9)]);
+        cache.put_topk(&query, Arc::clone(&list), 3);
+        assert!(cache.get_topk(&query, 3).is_some());
+        assert_eq!(cache.invalidated(), 0);
+        // The dataset epoch moved: the entry is dropped, counted, and the
+        // lookup reports a miss — even for the original epoch afterwards.
+        assert!(cache.get_topk(&query, 4).is_none());
+        assert_eq!(cache.invalidated(), 1);
+        assert!(cache.get_topk(&query, 3).is_none());
+        assert_eq!(cache.invalidated(), 1);
+
+        cache.put_initial_rank(&query, &[ObjectId(9)], 12, 3);
+        assert_eq!(cache.get_initial_rank(&query, &[ObjectId(9)], 3), Some(12));
+        // Epoch 4 sweeps both the deposited rank and the rank list the
+        // earlier put_topk retained.
+        assert_eq!(cache.get_initial_rank(&query, &[ObjectId(9)], 4), None);
+        assert_eq!(cache.invalidated(), 3);
+    }
+
+    #[test]
+    fn stale_rank_list_never_yields_a_rank() {
+        let cache = AnswerCache::new(4);
+        let query = q(0.5, 0.5, &[1], 2, 0.5);
+        let list: RankList = Arc::new(vec![(ObjectId(1), 0.9), (ObjectId(2), 0.8)]);
+        cache.put_topk(&query, list, 0);
+        assert_eq!(
+            cache.get_initial_rank(&query, &[ObjectId(2)], 0),
+            Some(2),
+            "fresh rank list derives the rank"
+        );
+        // After a mutation, the derivation path must refuse.
+        assert_eq!(cache.get_initial_rank(&query, &[ObjectId(2)], 1), None);
+    }
+
+    #[test]
+    fn put_topk_replaces_stale_rank_lists_regardless_of_depth() {
+        let cache = AnswerCache::new(4);
+        let base = q(0.5, 0.5, &[1], 2, 0.5);
+        let deep: RankList = Arc::new(vec![
+            (ObjectId(1), 0.9),
+            (ObjectId(2), 0.8),
+            (ObjectId(3), 0.6),
+        ]);
+        let shallow: RankList = Arc::new(vec![(ObjectId(4), 0.7)]);
+        cache.put_topk(
+            &SpatialKeywordQuery {
+                k: 3,
+                ..base.clone()
+            },
+            deep,
+            0,
+        );
+        // At epoch 1, even a shallower fresh list must displace the deep
+        // stale one.
+        cache.put_topk(
+            &SpatialKeywordQuery {
+                k: 1,
+                ..base.clone()
+            },
+            shallow,
+            1,
+        );
+        assert_eq!(cache.get_initial_rank(&base, &[ObjectId(4)], 1), Some(1));
+        assert_eq!(cache.get_initial_rank(&base, &[ObjectId(3)], 1), None);
     }
 
     #[test]
@@ -270,18 +427,19 @@ mod tests {
                 ..query.clone()
             },
             list,
+            0,
         );
         // Missing {3}: only object 1 scores strictly above 0.8 → rank 2.
-        assert_eq!(cache.get_initial_rank(&query, &[ObjectId(3)]), Some(2));
+        assert_eq!(cache.get_initial_rank(&query, &[ObjectId(3)], 0), Some(2));
         // Missing {4}: three strict dominators → rank 4.
-        assert_eq!(cache.get_initial_rank(&query, &[ObjectId(4)]), Some(4));
+        assert_eq!(cache.get_initial_rank(&query, &[ObjectId(4)], 0), Some(4));
         // Missing {2, 4}: min score 0.7 → same as {4}.
         assert_eq!(
-            cache.get_initial_rank(&query, &[ObjectId(2), ObjectId(4)]),
+            cache.get_initial_rank(&query, &[ObjectId(2), ObjectId(4)], 0),
             Some(4)
         );
         // An object absent from the list cannot be ranked.
-        assert_eq!(cache.get_initial_rank(&query, &[ObjectId(9)]), None);
+        assert_eq!(cache.get_initial_rank(&query, &[ObjectId(9)], 0), None);
     }
 
     #[test]
@@ -300,6 +458,7 @@ mod tests {
                 ..base.clone()
             },
             deep,
+            0,
         );
         cache.put_topk(
             &SpatialKeywordQuery {
@@ -307,22 +466,23 @@ mod tests {
                 ..base.clone()
             },
             shallow,
+            0,
         );
-        // The deep list must survive the shallower insert.
-        assert_eq!(cache.get_initial_rank(&base, &[ObjectId(3)]), Some(3));
+        // The deep list must survive the shallower same-epoch insert.
+        assert_eq!(cache.get_initial_rank(&base, &[ObjectId(3)], 0), Some(3));
     }
 
     #[test]
     fn deposited_ranks_are_preferred_and_keyed_by_missing_set() {
         let cache = AnswerCache::new(4);
         let query = q(0.25, 0.25, &[1, 2], 5, 0.5);
-        cache.put_initial_rank(&query, &[ObjectId(8), ObjectId(3)], 11);
+        cache.put_initial_rank(&query, &[ObjectId(8), ObjectId(3)], 11, 0);
         // Missing-set order must not matter.
         assert_eq!(
-            cache.get_initial_rank(&query, &[ObjectId(3), ObjectId(8)]),
+            cache.get_initial_rank(&query, &[ObjectId(3), ObjectId(8)], 0),
             Some(11)
         );
-        assert_eq!(cache.get_initial_rank(&query, &[ObjectId(3)]), None);
+        assert_eq!(cache.get_initial_rank(&query, &[ObjectId(3)], 0), None);
         assert!(!cache.is_empty());
     }
 }

@@ -100,6 +100,28 @@ pub fn whynot_line(
     JsonValue::object(fields).render()
 }
 
+/// Builds an `insert` mutation line.
+pub fn insert_line(at: (f64, f64), keywords: &[&str]) -> String {
+    JsonValue::object(vec![
+        ("type", "insert".into()),
+        ("at", JsonValue::Array(vec![at.0.into(), at.1.into()])),
+        (
+            "keywords",
+            JsonValue::Array(keywords.iter().map(|&w| w.into()).collect()),
+        ),
+    ])
+    .render()
+}
+
+/// Builds a `delete` mutation line.
+pub fn delete_line(id: u32) -> String {
+    JsonValue::object(vec![
+        ("type", "delete".into()),
+        ("id", JsonValue::from(id as u64)),
+    ])
+    .render()
+}
+
 /// Builds a `stats` request line.
 pub fn stats_line() -> String {
     JsonValue::object(vec![("type", "stats".into())]).render()

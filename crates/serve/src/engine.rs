@@ -3,12 +3,25 @@
 //! [`AnswerCache`] and the `serve.*` metric handles, all publishing
 //! into the engine's own registry so `--metrics-export` shows service
 //! counters next to buffer-pool and tree-traversal activity.
+//!
+//! # Mutability and epochs
+//!
+//! The engine sits behind an [`RwLock`]: queries run under the read
+//! lock, mutations (`insert` / `delete` requests) take the write lock,
+//! funnel through [`WhyNotEngine::ingest`] (and its write-ahead log
+//! when one is attached), and advance the dataset epoch. A query reads
+//! the epoch under the *same* read lock it executes under, so an
+//! answer and the epoch stamped on it can never be torn: concurrent
+//! readers see either the full pre-mutation or the full post-mutation
+//! snapshot. Cache entries stamped with a superseded epoch are dropped
+//! lazily at lookup (`serve.cache_invalidated`) — no stale top-k list
+//! or initial-rank hint is ever served across a mutation.
 
 use crate::cache::{canonical_point, AnswerCache, RankList};
 use crate::protocol::{self, WireKeyword, WireRequest};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
-use wnsk_core::{KcrOptions, QueryBudget, WhyNotEngine, WhyNotQuestion};
+use wnsk_core::{KcrOptions, Mutation, QueryBudget, WhyNotEngine, WhyNotQuestion};
 use wnsk_index::{ObjectId, SpatialKeywordQuery};
 use wnsk_obs::{names, Counter, Hist, Registry};
 use wnsk_text::KeywordSet;
@@ -27,13 +40,16 @@ pub enum ResolvedRequest {
         /// Optional per-request page-read cap.
         max_page_reads: Option<u64>,
     },
+    /// A mutation, applied under the engine's write lock.
+    Ingest(Mutation),
     /// Service counters.
     Stats,
 }
 
 /// The serving layer's engine: warm indexes + answer cache + metrics.
 pub struct ServeEngine {
-    engine: WhyNotEngine,
+    engine: RwLock<WhyNotEngine>,
+    registry: Registry,
     cache: AnswerCache,
     accepted: Counter,
     shed: Counter,
@@ -48,16 +64,18 @@ impl ServeEngine {
     /// structure and registers the `serve.*` metrics into the engine's
     /// registry.
     pub fn new(engine: WhyNotEngine, cache_entries: usize) -> Self {
-        let registry = engine.registry();
+        let registry = engine.registry().clone();
         let accepted = registry.counter(names::SERVE_ACCEPTED);
         let shed = registry.counter(names::SERVE_SHED);
         let cache_hits = registry.counter(names::SERVE_CACHE_HITS);
         let cache_misses = registry.counter(names::SERVE_CACHE_MISSES);
+        let invalidated = registry.counter(names::SERVE_CACHE_INVALIDATED);
         let queue_depth = registry.hist(names::SERVE_QUEUE_DEPTH);
         let request_ns = registry.hist(names::SERVE_REQUEST_NS);
         ServeEngine {
-            engine,
-            cache: AnswerCache::new(cache_entries),
+            engine: RwLock::new(engine),
+            registry,
+            cache: AnswerCache::new(cache_entries).with_invalidated_counter(invalidated),
             accepted,
             shed,
             cache_hits,
@@ -67,14 +85,16 @@ impl ServeEngine {
         }
     }
 
-    /// The wrapped engine.
-    pub fn engine(&self) -> &WhyNotEngine {
-        &self.engine
+    /// Read access to the wrapped engine. Queries executed by the
+    /// serving layer itself take this lock internally; hold the guard
+    /// only for inspection, never across a call back into the server.
+    pub fn engine(&self) -> std::sync::RwLockReadGuard<'_, WhyNotEngine> {
+        self.engine.read().unwrap()
     }
 
     /// The shared metrics registry.
     pub fn registry(&self) -> &Registry {
-        self.engine.registry()
+        &self.registry
     }
 
     /// The answer cache.
@@ -101,24 +121,30 @@ impl ServeEngine {
 
     /// Resolves a wire request: interns keywords through the attached
     /// vocabulary (raw term ids pass through), validates missing ids
-    /// against the dataset, and canonicalizes the location so cache
-    /// keys and execution agree.
+    /// against the live dataset, and canonicalizes the location so
+    /// cache keys and execution agree.
     pub fn resolve(&self, wire: &WireRequest) -> Result<ResolvedRequest, String> {
+        let engine = self.engine.read().unwrap();
         match wire {
             WireRequest::Stats => Ok(ResolvedRequest::Stats),
-            WireRequest::TopK { query } => Ok(ResolvedRequest::TopK(self.resolve_query(query)?)),
+            WireRequest::TopK { query } => {
+                Ok(ResolvedRequest::TopK(resolve_query(&engine, query)?))
+            }
             WireRequest::WhyNot {
                 query,
                 missing,
                 lambda,
                 max_page_reads,
             } => {
-                let query = self.resolve_query(query)?;
-                let n = self.engine.dataset().len();
+                let query = resolve_query(&engine, query)?;
+                let n = engine.dataset().len();
                 let mut ids = Vec::with_capacity(missing.len());
                 for &m in missing {
                     if (m as usize) >= n {
                         return Err(format!("unknown object id {m} (dataset has {n} objects)"));
+                    }
+                    if !engine.dataset().is_live(ObjectId(m)) {
+                        return Err(format!("object id {m} has been deleted"));
                     }
                     ids.push(ObjectId(m));
                 }
@@ -127,36 +153,26 @@ impl ServeEngine {
                     max_page_reads: *max_page_reads,
                 })
             }
-        }
-    }
-
-    fn resolve_query(
-        &self,
-        query: &crate::protocol::WireQuery,
-    ) -> Result<SpatialKeywordQuery, String> {
-        let mut ids = Vec::with_capacity(query.keywords.len());
-        for kw in &query.keywords {
-            match kw {
-                WireKeyword::Id(id) => ids.push(*id),
-                WireKeyword::Name(name) => match self.engine.vocabulary() {
-                    Some(vocab) => match vocab.get(name) {
-                        Some(t) => ids.push(t.0),
-                        None => return Err(format!("unknown keyword '{name}'")),
-                    },
-                    None => {
-                        return Err(format!(
-                            "no vocabulary attached; send keyword '{name}' as a numeric term id"
-                        ))
-                    }
-                },
+            WireRequest::Insert { at, keywords } => {
+                let doc = resolve_keywords(&engine, keywords)?;
+                Ok(ResolvedRequest::Ingest(Mutation::Insert {
+                    loc: wnsk_geo::Point::new(at.0, at.1),
+                    doc,
+                }))
+            }
+            WireRequest::Delete { id } => {
+                let n = engine.dataset().len();
+                if (*id as usize) >= n {
+                    return Err(format!("unknown object id {id} (dataset has {n} objects)"));
+                }
+                if !engine.dataset().is_live(ObjectId(*id)) {
+                    return Err(format!("object id {id} has already been deleted"));
+                }
+                Ok(ResolvedRequest::Ingest(Mutation::Remove {
+                    id: ObjectId(*id),
+                }))
             }
         }
-        Ok(SpatialKeywordQuery::new(
-            canonical_point(wnsk_geo::Point::new(query.at.0, query.at.1)),
-            KeywordSet::from_ids(ids),
-            query.k,
-            query.alpha,
-        ))
     }
 
     /// Executes a resolved request and renders the response line.
@@ -172,19 +188,25 @@ impl ServeEngine {
                 question,
                 max_page_reads,
             } => self.execute_whynot(question, *max_page_reads, remaining),
+            ResolvedRequest::Ingest(mutation) => self.execute_ingest(mutation),
         }
     }
 
     fn execute_topk(&self, query: &SpatialKeywordQuery) -> String {
-        if let Some(list) = self.cache.get_topk(query) {
+        // The epoch is read under the same lock the query runs under, so
+        // the cached list is exactly the answer a fresh computation at
+        // this epoch would produce.
+        let engine = self.engine.read().unwrap();
+        let epoch = engine.epoch();
+        if let Some(list) = self.cache.get_topk(query, epoch) {
             self.cache_hits.inc();
             return render_topk_list(&list, true);
         }
-        match self.engine.top_k(query) {
+        match engine.top_k(query) {
             Ok(results) => {
                 self.cache_misses.inc();
                 let list: RankList = Arc::new(results);
-                self.cache.put_topk(query, Arc::clone(&list));
+                self.cache.put_topk(query, Arc::clone(&list), epoch);
                 render_topk_list(&list, false)
             }
             Err(e) => protocol::render_error(&e.to_string()),
@@ -197,9 +219,19 @@ impl ServeEngine {
         max_page_reads: Option<u64>,
         remaining: Option<Duration>,
     ) -> String {
+        let engine = self.engine.read().unwrap();
+        let epoch = engine.epoch();
+        // A delete can race past `resolve`'s liveness check while the
+        // request is queued; the solver would chase an object that no
+        // longer exists, so re-check under the execution lock.
+        for m in &question.missing {
+            if !engine.dataset().is_live(*m) {
+                return protocol::render_error(&format!("object id {} has been deleted", m.0));
+            }
+        }
         let hint = self
             .cache
-            .get_initial_rank(&question.query, &question.missing);
+            .get_initial_rank(&question.query, &question.missing, epoch);
         let mut budget = QueryBudget::unlimited();
         if let Some(d) = remaining {
             budget = budget.with_deadline(d);
@@ -212,7 +244,7 @@ impl ServeEngine {
             initial_rank_hint: hint,
             ..KcrOptions::default()
         };
-        match self.engine.answer_kcr(question, opts) {
+        match engine.answer_kcr(question, opts) {
             Ok(answer) => {
                 if hint.is_some() {
                     self.cache_hits.inc();
@@ -220,16 +252,20 @@ impl ServeEngine {
                     self.cache_misses.inc();
                     let rank = answer.stats.initial_rank as usize;
                     if rank > question.query.k {
-                        self.cache
-                            .put_initial_rank(&question.query, &question.missing, rank);
+                        self.cache.put_initial_rank(
+                            &question.query,
+                            &question.missing,
+                            rank,
+                            epoch,
+                        );
                     }
                 }
-                answer.stats.record_into(self.engine.registry());
+                answer.stats.record_into(&self.registry);
                 let keywords: Vec<String> = answer
                     .refined
                     .doc
                     .iter()
-                    .map(|t| match self.engine.vocabulary().and_then(|v| v.name(t)) {
+                    .map(|t| match engine.vocabulary().and_then(|v| v.name(t)) {
                         Some(name) => name.to_string(),
                         None => format!("t{}", t.0),
                     })
@@ -249,19 +285,68 @@ impl ServeEngine {
         }
     }
 
+    fn execute_ingest(&self, mutation: &Mutation) -> String {
+        let kind = match mutation {
+            Mutation::Insert { .. } => "insert",
+            Mutation::Remove { .. } => "delete",
+            Mutation::UpdateDoc { .. } => "update",
+        };
+        let mut engine = self.engine.write().unwrap();
+        match engine.ingest(mutation) {
+            Ok(id) => protocol::render_ingest(kind, id.0, engine.epoch()),
+            Err(e) => protocol::render_error(&e.to_string()),
+        }
+    }
+
     fn execute_stats(&self) -> String {
-        let snapshot = self.registry().snapshot();
+        let objects = self.engine.read().unwrap().dataset().live_len();
+        let snapshot = self.registry.snapshot();
         let counters: Vec<(&str, u64)> = [
             names::SERVE_ACCEPTED,
             names::SERVE_SHED,
             names::SERVE_CACHE_HITS,
             names::SERVE_CACHE_MISSES,
+            names::SERVE_CACHE_INVALIDATED,
+            names::INGEST_APPLIED,
         ]
         .iter()
         .map(|&n| (n, snapshot.counter(n)))
         .collect();
-        protocol::render_stats(self.engine.dataset().len(), self.cache.len(), &counters)
+        protocol::render_stats(objects, self.cache.len(), &counters)
     }
+}
+
+fn resolve_keywords(engine: &WhyNotEngine, keywords: &[WireKeyword]) -> Result<KeywordSet, String> {
+    let mut ids = Vec::with_capacity(keywords.len());
+    for kw in keywords {
+        match kw {
+            WireKeyword::Id(id) => ids.push(*id),
+            WireKeyword::Name(name) => match engine.vocabulary() {
+                Some(vocab) => match vocab.get(name) {
+                    Some(t) => ids.push(t.0),
+                    None => return Err(format!("unknown keyword '{name}'")),
+                },
+                None => {
+                    return Err(format!(
+                        "no vocabulary attached; send keyword '{name}' as a numeric term id"
+                    ))
+                }
+            },
+        }
+    }
+    Ok(KeywordSet::from_ids(ids))
+}
+
+fn resolve_query(
+    engine: &WhyNotEngine,
+    query: &crate::protocol::WireQuery,
+) -> Result<SpatialKeywordQuery, String> {
+    Ok(SpatialKeywordQuery::new(
+        canonical_point(wnsk_geo::Point::new(query.at.0, query.at.1)),
+        resolve_keywords(engine, &query.keywords)?,
+        query.k,
+        query.alpha,
+    ))
 }
 
 fn render_topk_list(list: &[(ObjectId, f64)], cached: bool) -> String {

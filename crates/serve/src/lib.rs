@@ -16,7 +16,15 @@
 //!   top-k queries are answered from memory and repeated why-not
 //!   refinements reuse the cached rank of the missing set (the
 //!   denominator of the paper's Eqn 4 penalty) instead of recomputing
-//!   it;
+//!   it. Every entry is stamped with the dataset epoch it was computed
+//!   under and dropped on lookup once a mutation advances the epoch
+//!   (`serve.cache_invalidated`), so no stale answer or rank hint is
+//!   ever served;
+//! - **live mutations** — `insert` and `delete` requests flow through
+//!   the same admission queue, take the engine's write lock, go through
+//!   the write-ahead log when one is attached, and advance the dataset
+//!   epoch; queries always see a full pre- or post-mutation snapshot,
+//!   never a torn state;
 //! - **service metrics** — `serve.accepted`, `serve.shed`,
 //!   `serve.cache_hits`, `serve.cache_misses`, the `serve.queue_depth`
 //!   admission histogram and the `serve.request_ns` end-to-end latency

@@ -11,8 +11,16 @@
 //! {"type":"topk","at":[0.5,0.5],"keywords":["cafe","wifi"],"k":5,"alpha":0.5}
 //! {"type":"whynot","at":[0.5,0.5],"keywords":["cafe"],"k":5,"alpha":0.5,
 //!  "missing":[42],"lambda":0.5,"deadline_ms":200}
+//! {"type":"insert","at":[0.5,0.5],"keywords":["cafe","wifi"]}
+//! {"type":"delete","id":42}
 //! {"type":"stats"}
 //! ```
+//!
+//! `insert` and `delete` are mutations: they run through the same
+//! admission queue as queries, take the engine's write lock, go through
+//! the write-ahead log when one is attached, and advance the dataset
+//! epoch (invalidating cached answers). Their responses carry the
+//! affected object `id` and the post-mutation `epoch`.
 //!
 //! Optional fields: `alpha` (default 0.5), `lambda` (default 0.5),
 //! `deadline_ms` (admission + execution deadline, measured from
@@ -69,6 +77,18 @@ pub enum WireRequest {
         /// Optional physical page-read cap for this request.
         max_page_reads: Option<u64>,
     },
+    /// Insert a new object (mutation; advances the dataset epoch).
+    Insert {
+        /// The new object's location.
+        at: (f64, f64),
+        /// The new object's keywords.
+        keywords: Vec<WireKeyword>,
+    },
+    /// Delete an object by id (mutation; advances the dataset epoch).
+    Delete {
+        /// The object to delete.
+        id: u32,
+    },
     /// Service counters.
     Stats,
 }
@@ -102,7 +122,7 @@ fn required_usize(obj: &JsonValue, key: &str) -> Result<usize, String> {
     Ok(v as usize)
 }
 
-fn parse_query(obj: &JsonValue) -> Result<WireQuery, String> {
+fn parse_at(obj: &JsonValue) -> Result<(f64, f64), String> {
     let at = obj.get("at").ok_or("missing field 'at'")?;
     let coords = at.as_array().ok_or("field 'at' must be [x, y]")?;
     if coords.len() != 2 {
@@ -111,8 +131,12 @@ fn parse_query(obj: &JsonValue) -> Result<WireQuery, String> {
     let x = coords[0].as_f64().ok_or("field 'at' must hold numbers")?;
     let y = coords[1].as_f64().ok_or("field 'at' must hold numbers")?;
     if !x.is_finite() || !y.is_finite() {
-        return Err("query location must be finite".into());
+        return Err("location must be finite".into());
     }
+    Ok((x, y))
+}
+
+fn parse_keywords(obj: &JsonValue) -> Result<Vec<WireKeyword>, String> {
     let kws = obj
         .get("keywords")
         .and_then(|v| v.as_array())
@@ -130,6 +154,12 @@ fn parse_query(obj: &JsonValue) -> Result<WireQuery, String> {
             _ => return Err("keywords must be strings or non-negative term ids".into()),
         }
     }
+    Ok(keywords)
+}
+
+fn parse_query(obj: &JsonValue) -> Result<WireQuery, String> {
+    let (x, y) = parse_at(obj)?;
+    let keywords = parse_keywords(obj)?;
     let k = required_usize(obj, "k")?;
     if k == 0 {
         return Err("field 'k' must be at least 1".into());
@@ -200,6 +230,14 @@ pub fn parse_request(line: &str) -> Result<ParsedRequest, String> {
                 lambda,
                 max_page_reads,
             }
+        }
+        "insert" => WireRequest::Insert {
+            at: parse_at(&doc)?,
+            keywords: parse_keywords(&doc)?,
+        },
+        "delete" => {
+            let id = required_usize(&doc, "id")?;
+            WireRequest::Delete { id: id as u32 }
         }
         "stats" => WireRequest::Stats,
         other => return Err(format!("unknown request type '{other}'")),
@@ -282,6 +320,20 @@ pub fn render_whynot(
         ("initial_rank", initial_rank.into()),
         ("rank_reused", JsonValue::Bool(rank_reused)),
         ("refined", refined),
+    ])
+    .render()
+}
+
+/// Renders a mutation acknowledgement. `kind` is `"insert"` or
+/// `"delete"`, `id` the affected object, `epoch` the dataset epoch
+/// *after* the mutation (cached answers from earlier epochs are now
+/// invalid).
+pub fn render_ingest(kind: &str, id: u32, epoch: u64) -> String {
+    JsonValue::object(vec![
+        ("ok", JsonValue::Bool(true)),
+        ("type", kind.into()),
+        ("id", JsonValue::from(id as u64)),
+        ("epoch", JsonValue::from(epoch)),
     ])
     .render()
 }
@@ -392,6 +444,48 @@ mod tests {
                 r#"{"type":"topk","at":[0.5,0.5],"keywords":["a"],"k":3,"deadline_ms":-1}"#,
                 "deadline_ms",
             ),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "line {line}: got '{err}'");
+        }
+    }
+
+    #[test]
+    fn parses_mutations_and_renders_their_acks() {
+        let p =
+            parse_request(r#"{"type":"insert","at":[0.25,0.75],"keywords":["cafe",3]}"#).unwrap();
+        assert_eq!(
+            p.request,
+            WireRequest::Insert {
+                at: (0.25, 0.75),
+                keywords: vec![WireKeyword::Name("cafe".into()), WireKeyword::Id(3)],
+            }
+        );
+        let p = parse_request(r#"{"type":"delete","id":42}"#).unwrap();
+        assert_eq!(p.request, WireRequest::Delete { id: 42 });
+
+        let ack = render_ingest("insert", 300, 7);
+        let doc = JsonValue::parse(&ack).unwrap();
+        assert_eq!(doc.get("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(doc.get("type").and_then(|v| v.as_str()), Some("insert"));
+        assert_eq!(doc.get("id").and_then(|v| v.as_f64()), Some(300.0));
+        assert_eq!(doc.get("epoch").and_then(|v| v.as_f64()), Some(7.0));
+    }
+
+    #[test]
+    fn rejects_malformed_mutations() {
+        for (line, needle) in [
+            (
+                r#"{"type":"insert","keywords":["a"]}"#,
+                "missing field 'at'",
+            ),
+            (
+                r#"{"type":"insert","at":[0.5,0.5],"keywords":[]}"#,
+                "non-empty",
+            ),
+            (r#"{"type":"delete"}"#, "missing field 'id'"),
+            (r#"{"type":"delete","id":-3}"#, "non-negative"),
+            (r#"{"type":"delete","id":1.5}"#, "non-negative"),
         ] {
             let err = parse_request(line).unwrap_err();
             assert!(err.contains(needle), "line {line}: got '{err}'");

@@ -1,0 +1,255 @@
+//! Epoch-based cache invalidation under churn: topk and why-not
+//! requests interleaved with inserts and deletes over the live server.
+//! The assertions are exactly the staleness hazards the epoch stamp
+//! exists to prevent — a cached top-k list served after a mutation that
+//! changed the ranking, and a cached initial-rank hint reused after a
+//! dominator was deleted.
+
+use wnsk_core::WhyNotEngine;
+use wnsk_data::{generate, DatasetSpec};
+use wnsk_index::{ObjectId, SpatialKeywordQuery};
+use wnsk_obs::{names, JsonValue};
+use wnsk_serve::client::{delete_line, insert_line, stats_line, topk_line, whynot_line};
+use wnsk_serve::{Client, Server, ServerConfig};
+use wnsk_text::KeywordSet;
+
+const AT: (f64, f64) = (0.5, 0.25);
+const K: usize = 3;
+const ALPHA: f64 = 0.5;
+const LAMBDA: f64 = 0.5;
+
+fn warm_engine() -> WhyNotEngine {
+    let data = generate(&DatasetSpec::tiny(7));
+    WhyNotEngine::build_in_memory(data.dataset)
+        .expect("tiny dataset builds")
+        .with_vocabulary(data.vocabulary)
+}
+
+fn f64_field(doc: &JsonValue, path: &[&str]) -> f64 {
+    let mut v = doc;
+    for key in path {
+        v = v.get(key).unwrap_or_else(|| panic!("missing field {key}"));
+    }
+    v.as_f64().unwrap()
+}
+
+fn result_ids(doc: &JsonValue) -> Vec<u32> {
+    doc.get("results")
+        .and_then(|v| v.as_array())
+        .unwrap()
+        .iter()
+        .map(|r| f64_field(r, &["object"]) as u32)
+        .collect()
+}
+
+fn is_cached(doc: &JsonValue) -> bool {
+    doc.get("cached") == Some(&JsonValue::Bool(true))
+}
+
+/// The exact rank of `missing` under the live engine, recomputed from
+/// scratch: strict dominators + 1.
+fn brute_rank(engine: &WhyNotEngine, query: &SpatialKeywordQuery, missing: ObjectId) -> usize {
+    let ds = engine.dataset();
+    let target = ds.score(ds.object(missing), query);
+    1 + ds
+        .live_objects()
+        .filter(|o| ds.score(o, query) > target)
+        .count()
+}
+
+#[test]
+fn mutations_invalidate_cached_answers_and_rank_hints() {
+    let handle = Server::start(warm_engine(), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Resolve two vocabulary names and a why-not target up front.
+    let (kw, query, missing) = {
+        let engine = handle.serve_engine().engine();
+        let vocab = engine.vocabulary().expect("vocabulary attached");
+        let kw: Vec<String> = (0..2)
+            .map(|t| vocab.name(wnsk_text::TermId(t)).unwrap().to_string())
+            .collect();
+        let ids: Vec<u32> = kw.iter().map(|n| vocab.get(n).unwrap().0).collect();
+        let query = SpatialKeywordQuery::new(
+            wnsk_geo::Point::new(AT.0, AT.1),
+            KeywordSet::from_ids(ids),
+            K,
+            ALPHA,
+        );
+        let deep = SpatialKeywordQuery::new(query.loc, query.doc.clone(), 20, ALPHA);
+        let ranking = engine.top_k(&deep).unwrap();
+        assert!(ranking[K].1 > ranking[6].1, "missing pick is outside top-k");
+        (kw, query, ranking[6].0)
+    };
+    let kw: Vec<&str> = kw.iter().map(String::as_str).collect();
+
+    // Warm the top-k cache, then insert an object sitting exactly on the
+    // query point with exactly the query keywords: distance 0, perfect
+    // text match — it must enter the top-k.
+    let cold = client.call_json(&topk_line(AT, &kw, K, ALPHA)).unwrap();
+    let warm = client.call_json(&topk_line(AT, &kw, K, ALPHA)).unwrap();
+    assert!(!is_cached(&cold) && is_cached(&warm));
+
+    let ack = client.call_json(&insert_line(AT, &kw)).unwrap();
+    assert_eq!(ack.get("ok"), Some(&JsonValue::Bool(true)), "{ack:?}");
+    let new_id = f64_field(&ack, &["id"]) as u32;
+    assert_eq!(f64_field(&ack, &["epoch"]) as u64, 1);
+
+    // The cached pre-insert list must NOT be served: the answer has to
+    // be recomputed and contain the new object at rank 1.
+    let post_insert = client.call_json(&topk_line(AT, &kw, K, ALPHA)).unwrap();
+    assert!(
+        !is_cached(&post_insert),
+        "stale top-k list served across an insert: {post_insert:?}"
+    );
+    assert_eq!(
+        result_ids(&post_insert)[0],
+        new_id,
+        "the perfectly matching insert must lead the recomputed top-k"
+    );
+    {
+        let engine = handle.serve_engine().engine();
+        let expect = engine.top_k(&query).unwrap();
+        let got = result_ids(&post_insert);
+        assert_eq!(
+            got,
+            expect.iter().map(|&(id, _)| id.0).collect::<Vec<_>>(),
+            "post-insert answer equals a fresh engine computation"
+        );
+    }
+
+    // Why-not: cold computes the rank, warm reuses it via the cache.
+    let wn = whynot_line(AT, &kw, K, ALPHA, &[missing.0], LAMBDA, None);
+    let wn_cold = client.call_json(&wn).unwrap();
+    let wn_warm = client.call_json(&wn).unwrap();
+    assert_eq!(wn_cold.get("rank_reused"), Some(&JsonValue::Bool(false)));
+    assert_eq!(wn_warm.get("rank_reused"), Some(&JsonValue::Bool(true)));
+    let rank_before = f64_field(&wn_warm, &["initial_rank"]) as usize;
+    assert_eq!(rank_before, {
+        let engine = handle.serve_engine().engine();
+        brute_rank(&engine, &query, missing)
+    });
+
+    // Delete the dominating insert. The missing object's rank improves
+    // by one, so a reused hint would now be provably stale.
+    let ack = client.call_json(&delete_line(new_id)).unwrap();
+    assert_eq!(ack.get("ok"), Some(&JsonValue::Bool(true)), "{ack:?}");
+    assert_eq!(f64_field(&ack, &["epoch"]) as u64, 2);
+
+    let wn_post = client.call_json(&wn).unwrap();
+    assert_eq!(
+        wn_post.get("rank_reused"),
+        Some(&JsonValue::Bool(false)),
+        "rank hint reused across a delete: {wn_post:?}"
+    );
+    let rank_after = f64_field(&wn_post, &["initial_rank"]) as usize;
+    assert_eq!(rank_after, rank_before - 1, "the deleted dominator is gone");
+    assert_eq!(rank_after, {
+        let engine = handle.serve_engine().engine();
+        brute_rank(&engine, &query, missing)
+    });
+
+    // The deleted object is refused everywhere.
+    let dup = client.call_json(&delete_line(new_id)).unwrap();
+    assert_eq!(dup.get("ok"), Some(&JsonValue::Bool(false)));
+    assert!(dup
+        .get("error")
+        .and_then(|v| v.as_str())
+        .unwrap()
+        .contains("already been deleted"));
+    let wn_deleted = client
+        .call_json(&whynot_line(AT, &kw, K, ALPHA, &[new_id], LAMBDA, None))
+        .unwrap();
+    assert_eq!(wn_deleted.get("ok"), Some(&JsonValue::Bool(false)));
+    assert!(wn_deleted
+        .get("error")
+        .and_then(|v| v.as_str())
+        .unwrap()
+        .contains("deleted"));
+
+    // The top-k answer after the delete matches the engine again and the
+    // deleted id is gone.
+    let post_delete = client.call_json(&topk_line(AT, &kw, K, ALPHA)).unwrap();
+    assert!(!is_cached(&post_delete));
+    assert!(!result_ids(&post_delete).contains(&new_id));
+
+    // Stats tell the honest story: invalidations happened, both
+    // mutations were applied, and the object count is back to the seed.
+    let stats = client.call_json(&stats_line()).unwrap();
+    let counter = |name: &str| f64_field(&stats, &["counters", name]) as u64;
+    assert_eq!(counter(names::INGEST_APPLIED), 2);
+    assert!(
+        counter(names::SERVE_CACHE_INVALIDATED) >= 2,
+        "epoch moves must surface as invalidations: {stats:?}"
+    );
+    assert_eq!(
+        f64_field(&stats, &["objects"]) as usize,
+        handle.serve_engine().engine().dataset().live_len()
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn interleaved_churn_never_serves_a_stale_list() {
+    let handle = Server::start(warm_engine(), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let kw_owned: Vec<String> = {
+        let engine = handle.serve_engine().engine();
+        let vocab = engine.vocabulary().unwrap();
+        (0..2)
+            .map(|t| vocab.name(wnsk_text::TermId(t)).unwrap().to_string())
+            .collect()
+    };
+    let kw: Vec<&str> = kw_owned.iter().map(String::as_str).collect();
+    let ids: Vec<u32> = {
+        let engine = handle.serve_engine().engine();
+        let vocab = engine.vocabulary().unwrap();
+        kw.iter().map(|n| vocab.get(n).unwrap().0).collect()
+    };
+    let query = SpatialKeywordQuery::new(
+        wnsk_geo::Point::new(AT.0, AT.1),
+        KeywordSet::from_ids(ids),
+        K,
+        ALPHA,
+    );
+
+    // Alternate queries and mutations; after every single step the
+    // served list must equal a fresh engine computation bit for bit.
+    let mut inserted: Vec<u32> = Vec::new();
+    for round in 0..6 {
+        let doc = client.call_json(&topk_line(AT, &kw, K, ALPHA)).unwrap();
+        assert_eq!(doc.get("ok"), Some(&JsonValue::Bool(true)), "{doc:?}");
+        {
+            let engine = handle.serve_engine().engine();
+            let expect: Vec<u32> = engine
+                .top_k(&query)
+                .unwrap()
+                .iter()
+                .map(|&(id, _)| id.0)
+                .collect();
+            assert_eq!(result_ids(&doc), expect, "round {round} diverged");
+        }
+        if round % 2 == 0 {
+            // Insert near the query point; spread x slightly so ties
+            // stay impossible.
+            let at = (0.5 + (round as f64 + 1.0) / 4096.0, 0.25);
+            let ack = client.call_json(&insert_line(at, &kw)).unwrap();
+            assert_eq!(ack.get("ok"), Some(&JsonValue::Bool(true)), "{ack:?}");
+            inserted.push(f64_field(&ack, &["id"]) as u32);
+        } else if let Some(id) = inserted.pop() {
+            let ack = client.call_json(&delete_line(id)).unwrap();
+            assert_eq!(ack.get("ok"), Some(&JsonValue::Bool(true)), "{ack:?}");
+        }
+    }
+
+    // A repeat with no intervening mutation still hits the cache — the
+    // epoch check invalidates, it does not disable caching.
+    let a = client.call_json(&topk_line(AT, &kw, K, ALPHA)).unwrap();
+    let b = client.call_json(&topk_line(AT, &kw, K, ALPHA)).unwrap();
+    assert!(is_cached(&b), "same-epoch repeat must be a cache hit");
+    assert_eq!(result_ids(&a), result_ids(&b));
+
+    handle.shutdown();
+}

@@ -179,7 +179,7 @@ fn queue_overflow_sheds_instead_of_hanging() {
         ..ServerConfig::default()
     };
     let handle = Server::start(warm_engine(), config).unwrap();
-    let keywords = query_keywords(handle.serve_engine().engine());
+    let keywords = query_keywords(&handle.serve_engine().engine());
     let kw: Vec<&str> = keywords.iter().map(String::as_str).collect();
     let line = topk_line(AT, &kw, K, ALPHA);
 
@@ -224,7 +224,7 @@ fn queue_overflow_sheds_instead_of_hanging() {
 #[test]
 fn expired_deadline_sheds_with_degraded_quality() {
     let handle = Server::start(warm_engine(), ServerConfig::default()).unwrap();
-    let keywords = query_keywords(handle.serve_engine().engine());
+    let keywords = query_keywords(&handle.serve_engine().engine());
     let kw: Vec<&str> = keywords.iter().map(String::as_str).collect();
     let mut client = Client::connect(handle.addr()).unwrap();
 

@@ -24,6 +24,18 @@ pub trait StorageBackend: Send + Sync {
 
     /// Number of allocated pages.
     fn page_count(&self) -> u64;
+
+    /// Makes previously written pages durable (fsync-style). The
+    /// write-ahead log calls this once per group commit; a record is
+    /// *committed* only once the `sync` covering it returned `Ok`.
+    ///
+    /// The default is a no-op: in-memory backends are "durable" for as
+    /// long as the process lives, which is exactly the crash model the
+    /// recovery tests simulate by cloning pages out from under a torn
+    /// writer.
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
 }
 
 /// An in-memory backend: a growable vector of pages.
@@ -136,12 +148,6 @@ impl FileBackend {
             allocated: AtomicU64::new(len / PAGE_SIZE as u64),
         })
     }
-
-    /// Flushes file contents to the OS.
-    pub fn sync(&self) -> Result<()> {
-        self.file.sync_data()?;
-        Ok(())
-    }
 }
 
 impl StorageBackend for FileBackend {
@@ -181,6 +187,11 @@ impl StorageBackend for FileBackend {
 
     fn page_count(&self) -> u64 {
         self.allocated.load(Ordering::Acquire)
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
     }
 }
 

@@ -280,6 +280,14 @@ impl BufferPool {
         self.backend.allocate_page()
     }
 
+    /// Makes all previous writes durable ([`StorageBackend::sync`]),
+    /// retrying transient failures under the pool's policy. The
+    /// write-ahead log's group commit is the only caller on the hot
+    /// path.
+    pub fn sync(&self) -> Result<()> {
+        self.with_retries(|| self.backend.sync())
+    }
+
     /// Empties the cache (counters are preserved). Experiments call this
     /// between queries to emulate a cold or warm start policy explicitly.
     pub fn clear_cache(&self) {

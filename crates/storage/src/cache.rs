@@ -119,6 +119,17 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
         evicted
     }
 
+    /// Removes `key`, returning its value when resident. Used by the
+    /// answer cache to drop entries stamped with a superseded dataset
+    /// epoch the moment a lookup discovers the staleness.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = self.map.remove(key)?;
+        self.unlink(idx);
+        self.free.push(idx);
+        let entry = self.slab[idx].take().expect("mapped index is live");
+        Some(entry.value)
+    }
+
     /// Removes and returns the least-recently-used entry.
     pub fn pop_lru(&mut self) -> Option<(K, V)> {
         if self.tail == NIL {
@@ -277,6 +288,28 @@ mod tests {
     fn pop_lru_on_empty_is_none() {
         let mut lru: Lru<u32, u32> = Lru::new(4);
         assert_eq!(lru.pop_lru(), None);
+    }
+
+    #[test]
+    fn remove_unlinks_and_frees_the_slot() {
+        let mut lru = Lru::new(3);
+        lru.insert(1, "a");
+        lru.insert(2, "b");
+        lru.insert(3, "c");
+        assert_eq!(lru.remove(&2), Some("b"));
+        assert_eq!(lru.remove(&2), None);
+        assert_eq!(lru.len(), 2);
+        // The freed slot is reusable and the recency list stays intact:
+        // 1 is the LRU (3 and 4 were inserted after it).
+        lru.insert(4, "d");
+        assert_eq!(lru.insert(5, "e"), Some((1, "a")));
+        assert_eq!(lru.get(&3), Some(&"c"));
+        assert_eq!(lru.get(&4), Some(&"d"));
+        // Removing head and tail both work.
+        assert_eq!(lru.remove(&4), Some("d"));
+        assert_eq!(lru.remove(&5), Some("e"));
+        assert_eq!(lru.remove(&3), Some("c"));
+        assert!(lru.is_empty());
     }
 
     #[test]

@@ -47,6 +47,10 @@ pub struct FaultPlan {
     /// Probability that a write is torn: only the first half of the page
     /// is stored, the rest zeroed (a persistent, power-loss-style fault).
     pub torn_write_prob: f64,
+    /// Probability that a `sync` fails with a transient error. A failed
+    /// sync means the covering group commit never completed — WAL
+    /// recovery must treat the batch as uncommitted.
+    pub sync_error_prob: f64,
     /// Latency added to every read.
     pub read_latency: Duration,
     /// Latency added to every write.
@@ -89,6 +93,12 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the sync-failure probability.
+    pub fn with_sync_error_prob(mut self, p: f64) -> Self {
+        self.sync_error_prob = p;
+        self
+    }
+
     /// Sets injected read/write latency.
     pub fn with_latency(mut self, read: Duration, write: Duration) -> Self {
         self.read_latency = read;
@@ -110,12 +120,13 @@ pub struct FaultStats {
     pub write_errors: u64,
     pub bit_flips: u64,
     pub torn_writes: u64,
+    pub sync_errors: u64,
 }
 
 impl FaultStats {
     /// Total injected faults of any kind.
     pub fn total(&self) -> u64 {
-        self.read_errors + self.write_errors + self.bit_flips + self.torn_writes
+        self.read_errors + self.write_errors + self.bit_flips + self.torn_writes + self.sync_errors
     }
 }
 
@@ -125,6 +136,7 @@ struct FaultCounters {
     write_errors: AtomicU64,
     bit_flips: AtomicU64,
     torn_writes: AtomicU64,
+    sync_errors: AtomicU64,
 }
 
 /// SplitMix64: a single deterministic 64-bit draw per (seed, op, salt).
@@ -177,7 +189,15 @@ impl<B: StorageBackend> FaultBackend<B> {
             write_errors: self.counters.write_errors.load(Ordering::Relaxed),
             bit_flips: self.counters.bit_flips.load(Ordering::Relaxed),
             torn_writes: self.counters.torn_writes.load(Ordering::Relaxed),
+            sync_errors: self.counters.sync_errors.load(Ordering::Relaxed),
         }
+    }
+
+    /// The global operation counter (reads + writes + syncs so far).
+    /// Recovery tests use this to learn how many ops a whole ingest run
+    /// takes before scripting a fault partway through a replay.
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
     }
 
     /// Scripted fault scheduled for `op`, if any.
@@ -251,6 +271,20 @@ impl<B: StorageBackend> StorageBackend for FaultBackend<B> {
     fn page_count(&self) -> u64 {
         self.inner.page_count()
     }
+
+    fn sync(&self) -> Result<()> {
+        let op = self.ops.fetch_add(1, Ordering::Relaxed);
+        if self.scripted(op) == Some(FaultKind::TransientError)
+            || hit(mix(self.plan.seed, op, 6), self.plan.sync_error_prob)
+        {
+            self.counters.sync_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(StorageError::transient(
+                "sync",
+                format!("injected sync fault at op {op}"),
+            ));
+        }
+        self.inner.sync()
+    }
 }
 
 #[cfg(test)]
@@ -318,6 +352,32 @@ mod tests {
             .sum();
         assert_eq!(diff_bits, 1, "exactly one bit differs");
         assert_eq!(clean[0], 0xAA, "the stored page was never touched");
+    }
+
+    #[test]
+    fn scripted_sync_fault_fires_on_the_op_counter() {
+        // Op 0: write (clean). Op 1: sync (scripted failure). Op 2: sync ok.
+        let plan = FaultPlan::new(11).with_scripted(1, FaultKind::TransientError);
+        let inner = MemBackend::new();
+        inner.allocate_page().unwrap();
+        let fb = FaultBackend::new(inner, plan);
+        fb.write_page(PageId(0), &vec![1u8; PAGE_SIZE]).unwrap();
+        let err = fb.sync().unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        fb.sync().unwrap();
+        assert_eq!(fb.fault_stats().sync_errors, 1);
+        assert_eq!(fb.ops(), 3);
+    }
+
+    #[test]
+    fn probabilistic_sync_faults_are_deterministic() {
+        let run = |seed: u64| -> Vec<bool> {
+            let plan = FaultPlan::new(seed).with_sync_error_prob(0.5);
+            let fb = FaultBackend::new(MemBackend::new(), plan);
+            (0..50).map(|_| fb.sync().is_err()).collect()
+        };
+        assert_eq!(run(9), run(9));
+        assert!(run(9).iter().any(|&e| e) && run(9).iter().any(|&e| !e));
     }
 
     #[test]

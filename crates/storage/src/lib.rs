@@ -37,6 +37,7 @@ mod error;
 pub mod fault;
 mod page;
 mod stats;
+pub mod wal;
 
 pub use backend::{FileBackend, MemBackend, StorageBackend};
 pub use blob::{BlobRef, BlobStore};
@@ -45,3 +46,4 @@ pub use error::{Result, StorageError};
 pub use fault::{FaultBackend, FaultKind, FaultPlan, FaultStats};
 pub use page::{PageId, PAGE_CRC_LEN, PAGE_DATA_SIZE, PAGE_SIZE};
 pub use stats::{IoStats, IoStatsSnapshot};
+pub use wal::{RecoveryReport, Wal, WalError};

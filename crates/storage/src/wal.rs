@@ -1,0 +1,596 @@
+//! Write-ahead log on the checksummed page store.
+//!
+//! The WAL turns the bulk-built, read-only substrate into a durable
+//! write path: every mutation is appended as a record, a *group commit*
+//! flushes all buffered records with a single [`crate::StorageBackend::sync`],
+//! and recovery replays the committed prefix — truncating at the first
+//! torn or corrupt record — so a restarted engine rebuilds state
+//! bit-identical to one that never crashed.
+//!
+//! # Record format
+//!
+//! ```text
+//! [len: u32] [lsn: u64] [kind: u8] [payload: len-17 bytes] [crc: u32]
+//! ```
+//!
+//! `len` is the total record length (header + payload + trailer, so
+//! `len ≥ 17`); `crc` is the CRC32 of `lsn ‖ kind ‖ payload`. LSNs are
+//! assigned densely from 1 at append time — any discontinuity on replay
+//! is a [`WalError::LsnGap`].
+//!
+//! # Page layout
+//!
+//! Records never span pages: they are packed back-to-back into
+//! [`PAGE_DATA_SIZE`]-byte page payloads (the buffer pool owns the page
+//! CRC trailer) and a record that does not fit moves to the next page,
+//! leaving a zero fill behind. Each commit batch starts on a *fresh*
+//! page, so a torn write can only damage pages of the batch that was in
+//! flight — never previously committed records. A page whose first
+//! length field is zero ends the log.
+//!
+//! # Recovery
+//!
+//! [`Wal::recover`] scans pages in order, replays every complete record
+//! through the caller's closure, and stops at the first of: an
+//! unreadable page (page-level CRC mismatch from a torn write →
+//! [`WalError::TornRecord`]), a record whose embedded CRC does not match
+//! ([`WalError::ChecksumMismatch`]), or a non-dense LSN
+//! ([`WalError::LsnGap`]). Everything from the failure point on is
+//! physically truncated (zero-filled) so the log tail is clean for new
+//! appends, and the outcome is summarised in a [`RecoveryReport`].
+
+use crate::crc::crc32;
+use crate::{BufferPool, PageId, Result, StorageError, PAGE_DATA_SIZE};
+use std::fmt;
+use std::sync::Arc;
+
+/// Fixed overhead of one record: `len (4) + lsn (8) + kind (1) + crc (4)`.
+const RECORD_OVERHEAD: usize = 17;
+
+/// Largest payload that fits a single page alongside the overhead.
+pub const MAX_PAYLOAD: usize = PAGE_DATA_SIZE - RECORD_OVERHEAD;
+
+/// Why a recovery scan stopped before the end of the log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalError {
+    /// A page of the tail batch was torn mid-write: its page-level CRC no
+    /// longer verifies, so none of its records are trustworthy.
+    TornRecord { page: PageId },
+    /// A record's embedded CRC32 does not match its header + payload.
+    ChecksumMismatch { page: PageId, lsn: u64 },
+    /// A record's LSN is not the successor of the previous record's.
+    LsnGap { expected: u64, found: u64 },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::TornRecord { page } => {
+                write!(f, "torn WAL page {page:?}: page checksum does not verify")
+            }
+            WalError::ChecksumMismatch { page, lsn } => {
+                write!(f, "WAL record lsn {lsn} on {page:?} failed its CRC32")
+            }
+            WalError::LsnGap { expected, found } => {
+                write!(f, "WAL LSN gap: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+/// Outcome of a [`Wal::recover`] scan, surfaced via `--metrics` as the
+/// `wal.recovered_records` / `wal.truncated_bytes` counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Complete, checksum-verified records replayed into the engine.
+    pub records_replayed: u64,
+    /// Log payload bytes discarded from the failure point to the end of
+    /// the file (zero when the log was clean).
+    pub bytes_truncated: u64,
+    /// LSN of the last replayed record (0 when the log was empty). This
+    /// is also the dataset epoch the recovered engine starts from.
+    pub last_lsn: u64,
+    /// What stopped the scan, when it was not a clean end of log.
+    pub stopped_by: Option<WalError>,
+}
+
+/// An append-only write-ahead log over a dedicated page store.
+///
+/// `append` buffers a record and assigns its LSN; `commit` packs the
+/// buffered batch into freshly allocated pages, writes them through the
+/// (checksumming) buffer pool, and issues one [`BufferPool::sync`] — the
+/// group commit. A record is durable only once the covering commit
+/// returned `Ok`.
+pub struct Wal {
+    pool: Arc<BufferPool>,
+    /// Buffered `(kind, payload)` records awaiting the next group commit.
+    pending: Vec<(u8, Vec<u8>)>,
+    /// LSN the next appended record receives.
+    next_lsn: u64,
+    /// First page the next commit batch writes to (≤ page_count; pages
+    /// past a truncation point are reused before new ones are allocated).
+    next_page: u64,
+    appends: Option<wnsk_obs::Counter>,
+    commits: Option<wnsk_obs::Counter>,
+}
+
+impl Wal {
+    /// Opens a WAL over an *empty* page store.
+    pub fn create(pool: Arc<BufferPool>) -> Self {
+        Wal {
+            pool,
+            pending: Vec::new(),
+            next_lsn: 1,
+            next_page: 0,
+            appends: None,
+            commits: None,
+        }
+    }
+
+    /// Scans an existing log, feeding every complete committed record to
+    /// `apply(lsn, kind, payload)` in LSN order, truncating the tail at
+    /// the first torn/corrupt record, and returning the writable log
+    /// positioned after the survivors.
+    pub fn recover(
+        pool: Arc<BufferPool>,
+        mut apply: impl FnMut(u64, u8, &[u8]) -> Result<()>,
+    ) -> Result<(Self, RecoveryReport)> {
+        let mut report = RecoveryReport::default();
+        let page_count = pool.backend().page_count();
+        let mut next_lsn = 1u64;
+        let mut stop: Option<(u64, usize, WalError)> = None; // (page, keep-bytes, error)
+        let mut end_page = page_count;
+
+        'scan: for page in 0..page_count {
+            let bytes = match pool.read(PageId(page)) {
+                Ok(b) => b,
+                Err(StorageError::ChecksumMismatch { .. }) => {
+                    stop = Some((page, 0, WalError::TornRecord { page: PageId(page) }));
+                    break 'scan;
+                }
+                Err(e) => return Err(e),
+            };
+            let mut offset = 0usize;
+            loop {
+                if offset + 4 > PAGE_DATA_SIZE {
+                    break; // no room for another length field: next page
+                }
+                let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap());
+                if len == 0 || len == u32::MAX {
+                    if offset == 0 {
+                        // A page with no records ends the log.
+                        end_page = page;
+                        break 'scan;
+                    }
+                    break; // zero fill: batch continues on the next page
+                }
+                let len = len as usize;
+                if len < RECORD_OVERHEAD || offset + len > PAGE_DATA_SIZE {
+                    stop = Some((
+                        page,
+                        offset,
+                        WalError::ChecksumMismatch {
+                            page: PageId(page),
+                            lsn: next_lsn,
+                        },
+                    ));
+                    break 'scan;
+                }
+                let record = &bytes[offset..offset + len];
+                let lsn = u64::from_le_bytes(record[4..12].try_into().unwrap());
+                let kind = record[12];
+                let payload = &record[13..len - 4];
+                let stored = u32::from_le_bytes(record[len - 4..].try_into().unwrap());
+                if crc32(&record[4..len - 4]) != stored {
+                    stop = Some((
+                        page,
+                        offset,
+                        WalError::ChecksumMismatch {
+                            page: PageId(page),
+                            lsn,
+                        },
+                    ));
+                    break 'scan;
+                }
+                if lsn != next_lsn {
+                    stop = Some((
+                        page,
+                        offset,
+                        WalError::LsnGap {
+                            expected: next_lsn,
+                            found: lsn,
+                        },
+                    ));
+                    break 'scan;
+                }
+                apply(lsn, kind, payload)?;
+                report.records_replayed += 1;
+                report.last_lsn = lsn;
+                next_lsn += 1;
+                offset += len;
+            }
+        }
+
+        if let Some((page, keep, err)) = stop {
+            // Physically truncate: keep the replayed prefix of the failing
+            // page, zero the rest of the file so a second recovery (and
+            // future appends) see a clean tail.
+            let bytes = if keep > 0 {
+                pool.read(PageId(page)).expect("prefix page was just read")[..keep].to_vec()
+            } else {
+                Vec::new()
+            };
+            pool.write(PageId(page), &bytes)?;
+            for p in page + 1..page_count {
+                pool.write(PageId(p), &[])?;
+            }
+            report.bytes_truncated = (page_count - page) * PAGE_DATA_SIZE as u64 - keep as u64;
+            report.stopped_by = Some(err);
+            end_page = if keep > 0 { page + 1 } else { page };
+        }
+
+        let wal = Wal {
+            pool,
+            pending: Vec::new(),
+            next_lsn,
+            next_page: end_page,
+            appends: None,
+            commits: None,
+        };
+        Ok((wal, report))
+    }
+
+    /// Publishes `wal.appends` / `wal.commits` counters into `registry`.
+    pub fn register_metrics(&mut self, registry: &wnsk_obs::Registry) {
+        self.appends = Some(registry.counter(wnsk_obs::names::WAL_APPENDS));
+        self.commits = Some(registry.counter(wnsk_obs::names::WAL_COMMITS));
+    }
+
+    /// Buffers one record for the next group commit and returns its LSN.
+    ///
+    /// Payloads are capped at [`MAX_PAYLOAD`] so a record always fits one
+    /// page ([`StorageError::InvalidArgument`] otherwise).
+    pub fn append(&mut self, kind: u8, payload: &[u8]) -> Result<u64> {
+        if payload.len() > MAX_PAYLOAD {
+            return Err(StorageError::invalid_argument(
+                "wal append",
+                format!(
+                    "payload of {} bytes exceeds the {MAX_PAYLOAD}-byte record cap",
+                    payload.len()
+                ),
+            ));
+        }
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        self.pending.push((kind, payload.to_vec()));
+        if let Some(c) = &self.appends {
+            c.add(1);
+        }
+        Ok(lsn)
+    }
+
+    /// Number of records buffered but not yet committed.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// LSN of the last appended record (0 when nothing was ever appended).
+    pub fn last_lsn(&self) -> u64 {
+        self.next_lsn - 1
+    }
+
+    /// Group commit: packs every buffered record into freshly started
+    /// pages, writes them through the pool, and issues one sync. The
+    /// batch is durable iff this returns `Ok`.
+    ///
+    /// On failure the batch is dropped from the buffer rather than
+    /// retried: its LSNs may or may not have reached the disk, which is
+    /// exactly the ambiguity crash recovery resolves — the caller should
+    /// treat the engine as crashed and recover.
+    pub fn commit(&mut self) -> Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let batch_lsn0 = self.next_lsn - self.pending.len() as u64;
+        let pending = std::mem::take(&mut self.pending);
+
+        let mut page = vec![0u8; 0];
+        let mut pages: Vec<Vec<u8>> = Vec::new();
+        for (i, (kind, payload)) in pending.iter().enumerate() {
+            let len = RECORD_OVERHEAD + payload.len();
+            if page.len() + len > PAGE_DATA_SIZE {
+                pages.push(std::mem::take(&mut page));
+            }
+            let lsn = batch_lsn0 + i as u64;
+            page.extend_from_slice(&(len as u32).to_le_bytes());
+            let body_start = page.len();
+            page.extend_from_slice(&lsn.to_le_bytes());
+            page.push(*kind);
+            page.extend_from_slice(payload);
+            let crc = crc32(&page[body_start..]);
+            page.extend_from_slice(&crc.to_le_bytes());
+        }
+        if !page.is_empty() {
+            pages.push(page);
+        }
+
+        for data in &pages {
+            let id = self.next_page;
+            while id >= self.pool.backend().page_count() {
+                self.pool.allocate()?;
+            }
+            self.pool.write(PageId(id), data)?;
+            self.next_page += 1;
+        }
+        self.pool.sync()?;
+        if let Some(c) = &self.commits {
+            c.add(1);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultBackend, FaultKind, FaultPlan};
+    use crate::{BufferPoolConfig, MemBackend, StorageBackend, PAGE_SIZE};
+
+    fn mem_pool() -> Arc<BufferPool> {
+        Arc::new(BufferPool::with_default_config(Arc::new(MemBackend::new())))
+    }
+
+    type ReplayedRecords = Vec<(u64, u8, Vec<u8>)>;
+
+    fn replayed(pool: Arc<BufferPool>) -> (ReplayedRecords, RecoveryReport, Wal) {
+        let mut out = Vec::new();
+        let (wal, report) = Wal::recover(pool, |lsn, kind, payload| {
+            out.push((lsn, kind, payload.to_vec()));
+            Ok(())
+        })
+        .unwrap();
+        (out, report, wal)
+    }
+
+    #[test]
+    fn append_commit_recover_roundtrip() {
+        let pool = mem_pool();
+        let mut wal = Wal::create(Arc::clone(&pool));
+        assert_eq!(wal.append(1, b"alpha").unwrap(), 1);
+        assert_eq!(wal.append(2, b"beta").unwrap(), 2);
+        wal.commit().unwrap();
+        wal.append(3, b"gamma").unwrap();
+        wal.commit().unwrap();
+
+        let (records, report, recovered) = replayed(pool);
+        assert_eq!(
+            records,
+            vec![
+                (1, 1, b"alpha".to_vec()),
+                (2, 2, b"beta".to_vec()),
+                (3, 3, b"gamma".to_vec()),
+            ]
+        );
+        assert_eq!(report.records_replayed, 3);
+        assert_eq!(report.last_lsn, 3);
+        assert_eq!(report.bytes_truncated, 0);
+        assert!(report.stopped_by.is_none());
+        assert_eq!(recovered.last_lsn(), 3);
+    }
+
+    #[test]
+    fn empty_log_recovers_empty() {
+        let (records, report, wal) = replayed(mem_pool());
+        assert!(records.is_empty());
+        assert_eq!(report, RecoveryReport::default());
+        assert_eq!(wal.last_lsn(), 0);
+    }
+
+    #[test]
+    fn appends_after_recovery_continue_the_lsn_sequence() {
+        let pool = mem_pool();
+        let mut wal = Wal::create(Arc::clone(&pool));
+        wal.append(1, b"one").unwrap();
+        wal.commit().unwrap();
+
+        let (_, _, mut wal) = replayed(Arc::clone(&pool));
+        assert_eq!(wal.append(1, b"two").unwrap(), 2);
+        wal.commit().unwrap();
+
+        let (records, report, _) = replayed(pool);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].0, 2);
+        assert!(report.stopped_by.is_none());
+    }
+
+    #[test]
+    fn batches_spanning_pages_replay_in_order() {
+        let pool = mem_pool();
+        let mut wal = Wal::create(Arc::clone(&pool));
+        // ~40 records × ~120 bytes ≫ one page.
+        for i in 0..40u8 {
+            wal.append(i, &[i; 100]).unwrap();
+        }
+        wal.commit().unwrap();
+        let (records, report, _) = replayed(pool);
+        assert_eq!(records.len(), 40);
+        assert!(records.iter().enumerate().all(|(i, r)| r.0 == i as u64 + 1));
+        assert!(report.stopped_by.is_none());
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected() {
+        let mut wal = Wal::create(mem_pool());
+        let err = wal.append(1, &vec![0u8; MAX_PAYLOAD + 1]).unwrap_err();
+        assert!(matches!(err, StorageError::InvalidArgument { .. }), "{err}");
+        assert_eq!(wal.pending(), 0);
+        wal.append(1, &vec![0u8; MAX_PAYLOAD]).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_page_is_truncated_and_prior_commits_survive() {
+        let backend = Arc::new(MemBackend::new());
+        let pool = Arc::new(BufferPool::with_default_config(
+            Arc::clone(&backend) as Arc<dyn StorageBackend>
+        ));
+        let mut wal = Wal::create(Arc::clone(&pool));
+        wal.append(1, b"committed").unwrap();
+        wal.commit().unwrap();
+        wal.append(2, b"doomed").unwrap();
+        wal.commit().unwrap();
+
+        // Tear the second batch's page behind the pool's back, like a
+        // power cut mid-write: second half (including the page CRC) zeroed.
+        let mut raw = vec![0u8; PAGE_SIZE];
+        backend.read_page(PageId(1), &mut raw).unwrap();
+        raw[PAGE_SIZE / 2..].fill(0);
+        backend.write_page(PageId(1), &raw).unwrap();
+        pool.clear_cache();
+
+        let (records, report, mut wal) = replayed(Arc::clone(&pool));
+        assert_eq!(records, vec![(1, 1, b"committed".to_vec())]);
+        assert_eq!(
+            report.stopped_by,
+            Some(WalError::TornRecord { page: PageId(1) })
+        );
+        assert!(report.bytes_truncated > 0);
+
+        // The tail was physically cleaned: appending and re-recovering
+        // yields a dense log again.
+        wal.append(7, b"after crash").unwrap();
+        wal.commit().unwrap();
+        pool.clear_cache();
+        let (records, report, _) = replayed(pool);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1], (2, 7, b"after crash".to_vec()));
+        assert!(report.stopped_by.is_none());
+    }
+
+    #[test]
+    fn record_crc_mismatch_stops_and_keeps_the_prefix() {
+        let backend = Arc::new(MemBackend::new());
+        let pool = Arc::new(BufferPool::with_default_config(
+            Arc::clone(&backend) as Arc<dyn StorageBackend>
+        ));
+        let mut wal = Wal::create(Arc::clone(&pool));
+        wal.append(1, b"good").unwrap();
+        wal.append(1, b"bad").unwrap();
+        wal.commit().unwrap();
+
+        // Flip one payload bit of the *second* record and re-embed a valid
+        // page CRC, so only the record-level checksum can catch it.
+        let page = pool.read(PageId(0)).unwrap();
+        let mut data = page.to_vec();
+        let first_len = u32::from_le_bytes(data[..4].try_into().unwrap()) as usize;
+        data[first_len + 13] ^= 0x01;
+        pool.write(PageId(0), &data[..first_len + RECORD_OVERHEAD + 3])
+            .unwrap();
+        pool.clear_cache();
+
+        let (records, report, _) = replayed(pool);
+        assert_eq!(records, vec![(1, 1, b"good".to_vec())]);
+        assert!(matches!(
+            report.stopped_by,
+            Some(WalError::ChecksumMismatch { lsn: 2, .. })
+        ));
+        assert_eq!(report.records_replayed, 1);
+    }
+
+    #[test]
+    fn lsn_gap_stops_replay() {
+        let backend = Arc::new(MemBackend::new());
+        let pool = Arc::new(BufferPool::with_default_config(
+            Arc::clone(&backend) as Arc<dyn StorageBackend>
+        ));
+        let mut wal = Wal::create(Arc::clone(&pool));
+        wal.append(1, b"one").unwrap();
+        wal.commit().unwrap();
+
+        // Hand-craft a record with LSN 5 (expected 2) in a fresh page.
+        let lsn: u64 = 5;
+        let payload = b"gap";
+        let len = RECORD_OVERHEAD + payload.len();
+        let mut rec = Vec::new();
+        rec.extend_from_slice(&(len as u32).to_le_bytes());
+        let body = rec.len();
+        rec.extend_from_slice(&lsn.to_le_bytes());
+        rec.push(9);
+        rec.extend_from_slice(payload);
+        let crc = crc32(&rec[body..]);
+        rec.extend_from_slice(&crc.to_le_bytes());
+        let id = pool.allocate().unwrap();
+        pool.write(id, &rec).unwrap();
+        pool.clear_cache();
+
+        let (records, report, _) = replayed(pool);
+        assert_eq!(records.len(), 1);
+        assert_eq!(
+            report.stopped_by,
+            Some(WalError::LsnGap {
+                expected: 2,
+                found: 5
+            })
+        );
+    }
+
+    #[test]
+    fn failed_sync_fails_the_commit() {
+        let plan = FaultPlan::new(3).with_sync_error_prob(1.0);
+        let fb = Arc::new(FaultBackend::new(MemBackend::new(), plan));
+        let pool = Arc::new(BufferPool::new(
+            fb,
+            BufferPoolConfig {
+                retry: crate::RetryPolicy::none(),
+                ..BufferPoolConfig::default()
+            },
+        ));
+        let mut wal = Wal::create(pool);
+        wal.append(1, b"unsynced").unwrap();
+        let err = wal.commit().unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        assert_eq!(wal.pending(), 0, "the ambiguous batch is not retried");
+    }
+
+    #[test]
+    fn torn_write_fault_during_commit_truncates_on_recovery() {
+        // Write through a FaultBackend that tears the *first* page write
+        // of the second commit. Recovery must keep commit #1 intact.
+        let plan = FaultPlan::new(5).with_scripted(2, FaultKind::TornWrite);
+        let fb = Arc::new(FaultBackend::new(MemBackend::new(), plan));
+        let pool = Arc::new(BufferPool::new(
+            fb,
+            BufferPoolConfig {
+                retry: crate::RetryPolicy::none(),
+                ..BufferPoolConfig::default()
+            },
+        ));
+        let mut wal = Wal::create(Arc::clone(&pool));
+        wal.append(1, b"first").unwrap();
+        wal.commit().unwrap(); // op 0 write, op 1 sync
+        wal.append(2, b"second").unwrap();
+        wal.commit().unwrap(); // op 2 write: torn
+        pool.clear_cache();
+
+        let (records, report, _) = replayed(pool);
+        assert_eq!(records, vec![(1, 1, b"first".to_vec())]);
+        assert!(matches!(
+            report.stopped_by,
+            Some(WalError::TornRecord { .. })
+        ));
+    }
+
+    #[test]
+    fn metrics_count_appends_and_commits() {
+        let registry = wnsk_obs::Registry::new();
+        let mut wal = Wal::create(mem_pool());
+        wal.register_metrics(&registry);
+        wal.append(1, b"a").unwrap();
+        wal.append(1, b"b").unwrap();
+        wal.commit().unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("wal.appends"), 2);
+        assert_eq!(snap.counter("wal.commits"), 1);
+    }
+}

@@ -98,6 +98,41 @@ impl KeywordCountMap {
         self.merge(&KeywordCountMap::from_keyword_set(doc));
     }
 
+    /// Subtracts every count of `other`, dropping terms that reach zero
+    /// (the inverse of [`merge`](Self::merge), used by incremental
+    /// subtree maintenance on deletes).
+    ///
+    /// # Panics
+    /// Panics if `other` is not pointwise ≤ `self` — a subtree can only
+    /// lose objects it contains, so a larger subtrahend is aggregate
+    /// corruption and must not be silently clamped.
+    pub fn subtract(&mut self, other: &KeywordCountMap) {
+        if other.is_empty() {
+            return;
+        }
+        let mut j = 0;
+        for &(t, c) in &other.entries {
+            let i = j + self.entries[j..]
+                .binary_search_by_key(&t, |&(t, _)| t)
+                .unwrap_or_else(|_| panic!("kcm subtract: term {t:?} absent from the minuend"));
+            let have = &mut self.entries[i].1;
+            assert!(
+                *have >= c,
+                "kcm subtract: count underflow for {t:?} ({} < {c})",
+                *have
+            );
+            *have -= c;
+            j = i;
+        }
+        self.entries.retain(|&(_, c)| c > 0);
+    }
+
+    /// Removes one document's terms (each with count 1); the inverse of
+    /// [`add_doc`](Self::add_doc).
+    pub fn remove_doc(&mut self, doc: &KeywordSet) {
+        self.subtract(&KeywordCountMap::from_keyword_set(doc));
+    }
+
     /// Sum of counts over terms that are **in** `s` (the `C_{S∩N}` of
     /// Algorithm 2).
     pub fn sum_counts_in(&self, s: &KeywordSet) -> u64 {
@@ -214,6 +249,35 @@ mod tests {
         assert_eq!(m.sum_counts_in(&s), 9);
         assert_eq!(m.sum_counts_not_in(&s), 12);
         assert_eq!(m.total(), 21);
+    }
+
+    #[test]
+    fn subtract_inverts_merge() {
+        let mut a = kcm(&[(1, 3), (2, 4), (3, 1)]);
+        let before = a.clone();
+        let b = kcm(&[(1, 1), (2, 4)]);
+        a.merge(&b);
+        a.subtract(&b);
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn remove_doc_inverts_add_doc_and_drops_zeroes() {
+        let mut m = KeywordCountMap::new();
+        m.add_doc(&KeywordSet::from_ids([1, 2]));
+        m.add_doc(&KeywordSet::from_ids([2, 3]));
+        m.remove_doc(&KeywordSet::from_ids([2, 3]));
+        assert_eq!(m, kcm(&[(1, 1), (2, 1)]));
+        assert_eq!(m.count(TermId(3)), 0, "zero counts are dropped");
+        m.remove_doc(&KeywordSet::from_ids([1, 2]));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtract_underflow_panics() {
+        let mut a = kcm(&[(1, 1)]);
+        a.subtract(&kcm(&[(1, 2)]));
     }
 
     #[test]

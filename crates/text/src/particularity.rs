@@ -43,6 +43,27 @@ impl CorpusStats {
         }
     }
 
+    /// Unregisters one document; the inverse of
+    /// [`add_doc`](Self::add_doc), used by the mutable dataset so the
+    /// particularity weights track the live corpus exactly.
+    ///
+    /// # Panics
+    /// Panics if the corpus is empty or `doc` contains a term with zero
+    /// document frequency — removing a document that was never added is
+    /// statistics corruption, not a recoverable condition.
+    pub fn remove_doc(&mut self, doc: &KeywordSet) {
+        assert!(self.n_docs > 0, "remove_doc on an empty corpus");
+        self.n_docs -= 1;
+        for t in doc.iter() {
+            let freq = self
+                .doc_freq
+                .get_mut(t.index())
+                .filter(|f| **f > 0)
+                .unwrap_or_else(|| panic!("remove_doc: term {t:?} has zero document frequency"));
+            *freq -= 1;
+        }
+    }
+
     /// Number of documents `|D|`.
     #[inline]
     pub fn n_docs(&self) -> u64 {
@@ -155,6 +176,26 @@ mod tests {
         let t = TermId(1);
         let sum = s.particularity_multi([&d1, &d2], t);
         assert!((sum - (s.particularity(&d1, t) + s.particularity(&d2, t))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remove_doc_inverts_add_doc() {
+        let mut s = corpus();
+        let doc = KeywordSet::from_ids([0, 2]);
+        s.add_doc(&doc);
+        s.remove_doc(&doc);
+        let fresh = corpus();
+        assert_eq!(s.n_docs(), fresh.n_docs());
+        for t in 0..4 {
+            assert_eq!(s.doc_freq(TermId(t)), fresh.doc_freq(TermId(t)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero document frequency")]
+    fn remove_unknown_doc_panics() {
+        let mut s = corpus();
+        s.remove_doc(&KeywordSet::from_ids([40]));
     }
 
     #[test]
