@@ -611,6 +611,12 @@ pub fn serve(args: &ParsedArgs) -> Result<String, String> {
         let report = attach_wal(&mut engine, wal_path)?;
         recovery_banner = render_recovery(wal_path, &report);
     }
+    if let Some(session) = args.optional("replay") {
+        let cache_entries: usize = args.parse_or("cache-entries", 256usize)?.max(1);
+        let mut out = recovery_banner;
+        out.push_str(&replay_session(engine, session, cache_entries)?);
+        return Ok(out);
+    }
     let engine = engine;
     let objects = engine.dataset().live_len();
     let config = ServerConfig {
@@ -659,6 +665,87 @@ pub fn serve(args: &ParsedArgs) -> Result<String, String> {
     }
     handle.shutdown();
     Ok(out)
+}
+
+/// Drops the cache-provenance markers from a response line so a cached
+/// answer and its fresh recomputation compare equal exactly when the
+/// *answer* is bit-identical.
+fn strip_cache_markers(line: &str) -> String {
+    match wnsk_obs::JsonValue::parse(line.trim_end()) {
+        Ok(wnsk_obs::JsonValue::Object(fields)) => wnsk_obs::JsonValue::Object(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "cached" && k != "rank_reused")
+                .collect(),
+        )
+        .render(),
+        _ => line.trim_end().to_string(),
+    }
+}
+
+/// `wnsk serve --replay` — re-execute a recorded session in-process
+/// (no TCP) and hold every response to a cache-bypassing recomputation
+/// of the same request. Repeats in the session hit the answer cache on
+/// the served side, so this checks the serving layer's core promise:
+/// a cached answer is bit-identical to a fresh one. Deadlines recorded
+/// in the session are ignored — replay must be deterministic.
+fn replay_session(
+    engine: wnsk_core::WhyNotEngine,
+    path: &str,
+    cache_entries: usize,
+) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let serve = wnsk_serve::ServeEngine::new(engine, cache_entries);
+    let before = serve.registry().snapshot();
+    let (mut queries, mut mutations, mut skipped) = (0usize, 0usize, 0usize);
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parsed = wnsk_serve::protocol::parse_request(line)
+            .map_err(|e| format!("{path}:{line_no}: {e}"))?;
+        let resolved = serve.resolve(&parsed.request).map_err(|e| {
+            format!("{path}:{line_no}: request does not resolve against --data: {e}")
+        })?;
+        // Baseline first: the cache must not have been populated by the
+        // request it is checked against.
+        let fresh = serve.execute_uncached(&resolved);
+        let served = serve.execute(&resolved, None);
+        match fresh {
+            None => {
+                // Mutations advance the state both sides see next;
+                // stats responses are counter-dependent, skip them.
+                if matches!(resolved, wnsk_serve::ResolvedRequest::Ingest(_)) {
+                    mutations += 1;
+                } else {
+                    skipped += 1;
+                }
+            }
+            Some(fresh) => {
+                queries += 1;
+                let served = strip_cache_markers(&served);
+                let fresh = strip_cache_markers(&fresh);
+                if served != fresh {
+                    return Err(format!(
+                        "{path}:{line_no}: served answer diverges from the uncached baseline\n  \
+                         request: {line}\n  served:  {served}\n  fresh:   {fresh}"
+                    ));
+                }
+            }
+        }
+    }
+    if queries == 0 {
+        return Err(format!("{path}: session has no replayable query requests"));
+    }
+    let delta = serve.registry().snapshot().since(&before);
+    Ok(format!(
+        "replayed {path}: {queries} queries bit-identical to the uncached baseline \
+         ({} cache hits, {} misses), {mutations} mutations, {skipped} stats skipped\n",
+        delta.counter(wnsk_obs::names::SERVE_CACHE_HITS),
+        delta.counter(wnsk_obs::names::SERVE_CACHE_MISSES),
+    ))
 }
 
 /// Builds a deterministic request-line pool for `wnsk loadgen`: query
@@ -756,8 +843,158 @@ pub fn loadgen(args: &ParsedArgs) -> Result<String, String> {
         zipf_exponent: args.parse_or("zipf", 1.0f64)?,
         seed,
     };
-    let report = wnsk_serve::loadgen::run(&config, &pool).map_err(|e| format!("loadgen: {e}"))?;
-    Ok(format!("{}\n", report.render()))
+    match args.optional("record") {
+        None => {
+            let report =
+                wnsk_serve::loadgen::run(&config, &pool).map_err(|e| format!("loadgen: {e}"))?;
+            Ok(format!("{}\n", report.render()))
+        }
+        Some(record_path) => {
+            let (report, session) = wnsk_serve::loadgen::run_session(&config, &pool)
+                .map_err(|e| format!("loadgen: {e}"))?;
+            let mut body = format!(
+                "# wnsk loadgen session: {} requests against {} (seed {}, zipf {})\n\
+                 # replay with: wnsk serve --data <same dataset> --replay {record_path}\n",
+                session.len(),
+                config.addr,
+                config.seed,
+                config.zipf_exponent,
+            );
+            for line in &session {
+                body.push_str(line);
+                body.push('\n');
+            }
+            std::fs::write(record_path, body)
+                .map_err(|e| format!("cannot write {record_path}: {e}"))?;
+            Ok(format!(
+                "{}\nrecorded {} request lines to {record_path}\n",
+                report.render(),
+                session.len()
+            ))
+        }
+    }
+}
+
+/// `wnsk fuzz` — differential fuzzing of the whole solver matrix
+/// against the sequential BS / single-thread / scalar oracle, with
+/// delta-debug shrinking of any divergence (see `crates/fuzz`).
+pub fn fuzz(args: &ParsedArgs) -> Result<String, String> {
+    let seed: u64 = args.parse_or("seed", 1)?;
+    let cases: u64 = args.parse_or("cases", 25)?;
+    if cases == 0 {
+        return Err("--cases must be at least 1".into());
+    }
+    let shrink_limit: usize = args.parse_or("shrink-limit", 400)?;
+    let inject = match args.optional("inject-bug") {
+        None => None,
+        Some(name) => Some(wnsk_fuzz::InjectedBug::parse(name)?),
+    };
+    let emit_dir = args.optional("emit-dir").map(std::path::PathBuf::from);
+    let config = wnsk_fuzz::FuzzConfig {
+        seed,
+        cases,
+        inject,
+        emit_dir,
+        shrink_limit,
+    };
+    let registry = Registry::new();
+    let before = registry.snapshot();
+    let started = std::time::Instant::now();
+    let report = wnsk_fuzz::run_fuzz(&config, &registry).map_err(|e| format!("fuzz: {e}"))?;
+    let wall = started.elapsed();
+
+    let mut out = String::new();
+    for o in &report.outcomes {
+        match &o.verdict {
+            wnsk_fuzz::Verdict::Pass => {
+                writeln!(out, "case {:>3} seed {:>16}: pass", o.index, o.seed).unwrap();
+            }
+            wnsk_fuzz::Verdict::Invalid(why) => {
+                writeln!(
+                    out,
+                    "case {:>3} seed {:>16}: invalid ({why})",
+                    o.index, o.seed
+                )
+                .unwrap();
+            }
+            wnsk_fuzz::Verdict::Fail(f) => {
+                writeln!(
+                    out,
+                    "case {:>3} seed {:>16}: FAIL {}",
+                    o.index, o.seed, f.check
+                )
+                .unwrap();
+                writeln!(out, "      {}", f.detail).unwrap();
+                if let Some(s) = &o.shrunk {
+                    writeln!(
+                        out,
+                        "      shrunk to {} objects, {} mutations in {} steps",
+                        s.case.objects.len(),
+                        s.case.mutations.len(),
+                        s.steps
+                    )
+                    .unwrap();
+                }
+                if let Some(p) = &o.emitted {
+                    writeln!(out, "      emitted {}", p.display()).unwrap();
+                }
+            }
+        }
+    }
+    writeln!(
+        out,
+        "fuzz: seed {} — {} cases ({} invalid), {} cross-checks, {} failures in {:.2}s",
+        seed,
+        report.cases,
+        report.invalid,
+        report.checks,
+        report.failures,
+        wall.as_secs_f64()
+    )
+    .unwrap();
+    if args.flag("metrics") {
+        out.push_str(&render_metrics(&registry, &before, "fuzz", wall, &[]));
+    }
+    if report.failures > 0 {
+        return Err(format!(
+            "{out}fuzz: {} of {} cases diverged from the oracle",
+            report.failures, report.cases
+        ));
+    }
+    Ok(out)
+}
+
+/// `wnsk corpus` — replay every committed regression case in a
+/// directory (the CI corpus-replay lane, runnable locally).
+pub fn corpus(args: &ParsedArgs) -> Result<String, String> {
+    let dir = args.required("dir")?;
+    let registry = Registry::new();
+    let outcomes = wnsk_fuzz::replay_dir(Path::new(dir))?;
+    registry
+        .counter(wnsk_obs::names::FUZZ_CORPUS_REPLAYED)
+        .add(outcomes.len() as u64);
+    let mut out = String::new();
+    let mut regressions = 0usize;
+    for o in &outcomes {
+        match &o.regression {
+            None => writeln!(out, "ok   {}", o.path.display()).unwrap(),
+            Some(why) => {
+                regressions += 1;
+                writeln!(out, "FAIL {}: {why}", o.path.display()).unwrap();
+            }
+        }
+    }
+    writeln!(
+        out,
+        "corpus: {} cases replayed, {} regressions",
+        outcomes.len(),
+        regressions
+    )
+    .unwrap();
+    if regressions > 0 {
+        return Err(format!("{out}corpus: {regressions} case(s) regressed"));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -1395,7 +1632,9 @@ mod tests {
         assert!(oneshot.contains(&format!("k' = {served_k}")), "{oneshot}");
 
         // Load generation against the same server: no errors, and the
-        // zipfian repeats should land cache hits.
+        // zipfian repeats should land cache hits. --record captures the
+        // exact request lines sent.
+        let session = tmp("serve-session.txt");
         let report = run(&[
             "loadgen",
             "--addr",
@@ -1410,10 +1649,29 @@ mod tests {
             "12",
             "--seed",
             "3",
+            "--record",
+            &session,
         ])
         .unwrap();
         assert!(report.contains("loadgen: 40 requests"), "{report}");
         assert!(report.contains("errors 0"), "{report}");
+        assert!(report.contains("recorded 40 request lines"), "{report}");
+
+        // The recorded session replays in-process: every response must
+        // be bit-identical to a cache-bypassing recomputation, and the
+        // zipfian repeats must actually exercise the cached path.
+        let replayed = run(&["serve", "--data", &data, "--replay", &session]).unwrap();
+        assert!(
+            replayed.contains("40 queries bit-identical to the uncached baseline"),
+            "{replayed}"
+        );
+        let hits: u64 = replayed
+            .split('(')
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|v| v.parse().ok())
+            .unwrap();
+        assert!(hits > 0, "replay never hit the cache: {replayed}");
 
         let summary = server.join().unwrap().unwrap();
         assert!(summary.contains("accepted"), "{summary}");
@@ -1427,8 +1685,85 @@ mod tests {
             .unwrap();
         assert!(hits > 0, "warm session must hit the cache:\n{summary}");
 
-        for f in [&data, &setr, &kcr, &addr_file] {
+        for f in [&data, &setr, &kcr, &addr_file, &session] {
             std::fs::remove_file(f).ok();
         }
+    }
+
+    /// The acceptance loop of the fuzz lane: with the test-only rank
+    /// bug injected, `wnsk fuzz` catches a divergence, shrinks it, and
+    /// emits a reproducer that `wnsk corpus` then replays as a
+    /// self-test (fails with the bug, passes without).
+    #[test]
+    fn fuzz_catches_the_injected_bug_and_corpus_replays_it() {
+        let dir = tmp("fuzz-emit");
+        std::fs::remove_dir_all(&dir).ok();
+        // Run seed 1 is pinned: among the first 4 cases, the injected
+        // rank bug surfaces (see crates/fuzz/tests/shrinker.rs).
+        let err = run(&[
+            "fuzz",
+            "--seed",
+            "1",
+            "--cases",
+            "4",
+            "--inject-bug",
+            "rank",
+            "--emit-dir",
+            &dir,
+            "--shrink-limit",
+            "300",
+        ])
+        .unwrap_err();
+        assert!(err.contains("FAIL"), "{err}");
+        assert!(err.contains("shrunk to"), "{err}");
+        assert!(err.contains("diverged from the oracle"), "{err}");
+
+        let emitted: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(!emitted.is_empty(), "no reproducer emitted");
+        assert!(
+            emitted
+                .iter()
+                .all(|n| n.starts_with("case-") && n.ends_with(".json")),
+            "{emitted:?}"
+        );
+
+        let out = run(&["corpus", "--dir", &dir]).unwrap();
+        assert!(out.contains("0 regressions"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Clean solvers, clean run — and the per-case output is
+    /// reproducible from the seed alone (the wall-time summary line is
+    /// the only nondeterministic part).
+    #[test]
+    fn fuzz_without_injection_is_clean_and_deterministic() {
+        let a = run(&["fuzz", "--seed", "42", "--cases", "3"]).unwrap();
+        let b = run(&["fuzz", "--seed", "42", "--cases", "3"]).unwrap();
+        assert!(a.contains("0 failures"), "{a}");
+        let cases = |s: &str| {
+            s.lines()
+                .filter(|l| l.starts_with("case"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(cases(&a), cases(&b));
+        assert_eq!(cases(&a).lines().count(), 3, "{a}");
+    }
+
+    /// `wnsk corpus` over the committed corpus — the CI lane, runnable
+    /// locally.
+    #[test]
+    fn corpus_replays_the_committed_set() {
+        let dir = format!("{}/../../tests/corpus", env!("CARGO_MANIFEST_DIR"));
+        let out = run(&["corpus", "--dir", &dir]).unwrap();
+        assert!(out.contains("0 regressions"), "{out}");
+        assert!(out.contains("handwritten"), "{out}");
+
+        let err = run(&["corpus", "--dir", "/nonexistent-corpus"]).unwrap_err();
+        assert!(err.contains("cannot read corpus dir"), "{err}");
     }
 }

@@ -23,14 +23,28 @@
 //!               [--metrics-export PATH|-]
 //! wnsk loadgen  --addr HOST:PORT --data data.txt [--connections N]
 //!               [--requests N] [--qps Q] [--zipf S] [--pool N]
-//!               [--k N] [--alpha A] [--seed N]
+//!               [--k N] [--alpha A] [--seed N] [--record PATH]
+//! wnsk fuzz     --seed N --cases N [--emit-dir DIR] [--inject-bug rank]
+//!               [--shrink-limit N] [--metrics]
+//! wnsk corpus   --dir DIR
 //! ```
 //!
 //! `serve` runs the embedded query-serving layer of [`wnsk_serve`]: a
 //! warm engine behind a newline-delimited-JSON TCP endpoint with a
 //! bounded admission queue and a cross-query answer cache. `loadgen` is
 //! its closed-loop benchmark client (zipfian query mix, target QPS,
-//! latency percentiles).
+//! latency percentiles). `loadgen --record` additionally writes the
+//! exact request lines a run sent, in a stable order; `serve --replay`
+//! re-executes such a session in-process and verifies every response
+//! is bit-identical to a cache-bypassing recomputation.
+//!
+//! `fuzz` is the differential fuzzing harness of [`wnsk_fuzz`]: seeded
+//! random cases run through the full solver × thread × kernel × opt
+//! matrix (and the WAL ingest/recovery cycle) against the sequential
+//! BS oracle; divergences are delta-debug shrunk and, with
+//! `--emit-dir`, written as self-contained regression files. `corpus`
+//! replays such a directory — the committed set lives in
+//! `tests/corpus/` and is run by the CI corpus-replay lane.
 //!
 //! `ingest` applies a mutation script (`insert X Y kw[,kw…]`,
 //! `delete ID`, `update ID kw[,kw…]`; `#` comments) through the
@@ -83,8 +97,13 @@ commands:
   serve     --data FILE [--wal FILE] [--addr HOST:PORT] [--threads N]
             [--queue-depth N] [--cache-entries N] [--duration-ms N]
             [--worker-delay-ms N] [--addr-file PATH] [--metrics-export PATH|-]
+            [--replay SESSION]
   loadgen   --addr HOST:PORT --data FILE [--connections N] [--requests N]
             [--qps Q] [--zipf S] [--pool N] [--k N] [--alpha A] [--seed N]
+            [--record PATH]
+  fuzz      --seed N --cases N [--emit-dir DIR] [--inject-bug rank]
+            [--shrink-limit N] [--metrics]
+  corpus    --dir DIR
 
 --metrics appends the per-query observability report (phase wall times,
 node visits, prune counts, buffer-pool I/O).
@@ -103,7 +122,14 @@ reports the answer quality.
 --wal points at the write-ahead log: ingest recovers it, appends the ops
 file as one group commit, and reports the recovery (records replayed,
 bytes truncated, epoch reached); serve --wal recovers at startup and
-logs the insert/delete requests it serves.";
+logs the insert/delete requests it serves.
+loadgen --record writes the session's request lines; serve --replay
+re-executes such a session in-process and fails unless every response is
+bit-identical to a cache-bypassing recomputation.
+fuzz cross-checks the full solver matrix against the sequential BS
+oracle on seeded random cases, shrinks divergences and (with --emit-dir)
+writes them as regression files; corpus replays such a directory
+(tests/corpus is the committed set).";
 
 /// Dispatches a full command line (without the program name) and returns
 /// the text to print.
@@ -121,6 +147,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "ingest" => commands::ingest(&parsed),
         "serve" => commands::serve(&parsed),
         "loadgen" => commands::loadgen(&parsed),
+        "fuzz" => commands::fuzz(&parsed),
+        "corpus" => commands::corpus(&parsed),
         other => Err(format!("unknown command '{other}'")),
     }
 }

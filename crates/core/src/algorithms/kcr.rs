@@ -78,6 +78,13 @@ pub struct KcrOptions {
     /// (strict dominators + 1); it is still validated against `k`
     /// ([`crate::WhyNotError::NotMissing`] on a rank ≤ k).
     pub initial_rank_hint: Option<usize>,
+    /// Test-only fault: over-count the initial rank `R(M, q₀)` by one,
+    /// perturbing the Eqn. 4 `Δk` normaliser. This exists so the
+    /// differential fuzzing harness can prove its BS-oracle cross-check
+    /// catches a realistic off-by-one (`wnsk fuzz --inject-bug rank`);
+    /// nothing outside the fuzz pipeline ever sets it.
+    #[doc(hidden)]
+    pub inject_rank_bug: bool,
 }
 
 impl Default for KcrOptions {
@@ -88,6 +95,7 @@ impl Default for KcrOptions {
             batch_size: 64,
             budget: QueryBudget::unlimited(),
             initial_rank_hint: None,
+            inject_rank_bug: false,
         }
     }
 }
@@ -203,6 +211,14 @@ fn run_inner(
             };
             return degraded_fallback(dataset, question, None, None, reason, &opts.budget, stats);
         }
+    };
+    // The fuzz harness's deliberately injected off-by-one (see
+    // `KcrOptions::inject_rank_bug`): every downstream penalty reads the
+    // perturbed Δk normaliser, so the BS oracle catches it.
+    let initial_rank = if opts.inject_rank_bug {
+        initial_rank + 1
+    } else {
+        initial_rank
     };
     tracer.event(
         "kcr.initial_rank",

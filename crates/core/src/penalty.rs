@@ -107,10 +107,49 @@ impl PenaltyModel {
         let r = self.k0 as f64 + budget / self.lambda * self.rank_norm() as f64;
         // Guard against absurd budgets overflowing the cast.
         if r >= usize::MAX as f64 {
-            Some(usize::MAX)
-        } else {
-            Some(r.floor() as usize)
+            return Some(usize::MAX);
         }
+        let floor = r.floor() as usize;
+        // The inversion above runs through floating point, so the floor
+        // can land one rank *below* the exact tie boundary (`penalty(d,
+        // rank) == current_best` yet `floor < rank`). An undershot limit
+        // lets a prune site drop a candidate whose f64 penalty equals
+        // the shared bound, breaking the tie-permissive contract the
+        // parallel solvers rely on (see `algorithms::shared`): with
+        // t > 1 a higher-seq tie can publish the bound first and abort
+        // the candidate that wins the deterministic tie-break. An
+        // overshoot is harmless (it only prunes less), so correct
+        // upward only, against the forward formula — the arithmetic
+        // every prune comparison actually uses. `penalty` is monotone
+        // non-decreasing in rank under f64 rounding, so the qualifying
+        // ranks form a prefix: gallop past the boundary, then
+        // binary-search the largest rank that still fits the budget.
+        let mut lo = floor;
+        let mut step: usize = 1;
+        loop {
+            let next = lo.saturating_add(step);
+            if next == lo {
+                return Some(lo); // saturated at usize::MAX
+            }
+            if self.penalty(edit_distance, next) <= current_best {
+                lo = next;
+                step = step.saturating_mul(2);
+            } else {
+                break; // boundary lies in [lo, next)
+            }
+        }
+        let mut hi = lo.saturating_add(step);
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if self.penalty(edit_distance, mid) <= current_best {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        // Never tighter than Eqn. 6's floor: if the floor *overshot*,
+        // the loops above never move and `lo` is still the floor.
+        Some(lo)
     }
 }
 
@@ -177,5 +216,51 @@ mod tests {
     #[should_panic(expected = "must rank below")]
     fn initial_rank_must_exceed_k0() {
         PenaltyModel::new(0.5, 10, 10, 3);
+    }
+
+    /// The tie-permissive contract of `algorithms::shared`: a rank whose
+    /// exact f64 penalty equals (or undercuts) the bound must never fall
+    /// outside `rank_upper_limit` — the float inversion of Eqn. 6 used
+    /// to undershoot the boundary by one on ~16% of parameter draws,
+    /// which made `AdvancedBS` thread-count-dependent on equal-penalty
+    /// ties (found by `wnsk fuzz`, seed 916502476).
+    #[test]
+    fn rank_limit_is_tie_permissive() {
+        // A deterministic LCG sweep over (λ, k₀, R, doc_norm, d, rank);
+        // no need for a rand dependency in this crate's tests.
+        let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..200_000 {
+            let lambda = (next() % 1000) as f64 / 1000.0;
+            let k0 = (next() % 20) as usize + 1;
+            let initial_rank = k0 + (next() % 50) as usize + 1;
+            let doc_norm = (next() % 8) as usize + 1;
+            let d = (next() % (doc_norm as u64 + 1)) as usize;
+            let rank = k0 + (next() % 60) as usize;
+            let model = PenaltyModel::new(lambda, k0, initial_rank, doc_norm);
+            let bound = model.penalty(d, rank);
+            let limit = model
+                .rank_upper_limit(d, bound)
+                .expect("a realised penalty is always within its own budget");
+            assert!(
+                limit >= rank,
+                "undershoot: λ={lambda} k₀={k0} R={initial_rank} \
+                 norm={doc_norm} d={d} rank={rank} → limit {limit}"
+            );
+            // And the limit is exact, not merely permissive: one rank
+            // past it must strictly exceed the bound (unless unbounded).
+            if limit != usize::MAX {
+                assert!(
+                    model.penalty(d, limit + 1) > bound,
+                    "loose: λ={lambda} k₀={k0} R={initial_rank} \
+                     norm={doc_norm} d={d} rank={rank} → limit {limit}"
+                );
+            }
+        }
     }
 }

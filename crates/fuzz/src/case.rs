@@ -1,0 +1,481 @@
+//! The self-contained fuzz case: everything one differential check
+//! needs — dataset, question, mutation script, fault plan — as plain
+//! data, round-trippable through the workspace's dependency-free JSON.
+//!
+//! Bit-exactness matters: coordinates are `f64`s and the oracle
+//! comparison is on `f64::to_bits`, so the serializer must not lose a
+//! single ulp. [`wnsk_obs::JsonValue`] renders floats with the shortest
+//! round-trip `Display` form, which re-parses to the identical bits —
+//! the round-trip tests below pin that. Seeds are stored as JSON
+//! numbers and therefore capped at 2^53 (see [`crate::gen::case_seed`]).
+
+use wnsk_geo::Point;
+use wnsk_obs::JsonValue;
+
+/// Current case file format; bumped when the schema changes shape.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// One object of the case dataset. Ids are positional: the object at
+/// index `i` gets `ObjectId(i)` when the dataset is built, which is what
+/// makes delta-debugging objects an id-remap rather than a guess.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CaseObject {
+    pub x: f64,
+    pub y: f64,
+    /// Term ids; may be empty (the empty-doc edge case is corpus-worthy).
+    pub doc: Vec<u32>,
+}
+
+/// The initial query `q = (loc, doc₀, k₀, α)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CaseQuery {
+    pub x: f64,
+    pub y: f64,
+    pub keywords: Vec<u32>,
+    pub k: usize,
+    pub alpha: f64,
+}
+
+/// A mutation-script entry, mirroring [`wnsk_core::Mutation`] in plain
+/// data. Insert ids are implicit: the `j`-th insert in the script gets
+/// id `objects.len() + j`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CaseMutation {
+    Insert { x: f64, y: f64, doc: Vec<u32> },
+    Remove { id: u32 },
+    Update { id: u32, doc: Vec<u32> },
+}
+
+/// A scripted storage-fault plan for the WAL ingest phase: `(global op
+/// index, fault kind)` pairs. Only `torn_write` is generated today — it
+/// is the power-loss crash the recovery cross-check is about.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CaseFault {
+    pub seed: u64,
+    pub scripted: Vec<(u64, String)>,
+}
+
+/// A complete differential-fuzzing case.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuzzCase {
+    /// The per-case seed (drives batch sizing and derived probe queries).
+    pub seed: u64,
+    /// When minimized by the shrinker: the check id this case still
+    /// fails. `None` for fresh or handcrafted cases.
+    pub check: Option<String>,
+    /// When the failure only reproduces with a deliberately injected
+    /// solver bug (`wnsk fuzz --inject-bug …`), its name (e.g. `rank`).
+    /// Corpus replay then asserts the case fails *with* the injection
+    /// and passes *without* it.
+    pub injected_bug: Option<String>,
+    pub objects: Vec<CaseObject>,
+    pub query: CaseQuery,
+    /// Missing-object ids `M` (indexes into `objects`).
+    pub missing: Vec<u32>,
+    pub lambda: f64,
+    pub mutations: Vec<CaseMutation>,
+    pub fault: Option<CaseFault>,
+}
+
+impl FuzzCase {
+    /// The point the dataset builder sees for object `i`.
+    pub fn object_point(&self, i: usize) -> Point {
+        Point::new(self.objects[i].x, self.objects[i].y)
+    }
+
+    /// Serializes to the versioned JSON object (`docs/ARCHITECTURE.md`,
+    /// "Fuzzing" documents the schema).
+    pub fn to_json(&self) -> JsonValue {
+        let objects = JsonValue::Array(
+            self.objects
+                .iter()
+                .map(|o| {
+                    JsonValue::Array(vec![
+                        JsonValue::Number(o.x),
+                        JsonValue::Number(o.y),
+                        id_array(&o.doc),
+                    ])
+                })
+                .collect(),
+        );
+        let query = JsonValue::object(vec![
+            (
+                "at",
+                JsonValue::Array(vec![
+                    JsonValue::Number(self.query.x),
+                    JsonValue::Number(self.query.y),
+                ]),
+            ),
+            ("keywords", id_array(&self.query.keywords)),
+            ("k", JsonValue::from(self.query.k)),
+            ("alpha", JsonValue::Number(self.query.alpha)),
+        ]);
+        let mutations = JsonValue::Array(
+            self.mutations
+                .iter()
+                .map(|m| match m {
+                    CaseMutation::Insert { x, y, doc } => JsonValue::object(vec![
+                        ("op", JsonValue::from("insert")),
+                        (
+                            "at",
+                            JsonValue::Array(vec![JsonValue::Number(*x), JsonValue::Number(*y)]),
+                        ),
+                        ("doc", id_array(doc)),
+                    ]),
+                    CaseMutation::Remove { id } => JsonValue::object(vec![
+                        ("op", JsonValue::from("remove")),
+                        ("id", JsonValue::from(u64::from(*id))),
+                    ]),
+                    CaseMutation::Update { id, doc } => JsonValue::object(vec![
+                        ("op", JsonValue::from("update")),
+                        ("id", JsonValue::from(u64::from(*id))),
+                        ("doc", id_array(doc)),
+                    ]),
+                })
+                .collect(),
+        );
+        let mut fields = vec![
+            ("format", JsonValue::from(FORMAT_VERSION)),
+            ("seed", JsonValue::from(self.seed)),
+        ];
+        if let Some(check) = &self.check {
+            fields.push(("check", JsonValue::from(check.as_str())));
+        }
+        if let Some(bug) = &self.injected_bug {
+            fields.push(("injected_bug", JsonValue::from(bug.as_str())));
+        }
+        fields.push(("objects", objects));
+        fields.push(("query", query));
+        fields.push(("missing", id_array(&self.missing)));
+        fields.push(("lambda", JsonValue::Number(self.lambda)));
+        fields.push(("mutations", mutations));
+        if let Some(fault) = &self.fault {
+            fields.push((
+                "fault",
+                JsonValue::object(vec![
+                    ("seed", JsonValue::from(fault.seed)),
+                    (
+                        "scripted",
+                        JsonValue::Array(
+                            fault
+                                .scripted
+                                .iter()
+                                .map(|(op, kind)| {
+                                    JsonValue::Array(vec![
+                                        JsonValue::from(*op),
+                                        JsonValue::from(kind.as_str()),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
+        JsonValue::object(fields)
+    }
+
+    /// Renders the case as a pretty-enough single-line JSON document
+    /// (a trailing newline keeps the corpus files diff-friendly).
+    pub fn render(&self) -> String {
+        let mut s = self.to_json().render();
+        s.push('\n');
+        s
+    }
+
+    /// Parses a case file, validating the format version and every
+    /// field's type and range. Errors are human-oriented strings — the
+    /// corpus replayer surfaces them verbatim.
+    pub fn parse(input: &str) -> Result<FuzzCase, String> {
+        let v = JsonValue::parse(input)?;
+        let format = get_u64(&v, "format")?;
+        if format != FORMAT_VERSION {
+            return Err(format!(
+                "unsupported case format {format} (this build reads {FORMAT_VERSION})"
+            ));
+        }
+        let seed = get_u64(&v, "seed")?;
+        let check = match v.get("check") {
+            None => None,
+            Some(c) => Some(
+                c.as_str()
+                    .ok_or_else(|| "'check' must be a string".to_owned())?
+                    .to_owned(),
+            ),
+        };
+        let injected_bug = match v.get("injected_bug") {
+            None => None,
+            Some(c) => Some(
+                c.as_str()
+                    .ok_or_else(|| "'injected_bug' must be a string".to_owned())?
+                    .to_owned(),
+            ),
+        };
+        let objects = v
+            .get("objects")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| "'objects' must be an array".to_owned())?
+            .iter()
+            .enumerate()
+            .map(|(i, o)| {
+                let triple = o
+                    .as_array()
+                    .filter(|a| a.len() == 3)
+                    .ok_or_else(|| format!("objects[{i}] must be [x, y, [terms]]"))?;
+                Ok(CaseObject {
+                    x: as_finite(&triple[0], "object x")?,
+                    y: as_finite(&triple[1], "object y")?,
+                    doc: parse_ids(&triple[2], "object doc")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let q = v.get("query").ok_or_else(|| "missing 'query'".to_owned())?;
+        let at = q
+            .get("at")
+            .and_then(JsonValue::as_array)
+            .filter(|a| a.len() == 2)
+            .ok_or_else(|| "'query.at' must be [x, y]".to_owned())?;
+        let query = CaseQuery {
+            x: as_finite(&at[0], "query.at x")?,
+            y: as_finite(&at[1], "query.at y")?,
+            keywords: parse_ids(
+                q.get("keywords")
+                    .ok_or_else(|| "missing 'query.keywords'".to_owned())?,
+                "query.keywords",
+            )?,
+            k: get_u64(q, "k")? as usize,
+            alpha: as_finite(
+                q.get("alpha")
+                    .ok_or_else(|| "missing 'query.alpha'".to_owned())?,
+                "query.alpha",
+            )?,
+        };
+        let missing = parse_ids(
+            v.get("missing")
+                .ok_or_else(|| "missing 'missing'".to_owned())?,
+            "missing",
+        )?;
+        let lambda = as_finite(
+            v.get("lambda")
+                .ok_or_else(|| "missing 'lambda'".to_owned())?,
+            "lambda",
+        )?;
+        let mutations = match v.get("mutations") {
+            None => Vec::new(),
+            Some(ms) => ms
+                .as_array()
+                .ok_or_else(|| "'mutations' must be an array".to_owned())?
+                .iter()
+                .enumerate()
+                .map(|(i, m)| parse_mutation(m, i))
+                .collect::<Result<Vec<_>, String>>()?,
+        };
+        let fault = match v.get("fault") {
+            None => None,
+            Some(f) => {
+                let scripted = f
+                    .get("scripted")
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| "'fault.scripted' must be an array".to_owned())?
+                    .iter()
+                    .map(|e| {
+                        let pair = e.as_array().filter(|a| a.len() == 2).ok_or_else(|| {
+                            "fault.scripted entries must be [op, kind]".to_owned()
+                        })?;
+                        let op = pair[0]
+                            .as_f64()
+                            .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+                            .ok_or_else(|| {
+                                "fault op index must be a non-negative integer".to_owned()
+                            })? as u64;
+                        let kind = pair[1]
+                            .as_str()
+                            .ok_or_else(|| "fault kind must be a string".to_owned())?
+                            .to_owned();
+                        Ok((op, kind))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Some(CaseFault {
+                    seed: get_u64(f, "seed")?,
+                    scripted,
+                })
+            }
+        };
+        Ok(FuzzCase {
+            seed,
+            check,
+            injected_bug,
+            objects,
+            query,
+            missing,
+            lambda,
+            mutations,
+            fault,
+        })
+    }
+}
+
+fn id_array(ids: &[u32]) -> JsonValue {
+    JsonValue::Array(ids.iter().map(|&i| JsonValue::from(u64::from(i))).collect())
+}
+
+fn parse_ids(v: &JsonValue, what: &str) -> Result<Vec<u32>, String> {
+    v.as_array()
+        .ok_or_else(|| format!("'{what}' must be an array"))?
+        .iter()
+        .map(|e| {
+            e.as_f64()
+                .filter(|n| *n >= 0.0 && *n <= f64::from(u32::MAX) && n.fract() == 0.0)
+                .map(|n| n as u32)
+                .ok_or_else(|| format!("'{what}' entries must be u32 ids"))
+        })
+        .collect()
+}
+
+fn get_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_f64)
+        .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+        .map(|n| n as u64)
+        .ok_or_else(|| format!("'{key}' must be a non-negative integer"))
+}
+
+fn as_finite(v: &JsonValue, what: &str) -> Result<f64, String> {
+    v.as_f64()
+        .filter(|n| n.is_finite())
+        .ok_or_else(|| format!("'{what}' must be a finite number"))
+}
+
+fn parse_mutation(m: &JsonValue, i: usize) -> Result<CaseMutation, String> {
+    let op = m
+        .get("op")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("mutations[{i}] missing 'op'"))?;
+    match op {
+        "insert" => {
+            let at = m
+                .get("at")
+                .and_then(JsonValue::as_array)
+                .filter(|a| a.len() == 2)
+                .ok_or_else(|| format!("mutations[{i}] insert needs 'at': [x, y]"))?;
+            Ok(CaseMutation::Insert {
+                x: as_finite(&at[0], "mutation x")?,
+                y: as_finite(&at[1], "mutation y")?,
+                doc: parse_ids(
+                    m.get("doc")
+                        .ok_or_else(|| format!("mutations[{i}] insert needs 'doc'"))?,
+                    "mutation doc",
+                )?,
+            })
+        }
+        "remove" => Ok(CaseMutation::Remove {
+            id: get_u64(m, "id")? as u32,
+        }),
+        "update" => Ok(CaseMutation::Update {
+            id: get_u64(m, "id")? as u32,
+            doc: parse_ids(
+                m.get("doc")
+                    .ok_or_else(|| format!("mutations[{i}] update needs 'doc'"))?,
+                "mutation doc",
+            )?,
+        }),
+        other => Err(format!("mutations[{i}]: unknown op {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FuzzCase {
+        FuzzCase {
+            seed: 42,
+            check: Some("kcr[scalar,t=2,b=16]".to_owned()),
+            injected_bug: Some("rank".to_owned()),
+            objects: vec![
+                CaseObject {
+                    x: 0.123456789012345,
+                    y: 0.9,
+                    doc: vec![1, 5, 9],
+                },
+                CaseObject {
+                    x: 0.5,
+                    y: 0.5,
+                    doc: vec![],
+                },
+            ],
+            query: CaseQuery {
+                x: 1.0 / 3.0,
+                y: 2.0f64.sqrt() / 2.0,
+                keywords: vec![1, 2],
+                k: 5,
+                alpha: 0.5,
+            },
+            missing: vec![1],
+            lambda: 0.5,
+            mutations: vec![
+                CaseMutation::Insert {
+                    x: 0.25,
+                    y: 0.75,
+                    doc: vec![3],
+                },
+                CaseMutation::Remove { id: 0 },
+                CaseMutation::Update {
+                    id: 2,
+                    doc: vec![4, 7],
+                },
+            ],
+            fault: Some(CaseFault {
+                seed: 7,
+                scripted: vec![(12, "torn_write".to_owned())],
+            }),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_exact() {
+        let case = sample();
+        let rendered = case.render();
+        let parsed = FuzzCase::parse(&rendered).unwrap();
+        assert_eq!(case, parsed);
+        // Coordinates survive to the bit, not merely approximately.
+        assert_eq!(
+            case.query.y.to_bits(),
+            parsed.query.y.to_bits(),
+            "f64 round-trip lost bits"
+        );
+        // Render is a fixpoint: parse → render reproduces the bytes.
+        assert_eq!(rendered, parsed.render());
+    }
+
+    #[test]
+    fn optional_fields_are_omitted_and_restored() {
+        let mut case = sample();
+        case.check = None;
+        case.injected_bug = None;
+        case.fault = None;
+        case.mutations.clear();
+        let parsed = FuzzCase::parse(&case.render()).unwrap();
+        assert_eq!(case, parsed);
+        assert!(!case.render().contains("injected_bug"));
+    }
+
+    #[test]
+    fn format_version_is_enforced() {
+        let doc = sample().render().replace("\"format\":1", "\"format\":99");
+        let err = FuzzCase::parse(&doc).unwrap_err();
+        assert!(err.contains("unsupported case format"), "{err}");
+    }
+
+    #[test]
+    fn malformed_cases_error_cleanly() {
+        for bad in [
+            "{}",
+            "{\"format\":1}",
+            "{\"format\":1,\"seed\":-3}",
+            "not json",
+        ] {
+            assert!(FuzzCase::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The regression corpus: shrunk failing cases written as
+//! self-contained JSON files that the `corpus replay` lane re-runs
+//! forever after (`tests/corpus/` at the workspace root is the
+//! committed set; a CI fuzz failure uploads its emitted directory as a
+//! workflow artifact).
+//!
+//! Replay semantics per file:
+//!
+//! * `injected_bug` absent — a plain regression: the case must not
+//!   `Fail` (either `Pass` or `Invalid` is fine; `Invalid` cases pin
+//!   the validator).
+//! * `injected_bug: "rank"` — a harness self-test: the case must
+//!   `Fail` its recorded `check` when the named bug is injected, and
+//!   must *not* fail without it. This proves the oracle still catches
+//!   the class of bug the case was minimized against.
+
+use crate::case::FuzzCase;
+use crate::harness::{run_case, HarnessOptions, InjectedBug, Verdict};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A stable, filesystem-safe file name for a shrunk case:
+/// `case-<seed>-<check-slug>.json`.
+pub fn file_name(case: &FuzzCase) -> String {
+    let slug = match &case.check {
+        None => "handwritten".to_owned(),
+        Some(check) => check
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect::<String>()
+            .split('-')
+            .filter(|s| !s.is_empty())
+            .collect::<Vec<_>>()
+            .join("-"),
+    };
+    format!("case-{}-{}.json", case.seed, slug)
+}
+
+/// Writes a case into `dir` (created if needed); returns the path.
+pub fn write_case(dir: &Path, case: &FuzzCase) -> std::io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(file_name(case));
+    fs::write(&path, case.render())?;
+    Ok(path)
+}
+
+/// Loads every `*.json` case in `dir`, sorted by file name so replay
+/// order (and therefore output) is deterministic.
+pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, FuzzCase)>, String> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("cannot read corpus dir {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    entries.sort();
+    entries
+        .into_iter()
+        .map(|path| {
+            let text = fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let case = FuzzCase::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+            Ok((path, case))
+        })
+        .collect()
+}
+
+/// One replayed corpus file's outcome.
+#[derive(Clone, Debug)]
+pub struct ReplayOutcome {
+    pub path: PathBuf,
+    /// `None` means the file behaved as committed; `Some` describes the
+    /// regression (or the self-test that stopped reproducing).
+    pub regression: Option<String>,
+}
+
+/// Replays one case per the semantics above.
+pub fn replay_case(path: &Path, case: &FuzzCase) -> ReplayOutcome {
+    let regression = match &case.injected_bug {
+        None => match run_case(case, &HarnessOptions::default()).verdict {
+            Verdict::Fail(f) => Some(format!("regressed: check {} failed: {}", f.check, f.detail)),
+            Verdict::Pass | Verdict::Invalid(_) => None,
+        },
+        Some(bug_name) => match InjectedBug::parse(bug_name) {
+            Err(e) => Some(e),
+            Ok(bug) => replay_self_test(case, bug),
+        },
+    };
+    ReplayOutcome {
+        path: path.to_path_buf(),
+        regression,
+    }
+}
+
+fn replay_self_test(case: &FuzzCase, bug: InjectedBug) -> Option<String> {
+    let buggy = HarnessOptions { inject: Some(bug) };
+    match run_case(case, &buggy).verdict {
+        Verdict::Fail(f) => {
+            if case.check.as_deref().is_some_and(|c| c != f.check) {
+                return Some(format!(
+                    "injected {} now trips {} instead of the recorded {}",
+                    bug.name(),
+                    f.check,
+                    case.check.as_deref().unwrap_or("?")
+                ));
+            }
+        }
+        other => {
+            return Some(format!(
+                "injected {} no longer reproduces (got {other:?}) — the oracle lost coverage",
+                bug.name()
+            ))
+        }
+    }
+    match run_case(case, &HarnessOptions::default()).verdict {
+        Verdict::Fail(f) => Some(format!(
+            "fails even without the injected bug: {} ({})",
+            f.check, f.detail
+        )),
+        _ => None,
+    }
+}
+
+/// Replays the whole directory; outcomes come back in file-name order.
+pub fn replay_dir(dir: &Path) -> Result<Vec<ReplayOutcome>, String> {
+    let cases = load_dir(dir)?;
+    if cases.is_empty() {
+        return Err(format!("corpus dir {} has no .json cases", dir.display()));
+    }
+    Ok(cases
+        .iter()
+        .map(|(path, case)| replay_case(path, case))
+        .collect())
+}

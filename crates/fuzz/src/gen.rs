@@ -1,0 +1,256 @@
+//! Seeded case generation: one `u64` → one [`FuzzCase`], deterministic
+//! across runs and machines (the generator only draws from `StdRng`).
+//!
+//! The distributions are deliberately adversarial for this problem:
+//! small vocabularies force keyword collisions, duplicated locations
+//! force score ties, empty documents exercise the Jaccard edge cases,
+//! and small `k` against small datasets makes `k > live objects`
+//! reachable once the mutation script has removed a few rows.
+
+use crate::case::{CaseFault, CaseMutation, CaseObject, CaseQuery, FuzzCase};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Vocabulary for generated term ids — small on purpose.
+pub const VOCAB: u32 = 24;
+
+/// Seeds are stored as JSON numbers, so keep them within `f64`'s exact
+/// integer range.
+const SEED_MASK: u64 = (1 << 53) - 1;
+
+/// Derives the `index`-th per-case seed from the run seed — a splitmix64
+/// step, masked to 53 bits so the case file round-trips exactly.
+pub fn case_seed(run_seed: u64, index: u64) -> u64 {
+    let mut z = run_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) & SEED_MASK
+}
+
+fn random_doc(rng: &mut StdRng, allow_empty: bool) -> Vec<u32> {
+    let lo = usize::from(!allow_empty);
+    let n = rng.gen_range(lo..=5);
+    (0..n).map(|_| rng.gen_range(0..VOCAB)).collect()
+}
+
+/// Generates the case for one seed. Infallible and total: every seed
+/// yields a structurally well-formed case, though not every case yields
+/// a *valid* why-not question (the harness reports those as `Invalid`,
+/// which is itself a covered code path).
+pub fn generate_case(seed: u64) -> FuzzCase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_objects = rng.gen_range(20..=120);
+    let mut objects: Vec<CaseObject> = Vec::with_capacity(n_objects);
+    for i in 0..n_objects {
+        // ~10% duplicate an earlier location exactly — ties in the
+        // spatial component are where ordering bugs hide.
+        let (x, y) = if i > 0 && rng.gen_range(0..10u32) == 0 {
+            let j = rng.gen_range(0..i);
+            (objects[j].x, objects[j].y)
+        } else {
+            (rng.gen::<f64>(), rng.gen::<f64>())
+        };
+        // ~5% empty docs.
+        let allow_empty = rng.gen_range(0..20u32) == 0;
+        let doc = random_doc(&mut rng, allow_empty);
+        objects.push(CaseObject { x, y, doc });
+    }
+
+    let k = rng.gen_range(1..=8);
+    let alpha = rng.gen_range(0.15..0.85);
+    let lambda = rng.gen_range(0.0..=1.0);
+    let query = CaseQuery {
+        x: rng.gen::<f64>(),
+        y: rng.gen::<f64>(),
+        keywords: random_doc(&mut rng, false),
+        k,
+        alpha,
+    };
+
+    // Pick 1–2 missing ids whose score ranks them below the top-k; the
+    // harness re-derives ranks exactly, this is just a cheap local rank
+    // estimate so most generated questions are valid.
+    let missing = pick_missing(&objects, &query, &mut rng);
+
+    let n_ops = rng.gen_range(0..=12);
+    let mutations = mutation_script(&objects, n_ops, &mut rng);
+
+    // Two thirds of mutated cases also crash mid-ingest.
+    let fault = if !mutations.is_empty() && rng.gen_range(0..3u32) != 0 {
+        Some(CaseFault {
+            seed: rng.gen::<u64>() & SEED_MASK,
+            // Even global op indexes are WAL page writes (odd are
+            // syncs); torn writes only fire on writes.
+            scripted: vec![(
+                u64::from(rng.gen_range(0..40u32)) * 2,
+                "torn_write".to_owned(),
+            )],
+        })
+    } else {
+        None
+    };
+
+    FuzzCase {
+        seed,
+        check: None,
+        injected_bug: None,
+        objects,
+        query,
+        missing,
+        lambda,
+        mutations,
+        fault,
+    }
+}
+
+/// A local score mirror of `Dataset::score` good enough for seeding the
+/// missing set: α·(1−dist/maxdist) + (1−α)·Jaccard. Exactness is not
+/// required — the harness validates the question against the real
+/// engine and reports `Invalid` when this estimate was off.
+fn estimate_rank_order(objects: &[CaseObject], query: &CaseQuery) -> Vec<usize> {
+    let maxd = 2f64.sqrt();
+    let mut scored: Vec<(usize, f64)> = objects
+        .iter()
+        .enumerate()
+        .map(|(i, o)| {
+            let dx = o.x - query.x;
+            let dy = o.y - query.y;
+            let s_spatial = 1.0 - (dx * dx + dy * dy).sqrt() / maxd;
+            let inter = o
+                .doc
+                .iter()
+                .filter(|t| query.keywords.contains(t))
+                .collect::<std::collections::HashSet<_>>()
+                .len();
+            let union = o
+                .doc
+                .iter()
+                .chain(query.keywords.iter())
+                .collect::<std::collections::HashSet<_>>()
+                .len();
+            let s_text = if union == 0 {
+                0.0
+            } else {
+                inter as f64 / union as f64
+            };
+            (i, query.alpha * s_spatial + (1.0 - query.alpha) * s_text)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    scored.into_iter().map(|(i, _)| i).collect()
+}
+
+fn pick_missing(objects: &[CaseObject], query: &CaseQuery, rng: &mut StdRng) -> Vec<u32> {
+    let order = estimate_rank_order(objects, query);
+    let lo = query.k + 1;
+    let hi = (query.k + 30).min(order.len());
+    if lo >= hi {
+        // Degenerate dataset; let the harness classify it Invalid.
+        return vec![0];
+    }
+    let n_missing = if rng.gen_range(0..4u32) == 0 { 2 } else { 1 };
+    let mut picked = Vec::new();
+    for _ in 0..n_missing {
+        let id = order[rng.gen_range(lo..hi)] as u32;
+        if !picked.contains(&id) {
+            picked.push(id);
+        }
+    }
+    picked
+}
+
+fn mutation_script(objects: &[CaseObject], n_ops: usize, rng: &mut StdRng) -> Vec<CaseMutation> {
+    let mut live: Vec<u32> = (0..objects.len() as u32).collect();
+    let mut next_id = objects.len() as u32;
+    (0..n_ops)
+        .map(|_| {
+            let roll = rng.gen_range(0..6u32);
+            if live.is_empty() || roll < 3 {
+                live.push(next_id);
+                next_id += 1;
+                CaseMutation::Insert {
+                    x: rng.gen::<f64>(),
+                    y: rng.gen::<f64>(),
+                    doc: random_doc(rng, true),
+                }
+            } else if roll < 5 {
+                let i = rng.gen_range(0..live.len());
+                CaseMutation::Remove {
+                    id: live.swap_remove(i),
+                }
+            } else {
+                CaseMutation::Update {
+                    id: live[rng.gen_range(0..live.len())],
+                    doc: random_doc(rng, true),
+                }
+            }
+        })
+        .collect()
+}
+
+/// Validity check for a (possibly shrunk) mutation script: every
+/// `Remove`/`Update` must name an id live at that point in the script.
+/// The shrinker uses this to reject reductions that would dangle.
+pub fn script_is_well_formed(n_objects: usize, mutations: &[CaseMutation]) -> bool {
+    let mut live: Vec<bool> = vec![true; n_objects];
+    for m in mutations {
+        match m {
+            CaseMutation::Insert { .. } => live.push(true),
+            CaseMutation::Remove { id } => {
+                let i = *id as usize;
+                if i >= live.len() || !live[i] {
+                    return false;
+                }
+                live[i] = false;
+            }
+            CaseMutation::Update { id, doc: _ } => {
+                let i = *id as usize;
+                if i >= live.len() || !live[i] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for i in 0..16u64 {
+            let s = case_seed(0xFEED, i);
+            assert_eq!(generate_case(s), generate_case(s), "seed {s} not stable");
+        }
+    }
+
+    #[test]
+    fn case_seeds_fit_json_numbers() {
+        for i in 0..256u64 {
+            assert!(case_seed(u64::MAX, i) < (1 << 53));
+        }
+    }
+
+    #[test]
+    fn generated_scripts_are_well_formed() {
+        for i in 0..64u64 {
+            let case = generate_case(case_seed(7, i));
+            assert!(
+                script_is_well_formed(case.objects.len(), &case.mutations),
+                "seed {} generated a dangling script",
+                case.seed
+            );
+        }
+    }
+
+    #[test]
+    fn generated_cases_round_trip() {
+        for i in 0..32u64 {
+            let case = generate_case(case_seed(99, i));
+            let parsed = crate::case::FuzzCase::parse(&case.render()).unwrap();
+            assert_eq!(case, parsed);
+        }
+    }
+}

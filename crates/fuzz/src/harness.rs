@@ -1,0 +1,848 @@
+//! The differential runner: executes one [`FuzzCase`] through the full
+//! solver × thread × kernel × opt matrix and cross-checks every answer
+//! against the trusted oracle — plain BS semantics (every optimisation
+//! off), one thread, the scalar text kernel.
+//!
+//! Verdicts are three-valued on purpose:
+//!
+//! * `Pass` — every check agreed with the oracle, bit-for-bit.
+//! * `Invalid` — the case never reached a comparison (the question does
+//!   not validate, λ out of range, …). Not a bug; generated cases land
+//!   here occasionally and that path is itself worth covering.
+//! * `Fail` — a check diverged. The `check` id is a *stable* string
+//!   (e.g. `kcr[scalar,t=2,b=16]`): the shrinker minimizes against it
+//!   and the corpus replayer asserts it reproduces.
+
+use crate::case::{CaseMutation, FuzzCase};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use wnsk_core::{
+    AdvancedOptions, KcrOptions, Mutation, PenaltyModel, RefinedQuery, WhyNotEngine, WhyNotQuestion,
+};
+use wnsk_geo::{Point, WorldBounds};
+use wnsk_index::{Dataset, ObjectId, SpatialKeywordQuery, SpatialObject};
+use wnsk_storage::{
+    BufferPool, BufferPoolConfig, FaultBackend, FaultKind, FaultPlan, MemBackend, RetryPolicy,
+};
+use wnsk_text::{Kernel, KeywordSet};
+
+/// Index fanout for harness-built engines (matches the recovery suite).
+const FANOUT: usize = 8;
+/// Thread counts the matrix sweeps.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+/// KcR batch sizes the matrix sweeps (16 forces several batches per
+/// layer even on shrunk datasets).
+const BATCH_SIZES: [usize; 2] = [16, 64];
+
+/// A deliberately injected, test-only solver bug the harness can switch
+/// on to prove the oracle actually catches divergence end-to-end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InjectedBug {
+    /// `KcrOptions::inject_rank_bug`: over-count the initial rank
+    /// `R(M, q₀)` by one, perturbing the Eqn. 4 Δk normaliser.
+    Rank,
+}
+
+impl InjectedBug {
+    /// The CLI / case-file name.
+    pub fn name(self) -> &'static str {
+        match self {
+            InjectedBug::Rank => "rank",
+        }
+    }
+
+    /// Parses a CLI / case-file bug name.
+    pub fn parse(name: &str) -> Result<InjectedBug, String> {
+        match name {
+            "rank" => Ok(InjectedBug::Rank),
+            other => Err(format!("unknown injected bug {other:?} (known: rank)")),
+        }
+    }
+}
+
+/// Harness knobs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HarnessOptions {
+    /// Inject a known bug into the optimized paths (never the oracle).
+    pub inject: Option<InjectedBug>,
+}
+
+/// One diverged check.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Failure {
+    /// Stable check id, e.g. `advanced[bitset,t=4,opts=all]`.
+    pub check: String,
+    /// Human-oriented divergence description.
+    pub detail: String,
+}
+
+/// The outcome of one case.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Verdict {
+    Pass,
+    Invalid(String),
+    Fail(Failure),
+}
+
+impl Verdict {
+    /// The failing check id, when there is one.
+    pub fn failed_check(&self) -> Option<&str> {
+        match self {
+            Verdict::Fail(f) => Some(&f.check),
+            _ => None,
+        }
+    }
+}
+
+/// A case outcome plus how many oracle cross-checks it evaluated (the
+/// driver feeds this into the `fuzz.checks` counter).
+#[derive(Clone, Debug)]
+pub struct CaseReport {
+    pub verdict: Verdict,
+    pub checks: u64,
+}
+
+/// Tracks check count and first failure; checks after the first failure
+/// are skipped (the shrinker needs the *first* failing check to stay
+/// stable under reduction, and later checks usually fail for the same
+/// root cause anyway).
+struct Checker {
+    checks: u64,
+    failure: Option<Failure>,
+}
+
+impl Checker {
+    fn new() -> Self {
+        Checker {
+            checks: 0,
+            failure: None,
+        }
+    }
+
+    fn failed(&self) -> bool {
+        self.failure.is_some()
+    }
+
+    fn check(&mut self, id: &str, detail: Option<String>) {
+        if self.failed() {
+            return;
+        }
+        self.checks += 1;
+        if let Some(detail) = detail {
+            self.failure = Some(Failure {
+                check: id.to_owned(),
+                detail,
+            });
+        }
+    }
+}
+
+/// Objective-value comparison: two solvers enumerating the same
+/// candidate space in different orders may legitimately return
+/// *different* equally-optimal refined queries (penalty ties are real —
+/// swap one keyword for another with the same effect), but the optimum
+/// penalty itself is the min over one shared multiset of `f64`s and
+/// must agree to the bit.
+fn diff_objective(oracle: &RefinedQuery, got: &RefinedQuery) -> Option<String> {
+    (oracle.penalty.to_bits() != got.penalty.to_bits()).then(|| {
+        format!(
+            "optimum penalty diverged: oracle {} ({:#x}) vs {} ({:#x})",
+            oracle.penalty,
+            oracle.penalty.to_bits(),
+            got.penalty,
+            got.penalty.to_bits()
+        )
+    })
+}
+
+/// Bit-exact refined-query comparison; `None` means identical.
+fn diff_refined(oracle: &RefinedQuery, got: &RefinedQuery) -> Option<String> {
+    if oracle.doc != got.doc {
+        return Some(format!(
+            "refined keyword set diverged: oracle {:?} vs {:?}",
+            oracle.doc.terms(),
+            got.doc.terms()
+        ));
+    }
+    if oracle.k != got.k {
+        return Some(format!(
+            "refined k diverged: oracle {} vs {}",
+            oracle.k, got.k
+        ));
+    }
+    if oracle.rank != got.rank {
+        return Some(format!(
+            "rank diverged: oracle {} vs {}",
+            oracle.rank, got.rank
+        ));
+    }
+    if oracle.edit_distance != got.edit_distance {
+        return Some(format!(
+            "edit distance diverged: oracle {} vs {}",
+            oracle.edit_distance, got.edit_distance
+        ));
+    }
+    if oracle.penalty.to_bits() != got.penalty.to_bits() {
+        return Some(format!(
+            "penalty bits diverged: oracle {} ({:#x}) vs {} ({:#x})",
+            oracle.penalty,
+            oracle.penalty.to_bits(),
+            got.penalty,
+            got.penalty.to_bits()
+        ));
+    }
+    None
+}
+
+/// The oracle configuration: BS behaviour, sequential, scalar kernel.
+fn oracle_options() -> AdvancedOptions {
+    AdvancedOptions {
+        kernel: Kernel::Scalar,
+        ..AdvancedOptions::none()
+    }
+}
+
+fn dataset_from(case: &FuzzCase) -> Dataset {
+    let objects = case
+        .objects
+        .iter()
+        .map(|o| SpatialObject {
+            id: ObjectId(0),
+            loc: Point::new(o.x, o.y),
+            doc: KeywordSet::from_ids(o.doc.iter().copied()),
+        })
+        .collect();
+    Dataset::new(objects, WorldBounds::unit())
+}
+
+fn mutations_from(case: &FuzzCase) -> Vec<Mutation> {
+    case.mutations
+        .iter()
+        .map(|m| match m {
+            CaseMutation::Insert { x, y, doc } => Mutation::Insert {
+                loc: Point::new(*x, *y),
+                doc: KeywordSet::from_ids(doc.iter().copied()),
+            },
+            CaseMutation::Remove { id } => Mutation::Remove { id: ObjectId(*id) },
+            CaseMutation::Update { id, doc } => Mutation::UpdateDoc {
+                id: ObjectId(*id),
+                doc: KeywordSet::from_ids(doc.iter().copied()),
+            },
+        })
+        .collect()
+}
+
+/// Structural pre-validation: everything that would panic or is
+/// obviously not a runnable case is turned into `Invalid` instead.
+fn validate_case(case: &FuzzCase) -> Result<(), String> {
+    if case.objects.is_empty() {
+        return Err("no objects".to_owned());
+    }
+    if case.query.k == 0 {
+        return Err("query.k must be >= 1".to_owned());
+    }
+    if !(case.query.alpha > 0.0 && case.query.alpha < 1.0) {
+        return Err(format!("query.alpha {} not in (0, 1)", case.query.alpha));
+    }
+    if case.query.keywords.is_empty() {
+        return Err("query has no keywords".to_owned());
+    }
+    if !(0.0..=1.0).contains(&case.lambda) {
+        return Err(format!("lambda {} not in [0, 1]", case.lambda));
+    }
+    if case.missing.is_empty() {
+        return Err("missing set is empty".to_owned());
+    }
+    for &id in &case.missing {
+        if id as usize >= case.objects.len() {
+            return Err(format!("missing id {id} out of range"));
+        }
+    }
+    let in_unit = |v: f64| (0.0..=1.0).contains(&v);
+    if !in_unit(case.query.x) || !in_unit(case.query.y) {
+        return Err("query location outside the unit world".to_owned());
+    }
+    for (i, o) in case.objects.iter().enumerate() {
+        if !in_unit(o.x) || !in_unit(o.y) {
+            return Err(format!("object {i} outside the unit world"));
+        }
+    }
+    for m in &case.mutations {
+        if let CaseMutation::Insert { x, y, .. } = m {
+            if !in_unit(*x) || !in_unit(*y) {
+                return Err("inserted object outside the unit world".to_owned());
+            }
+        }
+    }
+    if !crate::gen::script_is_well_formed(case.objects.len(), &case.mutations) {
+        return Err("mutation script names a dead or unknown id".to_owned());
+    }
+    if let Some(fault) = &case.fault {
+        for (_, kind) in &fault.scripted {
+            fault_kind(kind)?;
+        }
+    }
+    Ok(())
+}
+
+fn fault_kind(name: &str) -> Result<FaultKind, String> {
+    match name {
+        "torn_write" => Ok(FaultKind::TornWrite),
+        other => Err(format!("unknown fault kind {other:?}")),
+    }
+}
+
+fn build_engine(ds: &Dataset) -> Result<WhyNotEngine, String> {
+    WhyNotEngine::build_with(ds.clone(), FANOUT, BufferPoolConfig::default())
+        .map_err(|e| format!("engine build failed: {e}"))
+}
+
+fn question_from(case: &FuzzCase) -> WhyNotQuestion {
+    WhyNotQuestion::new(
+        SpatialKeywordQuery::new(
+            Point::new(case.query.x, case.query.y),
+            KeywordSet::from_ids(case.query.keywords.iter().copied()),
+            case.query.k,
+            case.query.alpha,
+        ),
+        case.missing.iter().map(|&id| ObjectId(id)).collect(),
+        case.lambda,
+    )
+}
+
+/// Runs one case through the whole matrix. Deterministic: same case +
+/// same options → same verdict, bit for bit.
+pub fn run_case(case: &FuzzCase, opts: &HarnessOptions) -> CaseReport {
+    let mut checker = Checker::new();
+    let verdict = match run_inner(case, opts, &mut checker) {
+        Err(reason) => Verdict::Invalid(reason),
+        Ok(()) => match checker.failure.take() {
+            Some(f) => Verdict::Fail(f),
+            None => Verdict::Pass,
+        },
+    };
+    CaseReport {
+        verdict,
+        checks: checker.checks,
+    }
+}
+
+fn run_inner(case: &FuzzCase, opts: &HarnessOptions, checker: &mut Checker) -> Result<(), String> {
+    validate_case(case)?;
+    let ds = dataset_from(case);
+    let engine = build_engine(&ds)?;
+    let question = question_from(case);
+    question
+        .validate(engine.dataset())
+        .map_err(|e| format!("question invalid: {e}"))?;
+
+    let oracle = engine
+        .answer_advanced(&question, oracle_options())
+        .map_err(|e| format!("oracle declined the case: {e}"))?;
+
+    check_oracle_invariants(&question, &oracle.refined, checker);
+    run_matrix(&engine, &question, &oracle.refined, "", opts, checker);
+
+    // The §VI-B approximate solver explores a sampled candidate subset,
+    // so it cannot beat the exhaustive optimum — but it must still
+    // return a structurally sound, self-consistent answer.
+    if !checker.failed() {
+        match engine.answer_approx(&question, 2) {
+            Err(e) => checker.check("approx", Some(format!("errored: {e}"))),
+            Ok(a) => {
+                checker.check(
+                    "approx.lower_bound",
+                    (a.refined.penalty < oracle.refined.penalty).then(|| {
+                        format!(
+                            "approximate penalty {} beats the exhaustive optimum {}",
+                            a.refined.penalty, oracle.refined.penalty
+                        )
+                    }),
+                );
+                check_consistency(
+                    engine.dataset(),
+                    &question,
+                    &a.refined,
+                    "consistency.approx",
+                    checker,
+                );
+            }
+        }
+    }
+
+    if !case.mutations.is_empty() && !checker.failed() {
+        run_recovery_phase(case, &ds, opts, checker)?;
+    }
+    Ok(())
+}
+
+/// Structural invariants of the Eqn. 4 optimum that hold regardless of
+/// dataset: the baseline (keep `doc₀`, enlarge `k`) always costs exactly
+/// λ and is always a candidate, refinement never ranks the missing set
+/// below the refined `k`, and the reported edit distance must match the
+/// keyword sets it claims to connect.
+fn check_oracle_invariants(question: &WhyNotQuestion, r: &RefinedQuery, checker: &mut Checker) {
+    checker.check(
+        "invariant.penalty_range",
+        (!r.penalty.is_finite()
+            || !(0.0..=1.0).contains(&r.penalty)
+            || r.penalty > question.lambda)
+            .then(|| {
+                format!(
+                    "penalty {} outside [0, min(1, λ={})]",
+                    r.penalty, question.lambda
+                )
+            }),
+    );
+    checker.check(
+        "invariant.refined_k",
+        (r.k < question.query.k || r.rank > r.k || r.rank == 0).then(|| {
+            format!(
+                "refined k'={} rank={} violate k'>=k0={} and 1<=rank<=k'",
+                r.k, r.rank, question.query.k
+            )
+        }),
+    );
+    checker.check(
+        "invariant.edit_distance",
+        (question.query.doc.edit_distance(&r.doc) != r.edit_distance).then(|| {
+            format!(
+                "edit distance {} does not match doc₀→doc' ({:?} → {:?})",
+                r.edit_distance,
+                question.query.doc.terms(),
+                r.doc.terms()
+            )
+        }),
+    );
+}
+
+/// Self-consistency of one refined query against ground truth
+/// recomputed straight from the dataset: the reported rank must be the
+/// real `R(M, q')`, `k'` must follow Lemma 1, the edit distance must
+/// connect the keyword sets it claims to, and the reported penalty must
+/// be exactly what Eqn. 4 assigns those numbers. A solver returning a
+/// *different* equally-optimal answer sails through; a solver
+/// mis-reporting any component of its own answer (the injected rank bug
+/// perturbs the Δk normaliser, for instance) does not.
+fn check_consistency(
+    ds: &Dataset,
+    question: &WhyNotQuestion,
+    r: &RefinedQuery,
+    id: &str,
+    checker: &mut Checker,
+) {
+    if checker.failed() {
+        return;
+    }
+    let q0 = &question.query;
+    let mut refined_q = q0.clone();
+    refined_q.doc = r.doc.clone();
+    refined_q.k = r.k;
+    let rank = question
+        .missing
+        .iter()
+        .map(|&m| ds.rank_of(m, &refined_q))
+        .max()
+        .unwrap_or(0);
+    let initial_rank = question
+        .missing
+        .iter()
+        .map(|&m| ds.rank_of(m, q0))
+        .max()
+        .unwrap_or(0);
+    if initial_rank <= q0.k {
+        checker.check(
+            id,
+            Some(format!(
+                "question stopped being why-not: R(M,q)={initial_rank} <= k0={}",
+                q0.k
+            )),
+        );
+        return;
+    }
+    let mut universe = q0.doc.clone();
+    for &m in &question.missing {
+        universe = universe.union(&ds.object(m).doc);
+    }
+    let model = PenaltyModel::new(question.lambda, q0.k, initial_rank, universe.len());
+    let detail = if r.rank != rank {
+        Some(format!(
+            "reported rank {} but the missing set really ranks {rank} under the refined query",
+            r.rank
+        ))
+    } else if r.k != q0.k.max(rank) {
+        Some(format!(
+            "refined k'={} violates Lemma 1 (max(k0={}, rank={rank}))",
+            r.k, q0.k
+        ))
+    } else if r.edit_distance != q0.doc.edit_distance(&r.doc) {
+        Some(format!(
+            "reported edit distance {} but doc₀→doc' is {}",
+            r.edit_distance,
+            q0.doc.edit_distance(&r.doc)
+        ))
+    } else if !penalty_matches(&model, r, rank) {
+        Some(format!(
+            "reported penalty {} but Eqn. 4 assigns {} (edit={}, rank={rank}, R={initial_rank})",
+            r.penalty,
+            model.penalty(r.edit_distance, rank),
+            r.edit_distance
+        ))
+    } else {
+        None
+    };
+    checker.check(id, detail);
+}
+
+/// Does the reported penalty match what Eqn. 4 assigns the answer's
+/// (edit, rank)? The basic refined query ("keep `doc₀`, enlarge `k`")
+/// is special-cased: solvers report its cost as the *exact* λ of
+/// [`PenaltyModel::baseline_penalty`], whereas recomputing through
+/// [`PenaltyModel::penalty`] evaluates `λ·x/x`, which may differ by an
+/// ulp. Both spellings of the same quantity are accepted.
+fn penalty_matches(model: &PenaltyModel, r: &RefinedQuery, rank: usize) -> bool {
+    if r.penalty.to_bits() == model.penalty(r.edit_distance, rank).to_bits() {
+        return true;
+    }
+    r.edit_distance == 0
+        && rank == model.initial_rank
+        && r.penalty.to_bits() == model.baseline_penalty().to_bits()
+}
+
+/// The solver × thread × kernel × opt sweep against one oracle answer.
+/// `prefix` namespaces the check ids (`""` for phase A, `"recovery."`
+/// for the post-WAL-replay phase).
+///
+/// Comparison strength is tiered by what the workspace actually
+/// guarantees. Within one enumeration order, answers are bit-identical
+/// across threads, kernels, and batch sizes (the determinism contract),
+/// so every family member is held to its own t=1/scalar baseline with
+/// [`diff_refined`]. *Across* enumeration orders only the optimum value
+/// is guaranteed — penalty ties break differently — so family baselines
+/// are held to the oracle with [`diff_objective`] plus
+/// [`check_consistency`].
+fn run_matrix(
+    engine: &WhyNotEngine,
+    question: &WhyNotQuestion,
+    oracle: &RefinedQuery,
+    prefix: &str,
+    opts: &HarnessOptions,
+    checker: &mut Checker,
+) {
+    let inject_rank_bug = opts.inject == Some(InjectedBug::Rank);
+    let ds = engine.dataset();
+    check_consistency(
+        ds,
+        question,
+        oracle,
+        &format!("{prefix}consistency.oracle"),
+        checker,
+    );
+
+    // BS family (every optimisation off): the oracle is this family's
+    // t=1/scalar member, so every other (kernel, threads) must
+    // reproduce it bit for bit.
+    for kernel in Kernel::ALL {
+        for threads in THREAD_COUNTS {
+            if checker.failed() {
+                return;
+            }
+            if kernel == Kernel::Scalar && threads == 1 {
+                continue;
+            }
+            let adv = AdvancedOptions {
+                threads,
+                kernel,
+                ..AdvancedOptions::none()
+            };
+            let id = format!("{prefix}advanced[{},t={threads},opts=none]", kernel.name());
+            match engine.answer_advanced(question, adv) {
+                Err(e) => checker.check(&id, Some(format!("errored: {e}"))),
+                Ok(a) => checker.check(&id, diff_refined(oracle, &a.refined)),
+            }
+        }
+    }
+    if checker.failed() {
+        return;
+    }
+
+    // AdvancedBS with Opt1–3 on (ordered enumeration changes
+    // tie-breaking, hence its own family baseline).
+    let adv_baseline = AdvancedOptions {
+        threads: 1,
+        kernel: Kernel::Scalar,
+        ..AdvancedOptions::default()
+    };
+    match engine.answer_advanced(question, adv_baseline) {
+        Err(e) => checker.check(
+            &format!("{prefix}advanced[scalar,t=1,opts=all]"),
+            Some(format!("errored: {e}")),
+        ),
+        Ok(base) => {
+            checker.check(
+                &format!("{prefix}objective.advanced"),
+                diff_objective(oracle, &base.refined),
+            );
+            check_consistency(
+                ds,
+                question,
+                &base.refined,
+                &format!("{prefix}consistency.advanced"),
+                checker,
+            );
+            for kernel in Kernel::ALL {
+                for threads in THREAD_COUNTS {
+                    if checker.failed() {
+                        return;
+                    }
+                    if kernel == Kernel::Scalar && threads == 1 {
+                        continue;
+                    }
+                    let adv = AdvancedOptions {
+                        threads,
+                        kernel,
+                        ..AdvancedOptions::default()
+                    };
+                    let id = format!("{prefix}advanced[{},t={threads},opts=all]", kernel.name());
+                    match engine.answer_advanced(question, adv) {
+                        Err(e) => checker.check(&id, Some(format!("errored: {e}"))),
+                        Ok(a) => checker.check(&id, diff_refined(&base.refined, &a.refined)),
+                    }
+                }
+            }
+        }
+    }
+    if checker.failed() {
+        return;
+    }
+
+    // KcRBased: bound-and-prune over the KcR-tree, again its own
+    // tie-breaking family. The injected rank bug (when enabled) lives
+    // here — the objective and consistency checks are what catch it.
+    let kcr_baseline = KcrOptions {
+        threads: 1,
+        kernel: Kernel::Scalar,
+        batch_size: BATCH_SIZES[0],
+        inject_rank_bug,
+        ..KcrOptions::default()
+    };
+    match engine.answer_kcr(question, kcr_baseline) {
+        Err(e) => checker.check(
+            &format!("{prefix}kcr[scalar,t=1,b={}]", BATCH_SIZES[0]),
+            Some(format!("errored: {e}")),
+        ),
+        Ok(base) => {
+            checker.check(
+                &format!("{prefix}objective.kcr"),
+                diff_objective(oracle, &base.refined),
+            );
+            check_consistency(
+                ds,
+                question,
+                &base.refined,
+                &format!("{prefix}consistency.kcr"),
+                checker,
+            );
+            for kernel in Kernel::ALL {
+                for threads in THREAD_COUNTS {
+                    for batch_size in BATCH_SIZES {
+                        if checker.failed() {
+                            return;
+                        }
+                        if kernel == Kernel::Scalar && threads == 1 && batch_size == BATCH_SIZES[0]
+                        {
+                            continue;
+                        }
+                        let kcr = KcrOptions {
+                            threads,
+                            kernel,
+                            batch_size,
+                            inject_rank_bug,
+                            ..KcrOptions::default()
+                        };
+                        let id =
+                            format!("{prefix}kcr[{},t={threads},b={batch_size}]", kernel.name());
+                        match engine.answer_kcr(question, kcr) {
+                            Err(e) => checker.check(&id, Some(format!("errored: {e}"))),
+                            Ok(a) => checker.check(&id, diff_refined(&base.refined, &a.refined)),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Phase B: ingest the mutation script into a WAL through the scripted
+/// fault plan ("crash"), recover from the durable bytes alone, and
+/// cross-check the recovered engine against a never-crashed twin — then
+/// re-run a slice of the solver matrix on the recovered state.
+fn run_recovery_phase(
+    case: &FuzzCase,
+    base: &Dataset,
+    opts: &HarnessOptions,
+    checker: &mut Checker,
+) -> Result<(), String> {
+    let muts = mutations_from(case);
+    let (fault_seed, scripted) = match &case.fault {
+        Some(f) => (f.seed, f.scripted.clone()),
+        None => (case.seed, Vec::new()),
+    };
+    let mut plan = FaultPlan::new(fault_seed);
+    for (op, kind) in &scripted {
+        plan = plan.with_scripted(*op, fault_kind(kind)?);
+    }
+    let fb = Arc::new(FaultBackend::new(MemBackend::new(), plan));
+    let wal_pool = Arc::new(BufferPool::new(
+        Arc::clone(&fb) as Arc<dyn wnsk_storage::StorageBackend>,
+        BufferPoolConfig {
+            retry: RetryPolicy::none(),
+            ..BufferPoolConfig::default()
+        },
+    ));
+
+    // Live engine ingests in seeded batches until the scripted torn
+    // write fires (or the script completes — a valid no-crash run).
+    let mut live = build_engine(base)?;
+    live.attach_wal(Arc::clone(&wal_pool))
+        .map_err(|e| format!("wal attach failed: {e}"))?;
+    let mut rng = StdRng::seed_from_u64(case.seed ^ 0xBA7C);
+    let mut ingested = 0;
+    while ingested < muts.len() {
+        let n = rng.gen_range(1..=3usize).min(muts.len() - ingested);
+        if live.ingest_batch(&muts[ingested..ingested + n]).is_err() {
+            // Ambiguous durability on a faulted commit: stop ingesting,
+            // recovery decides what survived.
+            break;
+        }
+        ingested += n;
+        if fb.fault_stats().torn_writes > 0 {
+            break;
+        }
+    }
+    drop(live);
+
+    // Restart: drop every cached page, recover from durable bytes.
+    wal_pool.clear_cache();
+    let mut recovered = build_engine(base)?;
+    let report = recovered
+        .attach_wal(Arc::clone(&wal_pool))
+        .map_err(|e| format!("recovery failed: {e}"))?;
+    let replayed = report.records_replayed as usize;
+    checker.check(
+        "recovery.replay_count",
+        (replayed > ingested).then(|| {
+            format!("recovery replayed {replayed} records but only {ingested} were ingested")
+        }),
+    );
+    if checker.failed() {
+        return Ok(());
+    }
+
+    // The never-crashed twin applies the surviving prefix in memory.
+    let mut twin = build_engine(base)?;
+    for m in &muts[..replayed] {
+        if let Err(e) = twin.apply(m) {
+            checker.check("recovery.twin_apply", Some(format!("errored: {e}")));
+            return Ok(());
+        }
+    }
+
+    checker.check(
+        "recovery.epoch",
+        (recovered.epoch() != twin.epoch())
+            .then(|| format!("epoch diverged: {} vs {}", recovered.epoch(), twin.epoch())),
+    );
+    checker.check(
+        "recovery.live_len",
+        (recovered.dataset().live_len() != twin.dataset().live_len()).then(|| {
+            format!(
+                "live object count diverged: {} vs {}",
+                recovered.dataset().live_len(),
+                twin.dataset().live_len()
+            )
+        }),
+    );
+
+    // Seeded probe queries: top-k lists agree bit for bit.
+    let mut rng = StdRng::seed_from_u64(case.seed ^ 0x70FF);
+    for probe in 0..2 {
+        if checker.failed() {
+            return Ok(());
+        }
+        let q = SpatialKeywordQuery::new(
+            Point::new(rng.gen::<f64>(), rng.gen::<f64>()),
+            KeywordSet::from_ids(
+                (0..rng.gen_range(1..=4)).map(|_| rng.gen_range(0..crate::gen::VOCAB)),
+            ),
+            5,
+            0.5,
+        );
+        let id = format!("recovery.topk[{probe}]");
+        match (recovered.top_k(&q), twin.top_k(&q)) {
+            (Ok(a), Ok(b)) => {
+                let same = a.len() == b.len()
+                    && a.iter()
+                        .zip(&b)
+                        .all(|((ia, sa), (ib, sb))| ia == ib && sa.to_bits() == sb.to_bits());
+                checker.check(
+                    &id,
+                    (!same).then(|| format!("top-k diverged: {a:?} vs {b:?}")),
+                );
+            }
+            (ra, rb) => checker.check(
+                &id,
+                Some(format!(
+                    "top-k errored asymmetrically: {:?} vs {:?}",
+                    ra.err().map(|e| e.to_string()),
+                    rb.err().map(|e| e.to_string())
+                )),
+            ),
+        }
+    }
+    if checker.failed() {
+        return Ok(());
+    }
+
+    // The original question, asked of the mutated world. It may have
+    // become invalid (the missing object was removed, or now makes the
+    // top-k) — then both engines must refuse identically.
+    let question = question_from(case);
+    match (
+        recovered.answer_advanced(&question, oracle_options()),
+        twin.answer_advanced(&question, oracle_options()),
+    ) {
+        (Err(a), Err(b)) => checker.check(
+            "recovery.whynot_errors",
+            (a.to_string() != b.to_string()).then(|| format!("error strings diverged: {a} vs {b}")),
+        ),
+        (Ok(a), Ok(b)) => {
+            checker.check(
+                "recovery.whynot_oracle",
+                diff_refined(&a.refined, &b.refined),
+            );
+            // And the optimized solvers agree with the recovered
+            // engine's own oracle — the injected bug is live here too.
+            if !checker.failed() {
+                run_matrix(
+                    &recovered,
+                    &question,
+                    &a.refined,
+                    "recovery.",
+                    opts,
+                    checker,
+                );
+            }
+        }
+        (ra, rb) => checker.check(
+            "recovery.whynot_errors",
+            Some(format!(
+                "one engine errored, the other answered: {:?} vs {:?}",
+                ra.map(|a| a.refined).map_err(|e| e.to_string()),
+                rb.map(|b| b.refined).map_err(|e| e.to_string())
+            )),
+        ),
+    }
+    Ok(())
+}

@@ -1,0 +1,134 @@
+//! `wnsk-fuzz` — the differential fuzzing harness behind `wnsk fuzz`
+//! and `wnsk corpus`.
+//!
+//! The paper's exhaustive BS algorithm (§IV) is slow but *obviously*
+//! correct, which makes it the perfect oracle for everything layered on
+//! top of it: AdvancedBS's Opt1–4, the KcR bound-and-prune solver, the
+//! bitset kernels, the parallel executor, and the WAL ingest/recovery
+//! path. This crate closes the loop the ROADMAP gates the sharding
+//! refactor on:
+//!
+//! 1. [`gen`] — a seed deterministically becomes a dataset + why-not
+//!    question + mutation script + storage-fault plan ([`FuzzCase`]).
+//! 2. [`harness`] — the case runs through the full
+//!    solver × thread × kernel × opt matrix and, when mutations are
+//!    present, through a crash/recover/twin-compare cycle; every answer
+//!    is compared bit-for-bit against the BS / t=1 / scalar oracle.
+//! 3. [`mod@shrink`] — a diverging case is delta-debugged down to a minimal
+//!    reproducer that still fails the same check.
+//! 4. [`corpus`] — the reproducer is written as a self-contained JSON
+//!    file that the corpus-replay lane runs forever after.
+//!
+//! Work is metered under the `fuzz.*` metric names (`docs/METRICS.md`).
+
+pub mod case;
+pub mod corpus;
+pub mod gen;
+pub mod harness;
+pub mod shrink;
+
+pub use case::{CaseFault, CaseMutation, CaseObject, CaseQuery, FuzzCase};
+pub use corpus::{replay_case, replay_dir, ReplayOutcome};
+pub use gen::{case_seed, generate_case};
+pub use harness::{run_case, CaseReport, Failure, HarnessOptions, InjectedBug, Verdict};
+pub use shrink::{shrink, ShrinkOptions, ShrinkReport};
+
+use std::path::PathBuf;
+use wnsk_obs::{names, Registry};
+
+/// One `wnsk fuzz` run's configuration.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Run seed; case `i` uses [`case_seed`]`(seed, i)`.
+    pub seed: u64,
+    /// Number of cases to generate and run.
+    pub cases: u64,
+    /// Inject a known bug into the optimized paths (oracle self-test).
+    pub inject: Option<InjectedBug>,
+    /// Where to write shrunk failing cases (`None`: report only).
+    pub emit_dir: Option<PathBuf>,
+    /// Shrinker step bound per failure.
+    pub shrink_limit: usize,
+}
+
+/// One case's outcome in a fuzz run, in deterministic order.
+#[derive(Clone, Debug)]
+pub struct CaseOutcome {
+    pub index: u64,
+    pub seed: u64,
+    pub verdict: Verdict,
+    /// Set when the case failed: the shrunk reproducer and where it was
+    /// written (if an emit dir was configured).
+    pub shrunk: Option<ShrinkReport>,
+    pub emitted: Option<PathBuf>,
+}
+
+/// A whole run's summary.
+#[derive(Debug)]
+pub struct FuzzReport {
+    pub outcomes: Vec<CaseOutcome>,
+    pub cases: u64,
+    pub invalid: u64,
+    pub failures: u64,
+    pub checks: u64,
+    pub shrink_steps: u64,
+}
+
+/// Runs the fuzzer: generate → run → (on divergence) shrink → emit.
+/// Deterministic end to end — same config, same outcomes, same emitted
+/// bytes. Metrics land in `registry` under the `fuzz.*` names; I/O
+/// errors writing the emit dir are the only fallible part.
+pub fn run_fuzz(config: &FuzzConfig, registry: &Registry) -> std::io::Result<FuzzReport> {
+    let opts = HarnessOptions {
+        inject: config.inject,
+    };
+    let shrink_opts = ShrinkOptions {
+        max_steps: config.shrink_limit,
+    };
+    let mut outcomes = Vec::with_capacity(config.cases as usize);
+    let mut invalid = 0;
+    let mut failures = 0;
+    let mut checks = 0;
+    let mut shrink_steps = 0;
+    for index in 0..config.cases {
+        let seed = case_seed(config.seed, index);
+        let case = generate_case(seed);
+        let report = run_case(&case, &opts);
+        registry.counter(names::FUZZ_CASES).add(1);
+        registry.counter(names::FUZZ_CHECKS).add(report.checks);
+        checks += report.checks;
+        let mut outcome = CaseOutcome {
+            index,
+            seed,
+            verdict: report.verdict,
+            shrunk: None,
+            emitted: None,
+        };
+        match &outcome.verdict {
+            Verdict::Invalid(_) => invalid += 1,
+            Verdict::Fail(_) => {
+                failures += 1;
+                registry.counter(names::FUZZ_FAILURES).add(1);
+                let shrunk = shrink(&case, &opts, &shrink_opts);
+                registry
+                    .counter(names::FUZZ_SHRINK_STEPS)
+                    .add(shrunk.steps as u64);
+                shrink_steps += shrunk.steps as u64;
+                if let Some(dir) = &config.emit_dir {
+                    outcome.emitted = Some(corpus::write_case(dir, &shrunk.case)?);
+                }
+                outcome.shrunk = Some(shrunk);
+            }
+            Verdict::Pass => {}
+        }
+        outcomes.push(outcome);
+    }
+    Ok(FuzzReport {
+        outcomes,
+        cases: config.cases,
+        invalid,
+        failures,
+        checks,
+        shrink_steps,
+    })
+}

@@ -1,0 +1,298 @@
+//! Delta-debug shrinking: given a failing case, greedily remove
+//! objects, mutations, keywords, missing ids, and fault entries while
+//! the case keeps failing the *same* check it originally failed.
+//!
+//! The reduction operators are domain-aware rather than byte-level:
+//!
+//! * Object removal remaps ids (ids are positional, so deleting the
+//!   object at index `i` decrements every id reference `> i`; a
+//!   reduction that would orphan a reference is skipped).
+//! * Mutation removal is re-validated against the live-set simulation
+//!   (`script_is_well_formed`), so scripts never dangle.
+//! * Chunks are tried largest-first (classic ddmin halving) so the
+//!   common case converges in O(log n) re-runs, then singles mop up.
+//!
+//! Every *attempted* reduction counts as one shrink step, bounded by
+//! [`ShrinkOptions::max_steps`] — shrinking a fuzz failure must never
+//! itself become the long pole of a CI run.
+
+use crate::case::{CaseMutation, FuzzCase};
+use crate::gen::script_is_well_formed;
+use crate::harness::{run_case, HarnessOptions, Verdict};
+
+/// Shrinker knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ShrinkOptions {
+    /// Upper bound on attempted reductions (each one re-runs the case).
+    pub max_steps: usize,
+}
+
+impl Default for ShrinkOptions {
+    fn default() -> Self {
+        ShrinkOptions { max_steps: 400 }
+    }
+}
+
+/// The shrink outcome: the minimized case (annotated with the check it
+/// still fails) and how many reductions were attempted.
+#[derive(Clone, Debug)]
+pub struct ShrinkReport {
+    pub case: FuzzCase,
+    pub steps: usize,
+}
+
+/// Minimizes `case`, which must currently fail under `opts`; the
+/// returned case fails the same check. Panics if the input does not
+/// fail (callers only shrink observed failures).
+pub fn shrink(case: &FuzzCase, opts: &HarnessOptions, shrink_opts: &ShrinkOptions) -> ShrinkReport {
+    let check = match run_case(case, opts).verdict {
+        Verdict::Fail(f) => f.check,
+        other => panic!("shrink called on a non-failing case ({other:?})"),
+    };
+    let mut best = case.clone();
+    let mut steps = 0usize;
+    // Round-robin the operators until a full sweep makes no progress.
+    loop {
+        let mut progressed = false;
+        for op in [
+            Operator::Objects,
+            Operator::Mutations,
+            Operator::Fault,
+            Operator::Keywords,
+            Operator::Missing,
+        ] {
+            progressed |= reduce(&mut best, op, &check, opts, shrink_opts, &mut steps);
+        }
+        if !progressed || steps >= shrink_opts.max_steps {
+            break;
+        }
+    }
+    best.check = Some(check);
+    best.injected_bug = opts.inject.map(|b| b.name().to_owned());
+    ShrinkReport { case: best, steps }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Operator {
+    Objects,
+    Mutations,
+    Keywords,
+    Missing,
+    Fault,
+}
+
+/// One ddmin pass of `op` over `best`: chunk sizes halve from len/2
+/// down to 1; each viable candidate costs one step and is kept only if
+/// it still fails `check`. Returns whether anything was removed.
+fn reduce(
+    best: &mut FuzzCase,
+    op: Operator,
+    check: &str,
+    opts: &HarnessOptions,
+    shrink_opts: &ShrinkOptions,
+    steps: &mut usize,
+) -> bool {
+    let mut progressed = false;
+    let mut chunk = (len_of(best, op) / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < len_of(best, op) {
+            if *steps >= shrink_opts.max_steps {
+                return progressed;
+            }
+            let j = (i + chunk).min(len_of(best, op));
+            if let Some(candidate) = remove_range(best, op, i, j) {
+                *steps += 1;
+                if run_case(&candidate, opts).verdict.failed_check() == Some(check) {
+                    *best = candidate;
+                    progressed = true;
+                    // Do not advance: the next chunk shifted into place.
+                    continue;
+                }
+            }
+            i = j;
+        }
+        if chunk == 1 {
+            return progressed;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+}
+
+fn len_of(case: &FuzzCase, op: Operator) -> usize {
+    match op {
+        Operator::Objects => case.objects.len(),
+        Operator::Mutations => case.mutations.len(),
+        Operator::Keywords => case.query.keywords.len(),
+        Operator::Missing => case.missing.len(),
+        Operator::Fault => case.fault.as_ref().map_or(0, |f| f.scripted.len()),
+    }
+}
+
+/// Builds the candidate with elements `[i, j)` of `op` removed, or
+/// `None` when the reduction is structurally impossible (it would
+/// orphan an id, empty a required field, …). Validity is checked here
+/// so impossible candidates never burn a shrink step.
+fn remove_range(case: &FuzzCase, op: Operator, i: usize, j: usize) -> Option<FuzzCase> {
+    let mut c = case.clone();
+    match op {
+        Operator::Objects => {
+            let removed = (j - i) as u32;
+            let lo = i as u32;
+            let hi = j as u32;
+            let remap = |id: u32| -> Option<u32> {
+                if id < lo {
+                    Some(id)
+                } else if id < hi {
+                    None
+                } else {
+                    Some(id - removed)
+                }
+            };
+            c.objects.drain(i..j);
+            if c.objects.is_empty() {
+                return None;
+            }
+            // Ids past the dataset (implicit insert ids) shift by the
+            // same amount, so the single remap covers both.
+            c.missing = c
+                .missing
+                .iter()
+                .map(|&id| remap(id))
+                .collect::<Option<Vec<_>>>()?;
+            for m in &mut c.mutations {
+                match m {
+                    CaseMutation::Insert { .. } => {}
+                    CaseMutation::Remove { id } | CaseMutation::Update { id, .. } => {
+                        *id = remap(*id)?;
+                    }
+                }
+            }
+            if !script_is_well_formed(c.objects.len(), &c.mutations) {
+                return None;
+            }
+        }
+        Operator::Mutations => {
+            c.mutations.drain(i..j);
+            if !script_is_well_formed(c.objects.len(), &c.mutations) {
+                return None;
+            }
+            if c.mutations.is_empty() {
+                c.fault = None;
+            }
+        }
+        Operator::Keywords => {
+            if c.query.keywords.len() - (j - i) == 0 {
+                return None;
+            }
+            c.query.keywords.drain(i..j);
+        }
+        Operator::Missing => {
+            if c.missing.len() - (j - i) == 0 {
+                return None;
+            }
+            c.missing.drain(i..j);
+        }
+        Operator::Fault => {
+            let fault = c.fault.as_mut()?;
+            fault.scripted.drain(i..j);
+            if fault.scripted.is_empty() {
+                c.fault = None;
+            }
+        }
+    }
+    Some(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::{CaseObject, CaseQuery};
+
+    /// Object removal must remap every id reference or refuse.
+    #[test]
+    fn object_removal_remaps_ids() {
+        let case = FuzzCase {
+            seed: 1,
+            check: None,
+            injected_bug: None,
+            objects: (0..6)
+                .map(|i| CaseObject {
+                    x: 0.1 * i as f64,
+                    y: 0.5,
+                    doc: vec![i],
+                })
+                .collect(),
+            query: CaseQuery {
+                x: 0.5,
+                y: 0.5,
+                keywords: vec![0, 1],
+                k: 1,
+                alpha: 0.5,
+            },
+            missing: vec![4],
+            lambda: 0.5,
+            mutations: vec![
+                CaseMutation::Remove { id: 5 },
+                CaseMutation::Update {
+                    id: 3,
+                    doc: vec![9],
+                },
+            ],
+            fault: None,
+        };
+        // Removing objects [1, 3) shifts ids 3→1 slots down.
+        let shrunk = remove_range(&case, Operator::Objects, 1, 3).unwrap();
+        assert_eq!(shrunk.objects.len(), 4);
+        assert_eq!(shrunk.missing, vec![2]);
+        assert_eq!(
+            shrunk.mutations,
+            vec![
+                CaseMutation::Remove { id: 3 },
+                CaseMutation::Update {
+                    id: 1,
+                    doc: vec![9]
+                },
+            ]
+        );
+        // Removing the missing object itself is refused.
+        assert!(remove_range(&case, Operator::Objects, 4, 5).is_none());
+    }
+
+    #[test]
+    fn mutation_removal_never_dangles() {
+        let case = FuzzCase {
+            seed: 1,
+            check: None,
+            injected_bug: None,
+            objects: vec![CaseObject {
+                x: 0.5,
+                y: 0.5,
+                doc: vec![0],
+            }],
+            query: CaseQuery {
+                x: 0.5,
+                y: 0.5,
+                keywords: vec![0],
+                k: 1,
+                alpha: 0.5,
+            },
+            missing: vec![0],
+            lambda: 0.5,
+            mutations: vec![
+                CaseMutation::Insert {
+                    x: 0.2,
+                    y: 0.2,
+                    doc: vec![1],
+                },
+                CaseMutation::Remove { id: 1 },
+            ],
+            fault: None,
+        };
+        // Dropping only the insert would leave `Remove { id: 1 }`
+        // dangling — the reduction is refused.
+        assert!(remove_range(&case, Operator::Mutations, 0, 1).is_none());
+        // Dropping both is fine.
+        assert!(remove_range(&case, Operator::Mutations, 0, 2).is_some());
+    }
+}

@@ -1,0 +1,117 @@
+//! Properties of the shrinker and the fuzz driver.
+//!
+//! The load-bearing one: a shrunk case must still fail the *same*
+//! cross-check it was minimized against — a shrinker that "fixes" the
+//! case while shrinking it would quietly commit useless corpus files.
+
+use wnsk_fuzz::{
+    case_seed, generate_case, run_case, run_fuzz, shrink, FuzzCase, FuzzConfig, HarnessOptions,
+    InjectedBug, ShrinkOptions, Verdict,
+};
+use wnsk_obs::Registry;
+
+#[test]
+fn shrunk_cases_still_fail_the_same_check() {
+    let opts = HarnessOptions {
+        inject: Some(InjectedBug::Rank),
+    };
+    let shrink_opts = ShrinkOptions { max_steps: 300 };
+    let mut minimized = 0;
+    for index in 0..8u64 {
+        if minimized >= 2 {
+            break;
+        }
+        let case = generate_case(case_seed(1, index));
+        let Verdict::Fail(failure) = run_case(&case, &opts).verdict else {
+            continue;
+        };
+        minimized += 1;
+        let shrunk = shrink(&case, &opts, &shrink_opts);
+
+        // The minimized case records the check and fails it, still.
+        assert_eq!(shrunk.case.check.as_deref(), Some(failure.check.as_str()));
+        assert_eq!(
+            run_case(&shrunk.case, &opts).verdict.failed_check(),
+            Some(failure.check.as_str()),
+            "shrunk case no longer fails the check it was minimized against"
+        );
+
+        // Shrinking only ever removes.
+        assert!(shrunk.case.objects.len() <= case.objects.len());
+        assert!(shrunk.case.mutations.len() <= case.mutations.len());
+        assert!(shrunk.case.query.keywords.len() <= case.query.keywords.len());
+        assert!(shrunk.case.missing.len() <= case.missing.len());
+
+        // The reproducer survives serialization: the emitted bytes
+        // parse back into a case that fails identically.
+        let reparsed = FuzzCase::parse(&shrunk.case.render()).unwrap();
+        assert_eq!(
+            run_case(&reparsed, &opts).verdict.failed_check(),
+            Some(failure.check.as_str()),
+            "round-tripped reproducer stopped failing"
+        );
+
+        // And without the injection it is clean — the failure really is
+        // the injected bug, not collateral damage from shrinking.
+        assert!(matches!(
+            run_case(&shrunk.case, &HarnessOptions::default()).verdict,
+            Verdict::Pass
+        ));
+    }
+    assert!(
+        minimized >= 2,
+        "run seed 1 no longer produces 2 early injected-bug failures — repin the seed"
+    );
+}
+
+/// Same seed, same config → same verdicts, case for case. This is the
+/// contract the CI fuzz-smoke job and `--seed` reproduction rely on.
+#[test]
+fn fuzz_runs_are_deterministic() {
+    let registry = Registry::new();
+    let config = FuzzConfig {
+        seed: 99,
+        cases: 4,
+        inject: None,
+        emit_dir: None,
+        shrink_limit: 100,
+    };
+    let a = run_fuzz(&config, &registry).unwrap();
+    let b = run_fuzz(&config, &registry).unwrap();
+    assert_eq!(a.cases, b.cases);
+    assert_eq!(a.failures, b.failures);
+    assert_eq!(a.checks, b.checks);
+    for (oa, ob) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_eq!(oa.seed, ob.seed);
+        assert_eq!(
+            format!("{:?}", oa.verdict),
+            format!("{:?}", ob.verdict),
+            "verdict for case {} drifted between identical runs",
+            oa.index
+        );
+    }
+}
+
+/// The driver's counters line up with its outcomes, and metrics land
+/// under the `fuzz.*` names.
+#[test]
+fn run_fuzz_meters_its_work() {
+    let registry = Registry::new();
+    let before = registry.snapshot();
+    let config = FuzzConfig {
+        seed: 7,
+        cases: 3,
+        inject: None,
+        emit_dir: None,
+        shrink_limit: 50,
+    };
+    let report = run_fuzz(&config, &registry).unwrap();
+    let delta = registry.snapshot().since(&before);
+    assert_eq!(delta.counter(wnsk_obs::names::FUZZ_CASES), 3);
+    assert_eq!(delta.counter(wnsk_obs::names::FUZZ_CHECKS), report.checks);
+    assert_eq!(
+        delta.counter(wnsk_obs::names::FUZZ_FAILURES),
+        report.failures
+    );
+    assert_eq!(report.outcomes.len(), 3);
+}

@@ -155,6 +155,18 @@ pub mod names {
     /// Mutations applied to the engine (live ingest and WAL replay both
     /// count; this equals the dataset epoch).
     pub const INGEST_APPLIED: &str = "ingest.applied";
+    /// Fuzz cases generated and executed by the differential harness.
+    pub const FUZZ_CASES: &str = "fuzz.cases";
+    /// Individual oracle cross-checks evaluated (one per matrix
+    /// configuration per case, plus the recovery-phase comparisons).
+    pub const FUZZ_CHECKS: &str = "fuzz.checks";
+    /// Cases whose outcome diverged from the sequential oracle.
+    pub const FUZZ_FAILURES: &str = "fuzz.failures";
+    /// Candidate reductions the delta-debugging shrinker attempted
+    /// (accepted or rejected) while minimising failing cases.
+    pub const FUZZ_SHRINK_STEPS: &str = "fuzz.shrink_steps";
+    /// Committed regression cases re-executed by corpus replay.
+    pub const FUZZ_CORPUS_REPLAYED: &str = "fuzz.corpus_replayed";
 
     /// Every canonical name, for the docs/METRICS.md lint: the test in
     /// `tests/metrics_names.rs` fails when this list and the reference
@@ -201,5 +213,10 @@ pub mod names {
         WAL_RECOVERED_RECORDS,
         WAL_TRUNCATED_BYTES,
         INGEST_APPLIED,
+        FUZZ_CASES,
+        FUZZ_CHECKS,
+        FUZZ_FAILURES,
+        FUZZ_SHRINK_STEPS,
+        FUZZ_CORPUS_REPLAYED,
     ];
 }

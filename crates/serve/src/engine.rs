@@ -21,7 +21,7 @@ use crate::cache::{canonical_point, AnswerCache, RankList};
 use crate::protocol::{self, WireKeyword, WireRequest};
 use std::sync::{Arc, RwLock};
 use std::time::Duration;
-use wnsk_core::{KcrOptions, Mutation, QueryBudget, WhyNotEngine, WhyNotQuestion};
+use wnsk_core::{KcrOptions, Mutation, QueryBudget, WhyNotAnswer, WhyNotEngine, WhyNotQuestion};
 use wnsk_index::{ObjectId, SpatialKeywordQuery};
 use wnsk_obs::{names, Counter, Hist, Registry};
 use wnsk_text::KeywordSet;
@@ -261,27 +261,54 @@ impl ServeEngine {
                     }
                 }
                 answer.stats.record_into(&self.registry);
-                let keywords: Vec<String> = answer
-                    .refined
-                    .doc
-                    .iter()
-                    .map(|t| match engine.vocabulary().and_then(|v| v.name(t)) {
-                        Some(name) => name.to_string(),
-                        None => format!("t{}", t.0),
-                    })
-                    .collect();
-                protocol::render_whynot(
-                    &keywords,
-                    answer.refined.k,
-                    answer.refined.rank,
-                    answer.refined.edit_distance,
-                    answer.refined.penalty,
-                    &answer.quality.to_string(),
-                    answer.stats.initial_rank,
-                    hint.is_some(),
-                )
+                render_whynot_answer(&engine, &answer, hint.is_some())
             }
             Err(e) => protocol::render_error(&e.to_string()),
+        }
+    }
+
+    /// Executes a query request with the answer cache bypassed entirely —
+    /// neither consulted nor populated, no rank hint. This is the
+    /// fresh-computation baseline `wnsk serve --replay` holds every
+    /// (possibly cached) response to: after stripping the `cached` /
+    /// `rank_reused` markers the two renderings must be bit-identical.
+    /// Mutations and stats have no uncached variant (`None`).
+    pub fn execute_uncached(&self, request: &ResolvedRequest) -> Option<String> {
+        match request {
+            ResolvedRequest::TopK(query) => {
+                let engine = self.engine.read().unwrap();
+                Some(match engine.top_k(query) {
+                    Ok(results) => render_topk_list(&results, false),
+                    Err(e) => protocol::render_error(&e.to_string()),
+                })
+            }
+            ResolvedRequest::WhyNot {
+                question,
+                max_page_reads,
+            } => {
+                let engine = self.engine.read().unwrap();
+                for m in &question.missing {
+                    if !engine.dataset().is_live(*m) {
+                        return Some(protocol::render_error(&format!(
+                            "object id {} has been deleted",
+                            m.0
+                        )));
+                    }
+                }
+                let mut budget = QueryBudget::unlimited();
+                if let Some(max) = max_page_reads {
+                    budget = budget.with_max_page_reads(*max);
+                }
+                let opts = KcrOptions {
+                    budget,
+                    ..KcrOptions::default()
+                };
+                Some(match engine.answer_kcr(question, opts) {
+                    Ok(answer) => render_whynot_answer(&engine, &answer, false),
+                    Err(e) => protocol::render_error(&e.to_string()),
+                })
+            }
+            ResolvedRequest::Ingest(_) | ResolvedRequest::Stats => None,
         }
     }
 
@@ -347,6 +374,28 @@ fn resolve_query(
         query.k,
         query.alpha,
     ))
+}
+
+fn render_whynot_answer(engine: &WhyNotEngine, answer: &WhyNotAnswer, rank_reused: bool) -> String {
+    let keywords: Vec<String> = answer
+        .refined
+        .doc
+        .iter()
+        .map(|t| match engine.vocabulary().and_then(|v| v.name(t)) {
+            Some(name) => name.to_string(),
+            None => format!("t{}", t.0),
+        })
+        .collect();
+    protocol::render_whynot(
+        &keywords,
+        answer.refined.k,
+        answer.refined.rank,
+        answer.refined.edit_distance,
+        answer.refined.penalty,
+        &answer.quality.to_string(),
+        answer.stats.initial_rank,
+        rank_reused,
+    )
 }
 
 fn render_topk_list(list: &[(ObjectId, f64)], cached: bool) -> String {

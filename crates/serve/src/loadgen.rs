@@ -14,6 +14,7 @@ use crate::client::Client;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use wnsk_data::zipf::Zipf;
 use wnsk_obs::{Hist, HistSnapshot, JsonValue};
@@ -110,6 +111,11 @@ impl LoadgenReport {
     }
 }
 
+/// The session recorder: `(connection index, per-connection send
+/// sequence, request line)` per request actually sent — sortable into
+/// the stable order [`run_session`] returns.
+type SessionRecorder = Mutex<Vec<(usize, u32, String)>>;
+
 /// `(ok, shed, degraded)` for one response line.
 fn classify(response: &str) -> (bool, bool, bool) {
     match JsonValue::parse(response) {
@@ -128,6 +134,30 @@ fn classify(response: &str) -> (bool, bool, bool) {
 
 /// Runs the closed loop: `pool` is the prepared request-line mix.
 pub fn run(config: &LoadgenConfig, pool: &[String]) -> std::io::Result<LoadgenReport> {
+    run_inner(config, pool, None)
+}
+
+/// Like [`run`], but also records every request line actually sent, in
+/// a stable order (by connection, then by that connection's send
+/// sequence). The recorded session is what `wnsk serve --replay` checks
+/// the cache against: the exact zipfian mix a real run produced, not
+/// the prepared pool it was drawn from.
+pub fn run_session(
+    config: &LoadgenConfig,
+    pool: &[String],
+) -> std::io::Result<(LoadgenReport, Vec<String>)> {
+    let recorder = SessionRecorder::new(Vec::new());
+    let report = run_inner(config, pool, Some(&recorder))?;
+    let mut sent = recorder.into_inner().expect("recorder poisoned");
+    sent.sort_by_key(|&(conn, seq, _)| (conn, seq));
+    Ok((report, sent.into_iter().map(|(_, _, line)| line).collect()))
+}
+
+fn run_inner(
+    config: &LoadgenConfig,
+    pool: &[String],
+    recorder: Option<&SessionRecorder>,
+) -> std::io::Result<LoadgenReport> {
     assert!(!pool.is_empty(), "loadgen needs a non-empty query pool");
     let connections = config.connections.max(1);
     let zipf = Zipf::new(pool.len(), config.zipf_exponent.max(0.0));
@@ -176,6 +206,13 @@ pub fn run(config: &LoadgenConfig, pool: &[String]) -> std::io::Result<LoadgenRe
                     }
                     local_seq += 1;
                     let line = &pool[zipf.sample(&mut rng)];
+                    if let Some(rec) = recorder {
+                        rec.lock().expect("recorder poisoned").push((
+                            conn_idx,
+                            local_seq,
+                            line.clone(),
+                        ));
+                    }
                     let sent_at = Instant::now();
                     let response = client.call(line)?;
                     hist.record_duration(sent_at.elapsed());
