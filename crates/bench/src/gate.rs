@@ -192,7 +192,26 @@ pub fn run_bench_full(cfg: &XpConfig) -> BenchOutcome {
     // misses) exactly deterministic, and the why-not penalties are the
     // solver's own, so the gate catches both protocol-level and
     // cache-consistency regressions.
-    rows.push(serve_row(cfg));
+    let session = serve_row(cfg);
+    // The same pinned session with the whole observability plane on —
+    // flight recorder, slow-query log at threshold zero (every request
+    // files an entry and competes for the trace slot), rolling windows.
+    // Observation must be free in work terms: the work metrics and the
+    // penalty are asserted bit-identical to the unobserved row right
+    // here, so a violation fails `xp bench` before any baseline diff.
+    // Wall time stays report-only, as everywhere.
+    let observed = observed_row(cfg);
+    assert_eq!(
+        session.work, observed.work,
+        "observability changed the serving work metrics"
+    );
+    assert_eq!(
+        session.penalty.to_bits(),
+        observed.penalty.to_bits(),
+        "observability changed the served penalties"
+    );
+    rows.push(session);
+    rows.push(observed);
 
     // The durable write path under churn: a WAL-attached server
     // interleaving cached queries with inserts and deletes. Sequential
@@ -210,6 +229,29 @@ pub fn run_bench_full(cfg: &XpConfig) -> BenchOutcome {
 
 /// The in-process serving-layer row: `serve/session/t=2`.
 fn serve_row(cfg: &XpConfig) -> BenchRow {
+    serve_session_row(cfg, "serve/session/t=2", None)
+}
+
+/// The observed twin: `serve/observed/t=2` — the identical session with
+/// the flight recorder, slow-query log (threshold zero) and rolling
+/// windows enabled. [`run_bench_full`] asserts its work metrics and
+/// penalty bit-identical to [`serve_row`]'s.
+fn observed_row(cfg: &XpConfig) -> BenchRow {
+    serve_session_row(
+        cfg,
+        "serve/observed/t=2",
+        Some(wnsk_serve::ObservabilityConfig {
+            slow_threshold: std::time::Duration::ZERO,
+            ..wnsk_serve::ObservabilityConfig::default()
+        }),
+    )
+}
+
+fn serve_session_row(
+    cfg: &XpConfig,
+    id: &str,
+    observability: Option<wnsk_serve::ObservabilityConfig>,
+) -> BenchRow {
     use wnsk_index::{ObjectId, SpatialKeywordQuery};
     use wnsk_serve::{client, Client, Server, ServerConfig};
     use wnsk_text::KeywordSet;
@@ -223,6 +265,7 @@ fn serve_row(cfg: &XpConfig) -> BenchRow {
         engine,
         ServerConfig {
             threads: 2,
+            observability,
             ..ServerConfig::default()
         },
     )
@@ -299,7 +342,7 @@ fn serve_row(cfg: &XpConfig) -> BenchRow {
 
     let snap = handle.registry().snapshot();
     let row = BenchRow {
-        id: "serve/session/t=2".into(),
+        id: id.into(),
         threads: 2,
         time_ms,
         penalty: penalties.iter().sum::<f64>() / penalties.len().max(1) as f64,

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use wnsk_geo::Point;
 
 /// Flags that take no value — their presence alone means "on".
-const BOOLEAN_FLAGS: &[&str] = &["metrics"];
+const BOOLEAN_FLAGS: &[&str] = &["metrics", "check"];
 
 /// Flags whose value is optional: bare `--explain` means the default,
 /// and an explicit value must use the `=` form (`--explain=json`) so

@@ -11,7 +11,7 @@ use wnsk_core::{
 };
 use wnsk_data::{io as dataio, DatasetSpec};
 use wnsk_index::{Dataset, KcrTree, ObjectId, SetRTree, SpatialKeywordQuery};
-use wnsk_obs::{QueryReport, Registry, Snapshot, Tracer};
+use wnsk_obs::{JsonValue, QueryReport, Registry, Snapshot, Tracer};
 use wnsk_serve::{LoadgenConfig, Server, ServerConfig};
 use wnsk_storage::{BufferPool, BufferPoolConfig, FileBackend};
 use wnsk_text::{Kernel, KeywordSet, Vocabulary};
@@ -619,15 +619,48 @@ pub fn serve(args: &ParsedArgs) -> Result<String, String> {
     }
     let engine = engine;
     let objects = engine.dataset().live_len();
+    let admin_addr = args.optional("admin-addr").map(String::from);
+    let observability = if admin_addr.is_some() {
+        let mut obs = wnsk_serve::ObservabilityConfig::default();
+        if let Some(ms) = args.optional("slow-threshold-ms") {
+            let ms: u64 = ms
+                .parse()
+                .map_err(|e| format!("--slow-threshold-ms: {e}"))?;
+            obs.slow_threshold = std::time::Duration::from_millis(ms);
+        }
+        if let Some(ms) = args.optional("slo-ms") {
+            let ms: u64 = ms.parse().map_err(|e| format!("--slo-ms: {e}"))?;
+            obs.slo = std::time::Duration::from_millis(ms);
+        }
+        Some(obs)
+    } else {
+        None
+    };
     let config = ServerConfig {
         addr: args.optional("addr").unwrap_or("127.0.0.1:0").to_string(),
         threads: args.parse_or("threads", 2usize)?.max(1),
         queue_depth: args.parse_or("queue-depth", 64usize)?.max(1),
         cache_entries: args.parse_or("cache-entries", 256usize)?.max(1),
         worker_delay: std::time::Duration::from_millis(args.parse_or("worker-delay-ms", 0u64)?),
+        admin_addr,
+        observability,
     };
     let duration_ms: u64 = args.parse_or("duration-ms", 0)?;
     let export_target = args.optional("metrics-export").map(ExportTarget::parse);
+    let export_interval = match args.parse_or("metrics-export-interval-ms", 0u64)? {
+        0 => None,
+        ms => match &export_target {
+            Some(ExportTarget::File(path)) => {
+                Some((std::time::Duration::from_millis(ms), path.clone()))
+            }
+            _ => {
+                return Err(
+                    "--metrics-export-interval-ms needs --metrics-export FILE (not '-')"
+                        .to_string(),
+                )
+            }
+        },
+    };
 
     let handle =
         Server::start(engine, config.clone()).map_err(|e| format!("starting server: {e}"))?;
@@ -635,6 +668,29 @@ pub fn serve(args: &ParsedArgs) -> Result<String, String> {
     if let Some(path) = args.optional("addr-file") {
         std::fs::write(path, addr.to_string()).map_err(|e| format!("cannot write {path}: {e}"))?;
     }
+    if let Some(path) = args.optional("admin-addr-file") {
+        let admin = handle
+            .admin_addr()
+            .ok_or("--admin-addr-file needs --admin-addr")?;
+        std::fs::write(path, admin.to_string()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    // The periodic exporter republishes the live registry as Prometheus
+    // text on a fixed cadence, via write-tmp-then-rename so scrapers
+    // never see a torn file. The channel doubles as the stop signal:
+    // dropping the sender disconnects the receiver and ends the loop.
+    let exporter = export_interval.map(|(interval, path)| {
+        let registry = handle.registry().clone();
+        let (stop, ticks) = std::sync::mpsc::channel::<()>();
+        let thread = std::thread::spawn(move || loop {
+            match ticks.recv_timeout(interval) {
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                    let _ = export::export_atomic(&registry.snapshot(), &path);
+                }
+                _ => return,
+            }
+        });
+        (stop, thread)
+    });
     // The banner goes to stderr so scripted clients can treat stdout as
     // the run summary.
     if !recovery_banner.is_empty() {
@@ -644,12 +700,19 @@ pub fn serve(args: &ParsedArgs) -> Result<String, String> {
         "wnsk-serve listening on {addr} ({objects} objects, {} threads, queue depth {}, cache {})",
         config.threads, config.queue_depth, config.cache_entries
     );
+    if let Some(admin) = handle.admin_addr() {
+        eprintln!("wnsk-serve admin endpoint on {admin} (/metrics /healthz /slow /flight)");
+    }
     if duration_ms == 0 {
         loop {
             std::thread::sleep(std::time::Duration::from_secs(3600));
         }
     }
     std::thread::sleep(std::time::Duration::from_millis(duration_ms));
+    if let Some((stop, thread)) = exporter {
+        drop(stop);
+        let _ = thread.join();
+    }
 
     let snapshot = handle.registry().snapshot();
     let counter = |name| snapshot.counter(name);
@@ -665,6 +728,207 @@ pub fn serve(args: &ParsedArgs) -> Result<String, String> {
     }
     handle.shutdown();
     Ok(out)
+}
+
+/// Counter families every healthy `/metrics` scrape must expose (plain
+/// counters appear under their sanitized name directly).
+const REQUIRED_COUNTER_FAMILIES: &[&str] = &[
+    "wnsk_serve_accepted",
+    "wnsk_serve_shed",
+    "wnsk_serve_cache_hits",
+    "wnsk_serve_cache_misses",
+    "wnsk_serve_window_ticks",
+    "wnsk_serve_slo_violations",
+    "wnsk_obs_recorder_recorded",
+];
+
+/// Histogram families every healthy scrape must expose (checked via
+/// their `_count` series).
+const REQUIRED_HIST_FAMILIES: &[&str] = &[
+    "wnsk_serve_request_ns",
+    "wnsk_serve_queue_depth",
+    "wnsk_serve_window_request_ns",
+];
+
+/// `wnsk top` — poll a serving admin endpoint and render a live
+/// terminal dashboard, or (with `--check`) validate one `/metrics` +
+/// `/healthz` scrape for CI.
+pub fn top(args: &ParsedArgs) -> Result<String, String> {
+    let admin = args.required("admin")?;
+    if args.flag("check") {
+        return scrape_check(admin, args.optional("metrics-out"));
+    }
+    let interval = std::time::Duration::from_millis(args.parse_or("interval-ms", 1000u64)?);
+    let iterations: u64 = args.parse_or("iterations", 0u64)?;
+    let mut shown = 0u64;
+    loop {
+        let healthz = admin_json(admin, "/healthz")?;
+        let slow = admin_json(admin, "/slow")?;
+        let frame = render_top(admin, &healthz, &slow);
+        shown += 1;
+        if iterations != 0 && shown >= iterations {
+            // The final frame is the command output — this is also the
+            // one-shot mode (`--iterations 1`) tests and scripts use.
+            return Ok(frame);
+        }
+        // Live mode: repaint in place (clear screen, home cursor).
+        print!("\x1b[2J\x1b[H{frame}");
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        std::thread::sleep(interval);
+    }
+}
+
+/// One `--check` scrape: `/metrics` must parse as Prometheus text and
+/// carry every required family; `/healthz` must parse and report ok.
+/// `--metrics-out` saves the raw exposition (the CI artifact).
+fn scrape_check(admin: &str, metrics_out: Option<&str>) -> Result<String, String> {
+    let (status, text) = wnsk_serve::http_get(admin, "/metrics")
+        .map_err(|e| format!("GET /metrics from {admin}: {e}"))?;
+    if status != 200 {
+        return Err(format!("GET /metrics: HTTP {status}"));
+    }
+    let samples = wnsk_obs::parse_prometheus_text(&text)
+        .map_err(|e| format!("/metrics is not valid Prometheus text: {e}"))?;
+    let mut missing: Vec<String> = REQUIRED_COUNTER_FAMILIES
+        .iter()
+        .filter(|name| !samples.contains_key(**name))
+        .map(|name| name.to_string())
+        .collect();
+    missing.extend(
+        REQUIRED_HIST_FAMILIES
+            .iter()
+            .filter(|base| !samples.contains_key(&format!("{base}_count")))
+            .map(|base| base.to_string()),
+    );
+    if !missing.is_empty() {
+        return Err(format!(
+            "/metrics is missing required families: {}",
+            missing.join(", ")
+        ));
+    }
+    let healthz = admin_json(admin, "/healthz")?;
+    if healthz.get("ok") != Some(&JsonValue::Bool(true)) {
+        return Err(format!("/healthz does not report ok: {}", healthz.render()));
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(format!(
+        "scrape OK: {} samples, {} required families present, healthz ok\n",
+        samples.len(),
+        REQUIRED_COUNTER_FAMILIES.len() + REQUIRED_HIST_FAMILIES.len(),
+    ))
+}
+
+/// GETs an admin route and parses the JSON body.
+fn admin_json(admin: &str, path: &str) -> Result<JsonValue, String> {
+    let (status, body) =
+        wnsk_serve::http_get(admin, path).map_err(|e| format!("GET {path} from {admin}: {e}"))?;
+    if status != 200 {
+        return Err(format!("GET {path}: HTTP {status}: {body}"));
+    }
+    JsonValue::parse(&body).map_err(|e| format!("GET {path}: malformed JSON: {e}"))
+}
+
+/// Renders one dashboard frame from the `/healthz` and `/slow`
+/// documents. Pure — unit-tested on synthetic documents.
+fn render_top(admin: &str, healthz: &JsonValue, slow: &JsonValue) -> String {
+    let num = |doc: &JsonValue, key: &str| doc.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0);
+    let accepted = num(healthz, "accepted");
+    let shed = num(healthz, "shed");
+    let hits = num(healthz, "cache_hits");
+    let misses = num(healthz, "cache_misses");
+    let pct = |part: f64, whole: f64| {
+        if whole > 0.0 {
+            100.0 * part / whole
+        } else {
+            0.0
+        }
+    };
+    let mut out = format!("wnsk top — {admin}\n");
+    writeln!(
+        out,
+        "queue {}/{} · epoch {} · wal {} · cache {} entries",
+        num(healthz, "queue_depth"),
+        num(healthz, "queue_capacity"),
+        num(healthz, "epoch"),
+        if healthz.get("wal_attached") == Some(&JsonValue::Bool(true)) {
+            "attached"
+        } else {
+            "none"
+        },
+        num(healthz, "cache_entries"),
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "accepted {accepted} · shed {shed} ({:.1}%) · cache {hits} hits / {misses} misses ({:.1}% hit)",
+        pct(shed, accepted + shed),
+        pct(hits, hits + misses),
+    )
+    .unwrap();
+    if let Some(recorder) = healthz.get("recorder") {
+        writeln!(
+            out,
+            "slo violations {} · slow logged {} · recorder {} recorded / {} slots ({} B)",
+            num(healthz, "slo_violations"),
+            num(healthz, "slow_logged"),
+            num(recorder, "recorded"),
+            num(recorder, "capacity"),
+            num(recorder, "memory_bytes"),
+        )
+        .unwrap();
+    }
+    if let Some(windows) = healthz.get("windows") {
+        writeln!(
+            out,
+            "{:>8} {:>8} {:>8} {:>10} {:>10} {:>6} {:>6}",
+            "window", "count", "qps", "p50", "p99", "shed", "error"
+        )
+        .unwrap();
+        for span in ["1s", "10s", "60s"] {
+            let Some(w) = windows.get(span) else { continue };
+            let seconds: f64 = span.trim_end_matches('s').parse().unwrap_or(1.0);
+            writeln!(
+                out,
+                "{span:>8} {:>8} {:>8.1} {:>10} {:>10} {:>6} {:>6}",
+                num(w, "count"),
+                num(w, "count") / seconds,
+                fmt_ms(num(w, "p50_ns")),
+                fmt_ms(num(w, "p99_ns")),
+                num(w, "shed"),
+                num(w, "error"),
+            )
+            .unwrap();
+        }
+    }
+    let slowest = slow.get("entries").and_then(JsonValue::as_array);
+    if let Some(entries) = slowest.filter(|e| !e.is_empty()) {
+        out.push_str("slowest recent:\n");
+        // Newest entries last in the log; show newest first.
+        for entry in entries.iter().rev().take(5) {
+            writeln!(
+                out,
+                "  {:>9} {} {}{}",
+                fmt_ms(num(entry, "total_ns")),
+                entry.get("kind").and_then(JsonValue::as_str).unwrap_or("?"),
+                entry.get("key").and_then(JsonValue::as_str).unwrap_or(""),
+                if entry.get("trace").is_some() {
+                    " [trace]"
+                } else {
+                    ""
+                },
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// Formats a nanosecond reading as milliseconds for the dashboard.
+fn fmt_ms(ns: f64) -> String {
+    format!("{:.2}ms", ns / 1e6)
 }
 
 /// Drops the cache-provenance markers from a response line so a cached
@@ -1686,6 +1950,245 @@ mod tests {
         assert!(hits > 0, "warm session must hit the cache:\n{summary}");
 
         for f in [&data, &setr, &kcr, &addr_file, &session] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    /// The dashboard renderer on synthetic admin documents: pure, so
+    /// layout and rate arithmetic are pinned without a live server.
+    #[test]
+    fn top_renders_the_dashboard_from_admin_documents() {
+        use wnsk_obs::JsonValue;
+        let healthz = JsonValue::parse(
+            r#"{"ok":true,"queue_depth":2,"queue_capacity":64,"epoch":3,
+                "wal_attached":true,"cache_entries":12,"accepted":95,"shed":5,
+                "cache_hits":60,"cache_misses":40,"slo_violations":1,"slow_logged":2,
+                "recorder":{"capacity":256,"recorded":100,"memory_bytes":40960},
+                "windows":{"1s":{"count":10,"p50_ns":800000,"p99_ns":2100000,
+                "max_ns":3000000,"ok":10,"shed":0,"error":0,"task_p99_ns":0},
+                "10s":{"count":80,"p50_ns":700000,"p99_ns":2500000,"max_ns":4000000,
+                "ok":78,"shed":1,"error":1,"task_p99_ns":0},
+                "60s":{"count":95,"p50_ns":700000,"p99_ns":3000000,"max_ns":4000000,
+                "ok":92,"shed":2,"error":1,"task_p99_ns":0}}}"#,
+        )
+        .unwrap();
+        let slow = JsonValue::parse(
+            r#"{"threshold_ns":100000000,"logged":2,"entries":[
+                {"seq":1,"kind":"topk","key":"0.5,0.25|1+2|k=3|a=0.5","total_ns":120000000},
+                {"seq":2,"kind":"whynot","key":"0.5,0.25|1+2|k=3|a=0.5|m=7|l=0.5",
+                 "total_ns":150000000,"trace":{"spans":[]}}]}"#,
+        )
+        .unwrap();
+        let frame = super::render_top("127.0.0.1:9", &healthz, &slow);
+        assert!(frame.contains("wnsk top — 127.0.0.1:9"), "{frame}");
+        assert!(frame.contains("queue 2/64"), "{frame}");
+        assert!(frame.contains("epoch 3"), "{frame}");
+        assert!(frame.contains("wal attached"), "{frame}");
+        assert!(frame.contains("shed 5 (5.0%)"), "{frame}");
+        assert!(frame.contains("(60.0% hit)"), "{frame}");
+        assert!(frame.contains("slo violations 1"), "{frame}");
+        assert!(
+            frame.contains("recorder 100 recorded / 256 slots"),
+            "{frame}"
+        );
+        // qps = count / span seconds; the 10s row averages 8 qps.
+        let row_10s = frame.lines().find(|l| l.trim().starts_with("10s")).unwrap();
+        assert!(row_10s.contains("8.0"), "{row_10s}");
+        assert!(row_10s.contains("0.70ms"), "{row_10s}");
+        assert!(row_10s.contains("2.50ms"), "{row_10s}");
+        // Newest slow entry first; the traced one carries the marker.
+        let slow_lines: Vec<&str> = frame
+            .lines()
+            .skip_while(|l| !l.starts_with("slowest"))
+            .skip(1)
+            .collect();
+        assert!(slow_lines[0].contains("whynot"), "{frame}");
+        assert!(slow_lines[0].contains("[trace]"), "{frame}");
+        assert!(slow_lines[1].contains("topk"), "{frame}");
+        assert!(!slow_lines[1].contains("[trace]"), "{frame}");
+
+        // Without observability fields the frame degrades gracefully.
+        let bare = JsonValue::parse(
+            r#"{"ok":true,"queue_depth":0,"queue_capacity":64,"epoch":0,
+                "wal_attached":false,"cache_entries":0,"accepted":0,"shed":0,
+                "cache_hits":0,"cache_misses":0}"#,
+        )
+        .unwrap();
+        let empty_slow = JsonValue::parse(r#"{"logged":0,"entries":[]}"#).unwrap();
+        let frame = super::render_top("a:1", &bare, &empty_slow);
+        assert!(frame.contains("shed 0 (0.0%)"), "{frame}");
+        assert!(!frame.contains("slowest"), "{frame}");
+        assert!(!frame.contains("window"), "{frame}");
+    }
+
+    /// End-to-end observability session: `wnsk serve --admin-addr`
+    /// publishes its admin address, `wnsk top` renders a dashboard from
+    /// a live scrape and `top --check` validates `/metrics` + `/healthz`
+    /// (saving the exposition), while the periodic exporter republishes
+    /// the registry file atomically during the run.
+    #[test]
+    fn serve_admin_endpoint_feeds_top_and_periodic_export() {
+        let data = tmp("admin-data.txt");
+        run(&[
+            "generate", "--preset", "tiny", "--scale", "1.0", "--out", &data, "--seed", "7",
+        ])
+        .unwrap();
+        let (_, vocab) = {
+            let file = std::fs::File::open(&data).unwrap();
+            wnsk_data::io::read_dataset(std::io::BufReader::new(file)).unwrap()
+        };
+        let kw = [
+            vocab.name(wnsk_text::TermId(0)).unwrap().to_string(),
+            vocab.name(wnsk_text::TermId(1)).unwrap().to_string(),
+        ];
+        let kw: Vec<&str> = kw.iter().map(String::as_str).collect();
+
+        let addr_file = tmp("admin-addr.txt");
+        let admin_file = tmp("admin-admin.txt");
+        let export_file = tmp("admin-export.prom");
+        for f in [&addr_file, &admin_file, &export_file] {
+            std::fs::remove_file(f).ok();
+        }
+        let server = {
+            let data = data.clone();
+            let addr_file = addr_file.clone();
+            let admin_file = admin_file.clone();
+            let export_file = export_file.clone();
+            std::thread::spawn(move || {
+                run(&[
+                    "serve",
+                    "--data",
+                    &data,
+                    "--duration-ms",
+                    "8000",
+                    "--addr-file",
+                    &addr_file,
+                    "--admin-addr",
+                    "127.0.0.1:0",
+                    "--admin-addr-file",
+                    &admin_file,
+                    "--slow-threshold-ms",
+                    "0",
+                    "--threads",
+                    "2",
+                    "--metrics-export",
+                    &export_file,
+                    "--metrics-export-interval-ms",
+                    "50",
+                ])
+            })
+        };
+        let wait_for = |path: &str| {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+            loop {
+                if let Ok(s) = std::fs::read_to_string(path) {
+                    if !s.is_empty() {
+                        break s;
+                    }
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "server never wrote {path}"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        };
+        let addr = wait_for(&addr_file);
+        let admin = wait_for(&admin_file);
+
+        // Drive some traffic so the windows and the recorder move.
+        let mut client = wnsk_serve::Client::connect(&addr).unwrap();
+        for _ in 0..5 {
+            let resp = client
+                .call_json(&wnsk_serve::client::topk_line((0.5, 0.25), &kw, 3, 0.5))
+                .unwrap();
+            assert_eq!(
+                resp.get("ok"),
+                Some(&wnsk_obs::JsonValue::Bool(true)),
+                "{resp:?}"
+            );
+        }
+
+        // One-shot dashboard from the live endpoint.
+        let frame = run(&["top", "--admin", &admin, "--iterations", "1"]).unwrap();
+        assert!(frame.contains(&format!("wnsk top — {admin}")), "{frame}");
+        assert!(frame.contains("accepted 5"), "{frame}");
+        assert!(frame.contains("60s"), "{frame}");
+        assert!(frame.contains("slowest recent:"), "{frame}");
+
+        // CI scrape check, saving the exposition as the artifact.
+        let scrape_out = tmp("admin-scrape.prom");
+        std::fs::remove_file(&scrape_out).ok();
+        let check = run(&[
+            "top",
+            "--admin",
+            &admin,
+            "--check",
+            "--metrics-out",
+            &scrape_out,
+        ])
+        .unwrap();
+        assert!(check.contains("scrape OK"), "{check}");
+        assert!(check.contains("healthz ok"), "{check}");
+        let saved = std::fs::read_to_string(&scrape_out).unwrap();
+        assert!(saved.contains("wnsk_serve_accepted"), "{saved}");
+        assert!(saved.contains("wnsk_serve_window_ticks"), "{saved}");
+        wnsk_obs::parse_prometheus_text(&saved).unwrap();
+
+        // The periodic exporter republishes the file during the run —
+        // well before the end-of-run export — and atomically (the .tmp
+        // sibling never survives a cycle).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let exported = loop {
+            if let Ok(s) = std::fs::read_to_string(&export_file) {
+                if s.contains("wnsk_serve_accepted") {
+                    break s;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "periodic export never appeared"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+        wnsk_obs::parse_prometheus_text(&exported).unwrap();
+
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("accepted"), "{summary}");
+        assert!(summary.contains("exported metrics to"), "{summary}");
+        assert!(
+            !std::path::Path::new(&format!("{export_file}.tmp")).exists(),
+            "exporter left a torn tmp file"
+        );
+
+        // Flag validation: the interval needs a file target, the admin
+        // address file needs an admin listener, and top needs --admin.
+        let err = run(&[
+            "serve",
+            "--data",
+            &data,
+            "--metrics-export",
+            "-",
+            "--metrics-export-interval-ms",
+            "50",
+        ])
+        .unwrap_err();
+        assert!(err.contains("needs --metrics-export FILE"), "{err}");
+        let err = run(&[
+            "serve",
+            "--data",
+            &data,
+            "--admin-addr-file",
+            &admin_file,
+            "--duration-ms",
+            "1",
+        ])
+        .unwrap_err();
+        assert!(err.contains("needs --admin-addr"), "{err}");
+        let err = run(&["top"]).unwrap_err();
+        assert!(err.contains("missing required --admin"), "{err}");
+
+        for f in [&data, &addr_file, &admin_file, &export_file, &scrape_out] {
             std::fs::remove_file(f).ok();
         }
     }

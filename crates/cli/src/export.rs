@@ -69,6 +69,24 @@ pub fn export(snapshot: &Snapshot, target: &ExportTarget) -> Result<String, Expo
     }
 }
 
+/// Writes `snapshot` as Prometheus text to `path` atomically: the text
+/// lands in a `<path>.tmp` sibling first and is renamed into place, so
+/// a scraper reading the file concurrently sees either the previous
+/// complete exposition or the new one — never a torn write. This is the
+/// write path of the periodic `--metrics-export-interval-ms` exporter.
+pub fn export_atomic(snapshot: &Snapshot, path: &std::path::Path) -> Result<(), ExportError> {
+    let text = wnsk_obs::prometheus_text(snapshot);
+    let err = |source| ExportError {
+        path: path.to_path_buf(),
+        source,
+    };
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, &text).map_err(err)?;
+    std::fs::rename(&tmp, path).map_err(err)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +119,25 @@ mod tests {
         assert!(note.contains("exported metrics to"), "{note}");
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(body.contains("wnsk_setr_node_visits 1"), "{body}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn atomic_export_replaces_the_file_and_leaves_no_tmp() {
+        let path = std::env::temp_dir().join(format!("wnsk-atomic-{}.prom", std::process::id()));
+        let r = Registry::new();
+        r.counter("serve.accepted").add(2);
+        export_atomic(&r.snapshot(), &path).unwrap();
+        assert!(std::fs::read_to_string(&path)
+            .unwrap()
+            .contains("wnsk_serve_accepted 2"));
+        r.counter("serve.accepted").add(3);
+        export_atomic(&r.snapshot(), &path).unwrap();
+        assert!(std::fs::read_to_string(&path)
+            .unwrap()
+            .contains("wnsk_serve_accepted 5"));
+        let tmp = format!("{}.tmp", path.display());
+        assert!(!std::path::Path::new(&tmp).exists(), "tmp file left behind");
         std::fs::remove_file(&path).ok();
     }
 

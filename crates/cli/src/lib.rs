@@ -20,7 +20,11 @@
 //! wnsk serve    --data data.txt [--wal wal.db] [--addr HOST:PORT]
 //!               [--threads N] [--queue-depth N] [--cache-entries N]
 //!               [--duration-ms N] [--worker-delay-ms N] [--addr-file PATH]
-//!               [--metrics-export PATH|-]
+//!               [--admin-addr HOST:PORT] [--admin-addr-file PATH]
+//!               [--slow-threshold-ms N] [--slo-ms N]
+//!               [--metrics-export PATH|-] [--metrics-export-interval-ms N]
+//! wnsk top      --admin HOST:PORT [--interval-ms N] [--iterations N]
+//!               [--check] [--metrics-out PATH]
 //! wnsk loadgen  --addr HOST:PORT --data data.txt [--connections N]
 //!               [--requests N] [--qps Q] [--zipf S] [--pool N]
 //!               [--k N] [--alpha A] [--seed N] [--record PATH]
@@ -37,6 +41,20 @@
 //! exact request lines a run sent, in a stable order; `serve --replay`
 //! re-executes such a session in-process and verifies every response
 //! is bit-identical to a cache-bypassing recomputation.
+//!
+//! `serve --admin-addr` additionally starts the HTTP admin endpoint of
+//! [`wnsk_serve::admin`] (`/metrics`, `/healthz`, `/slow`, `/flight`)
+//! and enables the observability plane: flight recorder, slow-query
+//! log (threshold `--slow-threshold-ms`), rolling 1s/10s/60s latency
+//! windows and the `--slo-ms` burn counter. `top` is its terminal
+//! client — a polling dashboard (qps, percentiles, queue depth, cache
+//! hit rate, shed rate, slowest recent queries), or with `--check` a
+//! one-shot CI scrape validator that fails on unparseable Prometheus
+//! text, missing required metric families, or an unhealthy `/healthz`
+//! (`--metrics-out` saves the raw scrape as an artifact).
+//! `--metrics-export-interval-ms` republishes the live registry to the
+//! `--metrics-export` file on that cadence via write-tmp-then-rename,
+//! so file-based scrapers never observe a torn exposition.
 //!
 //! `fuzz` is the differential fuzzing harness of [`wnsk_fuzz`]: seeded
 //! random cases run through the full solver × thread × kernel × opt
@@ -97,7 +115,11 @@ commands:
   serve     --data FILE [--wal FILE] [--addr HOST:PORT] [--threads N]
             [--queue-depth N] [--cache-entries N] [--duration-ms N]
             [--worker-delay-ms N] [--addr-file PATH] [--metrics-export PATH|-]
-            [--replay SESSION]
+            [--metrics-export-interval-ms N] [--replay SESSION]
+            [--admin-addr HOST:PORT] [--admin-addr-file PATH]
+            [--slow-threshold-ms N] [--slo-ms N]
+  top       --admin HOST:PORT [--interval-ms N] [--iterations N]
+            [--check] [--metrics-out PATH]
   loadgen   --addr HOST:PORT --data FILE [--connections N] [--requests N]
             [--qps Q] [--zipf S] [--pool N] [--k N] [--alpha A] [--seed N]
             [--record PATH]
@@ -126,6 +148,10 @@ logs the insert/delete requests it serves.
 loadgen --record writes the session's request lines; serve --replay
 re-executes such a session in-process and fails unless every response is
 bit-identical to a cache-bypassing recomputation.
+serve --admin-addr starts the HTTP admin endpoint (/metrics /healthz
+/slow /flight) and enables the flight recorder, slow-query log and
+rolling SLO windows; top polls it as a live dashboard, and top --check
+validates one scrape for CI (--metrics-out saves the raw text).
 fuzz cross-checks the full solver matrix against the sequential BS
 oracle on seeded random cases, shrinks divergences and (with --emit-dir)
 writes them as regression files; corpus replays such a directory
@@ -146,6 +172,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "whynot" => commands::whynot(&parsed),
         "ingest" => commands::ingest(&parsed),
         "serve" => commands::serve(&parsed),
+        "top" => commands::top(&parsed),
         "loadgen" => commands::loadgen(&parsed),
         "fuzz" => commands::fuzz(&parsed),
         "corpus" => commands::corpus(&parsed),

@@ -110,6 +110,17 @@ impl WhyNotEngine {
         &self.registry
     }
 
+    /// Installs one tracer on both trees, so every solver run against
+    /// this engine records its spans there. Tracing is observation-only
+    /// (answers and work metrics are bit-identical with it on or off);
+    /// pass a disabled tracer and flip [`wnsk_obs::Tracer::set_enabled`]
+    /// to sample individual queries — the serving layer's slow-query
+    /// log does exactly that.
+    pub fn set_tracer(&mut self, tracer: wnsk_obs::Tracer) {
+        self.setr.set_tracer(tracer.clone());
+        self.kcr.set_tracer(tracer);
+    }
+
     /// The current dataset epoch: 0 at build, +1 per applied mutation
     /// (live or replayed). Anything derived from the dataset — cached
     /// answers, initial-rank hints — is valid only for the epoch it was

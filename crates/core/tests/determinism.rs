@@ -200,6 +200,129 @@ fn kernels_agree_bit_for_bit_across_thread_counts() {
     assert!(covered >= 3, "only {covered} seeds produced a workload");
 }
 
+/// The serving layer's observability contract at the solver level:
+/// running with the whole observation plane enabled — tree tracer on,
+/// stats folded into a metrics registry, task-latency snapshots merged
+/// into a rolling window — must leave the refined query bit-identical
+/// in every solver × thread × kernel cell, and for serial runs every
+/// deterministic work metric identical too (parallel work counters are
+/// steal-schedule noisy by design, so only t=1 pins them exactly).
+#[test]
+fn observation_leaves_answers_and_work_metrics_bit_identical() {
+    use std::time::Duration;
+    use wnsk_core::AlgoStats;
+    use wnsk_obs::{Registry, RollingWindow, Tracer};
+
+    // The deterministic work-metric tuple: everything in AlgoStats that
+    // does not depend on wall clock or steal schedule at t=1.
+    fn work(s: &AlgoStats) -> (u64, u64, u64, u64, u64, u64, u64, u64) {
+        (
+            s.io,
+            s.candidates_total,
+            s.pruned_by_filter,
+            s.pruned_by_bound,
+            s.queries_run,
+            s.nodes_expanded,
+            s.degraded,
+            s.initial_rank,
+        )
+    }
+
+    let vocab = 40;
+    let mut covered = 0;
+    for seed in 0..4u64 {
+        let ds = random_dataset(400, vocab, 8000 + seed);
+        let Some(question) = make_question(&ds, vocab, 9000 + seed) else {
+            continue;
+        };
+        covered += 1;
+
+        let kcr_plain = KcrTree::build(pool(), &ds, 8).unwrap();
+        let setr_plain = SetRTree::build(pool(), &ds, 8).unwrap();
+        let mut kcr_obs = KcrTree::build(pool(), &ds, 8).unwrap();
+        let mut setr_obs = SetRTree::build(pool(), &ds, 8).unwrap();
+        let registry = Registry::new();
+        kcr_obs.register_metrics(&registry, "kcr.");
+        setr_obs.register_metrics(&registry, "setr.");
+        let tracer = Tracer::new();
+        kcr_obs.set_tracer(tracer.clone());
+        setr_obs.set_tracer(tracer.clone());
+        // An hour-long tick so the window state is wall-clock stable.
+        let window = RollingWindow::new(Duration::from_secs(3600), 60);
+
+        for kernel in Kernel::ALL {
+            for threads in [1, 2, 4] {
+                let opts = KcrOptions {
+                    threads,
+                    kernel,
+                    batch_size: 16,
+                    ..KcrOptions::default()
+                };
+                let base = answer_kcr(&ds, &kcr_plain, &question, opts).unwrap();
+                let ans = answer_kcr(&ds, &kcr_obs, &question, opts).unwrap();
+                let report = tracer.drain();
+                assert!(
+                    !report.is_empty(),
+                    "KcRBased[{kernel}] t={threads}: the observed run must trace"
+                );
+                ans.stats.record_into(&registry);
+                window.merge_snapshot(&ans.stats.task_latency);
+                assert_identical(
+                    &base.refined,
+                    &ans.refined,
+                    &format!("KcRBased[{kernel}]+obs"),
+                    threads,
+                );
+                if threads == 1 {
+                    assert_eq!(
+                        work(&base.stats),
+                        work(&ans.stats),
+                        "KcRBased[{kernel}] t=1: observation moved a work metric"
+                    );
+                }
+
+                let opts = AdvancedOptions {
+                    threads,
+                    kernel,
+                    ..AdvancedOptions::default()
+                };
+                let base = answer_advanced(&ds, &setr_plain, &question, opts).unwrap();
+                let ans = answer_advanced(&ds, &setr_obs, &question, opts).unwrap();
+                let report = tracer.drain();
+                assert!(
+                    !report.is_empty(),
+                    "AdvancedBS[{kernel}] t={threads}: the observed run must trace"
+                );
+                ans.stats.record_into(&registry);
+                window.merge_snapshot(&ans.stats.task_latency);
+                assert_identical(
+                    &base.refined,
+                    &ans.refined,
+                    &format!("AdvancedBS[{kernel}]+obs"),
+                    threads,
+                );
+                if threads == 1 {
+                    assert_eq!(
+                        work(&base.stats),
+                        work(&ans.stats),
+                        "AdvancedBS[{kernel}] t=1: observation moved a work metric"
+                    );
+                }
+            }
+        }
+        // The observation plane really observed something.
+        assert!(
+            registry.snapshot().counter("core.candidates") > 0,
+            "the registry fold must record solver work"
+        );
+        assert!(
+            window.cumulative().count > 0,
+            "the rolling window must absorb task latencies"
+        );
+    }
+    assert!(covered >= 2, "only {covered} seeds produced a workload");
+}
+
 #[test]
 fn parallel_runs_agree_with_every_opt_combination() {
     // Opt1/Opt3 interact with the parallel paths (live limits, counting

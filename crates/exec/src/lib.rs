@@ -30,9 +30,10 @@ use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 use wnsk_obs::trace::worker_scope;
-use wnsk_obs::{names, Hist, TracePayload, Tracer};
+use wnsk_obs::{names, Hist, RollingWindow, TracePayload, Tracer};
 
 /// The shared best-penalty bound `p_c`, maintained as a CAS-min over the
 /// `f64` bit pattern so readers and writers never lock.
@@ -108,6 +109,7 @@ pub struct ExecMetrics {
     workers: Vec<WorkerCounters>,
     tracer: Tracer,
     task_hist: Option<Hist>,
+    task_window: Option<Arc<RollingWindow>>,
 }
 
 impl ExecMetrics {
@@ -120,6 +122,7 @@ impl ExecMetrics {
                 .collect(),
             tracer: Tracer::off(),
             task_hist: None,
+            task_window: None,
         }
     }
 
@@ -140,6 +143,15 @@ impl ExecMetrics {
     /// recorded into it (the registry's `exec.task_ns`).
     pub fn set_task_hist(&mut self, hist: Hist) {
         self.task_hist = Some(hist);
+    }
+
+    /// Attaches a rolling window; every task's `step` duration is also
+    /// recorded there, so a live server's `/healthz` can report the
+    /// recent-past task-latency percentiles next to the cumulative
+    /// `exec.task_ns`. Observation-only, like the histogram: wall-clock
+    /// samples never feed back into scheduling or results.
+    pub fn set_task_window(&mut self, window: Arc<RollingWindow>) {
+        self.task_window = Some(window);
     }
 
     /// Number of workers tracked.
@@ -166,6 +178,21 @@ impl ExecMetrics {
 
     fn counters(&self, i: usize) -> &WorkerCounters {
         &self.workers[i]
+    }
+
+    /// True when any per-task timing sink is attached.
+    fn timing_wanted(&self) -> bool {
+        self.task_hist.is_some() || self.task_window.is_some()
+    }
+
+    /// Records one task duration into every attached sink.
+    fn record_task(&self, elapsed: std::time::Duration) {
+        if let Some(h) = self.task_hist.as_ref() {
+            h.record_duration(elapsed);
+        }
+        if let Some(w) = self.task_window.as_ref() {
+            w.record_duration(elapsed);
+        }
     }
 }
 
@@ -342,10 +369,10 @@ impl Executor {
                     break;
                 };
                 ctx.handle.counters.tasks.fetch_add(1, Ordering::Relaxed);
-                let started = metrics.task_hist.as_ref().map(|_| Instant::now());
+                let started = metrics.timing_wanted().then(Instant::now);
                 let result = step(&mut state, task, &ctx);
-                if let (Some(h), Some(t0)) = (metrics.task_hist.as_ref(), started) {
-                    h.record_duration(t0.elapsed());
+                if let Some(t0) = started {
+                    metrics.record_task(t0.elapsed());
                 }
                 result?;
             }
@@ -403,10 +430,10 @@ impl Executor {
                                 continue;
                             };
                             counters.tasks.fetch_add(1, Ordering::Relaxed);
-                            let started = metrics.task_hist.as_ref().map(|_| Instant::now());
+                            let started = metrics.timing_wanted().then(Instant::now);
                             let result = step(&mut state, task, &ctx);
-                            if let (Some(h), Some(t0)) = (metrics.task_hist.as_ref(), started) {
-                                h.record_duration(t0.elapsed());
+                            if let Some(t0) = started {
+                                metrics.record_task(t0.elapsed());
                             }
                             pending.fetch_sub(1, Ordering::SeqCst);
                             if let Err(e) = result {
@@ -717,6 +744,25 @@ mod tests {
         assert_eq!(report.count_events(names::EXEC_TASKS_STOLEN), totals.stolen);
         assert_eq!(hist.snapshot().count, totals.tasks);
         assert!(hist.snapshot().p50() >= 100_000, "tasks sleep ≥100µs");
+    }
+
+    #[test]
+    fn task_window_receives_every_task_duration() {
+        let exec = Executor::new(4);
+        let mut metrics = ExecMetrics::new(4);
+        let window = Arc::new(RollingWindow::new(std::time::Duration::from_secs(3600), 4));
+        metrics.set_task_window(Arc::clone(&window));
+        exec.run(
+            vec![(); 32],
+            &metrics,
+            || false,
+            |_| (),
+            |_s, _t, _h| -> Result<(), ()> { Ok(()) },
+        )
+        .unwrap();
+        let recent = window.window(std::time::Duration::from_secs(3600));
+        assert_eq!(recent.count, 32, "every task lands in the open tick");
+        assert_eq!(window.cumulative().count, 32);
     }
 
     #[test]

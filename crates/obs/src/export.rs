@@ -10,8 +10,16 @@
 //! `kcr.prune.maxdom` become `wnsk_kcr_prune_maxdom`.
 
 use crate::registry::Snapshot;
+use std::collections::BTreeMap;
 
-/// Maps a registry name onto the Prometheus name grammar.
+/// Maps a registry name onto the Prometheus name grammar (the exact
+/// mapping [`prometheus_text`] applies): sanitized to `[a-zA-Z0-9_]`
+/// and prefixed `wnsk_`. Public so scrapers can translate registry
+/// names into the families they expect to find in a scrape.
+pub fn prometheus_name(name: &str) -> String {
+    sanitize(name)
+}
+
 fn sanitize(name: &str) -> String {
     let mut out = String::with_capacity(name.len() + 5);
     out.push_str("wnsk_");
@@ -62,6 +70,80 @@ pub fn prometheus_text(snapshot: &Snapshot) -> String {
     out
 }
 
+/// A strict parser for the subset of the text exposition format
+/// [`prometheus_text`] emits. Returns samples keyed by full sample name
+/// (labels included) or a description of the first malformed line —
+/// the admin-endpoint smoke check and the scrape-reconciliation tests
+/// both hold live scrapes to this grammar:
+///
+/// * every non-comment line is `name[{labels}] value` with a float
+///   value (`+Inf` / `-Inf` / `NaN` included);
+/// * metric names match `[a-zA-Z0-9_:]+`;
+/// * every sample belongs to a family declared by a `# TYPE` line
+///   (histogram samples may use the `_bucket` / `_sum` / `_count`
+///   suffixes of their family);
+/// * no sample name (labels included) appears twice.
+pub fn parse_prometheus_text(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut samples = BTreeMap::new();
+    let mut typed: Vec<String> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let err = |what: &str| format!("line {}: {what}: {line:?}", lineno + 1);
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().ok_or_else(|| err("TYPE line missing name"))?;
+            let kind = parts.next().ok_or_else(|| err("TYPE line missing kind"))?;
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(err(&format!("unknown metric type {kind:?}")));
+            }
+            typed.push(name.to_owned());
+            continue;
+        }
+        if line.starts_with('#') {
+            // Other comments (e.g. # HELP) are legal exposition text.
+            continue;
+        }
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| err("sample line has no value"))?;
+        if value_part.parse::<f64>().is_err() && !matches!(value_part, "+Inf" | "-Inf" | "NaN") {
+            return Err(err("sample value is not a number"));
+        }
+        let value: f64 = match value_part {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            v => v.parse().unwrap(),
+        };
+        let base = name_part.split('{').next().unwrap_or(name_part);
+        if base.is_empty()
+            || !base
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(err("bad metric name"));
+        }
+        let declared = typed.iter().any(|t| {
+            base == t
+                || base == format!("{t}_bucket")
+                || base == format!("{t}_sum")
+                || base == format!("{t}_count")
+        });
+        if !declared {
+            return Err(err("sample has no # TYPE declaration"));
+        }
+        if samples.insert(name_part.to_owned(), value).is_some() {
+            return Err(err("duplicate sample"));
+        }
+    }
+    Ok(samples)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,46 +151,10 @@ mod tests {
     use std::collections::BTreeMap;
     use std::time::Duration;
 
-    /// A strict mini-parser for the subset of the exposition format we
-    /// emit: validates line shapes, `# TYPE` coverage, le monotonicity
-    /// and bucket cumulativity. Returns samples keyed by full sample
-    /// name (labels included).
+    /// The shared strict parser, with errors promoted to panics for
+    /// test ergonomics.
     fn parse_prometheus(text: &str) -> BTreeMap<String, f64> {
-        let mut samples = BTreeMap::new();
-        let mut typed: Vec<String> = Vec::new();
-        for line in text.lines() {
-            if let Some(rest) = line.strip_prefix("# TYPE ") {
-                let mut parts = rest.split_whitespace();
-                let name = parts.next().expect("TYPE line has a name");
-                let kind = parts.next().expect("TYPE line has a kind");
-                assert!(
-                    matches!(kind, "counter" | "gauge" | "histogram"),
-                    "unknown type {kind:?}"
-                );
-                typed.push(name.to_owned());
-                continue;
-            }
-            assert!(!line.starts_with('#'), "unexpected comment: {line}");
-            let (name_part, value_part) = line.rsplit_once(' ').expect("sample has a value");
-            let value: f64 = value_part.parse().expect("sample value is a number");
-            let base = name_part.split('{').next().unwrap();
-            assert!(
-                base.chars()
-                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
-                "bad metric name {base:?}"
-            );
-            // Every sample must belong to a declared family.
-            assert!(
-                typed.iter().any(|t| base == t
-                    || base == format!("{t}_bucket")
-                    || base == format!("{t}_sum")
-                    || base == format!("{t}_count")),
-                "sample {base} has no # TYPE"
-            );
-            let prev = samples.insert(name_part.to_owned(), value);
-            assert!(prev.is_none(), "duplicate sample {name_part}");
-        }
-        samples
+        parse_prometheus_text(text).expect("exposition text must parse")
     }
 
     /// Asserts histogram invariants for `name`: buckets cumulative and
@@ -179,5 +225,34 @@ mod tests {
             "wnsk_kcr_pool_read_latency_ns"
         );
         assert_eq!(sanitize("weird-name"), "wnsk_weird_name");
+        // The public alias is the same mapping.
+        assert_eq!(prometheus_name("serve.accepted"), "wnsk_serve_accepted");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_exposition_text() {
+        for (bad, why) in [
+            ("wnsk_orphan 3\n", "undeclared family"),
+            ("# TYPE wnsk_x counter\nwnsk_x not-a-number\n", "bad value"),
+            ("# TYPE wnsk_x counter\nwnsk_x\n", "missing value"),
+            ("# TYPE wnsk_x wibble\nwnsk_x 1\n", "unknown type"),
+            (
+                "# TYPE wnsk_x counter\nwnsk_x 1\nwnsk_x 2\n",
+                "duplicate sample",
+            ),
+            ("# TYPE wnsk_x counter\nbad name! 1\n", "bad metric name"),
+        ] {
+            assert!(
+                parse_prometheus_text(bad).is_err(),
+                "parser accepted {why}: {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parser_accepts_inf_values_and_help_comments() {
+        let text = "# HELP wnsk_x a counter\n# TYPE wnsk_x gauge\nwnsk_x +Inf\n";
+        let samples = parse_prometheus_text(text).unwrap();
+        assert_eq!(samples["wnsk_x"], f64::INFINITY);
     }
 }

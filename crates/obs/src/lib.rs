@@ -17,6 +17,12 @@
 //! * [`Hist`] — a lock-free log-linear latency histogram with mergeable
 //!   [`HistSnapshot`]s and p50/p90/p99 queries (`docs/METRICS.md`,
 //!   "Histograms").
+//! * [`RollingWindow`] — recent-past views over a live [`Hist`]: a ring
+//!   of fixed-interval snapshot deltas merged on read, so `/healthz`
+//!   can answer "p99 over the last 10 s" instead of "since boot".
+//! * [`FlightRecorder`] — a bounded lock-free ring of fixed-size
+//!   [`FlightEntry`] records, the last-N-requests view behind the
+//!   serving layer's `GET /flight`.
 //! * [`Tracer`] — per-query structured tracing: per-worker span buffers
 //!   merged into the deterministic span tree behind `--explain` (see
 //!   [`trace`]).
@@ -46,17 +52,21 @@ mod export;
 mod hist;
 mod json;
 mod metric;
+mod recorder;
 mod registry;
 mod report;
 pub mod trace;
+mod window;
 
-pub use export::prometheus_text;
+pub use export::{parse_prometheus_text, prometheus_name, prometheus_text};
 pub use hist::{Hist, HistSnapshot};
 pub use json::JsonValue;
 pub use metric::{Counter, Span, Timer, TimerSnapshot};
+pub use recorder::{FlightEntry, FlightRecorder, KEY_BYTES, QUALITY_BYTES};
 pub use registry::{Registry, Snapshot};
 pub use report::QueryReport;
 pub use trace::{SpanId, SpanRecord, TracePayload, TraceReport, Tracer};
+pub use window::RollingWindow;
 
 /// Canonical metric-name suffixes, shared by every crate so the same
 /// quantity always lands under the same registry key (`docs/METRICS.md`
@@ -143,6 +153,24 @@ pub mod names {
     /// Answer-cache entries dropped because the dataset epoch moved past
     /// the epoch they were computed under.
     pub const SERVE_CACHE_INVALIDATED: &str = "serve.cache_invalidated";
+    /// Histogram of request latencies feeding the serving layer's
+    /// rolling windows (the `/healthz` 1s/10s/60s percentiles); the
+    /// cumulative view exported here reconciles with the windows by
+    /// construction — they are snapshots of the same histogram.
+    pub const SERVE_WINDOW_REQUEST_NS: &str = "serve.window.request_ns";
+    /// Rolling-window ticks closed across the serving layer's windows
+    /// (a moving value proves the recent-past views are advancing).
+    pub const SERVE_WINDOW_TICKS: &str = "serve.window.ticks";
+    /// Requests whose end-to-end latency exceeded the configured SLO
+    /// threshold — the burn counter SLO alerting integrates over.
+    pub const SERVE_SLO_VIOLATIONS: &str = "serve.slo.violations";
+    /// Completed requests filed into the flight recorder's ring.
+    pub const OBS_RECORDER_RECORDED: &str = "obs.recorder.recorded";
+    /// Flight-recorder entries evicted by ring wraparound.
+    pub const OBS_RECORDER_OVERWRITTEN: &str = "obs.recorder.overwritten";
+    /// Requests whose latency crossed the slow-query threshold and were
+    /// filed (with their trace, when sampled) into the slow-query log.
+    pub const OBS_RECORDER_SLOW: &str = "obs.recorder.slow";
     /// Records buffered into the write-ahead log (before commit).
     pub const WAL_APPENDS: &str = "wal.appends";
     /// Group commits synced to the log (one per `commit()`, however many
@@ -208,6 +236,12 @@ pub mod names {
         SERVE_QUEUE_DEPTH,
         SERVE_REQUEST_NS,
         SERVE_CACHE_INVALIDATED,
+        SERVE_WINDOW_REQUEST_NS,
+        SERVE_WINDOW_TICKS,
+        SERVE_SLO_VIOLATIONS,
+        OBS_RECORDER_RECORDED,
+        OBS_RECORDER_OVERWRITTEN,
+        OBS_RECORDER_SLOW,
         WAL_APPENDS,
         WAL_COMMITS,
         WAL_RECOVERED_RECORDS,

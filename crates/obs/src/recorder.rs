@@ -1,0 +1,331 @@
+//! [`FlightRecorder`]: a bounded in-process ring of the last N
+//! completed requests.
+//!
+//! The serving layer files one fixed-size [`FlightEntry`] per request
+//! it finishes — kind, canonical cache key, deadline, queue wait,
+//! execute time, outcome markers — and `GET /flight` dumps the ring as
+//! JSON. The ring is claim-cursor lock-free: a writer takes its slot
+//! with one `fetch_add` and publishes through that slot's latch, so
+//! concurrent workers never contend unless the ring has wrapped all
+//! the way around onto the same slot.
+//!
+//! Memory is bounded by construction: `capacity` slots of
+//! `size_of::<FlightEntry>()`-fixed entries (strings are truncated
+//! into fixed byte arrays at record time, never heap-allocated), so
+//! the recorder can stay on for the life of a server regardless of
+//! traffic. [`FlightRecorder::memory_bytes`] reports the bound and the
+//! test suite pins it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::json::JsonValue;
+use crate::metric::Counter;
+
+/// Canonical-key bytes retained per entry (longer keys truncate).
+pub const KEY_BYTES: usize = 96;
+/// Quality-tag bytes retained per entry (longer tags truncate).
+pub const QUALITY_BYTES: usize = 40;
+
+/// A fixed-size byte string: truncating copy in, lossy UTF-8 out.
+#[derive(Clone, Copy, Debug)]
+struct FixedStr<const N: usize> {
+    bytes: [u8; N],
+    len: u8,
+}
+
+impl<const N: usize> FixedStr<N> {
+    fn new(s: &str) -> Self {
+        let mut bytes = [0u8; N];
+        // Truncate on a char boundary so the readback stays valid UTF-8.
+        let mut len = s.len().min(N);
+        while len > 0 && !s.is_char_boundary(len) {
+            len -= 1;
+        }
+        bytes[..len].copy_from_slice(&s.as_bytes()[..len]);
+        FixedStr {
+            bytes,
+            len: len as u8,
+        }
+    }
+
+    fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.bytes[..self.len as usize]).unwrap_or("")
+    }
+}
+
+/// One completed request, fixed size (no heap pointers — the ring's
+/// memory bound is `capacity × size_of::<FlightEntry>()` plus slot
+/// latches).
+#[derive(Clone, Copy, Debug)]
+pub struct FlightEntry {
+    /// Monotone completion sequence number (ring eviction order).
+    pub seq: u64,
+    /// Request type (`topk`, `whynot`, `insert`, `delete`, `stats`).
+    kind: FixedStr<16>,
+    /// Canonical cache key of the executed (snapped) query, empty for
+    /// non-cacheable kinds.
+    key: FixedStr<KEY_BYTES>,
+    /// Answer quality tag (`exact`, `degraded (…)`), empty when shed.
+    quality: FixedStr<QUALITY_BYTES>,
+    /// Requested deadline, nanoseconds (0 = none).
+    pub deadline_ns: u64,
+    /// Time spent queued before a worker picked the request up.
+    pub queue_wait_ns: u64,
+    /// Time spent executing (zero for shed requests).
+    pub execute_ns: u64,
+    /// End-to-end latency, enqueue to rendered response.
+    pub total_ns: u64,
+    /// Response `ok` marker.
+    pub ok: bool,
+    /// Shed by admission control (never executed).
+    pub shed: bool,
+    /// Answered from the answer cache.
+    pub cached: bool,
+    /// Initial rank `R(M,q)` reused from a cached rank list.
+    pub rank_reused: bool,
+}
+
+impl FlightEntry {
+    /// Builds an entry; `kind`/`key`/`quality` are truncated into the
+    /// fixed-size fields.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        kind: &str,
+        key: &str,
+        quality: &str,
+        deadline_ns: u64,
+        queue_wait_ns: u64,
+        execute_ns: u64,
+        total_ns: u64,
+        ok: bool,
+        shed: bool,
+        cached: bool,
+        rank_reused: bool,
+    ) -> Self {
+        FlightEntry {
+            seq: 0,
+            kind: FixedStr::new(kind),
+            key: FixedStr::new(key),
+            quality: FixedStr::new(quality),
+            deadline_ns,
+            queue_wait_ns,
+            execute_ns,
+            total_ns,
+            ok,
+            shed,
+            cached,
+            rank_reused,
+        }
+    }
+
+    /// The request type.
+    pub fn kind(&self) -> &str {
+        self.kind.as_str()
+    }
+
+    /// The canonical cache key (possibly truncated).
+    pub fn key(&self) -> &str {
+        self.key.as_str()
+    }
+
+    /// The answer quality tag.
+    pub fn quality(&self) -> &str {
+        self.quality.as_str()
+    }
+
+    /// The `GET /flight` rendering of one entry.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("seq", JsonValue::from(self.seq)),
+            ("kind", self.kind.as_str().into()),
+            ("key", self.key.as_str().into()),
+            ("quality", self.quality.as_str().into()),
+            ("deadline_ns", JsonValue::from(self.deadline_ns)),
+            ("queue_wait_ns", JsonValue::from(self.queue_wait_ns)),
+            ("execute_ns", JsonValue::from(self.execute_ns)),
+            ("total_ns", JsonValue::from(self.total_ns)),
+            ("ok", JsonValue::Bool(self.ok)),
+            ("shed", JsonValue::Bool(self.shed)),
+            ("cached", JsonValue::Bool(self.cached)),
+            ("rank_reused", JsonValue::Bool(self.rank_reused)),
+        ])
+    }
+}
+
+/// The bounded ring of recent [`FlightEntry`]s.
+pub struct FlightRecorder {
+    slots: Box<[Mutex<Option<FlightEntry>>]>,
+    cursor: AtomicU64,
+    /// Entries filed (detached by default; route into
+    /// `obs.recorder.recorded`).
+    recorded: Counter,
+    /// Entries evicted by wraparound (route into
+    /// `obs.recorder.overwritten`).
+    overwritten: Counter,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `capacity` completed requests.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+            recorded: Counter::new(),
+            overwritten: Counter::new(),
+        }
+    }
+
+    /// Routes the recorded/overwritten events into registry counters.
+    pub fn with_counters(mut self, recorded: Counter, overwritten: Counter) -> Self {
+        self.recorded = recorded;
+        self.overwritten = overwritten;
+        self
+    }
+
+    /// Ring capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The fixed memory bound: slots × fixed slot size. Independent of
+    /// traffic — this is the number the ARCHITECTURE.md bound quotes.
+    pub fn memory_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<Mutex<Option<FlightEntry>>>()
+    }
+
+    /// Entries filed since construction.
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Files one completed request. The claim is one `fetch_add`; only
+    /// the claimed slot's latch is touched.
+    pub fn record(&self, mut entry: FlightEntry) {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        entry.seq = seq;
+        let slot = (seq % self.slots.len() as u64) as usize;
+        let mut guard = self.slots[slot].lock().expect("recorder slot poisoned");
+        if guard.is_some() {
+            self.overwritten.inc();
+        }
+        *guard = Some(entry);
+        drop(guard);
+        self.recorded.inc();
+    }
+
+    /// The resident entries, newest first.
+    pub fn entries(&self) -> Vec<FlightEntry> {
+        let mut out: Vec<FlightEntry> = self
+            .slots
+            .iter()
+            .filter_map(|s| *s.lock().expect("recorder slot poisoned"))
+            .collect();
+        out.sort_by_key(|e| std::cmp::Reverse(e.seq));
+        out
+    }
+
+    /// The `GET /flight` rendering: newest-first entry array plus the
+    /// ring's bookkeeping.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("capacity", JsonValue::from(self.capacity() as u64)),
+            ("recorded", JsonValue::from(self.recorded())),
+            (
+                "entries",
+                JsonValue::Array(self.entries().iter().map(FlightEntry::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(kind: &str, key: &str) -> FlightEntry {
+        FlightEntry::new(kind, key, "exact", 0, 10, 20, 35, true, false, false, false)
+    }
+
+    #[test]
+    fn ring_keeps_the_last_capacity_entries_newest_first() {
+        let r = FlightRecorder::new(3);
+        for i in 0..5 {
+            r.record(entry("topk", &format!("key-{i}")));
+        }
+        let entries = r.entries();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].key(), "key-4");
+        assert_eq!(entries[2].key(), "key-2");
+        assert_eq!(r.recorded(), 5);
+    }
+
+    #[test]
+    fn overwrite_counter_counts_evictions() {
+        let recorded = Counter::new();
+        let overwritten = Counter::new();
+        let r = FlightRecorder::new(2).with_counters(recorded.clone(), overwritten.clone());
+        for i in 0..5 {
+            r.record(entry("whynot", &format!("k{i}")));
+        }
+        assert_eq!(recorded.get(), 5);
+        assert_eq!(overwritten.get(), 3);
+    }
+
+    #[test]
+    fn memory_bound_is_capacity_times_fixed_slot_size() {
+        let r = FlightRecorder::new(256);
+        let per_slot = std::mem::size_of::<Mutex<Option<FlightEntry>>>();
+        assert_eq!(r.memory_bytes(), 256 * per_slot);
+        // The entry itself is fixed-size and heap-free: the strings are
+        // inline byte arrays, so recording cannot grow the ring.
+        assert!(per_slot < 512, "slot grew past its budget: {per_slot}B");
+    }
+
+    #[test]
+    fn long_strings_truncate_on_char_boundaries() {
+        let long_key = "k".repeat(KEY_BYTES + 50);
+        let e = entry("topk", &long_key);
+        assert_eq!(e.key().len(), KEY_BYTES);
+        // A multi-byte char straddling the limit is dropped whole.
+        let tricky = format!("{}é", "x".repeat(KEY_BYTES - 1));
+        let e = entry("topk", &tricky);
+        assert_eq!(e.key(), &tricky[..KEY_BYTES - 1]);
+    }
+
+    #[test]
+    fn json_rendering_carries_every_field() {
+        let r = FlightRecorder::new(4);
+        r.record(FlightEntry::new(
+            "whynot", "wn|cell", "exact", 1_000, 10, 20, 35, true, false, true, true,
+        ));
+        let doc = r.to_json();
+        assert_eq!(doc.get("capacity").and_then(|v| v.as_f64()), Some(4.0));
+        let entries = doc.get("entries").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.get("kind").and_then(|v| v.as_str()), Some("whynot"));
+        assert_eq!(e.get("key").and_then(|v| v.as_str()), Some("wn|cell"));
+        assert_eq!(e.get("cached"), Some(&JsonValue::Bool(true)));
+        assert_eq!(e.get("rank_reused"), Some(&JsonValue::Bool(true)));
+        assert_eq!(e.get("deadline_ns").and_then(|v| v.as_f64()), Some(1000.0));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let r = std::sync::Arc::new(FlightRecorder::new(64));
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let r = std::sync::Arc::clone(&r);
+                s.spawn(move || {
+                    for i in 0..100 {
+                        r.record(entry("topk", &format!("t{t}-{i}")));
+                    }
+                });
+            }
+        });
+        assert_eq!(r.recorded(), 800);
+        assert_eq!(r.entries().len(), 64);
+    }
+}

@@ -1,0 +1,151 @@
+//! The admin endpoint: a minimal std-only HTTP/1.1 listener exposing
+//! the serving layer's observability plane.
+//!
+//! Routes (all `GET`, all `Connection: close`):
+//!
+//! * `/metrics` — Prometheus text exposition of a live registry
+//!   snapshot (`wnsk_obs::prometheus_text`), exactly what
+//!   `--metrics-export` writes;
+//! * `/healthz` — JSON: queue depth and capacity, dataset epoch, WAL
+//!   attachment, lifetime counters, rolling 1s/10s/60s latency and
+//!   shed/error windows, SLO burn;
+//! * `/slow` — JSON slow-query log (original wire line, response,
+//!   timings, sampled solver trace);
+//! * `/flight` — JSON flight-recorder ring (last N requests).
+//!
+//! The listener is deliberately serial — one connection at a time, one
+//! request per connection — because it serves an operator or a
+//! scraper, not traffic. It shares nothing with the query path beyond
+//! read-only access to the observability state, so a stuck scrape can
+//! never stall a request.
+
+use crate::server::Shared;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The running admin listener; joined on server shutdown.
+pub(crate) struct AdminHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl AdminHandle {
+    pub(crate) fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the listener and joins it.
+    pub(crate) fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `addr` and starts the admin accept loop over `shared`.
+pub(crate) fn start(addr: &str, shared: Arc<Shared>) -> io::Result<AdminHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let thread = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if flag.load(Ordering::Acquire) {
+                return;
+            }
+            let Ok(stream) = stream else { continue };
+            handle_connection(stream, &shared);
+        }
+    });
+    Ok(AdminHandle {
+        addr,
+        shutdown,
+        thread: Some(thread),
+    })
+}
+
+/// Serves one request on one connection, then closes it.
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_nodelay(true);
+    // Read until the end of the request head (GET requests carry no
+    // body); cap the head so a misbehaving client cannot grow memory.
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 1024];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 16 * 1024 {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, reason, content_type, body) = if method != "GET" {
+        (
+            405,
+            "Method Not Allowed",
+            "application/json",
+            r#"{"ok":false,"error":"only GET is supported"}"#.to_string(),
+        )
+    } else {
+        // Ignore any query string: routes take no parameters.
+        let path = target.split('?').next().unwrap_or(target);
+        match shared.admin_route(path) {
+            Some((content_type, body)) => (200, "OK", content_type, body),
+            None => (
+                404,
+                "Not Found",
+                "application/json",
+                r#"{"ok":false,"error":"not found"}"#.to_string(),
+            ),
+        }
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+/// A one-shot HTTP GET against an admin endpoint: returns the status
+/// code and the response body. This is the client side the CLI
+/// (`wnsk top`, scrape checks) and the test suite use — std-only, one
+/// request per connection, matching the listener above.
+pub fn http_get(addr: &str, path: &str) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: wnsk-admin\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let (head, body) = text.split_once("\r\n\r\n").ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            "response has no header/body split",
+        )
+    })?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+    Ok((status, body.to_string()))
+}

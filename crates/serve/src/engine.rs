@@ -18,12 +18,13 @@
 //! or initial-rank hint is ever served across a mutation.
 
 use crate::cache::{canonical_point, AnswerCache, RankList};
+use crate::observe::{Observability, ObservabilityConfig, Observed};
 use crate::protocol::{self, WireKeyword, WireRequest};
 use std::sync::{Arc, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use wnsk_core::{KcrOptions, Mutation, QueryBudget, WhyNotAnswer, WhyNotEngine, WhyNotQuestion};
 use wnsk_index::{ObjectId, SpatialKeywordQuery};
-use wnsk_obs::{names, Counter, Hist, Registry};
+use wnsk_obs::{names, Counter, FlightRecorder, Hist, JsonValue, Registry};
 use wnsk_text::KeywordSet;
 
 /// A request resolved against the dataset: keywords interned, ids
@@ -57,6 +58,9 @@ pub struct ServeEngine {
     cache_misses: Counter,
     queue_depth: Hist,
     request_ns: Hist,
+    /// The observability plane (flight recorder, slow-query log,
+    /// rolling windows); `None` unless enabled at construction.
+    obs: Option<Observability>,
 }
 
 impl ServeEngine {
@@ -82,7 +86,36 @@ impl ServeEngine {
             cache_misses,
             queue_depth,
             request_ns,
+            obs: None,
         }
+    }
+
+    /// Enables the observability plane: the flight recorder, slow-query
+    /// log, rolling SLO windows, and the sampled solver tracer. All of
+    /// it is observation only — a server with this enabled produces
+    /// bit-identical work metrics and penalties to one without (the
+    /// determinism suite pins that).
+    pub fn with_observability(mut self, config: ObservabilityConfig) -> Self {
+        let obs = Observability::new(config, &self.registry);
+        // Attach the (initially disabled) tracer so the slow-query log
+        // can sample an explain tree when a request wins the trace slot.
+        self.engine
+            .get_mut()
+            .expect("engine lock poisoned")
+            .set_tracer(obs.tracer.clone());
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Whether the observability plane is enabled.
+    pub fn observability_enabled(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// The flight recorder, when observability is enabled (tests pin
+    /// its memory bound through this).
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.obs.as_ref().map(|o| &o.recorder)
     }
 
     /// Read access to the wrapped engine. Queries executed by the
@@ -106,6 +139,15 @@ impl ServeEngine {
     /// histogram sampled at admission time).
     pub fn note_accepted(&self, queue_len: usize) {
         self.accepted.inc();
+        self.queue_depth.record(queue_len as u64);
+    }
+
+    /// Records the queue depth a worker observed right after taking a
+    /// job off the queue. `serve.queue_depth` samples at *both* ends of
+    /// a request's queue residency — admission and dequeue — so the
+    /// histogram reflects drain-side backlog too, not just arrival
+    /// bursts (`docs/METRICS.md` documents both sample points).
+    pub fn note_dequeued(&self, queue_len: usize) {
         self.queue_depth.record(queue_len as u64);
     }
 
@@ -192,6 +234,91 @@ impl ServeEngine {
         }
     }
 
+    /// [`ServeEngine::execute`] wrapped in the observability plane: the
+    /// worker-side entry point. Handles the queued-past-deadline shed,
+    /// times the execution, samples a solver trace when the request
+    /// wins the trace slot, and files the outcome into the flight
+    /// recorder, rolling windows, SLO burn counter and (when slow
+    /// enough) the slow-query log. With observability disabled this is
+    /// behaviorally identical to the pre-observability worker loop.
+    ///
+    /// `line` is the original wire line (kept verbatim in slow-log
+    /// entries so they can be replayed); `waited` is the time the job
+    /// spent queued, measured at dequeue.
+    pub fn execute_observed(
+        &self,
+        request: &ResolvedRequest,
+        line: &str,
+        deadline: Option<Duration>,
+        waited: Duration,
+    ) -> String {
+        let expired = matches!(deadline, Some(d) if waited >= d);
+        let Some(obs) = &self.obs else {
+            if expired {
+                self.note_shed();
+                return protocol::render_shed("deadline exceeded");
+            }
+            return self.execute(request, deadline.map(|d| d.saturating_sub(waited)));
+        };
+        let (kind, key) = flight_identity(request);
+        if expired {
+            self.note_shed();
+            let response = protocol::render_shed("deadline exceeded");
+            obs.observe(Observed {
+                kind,
+                key: &key,
+                line,
+                response: &response,
+                deadline,
+                queue_wait: waited,
+                execute: Duration::ZERO,
+                trace: None,
+            });
+            return response;
+        }
+        let tracing = obs.begin_trace();
+        let started = Instant::now();
+        let response = self.execute(request, deadline.map(|d| d.saturating_sub(waited)));
+        let execute = started.elapsed();
+        let trace = tracing.then(|| obs.end_trace());
+        obs.observe(Observed {
+            kind,
+            key: &key,
+            line,
+            response: &response,
+            deadline,
+            queue_wait: waited,
+            execute,
+            trace,
+        });
+        response
+    }
+
+    /// Files a request shed at admission (queue full) into the flight
+    /// recorder and windows; a no-op with observability disabled. The
+    /// caller has already called [`ServeEngine::note_shed`] and
+    /// rendered `response`.
+    pub fn observe_admission_shed(
+        &self,
+        request: &ResolvedRequest,
+        line: &str,
+        response: &str,
+        deadline: Option<Duration>,
+    ) {
+        let Some(obs) = &self.obs else { return };
+        let (kind, key) = flight_identity(request);
+        obs.observe(Observed {
+            kind,
+            key: &key,
+            line,
+            response,
+            deadline,
+            queue_wait: Duration::ZERO,
+            execute: Duration::ZERO,
+            trace: None,
+        });
+    }
+
     fn execute_topk(&self, query: &SpatialKeywordQuery) -> String {
         // The epoch is read under the same lock the query runs under, so
         // the cached list is exactly the answer a fresh computation at
@@ -261,6 +388,12 @@ impl ServeEngine {
                     }
                 }
                 answer.stats.record_into(&self.registry);
+                if let Some(obs) = &self.obs {
+                    // Per-task solver latencies feed the task window by
+                    // folding the answer's snapshot — observation only,
+                    // after the answer is fully computed.
+                    obs.win_task.merge_snapshot(&answer.stats.task_latency);
+                }
                 render_whynot_answer(&engine, &answer, hint.is_some())
             }
             Err(e) => protocol::render_error(&e.to_string()),
@@ -340,6 +473,106 @@ impl ServeEngine {
         .map(|&n| (n, snapshot.counter(n)))
         .collect();
         protocol::render_stats(objects, self.cache.len(), &counters)
+    }
+
+    /// The `GET /healthz` document: live queue state, dataset epoch,
+    /// WAL attachment, lifetime counters, and — when observability is
+    /// enabled — the rolling 1s/10s/60s windows and SLO burn. The
+    /// caller supplies the queue numbers because the admission queue
+    /// lives in the server, not the engine.
+    pub fn healthz_json(&self, queue_len: usize, queue_capacity: usize) -> String {
+        let (epoch, wal) = {
+            let engine = self.engine.read().unwrap();
+            (engine.epoch(), engine.wal().is_some())
+        };
+        let mut fields = vec![
+            ("ok", JsonValue::Bool(true)),
+            ("queue_depth", JsonValue::from(queue_len)),
+            ("queue_capacity", JsonValue::from(queue_capacity)),
+            ("epoch", JsonValue::from(epoch)),
+            ("wal_attached", JsonValue::Bool(wal)),
+            ("cache_entries", JsonValue::from(self.cache.len())),
+            ("accepted", JsonValue::from(self.accepted.get())),
+            ("shed", JsonValue::from(self.shed.get())),
+            ("cache_hits", JsonValue::from(self.cache_hits.get())),
+            ("cache_misses", JsonValue::from(self.cache_misses.get())),
+        ];
+        if let Some(obs) = &self.obs {
+            fields.push(("slo_violations", JsonValue::from(obs.slo_violations())));
+            fields.push(("slow_logged", JsonValue::from(obs.slow_logged())));
+            fields.push((
+                "recorder",
+                JsonValue::object(vec![
+                    ("capacity", JsonValue::from(obs.recorder.capacity())),
+                    ("recorded", JsonValue::from(obs.recorder.recorded())),
+                    ("memory_bytes", JsonValue::from(obs.recorder.memory_bytes())),
+                ]),
+            ));
+            fields.push(("windows", obs.windows_json()));
+        }
+        JsonValue::object(fields).render()
+    }
+
+    /// The `GET /slow` document (empty when observability is off).
+    pub fn slow_json(&self) -> String {
+        match &self.obs {
+            Some(obs) => obs.slow_json().render(),
+            None => JsonValue::object(vec![
+                ("entries", JsonValue::Array(Vec::new())),
+                ("logged", JsonValue::from(0u64)),
+            ])
+            .render(),
+        }
+    }
+
+    /// The `GET /flight` document (empty when observability is off).
+    pub fn flight_json(&self) -> String {
+        match &self.obs {
+            Some(obs) => obs.recorder.to_json().render(),
+            None => JsonValue::object(vec![
+                ("capacity", JsonValue::from(0u64)),
+                ("recorded", JsonValue::from(0u64)),
+                ("entries", JsonValue::Array(Vec::new())),
+            ])
+            .render(),
+        }
+    }
+}
+
+/// The flight recorder's identity for a resolved request: a short kind
+/// tag plus the canonical key of the executed (snapped) query — the
+/// same canonical dimensions the answer cache keys on, rendered as a
+/// string. Non-cacheable kinds key as empty.
+fn flight_identity(request: &ResolvedRequest) -> (&'static str, String) {
+    fn query_key(q: &SpatialKeywordQuery) -> String {
+        let terms: Vec<String> = q.doc.iter().map(|t| t.0.to_string()).collect();
+        format!(
+            "{},{}|{}|k={}|a={}",
+            q.loc.x,
+            q.loc.y,
+            terms.join("+"),
+            q.k,
+            q.alpha
+        )
+    }
+    match request {
+        ResolvedRequest::TopK(q) => ("topk", query_key(q)),
+        ResolvedRequest::WhyNot { question, .. } => {
+            let missing: Vec<String> = question.missing.iter().map(|m| m.0.to_string()).collect();
+            (
+                "whynot",
+                format!(
+                    "{}|m={}|l={}",
+                    query_key(&question.query),
+                    missing.join("+"),
+                    question.lambda
+                ),
+            )
+        }
+        ResolvedRequest::Ingest(Mutation::Insert { .. }) => ("insert", String::new()),
+        ResolvedRequest::Ingest(Mutation::Remove { .. }) => ("delete", String::new()),
+        ResolvedRequest::Ingest(Mutation::UpdateDoc { .. }) => ("update", String::new()),
+        ResolvedRequest::Stats => ("stats", String::new()),
     }
 }
 

@@ -31,18 +31,31 @@
 //!   histogram, all in the engine's own [`wnsk_obs::Registry`] so the
 //!   prometheus export shows service and engine activity side by side.
 //!
+//! - **live observability** — an optional HTTP admin endpoint
+//!   ([`admin`]) serving `/metrics` (Prometheus text), `/healthz`
+//!   (queue, epoch, WAL, rolling 1s/10s/60s latency and shed/error
+//!   windows, SLO burn), `/slow` (the slow-query log with sampled
+//!   solver traces) and `/flight` (the bounded flight-recorder ring) —
+//!   see [`observe`]. All of it is observation only: the determinism
+//!   suite pins that a server with the recorder and windows enabled
+//!   produces bit-identical work metrics and penalties to one without.
+//!
 //! [`loadgen`] is the matching closed-loop client: zipfian query mix,
 //! target QPS, latency histogram report.
 
+pub mod admin;
 pub mod cache;
 pub mod client;
 pub mod engine;
 pub mod loadgen;
+pub mod observe;
 pub mod protocol;
 pub mod server;
 
+pub use admin::http_get;
 pub use cache::AnswerCache;
 pub use client::Client;
 pub use engine::{ResolvedRequest, ServeEngine};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use observe::ObservabilityConfig;
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,468 @@
+//! Serving-layer observability: the flight recorder, the slow-query
+//! log, and the rolling SLO windows behind the admin endpoint.
+//!
+//! Everything in this module is *observation*: it records what the
+//! query path did, strictly after the response line has been rendered,
+//! and never feeds a wall-clock reading back into an execution
+//! decision. The determinism suite pins that property — a server with
+//! the recorder and windows enabled must produce bit-identical work
+//! metrics and penalties to one without.
+//!
+//! The pieces:
+//!
+//! * a [`FlightRecorder`] ring of the last N completed requests
+//!   (`GET /flight`), memory-bounded by construction;
+//! * a slow-query log — the last few requests whose end-to-end latency
+//!   crossed [`ObservabilityConfig::slow_threshold`], each carrying its
+//!   original wire line, the rendered response, and (when the request
+//!   won the one-at-a-time trace slot) the solver's `TraceReport`
+//!   rendered as JSON (`GET /slow`);
+//! * [`RollingWindow`]s over request latency and the ok/shed/error
+//!   outcome streams, so `/healthz` reports p50/p99 and shed/error
+//!   rates over the last 1s/10s/60s instead of since boot;
+//! * the `serve.slo.violations` burn counter, incremented once per
+//!   request that finished past [`ObservabilityConfig::slo`].
+//!
+//! Tracing is sampled through a single CAS slot: at most one in-flight
+//! request has the engine tracer enabled, so a captured trace is
+//! mostly that request's own spans (a concurrent worker may interleave
+//! a few — the report is a debugging aid, not an accounting record).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+use wnsk_obs::{
+    names, Counter, FlightEntry, FlightRecorder, JsonValue, Registry, RollingWindow, TraceReport,
+    Tracer,
+};
+
+/// Knobs for the serving layer's observability plane, mirrored by
+/// `wnsk serve`'s flags.
+#[derive(Clone, Debug)]
+pub struct ObservabilityConfig {
+    /// Flight-recorder ring capacity (entries). Memory is bounded by
+    /// `capacity × size_of::<FlightEntry>()` regardless of traffic.
+    pub flight_capacity: usize,
+    /// Slow-query log capacity (entries; oldest evicted first).
+    pub slow_capacity: usize,
+    /// End-to-end latency at or above which a request is filed into the
+    /// slow-query log. Zero files everything (useful in tests).
+    pub slow_threshold: Duration,
+    /// The latency SLO: requests finishing later than this increment
+    /// `serve.slo.violations`.
+    pub slo: Duration,
+    /// Rolling-window tick interval.
+    pub window_interval: Duration,
+    /// Closed ticks retained per window; `interval × slots` bounds the
+    /// longest answerable span (the default covers the 60 s view).
+    pub window_slots: usize,
+}
+
+impl Default for ObservabilityConfig {
+    fn default() -> Self {
+        ObservabilityConfig {
+            flight_capacity: 256,
+            slow_capacity: 32,
+            slow_threshold: Duration::from_millis(100),
+            slo: Duration::from_millis(250),
+            window_interval: Duration::from_secs(1),
+            window_slots: 60,
+        }
+    }
+}
+
+/// One slow request: enough to inspect it (`GET /slow`) and to replay
+/// it bit-identically through `ServeEngine::execute_uncached`.
+pub(crate) struct SlowEntry {
+    /// Flight-recorder sequence number at filing time.
+    seq: u64,
+    kind: String,
+    key: String,
+    /// The original wire line, replayable as-is.
+    line: String,
+    /// The rendered response the client received.
+    response: String,
+    quality: String,
+    queue_wait_ns: u64,
+    execute_ns: u64,
+    total_ns: u64,
+    /// The solver trace, when this request held the trace slot.
+    trace: Option<JsonValue>,
+}
+
+impl SlowEntry {
+    fn to_json(&self) -> JsonValue {
+        let mut fields = vec![
+            ("seq", JsonValue::from(self.seq)),
+            ("kind", self.kind.as_str().into()),
+            ("key", self.key.as_str().into()),
+            ("line", self.line.as_str().into()),
+            ("response", self.response.as_str().into()),
+            ("quality", self.quality.as_str().into()),
+            ("queue_wait_ns", JsonValue::from(self.queue_wait_ns)),
+            ("execute_ns", JsonValue::from(self.execute_ns)),
+            ("total_ns", JsonValue::from(self.total_ns)),
+        ];
+        if let Some(trace) = &self.trace {
+            fields.push(("trace", trace.clone()));
+        }
+        JsonValue::object(fields)
+    }
+}
+
+/// Everything observed about one completed (or shed) request, handed
+/// to [`Observability::observe`] after the response is rendered.
+pub(crate) struct Observed<'a> {
+    pub kind: &'a str,
+    pub key: &'a str,
+    pub line: &'a str,
+    pub response: &'a str,
+    pub deadline: Option<Duration>,
+    pub queue_wait: Duration,
+    pub execute: Duration,
+    pub trace: Option<TraceReport>,
+}
+
+/// The serving engine's observability plane. Constructed once per
+/// server; all state is either lock-free or behind short-lived mutexes
+/// off the response path.
+pub(crate) struct Observability {
+    pub(crate) recorder: FlightRecorder,
+    slow: Mutex<VecDeque<SlowEntry>>,
+    slow_capacity: usize,
+    slow_threshold: Duration,
+    slo: Duration,
+    slo_violations: Counter,
+    slow_count: Counter,
+    /// Request latency; shares its histogram with the registry's
+    /// `serve.window.request_ns`, so the cumulative export and the
+    /// windows are views of the same samples.
+    win_request: RollingWindow,
+    win_ok: RollingWindow,
+    win_shed: RollingWindow,
+    win_error: RollingWindow,
+    /// Per-task solver latencies, fed by folding each answer's
+    /// `task_latency` snapshot.
+    pub(crate) win_task: RollingWindow,
+    pub(crate) tracer: Tracer,
+    trace_slot: AtomicBool,
+}
+
+impl Observability {
+    pub(crate) fn new(config: ObservabilityConfig, registry: &Registry) -> Self {
+        let interval = config.window_interval;
+        let slots = config.window_slots;
+        let tracer = Tracer::new();
+        tracer.set_enabled(false);
+        Observability {
+            recorder: FlightRecorder::new(config.flight_capacity).with_counters(
+                registry.counter(names::OBS_RECORDER_RECORDED),
+                registry.counter(names::OBS_RECORDER_OVERWRITTEN),
+            ),
+            slow: Mutex::new(VecDeque::new()),
+            slow_capacity: config.slow_capacity.max(1),
+            slow_threshold: config.slow_threshold,
+            slo: config.slo,
+            slo_violations: registry.counter(names::SERVE_SLO_VIOLATIONS),
+            slow_count: registry.counter(names::OBS_RECORDER_SLOW),
+            win_request: RollingWindow::with_hist(
+                registry.hist(names::SERVE_WINDOW_REQUEST_NS),
+                interval,
+                slots,
+            )
+            .with_ticks_counter(registry.counter(names::SERVE_WINDOW_TICKS)),
+            win_ok: RollingWindow::new(interval, slots),
+            win_shed: RollingWindow::new(interval, slots),
+            win_error: RollingWindow::new(interval, slots),
+            win_task: RollingWindow::new(interval, slots),
+            tracer,
+            trace_slot: AtomicBool::new(false),
+        }
+    }
+
+    /// Tries to claim the one-at-a-time trace slot; on success the
+    /// engine tracer starts recording and the caller must pair with
+    /// [`Observability::end_trace`].
+    pub(crate) fn begin_trace(&self) -> bool {
+        if self
+            .trace_slot
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.tracer.set_enabled(true);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Stops recording, drains the captured report, and releases the
+    /// trace slot.
+    pub(crate) fn end_trace(&self) -> TraceReport {
+        self.tracer.set_enabled(false);
+        let report = self.tracer.drain();
+        self.trace_slot.store(false, Ordering::Release);
+        report
+    }
+
+    /// Files one finished request: flight entry, windows, SLO burn,
+    /// and (when slow enough) the slow-query log.
+    pub(crate) fn observe(&self, o: Observed<'_>) {
+        let total = o.queue_wait + o.execute;
+        let total_ns = as_ns(total);
+        let queue_wait_ns = as_ns(o.queue_wait);
+        let execute_ns = as_ns(o.execute);
+        // Outcome markers come from the rendered response itself, so
+        // the recorder can never disagree with what the client saw.
+        let doc = JsonValue::parse(o.response).ok();
+        let flag = |key: &str| {
+            doc.as_ref()
+                .and_then(|d| d.get(key))
+                .map(|v| *v == JsonValue::Bool(true))
+                .unwrap_or(false)
+        };
+        let ok = flag("ok");
+        let shed = flag("shed");
+        let cached = flag("cached");
+        let rank_reused = flag("rank_reused");
+        let quality = doc
+            .as_ref()
+            .and_then(|d| d.get("quality"))
+            .and_then(|v| v.as_str())
+            .unwrap_or("")
+            .to_string();
+
+        self.win_request.record(total_ns);
+        if shed {
+            self.win_shed.record(1);
+        } else if ok {
+            self.win_ok.record(1);
+        } else {
+            self.win_error.record(1);
+        }
+        if total > self.slo {
+            self.slo_violations.inc();
+        }
+        self.recorder.record(FlightEntry::new(
+            o.kind,
+            o.key,
+            &quality,
+            o.deadline.map(as_ns).unwrap_or(0),
+            queue_wait_ns,
+            execute_ns,
+            total_ns,
+            ok,
+            shed,
+            cached,
+            rank_reused,
+        ));
+        if total >= self.slow_threshold {
+            self.slow_count.inc();
+            let entry = SlowEntry {
+                seq: self.recorder.recorded(),
+                kind: o.kind.to_string(),
+                key: o.key.to_string(),
+                line: o.line.to_string(),
+                response: o.response.to_string(),
+                quality,
+                queue_wait_ns,
+                execute_ns,
+                total_ns,
+                trace: o.trace.as_ref().map(TraceReport::to_json),
+            };
+            let mut slow = self.slow.lock().expect("slow log poisoned");
+            while slow.len() >= self.slow_capacity {
+                slow.pop_front();
+            }
+            slow.push_back(entry);
+        }
+    }
+
+    /// The `GET /slow` document: newest entries last.
+    pub(crate) fn slow_json(&self) -> JsonValue {
+        let slow = self.slow.lock().expect("slow log poisoned");
+        JsonValue::object(vec![
+            ("threshold_ns", JsonValue::from(as_ns(self.slow_threshold))),
+            ("logged", JsonValue::from(self.slow_count.get())),
+            (
+                "entries",
+                JsonValue::Array(slow.iter().map(SlowEntry::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// The per-span rollup of one window for `/healthz`.
+    fn span_json(&self, span: Duration) -> JsonValue {
+        let req = self.win_request.window(span);
+        JsonValue::object(vec![
+            ("count", JsonValue::from(req.count)),
+            ("p50_ns", JsonValue::from(req.p50())),
+            ("p99_ns", JsonValue::from(req.p99())),
+            ("max_ns", JsonValue::from(req.max)),
+            ("ok", JsonValue::from(self.win_ok.window(span).count)),
+            ("shed", JsonValue::from(self.win_shed.window(span).count)),
+            ("error", JsonValue::from(self.win_error.window(span).count)),
+            (
+                "task_p99_ns",
+                JsonValue::from(self.win_task.window(span).p99()),
+            ),
+        ])
+    }
+
+    /// The `/healthz` `windows` object: the last 1s/10s/60s views.
+    pub(crate) fn windows_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("1s", self.span_json(Duration::from_secs(1))),
+            ("10s", self.span_json(Duration::from_secs(10))),
+            ("60s", self.span_json(Duration::from_secs(60))),
+        ])
+    }
+
+    pub(crate) fn slo_violations(&self) -> u64 {
+        self.slo_violations.get()
+    }
+
+    pub(crate) fn slow_logged(&self) -> u64 {
+        self.slow_count.get()
+    }
+}
+
+fn as_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wnsk_obs::Registry;
+
+    fn obs() -> (Observability, Registry) {
+        let registry = Registry::new();
+        let config = ObservabilityConfig {
+            slow_threshold: Duration::ZERO,
+            // Hour-long ticks: the open tick is the only one a test
+            // ever sees, so window reads are deterministic.
+            window_interval: Duration::from_secs(3600),
+            ..ObservabilityConfig::default()
+        };
+        let o = Observability::new(config, &registry);
+        (o, registry)
+    }
+
+    fn observed<'a>(response: &'a str, line: &'a str) -> Observed<'a> {
+        Observed {
+            kind: "topk",
+            key: "topk|1,2",
+            line,
+            response,
+            deadline: None,
+            queue_wait: Duration::from_micros(10),
+            execute: Duration::from_micros(40),
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn outcome_markers_come_from_the_response() {
+        let (o, _r) = obs();
+        o.observe(observed(
+            r#"{"ok":true,"type":"topk","cached":true,"quality":"exact","results":[]}"#,
+            r#"{"type":"topk"}"#,
+        ));
+        o.observe(observed(r#"{"ok":false,"error":"boom"}"#, "{}"));
+        o.observe(observed(
+            r#"{"ok":false,"shed":true,"error":"queue full","quality":"degraded (shed)"}"#,
+            "{}",
+        ));
+        let entries = o.recorder.entries();
+        assert_eq!(entries.len(), 3);
+        // Newest first: shed, error, ok.
+        assert!(entries[0].shed && !entries[0].ok);
+        assert_eq!(entries[0].quality(), "degraded (shed)");
+        assert!(!entries[1].ok && !entries[1].shed);
+        assert!(entries[2].ok && entries[2].cached);
+        let spans = o.windows_json();
+        let one = spans.get("1s").unwrap();
+        assert_eq!(one.get("count").and_then(|v| v.as_f64()), Some(3.0));
+        assert_eq!(one.get("ok").and_then(|v| v.as_f64()), Some(1.0));
+        assert_eq!(one.get("shed").and_then(|v| v.as_f64()), Some(1.0));
+        assert_eq!(one.get("error").and_then(|v| v.as_f64()), Some(1.0));
+    }
+
+    #[test]
+    fn slow_log_keeps_line_and_response_and_caps_capacity() {
+        let registry = Registry::new();
+        let config = ObservabilityConfig {
+            slow_threshold: Duration::ZERO,
+            slow_capacity: 2,
+            window_interval: Duration::from_secs(3600),
+            ..ObservabilityConfig::default()
+        };
+        let o = Observability::new(config, &registry);
+        for i in 0..4 {
+            let line = format!(r#"{{"type":"topk","i":{i}}}"#);
+            o.observe(observed(r#"{"ok":true,"quality":"exact"}"#, &line));
+        }
+        let doc = o.slow_json();
+        let entries = doc.get("entries").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(entries.len(), 2, "capacity caps the log");
+        assert_eq!(doc.get("logged").and_then(|v| v.as_f64()), Some(4.0));
+        // The survivors are the two newest, with their original lines.
+        assert!(entries[1]
+            .get("line")
+            .and_then(|v| v.as_str())
+            .unwrap()
+            .contains(r#""i":3"#));
+        assert_eq!(o.slow_logged(), 4);
+        assert_eq!(registry.snapshot().counter(names::OBS_RECORDER_SLOW), 4);
+    }
+
+    #[test]
+    fn slow_threshold_filters_fast_requests() {
+        let registry = Registry::new();
+        let config = ObservabilityConfig {
+            slow_threshold: Duration::from_millis(1),
+            window_interval: Duration::from_secs(3600),
+            ..ObservabilityConfig::default()
+        };
+        let o = Observability::new(config, &registry);
+        o.observe(observed(r#"{"ok":true}"#, "{}")); // 50µs total: fast
+        let mut slow = observed(r#"{"ok":true}"#, "{}");
+        slow.execute = Duration::from_millis(5);
+        o.observe(slow);
+        assert_eq!(o.slow_logged(), 1);
+        assert_eq!(o.recorder.recorded(), 2, "recorder still sees both");
+    }
+
+    #[test]
+    fn slo_burn_counts_only_violations() {
+        let registry = Registry::new();
+        let config = ObservabilityConfig {
+            slow_threshold: Duration::from_secs(10),
+            slo: Duration::from_millis(1),
+            window_interval: Duration::from_secs(3600),
+            ..ObservabilityConfig::default()
+        };
+        let o = Observability::new(config, &registry);
+        o.observe(observed(r#"{"ok":true}"#, "{}"));
+        let mut late = observed(r#"{"ok":true}"#, "{}");
+        late.execute = Duration::from_millis(3);
+        o.observe(late);
+        assert_eq!(o.slo_violations(), 1);
+        assert_eq!(registry.snapshot().counter(names::SERVE_SLO_VIOLATIONS), 1);
+    }
+
+    #[test]
+    fn trace_slot_admits_one_tracer_at_a_time() {
+        let (o, _r) = obs();
+        assert!(o.begin_trace());
+        assert!(!o.begin_trace(), "slot is exclusive");
+        assert!(o.tracer.is_on());
+        let report = o.end_trace();
+        assert!(report.is_empty());
+        assert!(!o.tracer.is_on());
+        assert!(o.begin_trace(), "slot is reusable after release");
+        o.end_trace();
+    }
+}

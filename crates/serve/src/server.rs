@@ -18,7 +18,9 @@
 //! 4. the response line travels back over the per-job channel and the
 //!    end-to-end latency lands in `serve.request_ns`.
 
+use crate::admin::{self, AdminHandle};
 use crate::engine::{ResolvedRequest, ServeEngine};
+use crate::observe::ObservabilityConfig;
 use crate::protocol;
 use std::collections::VecDeque;
 use std::io::{Read, Write};
@@ -47,6 +49,15 @@ pub struct ServerConfig {
     /// experiments and deterministic queue-full tests; zero in
     /// production.
     pub worker_delay: Duration,
+    /// Bind address for the HTTP admin endpoint (`/metrics`,
+    /// `/healthz`, `/slow`, `/flight`); `None` leaves it off. Setting
+    /// an address implies observability (a default
+    /// [`ObservabilityConfig`] is used unless one is given).
+    pub admin_addr: Option<String>,
+    /// Observability plane configuration (flight recorder, slow-query
+    /// log, rolling windows); `None` leaves the plane off unless
+    /// `admin_addr` turns it on with defaults.
+    pub observability: Option<ObservabilityConfig>,
 }
 
 impl Default for ServerConfig {
@@ -57,18 +68,23 @@ impl Default for ServerConfig {
             queue_depth: 64,
             cache_entries: 256,
             worker_delay: Duration::ZERO,
+            admin_addr: None,
+            observability: None,
         }
     }
 }
 
 struct Job {
     request: ResolvedRequest,
+    /// The original wire line, kept verbatim so slow-log entries can be
+    /// replayed exactly as received.
+    line: String,
     deadline: Option<Duration>,
     enqueued: Instant,
     reply: mpsc::Sender<String>,
 }
 
-struct Shared {
+pub(crate) struct Shared {
     serve: ServeEngine,
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
@@ -83,6 +99,7 @@ impl Shared {
     fn submit(
         &self,
         request: ResolvedRequest,
+        line: &str,
         deadline: Option<Duration>,
     ) -> Result<mpsc::Receiver<String>, String> {
         let (reply, rx) = mpsc::channel();
@@ -93,17 +110,41 @@ impl Shared {
         if queue.len() >= self.queue_depth {
             drop(queue);
             self.serve.note_shed();
-            return Err(protocol::render_shed("queue full"));
+            let response = protocol::render_shed("queue full");
+            self.serve
+                .observe_admission_shed(&request, line, &response, deadline);
+            return Err(response);
         }
         self.serve.note_accepted(queue.len());
         queue.push_back(Job {
             request,
+            line: line.to_string(),
             deadline,
             enqueued: Instant::now(),
             reply,
         });
         self.available.notify_one();
         Ok(rx)
+    }
+
+    /// Dispatches one admin-endpoint path; `None` renders as 404.
+    pub(crate) fn admin_route(&self, path: &str) -> Option<(&'static str, String)> {
+        match path {
+            "/metrics" => Some((
+                "text/plain; version=0.0.4",
+                wnsk_obs::prometheus_text(&self.serve.registry().snapshot()),
+            )),
+            "/healthz" => {
+                let queue_len = self.queue.lock().unwrap().len();
+                Some((
+                    "application/json",
+                    self.serve.healthz_json(queue_len, self.queue_depth),
+                ))
+            }
+            "/slow" => Some(("application/json", self.serve.slow_json())),
+            "/flight" => Some(("application/json", self.serve.flight_json())),
+            _ => None,
+        }
     }
 
     /// One worker's service loop: drain the queue, exit once shutdown
@@ -115,7 +156,9 @@ impl Shared {
                 let mut queue = self.queue.lock().unwrap();
                 loop {
                     if let Some(job) = queue.pop_front() {
-                        break Some(job);
+                        // The depth left behind at dequeue is the
+                        // drain-side `serve.queue_depth` sample.
+                        break Some((job, queue.len()));
                     }
                     if self.shutdown.load(Ordering::Acquire) {
                         break None;
@@ -127,21 +170,17 @@ impl Shared {
                     queue = guard;
                 }
             };
-            let Some(job) = job else { return };
+            let Some((job, depth_after)) = job else {
+                return;
+            };
+            self.serve.note_dequeued(depth_after);
             if !self.worker_delay.is_zero() {
                 std::thread::sleep(self.worker_delay);
             }
             let waited = job.enqueued.elapsed();
-            let response = match job.deadline {
-                Some(deadline) if waited >= deadline => {
-                    self.serve.note_shed();
-                    protocol::render_shed("deadline exceeded")
-                }
-                deadline => {
-                    let remaining = deadline.map(|d| d.saturating_sub(waited));
-                    self.serve.execute(&job.request, remaining)
-                }
-            };
+            let response =
+                self.serve
+                    .execute_observed(&job.request, &job.line, job.deadline, waited);
             self.serve.note_request_done(job.enqueued.elapsed());
             let _ = job.reply.send(response);
         }
@@ -198,7 +237,7 @@ impl Shared {
             Ok(r) => r,
             Err(e) => return protocol::render_error(&e),
         };
-        match self.submit(resolved, parsed.deadline) {
+        match self.submit(resolved, line, parsed.deadline) {
             Ok(rx) => rx
                 .recv()
                 .unwrap_or_else(|_| protocol::render_error("server shutting down")),
@@ -215,12 +254,18 @@ pub struct ServerHandle {
     acceptor: Option<JoinHandle<()>>,
     workers: Option<JoinHandle<()>>,
     connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    admin: Option<AdminHandle>,
 }
 
 impl ServerHandle {
     /// The bound address (resolves port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound admin-endpoint address, when one was configured.
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin.as_ref().map(AdminHandle::addr)
     }
 
     /// The shared metrics registry (engine + `serve.*`).
@@ -238,6 +283,9 @@ impl ServerHandle {
     /// queued, join every thread.
     pub fn shutdown(mut self) {
         self.stop();
+        if let Some(admin) = self.admin.take() {
+            admin.shutdown();
+        }
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
@@ -276,14 +324,31 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let threads = config.threads.max(1);
+        let mut serve = ServeEngine::new(engine, config.cache_entries);
+        // An admin endpoint without an explicit observability config
+        // still gets the default plane: /slow and /flight would
+        // otherwise always read empty.
+        let observability = config.observability.clone().or_else(|| {
+            config
+                .admin_addr
+                .as_ref()
+                .map(|_| ObservabilityConfig::default())
+        });
+        if let Some(obs_config) = observability {
+            serve = serve.with_observability(obs_config);
+        }
         let shared = Arc::new(Shared {
-            serve: ServeEngine::new(engine, config.cache_entries),
+            serve,
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
             queue_depth: config.queue_depth.max(1),
             worker_delay: config.worker_delay,
         });
+        let admin = match &config.admin_addr {
+            Some(admin_addr) => Some(admin::start(admin_addr, Arc::clone(&shared))?),
+            None => None,
+        };
 
         // The worker pool: one long-lived pump task per worker, seeded
         // into the work-stealing executor. Each pump loops over the
@@ -328,6 +393,7 @@ impl Server {
             acceptor: Some(acceptor),
             workers: Some(workers),
             connections,
+            admin,
         })
     }
 }

@@ -1,0 +1,336 @@
+//! Admin-endpoint integration: an in-process session drives loadgen
+//! traffic at a live server, scrapes `GET /metrics`, and reconciles
+//! every `wnsk_serve_*` family exactly with the in-process registry
+//! snapshot; `/healthz` windows read all-zero idle and move under
+//! traffic; `/slow` entries replay bit-identically through
+//! `execute_uncached`; the flight recorder stays memory-bounded.
+
+use std::time::Duration;
+use wnsk_core::WhyNotEngine;
+use wnsk_data::{generate, DatasetSpec};
+use wnsk_obs::{parse_prometheus_text, prometheus_name, JsonValue};
+use wnsk_serve::client::{stats_line, topk_line, whynot_line};
+use wnsk_serve::{http_get, protocol, Client, ObservabilityConfig, Server, ServerConfig};
+
+fn warm_engine() -> WhyNotEngine {
+    let data = generate(&DatasetSpec::tiny(7));
+    WhyNotEngine::build_in_memory(data.dataset)
+        .expect("tiny dataset builds")
+        .with_vocabulary(data.vocabulary)
+}
+
+fn keyword_names(engine: &WhyNotEngine, n: u32) -> Vec<String> {
+    let vocab = engine.vocabulary().expect("vocabulary attached");
+    (0..n)
+        .map(|t| vocab.name(wnsk_text::TermId(t)).unwrap().to_string())
+        .collect()
+}
+
+const AT: (f64, f64) = (0.5, 0.25);
+const K: usize = 3;
+const ALPHA: f64 = 0.5;
+const LAMBDA: f64 = 0.5;
+
+/// A server with the observability plane fully on: admin endpoint
+/// bound, every request slow-logged (threshold zero), hour-long window
+/// ticks so reads are deterministic (the open tick is the only one a
+/// test ever observes).
+fn observed_config() -> ServerConfig {
+    ServerConfig {
+        admin_addr: Some("127.0.0.1:0".to_string()),
+        observability: Some(ObservabilityConfig {
+            slow_threshold: Duration::ZERO,
+            window_interval: Duration::from_secs(3600),
+            ..ObservabilityConfig::default()
+        }),
+        ..ServerConfig::default()
+    }
+}
+
+/// A small mixed request pool for loadgen.
+fn request_pool(engine: &WhyNotEngine) -> Vec<String> {
+    let keywords = keyword_names(engine, 2);
+    let kw: Vec<&str> = keywords.iter().map(String::as_str).collect();
+    let deep = wnsk_index::SpatialKeywordQuery::new(
+        wnsk_geo::Point::new(AT.0, AT.1),
+        wnsk_text::KeywordSet::from_ids(
+            keywords
+                .iter()
+                .map(|n| engine.vocabulary().unwrap().get(n).unwrap().0),
+        ),
+        20,
+        ALPHA,
+    );
+    let ranking = engine.top_k(&deep).unwrap();
+    let missing = ranking[5].0;
+    vec![
+        topk_line(AT, &kw, K, ALPHA),
+        topk_line(AT, &kw, K + 1, ALPHA),
+        whynot_line(AT, &kw, K, ALPHA, &[missing.0], LAMBDA, None),
+        stats_line(),
+    ]
+}
+
+#[test]
+fn metrics_scrape_reconciles_exactly_with_registry_snapshot() {
+    let handle = Server::start(warm_engine(), observed_config()).unwrap();
+    let admin = handle.admin_addr().expect("admin endpoint bound");
+    let pool = request_pool(&handle.serve_engine().engine());
+
+    let config = wnsk_serve::LoadgenConfig {
+        addr: handle.addr().to_string(),
+        connections: 2,
+        requests: 40,
+        ..wnsk_serve::LoadgenConfig::default()
+    };
+    let report = wnsk_serve::loadgen::run(&config, &pool).unwrap();
+    assert_eq!(report.sent, 40);
+    assert_eq!(report.errors, 0, "clean traffic: {report:?}");
+
+    // Loadgen has fully drained (closed loop), so the server is idle:
+    // a scrape and a registry snapshot taken back to back must agree
+    // sample for sample.
+    let (status, text) = http_get(&admin.to_string(), "/metrics").unwrap();
+    assert_eq!(status, 200);
+    let samples = parse_prometheus_text(&text).expect("scrape parses strictly");
+    let snapshot = handle.registry().snapshot();
+
+    let mut families = 0;
+    for (name, value) in &snapshot.counters {
+        if !name.starts_with("serve.") && !name.starts_with("obs.") {
+            continue;
+        }
+        families += 1;
+        let sample = prometheus_name(name);
+        assert_eq!(
+            samples.get(&sample).copied(),
+            Some(*value as f64),
+            "counter {name} must reconcile"
+        );
+    }
+    for (name, hist) in &snapshot.hists {
+        if !name.starts_with("serve.") {
+            continue;
+        }
+        families += 1;
+        let base = prometheus_name(name);
+        assert_eq!(
+            samples.get(&format!("{base}_count")).copied(),
+            Some(hist.count as f64),
+            "hist {name} count must reconcile"
+        );
+        assert_eq!(
+            samples.get(&format!("{base}_sum")).copied(),
+            Some(hist.sum as f64),
+            "hist {name} sum must reconcile"
+        );
+        assert!(
+            samples.contains_key(&format!("{base}_bucket{{le=\"+Inf\"}}")),
+            "hist {name} must export its +Inf bucket"
+        );
+    }
+    // The full expected surface was actually exercised: the serve
+    // counters, both hists, the window/SLO/recorder families.
+    for required in [
+        "serve.accepted",
+        "serve.shed",
+        "serve.cache_hits",
+        "serve.cache_misses",
+        "serve.cache_invalidated",
+        "serve.queue_depth",
+        "serve.request_ns",
+        "serve.window.request_ns",
+        "serve.window.ticks",
+        "serve.slo.violations",
+        "obs.recorder.recorded",
+        "obs.recorder.overwritten",
+        "obs.recorder.slow",
+    ] {
+        let in_counters = snapshot.counters.contains_key(required);
+        let in_hists = snapshot.hists.contains_key(required);
+        assert!(in_counters || in_hists, "registry must carry {required}");
+    }
+    assert!(families >= 13, "reconciled only {families} families");
+
+    // Traffic flowed: accepted everything, recorded everything.
+    assert!(snapshot.counter("serve.accepted") >= 40);
+    assert_eq!(
+        snapshot.counter("obs.recorder.recorded"),
+        snapshot.counter("serve.accepted"),
+        "every admitted request files exactly one flight entry"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn healthz_windows_read_zero_idle_and_move_under_traffic() {
+    let handle = Server::start(warm_engine(), observed_config()).unwrap();
+    let admin = handle.admin_addr().unwrap().to_string();
+
+    let (status, body) = http_get(&admin, "/healthz").unwrap();
+    assert_eq!(status, 200);
+    let idle = JsonValue::parse(&body).unwrap();
+    assert_eq!(idle.get("ok"), Some(&JsonValue::Bool(true)));
+    assert_eq!(idle.get("queue_depth").and_then(|v| v.as_f64()), Some(0.0));
+    assert_eq!(
+        idle.get("queue_capacity").and_then(|v| v.as_f64()),
+        Some(64.0)
+    );
+    assert_eq!(idle.get("epoch").and_then(|v| v.as_f64()), Some(0.0));
+    assert_eq!(idle.get("wal_attached"), Some(&JsonValue::Bool(false)));
+    for span in ["1s", "10s", "60s"] {
+        let w = idle.get("windows").and_then(|v| v.get(span)).unwrap();
+        for field in ["count", "ok", "shed", "error", "p99_ns"] {
+            assert_eq!(
+                w.get(field).and_then(|v| v.as_f64()),
+                Some(0.0),
+                "idle window {span}.{field} must be zero"
+            );
+        }
+    }
+
+    // Drive a little traffic, including one mutation and one error.
+    let keywords = keyword_names(&handle.serve_engine().engine(), 2);
+    let kw: Vec<&str> = keywords.iter().map(String::as_str).collect();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for _ in 0..5 {
+        let doc = client.call_json(&topk_line(AT, &kw, K, ALPHA)).unwrap();
+        assert_eq!(doc.get("ok"), Some(&JsonValue::Bool(true)));
+    }
+    let insert = format!(
+        r#"{{"type":"insert","at":[0.25,0.75],"keywords":["{}"]}}"#,
+        kw[0]
+    );
+    assert_eq!(
+        client.call_json(&insert).unwrap().get("ok"),
+        Some(&JsonValue::Bool(true))
+    );
+
+    let (_, body) = http_get(&admin, "/healthz").unwrap();
+    let busy = JsonValue::parse(&body).unwrap();
+    assert_eq!(busy.get("epoch").and_then(|v| v.as_f64()), Some(1.0));
+    assert!(busy.get("accepted").and_then(|v| v.as_f64()).unwrap() >= 6.0);
+    let w60 = busy.get("windows").and_then(|v| v.get("60s")).unwrap();
+    assert!(
+        w60.get("count").and_then(|v| v.as_f64()).unwrap() >= 6.0,
+        "windows must move under traffic: {body}"
+    );
+    assert!(w60.get("ok").and_then(|v| v.as_f64()).unwrap() >= 6.0);
+    assert!(w60.get("p99_ns").and_then(|v| v.as_f64()).unwrap() > 0.0);
+    handle.shutdown();
+}
+
+/// Removes the cache markers (`cached`, `rank_reused`) from a rendered
+/// response so cached and fresh renderings can be compared
+/// bit-for-bit, mirroring what `wnsk serve --replay` does.
+fn strip_cache_markers(response: &str) -> String {
+    match JsonValue::parse(response).unwrap() {
+        JsonValue::Object(fields) => JsonValue::Object(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "cached" && k != "rank_reused")
+                .collect(),
+        )
+        .render(),
+        other => other.render(),
+    }
+}
+
+#[test]
+fn slow_entries_replay_bit_identical_via_execute_uncached() {
+    let handle = Server::start(warm_engine(), observed_config()).unwrap();
+    let admin = handle.admin_addr().unwrap().to_string();
+    let pool = request_pool(&handle.serve_engine().engine());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for line in pool.iter().chain(pool.iter()) {
+        client.call_json(line).unwrap();
+    }
+
+    let (status, body) = http_get(&admin, "/slow").unwrap();
+    assert_eq!(status, 200);
+    let doc = JsonValue::parse(&body).unwrap();
+    let entries = doc.get("entries").and_then(|v| v.as_array()).unwrap();
+    // Threshold zero files every request, including the cached repeats.
+    assert_eq!(entries.len(), 8, "all eight requests slow-logged: {body}");
+
+    let serve = handle.serve_engine();
+    let mut replayed = 0;
+    for entry in entries {
+        let kind = entry.get("kind").and_then(|v| v.as_str()).unwrap();
+        if kind != "topk" && kind != "whynot" {
+            continue;
+        }
+        let line = entry.get("line").and_then(|v| v.as_str()).unwrap();
+        let response = entry.get("response").and_then(|v| v.as_str()).unwrap();
+        let parsed = protocol::parse_request(line).unwrap();
+        let resolved = serve.resolve(&parsed.request).unwrap();
+        let fresh = serve
+            .execute_uncached(&resolved)
+            .expect("query kinds replay");
+        assert_eq!(
+            strip_cache_markers(&fresh),
+            strip_cache_markers(response),
+            "slow entry must replay bit-identically: {line}"
+        );
+        replayed += 1;
+    }
+    assert_eq!(replayed, 6, "both query kinds replayed, repeats included");
+    handle.shutdown();
+}
+
+#[test]
+fn flight_recorder_stays_bounded_and_marks_cache_reuse() {
+    let mut config = observed_config();
+    config.observability.as_mut().unwrap().flight_capacity = 8;
+    let handle = Server::start(warm_engine(), config).unwrap();
+    let admin = handle.admin_addr().unwrap().to_string();
+
+    let recorder = handle.serve_engine().flight_recorder().unwrap();
+    assert_eq!(recorder.capacity(), 8);
+    let per_slot = recorder.memory_bytes() / recorder.capacity();
+    assert!(
+        per_slot < 512,
+        "fixed per-entry footprint blew its budget: {per_slot}B"
+    );
+
+    let keywords = keyword_names(&handle.serve_engine().engine(), 2);
+    let kw: Vec<&str> = keywords.iter().map(String::as_str).collect();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for _ in 0..20 {
+        client.call_json(&topk_line(AT, &kw, K, ALPHA)).unwrap();
+    }
+
+    let (_, body) = http_get(&admin, "/flight").unwrap();
+    let doc = JsonValue::parse(&body).unwrap();
+    assert_eq!(doc.get("capacity").and_then(|v| v.as_f64()), Some(8.0));
+    assert_eq!(doc.get("recorded").and_then(|v| v.as_f64()), Some(20.0));
+    let entries = doc.get("entries").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(entries.len(), 8, "ring holds exactly its capacity");
+    // The repeats were cache hits, and every entry keys the same
+    // canonical query.
+    assert!(entries
+        .iter()
+        .all(|e| e.get("cached") == Some(&JsonValue::Bool(true))));
+    let key = entries[0].get("key").and_then(|v| v.as_str()).unwrap();
+    assert!(
+        !key.is_empty() && key.contains("k=3"),
+        "canonical key: {key}"
+    );
+    assert!(entries
+        .iter()
+        .all(|e| e.get("key").and_then(|v| v.as_str()) == Some(key)));
+    handle.shutdown();
+}
+
+#[test]
+fn admin_rejects_unknown_paths_and_non_get() {
+    let handle = Server::start(warm_engine(), observed_config()).unwrap();
+    let admin = handle.admin_addr().unwrap().to_string();
+    let (status, body) = http_get(&admin, "/nope").unwrap();
+    assert_eq!(status, 404);
+    assert!(body.contains("not found"));
+    // Query strings are ignored, not 404ed.
+    let (status, _) = http_get(&admin, "/healthz?verbose=1").unwrap();
+    assert_eq!(status, 200);
+    handle.shutdown();
+}
