@@ -221,6 +221,13 @@ pub fn run_bench_full(cfg: &XpConfig) -> BenchOutcome {
     // rate the cache achieves when the dataset refuses to sit still.
     rows.push(churn_row(cfg));
 
+    // The scatter-gather coordinator over the same session script: the
+    // merged answers' penalties are gated exactly (bit-identity with a
+    // single engine is the subsystem's contract), and the cross-shard
+    // bound-tightening counter is asserted nonzero before the row is
+    // even written.
+    rows.push(sharded_row(cfg));
+
     BenchOutcome {
         metrics: bed.registry().snapshot(),
         rows,
@@ -247,14 +254,62 @@ fn observed_row(cfg: &XpConfig) -> BenchRow {
     )
 }
 
+/// Deterministic session lines for the serve rows: per step a top-k on
+/// a real object's location and terms, plus (where brute-force ranking
+/// finds one strictly below the top-K) the matching why-not question.
+fn session_lines(
+    ds: &wnsk_index::Dataset,
+    vocab: &wnsk_text::Vocabulary,
+    queries: usize,
+    k: usize,
+) -> Vec<String> {
+    use wnsk_index::{ObjectId, SpatialKeywordQuery};
+    use wnsk_serve::client;
+    use wnsk_text::KeywordSet;
+
+    let mut lines = Vec::new();
+    for i in 0..queries {
+        let o = ds.object(ObjectId(((i * 97 + 13) % ds.len()) as u32));
+        let at = wnsk_serve::cache::canonical_point(o.loc);
+        let terms: Vec<_> = o.doc.iter().take(2).collect();
+        let names: Vec<&str> = terms.iter().filter_map(|&t| vocab.name(t)).collect();
+        if names.is_empty() {
+            continue;
+        }
+        lines.push(client::topk_line((at.x, at.y), &names, k, 0.5));
+        let query =
+            SpatialKeywordQuery::new(at, KeywordSet::from_ids(terms.iter().map(|t| t.0)), k, 0.5);
+        let mut scored: Vec<(ObjectId, f64)> = ds
+            .objects()
+            .iter()
+            .map(|obj| (obj.id, ds.score(obj, &query)))
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let kth = scored[k - 1].1;
+        if let Some(&(missing, _)) = scored[k..(k + 20).min(scored.len())]
+            .iter()
+            .find(|&&(_, s)| s < kth)
+        {
+            lines.push(client::whynot_line(
+                (at.x, at.y),
+                &names,
+                k,
+                0.5,
+                &[missing.0],
+                0.5,
+                None,
+            ));
+        }
+    }
+    lines
+}
+
 fn serve_session_row(
     cfg: &XpConfig,
     id: &str,
     observability: Option<wnsk_serve::ObservabilityConfig>,
 ) -> BenchRow {
-    use wnsk_index::{ObjectId, SpatialKeywordQuery};
-    use wnsk_serve::{client, Client, Server, ServerConfig};
-    use wnsk_text::KeywordSet;
+    use wnsk_serve::{Client, Server, ServerConfig};
 
     const K: usize = 10;
     let g = wnsk_data::generate(&DatasetSpec::euro_like(cfg.scale));
@@ -275,45 +330,14 @@ fn serve_session_row(
     // step also asks the matching why-not question for an object picked
     // by brute-force ranking to sit strictly below the top-K.
     let engine_guard = handle.serve_engine().engine();
-    let ds = engine_guard.dataset();
-    let vocab = engine_guard
-        .vocabulary()
-        .expect("bench engine has a vocabulary");
-    let mut lines = Vec::new();
-    for i in 0..cfg.queries.max(1) {
-        let o = ds.object(ObjectId(((i * 97 + 13) % ds.len()) as u32));
-        let at = wnsk_serve::cache::canonical_point(o.loc);
-        let terms: Vec<_> = o.doc.iter().take(2).collect();
-        let names: Vec<&str> = terms.iter().filter_map(|&t| vocab.name(t)).collect();
-        if names.is_empty() {
-            continue;
-        }
-        lines.push(client::topk_line((at.x, at.y), &names, K, 0.5));
-        let query =
-            SpatialKeywordQuery::new(at, KeywordSet::from_ids(terms.iter().map(|t| t.0)), K, 0.5);
-        let mut scored: Vec<(ObjectId, f64)> = ds
-            .objects()
-            .iter()
-            .map(|obj| (obj.id, ds.score(obj, &query)))
-            .collect();
-        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
-        let kth = scored[K - 1].1;
-        if let Some(&(missing, _)) = scored[K..(K + 20).min(scored.len())]
-            .iter()
-            .find(|&&(_, s)| s < kth)
-        {
-            lines.push(client::whynot_line(
-                (at.x, at.y),
-                &names,
-                K,
-                0.5,
-                &[missing.0],
-                0.5,
-                None,
-            ));
-        }
-    }
-
+    let lines = session_lines(
+        engine_guard.dataset(),
+        engine_guard
+            .vocabulary()
+            .expect("bench engine has a vocabulary"),
+        cfg.queries.max(1),
+        K,
+    );
     drop(engine_guard);
     let mut conn = Client::connect(handle.addr()).expect("bench client connects");
     let mut penalties = Vec::new();
@@ -359,6 +383,115 @@ fn serve_session_row(
                 "cache_misses",
                 snap.counter(wnsk_obs::names::SERVE_CACHE_MISSES) as f64,
             ),
+        ],
+    };
+    handle.shutdown();
+    row
+}
+
+/// The scatter-gather row: `serve/sharded/s=2/t=2` — the serve-session
+/// script against a 2-shard coordinator on 2 executor threads. The
+/// session is sequential, so every counter is deterministic: accepted
+/// requests, cache traffic (top-k answers cache across passes; the
+/// sharded why-not path always recomputes), scatter fan-outs, and the
+/// cross-shard penalty-bound tightenings — pinned *nonzero* here, so
+/// CI fails outright if the shared bound ever stops pruning across
+/// shards. Penalties are gated exactly: the merged answers must stay
+/// bit-identical to a single engine's no matter what this row's code
+/// paths do.
+fn sharded_row(cfg: &XpConfig) -> BenchRow {
+    use wnsk_serve::{Client, Server, ServerConfig};
+    use wnsk_shard::{Coordinator, CoordinatorConfig, ShardManifest};
+
+    const K: usize = 10;
+    const SHARDS: usize = 2;
+    let g = wnsk_data::generate(&DatasetSpec::euro_like(cfg.scale));
+    let manifest = ShardManifest::plan(&g.dataset, SHARDS, 42);
+    let coordinator = Coordinator::new(
+        g.dataset,
+        manifest,
+        CoordinatorConfig {
+            threads: 2,
+            ..CoordinatorConfig::default()
+        },
+    )
+    .expect("bench partition covers the dataset")
+    .with_vocabulary(g.vocabulary);
+    let handle = Server::start_sharded(
+        coordinator,
+        ServerConfig {
+            threads: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bench server binds a loopback port");
+
+    let coord = handle.serve_engine().coordinator();
+    let lines = session_lines(
+        coord.dataset(),
+        coord
+            .vocabulary()
+            .expect("bench coordinator has a vocabulary"),
+        cfg.queries.max(1),
+        K,
+    );
+    drop(coord);
+
+    let mut conn = Client::connect(handle.addr()).expect("bench client connects");
+    let mut penalties = Vec::new();
+    let mut requests = 0u32;
+    let started = std::time::Instant::now();
+    for _pass in 0..2 {
+        for line in &lines {
+            let doc = conn.call_json(line).expect("bench request answered");
+            assert_eq!(
+                doc.get("ok"),
+                Some(&JsonValue::Bool(true)),
+                "bench sharded session must answer every request: {doc:?}"
+            );
+            requests += 1;
+            if doc.get("type").and_then(JsonValue::as_str) == Some("whynot") {
+                let p = doc
+                    .get("refined")
+                    .and_then(|r| r.get("penalty"))
+                    .and_then(JsonValue::as_f64)
+                    .expect("whynot answers carry a penalty");
+                penalties.push(p);
+            }
+        }
+    }
+    let time_ms = started.elapsed().as_secs_f64() * 1e3 / f64::from(requests.max(1));
+
+    let snap = handle.registry().snapshot();
+    let tightenings = snap.counter(wnsk_obs::names::SHARD_BOUND_TIGHTENINGS);
+    assert!(
+        tightenings > 0,
+        "the cross-shard penalty bound never tightened — the why-not \
+         scatter is not sharing improvements between shards"
+    );
+    let row = BenchRow {
+        id: format!("serve/sharded/s={SHARDS}/t=2"),
+        threads: 2,
+        time_ms,
+        penalty: penalties.iter().sum::<f64>() / penalties.len().max(1) as f64,
+        work: vec![
+            (
+                "accepted",
+                snap.counter(wnsk_obs::names::SERVE_ACCEPTED) as f64,
+            ),
+            (
+                "cache_hits",
+                snap.counter(wnsk_obs::names::SERVE_CACHE_HITS) as f64,
+            ),
+            (
+                "cache_misses",
+                snap.counter(wnsk_obs::names::SERVE_CACHE_MISSES) as f64,
+            ),
+            (
+                "scatter",
+                snap.counter(wnsk_obs::names::SHARD_SCATTER) as f64,
+            ),
+            ("bound_tightenings", tightenings as f64),
         ],
     };
     handle.shutdown();

@@ -13,6 +13,7 @@ use wnsk_data::{io as dataio, DatasetSpec};
 use wnsk_index::{Dataset, KcrTree, ObjectId, SetRTree, SpatialKeywordQuery};
 use wnsk_obs::{JsonValue, QueryReport, Registry, Snapshot, Tracer};
 use wnsk_serve::{LoadgenConfig, Server, ServerConfig};
+use wnsk_shard::{Coordinator, CoordinatorConfig, ShardManifest};
 use wnsk_storage::{BufferPool, BufferPoolConfig, FileBackend};
 use wnsk_text::{Kernel, KeywordSet, Vocabulary};
 
@@ -484,6 +485,47 @@ fn render_recovery(path: &str, report: &wnsk_storage::RecoveryReport) -> String 
     line
 }
 
+/// Renders a sharded recovery banner: one line per shard WAL plus the
+/// route-log summary (records found, records redone into shards whose
+/// own WAL had lost them).
+fn render_shard_recovery(dir: &str, recovery: &wnsk_shard::ShardRecovery) -> String {
+    let mut out = String::new();
+    for (s, report) in recovery.shards.iter().enumerate() {
+        out.push_str(&render_recovery(&format!("{dir}/shard-{s}.wal"), report));
+    }
+    writeln!(
+        out,
+        "route log: {} committed records, {} redone into lagging shards",
+        recovery.route_records, recovery.redone
+    )
+    .unwrap();
+    out
+}
+
+/// Writes `contents` to `path` via a temp file in the same directory
+/// plus an atomic rename, so a reader polling for the file (a test
+/// harness or CI script waiting on an address) never observes a torn
+/// or empty write.
+fn write_text_atomic(path: &str, contents: &str) -> Result<(), String> {
+    let target = Path::new(path);
+    let name = target
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| format!("cannot write {path}: not a file path"))?;
+    let tmp = target.with_file_name(format!(".{name}.{}.tmp", std::process::id()));
+    let write = || -> std::io::Result<()> {
+        use std::io::Write as _;
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(contents.as_bytes())?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, target)
+    };
+    write().map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        format!("cannot write {path}: {e}")
+    })
+}
+
 /// One line of a `wnsk ingest` ops file, resolved against the dataset
 /// vocabulary. Lines: `insert X Y kw[,kw…]`, `delete ID`,
 /// `update ID kw[,kw…]`; blank lines and `#` comments are skipped.
@@ -603,22 +645,22 @@ pub fn ingest(args: &ParsedArgs) -> Result<String, String> {
     Ok(out)
 }
 
-/// `wnsk serve` — run the embedded query-serving layer over a dataset.
+/// `wnsk serve` — run the embedded query-serving layer over a dataset,
+/// either on a single engine or (with `--shards`/`--manifest`) behind
+/// the scatter-gather coordinator.
 pub fn serve(args: &ParsedArgs) -> Result<String, String> {
-    let mut engine = build_serve_engine(args)?;
+    let sharded = args.optional("shards").is_some() || args.optional("manifest").is_some();
+    if sharded {
+        for flag in ["wal", "replay"] {
+            if args.optional(flag).is_some() {
+                return Err(format!(
+                    "--{flag} drives the single-engine path; sharded serving \
+                     persists through --shard-wal-dir"
+                ));
+            }
+        }
+    }
     let mut recovery_banner = String::new();
-    if let Some(wal_path) = args.optional("wal") {
-        let report = attach_wal(&mut engine, wal_path)?;
-        recovery_banner = render_recovery(wal_path, &report);
-    }
-    if let Some(session) = args.optional("replay") {
-        let cache_entries: usize = args.parse_or("cache-entries", 256usize)?.max(1);
-        let mut out = recovery_banner;
-        out.push_str(&replay_session(engine, session, cache_entries)?);
-        return Ok(out);
-    }
-    let engine = engine;
-    let objects = engine.dataset().live_len();
     let admin_addr = args.optional("admin-addr").map(String::from);
     let observability = if admin_addr.is_some() {
         let mut obs = wnsk_serve::ObservabilityConfig::default();
@@ -662,17 +704,92 @@ pub fn serve(args: &ParsedArgs) -> Result<String, String> {
         },
     };
 
-    let handle =
-        Server::start(engine, config.clone()).map_err(|e| format!("starting server: {e}"))?;
+    let (handle, objects, shard_note) = if sharded {
+        let (ds, vocab) = load_dataset(args)?;
+        let manifest = match args.optional("manifest") {
+            Some(path) => {
+                let manifest = ShardManifest::load(Path::new(path))?;
+                if let Some(n) = args.optional("shards") {
+                    let n: usize = n.parse().map_err(|e| format!("--shards: {e}"))?;
+                    if n != manifest.shard_count() {
+                        return Err(format!(
+                            "--shards {n} contradicts {path} ({} shards)",
+                            manifest.shard_count()
+                        ));
+                    }
+                }
+                manifest
+            }
+            None => ShardManifest::plan(
+                &ds,
+                args.parse_or("shards", 2usize)?.max(1),
+                args.parse_or("shard-seed", 42u64)?,
+            ),
+        };
+        let coord_config = CoordinatorConfig {
+            replicas: args.parse_or("replicas", 1usize)?.max(1),
+            threads: config.threads,
+            admission_cap: match args.optional("shard-admission") {
+                None => None,
+                Some(v) => Some(v.parse().map_err(|e| format!("--shard-admission: {e}"))?),
+            },
+            ..CoordinatorConfig::default()
+        };
+        let note = format!(
+            "{} shards x {} replica(s), routing by keyword affinity",
+            manifest.shard_count(),
+            coord_config.replicas
+        );
+        let mut coordinator = Coordinator::new(ds, manifest, coord_config)
+            .map_err(|e| format!("building coordinator: {e}"))?
+            .with_vocabulary(vocab);
+        if let Some(dir) = args.optional("shard-wal-dir") {
+            let recovery = coordinator
+                .attach_wal_dir(Path::new(dir))
+                .map_err(|e| format!("recovering {dir}: {e}"))?;
+            recovery_banner = render_shard_recovery(dir, &recovery);
+        }
+        let objects = coordinator.dataset().live_len();
+        let handle = Server::start_sharded(coordinator, config.clone())
+            .map_err(|e| format!("starting server: {e}"))?;
+        (handle, objects, Some(note))
+    } else {
+        let mut engine = build_serve_engine(args)?;
+        if let Some(wal_path) = args.optional("wal") {
+            let report = attach_wal(&mut engine, wal_path)?;
+            recovery_banner = render_recovery(wal_path, &report);
+        }
+        if let Some(session) = args.optional("replay") {
+            let cache_entries: usize = args.parse_or("cache-entries", 256usize)?.max(1);
+            let mut out = recovery_banner;
+            out.push_str(&replay_session(engine, session, cache_entries)?);
+            return Ok(out);
+        }
+        let objects = engine.dataset().live_len();
+        let handle =
+            Server::start(engine, config.clone()).map_err(|e| format!("starting server: {e}"))?;
+        (handle, objects, None)
+    };
     let addr = handle.addr();
     if let Some(path) = args.optional("addr-file") {
-        std::fs::write(path, addr.to_string()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        write_text_atomic(path, &addr.to_string())?;
     }
     if let Some(path) = args.optional("admin-addr-file") {
         let admin = handle
             .admin_addr()
             .ok_or("--admin-addr-file needs --admin-addr")?;
-        std::fs::write(path, admin.to_string()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        write_text_atomic(path, &admin.to_string())?;
+    }
+    if let Some(prefix) = args.optional("shard-admin-addr-file") {
+        let addrs = handle.shard_admin_addrs();
+        if addrs.is_empty() {
+            return Err(
+                "--shard-admin-addr-file needs --admin-addr and --shards/--manifest".into(),
+            );
+        }
+        for (s, shard_addr) in addrs.iter().enumerate() {
+            write_text_atomic(&format!("{prefix}{s}"), &shard_addr.to_string())?;
+        }
     }
     // The periodic exporter republishes the live registry as Prometheus
     // text on a fixed cadence, via write-tmp-then-rename so scrapers
@@ -700,8 +817,14 @@ pub fn serve(args: &ParsedArgs) -> Result<String, String> {
         "wnsk-serve listening on {addr} ({objects} objects, {} threads, queue depth {}, cache {})",
         config.threads, config.queue_depth, config.cache_entries
     );
+    if let Some(note) = &shard_note {
+        eprintln!("wnsk-serve scatter-gather coordinator: {note}");
+    }
     if let Some(admin) = handle.admin_addr() {
         eprintln!("wnsk-serve admin endpoint on {admin} (/metrics /healthz /slow /flight)");
+    }
+    for (s, shard_admin) in handle.shard_admin_addrs().iter().enumerate() {
+        eprintln!("wnsk-serve shard {s} admin plane on {shard_admin} (/metrics /healthz)");
     }
     if duration_ms == 0 {
         loop {
@@ -727,6 +850,40 @@ pub fn serve(args: &ParsedArgs) -> Result<String, String> {
         out.push_str(&export::export(&snapshot, target).map_err(|e| e.to_string())?);
     }
     handle.shutdown();
+    Ok(out)
+}
+
+/// `wnsk shard-plan` — compute the deterministic keyword-aware
+/// partition of a dataset and write the shard manifest atomically.
+pub fn shard_plan(args: &ParsedArgs) -> Result<String, String> {
+    let (ds, vocab) = load_dataset(args)?;
+    let shards: usize = args.parse_or("shards", 2usize)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let out_path = args.required("out")?;
+    let manifest = ShardManifest::plan(&ds, shards, seed);
+    manifest
+        .write_atomic(Path::new(out_path))
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    let mut out = format!(
+        "planned {} shards over {} objects, {} distinct terms (seed {}) -> {out_path}\n",
+        manifest.shard_count(),
+        ds.len(),
+        vocab.len(),
+        seed
+    );
+    for (s, spec) in manifest.shards.iter().enumerate() {
+        writeln!(
+            out,
+            "  shard {s}: {} objects in {} id runs, {} routed terms",
+            spec.object_count(),
+            spec.id_runs.len(),
+            spec.terms.len()
+        )
+        .unwrap();
+    }
     Ok(out)
 }
 
@@ -814,8 +971,13 @@ fn scrape_check(admin: &str, metrics_out: Option<&str>) -> Result<String, String
     if let Some(path) = metrics_out {
         std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
     }
+    let shard_note = healthz
+        .get("shards")
+        .and_then(JsonValue::as_array)
+        .map(|rows| format!(", {} shards reporting", rows.len()))
+        .unwrap_or_default();
     Ok(format!(
-        "scrape OK: {} samples, {} required families present, healthz ok\n",
+        "scrape OK: {} samples, {} required families present, healthz ok{shard_note}\n",
         samples.len(),
         REQUIRED_COUNTER_FAMILIES.len() + REQUIRED_HIST_FAMILIES.len(),
     ))
@@ -899,6 +1061,33 @@ fn render_top(admin: &str, healthz: &JsonValue, slow: &JsonValue) -> String {
                 fmt_ms(num(w, "p99_ns")),
                 num(w, "shed"),
                 num(w, "error"),
+            )
+            .unwrap();
+        }
+    }
+    // Sharded servers expose one row per shard; the shed rate is per
+    // shard mutation traffic (epoch counts applied mutations).
+    if let Some(shards) = healthz.get("shards").and_then(JsonValue::as_array) {
+        writeln!(
+            out,
+            "{:>6} {:>9} {:>8} {:>9} {:>6} {:>10} {:>9} {:>9}",
+            "shard", "objects", "epoch", "inflight", "shed", "shed-rate", "wal-lsn", "replicas"
+        )
+        .unwrap();
+        for row in shards {
+            let shed = num(row, "shed");
+            let epoch = num(row, "epoch");
+            writeln!(
+                out,
+                "{:>6} {:>9} {:>8} {:>9} {:>6} {:>9.1}% {:>9} {:>9}",
+                num(row, "shard"),
+                num(row, "objects"),
+                epoch,
+                num(row, "inflight"),
+                shed,
+                pct(shed, epoch + shed),
+                num(row, "wal_lsn"),
+                num(row, "replicas"),
             )
             .unwrap();
         }
@@ -1018,6 +1207,7 @@ fn replay_session(
 /// question whose missing object is picked by brute-force ranking to be
 /// genuinely outside the top-k *of the canonicalized query* — the same
 /// query the server executes after snapping.
+#[allow(clippy::too_many_arguments)]
 fn build_loadgen_pool(
     ds: &Dataset,
     vocab: &Vocabulary,
@@ -1026,6 +1216,7 @@ fn build_loadgen_pool(
     alpha: f64,
     lambda: f64,
     seed: u64,
+    mutate_ratio: f64,
 ) -> Vec<String> {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -1041,6 +1232,16 @@ fn build_loadgen_pool(
             .filter_map(|&t| vocab.name(t))
             .collect();
         if names.is_empty() {
+            continue;
+        }
+        // Mutations are insert-only: the zipf-sampled pool replays
+        // entries, and a repeated delete would fail on the second hit
+        // while a repeated insert stays valid (and routes through the
+        // partitioner on a sharded server). The extra draw only happens
+        // when the ratio is set, so ratio 0 reproduces historic pools
+        // bit for bit.
+        if mutate_ratio > 0.0 && rng.gen::<f64>() < mutate_ratio {
+            pool.push(wnsk_serve::client::insert_line((at.x, at.y), &names));
             continue;
         }
         if i % 4 == 3 {
@@ -1092,10 +1293,14 @@ pub fn loadgen(args: &ParsedArgs) -> Result<String, String> {
     let lambda: f64 = args.parse_or("lambda", 0.5)?;
     let pool_size: usize = args.parse_or("pool", 32)?;
     let seed: u64 = args.parse_or("seed", 42)?;
+    let mutate_ratio: f64 = args.parse_or("mutate-ratio", 0.0f64)?;
     if k == 0 || pool_size == 0 {
         return Err("--k and --pool must be at least 1".into());
     }
-    let pool = build_loadgen_pool(&ds, &vocab, pool_size, k, alpha, lambda, seed);
+    if !(0.0..=1.0).contains(&mutate_ratio) {
+        return Err("--mutate-ratio must be in [0, 1]".into());
+    }
+    let pool = build_loadgen_pool(&ds, &vocab, pool_size, k, alpha, lambda, seed, mutate_ratio);
     if pool.is_empty() {
         return Err("query pool came out empty — dataset too small?".into());
     }
@@ -2019,6 +2224,42 @@ mod tests {
         assert!(frame.contains("shed 0 (0.0%)"), "{frame}");
         assert!(!frame.contains("slowest"), "{frame}");
         assert!(!frame.contains("window"), "{frame}");
+        assert!(
+            !frame.contains("shard"),
+            "single servers have no shard table"
+        );
+    }
+
+    /// A sharded `/healthz` grows a per-shard table: one row per shard
+    /// with its epoch, inflight mutations, shed rate and WAL lsn.
+    #[test]
+    fn top_renders_per_shard_rows() {
+        use wnsk_obs::JsonValue;
+        let healthz = JsonValue::parse(
+            r#"{"ok":true,"queue_depth":0,"queue_capacity":64,"epoch":12,
+                "wal_attached":true,"cache_entries":0,"accepted":40,"shed":4,
+                "cache_hits":0,"cache_misses":0,
+                "shards":[
+                  {"shard":0,"replicas":2,"objects":150,"epoch":9,"inflight":1,
+                   "admission_cap":16,"shed":3,"wal_lsn":9},
+                  {"shard":1,"replicas":2,"objects":152,"epoch":3,"inflight":0,
+                   "admission_cap":16,"shed":1,"wal_lsn":3}]}"#,
+        )
+        .unwrap();
+        let empty_slow = JsonValue::parse(r#"{"logged":0,"entries":[]}"#).unwrap();
+        let frame = super::render_top("a:1", &healthz, &empty_slow);
+        let header = frame
+            .lines()
+            .find(|l| l.trim_start().starts_with("shard"))
+            .expect("shard table header");
+        for col in ["objects", "epoch", "inflight", "shed-rate", "wal-lsn"] {
+            assert!(header.contains(col), "{header}");
+        }
+        let row0 = frame.lines().find(|l| l.contains("150")).unwrap();
+        // shard 0: 3 shed over 9 applied -> 25.0% of mutation traffic.
+        assert!(row0.contains("25.0%"), "{row0}");
+        let row1 = frame.lines().find(|l| l.contains("152")).unwrap();
+        assert!(row1.contains("25.0%"), "{row1}");
     }
 
     /// End-to-end observability session: `wnsk serve --admin-addr`

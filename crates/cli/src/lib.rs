@@ -118,11 +118,15 @@ commands:
             [--metrics-export-interval-ms N] [--replay SESSION]
             [--admin-addr HOST:PORT] [--admin-addr-file PATH]
             [--slow-threshold-ms N] [--slo-ms N]
+            [--shards N | --manifest FILE] [--shard-seed N] [--replicas R]
+            [--shard-wal-dir DIR] [--shard-admission CAP]
+            [--shard-admin-addr-file PREFIX]
+  shard-plan --data FILE --shards N --out FILE [--seed N]
   top       --admin HOST:PORT [--interval-ms N] [--iterations N]
             [--check] [--metrics-out PATH]
   loadgen   --addr HOST:PORT --data FILE [--connections N] [--requests N]
             [--qps Q] [--zipf S] [--pool N] [--k N] [--alpha A] [--seed N]
-            [--record PATH]
+            [--record PATH] [--mutate-ratio F]
   fuzz      --seed N --cases N [--emit-dir DIR] [--inject-bug rank]
             [--shrink-limit N] [--metrics]
   corpus    --dir DIR
@@ -152,6 +156,16 @@ serve --admin-addr starts the HTTP admin endpoint (/metrics /healthz
 /slow /flight) and enables the flight recorder, slow-query log and
 rolling SLO windows; top polls it as a live dashboard, and top --check
 validates one scrape for CI (--metrics-out saves the raw text).
+serve --shards N (or --manifest FILE from shard-plan) runs the
+scatter-gather coordinator: one engine per shard, mutations routed by
+keyword affinity, answers merged bit-identically to a single engine.
+--replicas fans hot-shard reads out round-robin, --shard-wal-dir gives
+every shard its own WAL plus a route log for independent crash
+recovery, --shard-admission caps per-shard in-flight mutations, and
+--shard-admin-addr-file PREFIX writes each shard's admin address to
+PREFIX<i> (all address files land via tmp-file + atomic rename).
+loadgen --mutate-ratio F mixes that fraction of routed inserts into
+the request pool (insert-only, so zipf replays stay valid).
 fuzz cross-checks the full solver matrix against the sequential BS
 oracle on seeded random cases, shrinks divergences and (with --emit-dir)
 writes them as regression files; corpus replays such a directory
@@ -172,6 +186,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "whynot" => commands::whynot(&parsed),
         "ingest" => commands::ingest(&parsed),
         "serve" => commands::serve(&parsed),
+        "shard-plan" => commands::shard_plan(&parsed),
         "top" => commands::top(&parsed),
         "loadgen" => commands::loadgen(&parsed),
         "fuzz" => commands::fuzz(&parsed),

@@ -40,7 +40,7 @@ mod question;
 mod rank;
 
 pub use budget::{AnswerQuality, BudgetGuard, DegradeReason, QueryBudget};
-pub use engine::WhyNotEngine;
+pub use engine::{DominatorCount, WhyNotEngine, DEFAULT_FANOUT};
 pub use enumeration::{Candidate, CandidateEnumerator};
 pub use error::{Result, WhyNotError};
 pub use ingest::Mutation;

@@ -1,0 +1,135 @@
+//! Keyword-affinity statistics for the deterministic shard partitioner.
+//!
+//! The sharded serving tier (crate `wnsk-shard`) clusters objects by
+//! *keyword affinity* before splitting spatially: each object is
+//! anchored to its most selective term (the one with the lowest
+//! document frequency), term groups are packed onto shards, and objects
+//! with no usable anchor fall back to a spatial stripe. This module
+//! holds the dataset-level statistics that drive that plan — kept here,
+//! next to the generators, so workload tooling can inspect the same
+//! numbers the partitioner sees.
+
+use std::collections::BTreeMap;
+use wnsk_geo::{Point, WorldBounds};
+use wnsk_index::Dataset;
+use wnsk_text::{KeywordSet, TermId};
+
+/// Document frequency of every term over the *live* objects: how many
+/// documents contain the term. Deterministic (a `BTreeMap` in term-id
+/// order) so plans derived from it are reproducible.
+pub fn doc_frequencies(dataset: &Dataset) -> BTreeMap<TermId, usize> {
+    let mut freq: BTreeMap<TermId, usize> = BTreeMap::new();
+    for o in dataset.live_objects() {
+        for t in o.doc.iter() {
+            *freq.entry(t).or_insert(0) += 1;
+        }
+    }
+    freq
+}
+
+/// The anchor term of a document: the contained term with the lowest
+/// document frequency (most selective), ties broken by the smaller term
+/// id. `None` for an empty document or when no term appears in `freq`.
+pub fn anchor_term(doc: &KeywordSet, freq: &BTreeMap<TermId, usize>) -> Option<TermId> {
+    doc.iter()
+        .filter_map(|t| freq.get(&t).map(|&f| (f, t)))
+        .min_by_key(|&(f, t)| (f, t.0))
+        .map(|(_, t)| t)
+}
+
+/// The spatial fallback: the vertical stripe (of `stripes` equal-width
+/// stripes over the world rectangle) containing `loc`, clamped into
+/// range. Used for objects without an anchor term.
+pub fn spatial_stripe(world: &WorldBounds, loc: &Point, stripes: usize) -> usize {
+    let stripes = stripes.max(1);
+    let rect = world.rect();
+    let width = rect.width();
+    if width <= 0.0 {
+        return 0;
+    }
+    let x_norm = ((loc.x - rect.min.x) / width).clamp(0.0, 1.0);
+    ((x_norm * stripes as f64) as usize).min(stripes - 1)
+}
+
+/// SplitMix64 over `seed ^ x`: the partitioner's deterministic
+/// tie-break hash (no RNG state, fully reproducible from the seed).
+pub fn splitmix64(seed: u64, x: u64) -> u64 {
+    let mut z = seed ^ x;
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wnsk_index::{ObjectId, SpatialObject};
+
+    fn tiny() -> Dataset {
+        let objects = vec![
+            SpatialObject {
+                id: ObjectId(0),
+                loc: Point::new(0.1, 0.1),
+                doc: KeywordSet::from_ids([0, 1]),
+            },
+            SpatialObject {
+                id: ObjectId(0),
+                loc: Point::new(0.9, 0.2),
+                doc: KeywordSet::from_ids([1, 2]),
+            },
+            SpatialObject {
+                id: ObjectId(0),
+                loc: Point::new(0.5, 0.8),
+                doc: KeywordSet::from_ids([1]),
+            },
+        ];
+        Dataset::new(objects, WorldBounds::unit())
+    }
+
+    #[test]
+    fn doc_frequencies_count_documents_not_occurrences() {
+        let ds = tiny();
+        let freq = doc_frequencies(&ds);
+        assert_eq!(freq[&TermId(0)], 1);
+        assert_eq!(freq[&TermId(1)], 3);
+        assert_eq!(freq[&TermId(2)], 1);
+    }
+
+    #[test]
+    fn anchor_prefers_the_rarest_term_then_the_smallest_id() {
+        let ds = tiny();
+        let freq = doc_frequencies(&ds);
+        // {0,1}: term 0 (freq 1) beats term 1 (freq 3).
+        assert_eq!(
+            anchor_term(&KeywordSet::from_ids([0, 1]), &freq),
+            Some(TermId(0))
+        );
+        // {0,2}: both freq 1 — smaller id wins.
+        assert_eq!(
+            anchor_term(&KeywordSet::from_ids([0, 2]), &freq),
+            Some(TermId(0))
+        );
+        assert_eq!(anchor_term(&KeywordSet::empty(), &freq), None);
+        // A term unseen in the corpus anchors nowhere.
+        assert_eq!(anchor_term(&KeywordSet::from_ids([99]), &freq), None);
+    }
+
+    #[test]
+    fn spatial_stripe_partitions_the_world() {
+        let world = WorldBounds::unit();
+        assert_eq!(spatial_stripe(&world, &Point::new(0.0, 0.5), 4), 0);
+        assert_eq!(spatial_stripe(&world, &Point::new(0.26, 0.5), 4), 1);
+        assert_eq!(spatial_stripe(&world, &Point::new(0.99, 0.5), 4), 3);
+        // The right edge clamps into the last stripe.
+        assert_eq!(spatial_stripe(&world, &Point::new(1.0, 0.5), 4), 3);
+        assert_eq!(spatial_stripe(&world, &Point::new(0.7, 0.5), 1), 0);
+    }
+
+    #[test]
+    fn splitmix64_is_deterministic_and_seed_sensitive() {
+        assert_eq!(splitmix64(7, 42), splitmix64(7, 42));
+        assert_ne!(splitmix64(7, 42), splitmix64(8, 42));
+        assert_ne!(splitmix64(7, 42), splitmix64(7, 43));
+    }
+}

@@ -18,6 +18,7 @@
 //! (e.g. "the missing object is the one ranked `5·k₀+1` under the
 //! initial query", §VII-A3).
 
+pub mod affinity;
 pub mod io;
 pub mod spec;
 pub mod workload;

@@ -195,6 +195,18 @@ pub mod names {
     pub const FUZZ_SHRINK_STEPS: &str = "fuzz.shrink_steps";
     /// Committed regression cases re-executed by corpus replay.
     pub const FUZZ_CORPUS_REPLAYED: &str = "fuzz.corpus_replayed";
+    /// Scatter fan-outs issued by the shard coordinator (one per
+    /// coordinator-level top-k / why-not / rank-scan round, regardless
+    /// of shard count).
+    pub const SHARD_SCATTER: &str = "shard.scatter";
+    /// Nanoseconds the coordinator spent merging per-shard partial
+    /// results into the global answer (histogram).
+    pub const SHARD_MERGE_NS: &str = "shard.merge_ns";
+    /// Times the cross-shard penalty bound was actually lowered by a
+    /// partial result streaming back from a shard.
+    pub const SHARD_BOUND_TIGHTENINGS: &str = "shard.bound_tightenings";
+    /// Reads served by a non-primary replica of a hot shard.
+    pub const SHARD_REPLICA_HITS: &str = "shard.replica_hits";
 
     /// Every canonical name, for the docs/METRICS.md lint: the test in
     /// `tests/metrics_names.rs` fails when this list and the reference
@@ -252,5 +264,9 @@ pub mod names {
         FUZZ_FAILURES,
         FUZZ_SHRINK_STEPS,
         FUZZ_CORPUS_REPLAYED,
+        SHARD_SCATTER,
+        SHARD_MERGE_NS,
+        SHARD_BOUND_TIGHTENINGS,
+        SHARD_REPLICA_HITS,
     ];
 }

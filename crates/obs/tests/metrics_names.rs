@@ -110,6 +110,7 @@ const ALLOWED_NON_METRICS: &[&str] = &[
     "p99",
     "sum",
     "max",
+    "wal_lsn",
     // Flag/config identifiers discussed in prose.
     "io_latency_us",
     "trace_sample",

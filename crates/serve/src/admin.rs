@@ -50,8 +50,19 @@ impl AdminHandle {
     }
 }
 
+/// A route table: maps a path to `(content type, body)`, `None` → 404.
+pub(crate) type Router = Arc<dyn Fn(&str) -> Option<(&'static str, String)> + Send + Sync>;
+
 /// Binds `addr` and starts the admin accept loop over `shared`.
 pub(crate) fn start(addr: &str, shared: Arc<Shared>) -> io::Result<AdminHandle> {
+    start_with(addr, Arc::new(move |path| shared.admin_route(path)))
+}
+
+/// Binds `addr` and starts an accept loop over an arbitrary route
+/// table — the coordinator uses this for its per-shard admin planes
+/// (`/metrics` from the shard registry, `/healthz` from the shard
+/// status row).
+pub(crate) fn start_with(addr: &str, route: Router) -> io::Result<AdminHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -62,7 +73,7 @@ pub(crate) fn start(addr: &str, shared: Arc<Shared>) -> io::Result<AdminHandle> 
                 return;
             }
             let Ok(stream) = stream else { continue };
-            handle_connection(stream, &shared);
+            handle_connection(stream, &route);
         }
     });
     Ok(AdminHandle {
@@ -73,7 +84,7 @@ pub(crate) fn start(addr: &str, shared: Arc<Shared>) -> io::Result<AdminHandle> 
 }
 
 /// Serves one request on one connection, then closes it.
-fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+fn handle_connection(mut stream: TcpStream, route: &Router) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
     let _ = stream.set_nodelay(true);
     // Read until the end of the request head (GET requests carry no
@@ -101,7 +112,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     } else {
         // Ignore any query string: routes take no parameters.
         let path = target.split('?').next().unwrap_or(target);
-        match shared.admin_route(path) {
+        match route(path) {
             Some((content_type, body)) => (200, "OK", content_type, body),
             None => (
                 404,

@@ -23,9 +23,10 @@ use crate::protocol::{self, WireKeyword, WireRequest};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 use wnsk_core::{KcrOptions, Mutation, QueryBudget, WhyNotAnswer, WhyNotEngine, WhyNotQuestion};
-use wnsk_index::{ObjectId, SpatialKeywordQuery};
+use wnsk_index::{Dataset, ObjectId, SpatialKeywordQuery};
 use wnsk_obs::{names, Counter, FlightRecorder, Hist, JsonValue, Registry};
-use wnsk_text::KeywordSet;
+use wnsk_shard::{Coordinator, ShardError};
+use wnsk_text::{KeywordSet, Vocabulary};
 
 /// A request resolved against the dataset: keywords interned, ids
 /// validated, location canonicalized. Only resolved requests enter the
@@ -47,9 +48,20 @@ pub enum ResolvedRequest {
     Stats,
 }
 
+/// What answers requests: one engine, or a scatter-gather coordinator
+/// over many. Sharded mode answers queries bit-identically to single
+/// mode (the shard determinism suite pins that); the differences are
+/// operational — routed mutations, per-shard WALs and admission, no
+/// rank-hint reuse (the coordinator's exact solver has no budget
+/// ladder, so a hint could only change wall time, never bits).
+enum Backend {
+    Single(RwLock<WhyNotEngine>),
+    Sharded(RwLock<Coordinator>),
+}
+
 /// The serving layer's engine: warm indexes + answer cache + metrics.
 pub struct ServeEngine {
-    engine: RwLock<WhyNotEngine>,
+    backend: Backend,
     registry: Registry,
     cache: AnswerCache,
     accepted: Counter,
@@ -69,6 +81,27 @@ impl ServeEngine {
     /// registry.
     pub fn new(engine: WhyNotEngine, cache_entries: usize) -> Self {
         let registry = engine.registry().clone();
+        Self::with_backend(
+            Backend::Single(RwLock::new(engine)),
+            registry,
+            cache_entries,
+        )
+    }
+
+    /// Wraps a sharded coordinator instead of a single engine. The
+    /// `serve.*` handles register into the *coordinator's* registry
+    /// (which already carries `shard.*`), so one scrape covers both
+    /// planes and `wnsk top --check` stays satisfied.
+    pub fn new_sharded(coordinator: Coordinator, cache_entries: usize) -> Self {
+        let registry = coordinator.registry().clone();
+        Self::with_backend(
+            Backend::Sharded(RwLock::new(coordinator)),
+            registry,
+            cache_entries,
+        )
+    }
+
+    fn with_backend(backend: Backend, registry: Registry, cache_entries: usize) -> Self {
         let accepted = registry.counter(names::SERVE_ACCEPTED);
         let shed = registry.counter(names::SERVE_SHED);
         let cache_hits = registry.counter(names::SERVE_CACHE_HITS);
@@ -77,7 +110,7 @@ impl ServeEngine {
         let queue_depth = registry.hist(names::SERVE_QUEUE_DEPTH);
         let request_ns = registry.hist(names::SERVE_REQUEST_NS);
         ServeEngine {
-            engine: RwLock::new(engine),
+            backend,
             registry,
             cache: AnswerCache::new(cache_entries).with_invalidated_counter(invalidated),
             accepted,
@@ -99,10 +132,14 @@ impl ServeEngine {
         let obs = Observability::new(config, &self.registry);
         // Attach the (initially disabled) tracer so the slow-query log
         // can sample an explain tree when a request wins the trace slot.
-        self.engine
-            .get_mut()
-            .expect("engine lock poisoned")
-            .set_tracer(obs.tracer.clone());
+        // The coordinator's scattered solver has no tracer hook — the
+        // rest of the plane (recorder, windows, slow log) still applies.
+        if let Backend::Single(engine) = &mut self.backend {
+            engine
+                .get_mut()
+                .expect("engine lock poisoned")
+                .set_tracer(obs.tracer.clone());
+        }
         self.obs = Some(obs);
         self
     }
@@ -121,8 +158,37 @@ impl ServeEngine {
     /// Read access to the wrapped engine. Queries executed by the
     /// serving layer itself take this lock internally; hold the guard
     /// only for inspection, never across a call back into the server.
+    ///
+    /// # Panics
+    ///
+    /// In sharded mode there is no single engine — use
+    /// [`ServeEngine::coordinator`] instead.
     pub fn engine(&self) -> std::sync::RwLockReadGuard<'_, WhyNotEngine> {
-        self.engine.read().unwrap()
+        match &self.backend {
+            Backend::Single(engine) => engine.read().unwrap(),
+            Backend::Sharded(_) => {
+                panic!("ServeEngine::engine() called on a sharded backend; use coordinator()")
+            }
+        }
+    }
+
+    /// Read access to the coordinator, in sharded mode.
+    ///
+    /// # Panics
+    ///
+    /// In single-engine mode — use [`ServeEngine::engine`] instead.
+    pub fn coordinator(&self) -> std::sync::RwLockReadGuard<'_, Coordinator> {
+        match &self.backend {
+            Backend::Sharded(coord) => coord.read().unwrap(),
+            Backend::Single(_) => {
+                panic!("ServeEngine::coordinator() called on a single-engine backend")
+            }
+        }
+    }
+
+    /// Whether this engine scatters across shards.
+    pub fn is_sharded(&self) -> bool {
+        matches!(self.backend, Backend::Sharded(_))
     }
 
     /// The shared metrics registry.
@@ -166,53 +232,14 @@ impl ServeEngine {
     /// against the live dataset, and canonicalizes the location so
     /// cache keys and execution agree.
     pub fn resolve(&self, wire: &WireRequest) -> Result<ResolvedRequest, String> {
-        let engine = self.engine.read().unwrap();
-        match wire {
-            WireRequest::Stats => Ok(ResolvedRequest::Stats),
-            WireRequest::TopK { query } => {
-                Ok(ResolvedRequest::TopK(resolve_query(&engine, query)?))
+        match &self.backend {
+            Backend::Single(engine) => {
+                let engine = engine.read().unwrap();
+                resolve_against(engine.dataset(), engine.vocabulary(), wire)
             }
-            WireRequest::WhyNot {
-                query,
-                missing,
-                lambda,
-                max_page_reads,
-            } => {
-                let query = resolve_query(&engine, query)?;
-                let n = engine.dataset().len();
-                let mut ids = Vec::with_capacity(missing.len());
-                for &m in missing {
-                    if (m as usize) >= n {
-                        return Err(format!("unknown object id {m} (dataset has {n} objects)"));
-                    }
-                    if !engine.dataset().is_live(ObjectId(m)) {
-                        return Err(format!("object id {m} has been deleted"));
-                    }
-                    ids.push(ObjectId(m));
-                }
-                Ok(ResolvedRequest::WhyNot {
-                    question: WhyNotQuestion::new(query, ids, *lambda),
-                    max_page_reads: *max_page_reads,
-                })
-            }
-            WireRequest::Insert { at, keywords } => {
-                let doc = resolve_keywords(&engine, keywords)?;
-                Ok(ResolvedRequest::Ingest(Mutation::Insert {
-                    loc: wnsk_geo::Point::new(at.0, at.1),
-                    doc,
-                }))
-            }
-            WireRequest::Delete { id } => {
-                let n = engine.dataset().len();
-                if (*id as usize) >= n {
-                    return Err(format!("unknown object id {id} (dataset has {n} objects)"));
-                }
-                if !engine.dataset().is_live(ObjectId(*id)) {
-                    return Err(format!("object id {id} has already been deleted"));
-                }
-                Ok(ResolvedRequest::Ingest(Mutation::Remove {
-                    id: ObjectId(*id),
-                }))
+            Backend::Sharded(coord) => {
+                let coord = coord.read().unwrap();
+                resolve_against(coord.dataset(), coord.vocabulary(), wire)
             }
         }
     }
@@ -322,21 +349,44 @@ impl ServeEngine {
     fn execute_topk(&self, query: &SpatialKeywordQuery) -> String {
         // The epoch is read under the same lock the query runs under, so
         // the cached list is exactly the answer a fresh computation at
-        // this epoch would produce.
-        let engine = self.engine.read().unwrap();
-        let epoch = engine.epoch();
-        if let Some(list) = self.cache.get_topk(query, epoch) {
-            self.cache_hits.inc();
-            return render_topk_list(&list, true);
-        }
-        match engine.top_k(query) {
-            Ok(results) => {
-                self.cache_misses.inc();
-                let list: RankList = Arc::new(results);
-                self.cache.put_topk(query, Arc::clone(&list), epoch);
-                render_topk_list(&list, false)
+        // this epoch would produce. Sharded answers carry the
+        // coordinator's global epoch, so a routed mutation to any shard
+        // invalidates exactly like a single-engine mutation would.
+        match &self.backend {
+            Backend::Single(engine) => {
+                let engine = engine.read().unwrap();
+                let epoch = engine.epoch();
+                if let Some(list) = self.cache.get_topk(query, epoch) {
+                    self.cache_hits.inc();
+                    return render_topk_list(&list, true);
+                }
+                match engine.top_k(query) {
+                    Ok(results) => {
+                        self.cache_misses.inc();
+                        let list: RankList = Arc::new(results);
+                        self.cache.put_topk(query, Arc::clone(&list), epoch);
+                        render_topk_list(&list, false)
+                    }
+                    Err(e) => protocol::render_error(&e.to_string()),
+                }
             }
-            Err(e) => protocol::render_error(&e.to_string()),
+            Backend::Sharded(coord) => {
+                let coord = coord.read().unwrap();
+                let epoch = coord.epoch();
+                if let Some(list) = self.cache.get_topk(query, epoch) {
+                    self.cache_hits.inc();
+                    return render_topk_list(&list, true);
+                }
+                match coord.top_k(query) {
+                    Ok(results) => {
+                        self.cache_misses.inc();
+                        let list: RankList = Arc::new(results);
+                        self.cache.put_topk(query, Arc::clone(&list), epoch);
+                        render_topk_list(&list, false)
+                    }
+                    Err(e) => protocol::render_error(&e.to_string()),
+                }
+            }
         }
     }
 
@@ -346,7 +396,15 @@ impl ServeEngine {
         max_page_reads: Option<u64>,
         remaining: Option<Duration>,
     ) -> String {
-        let engine = self.engine.read().unwrap();
+        let engine = match &self.backend {
+            Backend::Single(engine) => engine,
+            Backend::Sharded(coord) => {
+                // Every sharded why-not is a fresh exact computation.
+                self.cache_misses.inc();
+                return self.execute_whynot_sharded(&coord.read().unwrap(), question);
+            }
+        };
+        let engine = engine.read().unwrap();
         let epoch = engine.epoch();
         // A delete can race past `resolve`'s liveness check while the
         // request is queued; the solver would chase an object that no
@@ -394,7 +452,30 @@ impl ServeEngine {
                     // after the answer is fully computed.
                     obs.win_task.merge_snapshot(&answer.stats.task_latency);
                 }
-                render_whynot_answer(&engine, &answer, hint.is_some())
+                render_whynot_answer(engine.vocabulary(), &answer, hint.is_some())
+            }
+            Err(e) => protocol::render_error(&e.to_string()),
+        }
+    }
+
+    /// Sharded why-not: the coordinator's scatter-gather solver is
+    /// always exact (no budget ladder, no approximation rungs), so the
+    /// deadline and the cached rank hint are deliberately ignored —
+    /// either could only change wall time, and the hint would skip the
+    /// scattered initial-rank phase whose count the answer reports.
+    fn execute_whynot_sharded(&self, coord: &Coordinator, question: &WhyNotQuestion) -> String {
+        for m in &question.missing {
+            if !coord.dataset().is_live(*m) {
+                return protocol::render_error(&format!("object id {} has been deleted", m.0));
+            }
+        }
+        match coord.whynot(question) {
+            Ok(answer) => {
+                answer.stats.record_into(&self.registry);
+                if let Some(obs) = &self.obs {
+                    obs.win_task.merge_snapshot(&answer.stats.task_latency);
+                }
+                render_whynot_answer(coord.vocabulary(), &answer, false)
             }
             Err(e) => protocol::render_error(&e.to_string()),
         }
@@ -409,17 +490,36 @@ impl ServeEngine {
     pub fn execute_uncached(&self, request: &ResolvedRequest) -> Option<String> {
         match request {
             ResolvedRequest::TopK(query) => {
-                let engine = self.engine.read().unwrap();
-                Some(match engine.top_k(query) {
+                let results = match &self.backend {
+                    Backend::Single(engine) => engine
+                        .read()
+                        .unwrap()
+                        .top_k(query)
+                        .map_err(|e| e.to_string()),
+                    Backend::Sharded(coord) => coord
+                        .read()
+                        .unwrap()
+                        .top_k(query)
+                        .map_err(|e| e.to_string()),
+                };
+                Some(match results {
                     Ok(results) => render_topk_list(&results, false),
-                    Err(e) => protocol::render_error(&e.to_string()),
+                    Err(e) => protocol::render_error(&e),
                 })
             }
             ResolvedRequest::WhyNot {
                 question,
                 max_page_reads,
             } => {
-                let engine = self.engine.read().unwrap();
+                let engine = match &self.backend {
+                    Backend::Single(engine) => engine,
+                    Backend::Sharded(coord) => {
+                        // The sharded path never consults the cache, so
+                        // its uncached baseline is the path itself.
+                        return Some(self.execute_whynot_sharded(&coord.read().unwrap(), question));
+                    }
+                };
+                let engine = engine.read().unwrap();
                 for m in &question.missing {
                     if !engine.dataset().is_live(*m) {
                         return Some(protocol::render_error(&format!(
@@ -437,7 +537,7 @@ impl ServeEngine {
                     ..KcrOptions::default()
                 };
                 Some(match engine.answer_kcr(question, opts) {
-                    Ok(answer) => render_whynot_answer(&engine, &answer, false),
+                    Ok(answer) => render_whynot_answer(engine.vocabulary(), &answer, false),
                     Err(e) => protocol::render_error(&e.to_string()),
                 })
             }
@@ -451,15 +551,33 @@ impl ServeEngine {
             Mutation::Remove { .. } => "delete",
             Mutation::UpdateDoc { .. } => "update",
         };
-        let mut engine = self.engine.write().unwrap();
-        match engine.ingest(mutation) {
-            Ok(id) => protocol::render_ingest(kind, id.0, engine.epoch()),
-            Err(e) => protocol::render_error(&e.to_string()),
+        match &self.backend {
+            Backend::Single(engine) => {
+                let mut engine = engine.write().unwrap();
+                match engine.ingest(mutation) {
+                    Ok(id) => protocol::render_ingest(kind, id.0, engine.epoch()),
+                    Err(e) => protocol::render_error(&e.to_string()),
+                }
+            }
+            Backend::Sharded(coord) => {
+                let mut coord = coord.write().unwrap();
+                match coord.ingest(mutation) {
+                    Ok(id) => protocol::render_ingest(kind, id.0, coord.epoch()),
+                    Err(ShardError::Shed { shard }) => {
+                        self.note_shed();
+                        protocol::render_shed(&format!("shard {shard} admission over capacity"))
+                    }
+                    Err(e) => protocol::render_error(&e.to_string()),
+                }
+            }
         }
     }
 
     fn execute_stats(&self) -> String {
-        let objects = self.engine.read().unwrap().dataset().live_len();
+        let objects = match &self.backend {
+            Backend::Single(engine) => engine.read().unwrap().dataset().live_len(),
+            Backend::Sharded(coord) => coord.read().unwrap().dataset().live_len(),
+        };
         let snapshot = self.registry.snapshot();
         let counters: Vec<(&str, u64)> = [
             names::SERVE_ACCEPTED,
@@ -481,9 +599,19 @@ impl ServeEngine {
     /// caller supplies the queue numbers because the admission queue
     /// lives in the server, not the engine.
     pub fn healthz_json(&self, queue_len: usize, queue_capacity: usize) -> String {
-        let (epoch, wal) = {
-            let engine = self.engine.read().unwrap();
-            (engine.epoch(), engine.wal().is_some())
+        let (epoch, wal, shards) = match &self.backend {
+            Backend::Single(engine) => {
+                let engine = engine.read().unwrap();
+                (engine.epoch(), engine.wal().is_some(), None)
+            }
+            Backend::Sharded(coord) => {
+                let coord = coord.read().unwrap();
+                (
+                    coord.epoch(),
+                    coord.wal_attached(),
+                    Some(coord.statuses_json()),
+                )
+            }
         };
         let mut fields = vec![
             ("ok", JsonValue::Bool(true)),
@@ -497,6 +625,9 @@ impl ServeEngine {
             ("cache_hits", JsonValue::from(self.cache_hits.get())),
             ("cache_misses", JsonValue::from(self.cache_misses.get())),
         ];
+        if let Some(shards) = shards {
+            fields.push(("shards", shards));
+        }
         if let Some(obs) = &self.obs {
             fields.push(("slo_violations", JsonValue::from(obs.slo_violations())));
             fields.push(("slow_logged", JsonValue::from(obs.slow_logged())));
@@ -576,12 +707,72 @@ fn flight_identity(request: &ResolvedRequest) -> (&'static str, String) {
     }
 }
 
-fn resolve_keywords(engine: &WhyNotEngine, keywords: &[WireKeyword]) -> Result<KeywordSet, String> {
+/// Resolves a wire request against a dataset + optional vocabulary —
+/// the backend-neutral core of [`ServeEngine::resolve`] (single mode
+/// hands in the engine's dataset, sharded mode the coordinator's
+/// mirror; both validate against exactly the same live set).
+fn resolve_against(
+    dataset: &Dataset,
+    vocab: Option<&Vocabulary>,
+    wire: &WireRequest,
+) -> Result<ResolvedRequest, String> {
+    match wire {
+        WireRequest::Stats => Ok(ResolvedRequest::Stats),
+        WireRequest::TopK { query } => Ok(ResolvedRequest::TopK(resolve_query(vocab, query)?)),
+        WireRequest::WhyNot {
+            query,
+            missing,
+            lambda,
+            max_page_reads,
+        } => {
+            let query = resolve_query(vocab, query)?;
+            let n = dataset.len();
+            let mut ids = Vec::with_capacity(missing.len());
+            for &m in missing {
+                if (m as usize) >= n {
+                    return Err(format!("unknown object id {m} (dataset has {n} objects)"));
+                }
+                if !dataset.is_live(ObjectId(m)) {
+                    return Err(format!("object id {m} has been deleted"));
+                }
+                ids.push(ObjectId(m));
+            }
+            Ok(ResolvedRequest::WhyNot {
+                question: WhyNotQuestion::new(query, ids, *lambda),
+                max_page_reads: *max_page_reads,
+            })
+        }
+        WireRequest::Insert { at, keywords } => {
+            let doc = resolve_keywords(vocab, keywords)?;
+            Ok(ResolvedRequest::Ingest(Mutation::Insert {
+                loc: wnsk_geo::Point::new(at.0, at.1),
+                doc,
+            }))
+        }
+        WireRequest::Delete { id } => {
+            let n = dataset.len();
+            if (*id as usize) >= n {
+                return Err(format!("unknown object id {id} (dataset has {n} objects)"));
+            }
+            if !dataset.is_live(ObjectId(*id)) {
+                return Err(format!("object id {id} has already been deleted"));
+            }
+            Ok(ResolvedRequest::Ingest(Mutation::Remove {
+                id: ObjectId(*id),
+            }))
+        }
+    }
+}
+
+fn resolve_keywords(
+    vocab: Option<&Vocabulary>,
+    keywords: &[WireKeyword],
+) -> Result<KeywordSet, String> {
     let mut ids = Vec::with_capacity(keywords.len());
     for kw in keywords {
         match kw {
             WireKeyword::Id(id) => ids.push(*id),
-            WireKeyword::Name(name) => match engine.vocabulary() {
+            WireKeyword::Name(name) => match vocab {
                 Some(vocab) => match vocab.get(name) {
                     Some(t) => ids.push(t.0),
                     None => return Err(format!("unknown keyword '{name}'")),
@@ -598,23 +789,27 @@ fn resolve_keywords(engine: &WhyNotEngine, keywords: &[WireKeyword]) -> Result<K
 }
 
 fn resolve_query(
-    engine: &WhyNotEngine,
+    vocab: Option<&Vocabulary>,
     query: &crate::protocol::WireQuery,
 ) -> Result<SpatialKeywordQuery, String> {
     Ok(SpatialKeywordQuery::new(
         canonical_point(wnsk_geo::Point::new(query.at.0, query.at.1)),
-        resolve_keywords(engine, &query.keywords)?,
+        resolve_keywords(vocab, &query.keywords)?,
         query.k,
         query.alpha,
     ))
 }
 
-fn render_whynot_answer(engine: &WhyNotEngine, answer: &WhyNotAnswer, rank_reused: bool) -> String {
+fn render_whynot_answer(
+    vocab: Option<&Vocabulary>,
+    answer: &WhyNotAnswer,
+    rank_reused: bool,
+) -> String {
     let keywords: Vec<String> = answer
         .refined
         .doc
         .iter()
-        .map(|t| match engine.vocabulary().and_then(|v| v.name(t)) {
+        .map(|t| match vocab.and_then(|v| v.name(t)) {
             Some(name) => name.to_string(),
             None => format!("t{}", t.0),
         })

@@ -32,6 +32,7 @@ use std::time::{Duration, Instant};
 use wnsk_core::WhyNotEngine;
 use wnsk_exec::{ExecMetrics, Executor};
 use wnsk_obs::Registry;
+use wnsk_shard::Coordinator;
 
 /// Server configuration, mirrored by `wnsk serve`'s flags.
 #[derive(Clone, Debug)]
@@ -255,6 +256,7 @@ pub struct ServerHandle {
     workers: Option<JoinHandle<()>>,
     connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
     admin: Option<AdminHandle>,
+    shard_admins: Vec<AdminHandle>,
 }
 
 impl ServerHandle {
@@ -266,6 +268,14 @@ impl ServerHandle {
     /// The bound admin-endpoint address, when one was configured.
     pub fn admin_addr(&self) -> Option<SocketAddr> {
         self.admin.as_ref().map(AdminHandle::addr)
+    }
+
+    /// The bound per-shard admin addresses (sharded servers with an
+    /// admin endpoint only; shard order). Each serves that shard's
+    /// `/metrics` (the shard primary's registry) and `/healthz` (the
+    /// shard status row).
+    pub fn shard_admin_addrs(&self) -> Vec<SocketAddr> {
+        self.shard_admins.iter().map(AdminHandle::addr).collect()
     }
 
     /// The shared metrics registry (engine + `serve.*`).
@@ -284,6 +294,9 @@ impl ServerHandle {
     pub fn shutdown(mut self) {
         self.stop();
         if let Some(admin) = self.admin.take() {
+            admin.shutdown();
+        }
+        for admin in std::mem::take(&mut self.shard_admins) {
             admin.shutdown();
         }
         if let Some(h) = self.acceptor.take() {
@@ -321,10 +334,28 @@ impl Server {
     /// pool. The engine is expected warm (indexes already built); the
     /// server adds only the cache and admission machinery.
     pub fn start(engine: WhyNotEngine, config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let serve = ServeEngine::new(engine, config.cache_entries);
+        Self::start_with(serve, config)
+    }
+
+    /// Starts a *sharded* server: the scatter-gather coordinator
+    /// answers every query (bit-identically to a single engine over the
+    /// same corpus), mutations route by partition key, and — when an
+    /// admin endpoint is configured — each shard additionally gets its
+    /// own admin listener on an ephemeral port (see
+    /// [`ServerHandle::shard_admin_addrs`]).
+    pub fn start_sharded(
+        coordinator: Coordinator,
+        config: ServerConfig,
+    ) -> std::io::Result<ServerHandle> {
+        let serve = ServeEngine::new_sharded(coordinator, config.cache_entries);
+        Self::start_with(serve, config)
+    }
+
+    fn start_with(mut serve: ServeEngine, config: ServerConfig) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let threads = config.threads.max(1);
-        let mut serve = ServeEngine::new(engine, config.cache_entries);
         // An admin endpoint without an explicit observability config
         // still gets the default plane: /slow and /flight would
         // otherwise always read empty.
@@ -349,6 +380,31 @@ impl Server {
             Some(admin_addr) => Some(admin::start(admin_addr, Arc::clone(&shared))?),
             None => None,
         };
+        // Per-shard admin planes ride along with the coordinator admin
+        // endpoint: one ephemeral-port listener per shard, serving that
+        // shard's registry and status row.
+        let mut shard_admins = Vec::new();
+        if admin.is_some() && shared.serve.is_sharded() {
+            let shard_count = shared.serve.coordinator().shard_count();
+            for s in 0..shard_count {
+                let route_shared = Arc::clone(&shared);
+                let route: admin::Router = Arc::new(move |path| {
+                    let coord = route_shared.serve.coordinator();
+                    match path {
+                        "/metrics" => Some((
+                            "text/plain; version=0.0.4",
+                            wnsk_obs::prometheus_text(&coord.shard_registry(s).snapshot()),
+                        )),
+                        "/healthz" => coord
+                            .shard_statuses()
+                            .get(s)
+                            .map(|st| ("application/json", st.to_json().render())),
+                        _ => None,
+                    }
+                });
+                shard_admins.push(admin::start_with("127.0.0.1:0", route)?);
+            }
+        }
 
         // The worker pool: one long-lived pump task per worker, seeded
         // into the work-stealing executor. Each pump loops over the
@@ -394,6 +450,7 @@ impl Server {
             workers: Some(workers),
             connections,
             admin,
+            shard_admins,
         })
     }
 }

@@ -1,0 +1,207 @@
+//! End-to-end sharded serving: a coordinator-backed server must answer
+//! the same wire script bit-identically to a single-engine server —
+//! topk rank lists and why-not refinements compared field by field,
+//! scores and penalties by `f64` bits — while routing mutations by
+//! partition key. Also pins the coordinator admin plane: the `/healthz`
+//! "shards" array and the per-shard admin listeners.
+
+use wnsk_core::WhyNotEngine;
+use wnsk_data::{generate, DatasetSpec};
+use wnsk_obs::JsonValue;
+use wnsk_serve::client::{delete_line, insert_line, topk_line, whynot_line};
+use wnsk_serve::{http_get, Client, Server, ServerConfig, ServerHandle};
+use wnsk_shard::{Coordinator, CoordinatorConfig, ShardManifest};
+
+const K: usize = 3;
+const ALPHA: f64 = 0.5;
+const LAMBDA: f64 = 0.5;
+
+fn single_server() -> ServerHandle {
+    let data = generate(&DatasetSpec::tiny(7));
+    let engine = WhyNotEngine::build_in_memory(data.dataset)
+        .expect("tiny dataset builds")
+        .with_vocabulary(data.vocabulary);
+    Server::start(engine, ServerConfig::default()).unwrap()
+}
+
+fn sharded_server(shards: usize, threads: usize, config: ServerConfig) -> ServerHandle {
+    let data = generate(&DatasetSpec::tiny(7));
+    let manifest = ShardManifest::plan(&data.dataset, shards, 42);
+    let coordinator = Coordinator::new(
+        data.dataset,
+        manifest,
+        CoordinatorConfig {
+            threads,
+            ..CoordinatorConfig::default()
+        },
+    )
+    .expect("partition covers the dataset")
+    .with_vocabulary(data.vocabulary);
+    Server::start_sharded(coordinator, config).unwrap()
+}
+
+/// Strips the caching markers (`cached`, `rank_reused`) that legally
+/// differ between a caching single server and the cache-bypassing
+/// sharded why-not path; everything else must be identical.
+fn strip_markers(doc: &JsonValue) -> JsonValue {
+    match doc {
+        JsonValue::Object(fields) => JsonValue::Object(
+            fields
+                .iter()
+                .filter(|(k, _)| k != "cached" && k != "rank_reused")
+                .map(|(k, v)| (k.clone(), strip_markers(v)))
+                .collect(),
+        ),
+        JsonValue::Array(items) => JsonValue::Array(items.iter().map(strip_markers).collect()),
+        other => other.clone(),
+    }
+}
+
+/// The first `n` vocabulary names — both servers attach the same
+/// seeded vocabulary, so names resolve identically on each side.
+fn vocab_names(n: u32) -> Vec<String> {
+    let data = generate(&DatasetSpec::tiny(7));
+    (0..n)
+        .map(|t| {
+            data.vocabulary
+                .name(wnsk_text::TermId(t))
+                .expect("tiny vocabulary has this term")
+                .to_string()
+        })
+        .collect()
+}
+
+/// A deterministic wire script mixing queries and mutations.
+fn script(names: &[String]) -> Vec<String> {
+    let kw = |ix: &[usize]| -> Vec<&str> { ix.iter().map(|&i| names[i].as_str()).collect() };
+    let kws = [kw(&[0, 1]), kw(&[2, 3]), kw(&[1, 4])];
+    let mut lines = Vec::new();
+    for (i, kw) in kws.iter().enumerate() {
+        let at = (0.2 + 0.25 * i as f64, 0.3 + 0.2 * i as f64);
+        lines.push(topk_line(at, kw, K, ALPHA));
+    }
+    lines.push(insert_line((0.41, 0.43), &kw(&[0, 2])));
+    lines.push(insert_line((0.61, 0.13), &kw(&[1, 3, 5])));
+    for (i, kw) in kws.iter().enumerate() {
+        let at = (0.2 + 0.25 * i as f64, 0.3 + 0.2 * i as f64);
+        lines.push(topk_line(at, kw, K, ALPHA));
+    }
+    lines
+}
+
+#[test]
+fn sharded_server_matches_single_server_line_for_line() {
+    let names = vocab_names(6);
+    for shards in [2usize, 4] {
+        let single = single_server();
+        let sharded = sharded_server(shards, 2, ServerConfig::default());
+        let mut c_single = Client::connect(single.addr()).unwrap();
+        let mut c_sharded = Client::connect(sharded.addr()).unwrap();
+        for line in script(&names) {
+            let a = c_single.call_json(&line).unwrap();
+            let b = c_sharded.call_json(&line).unwrap();
+            assert_eq!(
+                strip_markers(&a),
+                strip_markers(&b),
+                "s={shards} diverged on line {line}"
+            );
+        }
+
+        // A why-not question both servers agree is missing: take an
+        // object well outside the top-k under a live query.
+        let (at, missing) = {
+            let engine = single.serve_engine().engine();
+            let q = wnsk_index::SpatialKeywordQuery::new(
+                wnsk_geo::Point::new(0.45, 0.5),
+                wnsk_text::KeywordSet::from_ids([0u32, 1]),
+                20,
+                ALPHA,
+            );
+            let ranking = engine.top_k(&q).unwrap();
+            ((0.45, 0.5), ranking[10].0 .0)
+        };
+        let kw = [names[0].as_str(), names[1].as_str()];
+        let line = whynot_line(at, &kw, K, ALPHA, &[missing], LAMBDA, None);
+        let a = c_single.call_json(&line).unwrap();
+        let b = c_sharded.call_json(&line).unwrap();
+        assert_eq!(
+            strip_markers(&a),
+            strip_markers(&b),
+            "s={shards} why-not diverged"
+        );
+        assert_eq!(
+            b.get("quality"),
+            Some(&JsonValue::String("exact".into())),
+            "sharded why-not must be exact: {b:?}"
+        );
+
+        // Deletes route to the owning shard and both sides agree.
+        let del = delete_line(missing);
+        let a = c_single.call_json(&del).unwrap();
+        let b = c_sharded.call_json(&del).unwrap();
+        assert_eq!(strip_markers(&a), strip_markers(&b), "delete diverged");
+
+        single.shutdown();
+        sharded.shutdown();
+    }
+}
+
+#[test]
+fn sharded_healthz_and_per_shard_admin_planes() {
+    let config = ServerConfig {
+        admin_addr: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    };
+    let handle = sharded_server(2, 2, config);
+    let admin = handle.admin_addr().expect("admin endpoint bound");
+    let shard_admins = handle.shard_admin_addrs();
+    assert_eq!(shard_admins.len(), 2, "one admin plane per shard");
+
+    // Drive one mutation so epochs move.
+    let names = vocab_names(1);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let ack = client
+        .call_json(&insert_line((0.5, 0.5), &[names[0].as_str()]))
+        .unwrap();
+    assert_eq!(ack.get("ok"), Some(&JsonValue::Bool(true)), "{ack:?}");
+
+    let (status, body) = http_get(&admin.to_string(), "/healthz").unwrap();
+    assert_eq!(status, 200);
+    let doc = JsonValue::parse(&body).unwrap();
+    assert_eq!(doc.get("epoch").and_then(JsonValue::as_f64), Some(1.0));
+    let rows = doc
+        .get("shards")
+        .and_then(JsonValue::as_array)
+        .expect("healthz exposes a shards array");
+    assert_eq!(rows.len(), 2);
+    let epoch_sum: f64 = rows
+        .iter()
+        .map(|r| r.get("epoch").and_then(JsonValue::as_f64).unwrap())
+        .sum();
+    assert_eq!(epoch_sum, 1.0, "exactly one shard absorbed the insert");
+    for (s, row) in rows.iter().enumerate() {
+        assert_eq!(row.get("shard").and_then(JsonValue::as_f64), Some(s as f64));
+        assert!(row.get("inflight").is_some() && row.get("wal_lsn").is_some());
+    }
+
+    // The coordinator /metrics carries both serve.* and shard.*.
+    let (status, body) = http_get(&admin.to_string(), "/metrics").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("wnsk_serve_accepted"), "missing serve.*");
+    assert!(body.contains("wnsk_shard_scatter"), "missing shard.*");
+
+    // Each per-shard plane answers with its own registry and row.
+    for (s, addr) in shard_admins.iter().enumerate() {
+        let (status, body) = http_get(&addr.to_string(), "/metrics").unwrap();
+        assert_eq!(status, 200, "shard {s} metrics");
+        assert!(
+            body.contains("wnsk_ingest_applied") || body.contains("wnsk_"),
+            "shard {s} registry empty"
+        );
+        let (status, body) = http_get(&addr.to_string(), "/healthz").unwrap();
+        assert_eq!(status, 200, "shard {s} healthz");
+        let row = JsonValue::parse(&body).unwrap();
+        assert_eq!(row.get("shard").and_then(JsonValue::as_f64), Some(s as f64));
+    }
+    handle.shutdown();
+}

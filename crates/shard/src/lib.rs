@@ -1,0 +1,28 @@
+//! Sharded scatter-gather serving for why-not spatial keyword top-k.
+//!
+//! Two pieces:
+//!
+//! * [`partition`] — a deterministic keyword-affinity partitioner: live
+//!   objects cluster by their rarest term (spatial-stripe fallback for
+//!   empty docs), clusters pack onto shards longest-first with seeded
+//!   tie-shuffles, and the result is an explicit, reproducible
+//!   [`ShardManifest`] (object-id runs + vocab slices + insert routes)
+//!   that round-trips through JSON and is written atomically.
+//! * [`coordinator`] — one [`wnsk_core::WhyNotEngine`] per shard (plus
+//!   optional read replicas) behind a [`Coordinator`] that scatters
+//!   top-k / why-not / dominator-count work across shards on a shared
+//!   executor pool, tightens a cross-shard [`wnsk_exec::SharedBound`]
+//!   as partial results stream back, and merges per-shard answers into
+//!   results that are **bit-identical** to a single-shard engine — same
+//!   penalty bits, same rank lists, same refined queries — for every
+//!   shard count and thread count. Mutations route by partition key
+//!   through per-shard WALs plus a coordinator route log, so shards
+//!   crash-recover independently.
+
+pub mod coordinator;
+pub mod partition;
+
+pub use coordinator::{
+    Coordinator, CoordinatorConfig, Result, ShardError, ShardRecovery, ShardStatus,
+};
+pub use partition::{ShardManifest, ShardSpec};
